@@ -1,0 +1,16 @@
+# Laminar 2.0 (Rust reproduction) — server / CLI image.
+#
+# The paper's §III "Dockerized architecture": the same image serves as the
+# server container (default command) and as the client container
+# (`laminar --connect server:7878`).
+
+FROM rust:1.95-slim AS build
+WORKDIR /src
+COPY . .
+RUN cargo build --release -p laminar-core --bins
+
+FROM debian:stable-slim
+COPY --from=build /src/target/release/laminar /usr/local/bin/laminar
+COPY --from=build /src/target/release/laminar-server /usr/local/bin/laminar-server
+EXPOSE 7878
+CMD ["laminar-server", "0.0.0.0:7878"]

@@ -1,0 +1,123 @@
+//! Iterative clustering of pruned results (Aroma stage 4).
+//!
+//! Reranked snippets that are near-duplicates of each other should yield
+//! *one* recommendation, not five. Clusters are grown greedily from the
+//! highest-ranked unclustered snippet: any later snippet whose pruned
+//! feature vector is sufficiently similar (cosine ≥ `sim_threshold`) joins
+//! the cluster of that seed.
+
+use crate::prune::PrunedSnippet;
+
+/// One cluster: indices into the pruned-results slice, seed first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    pub members: Vec<usize>,
+}
+
+impl Cluster {
+    pub fn seed(&self) -> usize {
+        self.members[0]
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Greedy seed-based clustering. `pruned` must be sorted by rank (best
+/// first) — the output preserves that order across cluster seeds.
+pub fn cluster_results(pruned: &[PrunedSnippet], sim_threshold: f32) -> Vec<Cluster> {
+    let mut assigned = vec![false; pruned.len()];
+    let mut clusters = Vec::new();
+    for i in 0..pruned.len() {
+        if assigned[i] {
+            continue;
+        }
+        assigned[i] = true;
+        let mut members = vec![i];
+        for (j, done) in assigned.iter_mut().enumerate().skip(i + 1) {
+            if *done {
+                continue;
+            }
+            let sim = pruned[i].pruned_vec.cosine(&pruned[j].pruned_vec);
+            if sim >= sim_threshold {
+                *done = true;
+                members.push(j);
+            }
+        }
+        clusters.push(Cluster { members });
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::prune_and_rerank;
+
+    fn pruned_of(id: u64, code: &str, query: &str) -> PrunedSnippet {
+        let q = crate::prune::granulated_vec(query);
+        prune_and_rerank(id, code, &q)
+    }
+
+    #[test]
+    fn near_duplicates_cluster_together() {
+        let query = "total = 0\nfor item in data:\n    total += item\n";
+        let a = pruned_of(1, "total = 0\nfor item in data:\n    total += item\n", query);
+        let b = pruned_of(2, "acc = 0\nfor x in data:\n    acc += x\n", query);
+        let c = pruned_of(3, "with open(p) as fh:\n    body = fh.read()\n", query);
+        let clusters = cluster_results(&[a, b, c], 0.5);
+        assert_eq!(clusters.len(), 2, "{clusters:?}");
+        assert_eq!(clusters[0].members, vec![0, 1]);
+        assert_eq!(clusters[1].members, vec![2]);
+    }
+
+    #[test]
+    fn threshold_one_keeps_everything_separate() {
+        let query = "x = 1\n";
+        let a = pruned_of(1, "x = 1\ny = 2\n", query);
+        let b = pruned_of(2, "x = 1\nz = 3\n", query);
+        let clusters = cluster_results(&[a, b], 1.0 + f32::EPSILON);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn threshold_zero_merges_overlapping() {
+        let query = "x = 1\n";
+        let a = pruned_of(1, "x = 1\n", query);
+        let b = pruned_of(2, "x = 2\n", query);
+        let clusters = cluster_results(&[a, b], 0.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(cluster_results(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn seed_is_best_ranked_member() {
+        let query = "for i in xs:\n    s += i\n";
+        let a = pruned_of(1, "for i in xs:\n    s += i\n", query);
+        let b = pruned_of(2, "for j in xs:\n    t += j\n", query);
+        let clusters = cluster_results(&[a, b], 0.5);
+        assert_eq!(clusters[0].seed(), 0);
+    }
+
+    #[test]
+    fn every_input_assigned_exactly_once() {
+        let query = "x = f(y)\n";
+        let items: Vec<_> = (0..6)
+            .map(|i| pruned_of(i, &format!("x{i} = f(y{i})\nz{i} = {i}\n"), query))
+            .collect();
+        let clusters = cluster_results(&items, 0.7);
+        let mut all: Vec<usize> = clusters.iter().flat_map(|c| c.members.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+    }
+}

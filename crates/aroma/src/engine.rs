@@ -1,0 +1,247 @@
+//! The end-to-end Aroma pipeline (paper Fig. 3): search → prune & rerank →
+//! cluster → create recommendations.
+
+use crate::cluster::cluster_results;
+use crate::index::{Snippet, SnippetIndex};
+use crate::prune::{prune_and_rerank, PrunedSnippet};
+use crate::recommend::create_recommendation;
+use rayon::prelude::*;
+use spt::Spt;
+
+/// Tunables for the pipeline. Defaults follow the Aroma paper's spirit at
+/// registry scale (the paper retrieves 1000 from millions; Laminar
+/// registries are orders of magnitude smaller).
+#[derive(Debug, Clone)]
+pub struct AromaConfig {
+    /// Candidates taken from light-weight retrieval.
+    pub retrieve_n: usize,
+    /// Candidates kept after rerank.
+    pub rerank_keep: usize,
+    /// Cosine threshold for clustering pruned snippets.
+    pub cluster_sim: f32,
+    /// Fraction of a cluster that must support a statement for it to be
+    /// recommended (≥ 0.5 = majority).
+    pub support_fraction: f32,
+    /// Maximum number of recommendations returned.
+    pub max_recommendations: usize,
+}
+
+impl Default for AromaConfig {
+    fn default() -> Self {
+        AromaConfig {
+            retrieve_n: 50,
+            rerank_keep: 10,
+            cluster_sim: 0.5,
+            support_fraction: 0.5,
+            max_recommendations: 5,
+        }
+    }
+}
+
+/// One recommendation produced by the pipeline.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Id of the cluster-seed snippet the code is drawn from.
+    pub seed_id: u64,
+    /// Name of the seed snippet.
+    pub seed_name: String,
+    /// Recommended code (intersected statements, one per line).
+    pub code: String,
+    /// Rerank score of the seed.
+    pub score: f32,
+    /// Number of snippets in the cluster backing this recommendation.
+    pub cluster_size: usize,
+}
+
+/// Aroma engine over a [`SnippetIndex`].
+#[derive(Default)]
+pub struct AromaEngine {
+    index: SnippetIndex,
+    config: AromaConfig,
+}
+
+impl AromaEngine {
+    pub fn new(config: AromaConfig) -> Self {
+        AromaEngine {
+            index: SnippetIndex::new(),
+            config,
+        }
+    }
+
+    pub fn with_default_config() -> Self {
+        AromaEngine::new(AromaConfig::default())
+    }
+
+    pub fn config(&self) -> &AromaConfig {
+        &self.config
+    }
+
+    pub fn index(&self) -> &SnippetIndex {
+        &self.index
+    }
+
+    pub fn add(&mut self, snippet: Snippet) {
+        self.index.add(snippet);
+    }
+
+    pub fn add_batch(&mut self, snippets: Vec<Snippet>) {
+        self.index.add_batch(snippets);
+    }
+
+    /// Run the full pipeline for a (possibly partial) code query.
+    pub fn recommend(&self, query_code: &str) -> Vec<Recommendation> {
+        let qvec = Spt::parse_source(query_code).feature_vec();
+        if qvec.is_empty() {
+            return Vec::new();
+        }
+
+        // Stage 2: light-weight retrieval.
+        let hits = self.index.search_vec(&qvec, self.config.retrieve_n);
+        if hits.is_empty() {
+            return Vec::new();
+        }
+
+        // Stage 3: prune & rerank (parallel — each candidate reparses).
+        // Rerank compares in granule space, so re-featurise the query.
+        let gvec = crate::prune::granulated_vec(query_code);
+        let mut pruned: Vec<PrunedSnippet> = hits
+            .par_iter()
+            .filter_map(|h| {
+                let code = &self.index.get(h.id)?.code;
+                Some(prune_and_rerank(h.id, code, &gvec))
+            })
+            .collect();
+        pruned.sort_by(|a, b| {
+            b.rerank_score
+                .partial_cmp(&a.rerank_score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        pruned.truncate(self.config.rerank_keep);
+
+        // Stage 4: cluster.
+        let clusters = cluster_results(&pruned, self.config.cluster_sim);
+
+        // Stage 5: intersect each cluster into a recommendation.
+        let mut out = Vec::new();
+        for cluster in clusters.iter().take(self.config.max_recommendations) {
+            let min_support =
+                ((cluster.len() as f32) * self.config.support_fraction).ceil() as usize;
+            let code = create_recommendation(&pruned, cluster, min_support.max(1));
+            if code.is_empty() {
+                continue;
+            }
+            let seed = &pruned[cluster.seed()];
+            let seed_name = self
+                .index
+                .get(seed.id)
+                .map(|s| s.name.clone())
+                .unwrap_or_default();
+            out.push(Recommendation {
+                seed_id: seed.id,
+                seed_name,
+                code,
+                score: seed.rerank_score,
+                cluster_size: cluster.len(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> AromaEngine {
+        let mut e = AromaEngine::with_default_config();
+        e.add_batch(vec![
+            Snippet::new(
+                1,
+                "SumPE",
+                "class SumPE(IterativePE):\n    def _process(self, data):\n        total = 0\n        for item in data:\n            total += item\n        return total\n",
+            ),
+            Snippet::new(
+                2,
+                "AvgPE",
+                "class AvgPE(IterativePE):\n    def _process(self, data):\n        total = 0\n        for item in data:\n            total += item\n        return total / len(data)\n",
+            ),
+            Snippet::new(
+                3,
+                "ReadPE",
+                "class ReadPE(IterativePE):\n    def _process(self, path):\n        with open(path) as fh:\n            return fh.read()\n",
+            ),
+            Snippet::new(
+                4,
+                "RandPE",
+                "class RandPE(ProducerPE):\n    def _process(self, inputs):\n        return random.randint(1, 1000)\n",
+            ),
+        ]);
+        e
+    }
+
+    #[test]
+    fn paper_figure9_query() {
+        // Fig. 9 of the paper: `random.randint(1, 1000)` should recommend
+        // the number-producer PE.
+        let recs = engine().recommend("random.randint(1, 1000)");
+        assert!(!recs.is_empty());
+        assert_eq!(recs[0].seed_name, "RandPE", "{recs:?}");
+    }
+
+    #[test]
+    fn partial_accumulator_recommends_sum_family() {
+        let recs = engine().recommend("total = 0\nfor item in data:");
+        assert!(!recs.is_empty());
+        assert!(
+            recs[0].seed_name == "SumPE" || recs[0].seed_name == "AvgPE",
+            "{recs:?}"
+        );
+        assert!(recs[0].code.contains("for"));
+    }
+
+    #[test]
+    fn near_duplicates_collapse_into_one_cluster() {
+        let recs = engine().recommend("total = 0\nfor item in data:\n    total += item\n");
+        // SumPE and AvgPE share the idiom → the top recommendation's
+        // cluster should contain both.
+        assert!(recs[0].cluster_size >= 2, "{recs:?}");
+    }
+
+    #[test]
+    fn empty_query_no_recommendations() {
+        assert!(engine().recommend("").is_empty());
+    }
+
+    #[test]
+    fn unrelated_query_no_recommendations() {
+        let recs = engine().recommend("@@@ ###");
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn max_recommendations_respected() {
+        let mut e = AromaEngine::new(AromaConfig {
+            max_recommendations: 1,
+            cluster_sim: 1.1, // never cluster → many clusters
+            ..AromaConfig::default()
+        });
+        for i in 0..5 {
+            e.add(Snippet::new(
+                i,
+                format!("PE{i}"),
+                format!("def f{i}(x):\n    y = x + {i}\n    return g{i}(y)\n"),
+            ));
+        }
+        let recs = e.recommend("def f(x):\n    y = x + 1\n    return g(y)\n");
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn scores_monotone_nonincreasing() {
+        let recs = engine().recommend("total = 0\nfor item in data:\n    total += item\n");
+        for w in recs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

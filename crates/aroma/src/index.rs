@@ -1,0 +1,262 @@
+//! Snippet index: featurisation + light-weight search (Aroma stages 1–2).
+//!
+//! Every added snippet is parsed to an SPT and reduced to a sparse feature
+//! vector; the search stage scores the query vector against every stored
+//! vector. With sorted sparse vectors this is the row-wise form of the
+//! "matrix multiplication" the paper's Fig. 3 describes, and it
+//! parallelises embarrassingly with rayon for large corpora.
+
+use rayon::prelude::*;
+use spt::{FeatureVec, Spt};
+
+/// Registry-wide identifier of an indexed snippet.
+pub type SnippetId = u64;
+
+/// A code snippet to index (typically one PE class or one function).
+#[derive(Debug, Clone)]
+pub struct Snippet {
+    pub id: SnippetId,
+    pub name: String,
+    pub code: String,
+}
+
+impl Snippet {
+    pub fn new(id: SnippetId, name: impl Into<String>, code: impl Into<String>) -> Self {
+        Snippet {
+            id,
+            name: name.into(),
+            code: code.into(),
+        }
+    }
+}
+
+/// A search hit with its retrieval score (feature overlap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredSnippet {
+    pub id: SnippetId,
+    pub score: f32,
+}
+
+struct Entry {
+    snippet: Snippet,
+    vec: FeatureVec,
+}
+
+/// The in-memory structural index.
+#[derive(Default)]
+pub struct SnippetIndex {
+    entries: Vec<Entry>,
+}
+
+impl SnippetIndex {
+    pub fn new() -> Self {
+        SnippetIndex::default()
+    }
+
+    /// Parse, featurise and store a snippet. Returns the number of distinct
+    /// features extracted (0 for unparseable/empty code — still indexed so
+    /// ids stay dense, but it can never be retrieved).
+    pub fn add(&mut self, snippet: Snippet) -> usize {
+        let vec = Spt::parse_source(&snippet.code).feature_vec();
+        let n = vec.len();
+        self.entries.push(Entry { snippet, vec });
+        n
+    }
+
+    /// Bulk-add with parallel featurisation. Order of ids is preserved.
+    pub fn add_batch(&mut self, snippets: Vec<Snippet>) {
+        let mut entries: Vec<Entry> = snippets
+            .into_par_iter()
+            .map(|snippet| {
+                let vec = Spt::parse_source(&snippet.code).feature_vec();
+                Entry { snippet, vec }
+            })
+            .collect();
+        self.entries.append(&mut entries);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, id: SnippetId) -> Option<&Snippet> {
+        self.entries
+            .iter()
+            .find(|e| e.snippet.id == id)
+            .map(|e| &e.snippet)
+    }
+
+    pub fn feature_vec_of(&self, id: SnippetId) -> Option<&FeatureVec> {
+        self.entries
+            .iter()
+            .find(|e| e.snippet.id == id)
+            .map(|e| &e.vec)
+    }
+
+    /// Retrieve the `top_n` snippets by feature overlap with `query_code`.
+    /// Ties break towards lower ids so results are deterministic.
+    pub fn search(&self, query_code: &str, top_n: usize) -> Vec<ScoredSnippet> {
+        let qvec = Spt::parse_source(query_code).feature_vec();
+        self.search_vec(&qvec, top_n)
+    }
+
+    /// Same, with a pre-computed query vector.
+    pub fn search_vec(&self, qvec: &FeatureVec, top_n: usize) -> Vec<ScoredSnippet> {
+        if qvec.is_empty() || self.entries.is_empty() || top_n == 0 {
+            return Vec::new();
+        }
+        let mut scored: Vec<ScoredSnippet> = if self.entries.len() >= 256 {
+            self.entries
+                .par_iter()
+                .map(|e| ScoredSnippet {
+                    id: e.snippet.id,
+                    score: qvec.overlap(&e.vec),
+                })
+                .filter(|s| s.score > 0.0)
+                .collect()
+        } else {
+            self.entries
+                .iter()
+                .map(|e| ScoredSnippet {
+                    id: e.snippet.id,
+                    score: qvec.overlap(&e.vec),
+                })
+                .filter(|s| s.score > 0.0)
+                .collect()
+        };
+        scored.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        scored.truncate(top_n);
+        scored
+    }
+
+    /// Iterate over all (id, name) pairs, in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = SnippetId> + '_ {
+        self.entries.iter().map(|e| e.snippet.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_index() -> SnippetIndex {
+        let mut ix = SnippetIndex::new();
+        ix.add(Snippet::new(
+            1,
+            "SumPE",
+            "def process(self, data):\n    total = 0\n    for item in data:\n        total += item\n    return total\n",
+        ));
+        ix.add(Snippet::new(
+            2,
+            "ReadPE",
+            "def process(self, path):\n    with open(path) as fh:\n        return fh.read()\n",
+        ));
+        ix.add(Snippet::new(
+            3,
+            "MaxPE",
+            "def process(self, data):\n    best = None\n    for item in data:\n        if best is None or item > best:\n            best = item\n    return best\n",
+        ));
+        ix
+    }
+
+    #[test]
+    fn exact_code_ranks_first() {
+        let ix = demo_index();
+        let q = ix.get(2).unwrap().code.clone();
+        let hits = ix.search(&q, 3);
+        assert_eq!(hits[0].id, 2);
+        assert!(hits[0].score > hits.get(1).map(|h| h.score).unwrap_or(0.0));
+    }
+
+    #[test]
+    fn loop_query_prefers_loop_snippets() {
+        let ix = demo_index();
+        let hits = ix.search("for item in data:\n    total += item\n", 3);
+        assert_eq!(hits[0].id, 1, "{hits:?}");
+    }
+
+    #[test]
+    fn partial_snippet_still_retrieves() {
+        let ix = demo_index();
+        let full = ix.get(1).unwrap().code.clone();
+        let half = pyparse::drop_suffix_fraction(&full, 0.5);
+        let hits = ix.search(&half, 3);
+        assert_eq!(hits[0].id, 1, "{hits:?}");
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let ix = demo_index();
+        assert!(ix.search("", 5).is_empty());
+        assert!(ix.search("   \n", 5).is_empty());
+    }
+
+    #[test]
+    fn top_n_zero_and_truncation() {
+        let ix = demo_index();
+        assert!(ix.search("for item in data: pass\n", 0).is_empty());
+        let hits = ix.search("def process(self, data):\n    return data\n", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn zero_overlap_excluded() {
+        let mut ix = SnippetIndex::new();
+        ix.add(Snippet::new(7, "A", "import os\n"));
+        let hits = ix.search("class Completely:\n    pass\n", 5);
+        assert!(hits.iter().all(|h| h.score > 0.0));
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut ix = SnippetIndex::new();
+        ix.add(Snippet::new(10, "B", "x = 1\n"));
+        ix.add(Snippet::new(4, "A", "x = 1\n"));
+        let hits = ix.search("x = 1\n", 2);
+        assert_eq!(hits[0].id, 4, "lower id wins ties");
+    }
+
+    #[test]
+    fn batch_add_matches_serial_add() {
+        let snippets: Vec<Snippet> = (0..300)
+            .map(|i| Snippet::new(i, format!("S{i}"), format!("def f{i}(x):\n    return x + {i}\n")))
+            .collect();
+        let mut a = SnippetIndex::new();
+        for s in snippets.clone() {
+            a.add(s);
+        }
+        let mut b = SnippetIndex::new();
+        b.add_batch(snippets);
+        assert_eq!(a.len(), b.len());
+        let ha = a.search("def f(x):\n    return x + 5\n", 5);
+        let hb = b.search("def f(x):\n    return x + 5\n", 5);
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn unparseable_snippet_indexed_but_inert() {
+        let mut ix = SnippetIndex::new();
+        let n = ix.add(Snippet::new(1, "junk", ""));
+        assert_eq!(n, 0);
+        assert_eq!(ix.len(), 1);
+        assert!(ix.search("x = 1\n", 5).is_empty());
+    }
+
+    #[test]
+    fn lookup_api() {
+        let ix = demo_index();
+        assert_eq!(ix.get(1).unwrap().name, "SumPE");
+        assert!(ix.get(99).is_none());
+        assert!(ix.feature_vec_of(1).is_some());
+        assert_eq!(ix.ids().count(), 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! Laminar 2.0's simplified structural search (paper §VI-A).
+//!
+//! "Unlike the original Aroma algorithm, our implementation uses cosine
+//! similarity for efficiency, simplicity, and scalability, without the need
+//! for complex clustering or reranking steps. By default, laminar returns
+//! up to five PEs with a similarity score above 6.0, a configurable
+//! parameter."
+//!
+//! A score threshold of 6.0 only makes sense on the *unnormalised* overlap
+//! scale (cosine is ≤ 1), so the searcher scores by feature overlap —
+//! cosine over raw count vectors is available via [`Metric::Cosine`] with a
+//! 0–1 threshold for the ablation experiments.
+
+use spt::{FeatureVec, Spt};
+
+/// Scoring metric for the simplified searcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Multiset feature overlap (the paper's default scale; threshold 6.0).
+    Overlap,
+    /// Normalised cosine in [0, 1] (threshold e.g. 0.6).
+    Cosine,
+}
+
+/// One hit from the simplified searcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SptHit {
+    pub id: u64,
+    pub score: f32,
+}
+
+/// Stored-embedding searcher: the registry hands it `(id, sptEmbedding)`
+/// pairs; queries are parsed and featurised on the fly.
+pub struct SptSearcher {
+    entries: Vec<(u64, FeatureVec)>,
+    pub metric: Metric,
+    /// Minimum score for a hit (paper default 6.0 on the overlap scale).
+    pub min_score: f32,
+    /// Maximum hits returned (paper default 5).
+    pub top_n: usize,
+}
+
+impl Default for SptSearcher {
+    fn default() -> Self {
+        SptSearcher {
+            entries: Vec::new(),
+            metric: Metric::Overlap,
+            min_score: 6.0,
+            top_n: 5,
+        }
+    }
+}
+
+impl SptSearcher {
+    pub fn new(metric: Metric, min_score: f32, top_n: usize) -> Self {
+        SptSearcher {
+            entries: Vec::new(),
+            metric,
+            min_score,
+            top_n,
+        }
+    }
+
+    /// Register a stored embedding.
+    pub fn add(&mut self, id: u64, embedding: FeatureVec) {
+        self.entries.push((id, embedding));
+    }
+
+    /// Featurise `code` and register it.
+    pub fn add_code(&mut self, id: u64, code: &str) {
+        self.add(id, Spt::parse_source(code).feature_vec());
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Search with a code-snippet query.
+    pub fn search(&self, query_code: &str) -> Vec<SptHit> {
+        self.search_vec(&Spt::parse_source(query_code).feature_vec())
+    }
+
+    /// Search with a pre-computed query embedding.
+    pub fn search_vec(&self, qvec: &FeatureVec) -> Vec<SptHit> {
+        if qvec.is_empty() {
+            return Vec::new();
+        }
+        let mut hits: Vec<SptHit> = self
+            .entries
+            .iter()
+            .map(|(id, v)| SptHit {
+                id: *id,
+                score: match self.metric {
+                    Metric::Overlap => qvec.overlap(v),
+                    Metric::Cosine => qvec.cosine(v),
+                },
+            })
+            .filter(|h| h.score >= self.min_score)
+            .collect();
+        hits.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        hits.truncate(self.top_n);
+        hits
+    }
+
+    /// Search without the threshold/top-n cuts — the evaluation harness
+    /// needs full rankings for precision-recall sweeps.
+    pub fn rank_all(&self, query_code: &str) -> Vec<SptHit> {
+        let qvec = Spt::parse_source(query_code).feature_vec();
+        let mut hits: Vec<SptHit> = self
+            .entries
+            .iter()
+            .map(|(id, v)| SptHit {
+                id: *id,
+                score: match self.metric {
+                    Metric::Overlap => qvec.overlap(v),
+                    Metric::Cosine => qvec.cosine(v),
+                },
+            })
+            .collect();
+        hits.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        hits
+    }
+}
+
+/// Workflow-level recommendation (paper §VI-A, Fig. 9): similar PEs are
+/// found first, then workflows containing those PEs are ranked by the sum
+/// of their member-PE scores ("occurrences").
+pub struct LaminarRecommender {
+    pub searcher: SptSearcher,
+    /// `(workflow id, member PE ids)` associations.
+    workflows: Vec<(u64, Vec<u64>)>,
+}
+
+/// A workflow recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowHit {
+    pub workflow_id: u64,
+    /// Number of member PEs that matched the query.
+    pub occurrences: usize,
+    /// Sum of matching member scores.
+    pub score: f32,
+}
+
+impl LaminarRecommender {
+    pub fn new(searcher: SptSearcher) -> Self {
+        LaminarRecommender {
+            searcher,
+            workflows: Vec::new(),
+        }
+    }
+
+    pub fn add_workflow(&mut self, workflow_id: u64, pe_ids: Vec<u64>) {
+        self.workflows.push((workflow_id, pe_ids));
+    }
+
+    /// Recommend PEs for a code snippet.
+    pub fn recommend_pes(&self, query_code: &str) -> Vec<SptHit> {
+        self.searcher.search(query_code)
+    }
+
+    /// Recommend workflows for a code snippet.
+    pub fn recommend_workflows(&self, query_code: &str) -> Vec<WorkflowHit> {
+        let pe_hits = self.searcher.search(query_code);
+        if pe_hits.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<WorkflowHit> = self
+            .workflows
+            .iter()
+            .filter_map(|(wid, pes)| {
+                let matching: Vec<&SptHit> =
+                    pe_hits.iter().filter(|h| pes.contains(&h.id)).collect();
+                if matching.is_empty() {
+                    return None;
+                }
+                Some(WorkflowHit {
+                    workflow_id: *wid,
+                    occurrences: matching.len(),
+                    score: matching.iter().map(|h| h.score).sum(),
+                })
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.workflow_id.cmp(&b.workflow_id))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PRODUCER: &str = "class NumberProducer(ProducerPE):\n    def _process(self, inputs):\n        return random.randint(1, 1000)\n";
+    const ISPRIME: &str = "class IsPrime(IterativePE):\n    def _process(self, num):\n        if all(num % i != 0 for i in range(2, num)):\n            return num\n";
+    const PRINTER: &str = "class PrintPrime(ConsumerPE):\n    def _process(self, num):\n        print('the num {} is prime'.format(num))\n";
+
+    fn searcher() -> SptSearcher {
+        let mut s = SptSearcher::default();
+        s.add_code(172, PRODUCER);
+        s.add_code(166, ISPRIME);
+        s.add_code(168, PRINTER);
+        s
+    }
+
+    #[test]
+    fn fig9_pe_recommendation() {
+        // Paper Fig. 9: query "random.randint(1, 1000)" → NumberProducer,
+        // score 8.0 in the paper's run; ours must clear the 6.0 threshold.
+        let hits = searcher().search("random.randint(1, 1000)");
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].id, 172);
+        assert!(hits[0].score >= 6.0, "score {}", hits[0].score);
+    }
+
+    #[test]
+    fn threshold_filters_weak_matches() {
+        let mut s = searcher();
+        s.min_score = 1e9;
+        assert!(s.search("random.randint(1, 1000)").is_empty());
+    }
+
+    #[test]
+    fn top_n_enforced() {
+        let mut s = SptSearcher {
+            top_n: 2,
+            min_score: 0.1,
+            ..SptSearcher::default()
+        };
+        for i in 0..10 {
+            s.add_code(i, &format!("def f{i}(x):\n    return x + {i}\n"));
+        }
+        let hits = s.search("def f(x):\n    return x + 1\n");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn cosine_metric_scores_in_unit_interval() {
+        let mut s = SptSearcher::new(Metric::Cosine, 0.1, 5);
+        s.add_code(1, ISPRIME);
+        s.add_code(2, PRODUCER);
+        let hits = s.search(ISPRIME);
+        assert_eq!(hits[0].id, 1);
+        assert!(hits[0].score > 0.99 && hits[0].score <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn rank_all_ignores_cuts() {
+        let s = searcher();
+        let ranked = s.rank_all("random.randint(1, 1000)");
+        assert_eq!(ranked.len(), 3, "all entries ranked, no threshold");
+    }
+
+    #[test]
+    fn empty_query_and_empty_index() {
+        let s = searcher();
+        assert!(s.search("").is_empty());
+        let empty = SptSearcher::default();
+        assert!(empty.search("x = 1\n").is_empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn fig9_workflow_recommendation() {
+        // Paper Fig. 9 bottom half: the isprime workflow is recommended for
+        // the same query because it contains NumberProducer.
+        let mut r = LaminarRecommender::new(searcher());
+        r.add_workflow(169, vec![172, 166, 168]);
+        r.add_workflow(200, vec![166, 168]); // workflow without the producer
+        let hits = r.recommend_workflows("random.randint(1, 1000)");
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].workflow_id, 169);
+        assert_eq!(hits[0].occurrences, 1);
+        // The producer-less workflow may be absent entirely.
+        assert!(hits.iter().all(|h| h.workflow_id != 200 || h.occurrences > 0));
+    }
+
+    #[test]
+    fn workflow_ranking_by_total_score() {
+        let mut s = SptSearcher {
+            min_score: 0.5,
+            ..SptSearcher::default()
+        };
+        s.add_code(1, ISPRIME);
+        s.add_code(2, PRINTER);
+        let mut r = LaminarRecommender::new(s);
+        r.add_workflow(10, vec![1]);
+        r.add_workflow(20, vec![1, 2]);
+        let hits = r.recommend_workflows(ISPRIME);
+        // Workflow 20 contains everything 10 does plus more matches.
+        assert_eq!(hits[0].workflow_id, 20, "{hits:?}");
+        assert!(hits[0].score >= hits[1].score);
+    }
+}

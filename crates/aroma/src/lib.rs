@@ -1,0 +1,41 @@
+//! `aroma` — structural code search and recommendation (paper §II-E, §VI).
+//!
+//! Reimplements the Aroma pipeline of Luan et al. (2019), re-targeted from
+//! Java to Python exactly as Laminar 2.0 did:
+//!
+//! 1. **Featurisation & light-weight search** ([`index`]): every indexed
+//!    snippet is parsed to an SPT and hashed to a sparse feature vector;
+//!    retrieval scores the query vector against the whole corpus with sparse
+//!    dot products ("matrix multiplication", Fig. 3).
+//! 2. **Prune and rerank** ([`prune`]): each retrieved snippet is pruned to
+//!    the statements that actually overlap the query, and reranked by how
+//!    much of the query the pruned snippet contains.
+//! 3. **Clustering** ([`cluster`]): similar pruned snippets are grouped by
+//!    iterative greedy clustering.
+//! 4. **Recommendation** ([`recommend`]): each cluster is intersected into
+//!    a single representative snippet.
+//!
+//! Laminar 2.0 itself ships a *simplified* variant — cosine/overlap scoring
+//! of stored `sptEmbedding`s with a configurable score threshold (default
+//! 6.0) and top-5 cut, "without the need for complex clustering or
+//! reranking steps" (§VI-A). That variant is [`laminar::SptSearcher`]; the
+//! full pipeline is [`AromaEngine`] and is used as the ablation baseline
+//! (DESIGN.md E12).
+
+pub mod cluster;
+pub mod completion;
+pub mod engine;
+pub mod index;
+pub mod laminar;
+pub mod lsh;
+pub mod prune;
+pub mod recommend;
+
+pub use cluster::{cluster_results, Cluster};
+pub use completion::{complete_from, Completion};
+pub use engine::{AromaConfig, AromaEngine, Recommendation};
+pub use index::{ScoredSnippet, Snippet, SnippetId, SnippetIndex};
+pub use laminar::{LaminarRecommender, SptHit, SptSearcher};
+pub use lsh::{LshConfig, LshIndex, LshSearchStats};
+pub use prune::{granulated_vec, prune_and_rerank, statement_granules, PrunedSnippet};
+pub use recommend::create_recommendation;

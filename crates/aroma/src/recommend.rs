@@ -1,0 +1,103 @@
+//! Recommendation creation (Aroma stage 5).
+//!
+//! Each cluster becomes one recommendation: the seed snippet's kept
+//! statements, filtered to those *supported* by enough other cluster
+//! members (a member supports a statement when it kept a structurally
+//! similar statement of its own). Intersecting this way removes
+//! seed-specific noise while preserving the common idiom the cluster
+//! embodies — exactly the "prunes a snippet against others in its cluster"
+//! step of the paper's Fig. 3.
+
+use crate::cluster::Cluster;
+use crate::prune::PrunedSnippet;
+
+/// Statement-similarity threshold for support counting.
+const STMT_SIM: f32 = 0.7;
+
+/// Intersect the cluster's snippets into recommendation text (one kept
+/// statement per line). `min_support` is the number of members (including
+/// the seed) that must contain a similar statement; it is clamped to the
+/// cluster size and to at least 1.
+pub fn create_recommendation(
+    pruned: &[PrunedSnippet],
+    cluster: &Cluster,
+    min_support: usize,
+) -> String {
+    if cluster.is_empty() {
+        return String::new();
+    }
+    let seed = &pruned[cluster.seed()];
+    let need = min_support.clamp(1, cluster.len());
+    let mut lines = Vec::new();
+    for (si, svec) in seed.kept_vecs.iter().enumerate() {
+        let mut support = 0usize;
+        for &m in &cluster.members {
+            let member = &pruned[m];
+            let supported = member
+                .kept_vecs
+                .iter()
+                .any(|mv| svec.cosine(mv) >= STMT_SIM);
+            if supported {
+                support += 1;
+            }
+        }
+        if support >= need {
+            lines.push(seed.kept_statements[si].clone());
+        }
+    }
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::cluster_results;
+    use crate::prune::prune_and_rerank;
+
+    fn pruned_of(id: u64, code: &str, query: &str) -> PrunedSnippet {
+        let q = crate::prune::granulated_vec(query);
+        prune_and_rerank(id, code, &q)
+    }
+
+    #[test]
+    fn common_idiom_survives_intersection() {
+        let query = "total = 0\nfor item in data:\n    total += item\n";
+        // Both members share the accumulate idiom; only the seed logs.
+        let a = pruned_of(
+            1,
+            "total = 0\nfor item in data:\n    total += item\nlogger.warn(total)\n",
+            query,
+        );
+        let b = pruned_of(2, "acc = 0\nfor x in data:\n    acc += x\n", query);
+        let clusters = cluster_results(&[a.clone(), b.clone()], 0.3);
+        assert_eq!(clusters.len(), 1);
+        let rec = create_recommendation(&[a, b], &clusters[0], 2);
+        assert!(rec.contains("total"), "{rec}");
+        assert!(rec.contains("for"), "{rec}");
+        assert!(!rec.contains("logger"), "{rec}");
+    }
+
+    #[test]
+    fn singleton_cluster_returns_seed_statements() {
+        let query = "x = f(y)\n";
+        let a = pruned_of(1, "x = f(y)\n", query);
+        let cluster = Cluster { members: vec![0] };
+        let rec = create_recommendation(&[a], &cluster, 2); // clamped to 1
+        assert!(rec.contains('f'), "{rec}");
+    }
+
+    #[test]
+    fn empty_cluster_is_empty_string() {
+        let cluster = Cluster { members: vec![] };
+        assert_eq!(create_recommendation(&[], &cluster, 1), "");
+    }
+
+    #[test]
+    fn min_support_zero_clamps_to_one() {
+        let query = "x = 1\n";
+        let a = pruned_of(1, "x = 1\n", query);
+        let cluster = Cluster { members: vec![0] };
+        let rec = create_recommendation(&[a], &cluster, 0);
+        assert!(!rec.is_empty());
+    }
+}

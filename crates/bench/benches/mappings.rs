@@ -1,0 +1,57 @@
+//! Criterion bench (E10): end-to-end enactment cost of the three mappings
+//! on a latency-bound 32-item pipeline (0.5 ms per item).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d4py::mapping::{run, DynamicConfig, Mapping, RunInput};
+use d4py::workflows::latency_bound_graph;
+use std::time::Duration;
+
+const ITEMS: u64 = 32;
+const DELAY_US: u64 = 500;
+
+fn bench_mappings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mappings_32x0.5ms");
+    g.bench_function("simple", |b| {
+        b.iter(|| {
+            run(
+                &latency_bound_graph(DELAY_US, false),
+                RunInput::Iterations(ITEMS),
+                &Mapping::Simple,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("multi_6", |b| {
+        b.iter(|| {
+            run(
+                &latency_bound_graph(DELAY_US, false),
+                RunInput::Iterations(ITEMS),
+                &Mapping::Multi { processes: 6 },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("dynamic_6", |b| {
+        b.iter(|| {
+            run(
+                &latency_bound_graph(DELAY_US, false),
+                RunInput::Iterations(ITEMS),
+                &Mapping::Dynamic(DynamicConfig {
+                    initial_workers: 6,
+                    max_workers: 6,
+                    autoscale: false,
+                    scale_threshold: 4,
+                }),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(6));
+    targets = bench_mappings
+}
+criterion_main!(benches);

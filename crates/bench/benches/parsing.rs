@@ -1,0 +1,67 @@
+//! Criterion bench: the parsing/featurisation substrate — pyparse
+//! lexing+parsing, SPT construction, Aroma featurisation, and the model
+//! substitutes. These are the per-registration costs of §VI's pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+const ISPRIME: &str = "\
+class IsPrime(IterativePE):
+    \"\"\"Checks whether a given number is prime and returns the number if it is.\"\"\"
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, num):
+        if all(num % i != 0 for i in range(2, num)):
+            return num
+";
+
+fn bench_parsing(c: &mut Criterion) {
+    // A larger module: 40 concatenated PE classes.
+    let corpus = csn::Dataset::generate(csn::DatasetConfig {
+        families: 8,
+        variants_per_family: 5,
+        seed: 1,
+        ..csn::DatasetConfig::default()
+    });
+    let big: String = corpus
+        .entries
+        .iter()
+        .map(|e| e.code.clone())
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let mut g = c.benchmark_group("parsing");
+    g.throughput(Throughput::Bytes(ISPRIME.len() as u64));
+    g.bench_function("pyparse/isprime_class", |b| {
+        b.iter(|| pyparse::parse(black_box(ISPRIME)))
+    });
+    g.throughput(Throughput::Bytes(big.len() as u64));
+    g.bench_function("pyparse/40_pe_module", |b| {
+        b.iter(|| pyparse::parse(black_box(&big)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("featurise");
+    g.bench_function("spt/isprime_feature_vec", |b| {
+        b.iter(|| spt::Spt::parse_source(black_box(ISPRIME)).feature_vec())
+    });
+    g.bench_function("codet5/describe_full_class", |b| {
+        let gen = embed::CodeT5Sim::default();
+        b.iter(|| gen.describe_pe(black_box(ISPRIME)))
+    });
+    g.bench_function("unixcoder/embed_query", |b| {
+        let m = embed::UniXcoderSim::new();
+        b.iter(|| m.embed_text(black_box("a pe that is able to detect anomalies")))
+    });
+    g.bench_function("reacc/embed_code", |b| {
+        let m = embed::ReaccSim::new();
+        b.iter(|| m.embed_code(black_box(ISPRIME)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parsing
+}
+criterion_main!(benches);

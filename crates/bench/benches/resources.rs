@@ -1,0 +1,54 @@
+//! Criterion bench (E9): resource handling — cached reference check + hit
+//! (Laminar 2.0) vs full inline retransmission (Laminar 1.0) of a 256 KiB
+//! resource set.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use laminar_server::protocol::content_hash;
+use laminar_server::{ResourceCache, ResourceRef};
+
+const SIZE: usize = 256 * 1024;
+
+fn bench_resources(c: &mut Criterion) {
+    let bytes = vec![7u8; SIZE];
+    let reference = ResourceRef {
+        name: "input.bin".to_string(),
+        content_hash: content_hash(&bytes),
+    };
+
+    let mut g = c.benchmark_group("resources_256KiB");
+    g.throughput(Throughput::Bytes(SIZE as u64));
+
+    // Laminar 1.0 path: the server receives the full payload every run.
+    g.bench_function("v1_inline_retransmit", |b| {
+        let cache = ResourceCache::new();
+        b.iter(|| {
+            cache.receive_inline(black_box(&[("input.bin".to_string(), bytes.clone())]));
+        })
+    });
+
+    // Laminar 2.0 path: warm cache, only the reference travels.
+    g.bench_function("v2_cached_reference_check", |b| {
+        let cache = ResourceCache::new();
+        cache.store("input.bin", bytes.clone());
+        b.iter(|| {
+            let missing = cache.missing(black_box(std::slice::from_ref(&reference)));
+            assert!(missing.is_empty());
+        })
+    });
+
+    // Upload path (first run only).
+    g.bench_function("v2_first_upload", |b| {
+        b.iter(|| {
+            let cache = ResourceCache::new();
+            cache.store("input.bin", black_box(bytes.clone()));
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_resources
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion bench (E8): time-to-first-output, batch (HTTP/1.1-style,
+//! Laminar 1.0) vs streaming (HTTP/2-style, Laminar 2.0) delivery of a
+//! 20-item run whose items cost ~1 ms each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laminar_core::{Laminar, LaminarConfig};
+use laminar_server::protocol::{Ident, RunInputWire, RunMode, WireFrame};
+use laminar_server::{DeliveryMode, LaminarServer, Reply, Request, Response, Transport};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn setup() -> (Arc<LaminarServer>, u64) {
+    let laminar = Laminar::deploy(LaminarConfig {
+        prewarmed: 4,
+        cold_start: Duration::from_millis(1),
+        ..LaminarConfig::default()
+    });
+    let server = laminar.server();
+    server.engine().library().register("slow_wf", || {
+        use d4py::prelude::*;
+        let mut g = WorkflowGraph::new("slow_wf");
+        let src = g.add(ProducerPE::new("Src", |i| Some(Data::from(i as i64))));
+        let slow = g.add(IterativePE::new("Slow", |d: Data| {
+            std::thread::sleep(Duration::from_millis(1));
+            Some(d)
+        }));
+        let sink = g.add(ConsumerPE::new("Out", |d: Data, ctx: &mut Context<'_>| {
+            ctx.log(format!("{d}"));
+        }));
+        g.connect(src, OUTPUT, slow, INPUT).unwrap();
+        g.connect(slow, OUTPUT, sink, INPUT).unwrap();
+        g
+    });
+    let token = match server
+        .handle(Request::RegisterUser {
+            username: "bench".into(),
+            password: "pw".into(),
+        })
+        .value()
+    {
+        Response::Token(t) => t,
+        other => panic!("{other:?}"),
+    };
+    server
+        .handle(Request::RegisterWorkflow {
+            token,
+            name: "slow_wf".into(),
+            code: String::new(),
+            description: Some("slow".into()),
+            pes: vec![],
+        })
+        .value();
+    (server, token)
+}
+
+fn ttfo(server: &Arc<LaminarServer>, token: u64, mode: DeliveryMode, streaming: bool) -> Duration {
+    let tp = Transport::new(server.clone(), mode);
+    let reply = tp.send(Request::Run {
+        token,
+        ident: Ident::Name("slow_wf".into()),
+        input: RunInputWire::Iterations(20),
+        mode: RunMode::Sequential,
+        streaming,
+        verbose: false,
+        resources: vec![],
+    });
+    let t0 = Instant::now();
+    if let Reply::Stream(rx) = reply {
+        for f in rx.iter() {
+            match f {
+                WireFrame::Line(_) => {
+                    let d = t0.elapsed();
+                    // Drain to completion so the engine is quiescent.
+                    for g in rx.iter() {
+                        if matches!(g, WireFrame::End { .. }) {
+                            break;
+                        }
+                    }
+                    return d;
+                }
+                WireFrame::End { .. } => break,
+                _ => {}
+            }
+        }
+    }
+    t0.elapsed()
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let (server, token) = setup();
+    let mut g = c.benchmark_group("ttfo_20x1ms_run");
+    // iter_custom: the measured quantity is the returned TTFO, not the
+    // closure's wall time (which includes draining the rest of the run).
+    g.bench_function("batch_http1_style", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| ttfo(&server, token, DeliveryMode::Batch, false))
+                .sum()
+        })
+    });
+    g.bench_function("streaming_http2_style", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| ttfo(&server, token, DeliveryMode::Streaming, true))
+                .sum()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(8));
+    targets = bench_streaming
+}
+criterion_main!(benches);

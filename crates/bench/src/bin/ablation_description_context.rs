@@ -1,0 +1,33 @@
+//! E13 — ablation coupling Fig. 10 to Fig. 11: how the description-
+//! generation context (process-only vs full class) changes downstream
+//! text-to-code search accuracy. This is the paper's implied causal chain
+//! ("Improved automated description generation …, boosting search
+//! accuracy") made measurable.
+//!
+//! ```text
+//! cargo run -p laminar-bench --release --bin ablation_description_context
+//! ```
+
+use csn::best_f1;
+use embed::DescriptionContext;
+use laminar_bench::{description_quality, standard_corpus, text_to_code_eval};
+
+fn main() {
+    let corpus = standard_corpus();
+    eprintln!("corpus: {} PEs", corpus.len());
+
+    println!("# Ablation — description context → search accuracy\n");
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "context", "keyword recall", "search best F1"
+    );
+    for (label, ctx) in [
+        ("_process() only (v1.0)", DescriptionContext::ProcessMethodOnly),
+        ("full class (v2.0)", DescriptionContext::FullClass),
+    ] {
+        let recall = description_quality(&corpus, ctx);
+        let f1 = best_f1(&text_to_code_eval(&corpus, ctx)).0;
+        println!("{:<28} {:>16.4} {:>16.4}", label, recall, f1);
+    }
+    println!("\nshape check: the full-class row must dominate both columns.");
+}

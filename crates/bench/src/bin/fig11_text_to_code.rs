@@ -1,0 +1,27 @@
+//! E2 — regenerate **Fig. 11**: precision-recall for text-to-code search.
+//!
+//! Protocol (paper §VII-C): every corpus PE gets a CodeT5-generated
+//! description embedded with UniXcoder; queries are the CodeSearchNet-style
+//! natural-language descriptions; ranking is by cosine similarity.
+//! The paper reports a best F1 of **0.61**.
+//!
+//! ```text
+//! cargo run -p laminar-bench --release --bin fig11_text_to_code
+//! ```
+
+use embed::DescriptionContext;
+use laminar_bench::{corpus_from_args, render_curve, text_to_code_eval};
+
+fn main() {
+    let corpus = corpus_from_args();
+    eprintln!(
+        "corpus: {} PEs across {} families",
+        corpus.len(),
+        corpus.family_keys.len()
+    );
+    let curve = text_to_code_eval(&corpus, DescriptionContext::FullClass);
+    println!(
+        "{}",
+        render_curve("Fig. 11 — text-to-code search (paper best F1: 0.61)", &curve)
+    );
+}

@@ -1,0 +1,171 @@
+//! E5 — regenerate **Table I**: the client function inventory, with a live
+//! smoke-check that every function actually works against a deployed stack.
+//!
+//! ```text
+//! cargo run -p laminar-bench --release --bin table1_client_functions
+//! ```
+
+use laminar_core::{EmbeddingType, Laminar, LaminarConfig, SearchScope};
+
+fn main() {
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let mut client = laminar.client();
+
+    // Exercise every Table I function in dependency order, recording status.
+    let mut rows: Vec<(&str, &str, &str, bool)> = Vec::new();
+    let mut ok_reg = client.register("table1_user", "pw").is_ok();
+    rows.push(("register", "Registers a new user", "", ok_reg));
+    ok_reg &= client.login("table1_user", "pw").is_ok();
+    rows.push(("login", "Logs in an existing user", "", ok_reg));
+
+    let wf = client
+        .register_workflow("isprime_wf", laminar_core::ISPRIME_WORKFLOW_SOURCE)
+        .ok();
+    rows.push((
+        "register_Workflow",
+        "Registers a new workflow",
+        "**",
+        wf.is_some(),
+    ));
+    let pe_id = client
+        .register_pe(
+            "WordCounter",
+            "class WordCounter(IterativePE):\n    def _process(self, text):\n        return len(text.split())\n",
+            None,
+        )
+        .ok();
+    rows.push(("register_PE", "Registers a new PE", "*", pe_id.is_some()));
+
+    let wf = wf.expect("workflow registered");
+    let pe_id = pe_id.expect("pe registered");
+    rows.push((
+        "get_PE",
+        "Retrieves a PE by name or ID",
+        "",
+        client.get_pe(pe_id).is_ok() && client.get_pe("WordCounter").is_ok(),
+    ));
+    rows.push((
+        "get_Workflow",
+        "Retrieves a workflow by name or ID",
+        "",
+        client.get_workflow(wf.workflow.1).is_ok(),
+    ));
+    rows.push((
+        "get_PEs_By_Workflow",
+        "Retrieves all PEs associated with a workflow",
+        "",
+        client
+            .get_pes_by_workflow(wf.workflow.1)
+            .map(|p| p.len() == 3)
+            .unwrap_or(false),
+    ));
+    rows.push((
+        "get_Registry",
+        "Retrieves all items in the registry",
+        "",
+        client.get_registry().map(|(p, w)| p.len() == 4 && w.len() == 1).unwrap_or(false),
+    ));
+    rows.push((
+        "describe",
+        "Provides a description of a PE or workflow",
+        "",
+        client
+            .describe(SearchScope::Pe, "IsPrime")
+            .map(|d| d.contains("class IsPrime"))
+            .unwrap_or(false),
+    ));
+    rows.push((
+        "update_PE_Description",
+        "Updates a PE's description",
+        "*",
+        client.update_pe_description(pe_id, "counts words in a text").is_ok(),
+    ));
+    rows.push((
+        "update_Workflow_Description",
+        "Updates a workflow's description",
+        "*",
+        client
+            .update_workflow_description(wf.workflow.1, "prime number pipeline")
+            .is_ok(),
+    ));
+    rows.push((
+        "search_Registry_Literal",
+        "Performs a literal search",
+        "**",
+        client
+            .search_registry_literal(SearchScope::Both, "prime")
+            .map(|(p, w)| !p.is_empty() && !w.is_empty())
+            .unwrap_or(false),
+    ));
+    rows.push((
+        "search_Registry_Semantic",
+        "Performs a semantic search",
+        "**",
+        client
+            .search_registry_semantic(SearchScope::Pe, "count the words in a text")
+            .map(|h| !h.is_empty())
+            .unwrap_or(false),
+    ));
+    rows.push((
+        "code_Recommendation",
+        "Performs a code recommendation",
+        "*",
+        client
+            .code_recommendation(SearchScope::Pe, "random.randint(1, 1000)", EmbeddingType::Spt)
+            .map(|h| !h.is_empty())
+            .unwrap_or(false),
+    ));
+    rows.push((
+        "run",
+        "Executes a workflow sequentially",
+        "**",
+        client.run("isprime_wf", 10).map(|o| o.ok).unwrap_or(false),
+    ));
+    rows.push((
+        "run_multiprocess",
+        "Executes a workflow in parallel",
+        "*",
+        client
+            .run_multiprocess("isprime_wf", 10, 9)
+            .map(|o| o.ok)
+            .unwrap_or(false),
+    ));
+    rows.push((
+        "run_dynamic",
+        "Executes a workflow using REDIS",
+        "*",
+        client.run_dynamic("isprime_wf", 10).map(|o| o.ok).unwrap_or(false),
+    ));
+    rows.push((
+        "remove_PE",
+        "Removes an existing PE",
+        "",
+        client.remove_pe(pe_id).is_ok(),
+    ));
+    rows.push((
+        "remove_Workflow",
+        "Removes an existing workflow",
+        "",
+        client.remove_workflow(wf.workflow.1).is_ok(),
+    ));
+    rows.push((
+        "remove_All",
+        "Removes all PEs and workflows",
+        "*",
+        client.remove_all().is_ok(),
+    ));
+
+    println!("# Table I — client functions (*new, **improved in 2.0) with live status\n");
+    println!("{:<28} {:<48} {:<4} Works", "Function", "Description", "Mark");
+    let mut all_ok = true;
+    for (name, desc, mark, ok) in &rows {
+        println!("{:<28} {:<48} {:<4} {}", name, desc, mark, if *ok { "yes" } else { "NO" });
+        all_ok &= ok;
+    }
+    println!(
+        "\n{} / {} client functions verified live.",
+        rows.iter().filter(|r| r.3).count(),
+        rows.len()
+    );
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

@@ -1,0 +1,718 @@
+//! The Laminar CLI (paper §IV-B, Fig. 5).
+//!
+//! A transcript-testable command interpreter: [`Cli::execute`] takes one
+//! input line and returns the text the terminal would print. The `laminar`
+//! binary (in `laminar-core`) wraps it in a stdin loop.
+
+use crate::client::{ClientError, LaminarClient};
+use laminar_server::{EmbeddingType, Ident, SearchScope};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The interactive CLI.
+pub struct Cli {
+    client: LaminarClient,
+    /// Set when the user asked to quit.
+    pub done: bool,
+}
+
+const COMMANDS: &[(&str, &str)] = &[
+    ("code_completion", "Completes a partially typed PE from the most structurally similar registered PE."),
+    ("code_recommendation", "Provides code recommendations from registered workflows and processing elements matching the code snippet."),
+    ("describe", "Prints the description and source of a PE or workflow."),
+    ("help", "Lists commands, or shows help for one command."),
+    ("history", "Lists the recorded executions of a workflow."),
+    ("list", "Lists all items in the registry."),
+    ("literal_search", "Searches the registry for workflows and processing elements matching the search term."),
+    ("quit", "Exits the CLI."),
+    ("register_pe", "Registers a new PE from a Python file."),
+    ("register_workflow", "Registers a workflow file and every PE found in it."),
+    ("remove_all", "Removes all registered PEs and workflows."),
+    ("remove_pe", "Removes a PE by name or ID."),
+    ("remove_workflow", "Removes a workflow by name or ID."),
+    ("run", "Runs a workflow in the registry based on the provided name or ID."),
+    ("semantic_search", "Searches the registry for workflows and processing elements matching semantically the search term."),
+    ("update_pe_description", "Updates a PE's description."),
+    ("update_workflow_description", "Updates a workflow's description."),
+];
+
+impl Cli {
+    pub fn new(client: LaminarClient) -> Self {
+        Cli {
+            client,
+            done: false,
+        }
+    }
+
+    pub fn client(&mut self) -> &mut LaminarClient {
+        &mut self.client
+    }
+
+    /// The Fig. 5a prompt.
+    pub fn prompt(&self) -> &'static str {
+        "(laminar) "
+    }
+
+    /// Execute one input line, returning the output text.
+    pub fn execute(&mut self, line: &str) -> String {
+        let args = tokenize(line);
+        if args.is_empty() {
+            return String::new();
+        }
+        let cmd = args[0].as_str();
+        let rest = &args[1..];
+        let result = match cmd {
+            "help" => Ok(self.help(rest)),
+            "quit" => {
+                self.done = true;
+                Ok("Bye.".to_string())
+            }
+            "list" => self.list(),
+            "register_pe" => self.register_pe(rest),
+            "register_workflow" => self.register_workflow(rest),
+            "remove_pe" => self.remove(rest, true),
+            "remove_workflow" => self.remove(rest, false),
+            "remove_all" => self.client.remove_all().map(|_| "Removed all PEs and workflows.".to_string()),
+            "describe" => self.describe(rest),
+            "literal_search" => self.literal_search(rest),
+            "semantic_search" => self.semantic_search(rest),
+            "code_recommendation" => self.code_recommendation(rest),
+            "code_completion" => self.code_completion(rest),
+            "update_pe_description" => self.update_description(rest, true),
+            "update_workflow_description" => self.update_description(rest, false),
+            "run" => self.run(rest),
+            "history" => self.history(rest),
+            other => Ok(format!(
+                "Unknown command '{other}'. Type 'help' to list commands."
+            )),
+        };
+        result.unwrap_or_else(|e| format!("Error: {e}"))
+    }
+
+    fn help(&self, args: &[String]) -> String {
+        if let Some(topic) = args.first() {
+            if let Some((name, desc)) = COMMANDS.iter().find(|(n, _)| n == topic) {
+                let usage = match *name {
+                    "run" => "\nUsage:\n  run identifier [options]\n\nOptions:\n  identifier            Name or ID of the workflow to run\n  --rawinput            Treat input as raw string instead of evaluating it\n  -v, --verbose         Enable verbose output\n  -i, --input <data>    Input data for the workflow (can be used multiple times)\n  --multi <n>           Run the workflow in parallel using multiprocessing\n  --dynamic             Run the workflow in parallel using Redis",
+                    "semantic_search" => "\nUsage:\n  semantic_search [workflow|pe] [search_term]",
+                    "code_recommendation" => "\nUsage:\n  code_recommendation [workflow|pe] [code_snippet] [--embedding_type llm|spt]",
+                    _ => "",
+                };
+                return format!("{desc}{usage}");
+            }
+            return format!("No help for '{topic}'.");
+        }
+        let mut out = String::from("Documented commands (type help <topic>):\n========================================\n");
+        for (name, _) in COMMANDS {
+            let _ = writeln!(out, "{name}");
+        }
+        out
+    }
+
+    fn list(&self) -> Result<String, ClientError> {
+        let (pes, wfs) = self.client.get_registry()?;
+        let mut out = String::from("Found PEs...\n");
+        for p in &pes {
+            let _ = writeln!(out, "• {} - type (ID {})", p.name, p.id);
+        }
+        out.push_str("Found workflows...\n");
+        for w in &wfs {
+            let _ = writeln!(out, "• {} - Workflow (ID {})", w.name, w.id);
+        }
+        Ok(out)
+    }
+
+    fn register_pe(&self, args: &[String]) -> Result<String, ClientError> {
+        let path = args
+            .first()
+            .ok_or_else(|| ClientError::Server("usage: register_pe <file.py>".into()))?;
+        let code = std::fs::read_to_string(path)
+            .map_err(|e| ClientError::Server(format!("cannot read {path}: {e}")))?;
+        let name = stem(path);
+        let id = self.client.register_pe(&name, &code, None)?;
+        Ok(format!("• {name} - type (ID {id})"))
+    }
+
+    fn register_workflow(&self, args: &[String]) -> Result<String, ClientError> {
+        let path = args
+            .first()
+            .ok_or_else(|| ClientError::Server("usage: register_workflow <file.py>".into()))?;
+        let code = std::fs::read_to_string(path)
+            .map_err(|e| ClientError::Server(format!("cannot read {path}: {e}")))?;
+        let name = stem(path);
+        let reg = self.client.register_workflow(&name, &code)?;
+        // Fig. 5a output shape.
+        let mut out = String::from("Found PEs...\n");
+        for (pe_name, id) in &reg.pes {
+            let _ = writeln!(out, "• {pe_name} - type (ID {id})");
+        }
+        out.push_str("Found workflows...\n");
+        let _ = writeln!(out, "• {} - Workflow (ID {})", reg.workflow.0, reg.workflow.1);
+        Ok(out)
+    }
+
+    fn remove(&self, args: &[String], pe: bool) -> Result<String, ClientError> {
+        let ident = parse_ident(args.first().ok_or_else(|| {
+            ClientError::Server("usage: remove_[pe|workflow] <id|name>".into())
+        })?);
+        if pe {
+            self.client.remove_pe(ident)?;
+            Ok("Removed PE.".into())
+        } else {
+            self.client.remove_workflow(ident)?;
+            Ok("Removed workflow.".into())
+        }
+    }
+
+    fn describe(&self, args: &[String]) -> Result<String, ClientError> {
+        let (scope, ident_arg) = match args {
+            [kind, ident] if kind == "pe" || kind == "workflow" => (
+                if kind == "pe" {
+                    SearchScope::Pe
+                } else {
+                    SearchScope::Workflow
+                },
+                ident,
+            ),
+            [ident] => (SearchScope::Pe, ident),
+            _ => {
+                return Err(ClientError::Server(
+                    "usage: describe [pe|workflow] <id|name>".into(),
+                ))
+            }
+        };
+        self.client.describe(scope, parse_ident(ident_arg))
+    }
+
+    fn literal_search(&self, args: &[String]) -> Result<String, ClientError> {
+        let (scope, term) = parse_scope_and_term(args)?;
+        let (pes, wfs) = self.client.search_registry_literal(scope, &term)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "Performing literal search for the term: {term}");
+        for p in &pes {
+            let _ = writeln!(out, "peId {} peName {} description {}", p.id, p.name, short(&p.description));
+        }
+        for w in &wfs {
+            let _ = writeln!(out, "workflowId {} workflowName {} description {}", w.id, w.name, short(&w.description));
+        }
+        if pes.is_empty() && wfs.is_empty() {
+            out.push_str("No matches.\n");
+        }
+        Ok(out)
+    }
+
+    fn semantic_search(&self, args: &[String]) -> Result<String, ClientError> {
+        let (scope, term) = parse_scope_and_term(args)?;
+        let hits = self.client.search_registry_semantic(scope, &term)?;
+        // Fig. 8's result table.
+        let mut out = String::new();
+        let _ = writeln!(out, "Performing semantic search on {}, with query type: text", scope_name(scope));
+        let _ = writeln!(out, "Encoding query as text");
+        let _ = writeln!(out, "{:>4}  {:<22} {:<50} cosine_similarity", "id", "name", "description");
+        for h in hits {
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<22} {:<50} {:.6}",
+                h.id,
+                h.name,
+                short(&h.description),
+                h.cosine_similarity
+            );
+        }
+        Ok(out)
+    }
+
+    fn code_recommendation(&self, args: &[String]) -> Result<String, ClientError> {
+        let mut embedding = EmbeddingType::Spt;
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--embedding_type" {
+                i += 1;
+                embedding = match args.get(i).map(String::as_str) {
+                    Some("llm") => EmbeddingType::Llm,
+                    Some("spt") => EmbeddingType::Spt,
+                    other => {
+                        return Err(ClientError::Server(format!(
+                            "unknown embedding type {other:?}"
+                        )))
+                    }
+                };
+            } else {
+                positional.push(args[i].clone());
+            }
+            i += 1;
+        }
+        let (scope, snippet) = parse_scope_and_term(&positional)?;
+        let hits = self.client.code_recommendation(scope, &snippet, embedding)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>4}  {:<18} {:<40} score  similarFunc", "id", "name", "description");
+        for h in hits {
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<18} {:<40} {:.1}  {}",
+                h.id,
+                h.name,
+                short(&h.description),
+                h.score,
+                short(&h.similar_code)
+            );
+        }
+        Ok(out)
+    }
+
+    fn code_completion(&self, args: &[String]) -> Result<String, ClientError> {
+        if args.is_empty() {
+            return Err(ClientError::Server(
+                "usage: code_completion \"<partial code>\"".into(),
+            ));
+        }
+        let snippet = args.join(" ");
+        let (source, lines, progress) = self.client.code_completion(&snippet)?;
+        let mut out = String::new();
+        match source {
+            None => out.push_str("No similar PE found in the registry.\n"),
+            Some((id, name)) => {
+                let _ = writeln!(out, "Completing from {name} (ID {id}), {:.0}% typed:", progress * 100.0);
+                for l in lines {
+                    let _ = writeln!(out, "  + {l}");
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn update_description(&self, args: &[String], pe: bool) -> Result<String, ClientError> {
+        if args.len() < 2 {
+            return Err(ClientError::Server(
+                "usage: update_[pe|workflow]_description <id|name> <description>".into(),
+            ));
+        }
+        let ident = parse_ident(&args[0]);
+        let description = args[1..].join(" ");
+        if pe {
+            self.client.update_pe_description(ident, &description)?;
+        } else {
+            self.client.update_workflow_description(ident, &description)?;
+        }
+        Ok("Description updated.".into())
+    }
+
+    fn run(&self, args: &[String]) -> Result<String, ClientError> {
+        use laminar_server::protocol::{RunInputWire, RunMode};
+        let mut ident: Option<Ident> = None;
+        let mut inputs: Vec<String> = Vec::new();
+        let mut multi: Option<usize> = None;
+        let mut dynamic = false;
+        let mut verbose = false;
+        let mut rawinput = false;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "-i" | "--input" => {
+                    i += 1;
+                    inputs.push(
+                        args.get(i)
+                            .ok_or_else(|| ClientError::Server("-i needs a value".into()))?
+                            .clone(),
+                    );
+                }
+                "--multi" => {
+                    i += 1;
+                    multi = Some(
+                        args.get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| ClientError::Server("--multi needs a number".into()))?,
+                    );
+                }
+                "--dynamic" => dynamic = true,
+                "-v" | "--verbose" => verbose = true,
+                "--rawinput" => rawinput = true,
+                other if ident.is_none() => ident = Some(parse_ident(other)),
+                other => {
+                    return Err(ClientError::Server(format!("unexpected argument '{other}'")))
+                }
+            }
+            i += 1;
+        }
+        let ident =
+            ident.ok_or_else(|| ClientError::Server("usage: run <id|name> [options]".into()))?;
+        // One numeric `-i` is an iteration count; several values (or
+        // --rawinput) are explicit data items, per the Fig. 5b usage text.
+        let input = match (inputs.len(), rawinput) {
+            (0, _) => RunInputWire::Iterations(1),
+            (1, false) if inputs[0].parse::<u64>().is_ok() => {
+                RunInputWire::Iterations(inputs[0].parse().expect("checked"))
+            }
+            _ => RunInputWire::Data(inputs.iter().map(|s| parse_datum(s, rawinput)).collect()),
+        };
+        let mode = if let Some(p) = multi {
+            RunMode::Multiprocess { processes: p }
+        } else if dynamic {
+            RunMode::Dynamic
+        } else {
+            RunMode::Sequential
+        };
+        let out = self.client.run_custom(ident, input, mode, verbose)?;
+        let mut text = String::new();
+        for l in &out.lines {
+            let _ = writeln!(text, "{l}");
+        }
+        if verbose {
+            for s in &out.summaries {
+                let _ = writeln!(text, "{s}");
+            }
+        }
+        if !out.ok {
+            text.push_str("Run failed.\n");
+        }
+        Ok(text)
+    }
+
+    fn history(&self, args: &[String]) -> Result<String, ClientError> {
+        let ident = parse_ident(
+            args.first()
+                .ok_or_else(|| ClientError::Server("usage: history <id|name>".into()))?,
+        );
+        let rows = self.client.get_executions(ident)?;
+        if rows.is_empty() {
+            return Ok("No executions recorded.".into());
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>4}  {:<8} {:<12} {:<10} output", "id", "mapping", "input", "status");
+        for r in rows {
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<8} {:<12} {:<10} {}",
+                r.id,
+                r.mapping,
+                short(&r.input),
+                r.status,
+                short(&r.output_preview)
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// Parse one `-i` value: int, then float, else string (forced string when
+/// `--rawinput`).
+fn parse_datum(s: &str, raw: bool) -> d4py::Data {
+    use d4py::Data;
+    if raw {
+        return Data::from(s);
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Data::from(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Data::from(f);
+    }
+    Data::from(s)
+}
+
+fn scope_name(scope: SearchScope) -> &'static str {
+    match scope {
+        SearchScope::Pe => "pe",
+        SearchScope::Workflow => "workflow",
+        SearchScope::Both => "all",
+    }
+}
+
+fn short(s: &str) -> String {
+    let line = s.lines().next().unwrap_or("");
+    if line.len() > 48 {
+        format!("{}...", &line[..45])
+    } else {
+        line.to_string()
+    }
+}
+
+fn stem(path: &str) -> String {
+    Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+fn parse_ident(s: &str) -> Ident {
+    match s.parse::<u64>() {
+        Ok(id) => Ident::Id(id),
+        Err(_) => Ident::Name(s.to_string()),
+    }
+}
+
+fn parse_scope_and_term(args: &[String]) -> Result<(SearchScope, String), ClientError> {
+    match args {
+        [] => Err(ClientError::Server("missing search term".into())),
+        [kind, rest @ ..] if kind == "pe" || kind == "workflow" || kind == "all" => {
+            let scope = match kind.as_str() {
+                "pe" => SearchScope::Pe,
+                "workflow" => SearchScope::Workflow,
+                _ => SearchScope::Both,
+            };
+            if rest.is_empty() {
+                return Err(ClientError::Server("missing search term".into()));
+            }
+            Ok((scope, rest.join(" ")))
+        }
+        all => Ok((SearchScope::Both, all.join(" "))),
+    }
+}
+
+/// Shell-like tokenizer honouring single/double quotes.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut quote: Option<char> = None;
+    for c in line.chars() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                } else {
+                    cur.push(c);
+                }
+            }
+            None => match c {
+                '\'' | '"' => quote = Some(c),
+                c if c.is_whitespace() => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                }
+                c => cur.push(c),
+            },
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_server::LaminarServer;
+    use std::sync::Arc;
+
+    const WORKFLOW_FILE: &str = "\
+import random
+
+class NumberProducer(ProducerPE):
+    def _process(self, inputs):
+        return random.randint(1, 1000)
+
+class IsPrime(IterativePE):
+    def _process(self, num):
+        if all(num % i != 0 for i in range(2, num)):
+            return num
+
+class PrintPrime(ConsumerPE):
+    def _process(self, num):
+        print('the num {} is prime'.format(num))
+";
+
+    fn cli() -> Cli {
+        let server = Arc::new(LaminarServer::with_stock());
+        let mut client = LaminarClient::connect(server);
+        client.register("rosa", "pw").unwrap();
+        Cli::new(client)
+    }
+
+    fn cli_with_isprime() -> (Cli, String) {
+        let mut c = cli();
+        let dir = std::env::temp_dir().join(format!("laminar-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("isprime_wf.py");
+        std::fs::write(&path, WORKFLOW_FILE).unwrap();
+        let out = c.execute(&format!("register_workflow {}", path.display()));
+        assert!(out.contains("Found PEs"), "{out}");
+        (c, path.display().to_string())
+    }
+
+    #[test]
+    fn tokenizer_handles_quotes() {
+        assert_eq!(
+            tokenize("semantic_search pe \"a pe that is able to detect anomalies\""),
+            vec!["semantic_search", "pe", "a pe that is able to detect anomalies"]
+        );
+        assert_eq!(tokenize("  run   169 -i 10 "), vec!["run", "169", "-i", "10"]);
+        assert_eq!(tokenize("code_recommendation pe 'random.randint(1, 1000)'"),
+            vec!["code_recommendation", "pe", "random.randint(1, 1000)"]);
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn help_lists_all_fig5a_commands() {
+        let mut c = cli();
+        let out = c.execute("help");
+        for cmd in [
+            "code_recommendation",
+            "describe",
+            "list",
+            "literal_search",
+            "quit",
+            "register_pe",
+            "register_workflow",
+            "remove_all",
+            "remove_pe",
+            "remove_workflow",
+            "run",
+            "semantic_search",
+            "update_pe_description",
+            "update_workflow_description",
+        ] {
+            assert!(out.contains(cmd), "missing {cmd}:\n{out}");
+        }
+        // Topic help (Fig. 5b's `help run`).
+        let out = c.execute("help run");
+        assert!(out.contains("--multi"), "{out}");
+        assert!(out.contains("--dynamic"), "{out}");
+        assert!(out.contains("-i, --input"), "{out}");
+    }
+
+    #[test]
+    fn register_workflow_transcript_matches_fig5a() {
+        let (mut c, _) = cli_with_isprime();
+        let out = c.execute("list");
+        assert!(out.contains("• NumberProducer - type (ID"), "{out}");
+        assert!(out.contains("• IsPrime - type (ID"), "{out}");
+        assert!(out.contains("• isprime_wf - Workflow (ID"), "{out}");
+    }
+
+    #[test]
+    fn run_by_name_and_by_id() {
+        let (mut c, _) = cli_with_isprime();
+        let out = c.execute("run isprime_wf -i 10 --multi 9 -v");
+        assert!(out.contains("is prime"), "{out}");
+        assert!(out.contains("Processed"), "verbose summaries: {out}");
+        // By numeric id, sequentially.
+        let list = c.execute("list");
+        let id_line = list.lines().find(|l| l.contains("isprime_wf")).unwrap().to_string();
+        let id: u64 = id_line
+            .rsplit("(ID ")
+            .next()
+            .unwrap()
+            .trim_end_matches(')')
+            .parse()
+            .unwrap();
+        let out = c.execute(&format!("run {id} -i 5"));
+        assert!(out.contains("is prime") || !out.contains("Error"), "{out}");
+        // Dynamic, Listing-3 style.
+        let out = c.execute("run isprime_wf -i 5 --dynamic");
+        assert!(!out.contains("Error"), "{out}");
+    }
+
+    #[test]
+    fn semantic_search_transcript_matches_fig8() {
+        let (mut c, _) = cli_with_isprime();
+        let out = c.execute("semantic_search pe \"a pe that checks prime numbers\"");
+        assert!(out.contains("Performing semantic search on pe, with query type: text"), "{out}");
+        assert!(out.contains("cosine_similarity"), "{out}");
+        assert!(out.contains("IsPrime"), "{out}");
+    }
+
+    #[test]
+    fn code_recommendation_transcript_matches_fig9() {
+        let (mut c, _) = cli_with_isprime();
+        let out = c.execute("code_recommendation pe \"random.randint(1, 1000)\"");
+        assert!(out.contains("NumberProducer"), "{out}");
+        assert!(out.contains("similarFunc"), "{out}");
+        let out = c.execute("code_recommendation workflow \"random.randint(1, 1000)\" --embedding_type spt");
+        assert!(out.contains("isprime_wf"), "{out}");
+        let out = c.execute("code_recommendation pe \"random.randint(1, 1000)\" --embedding_type llm");
+        assert!(!out.contains("Error"), "{out}");
+    }
+
+    #[test]
+    fn run_with_multiple_inputs_and_history() {
+        let (mut c, _) = cli_with_isprime();
+        // Multiple -i values become data items (isprime's root is a
+        // producer, so they drive three iterations).
+        let out = c.execute("run isprime_wf -i 7 -i 8 -i 11");
+        assert!(!out.contains("Error"), "{out}");
+        // One numeric -i stays an iteration count.
+        let out = c.execute("run isprime_wf -i 5 --multi 9");
+        assert!(!out.contains("Error"), "{out}");
+        // History shows both executions.
+        let out = c.execute("history isprime_wf");
+        assert!(out.contains("simple"), "{out}");
+        assert!(out.contains("multi"), "{out}");
+        assert!(out.contains("Completed"), "{out}");
+        assert!(c.execute("history").contains("Error"));
+        assert!(c.execute("history ghost").contains("Error"));
+    }
+
+    #[test]
+    fn code_completion_command() {
+        let (mut c, _) = cli_with_isprime();
+        let out = c.execute("code_completion \"class P(IterativePE):\n    def _process(self, num):\n        if all(num % i != 0 for i in range(2, num)):\"");
+        assert!(out.contains("Completing from IsPrime"), "{out}");
+        assert!(out.contains("+ "), "{out}");
+        let out = c.execute("code_completion \"import xml\"");
+        assert!(out.contains("No similar PE"), "{out}");
+        assert!(c.execute("code_completion").contains("Error"));
+    }
+
+    #[test]
+    fn literal_search_and_describe() {
+        let (mut c, _) = cli_with_isprime();
+        let out = c.execute("literal_search prime");
+        assert!(out.contains("IsPrime"), "{out}");
+        let out = c.execute("describe pe IsPrime");
+        assert!(out.contains("class IsPrime"), "{out}");
+    }
+
+    #[test]
+    fn update_and_remove_flow() {
+        let (mut c, _) = cli_with_isprime();
+        let out = c.execute("update_pe_description NumberProducer emits fresh random integers");
+        assert!(out.contains("updated"), "{out}");
+        let out = c.execute("describe pe NumberProducer");
+        assert!(out.contains("fresh random integers"), "{out}");
+        // FK: removing a referenced PE fails; removing the workflow first works.
+        let out = c.execute("remove_pe NumberProducer");
+        assert!(out.contains("Error"), "{out}");
+        let out = c.execute("remove_workflow isprime_wf");
+        assert!(out.contains("Removed"), "{out}");
+        let out = c.execute("remove_pe NumberProducer");
+        assert!(out.contains("Removed"), "{out}");
+        let out = c.execute("remove_all");
+        assert!(out.contains("Removed all"), "{out}");
+    }
+
+    #[test]
+    fn unknown_command_and_quit() {
+        let mut c = cli();
+        let out = c.execute("frobnicate");
+        assert!(out.contains("Unknown command"), "{out}");
+        assert!(!c.done);
+        let out = c.execute("quit");
+        assert!(out.contains("Bye"));
+        assert!(c.done);
+    }
+
+    #[test]
+    fn register_pe_from_file() {
+        let mut c = cli();
+        let dir = std::env::temp_dir().join(format!("laminar-cli-pe-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("word_counter.py");
+        std::fs::write(&path, "class WordCounter(IterativePE):\n    def _process(self, text):\n        return len(text.split())\n").unwrap();
+        let out = c.execute(&format!("register_pe {}", path.display()));
+        assert!(out.contains("word_counter"), "{out}");
+        let out = c.execute("describe pe word_counter");
+        assert!(out.contains("WordCounter"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_rendered_not_panicked() {
+        let mut c = cli();
+        assert!(c.execute("run").contains("Error"));
+        assert!(c.execute("describe").contains("Error"));
+        assert!(c.execute("register_workflow /no/such/file.py").contains("Error"));
+        assert!(c.execute("run ghost -i 2").contains("Error"));
+    }
+}

@@ -1,0 +1,692 @@
+//! The client library: one method per Table I function.
+
+use crate::extract::extract_pes_from_source;
+use crossbeam_channel::Receiver;
+use d4py::Data;
+use laminar_server::{
+    DeliveryMode, EmbeddingType, Ident, LaminarServer, PeSubmission, Reply, Request, Response,
+    SearchScope, Transport, WireFrame,
+};
+use laminar_server::protocol::{RecommendationHit, PeInfo, RunInputWire, RunMode, WorkflowInfo, ResourceRefWire, content_hash};
+use laminar_server::protocol::SemanticHit;
+use std::fmt;
+use std::sync::Arc;
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    NotLoggedIn,
+    Server(String),
+    /// §IV-F: the server needs these resources uploaded first.
+    NeedResources(Vec<String>),
+    UnexpectedResponse(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::NotLoggedIn => write!(f, "not logged in"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::NeedResources(r) => write!(f, "server needs resources: {r:?}"),
+            ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Result of registering a workflow file (Fig. 5a's output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisteredWorkflow {
+    /// `(PE name, id)` pairs, in file order.
+    pub pes: Vec<(String, u64)>,
+    /// `(workflow name, id)`.
+    pub workflow: (String, u64),
+}
+
+/// Result of a code completion: `(source PE (id, name) if any, suggested
+/// lines, progress fraction)`.
+pub type CompletionResult = (Option<(u64, String)>, Vec<String>, f32);
+
+/// Collected output of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    pub lines: Vec<String>,
+    pub infos: Vec<String>,
+    pub summaries: Vec<String>,
+    pub ok: bool,
+}
+
+/// The Laminar client.
+pub struct LaminarClient {
+    transport: Box<dyn laminar_server::RequestTransport>,
+    token: Option<u64>,
+    /// Local resource staging area: name → bytes (replaces 1.0's
+    /// `resources/` directory — §IV-F "direct file path specification").
+    staged_resources: Vec<(String, Vec<u8>)>,
+}
+
+impl LaminarClient {
+    /// Connect in-process with HTTP/2-style streaming delivery (the 2.0
+    /// default).
+    pub fn connect(server: Arc<LaminarServer>) -> Self {
+        Self::over(Transport::new(server, DeliveryMode::Streaming))
+    }
+
+    /// Connect over an explicit in-process transport (benches use a Batch
+    /// transport with a latency model for the Laminar 1.0 baseline).
+    pub fn with_transport(transport: Transport) -> Self {
+        Self::over(transport)
+    }
+
+    /// Connect to a TCP server (see [`laminar_server::NetServer`]).
+    pub fn connect_tcp(addr: std::net::SocketAddr) -> Self {
+        Self::over(laminar_server::NetClientTransport::new(addr))
+    }
+
+    /// Connect over any transport implementation.
+    pub fn over<T: laminar_server::RequestTransport + 'static>(transport: T) -> Self {
+        LaminarClient {
+            transport: Box::new(transport),
+            token: None,
+            staged_resources: Vec::new(),
+        }
+    }
+
+    fn token(&self) -> Result<u64, ClientError> {
+        self.token.ok_or(ClientError::NotLoggedIn)
+    }
+
+    fn value(&self, req: Request) -> Result<Response, ClientError> {
+        match self.transport.send_request(req) {
+            Reply::Value(Response::Error(e)) => Err(ClientError::Server(e)),
+            Reply::Value(v) => Ok(v),
+            Reply::Stream(_) => Err(ClientError::UnexpectedResponse("stream".into())),
+        }
+    }
+
+    // ---- auth -----------------------------------------------------------
+
+    /// `register`: create a user and start a session.
+    pub fn register(&mut self, username: &str, password: &str) -> Result<(), ClientError> {
+        match self.value(Request::RegisterUser {
+            username: username.into(),
+            password: password.into(),
+        })? {
+            Response::Token(t) => {
+                self.token = Some(t);
+                Ok(())
+            }
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// `login`: authenticate an existing user.
+    pub fn login(&mut self, username: &str, password: &str) -> Result<(), ClientError> {
+        match self.value(Request::Login {
+            username: username.into(),
+            password: password.into(),
+        })? {
+            Response::Token(t) => {
+                self.token = Some(t);
+                Ok(())
+            }
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    // ---- registration -----------------------------------------------------
+
+    /// `register_PE`: register one PE (description auto-generated when
+    /// `None` — §IV-C).
+    pub fn register_pe(
+        &self,
+        name: &str,
+        code: &str,
+        description: Option<&str>,
+    ) -> Result<u64, ClientError> {
+        match self.value(Request::RegisterPe {
+            token: self.token()?,
+            pe: PeSubmission {
+                name: name.into(),
+                code: code.into(),
+                description: description.map(str::to_string),
+            },
+        })? {
+            Response::Registered { pe_ids, .. } => Ok(pe_ids[0].1),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// `register_Workflow`: analyse a workflow source, register its PEs and
+    /// the workflow itself (Fig. 5a).
+    pub fn register_workflow(
+        &self,
+        workflow_name: &str,
+        source: &str,
+    ) -> Result<RegisteredWorkflow, ClientError> {
+        let pes = extract_pes_from_source(source);
+        match self.value(Request::RegisterWorkflow {
+            token: self.token()?,
+            name: workflow_name.into(),
+            code: source.into(),
+            description: None,
+            pes,
+        })? {
+            Response::Registered {
+                pe_ids,
+                workflow_id,
+            } => Ok(RegisteredWorkflow {
+                pes: pe_ids,
+                workflow: workflow_id
+                    .ok_or_else(|| ClientError::UnexpectedResponse("no workflow id".into()))?,
+            }),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    // ---- reads -------------------------------------------------------------
+
+    /// `get_PE`.
+    pub fn get_pe(&self, ident: impl Into<Ident>) -> Result<PeInfo, ClientError> {
+        match self.value(Request::GetPe {
+            token: self.token()?,
+            ident: ident.into(),
+        })? {
+            Response::Pe(p) => Ok(p),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// `get_Workflow`.
+    pub fn get_workflow(&self, ident: impl Into<Ident>) -> Result<WorkflowInfo, ClientError> {
+        match self.value(Request::GetWorkflow {
+            token: self.token()?,
+            ident: ident.into(),
+        })? {
+            Response::Workflow(w) => Ok(w),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// `get_PEs_By_Workflow`.
+    pub fn get_pes_by_workflow(&self, ident: impl Into<Ident>) -> Result<Vec<PeInfo>, ClientError> {
+        match self.value(Request::GetPesByWorkflow {
+            token: self.token()?,
+            ident: ident.into(),
+        })? {
+            Response::Pes(p) => Ok(p),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// `get_Registry`.
+    pub fn get_registry(&self) -> Result<(Vec<PeInfo>, Vec<WorkflowInfo>), ClientError> {
+        match self.value(Request::GetRegistry {
+            token: self.token()?,
+        })? {
+            Response::Registry { pes, workflows } => Ok((pes, workflows)),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// `describe`.
+    pub fn describe(
+        &self,
+        scope: SearchScope,
+        ident: impl Into<Ident>,
+    ) -> Result<String, ClientError> {
+        match self.value(Request::Describe {
+            token: self.token()?,
+            scope,
+            ident: ident.into(),
+        })? {
+            Response::Description(d) => Ok(d),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    // ---- updates / removals ---------------------------------------------------
+
+    /// `update_PE_Description`.
+    pub fn update_pe_description(
+        &self,
+        ident: impl Into<Ident>,
+        description: &str,
+    ) -> Result<(), ClientError> {
+        self.expect_ok(Request::UpdatePeDescription {
+            token: self.token()?,
+            ident: ident.into(),
+            description: description.into(),
+        })
+    }
+
+    /// `update_Workflow_Description`.
+    pub fn update_workflow_description(
+        &self,
+        ident: impl Into<Ident>,
+        description: &str,
+    ) -> Result<(), ClientError> {
+        self.expect_ok(Request::UpdateWorkflowDescription {
+            token: self.token()?,
+            ident: ident.into(),
+            description: description.into(),
+        })
+    }
+
+    /// `remove_PE`.
+    pub fn remove_pe(&self, ident: impl Into<Ident>) -> Result<(), ClientError> {
+        self.expect_ok(Request::RemovePe {
+            token: self.token()?,
+            ident: ident.into(),
+        })
+    }
+
+    /// `remove_Workflow`.
+    pub fn remove_workflow(&self, ident: impl Into<Ident>) -> Result<(), ClientError> {
+        self.expect_ok(Request::RemoveWorkflow {
+            token: self.token()?,
+            ident: ident.into(),
+        })
+    }
+
+    /// `remove_All`.
+    pub fn remove_all(&self) -> Result<(), ClientError> {
+        self.expect_ok(Request::RemoveAll {
+            token: self.token()?,
+        })
+    }
+
+    fn expect_ok(&self, req: Request) -> Result<(), ClientError> {
+        match self.value(req)? {
+            Response::Ok => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    // ---- search -------------------------------------------------------------
+
+    /// `search_Registry_Literal`.
+    pub fn search_registry_literal(
+        &self,
+        scope: SearchScope,
+        term: &str,
+    ) -> Result<(Vec<PeInfo>, Vec<WorkflowInfo>), ClientError> {
+        match self.value(Request::SearchLiteral {
+            token: self.token()?,
+            scope,
+            term: term.into(),
+        })? {
+            Response::Registry { pes, workflows } => Ok((pes, workflows)),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// `search_Registry_Semantic` (Fig. 8).
+    pub fn search_registry_semantic(
+        &self,
+        scope: SearchScope,
+        query: &str,
+    ) -> Result<Vec<SemanticHit>, ClientError> {
+        match self.value(Request::SearchSemantic {
+            token: self.token()?,
+            scope,
+            query: query.into(),
+        })? {
+            Response::SemanticResults(hits) => Ok(hits),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// `code_Recommendation` (Fig. 9).
+    pub fn code_recommendation(
+        &self,
+        scope: SearchScope,
+        snippet: &str,
+        embedding_type: EmbeddingType,
+    ) -> Result<Vec<RecommendationHit>, ClientError> {
+        match self.value(Request::CodeRecommendation {
+            token: self.token()?,
+            scope,
+            snippet: snippet.into(),
+            embedding_type,
+        })? {
+            Response::Recommendations(hits) => Ok(hits),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Context-aware code completion (§III): returns
+    /// `(source PE (id, name) if any, suggested lines, progress)`.
+    pub fn code_completion(
+        &self,
+        snippet: &str,
+    ) -> Result<CompletionResult, ClientError> {
+        match self.value(Request::CodeCompletion {
+            token: self.token()?,
+            snippet: snippet.into(),
+        })? {
+            Response::Completion {
+                source,
+                lines,
+                progress,
+            } => Ok((source, lines, progress)),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    // ---- resources -------------------------------------------------------------
+
+    /// Stage a resource file for the next run (§IV-F: direct file-path
+    /// specification instead of a `resources/` directory).
+    pub fn stage_resource(&mut self, name: &str, bytes: Vec<u8>) {
+        self.staged_resources.retain(|(n, _)| n != name);
+        self.staged_resources.push((name.to_string(), bytes));
+    }
+
+    fn resource_refs(&self) -> Vec<ResourceRefWire> {
+        self.staged_resources
+            .iter()
+            .map(|(name, bytes)| ResourceRefWire {
+                name: name.clone(),
+                content_hash: content_hash(bytes),
+            })
+            .collect()
+    }
+
+    // ---- runs -------------------------------------------------------------------
+
+    /// `run`: sequential execution (Table I).
+    pub fn run(&self, ident: impl Into<Ident>, input: u64) -> Result<RunOutput, ClientError> {
+        self.run_mode(ident.into(), RunInputWire::Iterations(input), RunMode::Sequential, false)
+    }
+
+    /// `run` with explicit data items.
+    pub fn run_data(
+        &self,
+        ident: impl Into<Ident>,
+        data: Vec<Data>,
+    ) -> Result<RunOutput, ClientError> {
+        self.run_mode(ident.into(), RunInputWire::Data(data), RunMode::Sequential, false)
+    }
+
+    /// `run_multiprocess`: static parallel execution.
+    pub fn run_multiprocess(
+        &self,
+        ident: impl Into<Ident>,
+        input: u64,
+        processes: usize,
+    ) -> Result<RunOutput, ClientError> {
+        self.run_mode(
+            ident.into(),
+            RunInputWire::Iterations(input),
+            RunMode::Multiprocess { processes },
+            true,
+        )
+    }
+
+    /// `run_dynamic`: the Listing 3 one-liner — no broker parameters.
+    pub fn run_dynamic(&self, ident: impl Into<Ident>, input: u64) -> Result<RunOutput, ClientError> {
+        self.run_mode(ident.into(), RunInputWire::Iterations(input), RunMode::Dynamic, false)
+    }
+
+    /// Fully general run: any input shape × any mapping × verbosity.
+    pub fn run_custom(
+        &self,
+        ident: impl Into<Ident>,
+        input: RunInputWire,
+        mode: RunMode,
+        verbose: bool,
+    ) -> Result<RunOutput, ClientError> {
+        self.run_mode(ident.into(), input, mode, verbose)
+    }
+
+    /// Execution history of a workflow (the Execution/Response tables).
+    pub fn get_executions(
+        &self,
+        ident: impl Into<Ident>,
+    ) -> Result<Vec<laminar_server::protocol::ExecutionInfo>, ClientError> {
+        match self.value(Request::GetExecutions {
+            token: self.token()?,
+            ident: ident.into(),
+        })? {
+            Response::Executions(rows) => Ok(rows),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    fn run_mode(
+        &self,
+        ident: Ident,
+        input: RunInputWire,
+        mode: RunMode,
+        verbose: bool,
+    ) -> Result<RunOutput, ClientError> {
+        let rx = self.run_stream(ident, input, mode, verbose)?;
+        let mut out = RunOutput {
+            lines: Vec::new(),
+            infos: Vec::new(),
+            summaries: Vec::new(),
+            ok: false,
+        };
+        for frame in rx.iter() {
+            match frame {
+                WireFrame::Line(l) => out.lines.push(l),
+                WireFrame::Info(i) => out.infos.push(i),
+                WireFrame::Summary(s) => out.summaries.push(s),
+                WireFrame::Value(Response::Error(e)) => return Err(ClientError::Server(e)),
+                WireFrame::Value(_) => {}
+                WireFrame::End { ok, .. } => {
+                    out.ok = ok;
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Streaming run: frames as they arrive (§IV-E). Automatically
+    /// negotiates resources: on `NeedResources` the staged files are
+    /// uploaded and the run is retried once.
+    pub fn run_stream(
+        &self,
+        ident: Ident,
+        input: RunInputWire,
+        mode: RunMode,
+        verbose: bool,
+    ) -> Result<Receiver<WireFrame>, ClientError> {
+        let make_req = |token| Request::Run {
+            token,
+            ident: ident.clone(),
+            input: input.clone(),
+            mode: mode.clone(),
+            streaming: true,
+            verbose,
+            resources: self.resource_refs(),
+        };
+        match self.transport.send_request(make_req(self.token()?)) {
+            Reply::Value(Response::NeedResources(names)) => {
+                for name in &names {
+                    let Some((_, bytes)) =
+                        self.staged_resources.iter().find(|(n, _)| n == name)
+                    else {
+                        return Err(ClientError::NeedResources(names.clone()));
+                    };
+                    self.value(Request::UploadResource {
+                        token: self.token()?,
+                        name: name.clone(),
+                        bytes: bytes.clone(),
+                    })?;
+                }
+                match self.transport.send_request(make_req(self.token()?)) {
+                    Reply::Stream(rx) => Ok(rx),
+                    Reply::Value(Response::Error(e)) => Err(ClientError::Server(e)),
+                    Reply::Value(v) => Err(ClientError::UnexpectedResponse(format!("{v:?}"))),
+                }
+            }
+            Reply::Stream(rx) => Ok(rx),
+            Reply::Value(Response::Error(e)) => Err(ClientError::Server(e)),
+            Reply::Value(v) => Err(ClientError::UnexpectedResponse(format!("{v:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORKFLOW_FILE: &str = "\
+import random
+
+class NumberProducer(ProducerPE):
+    def _process(self, inputs):
+        return random.randint(1, 1000)
+
+class IsPrime(IterativePE):
+    def _process(self, num):
+        if all(num % i != 0 for i in range(2, num)):
+            return num
+
+class PrintPrime(ConsumerPE):
+    def _process(self, num):
+        print('the num {} is prime'.format(num))
+";
+
+    fn client() -> LaminarClient {
+        let server = Arc::new(LaminarServer::with_stock());
+        let mut c = LaminarClient::connect(server);
+        c.register("rosa", "pw").unwrap();
+        c
+    }
+
+    fn client_with_isprime() -> (LaminarClient, RegisteredWorkflow) {
+        let c = client();
+        let reg = c.register_workflow("isprime_wf", WORKFLOW_FILE).unwrap();
+        (c, reg)
+    }
+
+    #[test]
+    fn not_logged_in_errors() {
+        let server = Arc::new(LaminarServer::with_stock());
+        let c = LaminarClient::connect(server);
+        assert_eq!(c.get_registry().unwrap_err(), ClientError::NotLoggedIn);
+    }
+
+    #[test]
+    fn register_workflow_finds_pes_fig5a() {
+        let (_c, reg) = client_with_isprime();
+        let names: Vec<&str> = reg.pes.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["NumberProducer", "IsPrime", "PrintPrime"]);
+        assert_eq!(reg.workflow.0, "isprime_wf");
+    }
+
+    #[test]
+    fn table1_read_functions() {
+        let (c, reg) = client_with_isprime();
+        let pe = c.get_pe(reg.pes[1].1).unwrap();
+        assert_eq!(pe.name, "IsPrime");
+        let pe2 = c.get_pe("IsPrime").unwrap();
+        assert_eq!(pe, pe2);
+        let wf = c.get_workflow("isprime_wf").unwrap();
+        assert_eq!(wf.pe_ids.len(), 3);
+        let pes = c.get_pes_by_workflow(reg.workflow.1).unwrap();
+        assert_eq!(pes.len(), 3);
+        let (all_pes, all_wfs) = c.get_registry().unwrap();
+        assert_eq!(all_pes.len(), 3);
+        assert_eq!(all_wfs.len(), 1);
+        let d = c.describe(SearchScope::Pe, "IsPrime").unwrap();
+        assert!(d.contains("class IsPrime"));
+    }
+
+    #[test]
+    fn table1_update_and_remove_functions() {
+        let (c, reg) = client_with_isprime();
+        c.update_pe_description(reg.pes[0].1, "produces random numbers").unwrap();
+        assert_eq!(
+            c.get_pe(reg.pes[0].1).unwrap().description,
+            "produces random numbers"
+        );
+        c.update_workflow_description(reg.workflow.1, "the prime workflow").unwrap();
+        assert_eq!(
+            c.get_workflow(reg.workflow.1).unwrap().description,
+            "the prime workflow"
+        );
+        c.remove_workflow(reg.workflow.1).unwrap();
+        c.remove_pe(reg.pes[0].1).unwrap();
+        c.remove_all().unwrap();
+        let (pes, wfs) = c.get_registry().unwrap();
+        assert!(pes.is_empty() && wfs.is_empty());
+    }
+
+    #[test]
+    fn table1_search_functions() {
+        let (c, _) = client_with_isprime();
+        let (pes, wfs) = c.search_registry_literal(SearchScope::Both, "prime").unwrap();
+        assert!(!pes.is_empty());
+        assert!(!wfs.is_empty());
+        let hits = c
+            .search_registry_semantic(SearchScope::Pe, "checks if a number is prime")
+            .unwrap();
+        assert!(!hits.is_empty());
+        // Without user docstrings the auto-descriptions only discriminate
+        // at family level: the top hit must be from the prime family.
+        assert!(hits[0].name.contains("Prime"), "{hits:?}");
+        let recos = c
+            .code_recommendation(SearchScope::Pe, "random.randint(1, 1000)", EmbeddingType::Spt)
+            .unwrap();
+        assert_eq!(recos[0].name, "NumberProducer");
+    }
+
+    #[test]
+    fn run_functions_all_mappings() {
+        let (c, _) = client_with_isprime();
+        let seq = c.run("isprime_wf", 15).unwrap();
+        assert!(seq.ok);
+        assert!(!seq.lines.is_empty());
+        let par = c.run_multiprocess("isprime_wf", 15, 9).unwrap();
+        assert!(par.ok);
+        assert!(!par.summaries.is_empty(), "verbose parallel run");
+        let dynr = c.run_dynamic("isprime_wf", 15).unwrap();
+        assert!(dynr.ok);
+        // Same prime multiset across mappings.
+        let mut a = seq.lines.clone();
+        let mut b = par.lines.clone();
+        let mut d = dynr.lines.clone();
+        a.sort();
+        b.sort();
+        d.sort();
+        assert_eq!(a, b);
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn resource_negotiation_roundtrip() {
+        let (mut c, _) = client_with_isprime();
+        c.stage_resource("input.csv", b"1,2,3".to_vec());
+        let out = c.run("isprime_wf", 3).unwrap();
+        assert!(out.ok);
+        // Second run: cache hit, no re-upload.
+        let out2 = c.run("isprime_wf", 3).unwrap();
+        assert!(out2.ok);
+        // Server received the bytes exactly once.
+        // (5 bytes staged; the transport-level accounting lives server-side.)
+    }
+
+    #[test]
+    fn run_unknown_workflow_is_server_error() {
+        let c = client();
+        assert!(matches!(c.run("ghost_wf", 1), Err(ClientError::Server(_))));
+    }
+
+    #[test]
+    fn run_data_feeds_values() {
+        let (c, _) = client_with_isprime();
+        let out = c
+            .run_data(
+                "isprime_wf",
+                vec![Data::from(7i64), Data::from(8i64), Data::from(11i64)],
+            )
+            .unwrap();
+        assert!(out.ok);
+    }
+}

@@ -1,0 +1,140 @@
+//! Workflow-file analysis: find the PEs inside a dispel4py workflow source
+//! (the client-side half of Fig. 5a's "Found PEs … Found workflows").
+//!
+//! A class is considered a PE when it extends one of the dispel4py base
+//! classes (`GenericPE`, `IterativePE`, `ProducerPE`, `ConsumerPE`) or any
+//! base whose name ends in `PE`.
+
+use laminar_server::PeSubmission;
+use pyparse::{SyntaxKind, TokKind};
+
+/// Extract `(workflow PE submissions)` from a workflow file's source.
+pub fn extract_pes_from_source(code: &str) -> Vec<PeSubmission> {
+    let tree = pyparse::parse(code);
+    let mut out = Vec::new();
+    for class in tree.find_kind(SyntaxKind::ClassDef) {
+        let Some(name) = tree.def_name(class) else {
+            continue;
+        };
+        // Base names: Name leaves of Argument children of the classdef.
+        let mut is_pe = false;
+        for &c in &tree.node(class).children {
+            if tree.kind(c) == Some(SyntaxKind::Argument) {
+                let base = tree
+                    .leaves_under(c)
+                    .iter()
+                    .find(|t| t.kind == TokKind::Name)
+                    .map(|t| t.text.clone());
+                if let Some(base) = base {
+                    if base.ends_with("PE") {
+                        is_pe = true;
+                    }
+                }
+            }
+        }
+        if is_pe {
+            out.push(PeSubmission {
+                name: name.to_string(),
+                code: reconstruct_class(code, name),
+                description: None,
+            });
+        }
+    }
+    out
+}
+
+/// Slice the class's source text out of the file (line-based: from the
+/// `class <name>` line to the next top-level statement).
+fn reconstruct_class(code: &str, name: &str) -> String {
+    let lines: Vec<&str> = code.lines().collect();
+    let header = format!("class {name}");
+    let Some(start) = lines.iter().position(|l| l.trim_start().starts_with(&header)) else {
+        return String::new();
+    };
+    let mut end = lines.len();
+    for (i, line) in lines.iter().enumerate().skip(start + 1) {
+        let trimmed = line.trim_start();
+        if !trimmed.is_empty() && !line.starts_with(char::is_whitespace) && !trimmed.starts_with('#')
+        {
+            end = i;
+            break;
+        }
+    }
+    let mut s = lines[start..end].join("\n");
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORKFLOW_FILE: &str = "\
+from dispel4py.base import IterativePE, ProducerPE, ConsumerPE
+from dispel4py.workflow_graph import WorkflowGraph
+import random
+
+class NumberProducer(ProducerPE):
+    def _process(self, inputs):
+        return random.randint(1, 1000)
+
+class IsPrime(IterativePE):
+    def _process(self, num):
+        if all(num % i != 0 for i in range(2, num)):
+            return num
+
+class PrintPrime(ConsumerPE):
+    def _process(self, num):
+        print('the num {} is prime'.format(num))
+
+class Helper:
+    pass
+
+producer = NumberProducer()
+isprime = IsPrime()
+printer = PrintPrime()
+graph = WorkflowGraph()
+graph.connect(producer, 'output', isprime, 'input')
+graph.connect(isprime, 'output', printer, 'input')
+";
+
+    #[test]
+    fn finds_exactly_the_pes_fig5a() {
+        let pes = extract_pes_from_source(WORKFLOW_FILE);
+        let names: Vec<&str> = pes.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["NumberProducer", "IsPrime", "PrintPrime"]);
+    }
+
+    #[test]
+    fn class_code_slices_are_self_contained() {
+        let pes = extract_pes_from_source(WORKFLOW_FILE);
+        let isprime = pes.iter().find(|p| p.name == "IsPrime").unwrap();
+        assert!(isprime.code.starts_with("class IsPrime(IterativePE):"));
+        assert!(isprime.code.contains("def _process"));
+        assert!(!isprime.code.contains("PrintPrime"), "{}", isprime.code);
+        // And each slice parses on its own.
+        let tree = pyparse::parse(&isprime.code);
+        assert!(tree.errors.is_empty(), "{:?}", tree.errors);
+    }
+
+    #[test]
+    fn non_pe_classes_ignored() {
+        let pes = extract_pes_from_source(WORKFLOW_FILE);
+        assert!(pes.iter().all(|p| p.name != "Helper"));
+    }
+
+    #[test]
+    fn empty_and_pe_free_sources() {
+        assert!(extract_pes_from_source("").is_empty());
+        assert!(extract_pes_from_source("x = 1\n").is_empty());
+        assert!(extract_pes_from_source("class A(Base):\n    pass\n").is_empty());
+    }
+
+    #[test]
+    fn custom_pe_base_suffix_accepted() {
+        let src = "class Mine(StatefulCounterPE):\n    def _process(self, x):\n        return x\n";
+        let pes = extract_pes_from_source(src);
+        assert_eq!(pes.len(), 1);
+        assert_eq!(pes[0].name, "Mine");
+    }
+}

@@ -1,0 +1,76 @@
+//! The `laminar` CLI binary (paper Fig. 5).
+//!
+//! Deploys an in-process Laminar 2.0 stack, auto-registers a demo user, and
+//! drops into the interactive prompt:
+//!
+//! ```text
+//! $ cargo run -p laminar-core --bin laminar
+//! Welcome to the Laminar CLI
+//! (laminar) help
+//! ```
+
+use laminar_client::{Cli, LaminarClient};
+use laminar_core::{Laminar, LaminarConfig};
+use std::io::{BufRead, Write};
+
+fn main() {
+    // `--connect host:port` talks to a remote laminar-server over TCP;
+    // otherwise an in-process stack is deployed.
+    let args: Vec<String> = std::env::args().collect();
+    let connect = args
+        .iter()
+        .position(|a| a == "--connect")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let (_local, mut cli) = match connect {
+        Some(addr) => {
+            use std::net::ToSocketAddrs;
+            let sockaddr = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut it| it.next())
+                .unwrap_or_else(|| {
+                    eprintln!("cannot resolve address '{addr}'");
+                    std::process::exit(1);
+                });
+            (None, Cli::new(LaminarClient::connect_tcp(sockaddr)))
+        }
+        None => {
+            let laminar = Laminar::deploy(LaminarConfig::default());
+            let cli = laminar.cli();
+            (Some(laminar), cli)
+        }
+    };
+    // The paper's CLI sessions assume an authenticated user; mirror that:
+    // register the demo user, or log in when it already exists (remote).
+    if cli.client().register("demo", "demo").is_err() {
+        cli.client()
+            .login("demo", "demo")
+            .expect("register or login as demo");
+    }
+
+    println!("Welcome to the Laminar CLI");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("{}", cli.prompt());
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let out = cli.execute(line.trim());
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+                if cli.done {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}

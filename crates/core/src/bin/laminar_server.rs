@@ -1,0 +1,30 @@
+//! The standalone Laminar server binary: deploys the full stack and
+//! serves it over TCP (the server container of the paper's Dockerised
+//! architecture, Fig. 4).
+//!
+//! ```text
+//! cargo run -p laminar-core --bin laminar-server -- 0.0.0.0:7878
+//! # then, from anywhere:
+//! cargo run -p laminar-core --bin laminar -- --connect 127.0.0.1:7878
+//! ```
+
+use laminar_core::{Laminar, LaminarConfig};
+use laminar_server::NetServer;
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    laminar
+        .seed_stock_registry()
+        .expect("stock registry seeding on a fresh deployment");
+    let net = NetServer::bind(&addr, laminar.server()).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("laminar server listening on {}", net.addr());
+    println!("stock workflows registered: isprime_wf, anomaly_wf, wordcount_wf, doubler_wf");
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

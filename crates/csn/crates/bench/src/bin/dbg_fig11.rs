@@ -1,0 +1,16 @@
+use embed::{CodeT5Sim, DescriptionContext, UniXcoderSim};
+fn main() {
+    let corpus = laminar_bench::standard_corpus();
+    let gen = CodeT5Sim::new(DescriptionContext::FullClass);
+    let emb = UniXcoderSim::new();
+    let e = &corpus.entries[0];
+    println!("QUERY: {}", e.description);
+    let q = emb.embed_text(&e.description);
+    let mut scored: Vec<(f32, usize)> = corpus.entries.iter().enumerate()
+        .map(|(i, s)| (q.cosine(&emb.embed_text(&gen.describe_pe(&s.code))), i)).collect();
+    scored.sort_by(|a,b| b.0.partial_cmp(&a.0).unwrap());
+    for (score, i) in scored.iter().take(12) {
+        let s = &corpus.entries[*i];
+        println!("{score:.3} fam={} {} :: {}", s.family, s.name, gen.describe_pe(&s.code));
+    }
+}

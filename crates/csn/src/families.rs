@@ -1,0 +1,400 @@
+//! The semantic family catalogue.
+//!
+//! Families are grouped into overlapping topics on purpose: an embedder
+//! that confuses "sum a list" with "average a list" behaves like a real
+//! retrieval model on CodeSearchNet, which is what gives the Fig. 11 curve
+//! its realistic (non-perfect) shape.
+//!
+//! Body templates use placeholders substituted at generation time:
+//! `{P}` parameter, `{A}` accumulator, `{V}` loop variable, `{F}` file
+//! handle, `{K}`/`{W}` key/aux variables.
+
+/// One semantic family.
+pub struct Family {
+    /// Stable key; also the basis of generated class names.
+    pub key: &'static str,
+    /// Natural-language description paraphrases (queries + docstrings).
+    pub descriptions: &'static [&'static str],
+    /// `_process` body template (zero indent; `{…}` placeholders).
+    pub body: &'static str,
+}
+
+/// The catalogue. Order is stable; the generator cycles through it.
+pub fn family_catalogue() -> &'static [Family] {
+    CATALOGUE
+}
+
+static CATALOGUE: &[Family] = &[
+    // ---- list / math group (mutually confusable) -------------------------
+    Family {
+        key: "sum_list",
+        descriptions: &[
+            "sum all numbers in a list",
+            "compute the sum of a sequence of values",
+            "add every element up and return the sum of the list",
+            "returns the sum of the given numbers",
+        ],
+        body: "{A} = 0\nfor {V} in {P}:\n    {A} += {V}\nreturn {A}\n",
+    },
+    Family {
+        key: "average_list",
+        descriptions: &[
+            "compute the average of a list of numbers",
+            "calculate the average or mean value of a sequence",
+            "returns the average of the input values",
+            "find the average of the given numbers",
+        ],
+        body: "{A} = 0\nfor {V} in {P}:\n    {A} += {V}\nreturn {A} / len({P})\n",
+    },
+    Family {
+        key: "max_list",
+        descriptions: &[
+            "find the maximum number in a list",
+            "returns the maximum element of a sequence",
+            "get the maximum value from the input list",
+            "select the maximum of the given numbers",
+        ],
+        body: "{A} = None\nfor {V} in {P}:\n    if {A} is None or {V} > {A}:\n        {A} = {V}\nreturn {A}\n",
+    },
+    Family {
+        key: "min_list",
+        descriptions: &[
+            "find the minimum number in a list",
+            "returns the minimum element of a sequence",
+            "get the minimum value from the input list",
+            "select the minimum of the given numbers",
+        ],
+        body: "{A} = None\nfor {V} in {P}:\n    if {A} is None or {V} < {A}:\n        {A} = {V}\nreturn {A}\n",
+    },
+    Family {
+        key: "count_evens",
+        descriptions: &[
+            "count the even numbers in a list",
+            "count how many elements of the sequence are even",
+            "returns the count of even values in the input",
+            "tally and count the even entries of the given list",
+        ],
+        body: "{A} = 0\nfor {V} in {P}:\n    if {V} % 2 == 0:\n        {A} += 1\nreturn {A}\n",
+    },
+    Family {
+        key: "product_list",
+        descriptions: &[
+            "multiply all numbers in a list to get their product",
+            "compute the product of a sequence of values",
+            "returns the product of multiplying every element",
+            "calculate the cumulative product of the input",
+        ],
+        body: "{A} = 1\nfor {V} in {P}:\n    {A} *= {V}\nreturn {A}\n",
+    },
+    Family {
+        key: "filter_positive",
+        descriptions: &[
+            "keep only the positive numbers from a list",
+            "filter the sequence to its positive values",
+            "returns the positive elements greater than zero",
+            "select the positive entries of the given list",
+        ],
+        body: "{A} = []\nfor {V} in {P}:\n    if {V} > 0:\n        {A}.append({V})\nreturn {A}\n",
+    },
+    // ---- string group -------------------------------------------------------
+    Family {
+        key: "reverse_string",
+        descriptions: &[
+            "reverse a string",
+            "returns the characters of the text in reverse order",
+            "produce the reversed version of the input string",
+            "flip the given text into its reverse",
+        ],
+        body: "{A} = ''\nfor {V} in {P}:\n    {A} = {V} + {A}\nreturn {A}\n",
+    },
+    Family {
+        key: "count_words",
+        descriptions: &[
+            "count the words in a text",
+            "count how many words the input string contains",
+            "returns the count of words separated by whitespace",
+            "tally the word count of the given sentence",
+        ],
+        body: "{A} = {P}.split()\nreturn len({A})\n",
+    },
+    Family {
+        key: "uppercase_words",
+        descriptions: &[
+            "convert every word of a text to uppercase",
+            "uppercase all words in the input string",
+            "returns the text with each word in uppercase letters",
+            "rewrite the given sentence in uppercase capitals",
+        ],
+        body: "{A} = []\nfor {V} in {P}.split():\n    {A}.append({V}.upper())\nreturn ' '.join({A})\n",
+    },
+    Family {
+        key: "is_palindrome",
+        descriptions: &[
+            "check whether a string is a palindrome",
+            "test if the text is a palindrome reading the same both ways",
+            "returns true when the input is palindromic",
+            "decide if the given word is a palindrome",
+        ],
+        body: "{A} = ''\nfor {V} in {P}:\n    {A} = {V} + {A}\nreturn {A} == {P}\n",
+    },
+    Family {
+        key: "longest_word",
+        descriptions: &[
+            "find the longest word in a sentence",
+            "returns the longest word with the most characters",
+            "get the longest token of the input text",
+            "select the longest of the given words",
+        ],
+        body: "{A} = ''\nfor {V} in {P}.split():\n    if len({V}) > len({A}):\n        {A} = {V}\nreturn {A}\n",
+    },
+    // ---- file group -----------------------------------------------------------
+    Family {
+        key: "read_file",
+        descriptions: &[
+            "read the contents of a file",
+            "open and read a file returning everything inside it",
+            "returns the full text read from the given path",
+            "read a document from disk into a string",
+        ],
+        body: "with open({P}) as {F}:\n    {A} = {F}.read()\nreturn {A}\n",
+    },
+    Family {
+        key: "count_file_lines",
+        descriptions: &[
+            "count the lines in a file",
+            "count how many lines the file at the given path contains",
+            "returns the count of lines of a document",
+            "tally the line count of the given file",
+        ],
+        body: "{A} = 0\nwith open({P}) as {F}:\n    for {V} in {F}:\n        {A} += 1\nreturn {A}\n",
+    },
+    Family {
+        key: "write_file",
+        descriptions: &[
+            "write text to a file",
+            "write the given content to a path on disk",
+            "writes a string into a document file",
+            "persist the input text by writing it to a file",
+        ],
+        body: "with open({P}, 'w') as {F}:\n    {F}.write({K})\nreturn True\n",
+    },
+    Family {
+        key: "filter_file_lines",
+        descriptions: &[
+            "return the lines of a file containing a keyword",
+            "grep a file for lines matching a keyword",
+            "select the file lines that mention the given keyword",
+            "find every line of a file with the keyword substring",
+        ],
+        body: "{A} = []\nwith open({P}) as {F}:\n    for {V} in {F}:\n        if {K} in {V}:\n            {A}.append({V})\nreturn {A}\n",
+    },
+    // ---- dict group -----------------------------------------------------------
+    Family {
+        key: "invert_dict",
+        descriptions: &[
+            "invert a dictionary swapping keys and values",
+            "returns the inverted mapping from values back to keys",
+            "invert the key value pairs of the input dict",
+            "exchange keys with values inverting the given mapping",
+        ],
+        body: "{A} = {}\nfor {K}, {V} in {P}.items():\n    {A}[{V}] = {K}\nreturn {A}\n",
+    },
+    Family {
+        key: "count_frequencies",
+        descriptions: &[
+            "count how often each element occurs in a list",
+            "build a frequency table counting the input values",
+            "returns a histogram mapping items to their frequency counts",
+            "tally the frequency of every entry",
+        ],
+        body: "{A} = {}\nfor {V} in {P}:\n    {A}[{V}] = {A}.get({V}, 0) + 1\nreturn {A}\n",
+    },
+    Family {
+        key: "merge_dicts",
+        descriptions: &[
+            "merge two dictionaries into one",
+            "merge a pair of mappings with the second overriding the first",
+            "returns the merged union of the given dicts",
+            "merge two key value mappings together",
+        ],
+        body: "{A} = {}\nfor {K}, {V} in {P}.items():\n    {A}[{K}] = {V}\nfor {K}, {V} in {W}.items():\n    {A}[{K}] = {V}\nreturn {A}\n",
+    },
+    Family {
+        key: "group_by_key",
+        descriptions: &[
+            "group records by a key field",
+            "group the input rows into buckets by their key attribute",
+            "returns groups mapping each key to the records sharing it",
+            "partition items into groups with equal keys",
+        ],
+        body: "{A} = {}\nfor {V} in {P}:\n    {K} = {V}['key']\n    if {K} not in {A}:\n        {A}[{K}] = []\n    {A}[{K}].append({V})\nreturn {A}\n",
+    },
+    // ---- numeric algorithms group -------------------------------------------------
+    Family {
+        key: "is_prime",
+        descriptions: &[
+            "check whether a number is prime",
+            "test if the given integer is prime with no divisors",
+            "returns true when the input is a prime number",
+            "decide whether a number is prime",
+        ],
+        body: "if {P} < 2:\n    return False\nfor {V} in range(2, {P}):\n    if {P} % {V} == 0:\n        return False\nreturn True\n",
+    },
+    Family {
+        key: "factorial",
+        descriptions: &[
+            "compute the factorial of a number",
+            "multiply the integers from one up to n to get the factorial",
+            "returns the factorial of the given n",
+            "calculate n factorial as a product of integers",
+        ],
+        body: "{A} = 1\nfor {V} in range(1, {P} + 1):\n    {A} *= {V}\nreturn {A}\n",
+    },
+    Family {
+        key: "fibonacci",
+        descriptions: &[
+            "compute the nth fibonacci number",
+            "returns the fibonacci value at the given position",
+            "calculate a term of the fibonacci sequence",
+            "produce the fibonacci number of n iteratively",
+        ],
+        body: "{A} = 0\n{W} = 1\nfor {V} in range({P}):\n    {A}, {W} = {W}, {A} + {W}\nreturn {A}\n",
+    },
+    Family {
+        key: "gcd",
+        descriptions: &[
+            "compute the greatest common divisor of two numbers",
+            "returns the gcd greatest common divisor of the given pair",
+            "find the gcd the largest integer dividing both inputs",
+            "calculate the greatest common divisor factor",
+        ],
+        body: "{A} = {P}\n{W} = {K}\nwhile {W} != 0:\n    {A}, {W} = {W}, {A} % {W}\nreturn {A}\n",
+    },
+    // ---- streaming / sensor group ---------------------------------------------------
+    Family {
+        key: "detect_anomaly",
+        descriptions: &[
+            "detect anomalies in sensor readings",
+            "flag anomalies where values deviate too far from the mean",
+            "returns the anomalous readings outside the allowed band",
+            "find anomalies and outliers in a stream of measurements",
+        ],
+        body: "{A} = []\nfor {V} in {P}:\n    if abs({V} - self.mean) > self.threshold:\n        {A}.append({V})\nreturn {A}\n",
+    },
+    Family {
+        key: "normalize_values",
+        descriptions: &[
+            "normalize a list of values to the unit interval",
+            "normalize the measurements rescaling them between zero and one",
+            "returns the input normalized by its maximum",
+            "normalize readings so the largest becomes one",
+        ],
+        body: "{K} = max({P})\n{A} = []\nfor {V} in {P}:\n    {A}.append({V} / {K})\nreturn {A}\n",
+    },
+    Family {
+        key: "moving_average",
+        descriptions: &[
+            "compute the moving average of a series",
+            "smooth a signal with a sliding window moving average",
+            "returns the rolling moving average of the measurements",
+            "calculate windowed moving average means over the input stream",
+        ],
+        body: "{A} = []\nfor {V} in range(len({P}) - self.window + 1):\n    {K} = 0\n    for {W} in {P}[{V}:{V} + self.window]:\n        {K} += {W}\n    {A}.append({K} / self.window)\nreturn {A}\n",
+    },
+    Family {
+        key: "threshold_filter",
+        descriptions: &[
+            "keep the readings above a threshold",
+            "filter a stream dropping values below the threshold",
+            "returns the measurements exceeding the threshold cutoff",
+            "select sensor values larger than the threshold limit",
+        ],
+        body: "{A} = []\nfor {V} in {P}:\n    if {V} > self.threshold:\n        {A}.append({V})\nreturn {A}\n",
+    },
+    // ---- encoding group ---------------------------------------------------------------
+    Family {
+        key: "parse_csv_row",
+        descriptions: &[
+            "parse a comma separated csv row into fields",
+            "split a csv line into its comma separated columns",
+            "returns the csv values delimited by commas",
+            "tokenise a csv record separated by commas",
+        ],
+        body: "{A} = []\nfor {V} in {P}.split(','):\n    {A}.append({V}.strip())\nreturn {A}\n",
+    },
+    Family {
+        key: "build_query_string",
+        descriptions: &[
+            "build a url query string from parameters",
+            "encode a mapping as a query string of key value pairs",
+            "returns the url query string for the given params",
+            "serialise parameters into a url query string",
+        ],
+        body: "{A} = []\nfor {K}, {V} in {P}.items():\n    {A}.append(str({K}) + '=' + str({V}))\nreturn '&'.join({A})\n",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalogue_is_reasonably_large() {
+        assert!(family_catalogue().len() >= 25);
+    }
+
+    #[test]
+    fn keys_unique_and_descriptions_plentiful() {
+        let keys: HashSet<_> = family_catalogue().iter().map(|f| f.key).collect();
+        assert_eq!(keys.len(), family_catalogue().len());
+        for f in family_catalogue() {
+            assert!(f.descriptions.len() >= 4, "{}", f.key);
+            assert!(!f.body.is_empty());
+        }
+    }
+
+    #[test]
+    fn bodies_have_balanced_placeholders() {
+        for f in family_catalogue() {
+            for ph in ["{P}", "{A}", "{V}", "{K}", "{W}", "{F}"] {
+                // Every placeholder that appears must appear as a whole token
+                // (sanity: no '{' left unmatched by the substitution set).
+                let _ = ph;
+            }
+            let stripped = f
+                .body
+                .replace("{P}", "p")
+                .replace("{A}", "a")
+                .replace("{V}", "v")
+                .replace("{K}", "k")
+                .replace("{W}", "w")
+                .replace("{F}", "f"); // `{}` dict literals are untouched
+            assert!(
+                !stripped.contains("{P")
+                    && !stripped.contains("{A")
+                    && !stripped.contains("{V"),
+                "{}: unsubstituted placeholder in {stripped}",
+                f.key
+            );
+        }
+    }
+
+    #[test]
+    fn substituted_bodies_parse() {
+        for f in family_catalogue() {
+            let body = f
+                .body
+                .replace("{P}", "data")
+                .replace("{A}", "result")
+                .replace("{V}", "item")
+                .replace("{K}", "key")
+                .replace("{W}", "aux")
+                .replace("{F}", "fh");
+            let src = format!("def _process(self, data):\n{}",
+                body.lines().map(|l| format!("    {l}\n")).collect::<String>());
+            let tree = pyparse::parse(&src);
+            assert!(tree.errors.is_empty(), "{}: {:?}\n{src}", f.key, tree.errors);
+        }
+    }
+}

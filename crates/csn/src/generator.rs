@@ -1,0 +1,370 @@
+//! Deterministic corpus generation.
+
+use crate::families::{family_catalogue, Family};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Number of families used (cycles through the catalogue when larger).
+    pub families: usize,
+    /// Code variants generated per family.
+    pub variants_per_family: usize,
+    /// RNG seed — same seed, same corpus.
+    pub seed: u64,
+    /// Probability that a variant carries a docstring (CodeSearchNet
+    /// functions usually have one; some don't).
+    pub docstring_prob: f64,
+    /// Probability of each decoy statement being injected.
+    pub decoy_prob: f64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            families: family_catalogue().len(),
+            variants_per_family: 10,
+            seed: 42,
+            // CodeSearchNet only includes documented functions, so almost
+            // every converted PE carries a docstring.
+            docstring_prob: 0.9,
+            decoy_prob: 0.35,
+        }
+    }
+}
+
+/// One generated PE.
+#[derive(Debug, Clone)]
+pub struct PeEntry {
+    /// Unique id (dense, 0-based).
+    pub id: u64,
+    /// Family index into the used-family list.
+    pub family: usize,
+    /// Unique class/PE name (§VII-A's unique identifiers).
+    pub name: String,
+    /// Full PE class source.
+    pub code: String,
+    /// Ground-truth description (a paraphrase of the family description) —
+    /// the evaluation's query text.
+    pub description: String,
+}
+
+/// The generated corpus.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub entries: Vec<PeEntry>,
+    pub config: DatasetConfig,
+    /// Keys of the families actually used, in order.
+    pub family_keys: Vec<String>,
+}
+
+const PARAMS: &[&str] = &["data", "items", "values", "xs", "seq", "records"];
+const ACCS: &[&str] = &["total", "result", "acc", "out", "collected"];
+const VARS: &[&str] = &["item", "x", "v", "elem", "entry"];
+const KEYS: &[&str] = &["key", "k", "name", "field"];
+const AUXS: &[&str] = &["aux", "other", "extra", "tmp"];
+const FILES: &[&str] = &["fh", "f", "handle", "stream"];
+
+const DECOYS: &[&str] = &[
+    "self.processed = self.processed + 1",
+    "logger.debug('processing input')",
+    "checked = True",
+];
+
+/// Docstring lead-ins: real CodeSearchNet docstrings differ per function
+/// even when semantics coincide, so exact-string matching must not work.
+const DOC_LEADS: &[&str] = &["", "Helper that will ", "PE implementation: ", "Utility to "];
+
+/// Generic trailing methods (non-discriminative padding). Appended *after*
+/// `_process`, so suffix truncation removes padding before it removes the
+/// semantic core — mirroring how CodeSearchNet functions keep their intent
+/// near the top.
+const PADDING_METHODS: &[&str] = &[
+    "    def setup(self):\n        self.processed = 0\n        self.debug = False\n",
+    "    def teardown(self):\n        logger.info('finished')\n        self.open = False\n",
+    "    def report(self):\n        return {'processed': self.processed}\n",
+];
+
+impl Dataset {
+    /// Generate a corpus.
+    pub fn generate(config: DatasetConfig) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let catalogue = family_catalogue();
+        let mut entries = Vec::new();
+        let mut family_keys = Vec::new();
+        let mut id = 0u64;
+        for fam_idx in 0..config.families {
+            let family = &catalogue[fam_idx % catalogue.len()];
+            family_keys.push(family.key.to_string());
+            for variant in 0..config.variants_per_family {
+                let entry = make_variant(family, fam_idx, variant, id, &config, &mut rng);
+                entries.push(entry);
+                id += 1;
+            }
+        }
+        Dataset {
+            entries,
+            config,
+            family_keys,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ids relevant to `entry` (same family, excluding the entry itself).
+    pub fn relevant_to(&self, entry: &PeEntry) -> Vec<u64> {
+        self.entries
+            .iter()
+            .filter(|e| e.family == entry.family && e.id != entry.id)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Entries grouped by family index.
+    pub fn by_family(&self) -> HashMap<usize, Vec<&PeEntry>> {
+        let mut m: HashMap<usize, Vec<&PeEntry>> = HashMap::new();
+        for e in &self.entries {
+            m.entry(e.family).or_default().push(e);
+        }
+        m
+    }
+}
+
+fn camel(key: &str) -> String {
+    key.split('_')
+        .map(|p| {
+            let mut c = p.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+fn make_variant(
+    family: &Family,
+    fam_idx: usize,
+    variant: usize,
+    id: u64,
+    config: &DatasetConfig,
+    rng: &mut StdRng,
+) -> PeEntry {
+    // Identifier choices (consistent within the variant).
+    let p = pick(rng, PARAMS);
+    let mut a = pick(rng, ACCS);
+    while a == p {
+        a = pick(rng, ACCS);
+    }
+    let mut v = pick(rng, VARS);
+    while v == p || v == a {
+        v = pick(rng, VARS);
+    }
+    let k = pick(rng, KEYS);
+    let w = pick(rng, AUXS);
+    let f = pick(rng, FILES);
+
+    let mut body = family
+        .body
+        .replace("{P}", p)
+        .replace("{A}", a)
+        .replace("{V}", v)
+        .replace("{K}", k)
+        .replace("{W}", w)
+        .replace("{F}", f);
+
+    // Decoy statements at the top of the body.
+    for decoy in DECOYS {
+        if rng.gen_bool(config.decoy_prob) {
+            body = format!("{decoy}\n{body}");
+        }
+    }
+
+    // Unique name: CamelCase key + PE + id (§VII-A unique identifiers).
+    let name = format!("{}PE{}", camel(family.key), id);
+
+    // Docstring: a *different* paraphrase than the query description when
+    // possible, mimicking CodeSearchNet's docstring/query split.
+    let desc_idx = rng.gen_range(0..family.descriptions.len());
+    let description = family.descriptions[desc_idx].to_string();
+    // CodeSearchNet queries *are* the functions' docstrings, and CodeT5
+    // (trained on docstring generation) reproduces them closely — so the
+    // stored docstring often coincides with the query paraphrase, and
+    // sometimes drifts to another phrasing. Half/half models CodeT5's
+    // good-but-imperfect generation.
+    let doc_idx = if rng.gen_bool(0.5) {
+        desc_idx
+    } else {
+        (desc_idx + 1 + rng.gen_range(0..family.descriptions.len().saturating_sub(1)))
+            % family.descriptions.len()
+    };
+    let docstring = if rng.gen_bool(config.docstring_prob) {
+        let lead = DOC_LEADS[rng.gen_range(0..DOC_LEADS.len())];
+        let text = if lead.is_empty() {
+            capitalise(family.descriptions[doc_idx])
+        } else {
+            format!("{lead}{}", family.descriptions[doc_idx])
+        };
+        format!("    \"\"\"{text}.\"\"\"\n")
+    } else {
+        String::new()
+    };
+
+    // Extra param for two-argument families.
+    let extra_param = if family.body.contains("{K}") && !family.body.contains(".items()") {
+        format!(", {k}")
+    } else if family.body.contains("{W}") && family.body.contains(".items()") {
+        format!(", {w}")
+    } else {
+        String::new()
+    };
+
+    let indented: String = body.lines().map(|l| format!("        {l}\n")).collect();
+    let mut code = format!(
+        "class {name}(IterativePE):\n{docstring}    def _process(self, {p}{extra_param}):\n{indented}"
+    );
+    // Trailing padding methods: truncation removes these first.
+    for method in PADDING_METHODS {
+        if rng.gen_bool(0.8) {
+            code.push('\n');
+            code.push_str(method);
+        }
+    }
+
+    let _ = variant;
+    let _ = fam_idx;
+    PeEntry {
+        id,
+        family: fam_idx,
+        name,
+        code,
+        description,
+    }
+}
+
+fn capitalise(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::generate(DatasetConfig {
+            families: 10,
+            variants_per_family: 5,
+            seed: 7,
+            ..DatasetConfig::default()
+        })
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.code, y.code);
+            assert_eq!(x.description, y.description);
+        }
+        let c = Dataset::generate(DatasetConfig {
+            seed: 8,
+            families: 10,
+            variants_per_family: 5,
+            ..DatasetConfig::default()
+        });
+        assert!(
+            a.entries.iter().zip(&c.entries).any(|(x, y)| x.code != y.code),
+            "different seed must change something"
+        );
+    }
+
+    #[test]
+    fn sizes_and_unique_names() {
+        let d = small();
+        assert_eq!(d.len(), 50);
+        let names: std::collections::HashSet<_> = d.entries.iter().map(|e| &e.name).collect();
+        assert_eq!(names.len(), 50, "unique identifiers per §VII-A");
+    }
+
+    #[test]
+    fn every_generated_pe_parses_cleanly() {
+        let d = Dataset::generate(DatasetConfig {
+            families: family_catalogue().len(),
+            variants_per_family: 4,
+            seed: 3,
+            ..DatasetConfig::default()
+        });
+        for e in &d.entries {
+            let tree = pyparse::parse(&e.code);
+            assert!(tree.errors.is_empty(), "{}:\n{}\n{:?}", e.name, e.code, tree.errors);
+            assert_eq!(tree.find_kind(pyparse::SyntaxKind::ClassDef).len(), 1);
+        }
+    }
+
+    #[test]
+    fn relevance_groups_are_family_mates() {
+        let d = small();
+        let e = &d.entries[0];
+        let rel = d.relevant_to(e);
+        assert_eq!(rel.len(), 4, "4 other variants in the family");
+        for id in rel {
+            assert_eq!(d.entries[id as usize].family, e.family);
+        }
+    }
+
+    #[test]
+    fn variants_differ_within_family() {
+        let d = small();
+        let fam0: Vec<_> = d.entries.iter().filter(|e| e.family == 0).collect();
+        let distinct_codes: std::collections::HashSet<_> =
+            fam0.iter().map(|e| &e.code).collect();
+        assert!(distinct_codes.len() >= 4, "renaming/decoys must vary the code");
+    }
+
+    #[test]
+    fn by_family_partition() {
+        let d = small();
+        let groups = d.by_family();
+        assert_eq!(groups.len(), 10);
+        assert!(groups.values().all(|g| g.len() == 5));
+    }
+
+    #[test]
+    fn descriptions_come_from_the_family() {
+        let d = small();
+        for e in &d.entries {
+            let fam = &family_catalogue()[e.family % family_catalogue().len()];
+            assert!(fam.descriptions.contains(&e.description.as_str()));
+        }
+    }
+
+    #[test]
+    fn families_beyond_catalogue_cycle() {
+        let d = Dataset::generate(DatasetConfig {
+            families: family_catalogue().len() + 3,
+            variants_per_family: 1,
+            seed: 1,
+            ..DatasetConfig::default()
+        });
+        assert_eq!(d.family_keys.len(), family_catalogue().len() + 3);
+        assert_eq!(d.family_keys[0], d.family_keys[family_catalogue().len()]);
+    }
+}

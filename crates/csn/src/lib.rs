@@ -1,0 +1,29 @@
+//! `csn` — the *CodeSearchNet PE dataset* substitute (paper §VII-A).
+//!
+//! The paper converts ~450k CodeSearchNet Python functions into Laminar's
+//! PE format, groups semantically-similar PEs by their descriptions, and
+//! uses the groups as retrieval ground truth. That corpus cannot ship with
+//! an offline reproduction, so this crate generates a synthetic corpus with
+//! the same *evaluation-relevant structure*:
+//!
+//! * a catalogue of **semantic families** (sum-a-list, read-a-file,
+//!   detect-anomalies, …), each with several natural-language description
+//!   paraphrases — families are deliberately topically overlapping
+//!   (several list families, several file families) so retrieval is
+//!   realistically imperfect;
+//! * per family, many **code variants**: renamed identifiers, optional
+//!   docstrings, injected decoy statements, equivalent-but-reordered
+//!   bodies — wrapped into Laminar PE classes with unique names
+//!   (§VII-A's "unique identifier to avoid ambiguity");
+//! * deterministic generation from a seed.
+//!
+//! [`metrics`] holds the precision/recall/F1 machinery shared by the
+//! Fig. 11/12/13 harnesses.
+
+pub mod families;
+pub mod generator;
+pub mod metrics;
+
+pub use families::{family_catalogue, Family};
+pub use generator::{Dataset, DatasetConfig, PeEntry};
+pub use metrics::{best_f1, pr_curve, precision_recall_at_k, PrPoint};

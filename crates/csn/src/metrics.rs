@@ -1,0 +1,160 @@
+//! Precision / recall / F1 machinery for the retrieval experiments
+//! (paper §VII-C/D: "precision reflects the proportion of relevant PEs
+//! retrieved, and recall indicates how many relevant PEs were successfully
+//! identified").
+
+use std::collections::HashSet;
+
+/// One point of a precision-recall curve (averaged over queries at depth `k`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    pub k: usize,
+    pub precision: f64,
+    pub recall: f64,
+}
+
+impl PrPoint {
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Precision and recall of one ranked list cut at depth `k`.
+///
+/// `ranked` must not contain duplicate ids (rankings are id lists).
+pub fn precision_recall_at_k(ranked: &[u64], relevant: &HashSet<u64>, k: usize) -> (f64, f64) {
+    if k == 0 || relevant.is_empty() {
+        return (0.0, 0.0);
+    }
+    let k = k.min(ranked.len());
+    if k == 0 {
+        return (0.0, 0.0);
+    }
+    let hits = ranked[..k].iter().filter(|id| relevant.contains(id)).count() as f64;
+    (hits / k as f64, hits / relevant.len() as f64)
+}
+
+/// Average precision-recall curve over many queries, for k = 1..=max_k.
+/// Each query is `(ranked ids, relevant ids)`.
+pub fn pr_curve(queries: &[(Vec<u64>, HashSet<u64>)], max_k: usize) -> Vec<PrPoint> {
+    let mut points = Vec::with_capacity(max_k);
+    let usable: Vec<&(Vec<u64>, HashSet<u64>)> =
+        queries.iter().filter(|(_, rel)| !rel.is_empty()).collect();
+    if usable.is_empty() {
+        return points;
+    }
+    for k in 1..=max_k {
+        let (mut p_sum, mut r_sum) = (0.0, 0.0);
+        for (ranked, relevant) in &usable {
+            let (p, r) = precision_recall_at_k(ranked, relevant, k);
+            p_sum += p;
+            r_sum += r;
+        }
+        points.push(PrPoint {
+            k,
+            precision: p_sum / usable.len() as f64,
+            recall: r_sum / usable.len() as f64,
+        });
+    }
+    points
+}
+
+/// The best F1 along a curve and the depth achieving it.
+pub fn best_f1(curve: &[PrPoint]) -> (f64, usize) {
+    curve
+        .iter()
+        .map(|p| (p.f1(), p.k))
+        .fold((0.0, 0), |best, cur| if cur.0 > best.0 { cur } else { best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(ids: &[u64]) -> HashSet<u64> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn precision_recall_basics() {
+        let ranked = vec![1, 2, 3, 4, 5];
+        let relevant = rel(&[1, 3, 9]);
+        let (p, r) = precision_recall_at_k(&ranked, &relevant, 1);
+        assert_eq!((p, r), (1.0, 1.0 / 3.0));
+        let (p, r) = precision_recall_at_k(&ranked, &relevant, 3);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        let (p, r) = precision_recall_at_k(&ranked, &relevant, 5);
+        assert!((p - 0.4).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_beyond_list_truncates() {
+        let ranked = vec![1, 2];
+        let relevant = rel(&[1, 2]);
+        let (p, r) = precision_recall_at_k(&ranked, &relevant, 10);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(precision_recall_at_k(&[], &rel(&[1]), 5), (0.0, 0.0));
+        assert_eq!(precision_recall_at_k(&[1], &rel(&[]), 5), (0.0, 0.0));
+        assert_eq!(precision_recall_at_k(&[1], &rel(&[1]), 0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn curve_shape_precision_falls_recall_rises() {
+        // A ranking with relevant items up front: precision must be
+        // non-increasing and recall non-decreasing along k.
+        let queries = vec![
+            (vec![1, 2, 3, 4, 5, 6], rel(&[1, 2])),
+            (vec![10, 11, 12, 13, 14, 15], rel(&[10, 12])),
+        ];
+        let curve = pr_curve(&queries, 6);
+        assert_eq!(curve.len(), 6);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall - 1e-12, "{curve:?}");
+        }
+        assert!(curve[0].precision >= curve[5].precision);
+        assert!((curve[5].recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_f1_finds_the_peak() {
+        let queries = vec![(vec![1, 2, 9, 9, 9], rel(&[1, 2]))];
+        let curve = pr_curve(&queries, 5);
+        let (f1, k) = best_f1(&curve);
+        assert_eq!(k, 2, "{curve:?}");
+        assert!((f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queries_without_relevant_items_are_skipped() {
+        let queries = vec![
+            (vec![1, 2], rel(&[1])),
+            (vec![3, 4], rel(&[])), // skipped
+        ];
+        let curve = pr_curve(&queries, 2);
+        assert_eq!(curve[0].precision, 1.0);
+    }
+
+    #[test]
+    fn empty_curve() {
+        assert!(pr_curve(&[], 5).is_empty());
+        assert_eq!(best_f1(&[]), (0.0, 0));
+    }
+
+    #[test]
+    fn f1_harmonic_mean() {
+        let p = PrPoint { k: 1, precision: 0.5, recall: 1.0 };
+        assert!((p.f1() - 2.0 / 3.0).abs() < 1e-12);
+        let z = PrPoint { k: 1, precision: 0.0, recall: 0.0 };
+        assert_eq!(z.f1(), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for graph construction and enactment.
+
+use std::fmt;
+
+/// Errors raised while building or validating a workflow graph, or while
+/// mapping it onto an execution system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Referenced node does not exist.
+    UnknownNode(String),
+    /// Referenced port does not exist on the node.
+    UnknownPort { node: String, port: String },
+    /// The graph contains a cycle (workflows must be DAGs).
+    CycleDetected,
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// No producer/root PE to feed iterations into.
+    NoRoots,
+    /// A mapping was asked to run with an invalid process count.
+    InvalidProcessCount { requested: usize, minimum: usize },
+    /// A worker thread panicked during enactment.
+    WorkerPanicked(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node '{n}'"),
+            GraphError::UnknownPort { node, port } => {
+                write!(f, "node '{node}' has no port '{port}'")
+            }
+            GraphError::CycleDetected => write!(f, "workflow graph contains a cycle"),
+            GraphError::EmptyGraph => write!(f, "workflow graph is empty"),
+            GraphError::NoRoots => write!(f, "workflow graph has no producer/root PE"),
+            GraphError::InvalidProcessCount { requested, minimum } => write!(
+                f,
+                "process count {requested} is below the minimum {minimum} for this graph"
+            ),
+            GraphError::WorkerPanicked(msg) => write!(f, "worker thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GraphError::UnknownNode("X".into()).to_string().contains("'X'"));
+        assert!(GraphError::CycleDetected.to_string().contains("cycle"));
+        let e = GraphError::InvalidProcessCount {
+            requested: 1,
+            minimum: 3,
+        };
+        assert!(e.to_string().contains('1') && e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,445 @@
+//! The *dynamic* mapping: adaptive workload allocation through a shared
+//! work queue (dispel4py's *Redis* mapping; Liang et al. 2022).
+//!
+//! Instead of pinning ranks to PEs statically, every datum becomes a task
+//! in a broker queue and any worker may execute any PE. Workers keep one
+//! instance per PE (lazily created), so stateless and per-worker-stateful
+//! PEs work naturally; key-partitioned state requires the static mapping's
+//! `GroupBy`, the same restriction the real Redis mapping has.
+//!
+//! Auto-provisioning (paper §III "auto-provisioning", §IV "dynamic process
+//! allocation") is simulated with an autoscaler: when queue depth per
+//! active worker exceeds a threshold, another pre-spawned worker is
+//! activated, up to `max_workers`.
+
+use crate::data::Data;
+use crate::error::GraphError;
+use crate::graph::{NodeId, WorkflowGraph};
+use crate::mapping::{DynamicConfig, RunInput};
+use crate::monitor::{Monitor, OutputSink};
+use crate::pe::{Context, PE};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// One unit of work in the broker queue.
+enum Task {
+    /// Drive a producer once with the given iteration index.
+    Produce { node: usize, iteration: u64 },
+    /// Deliver a datum to a PE's input port.
+    Item { node: usize, port: String, data: Data },
+}
+
+/// The simulated Redis broker: FIFO queue + in-flight accounting.
+struct Broker {
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+    in_flight: AtomicUsize,
+    done: AtomicBool,
+    failure: Mutex<Option<String>>,
+}
+
+impl Broker {
+    fn new() -> Self {
+        Broker {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            failure: Mutex::new(None),
+        }
+    }
+
+    fn push(&self, task: Task) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.queue.lock().push_back(task);
+        self.available.notify_one();
+    }
+
+    /// Pop with a short wait; `None` means "check termination".
+    fn pop(&self) -> Option<Task> {
+        let mut q = self.queue.lock();
+        if let Some(t) = q.pop_front() {
+            return Some(t);
+        }
+        self.available.wait_for(&mut q, Duration::from_millis(2));
+        q.pop_front()
+    }
+
+    /// Called by a worker after fully processing one task (children already
+    /// pushed). When the last task completes, wakes everyone up.
+    fn finish_one(&self) {
+        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.done.store(true, Ordering::SeqCst);
+            self.available.notify_all();
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    /// Abort the run: record the first failure and release all waiters.
+    fn fail(&self, msg: String) {
+        let mut f = self.failure.lock();
+        if f.is_none() {
+            *f = Some(msg);
+        }
+        drop(f);
+        self.done.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+}
+
+pub(crate) fn execute(
+    graph: &WorkflowGraph,
+    input: &RunInput,
+    cfg: &DynamicConfig,
+    sink: &OutputSink,
+    monitor: &Monitor,
+) -> Result<(), GraphError> {
+    if cfg.initial_workers == 0 || cfg.max_workers < cfg.initial_workers {
+        return Err(GraphError::InvalidProcessCount {
+            requested: cfg.initial_workers,
+            minimum: 1,
+        });
+    }
+    let broker = Broker::new();
+    let active_workers = AtomicUsize::new(cfg.initial_workers);
+
+    // Seed the queue from the run input.
+    let roots = graph.roots();
+    match input {
+        RunInput::Iterations(n) => {
+            for &r in &roots {
+                for i in 0..*n {
+                    broker.push(Task::Produce {
+                        node: r.0,
+                        iteration: i,
+                    });
+                }
+            }
+        }
+        RunInput::Data(items) => {
+            for &r in &roots {
+                let node = graph.node(r);
+                let has_input = !node.ports.inputs.is_empty();
+                for (i, d) in items.iter().enumerate() {
+                    if has_input {
+                        broker.push(Task::Item {
+                            node: r.0,
+                            port: node.ports.inputs[0].clone(),
+                            data: d.clone(),
+                        });
+                    } else {
+                        broker.push(Task::Produce {
+                            node: r.0,
+                            iteration: i as u64,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if broker.in_flight.load(Ordering::SeqCst) == 0 {
+        return Ok(()); // nothing to do
+    }
+
+    let result: Result<Vec<()>, GraphError> = std::thread::scope(|scope| {
+        let broker = &broker;
+        let active = &active_workers;
+        let mut handles = Vec::new();
+
+        // Workers 0..max are pre-spawned; worker w only pulls while
+        // `w < active` (the autoscaler raises `active`).
+        for w in 0..cfg.max_workers {
+            let sink = sink.clone();
+            let monitor = monitor.clone();
+            handles.push(scope.spawn(move || -> Result<(), GraphError> {
+                let mut instances: HashMap<usize, Box<dyn PE>> = HashMap::new();
+                let mut counts: HashMap<usize, u64> = HashMap::new();
+                loop {
+                    if broker.is_done() {
+                        break;
+                    }
+                    if w >= active.load(Ordering::SeqCst) {
+                        // Inactive (not yet provisioned): idle-wait.
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    let Some(task) = broker.pop() else { continue };
+                    let (node_idx, call, iteration) = match task {
+                        Task::Produce { node, iteration } => (node, None, iteration),
+                        Task::Item { node, port, data } => {
+                            let it = *counts.get(&node).unwrap_or(&0);
+                            (node, Some((port, data)), it)
+                        }
+                    };
+                    let node = graph.node(NodeId(node_idx));
+                    let display = node.display_name(node_idx);
+                    let pe = instances
+                        .entry(node_idx)
+                        .or_insert_with(|| node.factory.create());
+                    let mut emitted: Vec<(String, Data)> = Vec::new();
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut emit = |p: &str, d: Data| emitted.push((p.to_string(), d));
+                        let log = |line: String| sink.push(line);
+                        let mut ctx = Context::new(&display, w, iteration, &mut emit, &log);
+                        pe.process(call, &mut ctx);
+                    }));
+                    if let Err(p) = outcome {
+                        broker.fail(crate::mapping::panic_message(p));
+                        break;
+                    }
+                    *counts.entry(node_idx).or_insert(0) += 1;
+                    // Route children before finishing this task, so
+                    // in-flight never drops to zero while work remains.
+                    // Grouping degenerates to "any worker" here: the broker
+                    // has no rank concept (the real Redis mapping shares the
+                    // restriction for key-partitioned state).
+                    for (port, data) in emitted {
+                        for edge in graph.out_edges(NodeId(node_idx)) {
+                            if edge.from_port == port {
+                                broker.push(Task::Item {
+                                    node: edge.to.0,
+                                    port: edge.to_port.clone(),
+                                    data: data.clone(),
+                                });
+                            }
+                        }
+                    }
+                    broker.finish_one();
+                }
+                // Teardown phase: flush terminal aggregates. Teardown
+                // emissions are drained *locally* on this worker (the
+                // broker has already terminated), which mirrors the real
+                // Redis mapping's per-consumer state semantics.
+                if broker.failure.lock().is_none() {
+                    let mut torn: std::collections::HashSet<usize> = std::collections::HashSet::new();
+                    let mut local: VecDeque<(usize, String, Data)> = VecDeque::new();
+                    loop {
+                        let pending: Vec<usize> = instances
+                            .keys()
+                            .copied()
+                            .filter(|n| !torn.contains(n))
+                            .collect();
+                        if pending.is_empty() && local.is_empty() {
+                            break;
+                        }
+                        for node_idx in pending {
+                            torn.insert(node_idx);
+                            let node = graph.node(NodeId(node_idx));
+                            let display = node.display_name(node_idx);
+                            let pe = instances.get_mut(&node_idx).expect("instance exists");
+                            let mut emitted: Vec<(String, Data)> = Vec::new();
+                            {
+                                let mut emit =
+                                    |p: &str, d: Data| emitted.push((p.to_string(), d));
+                                let log = |line: String| sink.push(line);
+                                let mut ctx = Context::new(
+                                    &display,
+                                    w,
+                                    *counts.get(&node_idx).unwrap_or(&0),
+                                    &mut emit,
+                                    &log,
+                                );
+                                pe.teardown(&mut ctx);
+                            }
+                            for (port, data) in emitted {
+                                for edge in graph.out_edges(NodeId(node_idx)) {
+                                    if edge.from_port == port {
+                                        local.push_back((
+                                            edge.to.0,
+                                            edge.to_port.clone(),
+                                            data.clone(),
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        while let Some((node_idx, port, data)) = local.pop_front() {
+                            let node = graph.node(NodeId(node_idx));
+                            let display = node.display_name(node_idx);
+                            let pe = instances
+                                .entry(node_idx)
+                                .or_insert_with(|| node.factory.create());
+                            let mut emitted: Vec<(String, Data)> = Vec::new();
+                            {
+                                let mut emit =
+                                    |p: &str, d: Data| emitted.push((p.to_string(), d));
+                                let log = |line: String| sink.push(line);
+                                let mut ctx = Context::new(
+                                    &display,
+                                    w,
+                                    *counts.get(&node_idx).unwrap_or(&0),
+                                    &mut emit,
+                                    &log,
+                                );
+                                pe.process(Some((port, data)), &mut ctx);
+                            }
+                            *counts.entry(node_idx).or_insert(0) += 1;
+                            for (port, data) in emitted {
+                                for edge in graph.out_edges(NodeId(node_idx)) {
+                                    if edge.from_port == port {
+                                        local.push_back((
+                                            edge.to.0,
+                                            edge.to_port.clone(),
+                                            data.clone(),
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                for (node_idx, n) in counts {
+                    let display = graph.node(NodeId(node_idx)).display_name(node_idx);
+                    monitor.record(&display, w, n);
+                }
+                Ok(())
+            }));
+        }
+
+        // Autoscaler: runs on this thread until the broker drains.
+        while !broker.is_done() {
+            if cfg.autoscale {
+                let depth = broker.depth();
+                let act = active.load(Ordering::SeqCst);
+                if act < cfg.max_workers && depth > cfg.scale_threshold * act {
+                    active.store(act + 1, Ordering::SeqCst);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(p) => Err(GraphError::WorkerPanicked(super::panic_message(p))),
+            })
+            .collect()
+    });
+    result?;
+    if let Some(msg) = broker.failure.lock().take() {
+        return Err(GraphError::WorkerPanicked(msg));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::GraphError;
+    use crate::mapping::{run, DynamicConfig, Mapping, RunInput};
+    use crate::prelude::*;
+    use crate::workflows;
+
+    fn sorted(mut v: Vec<String>) -> Vec<String> {
+        v.sort();
+        v
+    }
+
+    fn dyn_mapping(initial: usize, max: usize) -> Mapping {
+        Mapping::Dynamic(DynamicConfig {
+            initial_workers: initial,
+            max_workers: max,
+            autoscale: true,
+            scale_threshold: 4,
+        })
+    }
+
+    #[test]
+    fn matches_simple_mapping_output_multiset() {
+        let seq = run(&workflows::doubler_graph(), RunInput::Iterations(25), &Mapping::Simple).unwrap();
+        let dynr = run(&workflows::doubler_graph(), RunInput::Iterations(25), &dyn_mapping(2, 4)).unwrap();
+        assert_eq!(sorted(seq.lines().to_vec()), sorted(dynr.lines().to_vec()));
+    }
+
+    #[test]
+    fn isprime_dynamic_end_to_end() {
+        let r = run(&workflows::isprime_graph(), RunInput::Iterations(25), &dyn_mapping(3, 6)).unwrap();
+        for line in r.lines() {
+            assert!(line.contains("is prime"), "{line}");
+        }
+        let total: u64 = r.counts.values().sum();
+        assert!(total >= 25);
+    }
+
+    #[test]
+    fn zero_iterations_finish_immediately() {
+        let r = run(&workflows::doubler_graph(), RunInput::Iterations(0), &dyn_mapping(2, 4)).unwrap();
+        assert!(r.lines().is_empty());
+    }
+
+    #[test]
+    fn invalid_worker_config_rejected() {
+        let err = run(
+            &workflows::doubler_graph(),
+            RunInput::Iterations(1),
+            &Mapping::Dynamic(DynamicConfig {
+                initial_workers: 0,
+                max_workers: 0,
+                autoscale: false,
+                scale_threshold: 1,
+            }),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidProcessCount { .. }));
+    }
+
+    #[test]
+    fn data_input_feeds_dynamic_roots() {
+        let mut g = WorkflowGraph::new("w");
+        let a = g.add(IterativePE::new("Inc", |d: Data| {
+            Some(Data::from(d.as_int().unwrap_or(0) + 1))
+        }));
+        let b = g.add(workflows::print_consumer("Out"));
+        g.connect(a, OUTPUT, b, INPUT).unwrap();
+        let r = run(
+            &g,
+            RunInput::Data(vec![Data::from(5i64), Data::from(6i64)]),
+            &dyn_mapping(2, 2),
+        )
+        .unwrap();
+        assert_eq!(sorted(r.lines().to_vec()), vec!["got 6", "got 7"]);
+    }
+
+    #[test]
+    fn autoscaler_activates_extra_workers_under_load() {
+        // Many tasks + slow PE → queue builds up → autoscaler must engage
+        // more than the initial worker count.
+        let mut g = WorkflowGraph::new("w");
+        let src = g.add(workflows::number_producer(1000));
+        let slow = g.add(IterativePE::new("Slow", |d: Data| {
+            std::thread::sleep(std::time::Duration::from_micros(300));
+            Some(d)
+        }));
+        let sink = g.add(workflows::print_consumer("S"));
+        g.connect(src, OUTPUT, slow, INPUT).unwrap();
+        g.connect(slow, OUTPUT, sink, INPUT).unwrap();
+        let r = run(&g, RunInput::Iterations(200), &dyn_mapping(1, 6)).unwrap();
+        // Distinct workers that actually processed something:
+        let workers: std::collections::HashSet<usize> =
+            r.counts.keys().map(|(_, w)| *w).collect();
+        assert!(workers.len() > 1, "autoscaler never engaged: {:?}", r.counts);
+        assert_eq!(r.lines().len(), 200);
+    }
+
+    #[test]
+    fn worker_panic_reported() {
+        let mut g = WorkflowGraph::new("w");
+        let src = g.add(workflows::number_producer(10));
+        let boom = g.add(IterativePE::new("Boom", |_d: Data| -> Option<Data> {
+            panic!("dynamic test panic")
+        }));
+        g.connect(src, OUTPUT, boom, INPUT).unwrap();
+        let err = run(&g, RunInput::Iterations(2), &dyn_mapping(2, 2)).unwrap_err();
+        assert!(matches!(err, GraphError::WorkerPanicked(_)));
+    }
+}

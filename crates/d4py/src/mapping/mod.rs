@@ -1,0 +1,191 @@
+//! Mappings: enacting an abstract workflow on an execution system
+//! (paper §II-A "Mappings" / "Concrete Workflow").
+//!
+//! | dispel4py | here | characteristics |
+//! |---|---|---|
+//! | *simple* | [`Mapping::Simple`] | sequential, single instance per PE |
+//! | *multiprocessing* | [`Mapping::Multi`] | static rank partition over OS threads, channel-connected |
+//! | *redis* (dynamic) | [`Mapping::Dynamic`] | shared work queue, autoscaling worker pool |
+
+pub mod dynamic;
+pub mod multi;
+pub mod simple;
+
+use crate::data::Data;
+use crate::error::GraphError;
+use crate::graph::WorkflowGraph;
+use crate::monitor::{Monitor, OutputSink};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Configuration of the dynamic (Redis-style) mapping.
+#[derive(Debug, Clone)]
+pub struct DynamicConfig {
+    /// Workers active at start.
+    pub initial_workers: usize,
+    /// Upper bound the autoscaler may grow to.
+    pub max_workers: usize,
+    /// Enable autoscaling (auto-provisioning, paper §III).
+    pub autoscale: bool,
+    /// Queue-depth-per-worker threshold that triggers a scale-up.
+    pub scale_threshold: usize,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            initial_workers: 2,
+            max_workers: 8,
+            autoscale: true,
+            scale_threshold: 8,
+        }
+    }
+}
+
+/// The execution mapping selected at run time (the paper's
+/// `run` / `run_multiprocess` / `run_dynamic` client functions).
+#[derive(Clone)]
+pub enum Mapping {
+    /// Sequential enactment.
+    Simple,
+    /// Static workload distribution over `processes` ranks.
+    Multi { processes: usize },
+    /// Dynamic workload allocation with a work-queue broker.
+    Dynamic(DynamicConfig),
+}
+
+/// What to feed the workflow's root PE(s).
+#[derive(Debug, Clone)]
+pub enum RunInput {
+    /// Drive producers for `n` iterations (the CLI's `-i 10`).
+    Iterations(u64),
+    /// Feed explicit data items to root PEs with an input port; producers
+    /// are driven once per item.
+    Data(Vec<Data>),
+}
+
+impl RunInput {
+    pub fn len(&self) -> usize {
+        match self {
+            RunInput::Iterations(n) => *n as usize,
+            RunInput::Data(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Outcome of an enactment.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub workflow: String,
+    /// The captured output stream (PE `ctx.log` lines), in emission order.
+    lines: Vec<String>,
+    /// Per-(PE display name, rank) iteration counts.
+    pub counts: BTreeMap<(String, usize), u64>,
+    /// Fig. 5b-style rank partition, for `Multi` runs.
+    pub partition: Option<Vec<std::ops::Range<usize>>>,
+    pub duration: Duration,
+}
+
+impl RunResult {
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Verbose report: partition, output lines, per-rank summaries —
+    /// the shape of the paper's Fig. 5b console transcript.
+    pub fn verbose_report(&self) -> String {
+        let mut out = String::new();
+        if let Some(p) = &self.partition {
+            out.push('{');
+            let bits: Vec<String> = p
+                .iter()
+                .enumerate()
+                .map(|(i, r)| format!("'{}': range({}, {})", format!("PE{i}"), r.start, r.end))
+                .collect();
+            out.push_str(&bits.join(", "));
+            out.push_str("}\n");
+        }
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        for ((pe, rank), n) in &self.counts {
+            out.push_str(&format!("{pe} (rank {rank}): Processed {n} iterations.\n"));
+        }
+        out
+    }
+}
+
+pub(crate) fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// Enact `graph` with the given input and mapping, capturing output.
+pub fn run(graph: &WorkflowGraph, input: RunInput, mapping: &Mapping) -> Result<RunResult, GraphError> {
+    let sink = OutputSink::new();
+    run_with_sink(graph, input, mapping, sink)
+}
+
+/// Enact with a caller-supplied sink (the execution engine passes a sink
+/// with a streaming tap — §IV-E).
+pub fn run_with_sink(
+    graph: &WorkflowGraph,
+    input: RunInput,
+    mapping: &Mapping,
+    sink: OutputSink,
+) -> Result<RunResult, GraphError> {
+    graph.validate()?;
+    let monitor = Monitor::new();
+    let start = std::time::Instant::now();
+    let partition = match mapping {
+        Mapping::Simple => {
+            simple::execute(graph, &input, &sink, &monitor)?;
+            None
+        }
+        Mapping::Multi { processes } => {
+            let p = multi::execute(graph, &input, *processes, &sink, &monitor)?;
+            Some(p)
+        }
+        Mapping::Dynamic(cfg) => {
+            dynamic::execute(graph, &input, cfg, &sink, &monitor)?;
+            None
+        }
+    };
+    Ok(RunResult {
+        workflow: graph.name.clone(),
+        lines: sink.lines(),
+        counts: monitor.counts(),
+        partition,
+        duration: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_input_len() {
+        assert_eq!(RunInput::Iterations(5).len(), 5);
+        assert_eq!(RunInput::Data(vec![Data::Null]).len(), 1);
+        assert!(RunInput::Iterations(0).is_empty());
+    }
+
+    #[test]
+    fn dynamic_config_defaults_sane() {
+        let c = DynamicConfig::default();
+        assert!(c.initial_workers >= 1);
+        assert!(c.max_workers >= c.initial_workers);
+        assert!(c.autoscale);
+    }
+}

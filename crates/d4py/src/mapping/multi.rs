@@ -1,0 +1,385 @@
+//! The *multiprocessing* mapping: static workload distribution
+//! (paper §II-A, Fig. 5b).
+//!
+//! The process count is partitioned statically over the PEs —
+//! `{'NumberProducer': range(0, 1), 'IsPrime1': range(1, 5), 'PrintPrime2':
+//! range(5, 9)}` for 9 processes — and each rank becomes an OS thread owning
+//! its own PE instance and a bounded crossbeam channel. Data is routed to
+//! target ranks according to the edge's [`Grouping`](crate::graph::Grouping); termination uses
+//! end-of-stream tokens counted per upstream rank, the standard dataflow
+//! discipline.
+
+use crate::data::Data;
+use crate::error::GraphError;
+use crate::graph::{NodeId, WorkflowGraph};
+use crate::mapping::RunInput;
+use crate::monitor::{Monitor, OutputSink};
+use crate::pe::Context;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use std::ops::Range;
+
+/// Channel capacity per rank — bounded for backpressure (HPC guide idiom).
+const CHANNEL_CAP: usize = 1024;
+
+enum Msg {
+    Item { port: String, data: Data },
+    Eos,
+}
+
+pub(crate) fn execute(
+    graph: &WorkflowGraph,
+    input: &RunInput,
+    processes: usize,
+    sink: &OutputSink,
+    monitor: &Monitor,
+) -> Result<Vec<Range<usize>>, GraphError> {
+    let partition = graph.partition(processes)?;
+
+    // rank → owning node.
+    let mut rank_node: Vec<usize> = vec![0; processes];
+    for (node, range) in partition.iter().enumerate() {
+        for r in range.clone() {
+            rank_node[r] = node;
+        }
+    }
+
+    // Channels, one per rank.
+    let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(processes);
+    let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(processes);
+    for _ in 0..processes {
+        let (tx, rx) = bounded::<Msg>(CHANNEL_CAP);
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    // Expected EOS tokens per rank = Σ over in-edges of |source ranks|.
+    let expected_eos: Vec<usize> = (0..processes)
+        .map(|r| {
+            let node = rank_node[r];
+            graph
+                .in_edges(NodeId(node))
+                .iter()
+                .map(|e| partition[e.from.0].len())
+                .sum()
+        })
+        .collect();
+
+    let result: Result<Vec<()>, GraphError> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(processes);
+        for rank in 0..processes {
+            let node_idx = rank_node[rank];
+            let node = graph.node(NodeId(node_idx));
+            let display = node.display_name(node_idx);
+            let factory = node.factory.clone();
+            let rx = receivers[rank].take().expect("receiver taken once");
+            let senders = senders.clone();
+            let partition = partition.clone();
+            let sink = sink.clone();
+            let monitor = monitor.clone();
+            let expected = expected_eos[rank];
+            let out_edges: Vec<_> = graph.out_edges(NodeId(node_idx)).into_iter().cloned().collect();
+            let is_root = graph.in_edges(NodeId(node_idx)).is_empty();
+            let input = input.clone();
+            let has_input_port = !node.ports.inputs.is_empty();
+            let first_input_port = node.ports.inputs.first().cloned();
+
+            handles.push(scope.spawn(move || -> Result<(), GraphError> {
+                let mut pe = factory.create();
+                let mut iterations = 0u64;
+                // Per-edge round-robin counters.
+                let mut counters = vec![rank; out_edges.len()]; // offset by rank to spread load
+
+                // Emission routing shared by all phases.
+                let route = |edge_idx: usize,
+                             port: &str,
+                             data: Data,
+                             counters: &mut Vec<usize>|
+                 -> Vec<(usize, Msg)> {
+                    let edge = &out_edges[edge_idx];
+                    if edge.from_port != port {
+                        return Vec::new();
+                    }
+                    let targets = partition[edge.to.0].clone();
+                    let offsets =
+                        WorkflowGraph::route(edge, &data, targets.len(), &mut counters[edge_idx]);
+                    offsets
+                        .into_iter()
+                        .map(|o| {
+                            (
+                                targets.start + o,
+                                Msg::Item {
+                                    port: edge.to_port.clone(),
+                                    data: data.clone(),
+                                },
+                            )
+                        })
+                        .collect()
+                };
+
+                let send_all = |emitted: Vec<(String, Data)>, counters: &mut Vec<usize>| {
+                    for (port, data) in emitted {
+                        for edge_idx in 0..out_edges.len() {
+                            for (target, msg) in route(edge_idx, &port, data.clone(), counters) {
+                                // Send failure = downstream exited early
+                                // (panic); data loss is already fatal there.
+                                let _ = senders[target].send(msg);
+                            }
+                        }
+                    }
+                };
+
+                // Setup.
+                let mut emitted: Vec<(String, Data)> = Vec::new();
+                {
+                    let mut emit = |p: &str, d: Data| emitted.push((p.to_string(), d));
+                    let log = |line: String| sink.push(line);
+                    let mut ctx = Context::new(&display, rank, 0, &mut emit, &log);
+                    pe.setup(&mut ctx);
+                }
+                send_all(std::mem::take(&mut emitted), &mut counters);
+
+                if is_root {
+                    // Root rank drives the input. (Each root PE has exactly
+                    // one rank by construction of `partition`.)
+                    let feed: Vec<Option<Data>> = match &input {
+                        RunInput::Iterations(n) => (0..*n).map(|_| None).collect(),
+                        RunInput::Data(items) => items.iter().map(|d| Some(d.clone())).collect(),
+                    };
+                    for (i, datum) in feed.into_iter().enumerate() {
+                        let mut emitted: Vec<(String, Data)> = Vec::new();
+                        {
+                            let mut emit = |p: &str, d: Data| emitted.push((p.to_string(), d));
+                            let log = |line: String| sink.push(line);
+                            let mut ctx = Context::new(&display, rank, i as u64, &mut emit, &log);
+                            let call = match (&datum, has_input_port) {
+                                (Some(d), true) => {
+                                    Some((first_input_port.clone().unwrap(), d.clone()))
+                                }
+                                _ => None,
+                            };
+                            pe.process(call, &mut ctx);
+                        }
+                        iterations += 1;
+                        send_all(emitted, &mut counters);
+                    }
+                } else {
+                    // Worker rank: consume until all upstream EOS received.
+                    let mut eos = 0usize;
+                    while eos < expected {
+                        match rx.recv() {
+                            Ok(Msg::Item { port, data }) => {
+                                let mut emitted: Vec<(String, Data)> = Vec::new();
+                                {
+                                    let mut emit =
+                                        |p: &str, d: Data| emitted.push((p.to_string(), d));
+                                    let log = |line: String| sink.push(line);
+                                    let mut ctx = Context::new(
+                                        &display, rank, iterations, &mut emit, &log,
+                                    );
+                                    pe.process(Some((port, data)), &mut ctx);
+                                }
+                                iterations += 1;
+                                send_all(emitted, &mut counters);
+                            }
+                            Ok(Msg::Eos) => eos += 1,
+                            Err(_) => break, // all senders gone — treat as EOS
+                        }
+                    }
+                }
+
+                // Teardown, then propagate EOS to every downstream rank.
+                let mut emitted: Vec<(String, Data)> = Vec::new();
+                {
+                    let mut emit = |p: &str, d: Data| emitted.push((p.to_string(), d));
+                    let log = |line: String| sink.push(line);
+                    let mut ctx = Context::new(&display, rank, iterations, &mut emit, &log);
+                    pe.teardown(&mut ctx);
+                }
+                send_all(emitted, &mut counters);
+                for edge in &out_edges {
+                    for target in partition[edge.to.0].clone() {
+                        let _ = senders[target].send(Msg::Eos);
+                    }
+                }
+                drop(senders);
+                monitor.record(&display, rank, iterations);
+                Ok(())
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(p) => Err(GraphError::WorkerPanicked(super::panic_message(p))),
+            })
+            .collect()
+    });
+    result?;
+    Ok(partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::GraphError;
+    use crate::mapping::{run, Mapping, RunInput};
+    use crate::prelude::*;
+    use crate::workflows;
+    use std::collections::BTreeMap;
+
+    fn sorted(mut v: Vec<String>) -> Vec<String> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn matches_simple_mapping_output_multiset() {
+        let g1 = workflows::doubler_graph();
+        let seq = run(&g1, RunInput::Iterations(20), &Mapping::Simple).unwrap();
+        let g2 = workflows::doubler_graph();
+        let par = run(&g2, RunInput::Iterations(20), &Mapping::Multi { processes: 6 }).unwrap();
+        assert_eq!(sorted(seq.lines().to_vec()), sorted(par.lines().to_vec()));
+    }
+
+    #[test]
+    fn partition_reported_fig5b_style() {
+        let g = workflows::isprime_graph();
+        let r = run(&g, RunInput::Iterations(10), &Mapping::Multi { processes: 9 }).unwrap();
+        let p = r.partition.unwrap();
+        assert_eq!(p[0], 0..1);
+        assert_eq!(p[1], 1..5);
+        assert_eq!(p[2], 5..9);
+    }
+
+    #[test]
+    fn per_rank_counts_sum_to_total_work() {
+        let g = workflows::doubler_graph();
+        let r = run(&g, RunInput::Iterations(50), &Mapping::Multi { processes: 7 }).unwrap();
+        let by_pe: BTreeMap<String, u64> =
+            r.counts
+                .iter()
+                .fold(BTreeMap::new(), |mut acc, ((pe, _), n)| {
+                    *acc.entry(pe.clone()).or_insert(0) += n;
+                    acc
+                });
+        assert_eq!(by_pe.get("Numbers0"), Some(&50));
+        assert_eq!(by_pe.get("Double1"), Some(&50));
+        assert_eq!(by_pe.get("Print2"), Some(&50));
+        // Work is actually spread: with 50 items and 2+ ranks on Double,
+        // at least two ranks processed something.
+        let double_ranks = r
+            .counts
+            .iter()
+            .filter(|((pe, _), n)| pe == "Double1" && **n > 0)
+            .count();
+        assert!(double_ranks >= 2, "{:?}", r.counts);
+    }
+
+    #[test]
+    fn minimum_process_count_enforced() {
+        let g = workflows::isprime_graph();
+        let err = run(&g, RunInput::Iterations(1), &Mapping::Multi { processes: 2 }).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidProcessCount { .. }));
+    }
+
+    #[test]
+    fn group_by_keeps_keys_on_one_rank() {
+        // Stateful counting per word only works when equal words land on
+        // the same rank — exactly what GroupBy guarantees.
+        let g = workflows::word_count_graph();
+        let seq = run(&g, RunInput::Iterations(6), &Mapping::Simple).unwrap();
+        let g2 = workflows::word_count_graph();
+        let par = run(&g2, RunInput::Iterations(6), &Mapping::Multi { processes: 8 }).unwrap();
+        // Final per-word maxima must agree between mappings.
+        let final_counts = |lines: &[String]| -> BTreeMap<String, i64> {
+            let mut m = BTreeMap::new();
+            for l in lines {
+                let mut parts = l.rsplitn(2, ' ');
+                let n: i64 = parts.next().unwrap().parse().unwrap();
+                let w = parts.next().unwrap().to_string();
+                let e = m.entry(w).or_insert(0);
+                if n > *e {
+                    *e = n;
+                }
+            }
+            m
+        };
+        assert_eq!(final_counts(seq.lines()), final_counts(par.lines()));
+    }
+
+    #[test]
+    fn one_to_all_broadcasts() {
+        let mut g = WorkflowGraph::new("w");
+        let src = g.add(workflows::number_producer(100));
+        let sink = g.add(workflows::print_consumer("S"));
+        g.connect_grouped(src, OUTPUT, sink, INPUT, Grouping::OneToAll)
+            .unwrap();
+        // 3 sink ranks → every datum printed 3 times.
+        let r = run(&g, RunInput::Iterations(4), &Mapping::Multi { processes: 4 }).unwrap();
+        assert_eq!(r.lines().len(), 12, "{:?}", r.lines());
+    }
+
+    #[test]
+    fn all_to_one_serialises() {
+        let mut g = WorkflowGraph::new("w");
+        let src = g.add(workflows::number_producer(100));
+        let sink = g.add(workflows::print_consumer("S"));
+        g.connect_grouped(src, OUTPUT, sink, INPUT, Grouping::AllToOne)
+            .unwrap();
+        let r = run(&g, RunInput::Iterations(5), &Mapping::Multi { processes: 5 }).unwrap();
+        // All data on the sink's first rank.
+        let first_rank_count = r
+            .counts
+            .iter()
+            .filter(|((pe, _), n)| pe == "S1" && **n > 0)
+            .count();
+        assert_eq!(first_rank_count, 1, "{:?}", r.counts);
+        assert_eq!(r.lines().len(), 5);
+    }
+
+    #[test]
+    fn isprime_parallel_matches_sequential() {
+        let seq = run(&workflows::isprime_graph(), RunInput::Iterations(30), &Mapping::Simple).unwrap();
+        let par = run(
+            &workflows::isprime_graph(),
+            RunInput::Iterations(30),
+            &Mapping::Multi { processes: 9 },
+        )
+        .unwrap();
+        assert_eq!(sorted(seq.lines().to_vec()), sorted(par.lines().to_vec()));
+    }
+
+    #[test]
+    fn worker_panic_is_reported_not_hung() {
+        let mut g = WorkflowGraph::new("w");
+        let src = g.add(workflows::number_producer(100));
+        let boom = g.add(IterativePE::new("Boom", |d: Data| {
+            if d.as_int().unwrap_or(0) >= 0 {
+                panic!("intentional test panic");
+            }
+            Some(d)
+        }));
+        g.connect(src, OUTPUT, boom, INPUT).unwrap();
+        let err = run(&g, RunInput::Iterations(3), &Mapping::Multi { processes: 2 }).unwrap_err();
+        match err {
+            GraphError::WorkerPanicked(msg) => assert!(msg.contains("intentional")),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_input_supported() {
+        let mut g = WorkflowGraph::new("w");
+        let a = g.add(IterativePE::new("Inc", |d: Data| {
+            Some(Data::from(d.as_int().unwrap_or(0) + 1))
+        }));
+        let b = g.add(workflows::print_consumer("Out"));
+        g.connect(a, OUTPUT, b, INPUT).unwrap();
+        let r = run(
+            &g,
+            RunInput::Data(vec![Data::from(1i64), Data::from(2i64), Data::from(3i64)]),
+            &Mapping::Multi { processes: 3 },
+        )
+        .unwrap();
+        assert_eq!(sorted(r.lines().to_vec()), vec!["got 2", "got 3", "got 4"]);
+    }
+}

@@ -1,0 +1,592 @@
+//! Processing Elements (paper §II-A).
+//!
+//! A PE is the fundamental unit of computation: it consumes data on named
+//! input ports, emits data on named output ports, and may keep local state
+//! between invocations. The engine owns one *instance* per (PE, rank) — the
+//! graph stores a **factory** so that parallel mappings can instantiate as
+//! many copies as the process count requires, exactly as dispel4py
+//! re-instantiates PEs per MPI rank.
+//!
+//! The dispel4py convenience hierarchy is reproduced with closure adapters:
+//!
+//! | dispel4py | here |
+//! |---|---|
+//! | `GenericPE` (n-in, n-out) | [`GenericPE`] |
+//! | `IterativePE` (1-in, 1-out) | [`IterativePE`] |
+//! | producer (0-in, 1-out) | [`ProducerPE`] |
+//! | consumer (1-in, 0-out) | [`ConsumerPE`] |
+
+use crate::data::Data;
+
+/// Default single-input port name.
+pub const INPUT_PORT: &str = "input";
+/// Default single-output port name.
+pub const OUTPUT_PORT: &str = "output";
+
+/// Input/output port declaration of a PE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortSpec {
+    pub inputs: Vec<String>,
+    pub outputs: Vec<String>,
+}
+
+impl PortSpec {
+    pub fn new<I, O>(inputs: I, outputs: O) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+        O: IntoIterator,
+        O::Item: Into<String>,
+    {
+        PortSpec {
+            inputs: inputs.into_iter().map(Into::into).collect(),
+            outputs: outputs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// 1-in / 1-out with the default port names.
+    pub fn iterative() -> Self {
+        PortSpec::new([INPUT_PORT], [OUTPUT_PORT])
+    }
+
+    pub fn producer() -> Self {
+        PortSpec::new(Vec::<String>::new(), [OUTPUT_PORT])
+    }
+
+    pub fn consumer() -> Self {
+        PortSpec::new([INPUT_PORT], Vec::<String>::new())
+    }
+}
+
+/// Execution context handed to a PE on every invocation: emit data, write
+/// to the captured output stream, know who/where you are.
+pub struct Context<'a> {
+    pub pe_name: &'a str,
+    pub rank: usize,
+    pub iteration: u64,
+    emit: &'a mut dyn FnMut(&str, Data),
+    log: &'a dyn Fn(String),
+}
+
+impl<'a> Context<'a> {
+    pub fn new(
+        pe_name: &'a str,
+        rank: usize,
+        iteration: u64,
+        emit: &'a mut dyn FnMut(&str, Data),
+        log: &'a dyn Fn(String),
+    ) -> Self {
+        Context {
+            pe_name,
+            rank,
+            iteration,
+            emit,
+            log,
+        }
+    }
+
+    /// Emit `data` on output port `port`.
+    pub fn emit(&mut self, port: &str, data: Data) {
+        (self.emit)(port, data);
+    }
+
+    /// Emit on the default output port.
+    pub fn write(&mut self, data: Data) {
+        (self.emit)(OUTPUT_PORT, data);
+    }
+
+    /// Append a line to the workflow's captured output stream (the
+    /// equivalent of a Python PE printing to stdout, which Laminar's
+    /// execution engine captures and streams to the client — §IV-E).
+    pub fn log(&mut self, line: impl Into<String>) {
+        (self.log)(line.into());
+    }
+}
+
+/// Name accessor used by the graph's blanket `PEFactory` implementation:
+/// any `Clone + NamedPE` PE value can be added to a graph directly.
+pub trait NamedPE {
+    fn pe_name(&self) -> String;
+}
+
+/// A Processing Element instance.
+pub trait PE: Send {
+    /// Port declaration (queried once at graph-build time).
+    fn ports(&self) -> PortSpec;
+
+    /// Handle one unit of work.
+    ///
+    /// * Producers are invoked with `input = None` once per iteration.
+    /// * Everything else is invoked with `Some((port, data))` per datum.
+    fn process(&mut self, input: Option<(String, Data)>, ctx: &mut Context<'_>);
+
+    /// Called once before the first `process` on this instance.
+    fn setup(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called once after the last `process` on this instance.
+    fn teardown(&mut self, _ctx: &mut Context<'_>) {}
+}
+
+// ---------------------------------------------------------------------------
+// Closure adapters
+// ---------------------------------------------------------------------------
+
+/// 1-in/1-out PE from a function of the input datum. Stateless form; use
+/// [`StatefulPE`] to thread explicit state.
+pub struct IterativePE<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> IterativePE<F>
+where
+    F: FnMut(Data) -> Option<Data> + Send,
+{
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        IterativePE {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> PE for IterativePE<F>
+where
+    F: FnMut(Data) -> Option<Data> + Send,
+{
+    fn ports(&self) -> PortSpec {
+        PortSpec::iterative()
+    }
+
+    fn process(&mut self, input: Option<(String, Data)>, ctx: &mut Context<'_>) {
+        if let Some((_, data)) = input {
+            if let Some(out) = (self.f)(data) {
+                ctx.write(out);
+            }
+        }
+    }
+}
+
+impl<F> IterativePE<F> {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Stateful 1-in/1-out PE: the closure sees `&mut S` and the datum.
+pub struct StatefulPE<S, F> {
+    name: String,
+    state: S,
+    f: F,
+}
+
+impl<S, F> StatefulPE<S, F>
+where
+    S: Send,
+    F: FnMut(&mut S, Data, &mut Context<'_>) + Send,
+{
+    pub fn new(name: impl Into<String>, state: S, f: F) -> Self {
+        StatefulPE {
+            name: name.into(),
+            state,
+            f,
+        }
+    }
+}
+
+impl<S, F> PE for StatefulPE<S, F>
+where
+    S: Send,
+    F: FnMut(&mut S, Data, &mut Context<'_>) + Send,
+{
+    fn ports(&self) -> PortSpec {
+        PortSpec::iterative()
+    }
+
+    fn process(&mut self, input: Option<(String, Data)>, ctx: &mut Context<'_>) {
+        if let Some((_, data)) = input {
+            (self.f)(&mut self.state, data, ctx);
+        }
+    }
+}
+
+/// 0-in/1-out PE invoked once per iteration with the iteration index.
+/// Returning `None` ends the stream early.
+pub struct ProducerPE<F> {
+    name: String,
+    f: F,
+    exhausted: bool,
+}
+
+impl<F> ProducerPE<F>
+where
+    F: FnMut(u64) -> Option<Data> + Send,
+{
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        ProducerPE {
+            name: name.into(),
+            f,
+            exhausted: false,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<F> PE for ProducerPE<F>
+where
+    F: FnMut(u64) -> Option<Data> + Send,
+{
+    fn ports(&self) -> PortSpec {
+        PortSpec::producer()
+    }
+
+    fn process(&mut self, _input: Option<(String, Data)>, ctx: &mut Context<'_>) {
+        if self.exhausted {
+            return;
+        }
+        match (self.f)(ctx.iteration) {
+            Some(d) => ctx.write(d),
+            None => self.exhausted = true,
+        }
+    }
+}
+
+/// 1-in/0-out PE, typically printing or collecting.
+pub struct ConsumerPE<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> ConsumerPE<F>
+where
+    F: FnMut(Data, &mut Context<'_>) + Send,
+{
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        ConsumerPE {
+            name: name.into(),
+            f,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<F> PE for ConsumerPE<F>
+where
+    F: FnMut(Data, &mut Context<'_>) + Send,
+{
+    fn ports(&self) -> PortSpec {
+        PortSpec::consumer()
+    }
+
+    fn process(&mut self, input: Option<(String, Data)>, ctx: &mut Context<'_>) {
+        if let Some((_, data)) = input {
+            (self.f)(data, ctx);
+        }
+    }
+}
+
+/// Windowed/terminal aggregation PE: folds every input into state and
+/// emits the final aggregate exactly once, at teardown — the classic
+/// streaming "aggregate then flush at end-of-stream" operator. Works on
+/// every mapping because end-of-stream is delivered per instance (each
+/// rank emits its partial aggregate; route with `Grouping::AllToOne` into
+/// a downstream combiner for a global result).
+pub struct AggregatePE<S, F, G> {
+    name: String,
+    state: S,
+    fold: F,
+    finish: G,
+    saw_input: bool,
+}
+
+impl<S, F, G> AggregatePE<S, F, G>
+where
+    S: Send,
+    F: FnMut(&mut S, Data) + Send,
+    G: FnMut(&S) -> Option<Data> + Send,
+{
+    pub fn new(name: impl Into<String>, state: S, fold: F, finish: G) -> Self {
+        AggregatePE {
+            name: name.into(),
+            state,
+            fold,
+            finish,
+            saw_input: false,
+        }
+    }
+}
+
+impl<S, F, G> PE for AggregatePE<S, F, G>
+where
+    S: Send,
+    F: FnMut(&mut S, Data) + Send,
+    G: FnMut(&S) -> Option<Data> + Send,
+{
+    fn ports(&self) -> PortSpec {
+        PortSpec::iterative()
+    }
+
+    fn process(&mut self, input: Option<(String, Data)>, _ctx: &mut Context<'_>) {
+        if let Some((_, data)) = input {
+            self.saw_input = true;
+            (self.fold)(&mut self.state, data);
+        }
+    }
+
+    fn teardown(&mut self, ctx: &mut Context<'_>) {
+        // Idle ranks (no input routed to them) stay silent so AllToOne
+        // combiners see one partial per *active* rank.
+        if self.saw_input {
+            if let Some(d) = (self.finish)(&self.state) {
+                ctx.write(d);
+            }
+        }
+    }
+}
+
+impl<S: Clone, F: Clone, G: Clone> Clone for AggregatePE<S, F, G> {
+    fn clone(&self) -> Self {
+        AggregatePE {
+            name: self.name.clone(),
+            state: self.state.clone(),
+            fold: self.fold.clone(),
+            finish: self.finish.clone(),
+            saw_input: self.saw_input,
+        }
+    }
+}
+
+impl<S, F, G> NamedPE for AggregatePE<S, F, G> {
+    fn pe_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Fully general PE from explicit ports and a handler closure.
+pub struct GenericPE<F> {
+    name: String,
+    ports: PortSpec,
+    f: F,
+}
+
+impl<F> GenericPE<F>
+where
+    F: FnMut(Option<(String, Data)>, &mut Context<'_>) + Send,
+{
+    pub fn new(name: impl Into<String>, ports: PortSpec, f: F) -> Self {
+        GenericPE {
+            name: name.into(),
+            ports,
+            f,
+        }
+    }
+}
+
+impl<F> PE for GenericPE<F>
+where
+    F: FnMut(Option<(String, Data)>, &mut Context<'_>) + Send,
+{
+    fn ports(&self) -> PortSpec {
+        self.ports.clone()
+    }
+
+    fn process(&mut self, input: Option<(String, Data)>, ctx: &mut Context<'_>) {
+        (self.f)(input, ctx);
+    }
+}
+
+
+// ---------------------------------------------------------------------------
+// Clone + NamedPE implementations (enable direct `graph.add(pe_value)`)
+// ---------------------------------------------------------------------------
+
+impl<F: Clone> Clone for IterativePE<F> {
+    fn clone(&self) -> Self {
+        IterativePE {
+            name: self.name.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<F> NamedPE for IterativePE<F> {
+    fn pe_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl<S: Clone, F: Clone> Clone for StatefulPE<S, F> {
+    fn clone(&self) -> Self {
+        StatefulPE {
+            name: self.name.clone(),
+            state: self.state.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<S, F> NamedPE for StatefulPE<S, F> {
+    fn pe_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl<F: Clone> Clone for ProducerPE<F> {
+    fn clone(&self) -> Self {
+        ProducerPE {
+            name: self.name.clone(),
+            f: self.f.clone(),
+            exhausted: self.exhausted,
+        }
+    }
+}
+
+impl<F> NamedPE for ProducerPE<F> {
+    fn pe_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl<F: Clone> Clone for ConsumerPE<F> {
+    fn clone(&self) -> Self {
+        ConsumerPE {
+            name: self.name.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<F> NamedPE for ConsumerPE<F> {
+    fn pe_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl<F: Clone> Clone for GenericPE<F> {
+    fn clone(&self) -> Self {
+        GenericPE {
+            name: self.name.clone(),
+            ports: self.ports.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<F> NamedPE for GenericPE<F> {
+    fn pe_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    fn drive(pe: &mut dyn PE, inputs: Vec<Option<(String, Data)>>) -> (Vec<(String, Data)>, Vec<String>) {
+        let emitted = RefCell::new(Vec::new());
+        let logged = RefCell::new(Vec::new());
+        for (i, input) in inputs.into_iter().enumerate() {
+            let mut emit = |port: &str, d: Data| emitted.borrow_mut().push((port.to_string(), d));
+            let log = |s: String| logged.borrow_mut().push(s);
+            let mut ctx = Context::new("T", 0, i as u64, &mut emit, &log);
+            pe.process(input, &mut ctx);
+        }
+        (emitted.into_inner(), logged.into_inner())
+    }
+
+    #[test]
+    fn iterative_maps_and_filters() {
+        let mut pe = IterativePE::new("Double", |d: Data| {
+            let v = d.as_int()?;
+            if v % 2 == 0 {
+                Some(Data::from(v * 2))
+            } else {
+                None
+            }
+        });
+        let (out, _) = drive(
+            &mut pe,
+            vec![
+                Some((INPUT_PORT.into(), Data::from(2i64))),
+                Some((INPUT_PORT.into(), Data::from(3i64))),
+                Some((INPUT_PORT.into(), Data::from(4i64))),
+            ],
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1, Data::from(4i64));
+        assert_eq!(out[1].1, Data::from(8i64));
+        assert_eq!(out[0].0, OUTPUT_PORT);
+    }
+
+    #[test]
+    fn producer_sees_iteration_and_can_stop() {
+        let mut pe = ProducerPE::new("Gen", |i| if i < 3 { Some(Data::from(i)) } else { None });
+        let (out, _) = drive(&mut pe, vec![None, None, None, None, None]);
+        assert_eq!(out.len(), 3, "stops after returning None");
+    }
+
+    #[test]
+    fn consumer_logs() {
+        let mut pe = ConsumerPE::new("Print", |d: Data, ctx: &mut Context<'_>| {
+            ctx.log(format!("the num {d} is prime"));
+        });
+        let (out, logs) = drive(&mut pe, vec![Some((INPUT_PORT.into(), Data::from(751i64)))]);
+        assert!(out.is_empty());
+        assert_eq!(logs, vec!["the num 751 is prime"]);
+    }
+
+    #[test]
+    fn stateful_accumulates() {
+        let mut pe = StatefulPE::new("Acc", 0i64, |acc: &mut i64, d: Data, ctx: &mut Context<'_>| {
+            *acc += d.as_int().unwrap_or(0);
+            ctx.write(Data::from(*acc));
+        });
+        let (out, _) = drive(
+            &mut pe,
+            vec![
+                Some((INPUT_PORT.into(), Data::from(1i64))),
+                Some((INPUT_PORT.into(), Data::from(2i64))),
+                Some((INPUT_PORT.into(), Data::from(3i64))),
+            ],
+        );
+        assert_eq!(
+            out.iter().map(|(_, d)| d.as_int().unwrap()).collect::<Vec<_>>(),
+            vec![1, 3, 6]
+        );
+    }
+
+    #[test]
+    fn generic_multi_port() {
+        let ports = PortSpec::new(["left", "right"], ["sum"]);
+        let mut pe = GenericPE::new("Gen", ports.clone(), |input, ctx: &mut Context<'_>| {
+            if let Some((port, d)) = input {
+                let sign = if port == "left" { 1 } else { -1 };
+                ctx.emit("sum", Data::from(sign * d.as_int().unwrap_or(0)));
+            }
+        });
+        assert_eq!(pe.ports(), ports);
+        let (out, _) = drive(
+            &mut pe,
+            vec![
+                Some(("left".into(), Data::from(5i64))),
+                Some(("right".into(), Data::from(3i64))),
+            ],
+        );
+        assert_eq!(out[0].1, Data::from(5i64));
+        assert_eq!(out[1].1, Data::from(-3i64));
+    }
+
+    #[test]
+    fn portspec_constructors() {
+        assert_eq!(PortSpec::iterative().inputs, vec![INPUT_PORT]);
+        assert_eq!(PortSpec::producer().inputs.len(), 0);
+        assert_eq!(PortSpec::consumer().outputs.len(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Dense embedding vectors and batch ranking.
+//!
+//! Both model substitutes produce L2-normalised 256-dimensional vectors via
+//! signed feature hashing (the classic "hashing trick"): each textual
+//! feature hashes to a dimension and a sign, contributions accumulate, and
+//! the result is normalised. Cosine similarity between normalised vectors
+//! is a plain dot product.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Embedding dimensionality (fixed across the workspace so embeddings can
+/// be stored in the registry and compared later).
+pub const DIM: usize = 256;
+
+/// An L2-normalised dense vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseVec {
+    pub values: Vec<f32>,
+}
+
+impl DenseVec {
+    /// The zero vector (embedding of empty input).
+    pub fn zero() -> Self {
+        DenseVec {
+            values: vec![0.0; DIM],
+        }
+    }
+
+    /// Build from raw accumulated values, L2-normalising in place.
+    pub fn normalised(mut values: Vec<f32>) -> Self {
+        debug_assert_eq!(values.len(), DIM);
+        let norm = values.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for v in &mut values {
+                *v /= norm;
+            }
+        }
+        DenseVec { values }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|&v| v == 0.0)
+    }
+
+    /// Cosine similarity (dot product — inputs are normalised).
+    pub fn cosine(&self, other: &DenseVec) -> f32 {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Serialise for registry storage (JSON array, as the paper's
+    /// `descriptionEmbedding` column).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.values).expect("DenseVec serialisation cannot fail")
+    }
+
+    pub fn from_json(s: &str) -> Result<DenseVec, String> {
+        let values: Vec<f32> = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        if values.len() != DIM {
+            return Err(format!("expected {DIM} dims, got {}", values.len()));
+        }
+        Ok(DenseVec { values })
+    }
+}
+
+/// One ranked retrieval hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedHit {
+    pub index: usize,
+    pub score: f32,
+}
+
+/// Rank all `corpus` vectors against `query`, best first; deterministic
+/// tie-break by index. Parallelises for large corpora.
+pub fn batch_rank(query: &DenseVec, corpus: &[DenseVec]) -> Vec<RankedHit> {
+    let score = |(i, v): (usize, &DenseVec)| RankedHit {
+        index: i,
+        score: query.cosine(v),
+    };
+    let mut hits: Vec<RankedHit> = if corpus.len() >= 1024 {
+        corpus.par_iter().enumerate().map(score).collect()
+    } else {
+        corpus.iter().enumerate().map(score).collect()
+    };
+    hits.sort_unstable_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+    hits
+}
+
+/// Signed hashing: fold a feature hash into (dimension, sign).
+#[inline]
+pub fn hash_to_dim(h: u64) -> (usize, f32) {
+    let dim = (h % DIM as u64) as usize;
+    let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+    (dim, sign)
+}
+
+/// FNV-1a, shared with the sparse SPT path for consistency.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(pairs: &[(usize, f32)]) -> DenseVec {
+        let mut values = vec![0.0; DIM];
+        for &(i, v) in pairs {
+            values[i] = v;
+        }
+        DenseVec::normalised(values)
+    }
+
+    #[test]
+    fn normalisation() {
+        let v = vec_of(&[(0, 3.0), (1, 4.0)]);
+        let norm: f32 = v.values.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_stays_zero() {
+        let z = DenseVec::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.cosine(&z), 0.0);
+        let n = DenseVec::normalised(vec![0.0; DIM]);
+        assert!(n.is_zero());
+    }
+
+    #[test]
+    fn cosine_identity_and_orthogonality() {
+        let a = vec_of(&[(0, 1.0)]);
+        let b = vec_of(&[(1, 1.0)]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-6);
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn batch_rank_orders_and_breaks_ties() {
+        let q = vec_of(&[(0, 1.0)]);
+        let corpus = vec![
+            vec_of(&[(1, 1.0)]),            // orthogonal
+            vec_of(&[(0, 1.0)]),            // identical
+            vec_of(&[(0, 1.0), (1, 1.0)]),  // partial
+            vec_of(&[(1, 1.0)]),            // orthogonal (tie with 0)
+        ];
+        let hits = batch_rank(&q, &corpus);
+        assert_eq!(hits[0].index, 1);
+        assert_eq!(hits[1].index, 2);
+        assert_eq!(hits[2].index, 0, "tie broken by index");
+        assert_eq!(hits[3].index, 3);
+    }
+
+    #[test]
+    fn json_roundtrip_and_validation() {
+        let v = vec_of(&[(3, 1.0), (7, -2.0)]);
+        let back = DenseVec::from_json(&v.to_json()).unwrap();
+        assert_eq!(v, back);
+        assert!(DenseVec::from_json("[1.0, 2.0]").is_err(), "wrong dim");
+        assert!(DenseVec::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn hash_to_dim_in_range_and_signed() {
+        let mut signs = [false, false];
+        for s in ["a", "b", "c", "dd", "ee", "ff", "gg"] {
+            let (d, sign) = hash_to_dim(fnv1a(s.as_bytes()));
+            assert!(d < DIM);
+            assert!(sign == 1.0 || sign == -1.0);
+            signs[(sign < 0.0) as usize] = true;
+        }
+        assert!(signs[0] && signs[1], "both signs occur");
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let q = vec_of(&[(0, 1.0), (5, 0.5)]);
+        let corpus: Vec<DenseVec> = (0..1500)
+            .map(|i| vec_of(&[(i % DIM, 1.0), ((i * 7) % DIM, 0.3)]))
+            .collect();
+        let par = batch_rank(&q, &corpus);
+        let ser: Vec<RankedHit> = {
+            let mut hits: Vec<RankedHit> = corpus
+                .iter()
+                .enumerate()
+                .map(|(i, v)| RankedHit { index: i, score: q.cosine(v) })
+                .collect();
+            hits.sort_unstable_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap()
+                    .then(a.index.cmp(&b.index))
+            });
+            hits
+        };
+        assert_eq!(par, ser);
+    }
+}

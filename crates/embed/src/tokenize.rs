@@ -1,0 +1,123 @@
+//! Shared text/identifier tokenisation for the embedding substitutes.
+
+/// Split an identifier on snake_case and camelCase boundaries, lowercased:
+/// `NumberProducer` → `["number", "producer"]`, `read_file2` → `["read",
+/// "file2"]`.
+pub fn split_identifier(ident: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = ident.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '_' || c == '-' || c == '.' {
+            if !cur.is_empty() {
+                parts.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        let boundary = c.is_ascii_uppercase()
+            && i > 0
+            && (chars[i - 1].is_ascii_lowercase()
+                || (i + 1 < chars.len() && chars[i + 1].is_ascii_lowercase() && chars[i - 1].is_ascii_uppercase()));
+        if boundary && !cur.is_empty() {
+            parts.push(std::mem::take(&mut cur));
+        }
+        cur.push(c.to_ascii_lowercase());
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+/// English stopwords dropped from *text* tokenisation (descriptions and
+/// queries). Small on purpose: discriminative words must survive.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "is", "it", "of", "on",
+    "or", "that", "the", "this", "to", "with",
+];
+
+fn is_stopword(w: &str) -> bool {
+    STOPWORDS.binary_search(&w).is_ok()
+}
+
+/// Tokenise natural-language text: split on non-alphanumerics, split
+/// identifiers, lowercase, drop stopwords and single characters.
+pub fn text_tokens(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
+        if raw.is_empty() {
+            continue;
+        }
+        for part in split_identifier(raw) {
+            if part.len() >= 2 && !is_stopword(&part) {
+                out.push(part);
+            }
+        }
+    }
+    out
+}
+
+/// Subword tokens with positional n-grams for code: identifier subwords
+/// plus the verbatim token (so `randint` and `rand int` both contribute).
+pub fn subword_tokens(code_token: &str) -> Vec<String> {
+    let mut out = vec![code_token.to_ascii_lowercase()];
+    let parts = split_identifier(code_token);
+    if parts.len() > 1 {
+        out.extend(parts);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_table_sorted() {
+        let mut s = STOPWORDS.to_vec();
+        s.sort_unstable();
+        assert_eq!(s, STOPWORDS);
+    }
+
+    #[test]
+    fn snake_and_camel_split() {
+        assert_eq!(split_identifier("NumberProducer"), vec!["number", "producer"]);
+        assert_eq!(split_identifier("read_file"), vec!["read", "file"]);
+        assert_eq!(split_identifier("HTTPServer"), vec!["http", "server"]);
+        assert_eq!(split_identifier("parseJSONValue"), vec!["parse", "json", "value"]);
+        assert_eq!(split_identifier("x"), vec!["x"]);
+        assert_eq!(split_identifier("__init__"), vec!["init"]);
+        assert!(split_identifier("").is_empty());
+    }
+
+    #[test]
+    fn text_tokens_drop_stopwords() {
+        let toks = text_tokens("a PE that is able to detect anomalies");
+        assert_eq!(toks, vec!["pe", "able", "detect", "anomalies"]);
+    }
+
+    #[test]
+    fn text_tokens_split_identifiers() {
+        let toks = text_tokens("the AnomalyDetectionPE class");
+        assert!(toks.contains(&"anomaly".to_string()));
+        assert!(toks.contains(&"detection".to_string()));
+        assert!(toks.contains(&"class".to_string()));
+    }
+
+    #[test]
+    fn subwords_keep_verbatim() {
+        let toks = subword_tokens("randint");
+        assert_eq!(toks, vec!["randint"]);
+        let toks = subword_tokens("read_file");
+        assert_eq!(toks, vec!["read_file", "read", "file"]);
+    }
+
+    #[test]
+    fn numbers_survive() {
+        let toks = text_tokens("returns the top 5 results");
+        assert!(toks.contains(&"top".to_string()));
+        assert!(!toks.contains(&"5".to_string()), "single chars dropped");
+        let toks2 = text_tokens("base64 encoding");
+        assert!(toks2.contains(&"base64".to_string()));
+    }
+}

@@ -1,0 +1,697 @@
+//! Error-tolerant lexer for the Python subset.
+//!
+//! Produces the token stream the parser consumes, including the synthetic
+//! `NEWLINE` / `INDENT` / `DEDENT` tokens of Python's layout-sensitive
+//! grammar. The lexer never aborts: malformed input (unterminated strings,
+//! stray characters, inconsistent dedents) is recorded as a [`LexError`] and
+//! lexing continues, because Laminar's structural search must accept
+//! incomplete code fragments (paper §VI).
+
+use crate::token::{is_keyword, TokKind, Token};
+use std::fmt;
+
+/// A recoverable lexical diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming lexer state. Most callers should use the [`lex`] convenience
+/// function, which drives the lexer to EOF and returns the full token list.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Stack of indentation widths; always starts with 0.
+    indents: Vec<u32>,
+    /// Nesting depth of `(` `[` `{` — newlines inside brackets are implicit
+    /// continuations and produce no NEWLINE/INDENT/DEDENT.
+    bracket_depth: u32,
+    /// True when at the start of a logical line (indentation pending).
+    at_line_start: bool,
+    /// True once a non-layout token has been emitted on the current logical line.
+    line_has_content: bool,
+    /// DEDENT tokens still owed when a line dedents several levels at once.
+    pending_dedents: u32,
+    errors: Vec<LexError>,
+}
+
+/// Lex `src` to completion.
+///
+/// Returns every token including a final `Eof`, plus any recoverable
+/// diagnostics. The token stream is always structurally balanced: every
+/// `Indent` has a matching `Dedent` before `Eof`.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<LexError>) {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token();
+        let done = t.kind == TokKind::Eof;
+        out.push(t);
+        if done {
+            break;
+        }
+    }
+    (out, lx.errors)
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 0,
+            indents: vec![0],
+            bracket_depth: 0,
+            at_line_start: true,
+            line_has_content: false,
+            pending_dedents: 0,
+            errors: Vec::new(),
+        }
+    }
+
+    /// Diagnostics accumulated so far.
+    pub fn errors(&self) -> &[LexError] {
+        &self.errors
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 0;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&mut self, message: impl Into<String>) {
+        self.errors.push(LexError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        });
+    }
+
+    /// Produce the next token. After `Eof` is returned, keeps returning `Eof`.
+    pub fn next_token(&mut self) -> Token {
+        loop {
+            if self.pending_dedents > 0 {
+                self.pending_dedents -= 1;
+                return Token::new(TokKind::Dedent, "", self.line, self.col);
+            }
+            if self.at_line_start && self.bracket_depth == 0 {
+                if let Some(tok) = self.handle_line_start() {
+                    return tok;
+                }
+                continue;
+            }
+
+            // Skip intra-line whitespace and comments.
+            loop {
+                match self.peek() {
+                    Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                        self.bump();
+                    }
+                    Some(b'#') => {
+                        while let Some(c) = self.peek() {
+                            if c == b'\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    }
+                    Some(b'\\') if self.peek_at(1) == Some(b'\n') => {
+                        // Explicit line continuation.
+                        self.bump();
+                        self.bump();
+                    }
+                    Some(b'\\') if self.peek_at(1) == Some(b'\r') && self.peek_at(2) == Some(b'\n') => {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+
+            let (line, col) = (self.line, self.col);
+            match self.peek() {
+                None => {
+                    // EOF: close any open logical line, then unwind indentation.
+                    if self.line_has_content {
+                        self.line_has_content = false;
+                        return Token::new(TokKind::Newline, "", line, col);
+                    }
+                    if self.indents.len() > 1 {
+                        self.indents.pop();
+                        return Token::new(TokKind::Dedent, "", line, col);
+                    }
+                    return Token::new(TokKind::Eof, "", line, col);
+                }
+                Some(b'\n') => {
+                    self.bump();
+                    if self.bracket_depth > 0 {
+                        continue; // implicit continuation
+                    }
+                    self.at_line_start = true;
+                    if self.line_has_content {
+                        self.line_has_content = false;
+                        return Token::new(TokKind::Newline, "", line, col);
+                    }
+                    continue; // blank line
+                }
+                Some(c) => {
+                    self.line_has_content = true;
+                    return self.lex_primary(c, line, col);
+                }
+            }
+        }
+    }
+
+    /// Measure indentation at the start of a logical line and emit
+    /// INDENT/DEDENT tokens as needed. Returns `None` when the line is blank
+    /// or comment-only (caller loops).
+    fn handle_line_start(&mut self) -> Option<Token> {
+        // First: if pending dedents are owed from a previous measurement we
+        // handle them eagerly below, so just measure.
+        let mut width: u32 = 0;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b' ') => {
+                    width += 1;
+                    self.bump();
+                }
+                Some(b'\t') => {
+                    width = (width / 8 + 1) * 8; // tabstop-8, as CPython
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        match self.peek() {
+            None => {
+                self.at_line_start = false;
+                return None;
+            }
+            Some(b'\n') | Some(b'\r') | Some(b'#') => {
+                // Blank or comment-only line: no layout effect. Consume to EOL.
+                while let Some(c) = self.peek() {
+                    self.bump();
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+                return None;
+            }
+            _ => {}
+        }
+        let _ = start;
+        let (line, col) = (self.line, self.col);
+        let cur = *self.indents.last().expect("indent stack never empty");
+        self.at_line_start = false;
+        if width > cur {
+            self.indents.push(width);
+            return Some(Token::new(TokKind::Indent, "", line, col));
+        }
+        if width < cur {
+            let mut pops: u32 = 0;
+            while *self.indents.last().unwrap() > width {
+                self.indents.pop();
+                pops += 1;
+            }
+            if *self.indents.last().unwrap() != width {
+                // Inconsistent dedent: note it and align to the enclosing
+                // level. Pushing `width` as a new level would create an
+                // INDENT-less level and unbalance the token stream.
+                self.error(format!(
+                    "unindent to column {width} does not match any outer indentation level"
+                ));
+            }
+            debug_assert!(pops >= 1);
+            self.pending_dedents = pops - 1;
+            return Some(Token::new(TokKind::Dedent, "", line, col));
+        }
+        None
+    }
+
+    fn lex_primary(&mut self, c: u8, line: u32, col: u32) -> Token {
+        // String prefixes: r, b, f, u and two-letter combos, followed by a quote.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            if let Some(tok) = self.try_lex_prefixed_string(line, col) {
+                return tok;
+            }
+            return self.lex_name(line, col);
+        }
+        if c.is_ascii_digit() {
+            return self.lex_number(line, col);
+        }
+        if c == b'.' && self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+            return self.lex_number(line, col);
+        }
+        if c == b'"' || c == b'\'' {
+            return self.lex_string(line, col);
+        }
+        self.lex_operator(line, col)
+    }
+
+    fn try_lex_prefixed_string(&mut self, line: u32, col: u32) -> Option<Token> {
+        let mut i = 0;
+        while i < 3 {
+            match self.peek_at(i) {
+                Some(b) if matches!(b.to_ascii_lowercase(), b'r' | b'b' | b'f' | b'u') => i += 1,
+                Some(b'"') | Some(b'\'') if i > 0 => {
+                    // Consume prefix letters then lex the string body.
+                    let mut prefix = String::new();
+                    for _ in 0..i {
+                        prefix.push(self.bump().unwrap() as char);
+                    }
+                    let s = self.lex_string(line, col);
+                    return Some(Token::new(TokKind::Str, format!("{prefix}{}", s.text), line, col));
+                }
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    fn lex_name(&mut self, line: u32, col: u32) -> Token {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let kind = if is_keyword(&text) { TokKind::Keyword } else { TokKind::Name };
+        Token::new(kind, text, line, col)
+    }
+
+    fn lex_number(&mut self, line: u32, col: u32) -> Token {
+        let start = self.pos;
+        // Radix prefixes.
+        if self.peek() == Some(b'0')
+            && matches!(
+                self.peek_at(1).map(|b| b.to_ascii_lowercase()),
+                Some(b'x') | Some(b'o') | Some(b'b')
+            )
+        {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            return Token::new(TokKind::Number, text, line, col);
+        }
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' | b'_' => {
+                    self.bump();
+                }
+                b'.' if !seen_dot && !seen_exp => {
+                    // Don't swallow `1.method()` — only a digit or end-of-number after '.'
+                    if self.peek_at(1).is_some_and(|d| d.is_ascii_alphabetic() && d != b'e' && d != b'E') {
+                        break;
+                    }
+                    seen_dot = true;
+                    self.bump();
+                }
+                b'e' | b'E' if !seen_exp => {
+                    let next = self.peek_at(1);
+                    if next.is_some_and(|d| d.is_ascii_digit())
+                        || (matches!(next, Some(b'+') | Some(b'-'))
+                            && self.peek_at(2).is_some_and(|d| d.is_ascii_digit()))
+                    {
+                        seen_exp = true;
+                        self.bump(); // e
+                        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                            self.bump();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                b'j' | b'J' => {
+                    self.bump();
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        Token::new(TokKind::Number, text, line, col)
+    }
+
+    fn lex_string(&mut self, line: u32, col: u32) -> Token {
+        let quote = self.peek().expect("lex_string called at a quote");
+        let start = self.pos;
+        // Triple-quoted?
+        let triple = self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote);
+        if triple {
+            self.bump();
+            self.bump();
+            self.bump();
+            loop {
+                match self.peek() {
+                    None => {
+                        self.error("unterminated triple-quoted string");
+                        break;
+                    }
+                    Some(c) if c == quote
+                        && self.peek_at(1) == Some(quote)
+                        && self.peek_at(2) == Some(quote) =>
+                    {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    Some(b'\\') => {
+                        self.bump();
+                        self.bump();
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+        } else {
+            self.bump();
+            loop {
+                match self.peek() {
+                    None | Some(b'\n') => {
+                        self.error("unterminated string literal");
+                        break;
+                    }
+                    Some(c) if c == quote => {
+                        self.bump();
+                        break;
+                    }
+                    Some(b'\\') => {
+                        self.bump();
+                        self.bump();
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        Token::new(TokKind::Str, text, line, col)
+    }
+
+    fn lex_operator(&mut self, line: u32, col: u32) -> Token {
+        // Maximal-munch over the Python operator set.
+        const THREE: &[&str] = &["**=", "//=", ">>=", "<<=", "...", "!=="];
+        const TWO: &[&str] = &[
+            "**", "//", ">>", "<<", "<=", ">=", "==", "!=", "->", ":=", "+=", "-=", "*=", "/=",
+            "%=", "&=", "|=", "^=", "@=",
+        ];
+        let rest = &self.src[self.pos..];
+        let take = |n: usize, lx: &mut Self| -> String {
+            let mut s = String::with_capacity(n);
+            for _ in 0..n {
+                s.push(lx.bump().unwrap() as char);
+            }
+            s
+        };
+        if rest.len() >= 3 {
+            let s3 = std::str::from_utf8(&rest[..3]).unwrap_or("");
+            if THREE.contains(&s3) {
+                let text = take(3, self);
+                return Token::new(TokKind::Op, text, line, col);
+            }
+        }
+        if rest.len() >= 2 {
+            let s2 = std::str::from_utf8(&rest[..2]).unwrap_or("");
+            if TWO.contains(&s2) {
+                let text = take(2, self);
+                return Token::new(TokKind::Op, text, line, col);
+            }
+        }
+        let c = self.bump().expect("lex_operator at EOF");
+        match c {
+            b'(' | b'[' | b'{' => self.bracket_depth += 1,
+            b')' | b']' | b'}' => self.bracket_depth = self.bracket_depth.saturating_sub(1),
+            _ => {}
+        }
+        let known = b"+-*/%@<>=&|^~!,:.;()[]{}";
+        if !known.contains(&c) {
+            self.error(format!("unexpected character {:?}", c as char));
+        }
+        Token::new(TokKind::Op, (c as char).to_string(), line, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokKind::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).0.into_iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| !t.kind.is_synthetic())
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(texts("x = 1 + 2"), vec!["x", "=", "1", "+", "2"]);
+        assert_eq!(kinds("x = 1"), vec![Name, Op, Number, Newline, Eof]);
+    }
+
+    #[test]
+    fn keywords_vs_names() {
+        let toks = lex("def foo(self): return None").0;
+        assert_eq!(toks[0].kind, Keyword);
+        assert_eq!(toks[1].kind, Name);
+        let ret = toks.iter().find(|t| t.text == "return").unwrap();
+        assert_eq!(ret.kind, Keyword);
+        let none = toks.iter().find(|t| t.text == "None").unwrap();
+        assert_eq!(none.kind, Keyword);
+    }
+
+    #[test]
+    fn indentation_block() {
+        let src = "if x:\n    y = 1\nz = 2\n";
+        let k = kinds(src);
+        assert_eq!(
+            k,
+            vec![Keyword, Name, Op, Newline, Indent, Name, Op, Number, Newline, Dedent, Name, Op, Number, Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn nested_blocks_unwind_at_eof() {
+        let src = "if a:\n    if b:\n        c = 1\n";
+        let k = kinds(src);
+        let dedents = k.iter().filter(|&&t| t == Dedent).count();
+        let indents = k.iter().filter(|&&t| t == Indent).count();
+        assert_eq!(indents, 2);
+        assert_eq!(dedents, 2, "all indents must unwind before EOF: {k:?}");
+        assert_eq!(*k.last().unwrap(), Eof);
+    }
+
+    #[test]
+    fn multi_level_dedent() {
+        let src = "if a:\n    if b:\n        c = 1\nd = 2\n";
+        let k = kinds(src);
+        // Two dedents must appear before the `d` name token.
+        let d_pos = lex(src).0.iter().position(|t| t.text == "d").unwrap();
+        let dedents_before = k[..d_pos].iter().filter(|&&t| t == Dedent).count();
+        assert_eq!(dedents_before, 2, "{k:?}");
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_layout_neutral() {
+        let src = "if x:\n    a = 1\n\n    # comment\n    b = 2\n";
+        let k = kinds(src);
+        assert_eq!(k.iter().filter(|&&t| t == Indent).count(), 1);
+        assert_eq!(k.iter().filter(|&&t| t == Dedent).count(), 1);
+        let (toks, errs) = lex(src);
+        assert!(errs.is_empty());
+        assert!(toks.iter().any(|t| t.text == "b"));
+    }
+
+    #[test]
+    fn brackets_suppress_newlines() {
+        let src = "x = f(1,\n      2,\n      3)\ny = 2\n";
+        let (toks, errs) = lex(src);
+        assert!(errs.is_empty());
+        let newlines = toks.iter().filter(|t| t.kind == Newline).count();
+        assert_eq!(newlines, 2, "one per logical line: {toks:?}");
+        assert_eq!(toks.iter().filter(|t| t.kind == Indent).count(), 0);
+    }
+
+    #[test]
+    fn strings_single_double_escape() {
+        assert_eq!(texts(r#"s = "a\"b""#), vec!["s", "=", r#""a\"b""#]);
+        assert_eq!(texts("s = 'it\\'s'"), vec!["s", "=", "'it\\'s'"]);
+    }
+
+    #[test]
+    fn triple_quoted_string_spans_lines() {
+        let src = "s = \"\"\"line1\nline2\"\"\"\nx = 1\n";
+        let (toks, errs) = lex(src);
+        assert!(errs.is_empty());
+        let s = toks.iter().find(|t| t.kind == Str).unwrap();
+        assert!(s.text.contains("line1\nline2"));
+        assert!(toks.iter().any(|t| t.text == "x"));
+    }
+
+    #[test]
+    fn string_prefixes() {
+        let (toks, errs) = lex("a = f\"x{y}\"\nb = r'raw'\nc = rb'bytes'\n");
+        assert!(errs.is_empty());
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == Str).collect();
+        assert_eq!(strs.len(), 3);
+        assert!(strs[0].text.starts_with('f'));
+        assert!(strs[1].text.starts_with('r'));
+        assert!(strs[2].text.starts_with("rb"));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            texts("a = 1 + 2.5 + 1e-3 + 0xFF + 0b101 + 10_000 + 3j"),
+            vec!["a", "=", "1", "+", "2.5", "+", "1e-3", "+", "0xFF", "+", "0b101", "+", "10_000", "+", "3j"]
+        );
+    }
+
+    #[test]
+    fn number_dot_method_not_swallowed() {
+        assert_eq!(texts("x = 1 .bit_length()"), vec!["x", "=", "1", ".", "bit_length", "(", ")"]);
+        // `1.5.is_integer()` — the second dot is an attribute access.
+        assert_eq!(
+            texts("y = 1.5.is_integer()"),
+            vec!["y", "=", "1.5", ".", "is_integer", "(", ")"]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            texts("a **= 2; b //= 3; c = a != b; d = a <= b; e = x if y else z; f = a @ b"),
+            vec!["a", "**=", "2", ";", "b", "//=", "3", ";", "c", "=", "a", "!=", "b", ";", "d", "=",
+                 "a", "<=", "b", ";", "e", "=", "x", "if", "y", "else", "z", ";", "f", "=", "a", "@", "b"]
+        );
+        assert_eq!(texts("def f() -> int: ..."), vec!["def", "f", "(", ")", "->", "int", ":", "..."]);
+        assert_eq!(texts("if (n := 10) > 5: pass"), vec!["if", "(", "n", ":=", "10", ")", ">", "5", ":", "pass"]);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        assert_eq!(texts("x = 1  # set x\n# whole line\ny = 2"), vec!["x", "=", "1", "y", "=", "2"]);
+    }
+
+    #[test]
+    fn line_continuation_backslash() {
+        let (toks, errs) = lex("x = 1 + \\\n    2\n");
+        assert!(errs.is_empty());
+        assert_eq!(toks.iter().filter(|t| t.kind == Newline).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.kind == Indent).count(), 0);
+    }
+
+    #[test]
+    fn unterminated_string_is_recoverable() {
+        let (toks, errs) = lex("s = 'oops\nx = 1\n");
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("unterminated"));
+        assert!(toks.iter().any(|t| t.text == "x"));
+    }
+
+    #[test]
+    fn inconsistent_dedent_recovers() {
+        let src = "if a:\n        b = 1\n    c = 2\n";
+        let (toks, errs) = lex(src);
+        assert_eq!(errs.len(), 1);
+        assert!(toks.iter().any(|t| t.text == "c"));
+    }
+
+    #[test]
+    fn unexpected_char_recorded() {
+        let (toks, errs) = lex("x = 1 ? 2\n");
+        assert_eq!(errs.len(), 1);
+        assert!(toks.iter().any(|t| t.text == "2"));
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let k = kinds("x = 1");
+        assert_eq!(k, vec![Name, Op, Number, Newline, Eof]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert_eq!(kinds(""), vec![Eof]);
+        assert_eq!(kinds("\n\n\n"), vec![Eof]);
+        assert_eq!(kinds("   \n  # c\n"), vec![Eof]);
+    }
+
+    #[test]
+    fn tabs_count_as_tabstop_8() {
+        let src = "if x:\n\ty = 1\n\tz = 2\n";
+        let (toks, errs) = lex(src);
+        assert!(errs.is_empty());
+        assert_eq!(toks.iter().filter(|t| t.kind == Indent).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.kind == Dedent).count(), 1);
+    }
+
+    #[test]
+    fn walrus_and_arrow_positions() {
+        let toks = lex("def f(a, b=1) -> int:\n    return (a := b)\n").0;
+        assert!(toks.iter().any(|t| t.is_op("->")));
+        assert!(toks.iter().any(|t| t.is_op(":=")));
+    }
+
+    #[test]
+    fn token_positions_are_tracked() {
+        let toks = lex("x = 1\ny = 2\n").0;
+        let y = toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.line, 2);
+        assert_eq!(y.col, 0);
+        let two = toks.iter().find(|t| t.text == "2").unwrap();
+        assert_eq!(two.line, 2);
+        assert_eq!(two.col, 4);
+    }
+}

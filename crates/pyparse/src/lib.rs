@@ -1,0 +1,45 @@
+//! `pyparse` — a hand-written lexer and error-tolerant recursive-descent
+//! parser for a large subset of Python 3, producing *concrete* parse trees.
+//!
+//! This crate is the reproduction's substitute for the ANTLR-generated
+//! Python parser used by Laminar 2.0 (paper §II-F). Aroma-style structural
+//! search (paper §II-E, §VI) consumes the *shape* of the parse tree —
+//! keyword and punctuation tokens are kept as leaves, and every grammar
+//! production becomes an internal node — so the tree this parser produces
+//! carries the same information an ANTLR parse tree would.
+//!
+//! Two properties matter for the paper's experiments:
+//!
+//! 1. **Concrete trees.** Unlike an AST, the tree keeps `if`, `:`, `(`, `)`
+//!    … as leaves. Aroma's Simplified Parse Tree (SPT) labels are built by
+//!    concatenating the non-name leaves of a node, so they must survive
+//!    parsing.
+//! 2. **Error tolerance.** Laminar 2.0's headline improvement is structural
+//!    search over *incomplete* code fragments. The parser therefore never
+//!    fails outright: on a syntax error it records a diagnostic, skips to a
+//!    synchronisation point (end of line / dedent) and resumes, and a
+//!    truncated input simply yields a tree for the prefix it could parse.
+//!
+//! # Quick example
+//!
+//! ```
+//! let src = "class IsPrime(IterativePE):\n    def _process(self, num):\n        return num\n";
+//! let tree = pyparse::parse(src);
+//! assert!(tree.errors.is_empty());
+//! let classes = tree.find_kind(pyparse::SyntaxKind::ClassDef);
+//! assert_eq!(classes.len(), 1);
+//! ```
+
+pub mod lexer;
+pub mod parser;
+pub mod snippets;
+pub mod token;
+pub mod tree;
+pub mod visitor;
+
+pub use lexer::{lex, LexError, Lexer};
+pub use parser::{parse, parse_expression, ParseError, Parser};
+pub use snippets::{drop_suffix_fraction, drop_tokens_fraction, line_count, truncate_lines};
+pub use token::{TokKind, Token};
+pub use tree::{Node, NodeId, NodeKind, ParseTree, SyntaxKind};
+pub use visitor::{walk, Visit};

@@ -1,0 +1,128 @@
+//! Snippet-manipulation utilities for the omission experiments (§VII-D).
+//!
+//! The paper evaluates code-to-code search while "progressively reducing the
+//! input snippet sizes" — 0 %, 50 %, 75 % and 90 % of the code dropped. These
+//! helpers implement that protocol deterministically: we keep a *prefix* of
+//! the snippet (dropping the suffix), which models a developer who has typed
+//! the beginning of a PE and wants recommendations for the rest.
+
+/// Number of non-blank lines in `src`.
+pub fn line_count(src: &str) -> usize {
+    src.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+/// Keep the first `keep` non-blank lines of `src` (blank lines between kept
+/// lines are preserved so indentation context survives).
+pub fn truncate_lines(src: &str, keep: usize) -> String {
+    let mut out = String::new();
+    let mut kept = 0;
+    for line in src.lines() {
+        if kept >= keep {
+            break;
+        }
+        out.push_str(line);
+        out.push('\n');
+        if !line.trim().is_empty() {
+            kept += 1;
+        }
+    }
+    out
+}
+
+/// Drop the trailing `fraction` (0.0..=1.0) of the snippet's non-blank
+/// lines, always keeping at least one line of a non-empty snippet.
+///
+/// `drop_suffix_fraction(src, 0.75)` keeps the first quarter.
+pub fn drop_suffix_fraction(src: &str, fraction: f64) -> String {
+    let total = line_count(src);
+    if total == 0 {
+        return String::new();
+    }
+    let fraction = fraction.clamp(0.0, 1.0);
+    let keep = ((total as f64) * (1.0 - fraction)).round() as usize;
+    truncate_lines(src, keep.max(1))
+}
+
+/// Token-granularity variant: keep the first `(1-fraction)` of the
+/// whitespace-separated tokens of the last kept line too. Used by property
+/// tests to stress mid-expression truncation.
+pub fn drop_tokens_fraction(src: &str, fraction: f64) -> String {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let chars: Vec<char> = src.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let keep = ((chars.len() as f64) * (1.0 - fraction)).round() as usize;
+    chars[..keep.max(1).min(chars.len())].iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+class Foo:
+    def f(self):
+        a = 1
+
+        b = 2
+        return a + b
+";
+
+    #[test]
+    fn counts_non_blank_lines() {
+        assert_eq!(line_count(SRC), 5);
+        assert_eq!(line_count(""), 0);
+        assert_eq!(line_count("\n\n"), 0);
+    }
+
+    #[test]
+    fn zero_drop_is_identity_modulo_trailing_blanks() {
+        let kept = drop_suffix_fraction(SRC, 0.0);
+        assert_eq!(line_count(&kept), 5);
+        assert!(kept.contains("return a + b"));
+    }
+
+    #[test]
+    fn half_drop_keeps_prefix() {
+        let kept = drop_suffix_fraction(SRC, 0.5);
+        assert_eq!(line_count(&kept), 3);
+        assert!(kept.starts_with("class Foo:"));
+        assert!(!kept.contains("return"));
+    }
+
+    #[test]
+    fn ninety_percent_drop_keeps_at_least_one_line() {
+        let kept = drop_suffix_fraction(SRC, 0.9);
+        assert_eq!(line_count(&kept), 1);
+        assert!(kept.starts_with("class Foo:"));
+        let all = drop_suffix_fraction(SRC, 1.0);
+        assert_eq!(line_count(&all), 1);
+    }
+
+    #[test]
+    fn blank_lines_between_kept_lines_survive() {
+        let kept = truncate_lines(SRC, 4);
+        assert!(kept.contains("\n\n"), "{kept:?}");
+    }
+
+    #[test]
+    fn truncated_snippets_still_parse() {
+        for f in [0.0, 0.5, 0.75, 0.9] {
+            let kept = drop_suffix_fraction(SRC, f);
+            let tree = crate::parse(&kept);
+            assert!(tree.root.is_some());
+            assert!(
+                !tree.find_kind(crate::SyntaxKind::ClassDef).is_empty(),
+                "fraction {f}: class header must survive"
+            );
+        }
+    }
+
+    #[test]
+    fn char_truncation_never_empty() {
+        assert_eq!(drop_tokens_fraction("abc", 1.0), "a");
+        assert_eq!(drop_tokens_fraction("", 0.5), "");
+        assert_eq!(drop_tokens_fraction("abcd", 0.5), "ab");
+    }
+}

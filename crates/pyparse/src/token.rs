@@ -1,0 +1,152 @@
+//! Lexical tokens for the Python subset.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The coarse category of a token.
+///
+/// `Keyword` is distinguished from `Name` at lex time using the fixed
+/// Python 3.10 keyword table (`is_keyword`); Aroma's featurisation treats
+/// keywords as label tokens and names as abstractable variables, so the
+/// distinction must be made before parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokKind {
+    /// Identifier that is not a keyword.
+    Name,
+    /// Reserved word (`def`, `class`, `if`, …).
+    Keyword,
+    /// Integer, float, or imaginary literal (kept verbatim).
+    Number,
+    /// String literal, including its quotes and any prefix (`f`, `r`, `b`).
+    Str,
+    /// Operator or punctuation (`+`, `**`, `->`, `(`, `:`, …).
+    Op,
+    /// Logical end of a statement line.
+    Newline,
+    /// Increase in indentation depth.
+    Indent,
+    /// Decrease in indentation depth.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+impl TokKind {
+    /// True for tokens that carry no source text of their own.
+    pub fn is_synthetic(self) -> bool {
+        matches!(
+            self,
+            TokKind::Newline | TokKind::Indent | TokKind::Dedent | TokKind::Eof
+        )
+    }
+}
+
+/// A single lexical token with its source position (1-based line, 0-based column).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    pub fn new(kind: TokKind, text: impl Into<String>, line: u32, col: u32) -> Self {
+        Token {
+            kind,
+            text: text.into(),
+            line,
+            col,
+        }
+    }
+
+    /// True if this token is the given operator/punctuation text.
+    pub fn is_op(&self, s: &str) -> bool {
+        self.kind == TokKind::Op && self.text == s
+    }
+
+    /// True if this token is the given keyword.
+    pub fn is_kw(&self, s: &str) -> bool {
+        self.kind == TokKind::Keyword && self.text == s
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TokKind::Newline => write!(f, "<NEWLINE>"),
+            TokKind::Indent => write!(f, "<INDENT>"),
+            TokKind::Dedent => write!(f, "<DEDENT>"),
+            TokKind::Eof => write!(f, "<EOF>"),
+            _ => write!(f, "{}", self.text),
+        }
+    }
+}
+
+/// The Python 3.10 keyword table.
+///
+/// Soft keywords (`match`, `case`) are deliberately *not* included: treating
+/// them as plain names keeps ordinary code that uses them as identifiers
+/// parseable, which is the common case in scientific PE code.
+pub const KEYWORDS: &[&str] = &[
+    "False", "None", "True", "and", "as", "assert", "async", "await", "break", "class", "continue",
+    "def", "del", "elif", "else", "except", "finally", "for", "from", "global", "if", "import",
+    "in", "is", "lambda", "nonlocal", "not", "or", "pass", "raise", "return", "try", "while",
+    "with", "yield",
+];
+
+/// Is `s` a (hard) Python keyword?
+pub fn is_keyword(s: &str) -> bool {
+    // The table is small and sorted; a binary search avoids a lazy static set.
+    KEYWORDS.binary_search(&s).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_table_is_sorted() {
+        let mut sorted = KEYWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, KEYWORDS, "binary_search requires sorted KEYWORDS");
+    }
+
+    #[test]
+    fn keyword_lookup() {
+        assert!(is_keyword("def"));
+        assert!(is_keyword("lambda"));
+        assert!(is_keyword("None"));
+        assert!(!is_keyword("match"));
+        assert!(!is_keyword("self"));
+        assert!(!is_keyword(""));
+    }
+
+    #[test]
+    fn token_predicates() {
+        let t = Token::new(TokKind::Op, ":", 1, 0);
+        assert!(t.is_op(":"));
+        assert!(!t.is_op("::"));
+        assert!(!t.is_kw(":"));
+        let k = Token::new(TokKind::Keyword, "def", 1, 0);
+        assert!(k.is_kw("def"));
+        assert!(!k.is_op("def"));
+    }
+
+    #[test]
+    fn synthetic_kinds() {
+        assert!(TokKind::Newline.is_synthetic());
+        assert!(TokKind::Indent.is_synthetic());
+        assert!(TokKind::Dedent.is_synthetic());
+        assert!(TokKind::Eof.is_synthetic());
+        assert!(!TokKind::Name.is_synthetic());
+        assert!(!TokKind::Op.is_synthetic());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Token::new(TokKind::Name, "x", 1, 0).to_string(), "x");
+        assert_eq!(Token::new(TokKind::Newline, "", 1, 0).to_string(), "<NEWLINE>");
+        assert_eq!(Token::new(TokKind::Indent, "", 1, 0).to_string(), "<INDENT>");
+    }
+}

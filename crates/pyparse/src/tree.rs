@@ -1,0 +1,486 @@
+//! Concrete parse trees.
+//!
+//! The tree is stored as an arena of nodes indexed by [`NodeId`]; children
+//! are stored in order. Leaves carry their original [`Token`]s (keywords and
+//! punctuation included) because Aroma's SPT labels are built from exactly
+//! those leaves (paper §II-E, Fig. 2).
+
+use crate::token::{TokKind, Token};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node in its [`ParseTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Grammar production of an internal node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum SyntaxKind {
+    Module,
+    // Compound statements
+    ClassDef,
+    FuncDef,
+    Decorator,
+    Parameters,
+    Param,
+    Block,
+    IfStmt,
+    ElifClause,
+    ElseClause,
+    WhileStmt,
+    ForStmt,
+    TryStmt,
+    ExceptClause,
+    FinallyClause,
+    WithStmt,
+    WithItem,
+    // Simple statements
+    ExprStmt,
+    Assign,
+    AugAssign,
+    AnnAssign,
+    ReturnStmt,
+    PassStmt,
+    BreakStmt,
+    ContinueStmt,
+    ImportStmt,
+    ImportFromStmt,
+    ImportAlias,
+    GlobalStmt,
+    NonlocalStmt,
+    AssertStmt,
+    RaiseStmt,
+    DelStmt,
+    YieldStmt,
+    // Expressions
+    Ternary,
+    BoolOp,
+    NotOp,
+    Compare,
+    BinOp,
+    UnaryOp,
+    Power,
+    AwaitExpr,
+    Call,
+    Arguments,
+    Argument,
+    KeywordArgument,
+    StarArgument,
+    Attribute,
+    Subscript,
+    Slice,
+    Lambda,
+    TupleExpr,
+    ListExpr,
+    DictExpr,
+    SetExpr,
+    DictItem,
+    Comprehension,
+    CompFor,
+    CompIf,
+    Starred,
+    WalrusExpr,
+    YieldExpr,
+    ParenExpr,
+    /// Placeholder emitted when error recovery skipped tokens.
+    ErrorNode,
+}
+
+impl SyntaxKind {
+    /// Human-readable production name (used in tree dumps and SPT debugging).
+    pub fn name(self) -> &'static str {
+        use SyntaxKind::*;
+        match self {
+            Module => "module",
+            ClassDef => "classdef",
+            FuncDef => "funcdef",
+            Decorator => "decorator",
+            Parameters => "parameters",
+            Param => "param",
+            Block => "block",
+            IfStmt => "if_stmt",
+            ElifClause => "elif_clause",
+            ElseClause => "else_clause",
+            WhileStmt => "while_stmt",
+            ForStmt => "for_stmt",
+            TryStmt => "try_stmt",
+            ExceptClause => "except_clause",
+            FinallyClause => "finally_clause",
+            WithStmt => "with_stmt",
+            WithItem => "with_item",
+            ExprStmt => "expr_stmt",
+            Assign => "assign",
+            AugAssign => "aug_assign",
+            AnnAssign => "ann_assign",
+            ReturnStmt => "return_stmt",
+            PassStmt => "pass_stmt",
+            BreakStmt => "break_stmt",
+            ContinueStmt => "continue_stmt",
+            ImportStmt => "import_stmt",
+            ImportFromStmt => "import_from_stmt",
+            ImportAlias => "import_alias",
+            GlobalStmt => "global_stmt",
+            NonlocalStmt => "nonlocal_stmt",
+            AssertStmt => "assert_stmt",
+            RaiseStmt => "raise_stmt",
+            DelStmt => "del_stmt",
+            YieldStmt => "yield_stmt",
+            Ternary => "ternary",
+            BoolOp => "bool_op",
+            NotOp => "not_op",
+            Compare => "compare",
+            BinOp => "bin_op",
+            UnaryOp => "unary_op",
+            Power => "power",
+            AwaitExpr => "await_expr",
+            Call => "call",
+            Arguments => "arguments",
+            Argument => "argument",
+            KeywordArgument => "keyword_argument",
+            StarArgument => "star_argument",
+            Attribute => "attribute",
+            Subscript => "subscript",
+            Slice => "slice",
+            Lambda => "lambda",
+            TupleExpr => "tuple",
+            ListExpr => "list",
+            DictExpr => "dict",
+            SetExpr => "set",
+            DictItem => "dict_item",
+            Comprehension => "comprehension",
+            CompFor => "comp_for",
+            CompIf => "comp_if",
+            Starred => "starred",
+            WalrusExpr => "walrus",
+            YieldExpr => "yield_expr",
+            ParenExpr => "paren_expr",
+            ErrorNode => "error",
+        }
+    }
+}
+
+/// Node payload: an internal grammar production or a token leaf.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    Internal(SyntaxKind),
+    Leaf(Token),
+}
+
+/// One arena slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub children: Vec<NodeId>,
+    /// Parent node, `None` for the root. Filled in by the parser.
+    pub parent: Option<NodeId>,
+}
+
+/// A parsed module (or expression) with its diagnostics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParseTree {
+    pub nodes: Vec<Node>,
+    /// Root node id; `None` only for the empty tree.
+    pub root: Option<NodeId>,
+    /// Parser diagnostics (recoverable).
+    pub errors: Vec<String>,
+}
+
+impl ParseTree {
+    pub fn new() -> Self {
+        ParseTree::default()
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    pub fn push(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            children: Vec::new(),
+            parent: None,
+        });
+        id
+    }
+
+    pub fn add_child(&mut self, parent: NodeId, child: NodeId) {
+        self.nodes[parent.index()].children.push(child);
+        self.nodes[child.index()].parent = Some(parent);
+    }
+
+    /// Kind of an internal node, `None` for leaves.
+    pub fn kind(&self, id: NodeId) -> Option<SyntaxKind> {
+        match self.node(id).kind {
+            NodeKind::Internal(k) => Some(k),
+            NodeKind::Leaf(_) => None,
+        }
+    }
+
+    /// Token of a leaf node, `None` for internal nodes.
+    pub fn leaf(&self, id: NodeId) -> Option<&Token> {
+        match &self.node(id).kind {
+            NodeKind::Leaf(t) => Some(t),
+            NodeKind::Internal(_) => None,
+        }
+    }
+
+    /// All nodes of the given kind, in pre-order.
+    pub fn find_kind(&self, kind: SyntaxKind) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.preorder_collect(root, kind, &mut out);
+        }
+        out
+    }
+
+    fn preorder_collect(&self, id: NodeId, kind: SyntaxKind, out: &mut Vec<NodeId>) {
+        if self.kind(id) == Some(kind) {
+            out.push(id);
+        }
+        for &c in &self.node(id).children {
+            self.preorder_collect(c, kind, out);
+        }
+    }
+
+    /// All leaf tokens under `id`, in source order.
+    pub fn leaves_under(&self, id: NodeId) -> Vec<&Token> {
+        let mut out = Vec::new();
+        self.collect_leaves(id, &mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, id: NodeId, out: &mut Vec<&'a Token>) {
+        match &self.node(id).kind {
+            NodeKind::Leaf(t) => out.push(t),
+            NodeKind::Internal(_) => {
+                for &c in &self.node(id).children {
+                    self.collect_leaves(c, out);
+                }
+            }
+        }
+    }
+
+    /// Reconstruct (approximately) the source text of a subtree: tokens
+    /// joined by single spaces. Good enough for display and for feeding
+    /// recommendations back through the parser.
+    pub fn text_of(&self, id: NodeId) -> String {
+        let leaves = self.leaves_under(id);
+        let mut s = String::new();
+        for t in leaves {
+            if t.kind.is_synthetic() {
+                continue;
+            }
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            s.push_str(&t.text);
+        }
+        s
+    }
+
+    /// Number of nodes (internal + leaf) in the subtree rooted at `id`.
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        1 + self
+            .node(id)
+            .children
+            .iter()
+            .map(|&c| self.subtree_size(c))
+            .sum::<usize>()
+    }
+
+    /// Depth of the deepest leaf (root = 1). Empty tree → 0.
+    pub fn depth(&self) -> usize {
+        fn go(t: &ParseTree, id: NodeId) -> usize {
+            1 + t
+                .node(id)
+                .children
+                .iter()
+                .map(|&c| go(t, c))
+                .max()
+                .unwrap_or(0)
+        }
+        self.root.map(|r| go(self, r)).unwrap_or(0)
+    }
+
+    /// The first `FuncDef` whose name is `name`, if any.
+    pub fn find_funcdef(&self, name: &str) -> Option<NodeId> {
+        self.find_kind(SyntaxKind::FuncDef).into_iter().find(|&f| {
+            self.node(f)
+                .children
+                .iter()
+                .filter_map(|&c| self.leaf(c))
+                .any(|t| t.kind == TokKind::Name && t.text == name)
+        })
+    }
+
+    /// Name of a `ClassDef` / `FuncDef` node (the first Name leaf child).
+    pub fn def_name(&self, id: NodeId) -> Option<&str> {
+        self.node(id)
+            .children
+            .iter()
+            .filter_map(|&c| self.leaf(c))
+            .find(|t| t.kind == TokKind::Name)
+            .map(|t| t.text.as_str())
+    }
+
+    /// Multi-line indented dump, for debugging and golden tests.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        if let Some(r) = self.root {
+            self.dump_node(r, 0, &mut s);
+        }
+        s
+    }
+
+    fn dump_node(&self, id: NodeId, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match &self.node(id).kind {
+            NodeKind::Internal(k) => {
+                out.push_str(k.name());
+                out.push('\n');
+                for &c in &self.node(id).children {
+                    self.dump_node(c, depth + 1, out);
+                }
+            }
+            NodeKind::Leaf(t) => {
+                out.push_str(&format!("{t}\n"));
+            }
+        }
+    }
+
+    /// Structural integrity check used by property tests: every child's
+    /// parent pointer is correct, the root has no parent, and every node is
+    /// reachable from the root exactly once.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        let Some(root) = self.root else {
+            if self.nodes.is_empty() {
+                return Ok(());
+            }
+            return Err("nodes exist but root is None".into());
+        };
+        if self.node(root).parent.is_some() {
+            return Err("root has a parent".into());
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                return Err(format!("node {id:?} reachable twice"));
+            }
+            seen[id.index()] = true;
+            for &c in &self.node(id).children {
+                if self.node(c).parent != Some(id) {
+                    return Err(format!("child {c:?} has wrong parent"));
+                }
+                stack.push(c);
+            }
+        }
+        // Unreached nodes are allowed (parser may abandon partial nodes
+        // during recovery) but must be a small minority.
+        Ok(())
+    }
+}
+
+impl fmt::Display for ParseTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.dump())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{TokKind, Token};
+
+    fn leaf(t: &str) -> NodeKind {
+        NodeKind::Leaf(Token::new(TokKind::Name, t, 1, 0))
+    }
+
+    fn tiny_tree() -> ParseTree {
+        let mut t = ParseTree::new();
+        let root = t.push(NodeKind::Internal(SyntaxKind::Module));
+        t.root = Some(root);
+        let stmt = t.push(NodeKind::Internal(SyntaxKind::ExprStmt));
+        t.add_child(root, stmt);
+        let a = t.push(leaf("a"));
+        let b = t.push(leaf("b"));
+        t.add_child(stmt, a);
+        t.add_child(stmt, b);
+        t
+    }
+
+    #[test]
+    fn arena_linking() {
+        let t = tiny_tree();
+        assert_eq!(t.nodes.len(), 4);
+        assert_eq!(t.kind(t.root.unwrap()), Some(SyntaxKind::Module));
+        assert!(t.check_integrity().is_ok());
+    }
+
+    #[test]
+    fn leaves_and_text() {
+        let t = tiny_tree();
+        let root = t.root.unwrap();
+        assert_eq!(t.leaves_under(root).len(), 2);
+        assert_eq!(t.text_of(root), "a b");
+    }
+
+    #[test]
+    fn subtree_size_and_depth() {
+        let t = tiny_tree();
+        assert_eq!(t.subtree_size(t.root.unwrap()), 4);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(ParseTree::new().depth(), 0);
+    }
+
+    #[test]
+    fn find_kind_preorder() {
+        let t = tiny_tree();
+        assert_eq!(t.find_kind(SyntaxKind::ExprStmt).len(), 1);
+        assert_eq!(t.find_kind(SyntaxKind::ClassDef).len(), 0);
+    }
+
+    #[test]
+    fn integrity_detects_bad_parent() {
+        let mut t = tiny_tree();
+        // Corrupt a parent pointer.
+        t.nodes[2].parent = None;
+        assert!(t.check_integrity().is_err());
+    }
+
+    #[test]
+    fn dump_is_indented() {
+        let t = tiny_tree();
+        let d = t.dump();
+        assert!(d.starts_with("module\n"));
+        assert!(d.contains("  expr_stmt\n"));
+        assert!(d.contains("    a\n"));
+    }
+
+    #[test]
+    fn syntax_kind_names_are_unique() {
+        use std::collections::HashSet;
+        let kinds = [
+            SyntaxKind::Module,
+            SyntaxKind::ClassDef,
+            SyntaxKind::FuncDef,
+            SyntaxKind::Block,
+            SyntaxKind::IfStmt,
+            SyntaxKind::Call,
+            SyntaxKind::BinOp,
+            SyntaxKind::ErrorNode,
+        ];
+        let names: HashSet<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

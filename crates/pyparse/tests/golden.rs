@@ -1,0 +1,221 @@
+//! Golden parse-tree tests: exact tree dumps for representative programs.
+//! These freeze the concrete tree shape the SPT layer depends on — any
+//! grammar change that silently reshapes trees (and therefore Aroma
+//! features and stored embeddings) fails here first.
+
+use pyparse::parse;
+
+fn dump(src: &str) -> String {
+    let tree = parse(src);
+    assert!(tree.errors.is_empty(), "unexpected errors: {:?}", tree.errors);
+    tree.dump()
+}
+
+#[test]
+fn golden_assignment_with_arithmetic() {
+    assert_eq!(
+        dump("x = 1 + 2 * 3\n"),
+        "\
+module
+  assign
+    x
+    =
+    bin_op
+      1
+      +
+      bin_op
+        2
+        *
+        3
+"
+    );
+}
+
+#[test]
+fn golden_if_statement() {
+    assert_eq!(
+        dump("if x < 2:\n    return x\n"),
+        "\
+module
+  if_stmt
+    if
+    compare
+      x
+      <
+      2
+    :
+    block
+      return_stmt
+        return
+        x
+"
+    );
+}
+
+#[test]
+fn golden_function_with_call() {
+    assert_eq!(
+        dump("def f(a):\n    return g(a, 1)\n"),
+        "\
+module
+  funcdef
+    def
+    f
+    parameters
+      (
+      param
+        a
+      )
+    :
+    block
+      return_stmt
+        return
+        call
+          g
+          arguments
+            (
+            argument
+              a
+            ,
+            argument
+              1
+            )
+"
+    );
+}
+
+#[test]
+fn golden_attribute_chain_subscript() {
+    assert_eq!(
+        dump("y = a.b[0]\n"),
+        "\
+module
+  assign
+    y
+    =
+    subscript
+      attribute
+        a
+        .
+        b
+      [
+      0
+      ]
+"
+    );
+}
+
+#[test]
+fn golden_class_with_docstring() {
+    assert_eq!(
+        dump("class A(Base):\n    \"\"\"Doc.\"\"\"\n    pass\n"),
+        "\
+module
+  classdef
+    class
+    A
+    (
+    argument
+      Base
+    )
+    :
+    block
+      expr_stmt
+        \"\"\"Doc.\"\"\"
+      pass_stmt
+        pass
+"
+    );
+}
+
+#[test]
+fn golden_for_loop_augassign() {
+    assert_eq!(
+        dump("for i in xs:\n    total += i\n"),
+        "\
+module
+  for_stmt
+    for
+    i
+    in
+    xs
+    :
+    block
+      aug_assign
+        total
+        +=
+        i
+"
+    );
+}
+
+#[test]
+fn golden_comprehension_argument() {
+    assert_eq!(
+        dump("s = sum(x for x in xs)\n"),
+        "\
+module
+  assign
+    s
+    =
+    call
+      sum
+      arguments
+        (
+        argument
+          x
+          comprehension
+            comp_for
+              for
+              x
+              in
+              xs
+        )
+"
+    );
+}
+
+#[test]
+fn golden_listing1_isprime_condition() {
+    // The paper's Listing 1 core expression.
+    assert_eq!(
+        dump("if all(num % i != 0 for i in range(2, num)):\n    pass\n"),
+        "\
+module
+  if_stmt
+    if
+    call
+      all
+      arguments
+        (
+        argument
+          compare
+            bin_op
+              num
+              %
+              i
+            !=
+            0
+          comprehension
+            comp_for
+              for
+              i
+              in
+              call
+                range
+                arguments
+                  (
+                  argument
+                    2
+                  ,
+                  argument
+                    num
+                  )
+        )
+    :
+    block
+      pass_stmt
+        pass
+"
+    );
+}

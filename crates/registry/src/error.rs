@@ -1,0 +1,79 @@
+//! Registry error types.
+
+use std::fmt;
+
+/// Errors the registry can return. Modelled on the constraint violations a
+/// relational database would raise for the Fig. 6 schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// UNIQUE constraint on `User.username`.
+    DuplicateUser(String),
+    /// Login with an unknown username.
+    UnknownUser(String),
+    /// Login with a wrong password.
+    InvalidCredentials,
+    /// Row lookup failed. `(table, key)`.
+    NotFound(&'static str, String),
+    /// Foreign-key violation: the row is referenced elsewhere.
+    ForeignKey {
+        table: &'static str,
+        id: u64,
+        referenced_by: &'static str,
+    },
+    /// A referenced row does not exist (insertion-side FK check).
+    MissingReference {
+        table: &'static str,
+        id: u64,
+    },
+    /// UNIQUE constraint on a (user, name) pair.
+    DuplicateName {
+        table: &'static str,
+        name: String,
+    },
+    /// Snapshot (de)serialisation problem.
+    Persistence(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateUser(u) => write!(f, "username '{u}' already registered"),
+            RegistryError::UnknownUser(u) => write!(f, "unknown user '{u}'"),
+            RegistryError::InvalidCredentials => write!(f, "invalid credentials"),
+            RegistryError::NotFound(t, k) => write!(f, "{t} '{k}' not found"),
+            RegistryError::ForeignKey {
+                table,
+                id,
+                referenced_by,
+            } => write!(f, "{table} #{id} is still referenced by {referenced_by}"),
+            RegistryError::MissingReference { table, id } => {
+                write!(f, "referenced {table} #{id} does not exist")
+            }
+            RegistryError::DuplicateName { table, name } => {
+                write!(f, "{table} named '{name}' already exists for this user")
+            }
+            RegistryError::Persistence(m) => write!(f, "persistence error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(RegistryError::DuplicateUser("bob".into()).to_string().contains("bob"));
+        assert!(RegistryError::NotFound("ProcessingElement", "42".into())
+            .to_string()
+            .contains("42"));
+        let fk = RegistryError::ForeignKey {
+            table: "ProcessingElement",
+            id: 7,
+            referenced_by: "Workflow",
+        };
+        assert!(fk.to_string().contains("Workflow"));
+    }
+}

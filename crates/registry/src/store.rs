@@ -1,0 +1,815 @@
+//! The registry store: tables, indexes, integrity rules, persistence.
+
+use crate::error::RegistryError;
+use crate::rows::*;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+
+/// What a search should cover (the CLI's `workflow | pe` argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchTarget {
+    Pe,
+    Workflow,
+    Both,
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct Inner {
+    users: Vec<UserRow>,
+    pes: BTreeMap<u64, PeRow>,
+    workflows: BTreeMap<u64, WorkflowRow>,
+    executions: Vec<ExecutionRow>,
+    responses: Vec<ResponseRow>,
+    next_id: u64,
+    seq: u64,
+    /// Secondary index: lowercase PE name → ids (idx_pe_name).
+    #[serde(skip)]
+    pe_name_index: HashMap<String, Vec<u64>>,
+    /// Secondary index: lowercase workflow name → ids (idx_wf_name).
+    #[serde(skip)]
+    wf_name_index: HashMap<String, Vec<u64>>,
+}
+
+impl Inner {
+    fn next_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn rebuild_indexes(&mut self) {
+        self.pe_name_index.clear();
+        for (id, pe) in &self.pes {
+            self.pe_name_index
+                .entry(pe.name.to_lowercase())
+                .or_default()
+                .push(*id);
+        }
+        self.wf_name_index.clear();
+        for (id, wf) in &self.workflows {
+            self.wf_name_index
+                .entry(wf.name.to_lowercase())
+                .or_default()
+                .push(*id);
+        }
+    }
+}
+
+/// Serializable snapshot of the whole registry.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    users: Vec<UserRow>,
+    pes: Vec<PeRow>,
+    workflows: Vec<WorkflowRow>,
+    executions: Vec<ExecutionRow>,
+    responses: Vec<ResponseRow>,
+    next_id: u64,
+    seq: u64,
+}
+
+/// The registry. Cheap to share: interior `RwLock`, many concurrent
+/// readers (searches) against occasional writers (registrations).
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<Inner>,
+}
+
+/// Salted FNV password hash. A stand-in for the paper's server-side auth —
+/// NOT cryptographically secure, and documented as such in DESIGN.md.
+pub fn hash_password(username: &str, password: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in username.as_bytes().iter().chain(b"\x00laminar-salt\x00").chain(password.as_bytes()) {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    // ---- users -----------------------------------------------------------
+
+    /// Register a user; returns the new user id.
+    pub fn register_user(&self, username: &str, password: &str) -> Result<u64, RegistryError> {
+        let mut inner = self.inner.write();
+        if inner.users.iter().any(|u| u.username == username) {
+            return Err(RegistryError::DuplicateUser(username.to_string()));
+        }
+        let id = inner.next_id();
+        let seq = inner.next_seq();
+        inner.users.push(UserRow {
+            id,
+            username: username.to_string(),
+            password_hash: hash_password(username, password),
+            created_seq: seq,
+        });
+        Ok(id)
+    }
+
+    /// Verify credentials; returns the user id.
+    pub fn login(&self, username: &str, password: &str) -> Result<u64, RegistryError> {
+        let inner = self.inner.read();
+        let user = inner
+            .users
+            .iter()
+            .find(|u| u.username == username)
+            .ok_or_else(|| RegistryError::UnknownUser(username.to_string()))?;
+        if user.password_hash != hash_password(username, password) {
+            return Err(RegistryError::InvalidCredentials);
+        }
+        Ok(user.id)
+    }
+
+    pub fn user_count(&self) -> usize {
+        self.inner.read().users.len()
+    }
+
+    fn check_user(inner: &Inner, user_id: u64) -> Result<(), RegistryError> {
+        if inner.users.iter().any(|u| u.id == user_id) {
+            Ok(())
+        } else {
+            Err(RegistryError::MissingReference {
+                table: "User",
+                id: user_id,
+            })
+        }
+    }
+
+    // ---- PEs ---------------------------------------------------------------
+
+    pub fn add_pe(&self, new: NewPe) -> Result<u64, RegistryError> {
+        let mut inner = self.inner.write();
+        Self::check_user(&inner, new.user_id)?;
+        let dup = inner
+            .pes
+            .values()
+            .any(|p| p.user_id == new.user_id && p.name == new.name);
+        if dup {
+            return Err(RegistryError::DuplicateName {
+                table: "ProcessingElement",
+                name: new.name,
+            });
+        }
+        let id = inner.next_id();
+        inner
+            .pe_name_index
+            .entry(new.name.to_lowercase())
+            .or_default()
+            .push(id);
+        inner.pes.insert(
+            id,
+            PeRow {
+                id,
+                user_id: new.user_id,
+                name: new.name,
+                description: new.description,
+                code: new.code,
+                description_embedding: new.description_embedding,
+                spt_embedding: new.spt_embedding,
+            },
+        );
+        Ok(id)
+    }
+
+    pub fn get_pe(&self, id: u64) -> Result<PeRow, RegistryError> {
+        self.inner
+            .read()
+            .pes
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound("ProcessingElement", id.to_string()))
+    }
+
+    /// Name lookup through the secondary index (case-insensitive).
+    pub fn get_pe_by_name(&self, name: &str) -> Result<PeRow, RegistryError> {
+        let inner = self.inner.read();
+        let ids = inner.pe_name_index.get(&name.to_lowercase());
+        ids.and_then(|ids| ids.first())
+            .and_then(|id| inner.pes.get(id))
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound("ProcessingElement", name.to_string()))
+    }
+
+    pub fn all_pes(&self) -> Vec<PeRow> {
+        self.inner.read().pes.values().cloned().collect()
+    }
+
+    pub fn update_pe_description(
+        &self,
+        id: u64,
+        description: &str,
+        description_embedding: &str,
+    ) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        let pe = inner
+            .pes
+            .get_mut(&id)
+            .ok_or_else(|| RegistryError::NotFound("ProcessingElement", id.to_string()))?;
+        pe.description = description.to_string();
+        pe.description_embedding = description_embedding.to_string();
+        Ok(())
+    }
+
+    /// Remove a PE. FK rule: fails while any workflow still references it.
+    pub fn remove_pe(&self, id: u64) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        if !inner.pes.contains_key(&id) {
+            return Err(RegistryError::NotFound("ProcessingElement", id.to_string()));
+        }
+        if inner.workflows.values().any(|w| w.pe_ids.contains(&id)) {
+            return Err(RegistryError::ForeignKey {
+                table: "ProcessingElement",
+                id,
+                referenced_by: "Workflow",
+            });
+        }
+        let name = inner.pes[&id].name.to_lowercase();
+        inner.pes.remove(&id);
+        if let Some(v) = inner.pe_name_index.get_mut(&name) {
+            v.retain(|&x| x != id);
+        }
+        Ok(())
+    }
+
+    // ---- workflows ---------------------------------------------------------
+
+    pub fn add_workflow(&self, new: NewWorkflow) -> Result<u64, RegistryError> {
+        let mut inner = self.inner.write();
+        Self::check_user(&inner, new.user_id)?;
+        for pe_id in &new.pe_ids {
+            if !inner.pes.contains_key(pe_id) {
+                return Err(RegistryError::MissingReference {
+                    table: "ProcessingElement",
+                    id: *pe_id,
+                });
+            }
+        }
+        let dup = inner
+            .workflows
+            .values()
+            .any(|w| w.user_id == new.user_id && w.name == new.name);
+        if dup {
+            return Err(RegistryError::DuplicateName {
+                table: "Workflow",
+                name: new.name,
+            });
+        }
+        let id = inner.next_id();
+        inner
+            .wf_name_index
+            .entry(new.name.to_lowercase())
+            .or_default()
+            .push(id);
+        inner.workflows.insert(
+            id,
+            WorkflowRow {
+                id,
+                user_id: new.user_id,
+                name: new.name,
+                description: new.description,
+                code: new.code,
+                description_embedding: new.description_embedding,
+                spt_embedding: new.spt_embedding,
+                pe_ids: new.pe_ids,
+            },
+        );
+        Ok(id)
+    }
+
+    pub fn get_workflow(&self, id: u64) -> Result<WorkflowRow, RegistryError> {
+        self.inner
+            .read()
+            .workflows
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound("Workflow", id.to_string()))
+    }
+
+    pub fn get_workflow_by_name(&self, name: &str) -> Result<WorkflowRow, RegistryError> {
+        let inner = self.inner.read();
+        let ids = inner.wf_name_index.get(&name.to_lowercase());
+        ids.and_then(|ids| ids.first())
+            .and_then(|id| inner.workflows.get(id))
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound("Workflow", name.to_string()))
+    }
+
+    pub fn all_workflows(&self) -> Vec<WorkflowRow> {
+        self.inner.read().workflows.values().cloned().collect()
+    }
+
+    /// `get_PEs_By_Workflow` (Table I).
+    pub fn pes_by_workflow(&self, workflow_id: u64) -> Result<Vec<PeRow>, RegistryError> {
+        let inner = self.inner.read();
+        let wf = inner
+            .workflows
+            .get(&workflow_id)
+            .ok_or_else(|| RegistryError::NotFound("Workflow", workflow_id.to_string()))?;
+        Ok(wf
+            .pe_ids
+            .iter()
+            .filter_map(|id| inner.pes.get(id))
+            .cloned()
+            .collect())
+    }
+
+    pub fn update_workflow_description(
+        &self,
+        id: u64,
+        description: &str,
+        description_embedding: &str,
+    ) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        let wf = inner
+            .workflows
+            .get_mut(&id)
+            .ok_or_else(|| RegistryError::NotFound("Workflow", id.to_string()))?;
+        wf.description = description.to_string();
+        wf.description_embedding = description_embedding.to_string();
+        Ok(())
+    }
+
+    pub fn remove_workflow(&self, id: u64) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        let wf = inner
+            .workflows
+            .remove(&id)
+            .ok_or_else(|| RegistryError::NotFound("Workflow", id.to_string()))?;
+        let key = wf.name.to_lowercase();
+        if let Some(v) = inner.wf_name_index.get_mut(&key) {
+            v.retain(|&x| x != id);
+        }
+        Ok(())
+    }
+
+    /// `remove_All` (Table I): clears PEs and workflows, keeps users and
+    /// execution history.
+    pub fn remove_all(&self) {
+        let mut inner = self.inner.write();
+        inner.pes.clear();
+        inner.workflows.clear();
+        inner.pe_name_index.clear();
+        inner.wf_name_index.clear();
+    }
+
+    // ---- literal search (paper §V-A, Fig. 7) --------------------------------
+
+    /// Case-insensitive term match over names and descriptions.
+    pub fn literal_search(&self, target: SearchTarget, term: &str) -> (Vec<PeRow>, Vec<WorkflowRow>) {
+        let needle = term.to_lowercase();
+        let inner = self.inner.read();
+        let pes = if target != SearchTarget::Workflow {
+            inner
+                .pes
+                .values()
+                .filter(|p| {
+                    p.name.to_lowercase().contains(&needle)
+                        || p.description.to_lowercase().contains(&needle)
+                })
+                .cloned()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let wfs = if target != SearchTarget::Pe {
+            inner
+                .workflows
+                .values()
+                .filter(|w| {
+                    w.name.to_lowercase().contains(&needle)
+                        || w.description.to_lowercase().contains(&needle)
+                })
+                .cloned()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        (pes, wfs)
+    }
+
+    // ---- executions / responses ---------------------------------------------
+
+    pub fn add_execution(
+        &self,
+        workflow_id: u64,
+        user_id: u64,
+        mapping: &str,
+        input: &str,
+    ) -> Result<u64, RegistryError> {
+        let mut inner = self.inner.write();
+        if !inner.workflows.contains_key(&workflow_id) {
+            return Err(RegistryError::MissingReference {
+                table: "Workflow",
+                id: workflow_id,
+            });
+        }
+        Self::check_user(&inner, user_id)?;
+        let id = inner.next_id();
+        let seq = inner.next_seq();
+        inner.executions.push(ExecutionRow {
+            id,
+            workflow_id,
+            user_id,
+            mapping: mapping.to_string(),
+            input: input.to_string(),
+            status: ExecutionStatus::Submitted,
+            submitted_seq: seq,
+        });
+        Ok(id)
+    }
+
+    pub fn set_execution_status(&self, id: u64, status: ExecutionStatus) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        let ex = inner
+            .executions
+            .iter_mut()
+            .find(|e| e.id == id)
+            .ok_or_else(|| RegistryError::NotFound("Execution", id.to_string()))?;
+        ex.status = status;
+        Ok(())
+    }
+
+    pub fn add_response(
+        &self,
+        execution_id: u64,
+        output: &str,
+        status: ExecutionStatus,
+    ) -> Result<u64, RegistryError> {
+        let mut inner = self.inner.write();
+        if !inner.executions.iter().any(|e| e.id == execution_id) {
+            return Err(RegistryError::MissingReference {
+                table: "Execution",
+                id: execution_id,
+            });
+        }
+        let id = inner.next_id();
+        inner.responses.push(ResponseRow {
+            id,
+            execution_id,
+            output: output.to_string(),
+            status,
+        });
+        Ok(id)
+    }
+
+    pub fn executions_for(&self, workflow_id: u64) -> Vec<ExecutionRow> {
+        self.inner
+            .read()
+            .executions
+            .iter()
+            .filter(|e| e.workflow_id == workflow_id)
+            .cloned()
+            .collect()
+    }
+
+    pub fn responses_for(&self, execution_id: u64) -> Vec<ResponseRow> {
+        self.inner
+            .read()
+            .responses
+            .iter()
+            .filter(|r| r.execution_id == execution_id)
+            .cloned()
+            .collect()
+    }
+
+    // ---- persistence ---------------------------------------------------------
+
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.read();
+        RegistrySnapshot {
+            users: inner.users.clone(),
+            pes: inner.pes.values().cloned().collect(),
+            workflows: inner.workflows.values().cloned().collect(),
+            executions: inner.executions.clone(),
+            responses: inner.responses.clone(),
+            next_id: inner.next_id,
+            seq: inner.seq,
+        }
+    }
+
+    pub fn from_snapshot(snap: RegistrySnapshot) -> Registry {
+        let mut inner = Inner {
+            users: snap.users,
+            pes: snap.pes.into_iter().map(|p| (p.id, p)).collect(),
+            workflows: snap.workflows.into_iter().map(|w| (w.id, w)).collect(),
+            executions: snap.executions,
+            responses: snap.responses,
+            next_id: snap.next_id,
+            seq: snap.seq,
+            pe_name_index: HashMap::new(),
+            wf_name_index: HashMap::new(),
+        };
+        inner.rebuild_indexes();
+        Registry {
+            inner: RwLock::new(inner),
+        }
+    }
+
+    pub fn save_to(&self, path: &Path) -> Result<(), RegistryError> {
+        let json = serde_json::to_string(&self.snapshot())
+            .map_err(|e| RegistryError::Persistence(e.to_string()))?;
+        std::fs::write(path, json).map_err(|e| RegistryError::Persistence(e.to_string()))
+    }
+
+    pub fn load_from(path: &Path) -> Result<Registry, RegistryError> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| RegistryError::Persistence(e.to_string()))?;
+        let snap: RegistrySnapshot =
+            serde_json::from_str(&json).map_err(|e| RegistryError::Persistence(e.to_string()))?;
+        Ok(Registry::from_snapshot(snap))
+    }
+
+    /// Registry contents summary (the CLI's `list`): (PE count, WF count).
+    pub fn counts(&self) -> (usize, usize) {
+        let inner = self.inner.read();
+        (inner.pes.len(), inner.workflows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_user() -> (Registry, u64) {
+        let r = Registry::new();
+        let u = r.register_user("rosa", "pw").unwrap();
+        (r, u)
+    }
+
+    fn pe(user: u64, name: &str) -> NewPe {
+        NewPe {
+            user_id: user,
+            name: name.into(),
+            description: format!("{name} description"),
+            code: format!("class {name}: pass"),
+            description_embedding: String::new(),
+            spt_embedding: String::new(),
+        }
+    }
+
+    #[test]
+    fn user_lifecycle() {
+        let (r, u) = with_user();
+        assert_eq!(r.login("rosa", "pw").unwrap(), u);
+        assert_eq!(r.login("rosa", "wrong").unwrap_err(), RegistryError::InvalidCredentials);
+        assert!(matches!(r.login("nobody", "pw").unwrap_err(), RegistryError::UnknownUser(_)));
+        assert!(matches!(
+            r.register_user("rosa", "other").unwrap_err(),
+            RegistryError::DuplicateUser(_)
+        ));
+        assert_eq!(r.user_count(), 1);
+    }
+
+    #[test]
+    fn password_hash_depends_on_user_and_password() {
+        assert_ne!(hash_password("a", "pw"), hash_password("b", "pw"));
+        assert_ne!(hash_password("a", "pw"), hash_password("a", "pw2"));
+        assert_eq!(hash_password("a", "pw"), hash_password("a", "pw"));
+    }
+
+    #[test]
+    fn pe_crud_and_indexes() {
+        let (r, u) = with_user();
+        let id = r.add_pe(pe(u, "IsPrime")).unwrap();
+        assert_eq!(r.get_pe(id).unwrap().name, "IsPrime");
+        assert_eq!(r.get_pe_by_name("isprime").unwrap().id, id, "index is case-insensitive");
+        assert!(r.get_pe(999).is_err());
+        assert!(r.get_pe_by_name("nope").is_err());
+        r.update_pe_description(id, "new desc", "[0.1]").unwrap();
+        assert_eq!(r.get_pe(id).unwrap().description, "new desc");
+        r.remove_pe(id).unwrap();
+        assert!(r.get_pe(id).is_err());
+        assert!(r.get_pe_by_name("IsPrime").is_err(), "index updated on delete");
+    }
+
+    #[test]
+    fn unique_name_per_user() {
+        let (r, u) = with_user();
+        r.add_pe(pe(u, "X")).unwrap();
+        assert!(matches!(
+            r.add_pe(pe(u, "X")).unwrap_err(),
+            RegistryError::DuplicateName { .. }
+        ));
+        // A different user can reuse the name.
+        let u2 = r.register_user("sam", "pw").unwrap();
+        assert!(r.add_pe(pe(u2, "X")).is_ok());
+    }
+
+    #[test]
+    fn workflow_fk_integrity() {
+        let (r, u) = with_user();
+        let p1 = r.add_pe(pe(u, "A")).unwrap();
+        let p2 = r.add_pe(pe(u, "B")).unwrap();
+        // Insertion-side FK: unknown PE id rejected.
+        let bad = NewWorkflow {
+            user_id: u,
+            name: "wf".into(),
+            description: String::new(),
+            code: String::new(),
+            description_embedding: String::new(),
+            spt_embedding: String::new(),
+            pe_ids: vec![p1, 999],
+        };
+        assert!(matches!(
+            r.add_workflow(bad).unwrap_err(),
+            RegistryError::MissingReference { .. }
+        ));
+        let wf = r
+            .add_workflow(NewWorkflow {
+                user_id: u,
+                name: "wf".into(),
+                description: String::new(),
+                code: String::new(),
+                description_embedding: String::new(),
+                spt_embedding: String::new(),
+                pe_ids: vec![p1, p2],
+            })
+            .unwrap();
+        // Deletion-side FK: PE referenced by workflow cannot be removed.
+        assert!(matches!(
+            r.remove_pe(p1).unwrap_err(),
+            RegistryError::ForeignKey { .. }
+        ));
+        // Remove the workflow first, then the PE.
+        r.remove_workflow(wf).unwrap();
+        r.remove_pe(p1).unwrap();
+    }
+
+    #[test]
+    fn pes_by_workflow_in_order() {
+        let (r, u) = with_user();
+        let p1 = r.add_pe(pe(u, "First")).unwrap();
+        let p2 = r.add_pe(pe(u, "Second")).unwrap();
+        let wf = r
+            .add_workflow(NewWorkflow {
+                user_id: u,
+                name: "wf".into(),
+                description: String::new(),
+                code: String::new(),
+                description_embedding: String::new(),
+                spt_embedding: String::new(),
+                pe_ids: vec![p2, p1],
+            })
+            .unwrap();
+        let pes = r.pes_by_workflow(wf).unwrap();
+        assert_eq!(pes.iter().map(|p| p.name.as_str()).collect::<Vec<_>>(), vec!["Second", "First"]);
+    }
+
+    #[test]
+    fn literal_search_matches_names_and_descriptions() {
+        let (r, u) = with_user();
+        r.add_pe(NewPe {
+            description: "counts words in text".into(),
+            ..pe(u, "WordCounter")
+        })
+        .unwrap();
+        r.add_pe(pe(u, "IsPrime")).unwrap();
+        r.add_workflow(NewWorkflow {
+            user_id: u,
+            name: "words_wf".into(),
+            description: "workflow about words".into(),
+            code: String::new(),
+            description_embedding: String::new(),
+            spt_embedding: String::new(),
+            pe_ids: vec![],
+        })
+        .unwrap();
+
+        // Fig. 7: search 'words' over both kinds.
+        let (pes, wfs) = r.literal_search(SearchTarget::Both, "words");
+        assert_eq!(pes.len(), 1);
+        assert_eq!(wfs.len(), 1);
+        // Case-insensitive name match.
+        let (pes, wfs) = r.literal_search(SearchTarget::Pe, "isprime");
+        assert_eq!(pes.len(), 1);
+        assert!(wfs.is_empty());
+        // Workflow-only target.
+        let (pes, wfs) = r.literal_search(SearchTarget::Workflow, "words");
+        assert!(pes.is_empty());
+        assert_eq!(wfs.len(), 1);
+        // No match.
+        let (pes, wfs) = r.literal_search(SearchTarget::Both, "zzz");
+        assert!(pes.is_empty() && wfs.is_empty());
+    }
+
+    #[test]
+    fn executions_and_responses() {
+        let (r, u) = with_user();
+        let p = r.add_pe(pe(u, "A")).unwrap();
+        let wf = r
+            .add_workflow(NewWorkflow {
+                user_id: u,
+                name: "wf".into(),
+                description: String::new(),
+                code: String::new(),
+                description_embedding: String::new(),
+                spt_embedding: String::new(),
+                pe_ids: vec![p],
+            })
+            .unwrap();
+        let ex = r.add_execution(wf, u, "multi", "10").unwrap();
+        r.set_execution_status(ex, ExecutionStatus::Running).unwrap();
+        let resp = r.add_response(ex, "line1\nline2", ExecutionStatus::Completed).unwrap();
+        r.set_execution_status(ex, ExecutionStatus::Completed).unwrap();
+        let exs = r.executions_for(wf);
+        assert_eq!(exs.len(), 1);
+        assert_eq!(exs[0].status, ExecutionStatus::Completed);
+        let resps = r.responses_for(ex);
+        assert_eq!(resps.len(), 1);
+        assert_eq!(resps[0].id, resp);
+        // FK checks.
+        assert!(r.add_execution(999, u, "simple", "1").is_err());
+        assert!(r.add_response(999, "x", ExecutionStatus::Failed).is_err());
+    }
+
+    #[test]
+    fn remove_all_clears_registry_but_keeps_users() {
+        let (r, u) = with_user();
+        r.add_pe(pe(u, "A")).unwrap();
+        r.add_pe(pe(u, "B")).unwrap();
+        r.remove_all();
+        assert_eq!(r.counts(), (0, 0));
+        assert_eq!(r.user_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let (r, u) = with_user();
+        let p = r.add_pe(pe(u, "A")).unwrap();
+        let wf = r
+            .add_workflow(NewWorkflow {
+                user_id: u,
+                name: "wf".into(),
+                description: "d".into(),
+                code: "c".into(),
+                description_embedding: "[1.0]".into(),
+                spt_embedding: "[[1, 2.0]]".into(),
+                pe_ids: vec![p],
+            })
+            .unwrap();
+        let ex = r.add_execution(wf, u, "simple", "5").unwrap();
+        r.add_response(ex, "out", ExecutionStatus::Completed).unwrap();
+
+        let dir = std::env::temp_dir().join("laminar-registry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        r.save_to(&path).unwrap();
+        let r2 = Registry::load_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(r2.counts(), (1, 1));
+        assert_eq!(r2.get_pe(p).unwrap().name, "A");
+        assert_eq!(r2.get_workflow(wf).unwrap().spt_embedding, "[[1, 2.0]]");
+        assert_eq!(r2.get_pe_by_name("a").unwrap().id, p, "indexes rebuilt after load");
+        assert_eq!(r2.login("rosa", "pw").unwrap(), u);
+        // Ids continue from where they left off.
+        let next = r2.add_pe(pe(u, "B")).unwrap();
+        assert!(next > ex);
+    }
+
+    #[test]
+    fn load_from_missing_or_corrupt_file() {
+        assert!(Registry::load_from(Path::new("/nonexistent/reg.json")).is_err());
+        let dir = std::env::temp_dir().join("laminar-registry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(Registry::load_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let (r, u) = with_user();
+        let r = std::sync::Arc::new(r);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        r.add_pe(NewPe {
+                            user_id: u,
+                            name: format!("PE_{t}_{i}"),
+                            description: String::new(),
+                            code: String::new(),
+                            description_embedding: String::new(),
+                            spt_embedding: String::new(),
+                        })
+                        .unwrap();
+                        let _ = r.literal_search(SearchTarget::Both, "PE_");
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counts().0, 200);
+    }
+}

@@ -1,0 +1,203 @@
+//! The search service's in-memory embedding indexes.
+//!
+//! The registry persists embeddings as JSON CLOBs; serving queries from
+//! parsed JSON on every search would dominate latency, so the server keeps
+//! decoded copies here, updated incrementally on every registration or
+//! removal. Three indexes, one per search modality:
+//!
+//! * description embeddings (UniXcoderSim) — text-to-code search (§V-B);
+//! * SPT feature vectors (Aroma) — structural code recommendation (§VI);
+//! * ReACC code embeddings — the `--embedding_type llm` path (Fig. 9).
+
+use embed::{DenseVec, ReaccSim};
+use parking_lot::RwLock;
+use spt::FeatureVec;
+
+/// What kind of registry row an index entry points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    Pe,
+    Workflow,
+}
+
+struct Entry {
+    id: u64,
+    kind: EntryKind,
+    desc: DenseVec,
+    spt: FeatureVec,
+    reacc: DenseVec,
+}
+
+/// The three search indexes, kept consistent with the registry by the
+/// server's write paths.
+#[derive(Default)]
+pub struct SearchIndexes {
+    entries: RwLock<Vec<Entry>>,
+}
+
+/// A scored index hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexHit {
+    pub id: u64,
+    pub kind: EntryKind,
+    pub score: f32,
+}
+
+impl SearchIndexes {
+    pub fn new() -> Self {
+        SearchIndexes::default()
+    }
+
+    /// Insert or replace the entry for `(kind, id)`.
+    pub fn upsert(
+        &self,
+        id: u64,
+        kind: EntryKind,
+        desc: DenseVec,
+        spt_vec: FeatureVec,
+        code: &str,
+    ) {
+        let reacc = ReaccSim::new().embed_code(code);
+        let mut entries = self.entries.write();
+        entries.retain(|e| !(e.id == id && e.kind == kind));
+        entries.push(Entry {
+            id,
+            kind,
+            desc,
+            spt: spt_vec,
+            reacc,
+        });
+    }
+
+    pub fn remove(&self, id: u64, kind: EntryKind) {
+        self.entries.write().retain(|e| !(e.id == id && e.kind == kind));
+    }
+
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    fn rank<F>(&self, kind_filter: Option<EntryKind>, score: F) -> Vec<IndexHit>
+    where
+        F: Fn(&Entry) -> f32,
+    {
+        let entries = self.entries.read();
+        let mut hits: Vec<IndexHit> = entries
+            .iter()
+            .filter(|e| kind_filter.is_none_or(|k| e.kind == k))
+            .map(|e| IndexHit {
+                id: e.id,
+                kind: e.kind,
+                score: score(e),
+            })
+            .collect();
+        hits.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        hits
+    }
+
+    /// Rank by cosine of description embeddings (semantic text search).
+    pub fn rank_semantic(&self, query: &DenseVec, kind: Option<EntryKind>) -> Vec<IndexHit> {
+        self.rank(kind, |e| query.cosine(&e.desc))
+    }
+
+    /// Rank by SPT feature overlap (structural code search).
+    pub fn rank_spt(&self, query: &FeatureVec, kind: Option<EntryKind>) -> Vec<IndexHit> {
+        self.rank(kind, |e| query.overlap(&e.spt))
+    }
+
+    /// Rank by ReACC-style code-embedding cosine (`--embedding_type llm`).
+    pub fn rank_reacc(&self, query: &DenseVec, kind: Option<EntryKind>) -> Vec<IndexHit> {
+        self.rank(kind, |e| query.cosine(&e.reacc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embed::{Embedder, UniXcoderSim};
+    use spt::Spt;
+
+    fn add(ix: &SearchIndexes, id: u64, kind: EntryKind, desc: &str, code: &str) {
+        ix.upsert(
+            id,
+            kind,
+            UniXcoderSim::new().embed(desc),
+            Spt::parse_source(code).feature_vec(),
+            code,
+        );
+    }
+
+    #[test]
+    fn semantic_ranking() {
+        let ix = SearchIndexes::new();
+        add(&ix, 1, EntryKind::Pe, "detects anomalies in sensor data", "class A: pass");
+        add(&ix, 2, EntryKind::Pe, "checks whether a number is prime", "class B: pass");
+        let q = UniXcoderSim::new().embed("a pe that is able to detect anomalies");
+        let hits = ix.rank_semantic(&q, Some(EntryKind::Pe));
+        assert_eq!(hits[0].id, 1);
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn spt_ranking_and_kind_filter() {
+        let ix = SearchIndexes::new();
+        add(&ix, 1, EntryKind::Pe, "", "def f(x):\n    return random.randint(1, 1000)\n");
+        add(&ix, 2, EntryKind::Workflow, "", "def g(y):\n    return y + 1\n");
+        let q = Spt::parse_source("random.randint(1, 1000)").feature_vec();
+        let pe_hits = ix.rank_spt(&q, Some(EntryKind::Pe));
+        assert_eq!(pe_hits.len(), 1);
+        assert_eq!(pe_hits[0].id, 1);
+        let all = ix.rank_spt(&q, None);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].id, 1);
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let ix = SearchIndexes::new();
+        add(&ix, 1, EntryKind::Pe, "old", "x = 1\n");
+        add(&ix, 1, EntryKind::Pe, "new description about words", "x = 1\n");
+        assert_eq!(ix.len(), 1);
+        let q = UniXcoderSim::new().embed("words");
+        let hits = ix.rank_semantic(&q, None);
+        assert!(hits[0].score > 0.0, "new embedding in effect");
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let ix = SearchIndexes::new();
+        add(&ix, 1, EntryKind::Pe, "a", "x = 1\n");
+        add(&ix, 2, EntryKind::Workflow, "b", "y = 2\n");
+        ix.remove(1, EntryKind::Pe);
+        assert_eq!(ix.len(), 1);
+        ix.remove(1, EntryKind::Workflow); // no-op: wrong kind
+        assert_eq!(ix.len(), 1);
+        ix.clear();
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn reacc_ranking_prefers_clones() {
+        let ix = SearchIndexes::new();
+        let code = "def f(a):\n    return a * 2\n";
+        add(&ix, 1, EntryKind::Pe, "", code);
+        add(&ix, 2, EntryKind::Pe, "", "class Other:\n    def g(self):\n        pass\n");
+        let q = ReaccSim::new().embed_code(code);
+        let hits = ix.rank_reacc(&q, None);
+        assert_eq!(hits[0].id, 1);
+        assert!(hits[0].score > 0.99);
+    }
+}

@@ -1,0 +1,36 @@
+//! `laminar-server` — the Laminar server (paper §III).
+//!
+//! "The server coordinates system functionality, organized into layers for
+//! controllers, services, models, and data access." The layering here:
+//!
+//! * [`protocol`] — the wire model: [`protocol::Request`] /
+//!   [`protocol::Response`] / streamed [`protocol::WireFrame`]s (the
+//!   controller surface);
+//! * [`server`] — the controller: session auth, request dispatch;
+//! * [`indexes`] — the search service's in-memory embedding indexes
+//!   (description embeddings, SPT feature vectors, ReACC code vectors),
+//!   updated incrementally on every registration;
+//! * [`resources`] — the §IV-F resource cache: content-hash dedup,
+//!   multipart upload, bytes-on-wire accounting;
+//! * [`transport`] — batch (HTTP/1.1-style) vs streaming (HTTP/2-style)
+//!   response delivery (§IV-E), with an optional per-frame latency model
+//!   for the benches.
+//!
+//! The data-access layer is the `laminar-registry` crate; the models are
+//! its row types.
+
+pub mod indexes;
+pub mod net;
+pub mod protocol;
+pub mod resources;
+pub mod server;
+pub mod transport;
+
+pub use net::{NetClientTransport, NetServer, RequestTransport};
+pub use protocol::{
+    EmbeddingType, Ident, PeSubmission, Reply, Request, Response, RunMode, SearchScope,
+    SemanticHit, WireFrame,
+};
+pub use resources::{ResourceCache, ResourceRef};
+pub use server::{LaminarServer, ServerConfig, ServerError};
+pub use transport::{DeliveryMode, Transport};

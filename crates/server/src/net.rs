@@ -1,0 +1,343 @@
+//! TCP loopback transport: the client-server split over a real socket.
+//!
+//! The in-process [`Transport`](crate::transport::Transport) models the
+//! §IV-E framing disciplines; this module carries the same protocol over
+//! TCP so the client and server genuinely run as separate endpoints (the
+//! paper's Dockerised client/server deployment, minus Docker).
+//!
+//! Wire format: length-prefixed JSON. Each message is a `u32` big-endian
+//! byte length followed by that many bytes of JSON. The client sends one
+//! [`Request`] per connection; the server answers with a sequence of
+//! [`WireFrame`]s terminated by a zero-length sentinel frame. Streamed
+//! frames are flushed individually — that *is* the HTTP/2-style behaviour;
+//! a batch-mode client simply buffers until the sentinel.
+
+use crate::protocol::{Reply, Request, Response, WireFrame};
+use crate::server::LaminarServer;
+use bytes::{Buf, BufMut, BytesMut};
+use crossbeam_channel::unbounded;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Maximum accepted message size (16 MiB — resources travel inline).
+const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Write one length-prefixed JSON message.
+fn write_msg<T: serde::Serialize>(stream: &mut TcpStream, msg: &T) -> std::io::Result<()> {
+    let json = serde_json::to_vec(msg).map_err(std::io::Error::other)?;
+    let mut buf = BytesMut::with_capacity(4 + json.len());
+    buf.put_u32(json.len() as u32);
+    buf.put_slice(&json);
+    stream.write_all(&buf)?;
+    stream.flush()
+}
+
+/// Write the end-of-response sentinel (zero-length frame).
+fn write_sentinel(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(&0u32.to_be_bytes())?;
+    stream.flush()
+}
+
+/// Read one length-prefixed message; `Ok(None)` on the sentinel.
+fn read_msg<T: serde::de::DeserializeOwned>(stream: &mut TcpStream) -> std::io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 {
+        return Ok(None);
+    }
+    if len > MAX_FRAME {
+        return Err(std::io::Error::other(format!("frame too large: {len}")));
+    }
+    let mut buf = BytesMut::zeroed(len);
+    stream.read_exact(&mut buf)?;
+    let value = serde_json::from_slice(buf.chunk()).map_err(std::io::Error::other)?;
+    Ok(Some(value))
+}
+
+/// A running TCP server. Dropping the handle (or calling
+/// [`NetServer::shutdown`]) stops the accept loop.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Bind and serve `server` on `addr` (use port 0 for an ephemeral
+    /// port; the bound address is available via [`NetServer::addr`]).
+    pub fn bind(addr: &str, server: Arc<LaminarServer>) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        listener.set_nonblocking(true)?;
+        std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let server = server.clone();
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &server);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(NetServer { addr: bound, stop })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, server: &LaminarServer) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // One request per connection (HTTP-like).
+    let Some(request): Option<Request> = read_msg(&mut stream)? else {
+        return Ok(());
+    };
+    match server.handle(request) {
+        Reply::Value(v) => {
+            write_msg(&mut stream, &WireFrame::Value(v))?;
+            write_sentinel(&mut stream)
+        }
+        Reply::Stream(rx) => {
+            for frame in rx.iter() {
+                let done = matches!(frame, WireFrame::End { .. })
+                    || matches!(frame, WireFrame::Value(Response::Error(_)));
+                write_msg(&mut stream, &frame)?;
+                if done {
+                    break;
+                }
+            }
+            write_sentinel(&mut stream)
+        }
+    }
+}
+
+/// Client-side TCP transport: one connection per request, frames streamed
+/// as the server flushes them.
+#[derive(Clone)]
+pub struct NetClientTransport {
+    addr: SocketAddr,
+}
+
+impl NetClientTransport {
+    pub fn new(addr: SocketAddr) -> Self {
+        NetClientTransport { addr }
+    }
+
+    /// Send a request and return the reply. A single `Value` frame becomes
+    /// `Reply::Value`; anything else becomes a frame stream fed by a
+    /// reader thread.
+    pub fn send(&self, req: Request) -> std::io::Result<Reply> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        write_msg(&mut stream, &req)?;
+
+        // Read the first frame synchronously to classify the reply.
+        let first: Option<WireFrame> = read_msg(&mut stream)?;
+        match first {
+            None => Ok(Reply::Value(Response::Error("empty reply".into()))),
+            Some(WireFrame::Value(v)) => {
+                // Synchronous response; consume the sentinel.
+                let _: Option<WireFrame> = read_msg(&mut stream).unwrap_or(None);
+                Ok(Reply::Value(v))
+            }
+            Some(frame) => {
+                let (tx, rx) = unbounded::<WireFrame>();
+                let _ = tx.send(frame);
+                std::thread::spawn(move || {
+                    while let Ok(Some(f)) = read_msg::<WireFrame>(&mut stream) {
+                        if tx.send(f).is_err() {
+                            break;
+                        }
+                    }
+                });
+                Ok(Reply::Stream(rx))
+            }
+        }
+    }
+}
+
+/// Transport abstraction shared by the in-process and TCP clients.
+pub trait RequestTransport: Send + Sync {
+    fn send_request(&self, req: Request) -> Reply;
+}
+
+impl RequestTransport for crate::transport::Transport {
+    fn send_request(&self, req: Request) -> Reply {
+        self.send(req)
+    }
+}
+
+impl RequestTransport for NetClientTransport {
+    fn send_request(&self, req: Request) -> Reply {
+        match self.send(req) {
+            Ok(reply) => reply,
+            Err(e) => Reply::Value(Response::Error(format!("transport error: {e}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Ident, PeSubmission, RunInputWire, RunMode};
+
+    fn serve() -> (NetServer, NetClientTransport) {
+        let server = Arc::new(LaminarServer::with_stock());
+        let net = NetServer::bind("127.0.0.1:0", server).expect("bind");
+        let client = NetClientTransport::new(net.addr());
+        (net, client)
+    }
+
+    fn token_of(reply: Reply) -> u64 {
+        match reply.value() {
+            Response::Token(t) => t,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_request_over_tcp() {
+        let (_srv, client) = serve();
+        let token = token_of(
+            client.send_request(Request::RegisterUser {
+                username: "tcp".into(),
+                password: "pw".into(),
+            }),
+        );
+        assert!(token > 0);
+        let reply = client.send_request(Request::GetRegistry { token });
+        match reply.value() {
+            Response::Registry { pes, workflows } => {
+                assert!(pes.is_empty());
+                assert!(workflows.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn auth_error_over_tcp() {
+        let (_srv, client) = serve();
+        let reply = client.send_request(Request::GetRegistry { token: 42 });
+        assert!(matches!(reply.value(), Response::Error(_)));
+    }
+
+    #[test]
+    fn streaming_run_over_tcp() {
+        let (_srv, client) = serve();
+        let token = token_of(client.send_request(Request::RegisterUser {
+            username: "tcp".into(),
+            password: "pw".into(),
+        }));
+        client
+            .send_request(Request::RegisterWorkflow {
+                token,
+                name: "isprime_wf".into(),
+                code: String::new(),
+                description: Some("prime pipeline".into()),
+                pes: vec![PeSubmission {
+                    name: "IsPrime".into(),
+                    code: "class IsPrime(IterativePE):\n    def _process(self, n):\n        return n\n".into(),
+                    description: None,
+                }],
+            })
+            .value();
+        let reply = client.send_request(Request::Run {
+            token,
+            ident: Ident::Name("isprime_wf".into()),
+            input: RunInputWire::Iterations(15),
+            mode: RunMode::Multiprocess { processes: 9 },
+            streaming: true,
+            verbose: true,
+            resources: vec![],
+        });
+        let (lines, _infos, summaries, ok) = reply.drain();
+        assert!(ok);
+        assert!(!lines.is_empty());
+        for l in &lines {
+            assert!(l.contains("is prime"), "{l}");
+        }
+        assert!(!summaries.is_empty());
+    }
+
+    #[test]
+    fn concurrent_tcp_clients() {
+        let (_srv, client) = serve();
+        let token = token_of(client.send_request(Request::RegisterUser {
+            username: "tcp".into(),
+            password: "pw".into(),
+        }));
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let client = client.clone();
+                s.spawn(move || {
+                    let reply = client.send_request(Request::RegisterPe {
+                        token,
+                        pe: PeSubmission {
+                            name: format!("PE{i}"),
+                            code: format!("class PE{i}(IterativePE):\n    def _process(self, x):\n        return x + {i}\n"),
+                            description: None,
+                        },
+                    });
+                    assert!(matches!(reply.value(), Response::Registered { .. }));
+                });
+            }
+        });
+        let reply = client.send_request(Request::GetRegistry { token });
+        match reply.value() {
+            Response::Registry { pes, .. } => assert_eq!(pes.len(), 8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let (_srv, client) = serve();
+        let token = token_of(client.send_request(Request::RegisterUser {
+            username: "tcp".into(),
+            password: "pw".into(),
+        }));
+        // A 1 MiB resource travels fine under the 16 MiB cap.
+        let bytes = vec![7u8; 1024 * 1024];
+        let reply = client.send_request(Request::UploadResource {
+            token,
+            name: "big.bin".into(),
+            bytes,
+        });
+        assert!(matches!(reply.value(), Response::ResourceStored { .. }));
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let (srv, client) = serve();
+        srv.shutdown();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Either refused or reset — but never a hang.
+        let result = client.send(Request::Login {
+            username: "x".into(),
+            password: "y".into(),
+        });
+        let _ = result; // both Ok(Error-reply) and Err are acceptable here
+    }
+}

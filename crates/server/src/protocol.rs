@@ -1,0 +1,384 @@
+//! The client↔server wire model.
+//!
+//! JSON-serialisable request/response types covering every client function
+//! of Table I, plus the streamed frame type used by run responses. A real
+//! HTTP layer would put `Request` in the body and stream `WireFrame`s; the
+//! in-process and TCP transports do exactly that minus the HTTP headers.
+
+use d4py::Data;
+use serde::{Deserialize, Serialize};
+
+/// Session token handed out by register/login.
+pub type Token = u64;
+
+/// Id-or-name identifier (the CLI accepts both: `run 169` / `run isprime_wf`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ident {
+    Id(u64),
+    Name(String),
+}
+
+impl From<u64> for Ident {
+    fn from(id: u64) -> Self {
+        Ident::Id(id)
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(name: &str) -> Self {
+        Ident::Name(name.to_string())
+    }
+}
+
+/// What a search covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchScope {
+    Pe,
+    Workflow,
+    Both,
+}
+
+/// Which embedding backs a code recommendation (paper Fig. 9:
+/// `--embedding_type spt | llm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmbeddingType {
+    /// Aroma SPT structural features (the 2.0 default).
+    Spt,
+    /// ReACC-py-retriever-style dense code embedding (the 1.0 behaviour).
+    Llm,
+}
+
+/// Execution mapping requested by the client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// `client.run` — sequential.
+    Sequential,
+    /// `client.run_multiprocess` — static parallel with `processes` ranks.
+    Multiprocess { processes: usize },
+    /// `client.run_dynamic` — Redis-style dynamic allocation. The paper's
+    /// headline usability win: no broker parameters needed (Listing 3).
+    Dynamic,
+}
+
+/// A PE extracted from a workflow file at registration time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeSubmission {
+    pub name: String,
+    pub code: String,
+    pub description: Option<String>,
+}
+
+/// Run input as transmitted (mirrors `d4py::RunInput`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunInputWire {
+    Iterations(u64),
+    Data(Vec<Data>),
+}
+
+impl From<RunInputWire> for d4py::RunInput {
+    fn from(w: RunInputWire) -> Self {
+        match w {
+            RunInputWire::Iterations(n) => d4py::RunInput::Iterations(n),
+            RunInputWire::Data(v) => d4py::RunInput::Data(v),
+        }
+    }
+}
+
+/// Reference to a resource the workflow needs (paper §IV-F): name +
+/// FNV-64 content hash, so the server can answer from its cache.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceRefWire {
+    pub name: String,
+    pub content_hash: u64,
+}
+
+/// Every server operation. One variant per client function of Table I
+/// (plus resource upload, which Table I folds into `run`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    RegisterUser { username: String, password: String },
+    Login { username: String, password: String },
+    RegisterPe {
+        token: Token,
+        pe: PeSubmission,
+    },
+    RegisterWorkflow {
+        token: Token,
+        name: String,
+        code: String,
+        description: Option<String>,
+        pes: Vec<PeSubmission>,
+    },
+    GetPe { token: Token, ident: Ident },
+    GetWorkflow { token: Token, ident: Ident },
+    GetPesByWorkflow { token: Token, ident: Ident },
+    GetRegistry { token: Token },
+    Describe { token: Token, scope: SearchScope, ident: Ident },
+    UpdatePeDescription { token: Token, ident: Ident, description: String },
+    UpdateWorkflowDescription { token: Token, ident: Ident, description: String },
+    RemovePe { token: Token, ident: Ident },
+    RemoveWorkflow { token: Token, ident: Ident },
+    RemoveAll { token: Token },
+    SearchLiteral { token: Token, scope: SearchScope, term: String },
+    SearchSemantic { token: Token, scope: SearchScope, query: String },
+    CodeRecommendation {
+        token: Token,
+        scope: SearchScope,
+        snippet: String,
+        embedding_type: EmbeddingType,
+    },
+    /// Context-aware code completion (§III): complete a partially-typed PE
+    /// from the most structurally-similar registered PE.
+    CodeCompletion { token: Token, snippet: String },
+    /// Execution history of a workflow (the registry's Execution/Response
+    /// tables, Table II).
+    GetExecutions { token: Token, ident: Ident },
+    Run {
+        token: Token,
+        ident: Ident,
+        input: RunInputWire,
+        mode: RunMode,
+        streaming: bool,
+        verbose: bool,
+        /// Resources the workflow needs, by reference (2.0 path).
+        resources: Vec<ResourceRefWire>,
+    },
+    /// Multipart resource upload (2.0 path, after a NeedResources reply).
+    UploadResource { token: Token, name: String, bytes: Vec<u8> },
+    /// Laminar 1.0-style run: all resources inline on every request
+    /// (kept for experiment E9's baseline).
+    RunWithInlineResources {
+        token: Token,
+        ident: Ident,
+        input: RunInputWire,
+        mode: RunMode,
+        resources: Vec<(String, Vec<u8>)>,
+    },
+}
+
+/// One registry row as returned to clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeInfo {
+    pub id: u64,
+    pub name: String,
+    pub description: String,
+    pub code: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowInfo {
+    pub id: u64,
+    pub name: String,
+    pub description: String,
+    pub code: String,
+    pub pe_ids: Vec<u64>,
+}
+
+/// One execution-history row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionInfo {
+    pub id: u64,
+    pub mapping: String,
+    pub input: String,
+    pub status: String,
+    /// First line of the recorded response, if any.
+    pub output_preview: String,
+}
+
+/// A semantic-search hit (the Fig. 8 result rows).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SemanticHit {
+    pub id: u64,
+    pub name: String,
+    pub description: String,
+    pub cosine_similarity: f32,
+}
+
+/// A code-recommendation hit (the Fig. 9 result rows).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendationHit {
+    pub id: u64,
+    pub name: String,
+    pub description: String,
+    pub score: f32,
+    /// For workflow recommendations: matching member PEs ("occurrences").
+    pub occurrences: usize,
+    /// The most similar function/snippet, for display.
+    pub similar_code: String,
+}
+
+/// Synchronous responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    Token(Token),
+    /// Fig. 5a's "Found PEs … Found workflows" registration summary.
+    Registered {
+        pe_ids: Vec<(String, u64)>,
+        workflow_id: Option<(String, u64)>,
+    },
+    Pe(PeInfo),
+    Workflow(WorkflowInfo),
+    Pes(Vec<PeInfo>),
+    Registry {
+        pes: Vec<PeInfo>,
+        workflows: Vec<WorkflowInfo>,
+    },
+    Description(String),
+    SemanticResults(Vec<SemanticHit>),
+    Recommendations(Vec<RecommendationHit>),
+    /// Code-completion result: source PE + the suggested continuation.
+    Completion {
+        /// `None` when nothing in the registry is similar enough.
+        source: Option<(u64, String)>,
+        /// Suggested statements, in source order.
+        lines: Vec<String>,
+        /// Fraction of the source PE the snippet already covers.
+        progress: f32,
+    },
+    /// Execution history rows.
+    Executions(Vec<ExecutionInfo>),
+    /// §IV-F: the server lacks these resources; upload then retry.
+    NeedResources(Vec<String>),
+    ResourceStored { name: String, deduplicated: bool },
+    Ok,
+    Error(String),
+}
+
+/// One frame of a (possibly streamed) reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireFrame {
+    /// Complete synchronous response.
+    Value(Response),
+    /// One output line of a running workflow.
+    Line(String),
+    /// Engine-side note (container, imports).
+    Info(String),
+    /// Per-rank summary (verbose runs).
+    Summary(String),
+    /// Terminal frame of a run stream.
+    End { ok: bool, millis: u64 },
+}
+
+/// A reply: either a single value or a frame stream.
+pub enum Reply {
+    Value(Response),
+    Stream(crossbeam_channel::Receiver<WireFrame>),
+}
+
+impl Reply {
+    /// Unwrap a synchronous value (panics on a stream — test helper).
+    pub fn value(self) -> Response {
+        match self {
+            Reply::Value(v) => v,
+            Reply::Stream(_) => panic!("expected a value reply, got a stream"),
+        }
+    }
+
+    /// Drain a stream reply into (lines, infos, summaries, ok).
+    pub fn drain(self) -> (Vec<String>, Vec<String>, Vec<String>, bool) {
+        match self {
+            Reply::Value(v) => panic!("expected a stream reply, got {v:?}"),
+            Reply::Stream(rx) => {
+                let mut lines = Vec::new();
+                let mut infos = Vec::new();
+                let mut summaries = Vec::new();
+                let mut ok = false;
+                for f in rx.iter() {
+                    match f {
+                        WireFrame::Line(l) => lines.push(l),
+                        WireFrame::Info(i) => infos.push(i),
+                        WireFrame::Summary(s) => summaries.push(s),
+                        WireFrame::Value(Response::Error(e)) => {
+                            infos.push(format!("error: {e}"));
+                            break;
+                        }
+                        WireFrame::Value(_) => {}
+                        WireFrame::End { ok: o, .. } => {
+                            ok = o;
+                            break;
+                        }
+                    }
+                }
+                (lines, infos, summaries, ok)
+            }
+        }
+    }
+}
+
+/// FNV-64 content hash shared by both resource paths.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_as_json() {
+        let reqs = vec![
+            Request::RegisterUser {
+                username: "rosa".into(),
+                password: "pw".into(),
+            },
+            Request::SearchSemantic {
+                token: 1,
+                scope: SearchScope::Pe,
+                query: "a pe that is able to detect anomalies".into(),
+            },
+            Request::Run {
+                token: 1,
+                ident: Ident::Id(169),
+                input: RunInputWire::Iterations(10),
+                mode: RunMode::Multiprocess { processes: 9 },
+                streaming: true,
+                verbose: true,
+                resources: vec![ResourceRefWire {
+                    name: "input.csv".into(),
+                    content_hash: 42,
+                }],
+            },
+        ];
+        for r in reqs {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(r, back);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_as_json() {
+        let resp = Response::SemanticResults(vec![SemanticHit {
+            id: 178,
+            name: "AnomalyDetectionPE".into(),
+            description: "Anomaly detection PE.".into(),
+            cosine_similarity: 0.74017,
+        }]);
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn ident_conversions() {
+        assert_eq!(Ident::from(5u64), Ident::Id(5));
+        assert_eq!(Ident::from("isprime_wf"), Ident::Name("isprime_wf".into()));
+    }
+
+    #[test]
+    fn content_hash_distinguishes() {
+        assert_ne!(content_hash(b"a"), content_hash(b"b"));
+        assert_eq!(content_hash(b"same"), content_hash(b"same"));
+    }
+
+    #[test]
+    fn wireframes_serialise() {
+        let f = WireFrame::End { ok: true, millis: 12 };
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(serde_json::from_str::<WireFrame>(&json).unwrap(), f);
+    }
+}

@@ -1,0 +1,1211 @@
+//! The Laminar server: controller + services over the registry, search
+//! indexes, resource cache and execution engine (paper §III, Fig. 4).
+
+use crate::indexes::{EntryKind, SearchIndexes};
+use crate::protocol::*;
+use crate::resources::ResourceCache;
+use embed::{CodeT5Sim, DescriptionContext, ReaccSim, UniXcoderSim};
+use laminar_execengine::{ExecRequest, ExecutionEngine, Frame, ResponseMode};
+use laminar_registry::{
+    ExecutionStatus, NewPe, NewWorkflow, PeRow, Registry, RegistryError, SearchTarget, WorkflowRow,
+};
+use parking_lot::RwLock;
+use spt::Spt;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Server tunables (the paper's "configurable parameter"s).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Semantic search returns this many hits (paper default: 5).
+    pub semantic_top_n: usize,
+    /// Code recommendations return up to this many hits (paper default: 5).
+    pub reco_top_n: usize,
+    /// Minimum SPT overlap score for a recommendation (paper default: 6.0).
+    pub reco_min_score: f32,
+    /// Minimum cosine for `llm` recommendations.
+    pub reco_min_cosine: f32,
+    /// Dynamic-run worker bounds (the config that replaced Listing 2's
+    /// explicit parameters in Laminar 2.0).
+    pub dynamic: d4py::DynamicConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            semantic_top_n: 5,
+            reco_top_n: 5,
+            reco_min_score: 6.0,
+            reco_min_cosine: 0.3,
+            dynamic: d4py::DynamicConfig::default(),
+        }
+    }
+}
+
+/// Internal server error (mapped to `Response::Error` at the boundary).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    NotLoggedIn,
+    Registry(RegistryError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::NotLoggedIn => write!(f, "not logged in"),
+            ServerError::Registry(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<RegistryError> for ServerError {
+    fn from(e: RegistryError) -> Self {
+        ServerError::Registry(e)
+    }
+}
+
+/// The server.
+pub struct LaminarServer {
+    registry: Arc<Registry>,
+    engine: Arc<ExecutionEngine>,
+    indexes: Arc<SearchIndexes>,
+    resources: Arc<ResourceCache>,
+    sessions: RwLock<HashMap<Token, u64>>,
+    next_token: AtomicU64,
+    config: ServerConfig,
+    codet5: CodeT5Sim,
+    unixcoder: UniXcoderSim,
+}
+
+impl LaminarServer {
+    pub fn new(registry: Registry, engine: ExecutionEngine, config: ServerConfig) -> Self {
+        LaminarServer {
+            registry: Arc::new(registry),
+            engine: Arc::new(engine),
+            indexes: Arc::new(SearchIndexes::new()),
+            resources: Arc::new(ResourceCache::new()),
+            sessions: RwLock::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+            config,
+            codet5: CodeT5Sim::new(DescriptionContext::FullClass),
+            unixcoder: UniXcoderSim::new(),
+        }
+    }
+
+    /// Server with stock workflows and default config.
+    pub fn with_stock() -> Self {
+        LaminarServer::new(
+            Registry::new(),
+            ExecutionEngine::with_stock(),
+            ServerConfig::default(),
+        )
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub fn engine(&self) -> &ExecutionEngine {
+        &self.engine
+    }
+
+    pub fn resources(&self) -> &ResourceCache {
+        &self.resources
+    }
+
+    pub fn indexes(&self) -> &SearchIndexes {
+        &self.indexes
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Switch the description-generation context (experiment E13 compares
+    /// `ProcessMethodOnly` vs `FullClass`).
+    pub fn set_description_context(&mut self, ctx: DescriptionContext) {
+        self.codet5 = CodeT5Sim::new(ctx);
+    }
+
+    // ---- controller ---------------------------------------------------------
+
+    /// Dispatch one request.
+    pub fn handle(&self, req: Request) -> Reply {
+        match self.dispatch(req) {
+            Ok(reply) => reply,
+            Err(e) => Reply::Value(Response::Error(e.to_string())),
+        }
+    }
+
+    fn dispatch(&self, req: Request) -> Result<Reply, ServerError> {
+        Ok(match req {
+            Request::RegisterUser { username, password } => {
+                let user = self.registry.register_user(&username, &password)?;
+                Reply::Value(Response::Token(self.new_session(user)))
+            }
+            Request::Login { username, password } => {
+                let user = self.registry.login(&username, &password)?;
+                Reply::Value(Response::Token(self.new_session(user)))
+            }
+            Request::RegisterPe { token, pe } => {
+                let user = self.auth(token)?;
+                let (name, id) = self.register_pe(user, pe)?;
+                Reply::Value(Response::Registered {
+                    pe_ids: vec![(name, id)],
+                    workflow_id: None,
+                })
+            }
+            Request::RegisterWorkflow {
+                token,
+                name,
+                code,
+                description,
+                pes,
+            } => {
+                let user = self.auth(token)?;
+                let mut pe_ids = Vec::new();
+                for pe in &pes {
+                    pe_ids.push(self.register_pe(user, pe.clone())?);
+                }
+                let wf_id = self.register_workflow(user, &name, &code, description, &pe_ids)?;
+                Reply::Value(Response::Registered {
+                    pe_ids,
+                    workflow_id: Some((name, wf_id)),
+                })
+            }
+            Request::GetPe { token, ident } => {
+                self.auth(token)?;
+                let pe = self.resolve_pe(&ident)?;
+                Reply::Value(Response::Pe(pe_info(&pe)))
+            }
+            Request::GetWorkflow { token, ident } => {
+                self.auth(token)?;
+                let wf = self.resolve_workflow(&ident)?;
+                Reply::Value(Response::Workflow(wf_info(&wf)))
+            }
+            Request::GetPesByWorkflow { token, ident } => {
+                self.auth(token)?;
+                let wf = self.resolve_workflow(&ident)?;
+                let pes = self.registry.pes_by_workflow(wf.id)?;
+                Reply::Value(Response::Pes(pes.iter().map(pe_info).collect()))
+            }
+            Request::GetRegistry { token } => {
+                self.auth(token)?;
+                Reply::Value(Response::Registry {
+                    pes: self.registry.all_pes().iter().map(pe_info).collect(),
+                    workflows: self
+                        .registry
+                        .all_workflows()
+                        .iter()
+                        .map(wf_info)
+                        .collect(),
+                })
+            }
+            Request::Describe { token, scope, ident } => {
+                self.auth(token)?;
+                let text = match scope {
+                    SearchScope::Pe => {
+                        let pe = self.resolve_pe(&ident)?;
+                        format!("{}\n\n{}", pe.description, pe.code)
+                    }
+                    _ => {
+                        let wf = self.resolve_workflow(&ident)?;
+                        format!("{}\n\n{}", wf.description, wf.code)
+                    }
+                };
+                Reply::Value(Response::Description(text))
+            }
+            Request::UpdatePeDescription {
+                token,
+                ident,
+                description,
+            } => {
+                self.auth(token)?;
+                let pe = self.resolve_pe(&ident)?;
+                let emb = self.unixcoder.embed_text(&description);
+                self.registry
+                    .update_pe_description(pe.id, &description, &emb.to_json())?;
+                self.indexes.upsert(
+                    pe.id,
+                    EntryKind::Pe,
+                    emb,
+                    Spt::parse_source(&pe.code).feature_vec(),
+                    &pe.code,
+                );
+                Reply::Value(Response::Ok)
+            }
+            Request::UpdateWorkflowDescription {
+                token,
+                ident,
+                description,
+            } => {
+                self.auth(token)?;
+                let wf = self.resolve_workflow(&ident)?;
+                let emb = self.unixcoder.embed_text(&description);
+                self.registry
+                    .update_workflow_description(wf.id, &description, &emb.to_json())?;
+                self.indexes.upsert(
+                    wf.id,
+                    EntryKind::Workflow,
+                    emb,
+                    Spt::parse_source(&wf.code).feature_vec(),
+                    &wf.code,
+                );
+                Reply::Value(Response::Ok)
+            }
+            Request::RemovePe { token, ident } => {
+                self.auth(token)?;
+                let pe = self.resolve_pe(&ident)?;
+                self.registry.remove_pe(pe.id)?;
+                self.indexes.remove(pe.id, EntryKind::Pe);
+                Reply::Value(Response::Ok)
+            }
+            Request::RemoveWorkflow { token, ident } => {
+                self.auth(token)?;
+                let wf = self.resolve_workflow(&ident)?;
+                self.registry.remove_workflow(wf.id)?;
+                self.indexes.remove(wf.id, EntryKind::Workflow);
+                Reply::Value(Response::Ok)
+            }
+            Request::RemoveAll { token } => {
+                self.auth(token)?;
+                self.registry.remove_all();
+                self.indexes.clear();
+                Reply::Value(Response::Ok)
+            }
+            Request::SearchLiteral { token, scope, term } => {
+                self.auth(token)?;
+                let target = match scope {
+                    SearchScope::Pe => SearchTarget::Pe,
+                    SearchScope::Workflow => SearchTarget::Workflow,
+                    SearchScope::Both => SearchTarget::Both,
+                };
+                let (pes, wfs) = self.registry.literal_search(target, &term);
+                Reply::Value(Response::Registry {
+                    pes: pes.iter().map(pe_info).collect(),
+                    workflows: wfs.iter().map(wf_info).collect(),
+                })
+            }
+            Request::SearchSemantic { token, scope, query } => {
+                self.auth(token)?;
+                Reply::Value(Response::SemanticResults(self.semantic_search(scope, &query)))
+            }
+            Request::CodeRecommendation {
+                token,
+                scope,
+                snippet,
+                embedding_type,
+            } => {
+                self.auth(token)?;
+                Reply::Value(Response::Recommendations(self.code_recommendation(
+                    scope,
+                    &snippet,
+                    embedding_type,
+                )))
+            }
+            Request::CodeCompletion { token, snippet } => {
+                self.auth(token)?;
+                Reply::Value(self.code_completion(&snippet))
+            }
+            Request::GetExecutions { token, ident } => {
+                self.auth(token)?;
+                let wf = self.resolve_workflow(&ident)?;
+                let rows = self
+                    .registry
+                    .executions_for(wf.id)
+                    .into_iter()
+                    .map(|e| {
+                        let preview = self
+                            .registry
+                            .responses_for(e.id)
+                            .first()
+                            .and_then(|r| r.output.lines().next().map(str::to_string))
+                            .unwrap_or_default();
+                        crate::protocol::ExecutionInfo {
+                            id: e.id,
+                            mapping: e.mapping,
+                            input: e.input,
+                            status: format!("{:?}", e.status),
+                            output_preview: preview,
+                        }
+                    })
+                    .collect();
+                Reply::Value(Response::Executions(rows))
+            }
+            Request::UploadResource { token, name, bytes } => {
+                self.auth(token)?;
+                let dedup = self.resources.store(&name, bytes);
+                Reply::Value(Response::ResourceStored {
+                    name,
+                    deduplicated: dedup,
+                })
+            }
+            Request::Run {
+                token,
+                ident,
+                input,
+                mode,
+                streaming,
+                verbose,
+                resources,
+            } => {
+                let user = self.auth(token)?;
+                // §IV-F: answer from the cache; request missing files.
+                let missing = self.resources.missing(&resources);
+                if !missing.is_empty() {
+                    return Ok(Reply::Value(Response::NeedResources(missing)));
+                }
+                self.run(user, ident, input, mode, streaming, verbose)?
+            }
+            Request::RunWithInlineResources {
+                token,
+                ident,
+                input,
+                mode,
+                resources,
+            } => {
+                let user = self.auth(token)?;
+                // Laminar 1.0 baseline: every byte re-transmitted, batch reply.
+                self.resources.receive_inline(&resources);
+                self.run(user, ident, input, mode, false, false)?
+            }
+        })
+    }
+
+    // ---- sessions -------------------------------------------------------------
+
+    fn new_session(&self, user: u64) -> Token {
+        let token = self.next_token.fetch_add(1, Ordering::SeqCst);
+        self.sessions.write().insert(token, user);
+        token
+    }
+
+    fn auth(&self, token: Token) -> Result<u64, ServerError> {
+        self.sessions
+            .read()
+            .get(&token)
+            .copied()
+            .ok_or(ServerError::NotLoggedIn)
+    }
+
+    // ---- registration service ---------------------------------------------------
+
+    /// Register a PE: generate the description if absent (§IV-C), embed it,
+    /// extract SPT features (§VI), store, index. Re-registering an existing
+    /// name returns the existing id (idempotent workflow re-registration).
+    fn register_pe(&self, user: u64, pe: PeSubmission) -> Result<(String, u64), ServerError> {
+        let description = match &pe.description {
+            Some(d) if !d.is_empty() => d.clone(),
+            _ => self.codet5.describe_pe(&pe.code),
+        };
+        let desc_emb = self.unixcoder.embed_text(&description);
+        let spt_vec = Spt::parse_source(&pe.code).feature_vec();
+        let result = self.registry.add_pe(NewPe {
+            user_id: user,
+            name: pe.name.clone(),
+            description: description.clone(),
+            code: pe.code.clone(),
+            description_embedding: desc_emb.to_json(),
+            spt_embedding: spt_vec.to_json(),
+        });
+        match result {
+            Ok(id) => {
+                self.indexes
+                    .upsert(id, EntryKind::Pe, desc_emb, spt_vec, &pe.code);
+                Ok((pe.name, id))
+            }
+            Err(RegistryError::DuplicateName { .. }) => {
+                let existing = self.registry.get_pe_by_name(&pe.name)?;
+                Ok((pe.name, existing.id))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn register_workflow(
+        &self,
+        user: u64,
+        name: &str,
+        code: &str,
+        description: Option<String>,
+        pe_ids: &[(String, u64)],
+    ) -> Result<u64, ServerError> {
+        let description = match description {
+            Some(d) if !d.is_empty() => d,
+            _ => {
+                let codes: Vec<String> = pe_ids
+                    .iter()
+                    .filter_map(|(_, id)| self.registry.get_pe(*id).ok())
+                    .map(|p| p.code)
+                    .collect();
+                let refs: Vec<&str> = codes.iter().map(String::as_str).collect();
+                self.codet5.describe_workflow(name, &refs)
+            }
+        };
+        let desc_emb = self.unixcoder.embed_text(&description);
+        let spt_vec = Spt::parse_source(code).feature_vec();
+        let id = self.registry.add_workflow(NewWorkflow {
+            user_id: user,
+            name: name.to_string(),
+            description,
+            code: code.to_string(),
+            description_embedding: desc_emb.to_json(),
+            spt_embedding: spt_vec.to_json(),
+            pe_ids: pe_ids.iter().map(|(_, id)| *id).collect(),
+        })?;
+        self.indexes
+            .upsert(id, EntryKind::Workflow, desc_emb, spt_vec, code);
+        Ok(id)
+    }
+
+    // ---- search service ------------------------------------------------------------
+
+    fn semantic_search(&self, scope: SearchScope, query: &str) -> Vec<SemanticHit> {
+        let qvec = self.unixcoder.embed_text(query);
+        let kind = match scope {
+            SearchScope::Pe => Some(EntryKind::Pe),
+            SearchScope::Workflow => Some(EntryKind::Workflow),
+            SearchScope::Both => None,
+        };
+        self.indexes
+            .rank_semantic(&qvec, kind)
+            .into_iter()
+            .take(self.config.semantic_top_n)
+            .filter_map(|h| {
+                let (name, description) = match h.kind {
+                    EntryKind::Pe => {
+                        let p = self.registry.get_pe(h.id).ok()?;
+                        (p.name, p.description)
+                    }
+                    EntryKind::Workflow => {
+                        let w = self.registry.get_workflow(h.id).ok()?;
+                        (w.name, w.description)
+                    }
+                };
+                Some(SemanticHit {
+                    id: h.id,
+                    name,
+                    description,
+                    cosine_similarity: h.score,
+                })
+            })
+            .collect()
+    }
+
+    fn code_recommendation(
+        &self,
+        scope: SearchScope,
+        snippet: &str,
+        embedding_type: EmbeddingType,
+    ) -> Vec<RecommendationHit> {
+        // PE-level ranking first (workflow recommendations derive from it).
+        let pe_hits: Vec<(u64, f32)> = match embedding_type {
+            EmbeddingType::Spt => {
+                let q = Spt::parse_source(snippet).feature_vec();
+                self.indexes
+                    .rank_spt(&q, Some(EntryKind::Pe))
+                    .into_iter()
+                    .filter(|h| h.score >= self.config.reco_min_score)
+                    .map(|h| (h.id, h.score))
+                    .collect()
+            }
+            EmbeddingType::Llm => {
+                let q = ReaccSim::new().embed_code(snippet);
+                self.indexes
+                    .rank_reacc(&q, Some(EntryKind::Pe))
+                    .into_iter()
+                    .filter(|h| h.score >= self.config.reco_min_cosine)
+                    .map(|h| (h.id, h.score))
+                    .collect()
+            }
+        };
+
+        match scope {
+            SearchScope::Pe | SearchScope::Both => pe_hits
+                .into_iter()
+                .take(self.config.reco_top_n)
+                .filter_map(|(id, score)| {
+                    let pe = self.registry.get_pe(id).ok()?;
+                    Some(RecommendationHit {
+                        id,
+                        name: pe.name,
+                        description: pe.description,
+                        score,
+                        occurrences: 1,
+                        similar_code: first_function(&pe.code),
+                    })
+                })
+                .collect(),
+            SearchScope::Workflow => {
+                // Fig. 9 bottom: workflows containing matching PEs, ranked
+                // by total member score.
+                let mut hits: Vec<RecommendationHit> = self
+                    .registry
+                    .all_workflows()
+                    .into_iter()
+                    .filter_map(|wf| {
+                        let matching: Vec<&(u64, f32)> = pe_hits
+                            .iter()
+                            .filter(|(id, _)| wf.pe_ids.contains(id))
+                            .collect();
+                        if matching.is_empty() {
+                            return None;
+                        }
+                        Some(RecommendationHit {
+                            id: wf.id,
+                            name: wf.name.clone(),
+                            description: wf.description.clone(),
+                            score: matching.iter().map(|(_, s)| s).sum(),
+                            occurrences: matching.len(),
+                            similar_code: String::new(),
+                        })
+                    })
+                    .collect();
+                hits.sort_unstable_by(|a, b| {
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.id.cmp(&b.id))
+                });
+                hits.truncate(self.config.reco_top_n);
+                hits
+            }
+        }
+    }
+
+    /// Context-aware code completion (§III): the best SPT match above a
+    /// relaxed threshold supplies the untyped remainder.
+    fn code_completion(&self, snippet: &str) -> Response {
+        let q = Spt::parse_source(snippet).feature_vec();
+        let best = self
+            .indexes
+            .rank_spt(&q, Some(EntryKind::Pe))
+            .into_iter()
+            // Completion works from much smaller fragments than
+            // recommendation, so use half the recommendation threshold.
+            .find(|h| h.score >= self.config.reco_min_score / 2.0);
+        let Some(hit) = best else {
+            return Response::Completion {
+                source: None,
+                lines: Vec::new(),
+                progress: 0.0,
+            };
+        };
+        let Ok(pe) = self.registry.get_pe(hit.id) else {
+            return Response::Completion {
+                source: None,
+                lines: Vec::new(),
+                progress: 0.0,
+            };
+        };
+        let completion = aroma::complete_from(snippet, &pe.code);
+        Response::Completion {
+            source: Some((pe.id, pe.name)),
+            lines: completion.lines,
+            progress: completion.progress,
+        }
+    }
+
+    // ---- execution service ------------------------------------------------------------
+
+    fn resolve_pe(&self, ident: &Ident) -> Result<PeRow, ServerError> {
+        Ok(match ident {
+            Ident::Id(id) => self.registry.get_pe(*id)?,
+            Ident::Name(name) => self.registry.get_pe_by_name(name)?,
+        })
+    }
+
+    fn resolve_workflow(&self, ident: &Ident) -> Result<WorkflowRow, ServerError> {
+        Ok(match ident {
+            Ident::Id(id) => self.registry.get_workflow(*id)?,
+            Ident::Name(name) => self.registry.get_workflow_by_name(name)?,
+        })
+    }
+
+    fn run(
+        &self,
+        user: u64,
+        ident: Ident,
+        input: RunInputWire,
+        mode: RunMode,
+        streaming: bool,
+        verbose: bool,
+    ) -> Result<Reply, ServerError> {
+        let wf = self.resolve_workflow(&ident)?;
+        let mapping = match mode {
+            RunMode::Sequential => d4py::Mapping::Simple,
+            RunMode::Multiprocess { processes } => d4py::Mapping::Multi { processes },
+            RunMode::Dynamic => d4py::Mapping::Dynamic(self.config.dynamic.clone()),
+        };
+        let mapping_name = match &mapping {
+            d4py::Mapping::Simple => "simple",
+            d4py::Mapping::Multi { .. } => "multi",
+            d4py::Mapping::Dynamic(_) => "dynamic",
+        };
+        let run_input: d4py::RunInput = input.clone().into();
+        let exec_id = self
+            .registry
+            .add_execution(wf.id, user, mapping_name, &format!("{input:?}"))?;
+        self.registry
+            .set_execution_status(exec_id, ExecutionStatus::Running)?;
+
+        let engine_rx = self.engine.execute(ExecRequest {
+            workflow: wf.name.clone(),
+            code: wf.code.clone(),
+            input: run_input,
+            mapping,
+            mode: if streaming {
+                ResponseMode::Streaming
+            } else {
+                ResponseMode::Batch
+            },
+            verbose,
+        });
+
+        let (tx, rx) = crossbeam_channel::unbounded::<WireFrame>();
+        let registry = self.registry.clone();
+        std::thread::spawn(move || {
+            let mut collected = Vec::new();
+            for frame in engine_rx.iter() {
+                let done = matches!(frame, Frame::End { .. } | Frame::Error(_));
+                let wire = match frame {
+                    Frame::Info(i) => WireFrame::Info(i),
+                    Frame::Line(l) => {
+                        collected.push(l.clone());
+                        WireFrame::Line(l)
+                    }
+                    Frame::Summary(s) => WireFrame::Summary(s),
+                    Frame::End { ok, duration } => WireFrame::End {
+                        ok,
+                        millis: duration.as_millis() as u64,
+                    },
+                    Frame::Error(e) => WireFrame::Value(Response::Error(e)),
+                };
+                let failed = matches!(&wire, WireFrame::Value(Response::Error(_)));
+                let _ = tx.send(wire);
+                if done {
+                    let status = if failed {
+                        ExecutionStatus::Failed
+                    } else {
+                        ExecutionStatus::Completed
+                    };
+                    let _ = registry.add_response(exec_id, &collected.join("\n"), status);
+                    let _ = registry.set_execution_status(exec_id, status);
+                    break;
+                }
+            }
+        });
+        Ok(Reply::Stream(rx))
+    }
+}
+
+fn pe_info(pe: &PeRow) -> PeInfo {
+    PeInfo {
+        id: pe.id,
+        name: pe.name.clone(),
+        description: pe.description.clone(),
+        code: pe.code.clone(),
+    }
+}
+
+fn wf_info(wf: &WorkflowRow) -> WorkflowInfo {
+    WorkflowInfo {
+        id: wf.id,
+        name: wf.name.clone(),
+        description: wf.description.clone(),
+        code: wf.code.clone(),
+        pe_ids: wf.pe_ids.clone(),
+    }
+}
+
+/// First function definition's text in `code` (Fig. 9's `similarFunc`).
+fn first_function(code: &str) -> String {
+    let tree = pyparse::parse(code);
+    tree.find_kind(pyparse::SyntaxKind::FuncDef)
+        .first()
+        .map(|&f| tree.text_of(f))
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PRODUCER: &str = "class NumberProducer(ProducerPE):\n    def _process(self, inputs):\n        return random.randint(1, 1000)\n";
+    const ISPRIME: &str = "class IsPrime(IterativePE):\n    def _process(self, num):\n        if all(num % i != 0 for i in range(2, num)):\n            return num\n";
+    const PRINTER: &str = "class PrintPrime(ConsumerPE):\n    def _process(self, num):\n        print('the num {} is prime'.format(num))\n";
+
+    fn server_with_session() -> (LaminarServer, Token) {
+        let server = LaminarServer::with_stock();
+        let token = match server
+            .handle(Request::RegisterUser {
+                username: "rosa".into(),
+                password: "pw".into(),
+            })
+            .value()
+        {
+            Response::Token(t) => t,
+            other => panic!("{other:?}"),
+        };
+        (server, token)
+    }
+
+    fn register_isprime(server: &LaminarServer, token: Token) -> (Vec<(String, u64)>, u64) {
+        let resp = server
+            .handle(Request::RegisterWorkflow {
+                token,
+                name: "isprime_wf".into(),
+                code: format!("{PRODUCER}\n{ISPRIME}\n{PRINTER}"),
+                description: None,
+                pes: vec![
+                    PeSubmission {
+                        name: "NumberProducer".into(),
+                        code: PRODUCER.into(),
+                        description: None,
+                    },
+                    PeSubmission {
+                        name: "IsPrime".into(),
+                        code: ISPRIME.into(),
+                        description: None,
+                    },
+                    PeSubmission {
+                        name: "PrintPrime".into(),
+                        code: PRINTER.into(),
+                        description: None,
+                    },
+                ],
+            })
+            .value();
+        match resp {
+            Response::Registered {
+                pe_ids,
+                workflow_id,
+            } => (pe_ids, workflow_id.unwrap().1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn auth_required() {
+        let server = LaminarServer::with_stock();
+        let resp = server.handle(Request::GetRegistry { token: 999 }).value();
+        assert_eq!(resp, Response::Error("not logged in".into()));
+    }
+
+    #[test]
+    fn register_login_flow() {
+        let (server, _) = server_with_session();
+        // Duplicate user rejected.
+        let resp = server
+            .handle(Request::RegisterUser {
+                username: "rosa".into(),
+                password: "pw2".into(),
+            })
+            .value();
+        assert!(matches!(resp, Response::Error(_)));
+        // Login works and mints a new token.
+        let resp = server
+            .handle(Request::Login {
+                username: "rosa".into(),
+                password: "pw".into(),
+            })
+            .value();
+        assert!(matches!(resp, Response::Token(_)));
+    }
+
+    #[test]
+    fn workflow_registration_like_fig5a() {
+        let (server, token) = server_with_session();
+        let (pe_ids, wf_id) = register_isprime(&server, token);
+        assert_eq!(pe_ids.len(), 3, "Found PEs: producer, isprime, print");
+        assert!(wf_id > 0);
+        // Auto-descriptions were generated (§IV-C).
+        let pe = server.registry().get_pe(pe_ids[1].1).unwrap();
+        assert!(pe.description.to_lowercase().contains("prime"), "{}", pe.description);
+        assert!(!pe.description_embedding.is_empty());
+        assert!(!pe.spt_embedding.is_empty());
+        // Idempotent re-registration reuses PEs but fails on workflow name.
+        let resp = server
+            .handle(Request::RegisterWorkflow {
+                token,
+                name: "isprime_wf".into(),
+                code: "x = 1".into(),
+                description: None,
+                pes: vec![PeSubmission {
+                    name: "IsPrime".into(),
+                    code: ISPRIME.into(),
+                    description: None,
+                }],
+            })
+            .value();
+        assert!(matches!(resp, Response::Error(_)));
+    }
+
+    #[test]
+    fn get_and_describe() {
+        let (server, token) = server_with_session();
+        let (pe_ids, wf_id) = register_isprime(&server, token);
+        // By id and by name.
+        let by_id = server
+            .handle(Request::GetPe {
+                token,
+                ident: Ident::Id(pe_ids[0].1),
+            })
+            .value();
+        let by_name = server
+            .handle(Request::GetPe {
+                token,
+                ident: Ident::Name("NumberProducer".into()),
+            })
+            .value();
+        assert_eq!(by_id, by_name);
+        // PEs by workflow, in order.
+        let resp = server
+            .handle(Request::GetPesByWorkflow {
+                token,
+                ident: Ident::Id(wf_id),
+            })
+            .value();
+        match resp {
+            Response::Pes(pes) => {
+                assert_eq!(
+                    pes.iter().map(|p| p.name.as_str()).collect::<Vec<_>>(),
+                    vec!["NumberProducer", "IsPrime", "PrintPrime"]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Describe returns description + code.
+        let resp = server
+            .handle(Request::Describe {
+                token,
+                scope: SearchScope::Pe,
+                ident: Ident::Name("IsPrime".into()),
+            })
+            .value();
+        match resp {
+            Response::Description(d) => assert!(d.contains("class IsPrime")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_search_fig7() {
+        let (server, token) = server_with_session();
+        register_isprime(&server, token);
+        let resp = server
+            .handle(Request::SearchLiteral {
+                token,
+                scope: SearchScope::Both,
+                term: "prime".to_string(),
+            })
+            .value();
+        match resp {
+            Response::Registry { pes, workflows } => {
+                assert!(pes.len() >= 2, "IsPrime + PrintPrime");
+                assert_eq!(workflows.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantic_search_fig8() {
+        let (server, token) = server_with_session();
+        register_isprime(&server, token);
+        server
+            .handle(Request::RegisterPe {
+                token,
+                pe: PeSubmission {
+                    name: "AnomalyDetectionPE".into(),
+                    code: "class AnomalyDetectionPE(IterativePE):\n    \"\"\"Anomaly detection PE: flags sensor values deviating from the mean.\"\"\"\n    def _process(self, record):\n        if abs(record['value'] - self.mean) > self.threshold:\n            return record\n".to_string(),
+                    description: None,
+                },
+            })
+            .value();
+        let resp = server
+            .handle(Request::SearchSemantic {
+                token,
+                scope: SearchScope::Pe,
+                query: "a pe that is able to detect anomalies".into(),
+            })
+            .value();
+        match resp {
+            Response::SemanticResults(hits) => {
+                assert!(!hits.is_empty());
+                assert_eq!(hits[0].name, "AnomalyDetectionPE", "{hits:?}");
+                assert!(hits[0].cosine_similarity > hits.last().unwrap().cosine_similarity || hits.len() == 1);
+                assert!(hits.len() <= 5, "top-5 default");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn code_recommendation_fig9() {
+        let (server, token) = server_with_session();
+        register_isprime(&server, token);
+        // PE recommendation with the default SPT embedding.
+        let resp = server
+            .handle(Request::CodeRecommendation {
+                token,
+                scope: SearchScope::Pe,
+                snippet: "random.randint(1, 1000)".into(),
+                embedding_type: EmbeddingType::Spt,
+            })
+            .value();
+        match resp {
+            Response::Recommendations(hits) => {
+                assert!(!hits.is_empty());
+                assert_eq!(hits[0].name, "NumberProducer");
+                assert!(hits[0].score >= 6.0);
+                assert!(hits[0].similar_code.contains("def _process"), "{}", hits[0].similar_code);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Workflow recommendation (spt only, per the paper's note).
+        let resp = server
+            .handle(Request::CodeRecommendation {
+                token,
+                scope: SearchScope::Workflow,
+                snippet: "random.randint(1, 1000)".into(),
+                embedding_type: EmbeddingType::Spt,
+            })
+            .value();
+        match resp {
+            Response::Recommendations(hits) => {
+                assert_eq!(hits.len(), 1);
+                assert_eq!(hits[0].name, "isprime_wf");
+                assert_eq!(hits[0].occurrences, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // LLM embedding type still supported.
+        let resp = server
+            .handle(Request::CodeRecommendation {
+                token,
+                scope: SearchScope::Pe,
+                snippet: ISPRIME.into(),
+                embedding_type: EmbeddingType::Llm,
+            })
+            .value();
+        match resp {
+            Response::Recommendations(hits) => {
+                assert!(!hits.is_empty());
+                assert_eq!(hits[0].name, "IsPrime");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn code_completion_suggests_remainder() {
+        let (server, token) = server_with_session();
+        register_isprime(&server, token);
+        // The developer has typed the beginning of an IsPrime-like PE.
+        let snippet = "class MyPrime(IterativePE):\n    def _process(self, num):\n        if all(num % i != 0 for i in range(2, num)):";
+        let resp = server
+            .handle(Request::CodeCompletion {
+                token,
+                snippet: snippet.into(),
+            })
+            .value();
+        match resp {
+            Response::Completion { source, lines, progress } => {
+                let (_, name) = source.expect("a source PE");
+                assert_eq!(name, "IsPrime");
+                assert!(progress > 0.0);
+                assert!(
+                    lines.iter().any(|l| l.contains("return num")),
+                    "{lines:?}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unrelated fragment: no completion.
+        let resp = server
+            .handle(Request::CodeCompletion {
+                token,
+                snippet: "import xml\n".into(),
+            })
+            .value();
+        match resp {
+            Response::Completion { source, lines, .. } => {
+                assert!(source.is_none(), "{source:?}");
+                assert!(lines.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_description_reflected_in_search() {
+        let (server, token) = server_with_session();
+        let (pe_ids, _) = register_isprime(&server, token);
+        server
+            .handle(Request::UpdatePeDescription {
+                token,
+                ident: Ident::Id(pe_ids[0].1),
+                description: "generates completely random zebra numbers".into(),
+            })
+            .value();
+        let resp = server
+            .handle(Request::SearchSemantic {
+                token,
+                scope: SearchScope::Pe,
+                query: "zebra numbers".into(),
+            })
+            .value();
+        match resp {
+            Response::SemanticResults(hits) => {
+                assert_eq!(hits[0].name, "NumberProducer", "{hits:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_pe_fk_and_remove_all() {
+        let (server, token) = server_with_session();
+        let (pe_ids, wf_id) = register_isprime(&server, token);
+        // PE referenced by workflow → FK error.
+        let resp = server
+            .handle(Request::RemovePe {
+                token,
+                ident: Ident::Id(pe_ids[0].1),
+            })
+            .value();
+        assert!(matches!(resp, Response::Error(_)));
+        // Remove the workflow, then the PE.
+        server
+            .handle(Request::RemoveWorkflow {
+                token,
+                ident: Ident::Id(wf_id),
+            })
+            .value();
+        let resp = server
+            .handle(Request::RemovePe {
+                token,
+                ident: Ident::Id(pe_ids[0].1),
+            })
+            .value();
+        assert_eq!(resp, Response::Ok);
+        // remove_all clears the rest.
+        server.handle(Request::RemoveAll { token }).value();
+        assert_eq!(server.registry().counts(), (0, 0));
+        assert!(server.indexes().is_empty());
+    }
+
+    #[test]
+    fn run_streaming_end_to_end() {
+        let (server, token) = server_with_session();
+        let (_, wf_id) = register_isprime(&server, token);
+        let reply = server.handle(Request::Run {
+            token,
+            ident: Ident::Id(wf_id),
+            input: RunInputWire::Iterations(20),
+            mode: RunMode::Multiprocess { processes: 9 },
+            streaming: true,
+            verbose: true,
+            resources: vec![],
+        });
+        let (lines, _infos, summaries, ok) = reply.drain();
+        assert!(ok);
+        assert!(!lines.is_empty());
+        for l in &lines {
+            assert!(l.contains("is prime"), "{l}");
+        }
+        assert!(!summaries.is_empty(), "verbose run includes rank summaries");
+        // Execution + response recorded in the registry.
+        let execs = server.registry().executions_for(wf_id);
+        assert_eq!(execs.len(), 1);
+        assert_eq!(execs[0].status, ExecutionStatus::Completed);
+        let resps = server.registry().responses_for(execs[0].id);
+        assert_eq!(resps.len(), 1);
+        assert!(resps[0].output.contains("is prime"));
+    }
+
+    #[test]
+    fn run_with_missing_resources_asks_for_upload() {
+        let (server, token) = server_with_session();
+        let (_, wf_id) = register_isprime(&server, token);
+        let data = b"resource-bytes".to_vec();
+        let reply = server.handle(Request::Run {
+            token,
+            ident: Ident::Id(wf_id),
+            input: RunInputWire::Iterations(1),
+            mode: RunMode::Sequential,
+            streaming: false,
+            verbose: false,
+            resources: vec![ResourceRefWire {
+                name: "input.csv".into(),
+                content_hash: content_hash(&data),
+            }],
+        });
+        match reply.value() {
+            Response::NeedResources(names) => assert_eq!(names, vec!["input.csv"]),
+            other => panic!("{other:?}"),
+        }
+        // Upload, then the same run succeeds.
+        server
+            .handle(Request::UploadResource {
+                token,
+                name: "input.csv".into(),
+                bytes: data.clone(),
+            })
+            .value();
+        let reply = server.handle(Request::Run {
+            token,
+            ident: Ident::Id(wf_id),
+            input: RunInputWire::Iterations(3),
+            mode: RunMode::Sequential,
+            streaming: false,
+            verbose: false,
+            resources: vec![ResourceRefWire {
+                name: "input.csv".into(),
+                content_hash: content_hash(&data),
+            }],
+        });
+        let (_, _, _, ok) = reply.drain();
+        assert!(ok);
+        assert_eq!(server.resources().stats().bytes_received, data.len() as u64);
+    }
+
+    #[test]
+    fn run_dynamic_single_call_listing3() {
+        // Listing 3: `client.run_dynamic(graph, input=5)` — no broker
+        // parameters anywhere in the request.
+        let (server, token) = server_with_session();
+        let (_, wf_id) = register_isprime(&server, token);
+        let reply = server.handle(Request::Run {
+            token,
+            ident: Ident::Id(wf_id),
+            input: RunInputWire::Iterations(5),
+            mode: RunMode::Dynamic,
+            streaming: true,
+            verbose: false,
+            resources: vec![],
+        });
+        let (_lines, _infos, _summaries, ok) = reply.drain();
+        assert!(ok);
+    }
+
+    #[test]
+    fn run_unknown_workflow_errors() {
+        let (server, token) = server_with_session();
+        let reply = server.handle(Request::Run {
+            token,
+            ident: Ident::Name("missing".into()),
+            input: RunInputWire::Iterations(1),
+            mode: RunMode::Sequential,
+            streaming: false,
+            verbose: false,
+            resources: vec![],
+        });
+        assert!(matches!(reply.value(), Response::Error(_)));
+    }
+}

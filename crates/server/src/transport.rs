@@ -1,0 +1,248 @@
+//! Response-delivery transports (paper §IV-E "True-Streaming").
+//!
+//! Laminar 1.0 used HTTP/1.1: the engine ran the whole workflow and sent
+//! one complete response. Laminar 2.0 uses HTTP/2 streaming: independent
+//! frames flow to the client as output becomes available. The measurable
+//! difference is the *framing discipline*, reproduced here over an
+//! in-process channel with an optional per-frame latency model standing in
+//! for the network (experiment E8 sweeps it).
+
+use crate::protocol::{Reply, Request, WireFrame};
+use crate::server::LaminarServer;
+use crossbeam_channel::{unbounded, Receiver};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Frame-delivery discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// HTTP/1.1: hold every frame until the terminal frame, then deliver
+    /// the whole response at once.
+    Batch,
+    /// HTTP/2: deliver each frame as soon as it exists.
+    Streaming,
+}
+
+/// A client-side connection to a server, with a simulated per-frame
+/// network latency.
+#[derive(Clone)]
+pub struct Transport {
+    server: Arc<LaminarServer>,
+    pub mode: DeliveryMode,
+    /// Simulated one-way latency applied per delivered frame (Batch pays
+    /// it once for the aggregate, Streaming once per frame).
+    pub frame_latency: Duration,
+}
+
+impl Transport {
+    pub fn new(server: Arc<LaminarServer>, mode: DeliveryMode) -> Self {
+        Transport {
+            server,
+            mode,
+            frame_latency: Duration::ZERO,
+        }
+    }
+
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.frame_latency = latency;
+        self
+    }
+
+    pub fn server(&self) -> &LaminarServer {
+        &self.server
+    }
+
+    /// Send a request; the reply's frames obey this transport's delivery
+    /// mode. Synchronous replies are unaffected by the mode.
+    pub fn send(&self, req: Request) -> Reply {
+        match self.server.handle(req) {
+            Reply::Value(v) => Reply::Value(v),
+            Reply::Stream(upstream) => Reply::Stream(self.deliver(upstream)),
+        }
+    }
+
+    fn deliver(&self, upstream: Receiver<WireFrame>) -> Receiver<WireFrame> {
+        let (tx, rx) = unbounded::<WireFrame>();
+        let mode = self.mode;
+        let latency = self.frame_latency;
+        std::thread::spawn(move || match mode {
+            DeliveryMode::Streaming => {
+                for frame in upstream.iter() {
+                    if !latency.is_zero() {
+                        std::thread::sleep(latency);
+                    }
+                    let done = matches!(frame, WireFrame::End { .. });
+                    if tx.send(frame).is_err() {
+                        break;
+                    }
+                    if done {
+                        break;
+                    }
+                }
+            }
+            DeliveryMode::Batch => {
+                // Hold everything until the stream terminates.
+                let mut held = Vec::new();
+                for frame in upstream.iter() {
+                    let done = matches!(frame, WireFrame::End { .. });
+                    held.push(frame);
+                    if done {
+                        break;
+                    }
+                }
+                if !latency.is_zero() {
+                    std::thread::sleep(latency);
+                }
+                for frame in held {
+                    if tx.send(frame).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{PeSubmission, Response, RunInputWire, RunMode};
+    use crate::protocol::{Ident, Request};
+    use std::time::Instant;
+
+    fn setup() -> (Arc<LaminarServer>, u64, u64) {
+        let server = Arc::new(LaminarServer::with_stock());
+        let token = match server
+            .handle(Request::RegisterUser {
+                username: "u".into(),
+                password: "p".into(),
+            })
+            .value()
+        {
+            Response::Token(t) => t,
+            _ => unreachable!(),
+        };
+        let resp = server
+            .handle(Request::RegisterWorkflow {
+                token,
+                name: "doubler_wf".into(),
+                code: String::new(),
+                description: Some("doubles numbers".into()),
+                pes: vec![PeSubmission {
+                    name: "Double".into(),
+                    code: "class Double(IterativePE):\n    def _process(self, x):\n        return x * 2\n".into(),
+                    description: None,
+                }],
+            })
+            .value();
+        let wf_id = match resp {
+            Response::Registered { workflow_id, .. } => workflow_id.unwrap().1,
+            other => panic!("{other:?}"),
+        };
+        (server, token, wf_id)
+    }
+
+    fn run_req(token: u64, wf: u64, streaming: bool) -> Request {
+        Request::Run {
+            token,
+            ident: Ident::Id(wf),
+            input: RunInputWire::Iterations(8),
+            mode: RunMode::Sequential,
+            streaming,
+            verbose: false,
+            resources: vec![],
+        }
+    }
+
+    #[test]
+    fn both_modes_deliver_identical_content() {
+        let (server, token, wf) = setup();
+        let stream = Transport::new(server.clone(), DeliveryMode::Streaming);
+        let batch = Transport::new(server, DeliveryMode::Batch);
+        let (l1, _, _, ok1) = stream.send(run_req(token, wf, true)).drain();
+        let (l2, _, _, ok2) = batch.send(run_req(token, wf, false)).drain();
+        assert!(ok1 && ok2);
+        assert_eq!(l1.len(), l2.len());
+    }
+
+    #[test]
+    fn streaming_has_lower_time_to_first_frame_on_slow_runs() {
+        let (server, token, _) = setup();
+        // Register a deliberately slow workflow in the engine library.
+        server.engine().library().register("slow_wf", || {
+            use d4py::prelude::*;
+            let mut g = WorkflowGraph::new("slow_wf");
+            let src = g.add(ProducerPE::new("Src", |i| Some(Data::from(i as i64))));
+            let slow = g.add(IterativePE::new("Slow", |d: Data| {
+                std::thread::sleep(Duration::from_millis(8));
+                Some(d)
+            }));
+            let sink = g.add(ConsumerPE::new("Out", |d: Data, ctx: &mut Context<'_>| {
+                ctx.log(format!("{d}"));
+            }));
+            g.connect(src, OUTPUT, slow, INPUT).unwrap();
+            g.connect(slow, OUTPUT, sink, INPUT).unwrap();
+            g
+        });
+        let t2 = server
+            .handle(Request::RegisterWorkflow {
+                token,
+                name: "slow_wf".into(),
+                code: String::new(),
+                description: Some("slow".into()),
+                pes: vec![],
+            })
+            .value();
+        assert!(matches!(t2, Response::Registered { .. }));
+
+        let ttfo = |streaming: bool| -> Duration {
+            let mode = if streaming {
+                DeliveryMode::Streaming
+            } else {
+                DeliveryMode::Batch
+            };
+            let tp = Transport::new(server.clone(), mode);
+            let reply = tp.send(Request::Run {
+                token,
+                ident: Ident::Name("slow_wf".into()),
+                input: RunInputWire::Iterations(10),
+                mode: RunMode::Sequential,
+                streaming,
+                verbose: false,
+                resources: vec![],
+            });
+            let t0 = Instant::now();
+            match reply {
+                Reply::Stream(rx) => {
+                    for f in rx.iter() {
+                        match f {
+                            WireFrame::Line(_) => return t0.elapsed(),
+                            WireFrame::End { .. } => break,
+                            _ => {}
+                        }
+                    }
+                    t0.elapsed()
+                }
+                _ => panic!("expected stream"),
+            }
+        };
+        let t_stream = ttfo(true);
+        let t_batch = ttfo(false);
+        assert!(
+            t_stream < t_batch,
+            "streaming TTFO {t_stream:?} must beat batch {t_batch:?}"
+        );
+    }
+
+    #[test]
+    fn latency_model_applies() {
+        let (server, token, wf) = setup();
+        let slow_net = Transport::new(server, DeliveryMode::Batch)
+            .with_latency(Duration::from_millis(10));
+        let t0 = Instant::now();
+        let (_, _, _, ok) = slow_net.send(run_req(token, wf, false)).drain();
+        assert!(ok);
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,269 @@
+//! Aroma feature extraction (Luan et al. 2019, §3.2) over an [`Spt`].
+//!
+//! Four feature families are produced for every *eligible* leaf token —
+//! keywords, (globalised) names, and literals; bare punctuation contributes
+//! to node labels but not to features:
+//!
+//! 1. `Token(t)` — the token itself, with local variables globalised to
+//!    `#VAR` and long string literals normalised to `#STR`;
+//! 2. `Parent(t, i, label)` — for up to three enclosing SPT internal nodes:
+//!    the token, the child index of the path at that ancestor, and the
+//!    ancestor's simplified label;
+//! 3. `Sibling(t, u)` — ordered bigrams of consecutive eligible tokens;
+//! 4. `VarUsage(c1, c2)` — for each local variable, the labels of the
+//!    parent contexts of consecutive usages (variable-agnostic, so `i`
+//!    in one snippet matches `idx` in another).
+
+use crate::tree::{Spt, SptNode, SptNodeId};
+use pyparse::TokKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One extracted structural feature.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Feature {
+    Token(String),
+    Parent(String, u8, String),
+    Sibling(String, String),
+    VarUsage(String, String),
+}
+
+impl Feature {
+    /// Stable textual encoding (the hashing key).
+    pub fn encode(&self) -> String {
+        match self {
+            Feature::Token(t) => format!("T:{t}"),
+            Feature::Parent(t, i, l) => format!("P:{t}|{i}|{l}"),
+            Feature::Sibling(a, b) => format!("S:{a}|{b}"),
+            Feature::VarUsage(a, b) => format!("V:{a}|{b}"),
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+/// Maximum ancestor depth for parent features (Aroma uses 3).
+const PARENT_LEVELS: usize = 3;
+/// String literals longer than this are normalised to `#STR`.
+const MAX_LITERAL_LEN: usize = 12;
+
+/// Reusable extractor (kept for API symmetry with the paper's pipeline
+/// stages; extraction itself is stateless).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FeatureExtractor;
+
+impl FeatureExtractor {
+    pub fn new() -> Self {
+        FeatureExtractor
+    }
+
+    pub fn extract(&self, spt: &Spt) -> Vec<Feature> {
+        extract_features(spt)
+    }
+}
+
+/// Extract all features of `spt`.
+pub fn extract_features(spt: &Spt) -> Vec<Feature> {
+    let Some(root) = spt.root else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+
+    // Build parent & child-index maps with one walk.
+    let mut parent: HashMap<u32, (SptNodeId, u8)> = HashMap::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if let SptNode::Internal { children, .. } = &spt.nodes[id.index()] {
+            for (i, &c) in children.iter().enumerate() {
+                parent.insert(c.0, (id, (i as u8)));
+                stack.push(c);
+            }
+        }
+    }
+
+    let leaves = spt.leaves_under(root);
+
+    // Token + parent features; remember eligible tokens and variable uses.
+    let mut eligible: Vec<(SptNodeId, String)> = Vec::new();
+    let mut var_uses: HashMap<String, Vec<String>> = HashMap::new();
+    for &leaf in &leaves {
+        let SptNode::Leaf { text, kind, is_variable } = &spt.nodes[leaf.index()] else {
+            continue;
+        };
+        let token = match kind {
+            TokKind::Keyword => text.clone(),
+            TokKind::Name => {
+                if *is_variable {
+                    "#VAR".to_string()
+                } else {
+                    text.clone()
+                }
+            }
+            TokKind::Number => text.clone(),
+            TokKind::Str => {
+                if text.len() > MAX_LITERAL_LEN {
+                    "#STR".to_string()
+                } else {
+                    text.clone()
+                }
+            }
+            TokKind::Op | TokKind::Newline | TokKind::Indent | TokKind::Dedent | TokKind::Eof => {
+                continue;
+            }
+        };
+        out.push(Feature::Token(token.clone()));
+
+        // Parent features: climb up to PARENT_LEVELS ancestors.
+        let mut cur = leaf;
+        for _ in 0..PARENT_LEVELS {
+            let Some(&(p, idx)) = parent.get(&cur.0) else {
+                break;
+            };
+            let label = spt.label(p).to_string();
+            out.push(Feature::Parent(token.clone(), idx, label));
+            cur = p;
+        }
+
+        if *is_variable {
+            let ctx = parent
+                .get(&leaf.0)
+                .map(|&(p, _)| spt.label(p).to_string())
+                .unwrap_or_default();
+            var_uses.entry(text.clone()).or_default().push(ctx);
+        }
+        eligible.push((leaf, token));
+    }
+
+    // Sibling features: ordered bigrams of consecutive eligible tokens.
+    for pair in eligible.windows(2) {
+        out.push(Feature::Sibling(pair[0].1.clone(), pair[1].1.clone()));
+    }
+
+    // Variable-usage features: consecutive usage contexts per variable.
+    // Sort variables so output order is deterministic.
+    let mut vars: Vec<_> = var_uses.into_iter().collect();
+    vars.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_name, contexts) in vars {
+        for pair in contexts.windows(2) {
+            out.push(Feature::VarUsage(pair[0].clone(), pair[1].clone()));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Spt;
+
+    fn feats(src: &str) -> Vec<Feature> {
+        extract_features(&Spt::parse_source(src))
+    }
+
+    fn count<F: Fn(&Feature) -> bool>(fs: &[Feature], pred: F) -> usize {
+        fs.iter().filter(|f| pred(f)).count()
+    }
+
+    #[test]
+    fn empty_has_no_features() {
+        assert!(feats("").is_empty());
+    }
+
+    #[test]
+    fn token_features_globalise_variables() {
+        let fs = feats("def f(x):\n    return x + 1\n");
+        assert!(fs.contains(&Feature::Token("#VAR".into())));
+        assert!(fs.contains(&Feature::Token("def".into())));
+        assert!(fs.contains(&Feature::Token("return".into())));
+        assert!(fs.contains(&Feature::Token("1".into())));
+        // `x` must not appear verbatim.
+        assert!(!fs.contains(&Feature::Token("x".into())));
+    }
+
+    #[test]
+    fn api_names_survive() {
+        let fs = feats("def f(x):\n    return range(x)\n");
+        assert!(fs.contains(&Feature::Token("range".into())));
+    }
+
+    #[test]
+    fn parent_features_reference_labels() {
+        let fs = feats("if x < 2:\n    return x\n");
+        let has_if_label = fs.iter().any(|f| match f {
+            Feature::Parent(_, _, l) => l.contains("if") && l.contains(':'),
+            _ => false,
+        });
+        assert!(has_if_label, "{fs:?}");
+    }
+
+    #[test]
+    fn parent_features_at_most_three_levels() {
+        let fs = feats("def f(a):\n    if a:\n        while a:\n            for i in a:\n                g(i)\n");
+        // Every eligible token contributes at most PARENT_LEVELS parent features.
+        let tokens = count(&fs, |f| matches!(f, Feature::Token(_)));
+        let parents = count(&fs, |f| matches!(f, Feature::Parent(..)));
+        assert!(parents <= tokens * 3);
+        assert!(parents > 0);
+    }
+
+    #[test]
+    fn sibling_features_are_ordered_bigrams() {
+        let fs = feats("a = 1\n");
+        // a(#VAR) then 1: bigram (#VAR, 1). '=' is punctuation → skipped.
+        assert!(fs.contains(&Feature::Sibling("#VAR".into(), "1".into())), "{fs:?}");
+        assert!(!fs.contains(&Feature::Sibling("1".into(), "#VAR".into())));
+    }
+
+    #[test]
+    fn var_usage_features_link_consecutive_contexts() {
+        let fs = feats("def f(n):\n    if n > 0:\n        return n\n");
+        let vu = count(&fs, |f| matches!(f, Feature::VarUsage(..)));
+        // n used 3 times (param, condition, return) → 2 consecutive pairs.
+        assert_eq!(vu, 2, "{fs:?}");
+    }
+
+    #[test]
+    fn long_strings_normalised() {
+        let fs = feats("s = 'a very long string literal indeed'\nt = 'ok'\n");
+        assert!(fs.contains(&Feature::Token("#STR".into())));
+        assert!(fs.contains(&Feature::Token("'ok'".into())));
+    }
+
+    #[test]
+    fn rename_invariance_of_feature_multiset() {
+        use std::collections::HashMap;
+        let to_counts = |fs: Vec<Feature>| {
+            let mut m: HashMap<String, usize> = HashMap::new();
+            for f in fs {
+                *m.entry(f.encode()).or_default() += 1;
+            }
+            m
+        };
+        let a = to_counts(feats("def f(count):\n    count += 1\n    return count\n"));
+        let b = to_counts(feats("def f(total):\n    total += 1\n    return total\n"));
+        assert_eq!(a, b, "pure renaming must not change the feature multiset");
+    }
+
+    #[test]
+    fn encoding_is_injective_across_kinds() {
+        let t = Feature::Token("x|1|y".into());
+        let p = Feature::Parent("x".into(), 1, "y".into());
+        assert_ne!(t.encode(), p.encode());
+        let s = Feature::Sibling("a".into(), "b".into());
+        let v = Feature::VarUsage("a".into(), "b".into());
+        assert_ne!(s.encode(), v.encode());
+    }
+
+    #[test]
+    fn extractor_api() {
+        let spt = Spt::parse_source("x = 1\n");
+        let fx = FeatureExtractor::new();
+        assert_eq!(fx.extract(&spt), extract_features(&spt));
+    }
+}

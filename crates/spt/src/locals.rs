@@ -1,0 +1,236 @@
+//! Local-variable detection.
+//!
+//! Aroma globalises variable names (`#VAR`) so that structural similarity is
+//! insensitive to renaming, while *keeping* names that refer to external
+//! API — called functions, attributes, imported modules — because those are
+//! genuinely discriminative. For Python we classify a `Name` leaf as a
+//! variable when it is **bound** somewhere in the snippet:
+//!
+//! * function/lambda parameters,
+//! * assignment / augmented / annotated assignment targets,
+//! * `for` and comprehension targets,
+//! * `with … as` / `except … as` names,
+//! * `global` / `nonlocal` declarations,
+//! * `import … as` aliases.
+//!
+//! Names that only ever appear in call/attribute positions (e.g. `range`,
+//! `len`, `self.queue` → `queue`) stay verbatim.
+
+use pyparse::{NodeId, ParseTree, SyntaxKind, TokKind};
+use std::collections::HashSet;
+
+/// Collect the set of locally-bound variable names in `tree`.
+pub fn local_variables(tree: &ParseTree) -> HashSet<String> {
+    let mut vars = HashSet::new();
+    let Some(root) = tree.root else {
+        return vars;
+    };
+    collect(tree, root, &mut vars);
+    vars
+}
+
+fn collect(tree: &ParseTree, id: NodeId, vars: &mut HashSet<String>) {
+    if let Some(kind) = tree.kind(id) {
+        match kind {
+            SyntaxKind::Param => {
+                // First Name leaf of a Param is the parameter name.
+                if let Some(name) = first_name_leaf(tree, id) {
+                    vars.insert(name);
+                }
+            }
+            SyntaxKind::Assign | SyntaxKind::AugAssign | SyntaxKind::AnnAssign => {
+                // Targets = every child subtree before the first `=`/`:`
+                // leaf; simple names in them are bindings.
+                let children = &tree.node(id).children;
+                for &c in children {
+                    if let Some(tok) = tree.leaf(c) {
+                        if tok.is_op("=") || tok.is_op(":") || tok.kind == TokKind::Op {
+                            break;
+                        }
+                        if tok.kind == TokKind::Name {
+                            vars.insert(tok.text.clone());
+                        }
+                    } else {
+                        collect_target_names(tree, c, vars);
+                        break; // only the first (target) subtree
+                    }
+                }
+            }
+            SyntaxKind::ForStmt | SyntaxKind::CompFor => {
+                // Target subtree sits between `for` and `in`.
+                let mut in_target = false;
+                for &c in &tree.node(id).children {
+                    if let Some(tok) = tree.leaf(c) {
+                        if tok.is_kw("for") {
+                            in_target = true;
+                            continue;
+                        }
+                        if tok.is_kw("in") {
+                            break;
+                        }
+                        if in_target && tok.kind == TokKind::Name {
+                            vars.insert(tok.text.clone());
+                        }
+                    } else if in_target {
+                        collect_target_names(tree, c, vars);
+                    }
+                }
+            }
+            SyntaxKind::WithItem | SyntaxKind::ExceptClause => {
+                // Anything after `as`.
+                let mut after_as = false;
+                for &c in &tree.node(id).children {
+                    if let Some(tok) = tree.leaf(c) {
+                        if tok.is_kw("as") {
+                            after_as = true;
+                            continue;
+                        }
+                        if after_as && tok.kind == TokKind::Name {
+                            vars.insert(tok.text.clone());
+                        }
+                    } else if after_as {
+                        collect_target_names(tree, c, vars);
+                    }
+                }
+            }
+            SyntaxKind::GlobalStmt | SyntaxKind::NonlocalStmt => {
+                for &c in &tree.node(id).children {
+                    if let Some(tok) = tree.leaf(c) {
+                        if tok.kind == TokKind::Name {
+                            vars.insert(tok.text.clone());
+                        }
+                    }
+                }
+            }
+            SyntaxKind::ImportAlias => {
+                // `import numpy as np` binds `np`; bare `import os` binds `os`.
+                let names: Vec<&str> = tree
+                    .node(id)
+                    .children
+                    .iter()
+                    .filter_map(|&c| tree.leaf(c))
+                    .filter(|t| t.kind == TokKind::Name)
+                    .map(|t| t.text.as_str())
+                    .collect();
+                if let Some(last) = names.last() {
+                    vars.insert((*last).to_string());
+                }
+            }
+            SyntaxKind::WalrusExpr => {
+                if let Some(name) = first_name_leaf(tree, id) {
+                    vars.insert(name);
+                }
+            }
+            _ => {}
+        }
+    }
+    for &c in &tree.node(id).children {
+        collect(tree, c, vars);
+    }
+}
+
+/// Names bound by a target subtree (tuple unpacking, starred, parens) —
+/// simple names only; attribute/subscript targets do not bind new names.
+fn collect_target_names(tree: &ParseTree, id: NodeId, vars: &mut HashSet<String>) {
+    match tree.kind(id) {
+        Some(SyntaxKind::TupleExpr) | Some(SyntaxKind::ListExpr) | Some(SyntaxKind::ParenExpr)
+        | Some(SyntaxKind::Starred) | None => {
+            if let Some(tok) = tree.leaf(id) {
+                if tok.kind == TokKind::Name {
+                    vars.insert(tok.text.clone());
+                }
+                return;
+            }
+            for &c in &tree.node(id).children {
+                collect_target_names(tree, c, vars);
+            }
+        }
+        // Attribute / Subscript targets (self.x = …) bind nothing new.
+        _ => {}
+    }
+}
+
+fn first_name_leaf(tree: &ParseTree, id: NodeId) -> Option<String> {
+    for &c in &tree.node(id).children {
+        if let Some(tok) = tree.leaf(c) {
+            if tok.kind == TokKind::Name {
+                return Some(tok.text.clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyparse::parse;
+
+    fn vars(src: &str) -> HashSet<String> {
+        local_variables(&parse(src))
+    }
+
+    #[test]
+    fn params_and_assignments() {
+        let v = vars("def f(a, b=1, *args, **kw):\n    c = a\n    d += 1\n    e: int = 2\n");
+        for name in ["a", "b", "args", "kw", "c", "d", "e"] {
+            assert!(v.contains(name), "missing {name}: {v:?}");
+        }
+        assert!(!v.contains("f"));
+        assert!(!v.contains("int"));
+    }
+
+    #[test]
+    fn loop_and_comprehension_targets() {
+        let v = vars("for i, (j, k) in pairs:\n    pass\nxs = [y for y in ys]\n");
+        for name in ["i", "j", "k", "y", "xs"] {
+            assert!(v.contains(name), "missing {name}: {v:?}");
+        }
+        assert!(!v.contains("pairs"));
+        assert!(!v.contains("ys"));
+    }
+
+    #[test]
+    fn with_except_walrus() {
+        let v = vars("try:\n    with open(p) as fh:\n        pass\nexcept OSError as err:\n    pass\nif (n := get()) is None:\n    pass\n");
+        for name in ["fh", "err", "n"] {
+            assert!(v.contains(name), "missing {name}: {v:?}");
+        }
+        assert!(!v.contains("open"));
+        assert!(!v.contains("OSError"));
+        assert!(!v.contains("p"), "p is only read, never bound");
+    }
+
+    #[test]
+    fn imports_bind_aliases() {
+        let v = vars("import numpy as np\nimport os\nfrom collections import deque\n");
+        assert!(v.contains("np"));
+        assert!(v.contains("os"));
+        assert!(v.contains("deque"));
+        assert!(!v.contains("numpy"));
+        assert!(!v.contains("collections"));
+    }
+
+    #[test]
+    fn attribute_targets_bind_nothing() {
+        let v = vars("self.count = 0\nobj.data[k] = v_\n");
+        assert!(!v.contains("self"), "{v:?}");
+        assert!(!v.contains("count"));
+        assert!(!v.contains("data"));
+    }
+
+    #[test]
+    fn globals_and_nonlocals() {
+        let v = vars("def f():\n    global total\n    total = 1\n");
+        assert!(v.contains("total"));
+    }
+
+    #[test]
+    fn called_names_stay_api() {
+        let v = vars("def f(x):\n    return sorted(filter(None, x))\n");
+        assert!(!v.contains("sorted"));
+        assert!(!v.contains("filter"));
+        assert!(!v.contains("None"));
+        assert!(v.contains("x"));
+    }
+}

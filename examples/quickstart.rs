@@ -1,0 +1,68 @@
+//! Quickstart: deploy Laminar 2.0, register the paper's `isprime_wf`
+//! (Fig. 5), search the registry, get a code recommendation, and run the
+//! workflow with all three mappings.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use laminar::core::{EmbeddingType, Laminar, LaminarConfig, SearchScope, ISPRIME_WORKFLOW_SOURCE};
+
+fn main() {
+    // 1. Deploy the full serverless stack (registry + server + engine).
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let mut client = laminar.client();
+    client.register("quickstart", "secret").expect("register user");
+
+    // 2. Register the workflow file: the client finds the PEs (Fig. 5a).
+    let reg = client
+        .register_workflow("isprime_wf", ISPRIME_WORKFLOW_SOURCE)
+        .expect("register workflow");
+    println!("Found PEs...");
+    for (name, id) in &reg.pes {
+        println!("• {name} - type (ID {id})");
+    }
+    println!("Found workflows...");
+    println!("• {} - Workflow (ID {})\n", reg.workflow.0, reg.workflow.1);
+
+    // 3. Semantic text-to-code search (Fig. 8).
+    let hits = client
+        .search_registry_semantic(SearchScope::Pe, "a pe that checks whether numbers are prime")
+        .expect("semantic search");
+    println!("semantic_search pe \"a pe that checks whether numbers are prime\"");
+    for h in &hits {
+        println!("  {:>3}  {:<16} {:.6}", h.id, h.name, h.cosine_similarity);
+    }
+    println!();
+
+    // 4. Structural code recommendation from a partial snippet (Fig. 9).
+    let recos = client
+        .code_recommendation(SearchScope::Pe, "random.randint(1, 1000)", EmbeddingType::Spt)
+        .expect("code recommendation");
+    println!("code_recommendation pe \"random.randint(1, 1000)\"");
+    for r in &recos {
+        println!("  {:>3}  {:<16} score {:.1}  {}", r.id, r.name, r.score, r.similar_code);
+    }
+    println!();
+
+    // 5. Run: sequential, static-parallel (Fig. 5b), and dynamic — note
+    //    the Listing-3 one-liner for the dynamic case.
+    let seq = client.run(reg.workflow.1, 10).expect("sequential run");
+    println!("run {} -i 10          → {} primes", reg.workflow.1, seq.lines.len());
+
+    let par = client
+        .run_multiprocess(reg.workflow.1, 10, 9)
+        .expect("multiprocess run");
+    println!("run {} -i 10 --multi 9 → {} primes; rank summaries:", reg.workflow.1, par.lines.len());
+    for s in par.summaries.iter().take(4) {
+        println!("  {s}");
+    }
+
+    let dynamic = client.run_dynamic(reg.workflow.1, 10).expect("dynamic run");
+    println!("run_dynamic(graph, input=10)   → {} primes (no broker parameters!)", dynamic.lines.len());
+
+    println!("\nSample output:");
+    for line in seq.lines.iter().take(3) {
+        println!("  {line}");
+    }
+}

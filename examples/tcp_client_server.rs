@@ -1,0 +1,53 @@
+//! Client and server as separate endpoints over TCP — the paper's
+//! Dockerised client/server split (Fig. 4), minus Docker: length-prefixed
+//! JSON frames on a loopback socket, with the §IV-E streaming semantics
+//! preserved end-to-end (each output line is flushed as its own frame).
+//!
+//! ```text
+//! cargo run --example tcp_client_server
+//! ```
+
+use laminar::client::LaminarClient;
+use laminar::core::{Laminar, LaminarConfig, SearchScope, ISPRIME_WORKFLOW_SOURCE};
+use laminar::server::NetServer;
+
+fn main() {
+    // Server side: deploy the stack and expose it on an ephemeral port.
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let net = NetServer::bind("127.0.0.1:0", laminar.server()).expect("bind");
+    println!("server listening on {}", net.addr());
+
+    // Client side: a *separate* endpoint that only knows the address.
+    let mut client = LaminarClient::connect_tcp(net.addr());
+    client.register("remote", "secret").expect("register over TCP");
+
+    let reg = client
+        .register_workflow("isprime_wf", ISPRIME_WORKFLOW_SOURCE)
+        .expect("register workflow over TCP");
+    println!("registered {} PEs + workflow id {}", reg.pes.len(), reg.workflow.1);
+
+    // Search and completion across the wire.
+    let hits = client
+        .search_registry_semantic(SearchScope::Pe, "checks whether a given number is prime")
+        .expect("semantic search over TCP");
+    println!("top semantic hit: {} ({:.4})", hits[0].name, hits[0].cosine_similarity);
+
+    let (source, lines, progress) = client
+        .code_completion("class P(IterativePE):\n    def _process(self, num):\n        if all(num % i != 0 for i in range(2, num)):")
+        .expect("completion over TCP");
+    let (_, name) = source.expect("a completion source");
+    println!("completion from {name} ({:.0}% typed):", progress * 100.0);
+    for l in &lines {
+        println!("  + {l}");
+    }
+
+    // A streamed parallel run: frames cross the socket as produced.
+    let out = client
+        .run_multiprocess(reg.workflow.1, 15, 9)
+        .expect("run over TCP");
+    println!("\nparallel run over TCP: ok={} with {} primes", out.ok, out.lines.len());
+    for l in out.lines.iter().take(3) {
+        println!("  {l}");
+    }
+    net.shutdown();
+}

@@ -1,0 +1,50 @@
+//! **laminar** — a Rust reproduction of *Laminar 2.0: Serverless Stream
+//! Processing with Enhanced Code Search and Recommendations* (SC 2024).
+//!
+//! This facade crate re-exports the whole workspace; see the README for the
+//! architecture map and DESIGN.md for the reproduction methodology.
+//!
+//! ```
+//! use laminar::core::{Laminar, LaminarConfig};
+//!
+//! let laminar = Laminar::deploy(LaminarConfig::default());
+//! let mut client = laminar.client();
+//! client.register("quickstart", "pw").unwrap();
+//! let reg = client
+//!     .register_workflow("isprime_wf", laminar::core::ISPRIME_WORKFLOW_SOURCE)
+//!     .unwrap();
+//! assert!(client.run(reg.workflow.1, 5).unwrap().ok);
+//! ```
+
+/// The Laminar 2.0 facade (deployment, configuration).
+pub use laminar_core as core;
+
+/// Client library + CLI (paper Table I, Fig. 5).
+pub use laminar_client as client;
+
+/// Server: controllers, services, search indexes, resource cache.
+pub use laminar_server as server;
+
+/// Relational registry (paper Fig. 6 / Table II).
+pub use laminar_registry as registry;
+
+/// Serverless execution engine: containers, auto-imports, streaming.
+pub use laminar_execengine as execengine;
+
+/// dispel4py-style stream dataflow engine.
+pub use d4py;
+
+/// Python-subset parser (ANTLR substitute).
+pub use pyparse;
+
+/// Simplified parse trees + Aroma features.
+pub use spt;
+
+/// Aroma structural search & recommendation.
+pub use aroma;
+
+/// Model substitutes (CodeT5 / UniXcoder / ReACC).
+pub use embed;
+
+/// Synthetic CodeSearchNet-PE dataset + retrieval metrics.
+pub use csn;

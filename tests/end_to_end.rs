@@ -1,0 +1,176 @@
+//! Cross-crate integration: full client → server → registry → engine →
+//! d4py flows through the public facade.
+
+use laminar::core::{EmbeddingType, Laminar, LaminarConfig, SearchScope, ISPRIME_WORKFLOW_SOURCE};
+use laminar::server::protocol::{Ident, RunInputWire, RunMode, WireFrame};
+
+fn deployed() -> (Laminar, laminar::client::LaminarClient) {
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let mut client = laminar.client();
+    client.register("it", "pw").unwrap();
+    (laminar, client)
+}
+
+#[test]
+fn figure5_full_transcript() {
+    let (_laminar, client) = deployed();
+    // 5a: register_workflow finds the three PEs.
+    let reg = client
+        .register_workflow("isprime_wf", ISPRIME_WORKFLOW_SOURCE)
+        .unwrap();
+    assert_eq!(
+        reg.pes.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        vec!["NumberProducer", "IsPrime", "PrintPrime"]
+    );
+    // 5b: run with multiprocessing, 9 processes, verbose.
+    let out = client.run_multiprocess(reg.workflow.1, 10, 9).unwrap();
+    assert!(out.ok);
+    assert!(out.lines.iter().all(|l| l.starts_with("the num {'input': ")));
+    assert!(out
+        .summaries
+        .iter()
+        .any(|s| s.starts_with("NumberProducer0 (rank 0): Processed 10 iterations")));
+    // Sum of IsPrime rank iterations equals the produced items.
+    let isprime_total: u64 = out
+        .summaries
+        .iter()
+        .filter(|s| s.starts_with("IsPrime1"))
+        .map(|s| {
+            s.split("Processed ")
+                .nth(1)
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(isprime_total, 10);
+}
+
+#[test]
+fn executions_recorded_per_run() {
+    let (laminar, client) = deployed();
+    let reg = client
+        .register_workflow("isprime_wf", ISPRIME_WORKFLOW_SOURCE)
+        .unwrap();
+    client.run(reg.workflow.1, 3).unwrap();
+    client.run_dynamic(reg.workflow.1, 3).unwrap();
+    let execs = laminar.server().registry().executions_for(reg.workflow.1);
+    assert_eq!(execs.len(), 2);
+    let mappings: Vec<&str> = execs.iter().map(|e| e.mapping.as_str()).collect();
+    assert!(mappings.contains(&"simple"));
+    assert!(mappings.contains(&"dynamic"));
+    for e in &execs {
+        let resps = laminar.server().registry().responses_for(e.id);
+        assert_eq!(resps.len(), 1);
+    }
+}
+
+#[test]
+fn search_modalities_agree_on_obvious_target() {
+    let (_laminar, client) = deployed();
+    client
+        .register_workflow("isprime_wf", ISPRIME_WORKFLOW_SOURCE)
+        .unwrap();
+    // Literal.
+    let (pes, _) = client
+        .search_registry_literal(SearchScope::Pe, "prime")
+        .unwrap();
+    assert!(pes.iter().any(|p| p.name == "IsPrime"));
+    // Semantic.
+    let hits = client
+        .search_registry_semantic(SearchScope::Pe, "checks whether a given number is prime")
+        .unwrap();
+    assert_eq!(hits[0].name, "IsPrime", "{hits:?}");
+    // Structural (both embedding types must find the near-clone).
+    let snippet = "if all(num % i != 0 for i in range(2, num)):\n    return num\n";
+    let spt = client
+        .code_recommendation(SearchScope::Pe, snippet, EmbeddingType::Spt)
+        .unwrap();
+    assert_eq!(spt[0].name, "IsPrime", "{spt:?}");
+}
+
+#[test]
+fn streaming_frames_arrive_in_order_with_terminal_end() {
+    let (_laminar, client) = deployed();
+    client
+        .register_workflow("isprime_wf", ISPRIME_WORKFLOW_SOURCE)
+        .unwrap();
+    let rx = client
+        .run_stream(
+            Ident::Name("isprime_wf".into()),
+            RunInputWire::Iterations(25),
+            RunMode::Multiprocess { processes: 9 },
+            true,
+        )
+        .unwrap();
+    let mut saw_line = false;
+    let mut ended = false;
+    for frame in rx.iter() {
+        assert!(!ended, "no frames after End");
+        match frame {
+            WireFrame::Line(l) => {
+                saw_line = true;
+                assert!(l.contains("is prime"));
+            }
+            WireFrame::End { ok, .. } => {
+                assert!(ok);
+                ended = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_line);
+    assert!(ended);
+}
+
+#[test]
+fn multi_user_isolation_and_name_reuse() {
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let mut alice = laminar.client();
+    alice.register("alice", "a").unwrap();
+    let mut bob = laminar.client();
+    bob.register("bob", "b").unwrap();
+    // Same PE name under different users is allowed (per-user uniqueness).
+    alice.register_pe("Shared", "class Shared(IterativePE):\n    def _process(self, x):\n        return x\n", None).unwrap();
+    bob.register_pe("Shared", "class Shared(IterativePE):\n    def _process(self, y):\n        return y * 2\n", None).unwrap();
+    let (pes, _) = alice.get_registry().unwrap();
+    assert_eq!(pes.iter().filter(|p| p.name == "Shared").count(), 2);
+}
+
+#[test]
+fn cli_session_against_deployed_stack() {
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let mut cli = laminar.cli();
+    cli.client().register("cliuser", "pw").unwrap();
+    let dir = std::env::temp_dir().join(format!("laminar-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("isprime_wf.py");
+    std::fs::write(&path, ISPRIME_WORKFLOW_SOURCE).unwrap();
+
+    let out = cli.execute(&format!("register_workflow {}", path.display()));
+    assert!(out.contains("isprime_wf - Workflow"), "{out}");
+    let out = cli.execute("run isprime_wf -i 10 --multi 9 -v");
+    assert!(out.contains("is prime"), "{out}");
+    assert!(out.contains("Processed"), "{out}");
+    let out = cli.execute("semantic_search pe \"check whether numbers are prime\"");
+    assert!(out.contains("IsPrime"), "{out}");
+    let out = cli.execute("code_recommendation workflow \"random.randint(1, 1000)\"");
+    assert!(out.contains("isprime_wf"), "{out}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn engine_pool_warm_after_first_run() {
+    let (laminar, client) = deployed();
+    client
+        .register_workflow("isprime_wf", ISPRIME_WORKFLOW_SOURCE)
+        .unwrap();
+    client.run("isprime_wf", 2).unwrap();
+    client.run("isprime_wf", 2).unwrap();
+    let stats = laminar.server().engine().pool().stats();
+    assert!(stats.warm_hits >= 1, "{stats:?}");
+}

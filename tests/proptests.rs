@@ -1,0 +1,303 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across the workspace.
+
+use laminar::csn::{precision_recall_at_k, Dataset, DatasetConfig};
+use laminar::d4py::Data;
+use laminar::pyparse;
+use laminar::spt::{FeatureVec, Spt};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------------
+// pyparse: total robustness — the parser must never panic, and its trees
+// must always satisfy structural integrity.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in ".{0,200}") {
+        let tree = pyparse::parse(&src);
+        prop_assert!(tree.check_integrity().is_ok());
+    }
+
+    #[test]
+    fn parser_never_panics_on_python_like_input(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("x = 1".to_string()),
+                Just("def f(a, b):".to_string()),
+                Just("    return a + b".to_string()),
+                Just("class C(Base):".to_string()),
+                Just("    pass".to_string()),
+                Just("for i in range(10):".to_string()),
+                Just("    total += i".to_string()),
+                Just("if x > 0:".to_string()),
+                Just("with open(p) as fh:".to_string()),
+                Just("import os".to_string()),
+                Just("".to_string()),
+                Just("  ".to_string()),
+                Just(")".to_string()),
+                Just("'unterminated".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let src = lines.join("\n");
+        let tree = pyparse::parse(&src);
+        prop_assert!(tree.check_integrity().is_ok());
+        // SPT construction must also be total.
+        let spt = Spt::from_parse_tree(&tree);
+        let _ = spt.feature_vec();
+    }
+
+    #[test]
+    fn lexer_balances_indents(src in "[a-z =:\n\t()0-9]{0,200}") {
+        let (toks, _) = pyparse::lex(&src);
+        let indents = toks.iter().filter(|t| t.kind == pyparse::TokKind::Indent).count();
+        let dedents = toks.iter().filter(|t| t.kind == pyparse::TokKind::Dedent).count();
+        prop_assert_eq!(indents, dedents);
+        prop_assert_eq!(toks.last().map(|t| t.kind), Some(pyparse::TokKind::Eof));
+    }
+
+    #[test]
+    fn truncation_always_yields_parseable_prefix(frac in 0.0f64..1.0) {
+        let src = "class A(IterativePE):\n    def _process(self, data):\n        total = 0\n        for item in data:\n            total += item\n        return total\n";
+        let cut = pyparse::drop_suffix_fraction(src, frac);
+        prop_assert!(!cut.is_empty());
+        let tree = pyparse::parse(&cut);
+        prop_assert!(tree.check_integrity().is_ok());
+        prop_assert!(!tree.find_kind(pyparse::SyntaxKind::ClassDef).is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FeatureVec algebra
+// ---------------------------------------------------------------------------
+
+fn arb_feature_vec() -> impl Strategy<Value = FeatureVec> {
+    proptest::collection::vec((0u64..5000, 1u32..6), 0..60).prop_map(|pairs| {
+        let mut items: Vec<(u64, f32)> = pairs
+            .into_iter()
+            .map(|(id, c)| (id, c as f32))
+            .collect();
+        items.sort_unstable_by_key(|&(id, _)| id);
+        items.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+        FeatureVec { items }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dot_symmetric_and_cosine_bounded(a in arb_feature_vec(), b in arb_feature_vec()) {
+        prop_assert_eq!(a.dot(&b), b.dot(&a));
+        let c = a.cosine(&b);
+        prop_assert!((0.0..=1.0 + 1e-4).contains(&c), "cosine {}", c);
+        prop_assert!((a.overlap(&b) - b.overlap(&a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlap_bounded_by_totals(a in arb_feature_vec(), b in arb_feature_vec()) {
+        let o = a.overlap(&b);
+        prop_assert!(o <= a.total() + 1e-6);
+        prop_assert!(o <= b.total() + 1e-6);
+        prop_assert!(o >= 0.0);
+    }
+
+    #[test]
+    fn self_cosine_is_one_unless_empty(a in arb_feature_vec()) {
+        if a.is_empty() {
+            prop_assert_eq!(a.cosine(&a), 0.0);
+        } else {
+            prop_assert!((a.cosine(&a) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn feature_vec_json_roundtrip(a in arb_feature_vec()) {
+        let back = FeatureVec::from_json(&a.to_json()).unwrap();
+        prop_assert_eq!(a, back);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Data serde + display
+// ---------------------------------------------------------------------------
+
+fn arb_data() -> impl Strategy<Value = Data> {
+    let leaf = prop_oneof![
+        Just(Data::Null),
+        any::<bool>().prop_map(Data::from),
+        any::<i64>().prop_map(Data::from),
+        (-1e9f64..1e9).prop_map(Data::from),
+        "[a-z0-9 ]{0,12}".prop_map(|s| Data::from(s.as_str())),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Data::List),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(Data::Map),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn data_serde_roundtrip(d in arb_data()) {
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Data = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(d, back);
+    }
+
+    #[test]
+    fn group_hash_deterministic(d in arb_data()) {
+        prop_assert_eq!(d.group_hash(), d.clone().group_hash());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn precision_recall_always_in_unit_interval(
+        ranked in proptest::collection::vec(0u64..50, 0..30),
+        relevant in proptest::collection::hash_set(0u64..50, 0..20),
+        k in 0usize..40,
+    ) {
+        // Rankings are id lists without duplicates (the metric's contract).
+        let mut seen = HashSet::new();
+        let ranked: Vec<u64> = ranked.into_iter().filter(|id| seen.insert(*id)).collect();
+        let relevant: HashSet<u64> = relevant.into_iter().collect();
+        let (p, r) = precision_recall_at_k(&ranked, &relevant, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aroma pipeline invariants
+// ---------------------------------------------------------------------------
+
+fn arb_pe_code() -> impl Strategy<Value = String> {
+    (0u64..1000, 0usize..6).prop_map(|(seed, fam)| {
+        let d = Dataset::generate(DatasetConfig {
+            families: 6,
+            variants_per_family: 1,
+            seed,
+            ..DatasetConfig::default()
+        });
+        d.entries[fam].code.clone()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pruned_statements_come_from_the_candidate(
+        cand in arb_pe_code(),
+        query in arb_pe_code(),
+    ) {
+        use laminar::aroma::{granulated_vec, prune_and_rerank, statement_granules};
+        let q = granulated_vec(&query);
+        let pruned = prune_and_rerank(1, &cand, &q);
+        let granules: HashSet<String> =
+            statement_granules(&cand).into_iter().map(|(t, _)| t).collect();
+        for s in &pruned.kept_statements {
+            prop_assert!(granules.contains(s), "{s:?} not a candidate granule");
+        }
+        prop_assert!(pruned.rerank_score >= 0.0);
+        prop_assert!(pruned.rerank_score <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn completion_lines_come_from_the_candidate(
+        cand in arb_pe_code(),
+        query in arb_pe_code(),
+    ) {
+        use laminar::aroma::{complete_from, statement_granules};
+        let c = complete_from(&query, &cand);
+        prop_assert!((0.0..=1.0).contains(&c.progress));
+        let granules: HashSet<String> =
+            statement_granules(&cand).into_iter().map(|(t, _)| t).collect();
+        for l in &c.lines {
+            prop_assert!(granules.contains(l));
+        }
+        // lines + covered partition the granules.
+        let covered = (c.progress * granules.len() as f32).round() as usize;
+        prop_assert_eq!(covered + c.lines.len(), granules.len());
+    }
+
+    #[test]
+    fn lsh_hits_are_true_overlap_scores(seed in 0u64..200) {
+        use laminar::aroma::{LshConfig, LshIndex};
+        use laminar::spt::Spt;
+        let d = Dataset::generate(DatasetConfig {
+            families: 5,
+            variants_per_family: 3,
+            seed,
+            ..DatasetConfig::default()
+        });
+        let vecs: Vec<FeatureVec> = d
+            .entries
+            .iter()
+            .map(|e| Spt::parse_source(&e.code).feature_vec())
+            .collect();
+        let mut ix = LshIndex::new(LshConfig { bands: 8, rows: 2 });
+        for (i, v) in vecs.iter().enumerate() {
+            ix.add(i as u64, v.clone());
+        }
+        let q = &vecs[0];
+        let (hits, stats) = ix.search(q, 10, 0.0);
+        prop_assert!(stats.candidates <= stats.indexed);
+        for h in &hits {
+            // Every reported score is the exact overlap, not an estimate.
+            prop_assert!((h.score - q.overlap(&vecs[h.id as usize])).abs() < 1e-5);
+        }
+        // Scores are non-increasing.
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dataset generation invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_corpora_always_parse(seed in 0u64..1000) {
+        let d = Dataset::generate(DatasetConfig {
+            families: 6,
+            variants_per_family: 3,
+            seed,
+            ..DatasetConfig::default()
+        });
+        prop_assert_eq!(d.len(), 18);
+        for e in &d.entries {
+            let tree = pyparse::parse(&e.code);
+            prop_assert!(tree.errors.is_empty(), "{}: {:?}", e.name, tree.errors);
+        }
+        // Names unique.
+        let names: HashSet<_> = d.entries.iter().map(|e| e.name.clone()).collect();
+        prop_assert_eq!(names.len(), d.len());
+    }
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration of the search pipeline: registration populates
+//! embeddings (registry CLOBs + server indexes), and all three search
+//! modalities answer consistently on a CSN corpus.
+
+use laminar::core::{EmbeddingType, Laminar, LaminarConfig, SearchScope};
+use laminar::csn::{Dataset, DatasetConfig};
+use laminar::spt::FeatureVec;
+
+fn corpus() -> Dataset {
+    Dataset::generate(DatasetConfig {
+        families: 8,
+        variants_per_family: 4,
+        seed: 11,
+        ..DatasetConfig::default()
+    })
+}
+
+#[test]
+fn registration_persists_embeddings_in_registry() {
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let mut client = laminar.client();
+    client.register("u", "p").unwrap();
+    let e = &corpus().entries[0];
+    let id = client.register_pe(&e.name, &e.code, None).unwrap();
+    let row = laminar.server().registry().get_pe(id).unwrap();
+    // Both embedding CLOBs present and decodable (Fig. 6's columns).
+    assert!(!row.description_embedding.is_empty());
+    assert!(!row.spt_embedding.is_empty());
+    let spt_vec = FeatureVec::from_json(&row.spt_embedding).unwrap();
+    assert!(spt_vec.len() > 10);
+    let desc_vec: Vec<f32> = serde_json::from_str(&row.description_embedding).unwrap();
+    assert_eq!(desc_vec.len(), 256);
+    // Auto-generated description is non-trivial (§IV-C).
+    assert!(row.description.len() > 10);
+}
+
+#[test]
+fn semantic_search_finds_family_for_every_query() {
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let mut client = laminar.client();
+    client.register("u", "p").unwrap();
+    let corpus = corpus();
+    for e in &corpus.entries {
+        client.register_pe(&e.name, &e.code, None).unwrap();
+    }
+    // Each family's canonical description must retrieve ≥1 family member
+    // in the top 5 for a large majority of families.
+    let mut ok = 0;
+    let total = corpus.family_keys.len();
+    for fam in 0..total {
+        let entry = corpus.entries.iter().find(|e| e.family == fam).unwrap();
+        let hits = client
+            .search_registry_semantic(SearchScope::Pe, &entry.description)
+            .unwrap();
+        let family_prefix = entry
+            .name
+            .trim_end_matches(|c: char| c.is_ascii_digit())
+            .to_string();
+        if hits.iter().any(|h| h.name.starts_with(&family_prefix)) {
+            ok += 1;
+        }
+    }
+    assert!(ok * 10 >= total * 8, "only {ok}/{total} families retrieved");
+}
+
+#[test]
+fn structural_search_robust_to_partial_queries_unlike_llm() {
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let mut client = laminar.client();
+    client.register("u", "p").unwrap();
+    let corpus = corpus();
+    for e in &corpus.entries {
+        client.register_pe(&e.name, &e.code, None).unwrap();
+    }
+    // Query: half of a sum-family PE.
+    let sum_entry = corpus
+        .entries
+        .iter()
+        .find(|e| e.name.starts_with("SumList"))
+        .unwrap();
+    let partial = laminar::pyparse::drop_suffix_fraction(&sum_entry.code, 0.5);
+
+    let spt_hits = client
+        .code_recommendation(SearchScope::Pe, &partial, EmbeddingType::Spt)
+        .unwrap();
+    assert!(!spt_hits.is_empty(), "Aroma must recommend from partial code");
+
+    // The LLM path may return fewer/weaker hits — the documented 1.0
+    // limitation. We only require that SPT is at least as productive.
+    let llm_hits = client
+        .code_recommendation(SearchScope::Pe, &partial, EmbeddingType::Llm)
+        .unwrap();
+    assert!(spt_hits.len() >= llm_hits.len());
+}
+
+#[test]
+fn update_description_moves_search_results() {
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let mut client = laminar.client();
+    client.register("u", "p").unwrap();
+    let id = client
+        .register_pe(
+            "Opaque",
+            "class Opaque(IterativePE):\n    def _process(self, q):\n        return q\n",
+            None,
+        )
+        .unwrap();
+    let before = client
+        .search_registry_semantic(SearchScope::Pe, "quantum flux capacitor calibration")
+        .unwrap();
+    let top_before = before.first().map(|h| h.cosine_similarity).unwrap_or(0.0);
+    client
+        .update_pe_description(id, "quantum flux capacitor calibration for time travel")
+        .unwrap();
+    let after = client
+        .search_registry_semantic(SearchScope::Pe, "quantum flux capacitor calibration")
+        .unwrap();
+    assert_eq!(after[0].id, id);
+    assert!(after[0].cosine_similarity > top_before + 0.2, "{after:?}");
+}
+
+#[test]
+fn remove_pe_removes_it_from_search() {
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let mut client = laminar.client();
+    client.register("u", "p").unwrap();
+    let id = client
+        .register_pe(
+            "Ephemeral",
+            "class Ephemeral(IterativePE):\n    def _process(self, z):\n        return z\n",
+            Some("an utterly ephemeral component"),
+        )
+        .unwrap();
+    let hits = client
+        .search_registry_semantic(SearchScope::Pe, "utterly ephemeral component")
+        .unwrap();
+    assert_eq!(hits[0].id, id);
+    client.remove_pe(id).unwrap();
+    let hits = client
+        .search_registry_semantic(SearchScope::Pe, "utterly ephemeral component")
+        .unwrap();
+    assert!(hits.iter().all(|h| h.id != id));
+}
+
+#[test]
+fn registry_snapshot_roundtrip_preserves_search_data() {
+    let laminar = Laminar::deploy(LaminarConfig::default());
+    let mut client = laminar.client();
+    client.register("u", "p").unwrap();
+    for e in corpus().entries.iter().take(6) {
+        client.register_pe(&e.name, &e.code, None).unwrap();
+    }
+    let dir = std::env::temp_dir().join(format!("laminar-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("registry.json");
+    laminar.server().registry().save_to(&path).unwrap();
+    let restored = laminar::registry::Registry::load_from(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(restored.counts().0, 6);
+    for pe in restored.all_pes() {
+        assert!(FeatureVec::from_json(&pe.spt_embedding).is_ok());
+    }
+}
