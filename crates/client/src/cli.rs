@@ -24,6 +24,7 @@ const COMMANDS: &[(&str, &str)] = &[
     ("history", "Lists the recorded executions of a workflow."),
     ("list", "Lists all items in the registry."),
     ("literal_search", "Searches the registry for workflows and processing elements matching the search term."),
+    ("metrics", "Prints the server's request metrics snapshot (per-endpoint counts and latency percentiles)."),
     ("quit", "Exits the CLI."),
     ("register_pe", "Registers a new PE from a Python file."),
     ("register_workflow", "Registers a workflow file and every PE found in it."),
@@ -72,7 +73,10 @@ impl Cli {
             "register_workflow" => self.register_workflow(rest),
             "remove_pe" => self.remove(rest, true),
             "remove_workflow" => self.remove(rest, false),
-            "remove_all" => self.client.remove_all().map(|_| "Removed all PEs and workflows.".to_string()),
+            "remove_all" => self
+                .client
+                .remove_all()
+                .map(|_| "Removed all PEs and workflows.".to_string()),
             "describe" => self.describe(rest),
             "literal_search" => self.literal_search(rest),
             "semantic_search" => self.semantic_search(rest),
@@ -82,6 +86,7 @@ impl Cli {
             "update_workflow_description" => self.update_description(rest, false),
             "run" => self.run(rest),
             "history" => self.history(rest),
+            "metrics" => self.client.metrics().map(|snap| snap.render()),
             other => Ok(format!(
                 "Unknown command '{other}'. Type 'help' to list commands."
             )),
@@ -102,7 +107,9 @@ impl Cli {
             }
             return format!("No help for '{topic}'.");
         }
-        let mut out = String::from("Documented commands (type help <topic>):\n========================================\n");
+        let mut out = String::from(
+            "Documented commands (type help <topic>):\n========================================\n",
+        );
         for (name, _) in COMMANDS {
             let _ = writeln!(out, "{name}");
         }
@@ -147,14 +154,19 @@ impl Cli {
             let _ = writeln!(out, "• {pe_name} - type (ID {id})");
         }
         out.push_str("Found workflows...\n");
-        let _ = writeln!(out, "• {} - Workflow (ID {})", reg.workflow.0, reg.workflow.1);
+        let _ = writeln!(
+            out,
+            "• {} - Workflow (ID {})",
+            reg.workflow.0, reg.workflow.1
+        );
         Ok(out)
     }
 
     fn remove(&self, args: &[String], pe: bool) -> Result<String, ClientError> {
-        let ident = parse_ident(args.first().ok_or_else(|| {
-            ClientError::Server("usage: remove_[pe|workflow] <id|name>".into())
-        })?);
+        let ident =
+            parse_ident(args.first().ok_or_else(|| {
+                ClientError::Server("usage: remove_[pe|workflow] <id|name>".into())
+            })?);
         if pe {
             self.client.remove_pe(ident)?;
             Ok("Removed PE.".into())
@@ -190,10 +202,22 @@ impl Cli {
         let mut out = String::new();
         let _ = writeln!(out, "Performing literal search for the term: {term}");
         for p in &pes {
-            let _ = writeln!(out, "peId {} peName {} description {}", p.id, p.name, short(&p.description));
+            let _ = writeln!(
+                out,
+                "peId {} peName {} description {}",
+                p.id,
+                p.name,
+                short(&p.description)
+            );
         }
         for w in &wfs {
-            let _ = writeln!(out, "workflowId {} workflowName {} description {}", w.id, w.name, short(&w.description));
+            let _ = writeln!(
+                out,
+                "workflowId {} workflowName {} description {}",
+                w.id,
+                w.name,
+                short(&w.description)
+            );
         }
         if pes.is_empty() && wfs.is_empty() {
             out.push_str("No matches.\n");
@@ -206,9 +230,17 @@ impl Cli {
         let hits = self.client.search_registry_semantic(scope, &term)?;
         // Fig. 8's result table.
         let mut out = String::new();
-        let _ = writeln!(out, "Performing semantic search on {}, with query type: text", scope_name(scope));
+        let _ = writeln!(
+            out,
+            "Performing semantic search on {}, with query type: text",
+            scope_name(scope)
+        );
         let _ = writeln!(out, "Encoding query as text");
-        let _ = writeln!(out, "{:>4}  {:<22} {:<50} cosine_similarity", "id", "name", "description");
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<22} {:<50} cosine_similarity",
+            "id", "name", "description"
+        );
         for h in hits {
             let _ = writeln!(
                 out,
@@ -244,9 +276,15 @@ impl Cli {
             i += 1;
         }
         let (scope, snippet) = parse_scope_and_term(&positional)?;
-        let hits = self.client.code_recommendation(scope, &snippet, embedding)?;
+        let hits = self
+            .client
+            .code_recommendation(scope, &snippet, embedding)?;
         let mut out = String::new();
-        let _ = writeln!(out, "{:>4}  {:<18} {:<40} score  similarFunc", "id", "name", "description");
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<18} {:<40} score  similarFunc",
+            "id", "name", "description"
+        );
         for h in hits {
             let _ = writeln!(
                 out,
@@ -273,7 +311,11 @@ impl Cli {
         match source {
             None => out.push_str("No similar PE found in the registry.\n"),
             Some((id, name)) => {
-                let _ = writeln!(out, "Completing from {name} (ID {id}), {:.0}% typed:", progress * 100.0);
+                let _ = writeln!(
+                    out,
+                    "Completing from {name} (ID {id}), {:.0}% typed:",
+                    progress * 100.0
+                );
                 for l in lines {
                     let _ = writeln!(out, "  + {l}");
                 }
@@ -293,7 +335,8 @@ impl Cli {
         if pe {
             self.client.update_pe_description(ident, &description)?;
         } else {
-            self.client.update_workflow_description(ident, &description)?;
+            self.client
+                .update_workflow_description(ident, &description)?;
         }
         Ok("Description updated.".into())
     }
@@ -330,7 +373,9 @@ impl Cli {
                 "--rawinput" => rawinput = true,
                 other if ident.is_none() => ident = Some(parse_ident(other)),
                 other => {
-                    return Err(ClientError::Server(format!("unexpected argument '{other}'")))
+                    return Err(ClientError::Server(format!(
+                        "unexpected argument '{other}'"
+                    )))
                 }
             }
             i += 1;
@@ -379,7 +424,11 @@ impl Cli {
             return Ok("No executions recorded.".into());
         }
         let mut out = String::new();
-        let _ = writeln!(out, "{:>4}  {:<8} {:<12} {:<10} output", "id", "mapping", "input", "status");
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<8} {:<12} {:<10} output",
+            "id", "mapping", "input", "status"
+        );
         for r in rows {
             let _ = writeln!(
                 out,
@@ -536,11 +585,20 @@ class PrintPrime(ConsumerPE):
     fn tokenizer_handles_quotes() {
         assert_eq!(
             tokenize("semantic_search pe \"a pe that is able to detect anomalies\""),
-            vec!["semantic_search", "pe", "a pe that is able to detect anomalies"]
+            vec![
+                "semantic_search",
+                "pe",
+                "a pe that is able to detect anomalies"
+            ]
         );
-        assert_eq!(tokenize("  run   169 -i 10 "), vec!["run", "169", "-i", "10"]);
-        assert_eq!(tokenize("code_recommendation pe 'random.randint(1, 1000)'"),
-            vec!["code_recommendation", "pe", "random.randint(1, 1000)"]);
+        assert_eq!(
+            tokenize("  run   169 -i 10 "),
+            vec!["run", "169", "-i", "10"]
+        );
+        assert_eq!(
+            tokenize("code_recommendation pe 'random.randint(1, 1000)'"),
+            vec!["code_recommendation", "pe", "random.randint(1, 1000)"]
+        );
         assert!(tokenize("   ").is_empty());
     }
 
@@ -590,7 +648,11 @@ class PrintPrime(ConsumerPE):
         assert!(out.contains("Processed"), "verbose summaries: {out}");
         // By numeric id, sequentially.
         let list = c.execute("list");
-        let id_line = list.lines().find(|l| l.contains("isprime_wf")).unwrap().to_string();
+        let id_line = list
+            .lines()
+            .find(|l| l.contains("isprime_wf"))
+            .unwrap()
+            .to_string();
         let id: u64 = id_line
             .rsplit("(ID ")
             .next()
@@ -609,7 +671,10 @@ class PrintPrime(ConsumerPE):
     fn semantic_search_transcript_matches_fig8() {
         let (mut c, _) = cli_with_isprime();
         let out = c.execute("semantic_search pe \"a pe that checks prime numbers\"");
-        assert!(out.contains("Performing semantic search on pe, with query type: text"), "{out}");
+        assert!(
+            out.contains("Performing semantic search on pe, with query type: text"),
+            "{out}"
+        );
         assert!(out.contains("cosine_similarity"), "{out}");
         assert!(out.contains("IsPrime"), "{out}");
     }
@@ -620,9 +685,12 @@ class PrintPrime(ConsumerPE):
         let out = c.execute("code_recommendation pe \"random.randint(1, 1000)\"");
         assert!(out.contains("NumberProducer"), "{out}");
         assert!(out.contains("similarFunc"), "{out}");
-        let out = c.execute("code_recommendation workflow \"random.randint(1, 1000)\" --embedding_type spt");
+        let out = c.execute(
+            "code_recommendation workflow \"random.randint(1, 1000)\" --embedding_type spt",
+        );
         assert!(out.contains("isprime_wf"), "{out}");
-        let out = c.execute("code_recommendation pe \"random.randint(1, 1000)\" --embedding_type llm");
+        let out =
+            c.execute("code_recommendation pe \"random.randint(1, 1000)\" --embedding_type llm");
         assert!(!out.contains("Error"), "{out}");
     }
 
@@ -684,6 +752,16 @@ class PrintPrime(ConsumerPE):
     }
 
     #[test]
+    fn metrics_command_renders_snapshot() {
+        let (mut c, _) = cli_with_isprime();
+        c.execute("list");
+        let out = c.execute("metrics");
+        assert!(out.contains("endpoint"), "{out}");
+        assert!(out.contains("GetRegistry"), "{out}");
+        assert!(out.contains("connections:"), "{out}");
+    }
+
+    #[test]
     fn unknown_command_and_quit() {
         let mut c = cli();
         let out = c.execute("frobnicate");
@@ -712,7 +790,9 @@ class PrintPrime(ConsumerPE):
         let mut c = cli();
         assert!(c.execute("run").contains("Error"));
         assert!(c.execute("describe").contains("Error"));
-        assert!(c.execute("register_workflow /no/such/file.py").contains("Error"));
+        assert!(c
+            .execute("register_workflow /no/such/file.py")
+            .contains("Error"));
         assert!(c.execute("run ghost -i 2").contains("Error"));
     }
 }

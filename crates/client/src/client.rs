@@ -1,16 +1,28 @@
 //! The client library: one method per Table I function.
+//!
+//! The client is written once against the unified
+//! [`Connection`] trait — the in-process [`Transport`] and the TCP
+//! [`laminar_server::NetClientTransport`] plug in interchangeably. A
+//! [`RetryPolicy`] (exponential backoff + jitter) re-sends requests that
+//! failed transiently: connect refused and typed `Busy` rejections are
+//! always retried (the request provably never dispatched), timeouts only
+//! for idempotent requests, and a `run` whose stream already started is
+//! never re-sent.
 
 use crate::extract::extract_pes_from_source;
 use crossbeam_channel::Receiver;
 use d4py::Data;
-use laminar_server::{
-    DeliveryMode, EmbeddingType, Ident, LaminarServer, PeSubmission, Reply, Request, Response,
-    SearchScope, Transport, WireFrame,
-};
-use laminar_server::protocol::{RecommendationHit, PeInfo, RunInputWire, RunMode, WorkflowInfo, ResourceRefWire, content_hash};
 use laminar_server::protocol::SemanticHit;
+use laminar_server::protocol::{
+    content_hash, PeInfo, RecommendationHit, ResourceRefWire, RunInputWire, RunMode, WorkflowInfo,
+};
+use laminar_server::{
+    Connection, ConnectionError, DeliveryMode, EmbeddingType, Ident, LaminarServer,
+    MetricsSnapshot, PeSubmission, Reply, Request, Response, SearchScope, Transport, WireFrame,
+};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +32,9 @@ pub enum ClientError {
     /// §IV-F: the server needs these resources uploaded first.
     NeedResources(Vec<String>),
     UnexpectedResponse(String),
+    /// A typed connection-level failure that survived the retry policy
+    /// (or was never retryable).
+    Connection(ConnectionError),
 }
 
 impl fmt::Display for ClientError {
@@ -29,11 +44,80 @@ impl fmt::Display for ClientError {
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::NeedResources(r) => write!(f, "server needs resources: {r:?}"),
             ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+            ClientError::Connection(e) => write!(f, "connection error: {e}"),
         }
     }
 }
 
 impl std::error::Error for ClientError {}
+
+/// Exponential-backoff retry policy for transient connection failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each further attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential,
+    /// capped, plus up to 50% jitter so a herd of rejected clients does
+    /// not retry in lockstep.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16));
+        let capped = exp.min(self.max_delay);
+        // Jitter without a rand dependency: the clock's subsecond nanos
+        // are as good as random across concurrent clients.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::from(d.subsec_nanos()))
+            .unwrap_or(0);
+        capped + capped.mul_f64((nanos % 1000) as f64 / 2000.0)
+    }
+}
+
+/// Whether re-sending `req` can never duplicate side effects, making a
+/// retry after an ambiguous failure (timeout) safe.
+fn is_idempotent(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Login { .. }
+            | Request::GetPe { .. }
+            | Request::GetWorkflow { .. }
+            | Request::GetPesByWorkflow { .. }
+            | Request::GetRegistry { .. }
+            | Request::Describe { .. }
+            | Request::SearchLiteral { .. }
+            | Request::SearchSemantic { .. }
+            | Request::CodeRecommendation { .. }
+            | Request::CodeCompletion { .. }
+            | Request::GetExecutions { .. }
+            | Request::Metrics {}
+    )
+}
 
 /// Result of registering a workflow file (Fig. 5a's output).
 #[derive(Debug, Clone, PartialEq)]
@@ -59,7 +143,8 @@ pub struct RunOutput {
 
 /// The Laminar client.
 pub struct LaminarClient {
-    transport: Box<dyn laminar_server::RequestTransport>,
+    connection: Box<dyn Connection>,
+    retry: RetryPolicy,
     token: Option<u64>,
     /// Local resource staging area: name → bytes (replaces 1.0's
     /// `resources/` directory — §IV-F "direct file path specification").
@@ -84,24 +169,76 @@ impl LaminarClient {
         Self::over(laminar_server::NetClientTransport::new(addr))
     }
 
-    /// Connect over any transport implementation.
-    pub fn over<T: laminar_server::RequestTransport + 'static>(transport: T) -> Self {
+    /// Connect over any [`Connection`] implementation.
+    pub fn over<T: Connection + 'static>(connection: T) -> Self {
         LaminarClient {
-            transport: Box::new(transport),
+            connection: Box::new(connection),
+            retry: RetryPolicy::default(),
             token: None,
             staged_resources: Vec::new(),
         }
+    }
+
+    /// Replace the retry policy (default: 4 attempts, 25 ms base,
+    /// 1 s cap).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The underlying connection's options.
+    pub fn connection_options(&self) -> laminar_server::ConnOptions {
+        self.connection.options()
     }
 
     fn token(&self) -> Result<u64, ClientError> {
         self.token.ok_or(ClientError::NotLoggedIn)
     }
 
+    /// Issue one request through the connection, applying the retry
+    /// policy: `Unavailable`/`Busy` always retry (the request provably
+    /// never dispatched — the server rejects *before* handing the request
+    /// to a worker); timeouts retry only for idempotent requests. A run
+    /// whose stream already opened comes back as `Ok(Reply::Stream)` and
+    /// is therefore never re-sent from here.
+    fn call(&self, req: Request) -> Result<Reply, ClientError> {
+        let idempotent = is_idempotent(&req);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.connection.call(req.clone()) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    let retryable = e.is_transient()
+                        || (idempotent && matches!(e, ConnectionError::TimedOut { .. }));
+                    if !retryable || attempt >= self.retry.max_attempts {
+                        return Err(ClientError::Connection(e));
+                    }
+                    let hint = match &e {
+                        ConnectionError::Busy { retry_after_ms } => {
+                            Duration::from_millis(*retry_after_ms)
+                        }
+                        _ => Duration::ZERO,
+                    };
+                    std::thread::sleep(self.retry.backoff(attempt).max(hint));
+                }
+            }
+        }
+    }
+
     fn value(&self, req: Request) -> Result<Response, ClientError> {
-        match self.transport.send_request(req) {
+        match self.call(req)? {
             Reply::Value(Response::Error(e)) => Err(ClientError::Server(e)),
             Reply::Value(v) => Ok(v),
             Reply::Stream(_) => Err(ClientError::UnexpectedResponse("stream".into())),
+        }
+    }
+
+    /// Fetch the server's metrics snapshot (the `laminar metrics` verb).
+    pub fn metrics(&self) -> Result<MetricsSnapshot, ClientError> {
+        match self.value(Request::Metrics {})? {
+            Response::Metrics(snap) => Ok(*snap),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
 
@@ -358,10 +495,7 @@ impl LaminarClient {
 
     /// Context-aware code completion (§III): returns
     /// `(source PE (id, name) if any, suggested lines, progress)`.
-    pub fn code_completion(
-        &self,
-        snippet: &str,
-    ) -> Result<CompletionResult, ClientError> {
+    pub fn code_completion(&self, snippet: &str) -> Result<CompletionResult, ClientError> {
         match self.value(Request::CodeCompletion {
             token: self.token()?,
             snippet: snippet.into(),
@@ -398,7 +532,12 @@ impl LaminarClient {
 
     /// `run`: sequential execution (Table I).
     pub fn run(&self, ident: impl Into<Ident>, input: u64) -> Result<RunOutput, ClientError> {
-        self.run_mode(ident.into(), RunInputWire::Iterations(input), RunMode::Sequential, false)
+        self.run_mode(
+            ident.into(),
+            RunInputWire::Iterations(input),
+            RunMode::Sequential,
+            false,
+        )
     }
 
     /// `run` with explicit data items.
@@ -407,7 +546,12 @@ impl LaminarClient {
         ident: impl Into<Ident>,
         data: Vec<Data>,
     ) -> Result<RunOutput, ClientError> {
-        self.run_mode(ident.into(), RunInputWire::Data(data), RunMode::Sequential, false)
+        self.run_mode(
+            ident.into(),
+            RunInputWire::Data(data),
+            RunMode::Sequential,
+            false,
+        )
     }
 
     /// `run_multiprocess`: static parallel execution.
@@ -426,8 +570,17 @@ impl LaminarClient {
     }
 
     /// `run_dynamic`: the Listing 3 one-liner — no broker parameters.
-    pub fn run_dynamic(&self, ident: impl Into<Ident>, input: u64) -> Result<RunOutput, ClientError> {
-        self.run_mode(ident.into(), RunInputWire::Iterations(input), RunMode::Dynamic, false)
+    pub fn run_dynamic(
+        &self,
+        ident: impl Into<Ident>,
+        input: u64,
+    ) -> Result<RunOutput, ClientError> {
+        self.run_mode(
+            ident.into(),
+            RunInputWire::Iterations(input),
+            RunMode::Dynamic,
+            false,
+        )
     }
 
     /// Fully general run: any input shape × any mapping × verbosity.
@@ -471,10 +624,16 @@ impl LaminarClient {
         };
         for frame in rx.iter() {
             match frame {
+                WireFrame::Begin { .. } | WireFrame::Keepalive { .. } => {}
                 WireFrame::Line(l) => out.lines.push(l),
                 WireFrame::Info(i) => out.infos.push(i),
                 WireFrame::Summary(s) => out.summaries.push(s),
                 WireFrame::Value(Response::Error(e)) => return Err(ClientError::Server(e)),
+                WireFrame::Value(Response::TimedOut { request_id }) => {
+                    return Err(ClientError::Connection(ConnectionError::TimedOut {
+                        request_id,
+                    }));
+                }
                 WireFrame::Value(_) => {}
                 WireFrame::End { ok, .. } => {
                     out.ok = ok;
@@ -504,11 +663,10 @@ impl LaminarClient {
             verbose,
             resources: self.resource_refs(),
         };
-        match self.transport.send_request(make_req(self.token()?)) {
+        match self.call(make_req(self.token()?))? {
             Reply::Value(Response::NeedResources(names)) => {
                 for name in &names {
-                    let Some((_, bytes)) =
-                        self.staged_resources.iter().find(|(n, _)| n == name)
+                    let Some((_, bytes)) = self.staged_resources.iter().find(|(n, _)| n == name)
                     else {
                         return Err(ClientError::NeedResources(names.clone()));
                     };
@@ -518,7 +676,7 @@ impl LaminarClient {
                         bytes: bytes.clone(),
                     })?;
                 }
-                match self.transport.send_request(make_req(self.token()?)) {
+                match self.call(make_req(self.token()?))? {
                     Reply::Stream(rx) => Ok(rx),
                     Reply::Value(Response::Error(e)) => Err(ClientError::Server(e)),
                     Reply::Value(v) => Err(ClientError::UnexpectedResponse(format!("{v:?}"))),
@@ -601,12 +759,14 @@ class PrintPrime(ConsumerPE):
     #[test]
     fn table1_update_and_remove_functions() {
         let (c, reg) = client_with_isprime();
-        c.update_pe_description(reg.pes[0].1, "produces random numbers").unwrap();
+        c.update_pe_description(reg.pes[0].1, "produces random numbers")
+            .unwrap();
         assert_eq!(
             c.get_pe(reg.pes[0].1).unwrap().description,
             "produces random numbers"
         );
-        c.update_workflow_description(reg.workflow.1, "the prime workflow").unwrap();
+        c.update_workflow_description(reg.workflow.1, "the prime workflow")
+            .unwrap();
         assert_eq!(
             c.get_workflow(reg.workflow.1).unwrap().description,
             "the prime workflow"
@@ -621,7 +781,9 @@ class PrintPrime(ConsumerPE):
     #[test]
     fn table1_search_functions() {
         let (c, _) = client_with_isprime();
-        let (pes, wfs) = c.search_registry_literal(SearchScope::Both, "prime").unwrap();
+        let (pes, wfs) = c
+            .search_registry_literal(SearchScope::Both, "prime")
+            .unwrap();
         assert!(!pes.is_empty());
         assert!(!wfs.is_empty());
         let hits = c
@@ -632,7 +794,11 @@ class PrintPrime(ConsumerPE):
         // at family level: the top hit must be from the prime family.
         assert!(hits[0].name.contains("Prime"), "{hits:?}");
         let recos = c
-            .code_recommendation(SearchScope::Pe, "random.randint(1, 1000)", EmbeddingType::Spt)
+            .code_recommendation(
+                SearchScope::Pe,
+                "random.randint(1, 1000)",
+                EmbeddingType::Spt,
+            )
             .unwrap();
         assert_eq!(recos[0].name, "NumberProducer");
     }
@@ -688,5 +854,46 @@ class PrintPrime(ConsumerPE):
             )
             .unwrap();
         assert!(out.ok);
+    }
+
+    #[test]
+    fn metrics_snapshot_via_client() {
+        let (c, _) = client_with_isprime();
+        let snap = c.metrics().unwrap();
+        assert!(
+            snap.endpoints
+                .iter()
+                .any(|e| e.endpoint == "RegisterWorkflow" && e.requests > 0),
+            "{snap:?}"
+        );
+        assert!(snap.render().contains("RegisterWorkflow"));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy::default();
+        assert!(p.backoff(1) >= Duration::from_millis(25));
+        assert!(p.backoff(2) >= Duration::from_millis(50));
+        // Capped at max_delay plus ≤50% jitter, even for huge attempts.
+        assert!(p.backoff(30) <= Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn connect_refused_surfaces_as_unavailable_after_retries() {
+        // Port 1 is essentially never listening on loopback.
+        let mut c =
+            LaminarClient::connect_tcp("127.0.0.1:1".parse().unwrap()).with_retry(RetryPolicy {
+                max_attempts: 2,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+            });
+        let err = c.login("x", "y").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ClientError::Connection(ConnectionError::Unavailable(_))
+            ),
+            "{err:?}"
+        );
     }
 }

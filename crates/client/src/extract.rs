@@ -48,13 +48,18 @@ pub fn extract_pes_from_source(code: &str) -> Vec<PeSubmission> {
 fn reconstruct_class(code: &str, name: &str) -> String {
     let lines: Vec<&str> = code.lines().collect();
     let header = format!("class {name}");
-    let Some(start) = lines.iter().position(|l| l.trim_start().starts_with(&header)) else {
+    let Some(start) = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with(&header))
+    else {
         return String::new();
     };
     let mut end = lines.len();
     for (i, line) in lines.iter().enumerate().skip(start + 1) {
         let trimmed = line.trim_start();
-        if !trimmed.is_empty() && !line.starts_with(char::is_whitespace) && !trimmed.starts_with('#')
+        if !trimmed.is_empty()
+            && !line.starts_with(char::is_whitespace)
+            && !trimmed.starts_with('#')
         {
             end = i;
             break;

@@ -35,5 +35,5 @@ pub mod client;
 pub mod extract;
 
 pub use cli::Cli;
-pub use client::{ClientError, LaminarClient, RegisteredWorkflow, RunOutput};
+pub use client::{ClientError, LaminarClient, RegisteredWorkflow, RetryPolicy, RunOutput};
 pub use extract::extract_pes_from_source;

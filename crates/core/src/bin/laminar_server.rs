@@ -4,24 +4,74 @@
 //!
 //! ```text
 //! cargo run -p laminar-core --bin laminar-server -- 0.0.0.0:7878
+//! # tune the serving path:
+//! cargo run -p laminar-core --bin laminar-server -- 0.0.0.0:7878 \
+//!     --max-connections 64 --request-timeout-secs 60
 //! # then, from anywhere:
 //! cargo run -p laminar-core --bin laminar -- --connect 127.0.0.1:7878
 //! ```
 
-use laminar_core::{Laminar, LaminarConfig};
-use laminar_server::NetServer;
+use laminar_core::{Laminar, LaminarConfig, NetServer, NetServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: laminar-server [ADDR] [--max-connections N] \
+         [--request-timeout-secs N] [--drain-timeout-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (String, NetServerConfig) {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = NetServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut numeric = || -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--max-connections" => {
+                let n = numeric();
+                config.max_connections = n as usize;
+            }
+            "--request-timeout-secs" => {
+                let n = numeric();
+                config.request_timeout = Duration::from_secs(n);
+            }
+            "--drain-timeout-secs" => {
+                let n = numeric();
+                config.drain_timeout = Duration::from_secs(n);
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => usage(),
+            positional => addr = positional.to_string(),
+        }
+    }
+    if config.max_connections == 0 {
+        usage();
+    }
+    (addr, config)
+}
 
 fn main() {
-    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let (addr, config) = parse_args();
     let laminar = Laminar::deploy(LaminarConfig::default());
     laminar
         .seed_stock_registry()
         .expect("stock registry seeding on a fresh deployment");
-    let net = NetServer::bind(&addr, laminar.server()).unwrap_or_else(|e| {
+    let net = NetServer::bind_with(&addr, laminar.server(), config.clone()).unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");
         std::process::exit(1);
     });
     println!("laminar server listening on {}", net.addr());
+    println!(
+        "serving path: max {} concurrent connections, {}s request deadline",
+        config.max_connections,
+        config.request_timeout.as_secs()
+    );
     println!("stock workflows registered: isprime_wf, anomaly_wf, wordcount_wf, doubler_wf");
     // Serve until killed.
     loop {

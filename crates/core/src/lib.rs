@@ -28,8 +28,11 @@ use laminar_server::{DeliveryMode, LaminarServer, ServerConfig, Transport};
 use std::sync::Arc;
 use std::time::Duration;
 
-pub use laminar_client::{ClientError, RegisteredWorkflow, RunOutput};
-pub use laminar_server::{EmbeddingType, Ident, SearchScope};
+pub use laminar_client::{ClientError, RegisteredWorkflow, RetryPolicy, RunOutput};
+pub use laminar_server::{
+    ConnOptions, Connection, ConnectionError, EmbeddingType, Ident, MetricsSnapshot,
+    NetClientTransport, NetServer, NetServerConfig, SearchScope,
+};
 
 /// Deployment configuration.
 #[derive(Debug, Clone)]

@@ -70,7 +70,9 @@ impl SearchIndexes {
     }
 
     pub fn remove(&self, id: u64, kind: EntryKind) {
-        self.entries.write().retain(|e| !(e.id == id && e.kind == kind));
+        self.entries
+            .write()
+            .retain(|e| !(e.id == id && e.kind == kind));
     }
 
     pub fn clear(&self) {
@@ -143,8 +145,20 @@ mod tests {
     #[test]
     fn semantic_ranking() {
         let ix = SearchIndexes::new();
-        add(&ix, 1, EntryKind::Pe, "detects anomalies in sensor data", "class A: pass");
-        add(&ix, 2, EntryKind::Pe, "checks whether a number is prime", "class B: pass");
+        add(
+            &ix,
+            1,
+            EntryKind::Pe,
+            "detects anomalies in sensor data",
+            "class A: pass",
+        );
+        add(
+            &ix,
+            2,
+            EntryKind::Pe,
+            "checks whether a number is prime",
+            "class B: pass",
+        );
         let q = UniXcoderSim::new().embed("a pe that is able to detect anomalies");
         let hits = ix.rank_semantic(&q, Some(EntryKind::Pe));
         assert_eq!(hits[0].id, 1);
@@ -154,8 +168,20 @@ mod tests {
     #[test]
     fn spt_ranking_and_kind_filter() {
         let ix = SearchIndexes::new();
-        add(&ix, 1, EntryKind::Pe, "", "def f(x):\n    return random.randint(1, 1000)\n");
-        add(&ix, 2, EntryKind::Workflow, "", "def g(y):\n    return y + 1\n");
+        add(
+            &ix,
+            1,
+            EntryKind::Pe,
+            "",
+            "def f(x):\n    return random.randint(1, 1000)\n",
+        );
+        add(
+            &ix,
+            2,
+            EntryKind::Workflow,
+            "",
+            "def g(y):\n    return y + 1\n",
+        );
         let q = Spt::parse_source("random.randint(1, 1000)").feature_vec();
         let pe_hits = ix.rank_spt(&q, Some(EntryKind::Pe));
         assert_eq!(pe_hits.len(), 1);
@@ -169,7 +195,13 @@ mod tests {
     fn upsert_replaces() {
         let ix = SearchIndexes::new();
         add(&ix, 1, EntryKind::Pe, "old", "x = 1\n");
-        add(&ix, 1, EntryKind::Pe, "new description about words", "x = 1\n");
+        add(
+            &ix,
+            1,
+            EntryKind::Pe,
+            "new description about words",
+            "x = 1\n",
+        );
         assert_eq!(ix.len(), 1);
         let q = UniXcoderSim::new().embed("words");
         let hits = ix.rank_semantic(&q, None);
@@ -194,7 +226,13 @@ mod tests {
         let ix = SearchIndexes::new();
         let code = "def f(a):\n    return a * 2\n";
         add(&ix, 1, EntryKind::Pe, "", code);
-        add(&ix, 2, EntryKind::Pe, "", "class Other:\n    def g(self):\n        pass\n");
+        add(
+            &ix,
+            2,
+            EntryKind::Pe,
+            "",
+            "class Other:\n    def g(self):\n        pass\n",
+        );
         let q = ReaccSim::new().embed_code(code);
         let hits = ix.rank_reacc(&q, None);
         assert_eq!(hits[0].id, 1);

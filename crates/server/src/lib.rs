@@ -14,22 +14,32 @@
 //!   multipart upload, bytes-on-wire accounting;
 //! * [`transport`] — batch (HTTP/1.1-style) vs streaming (HTTP/2-style)
 //!   response delivery (§IV-E), with an optional per-frame latency model
-//!   for the benches.
+//!   for the benches;
+//! * [`connection`] — the unified [`connection::Connection`] trait both
+//!   transports implement, with [`connection::ConnOptions`] carrying the
+//!   delivery mode, frame latency, protocol version and deadline;
+//! * [`obs`] — the serving-path observability layer: per-request ids,
+//!   lock-free per-endpoint counters and latency histograms, and the
+//!   serialisable [`obs::MetricsSnapshot`] behind the `metrics` endpoint.
 //!
 //! The data-access layer is the `laminar-registry` crate; the models are
 //! its row types.
 
+pub mod connection;
 pub mod indexes;
 pub mod net;
+pub mod obs;
 pub mod protocol;
 pub mod resources;
 pub mod server;
 pub mod transport;
 
-pub use net::{NetClientTransport, NetServer, RequestTransport};
+pub use connection::{classify, ConnOptions, Connection, ConnectionError};
+pub use net::{NetClientTransport, NetServer, NetServerConfig, MAX_FRAME};
+pub use obs::{EndpointSnapshot, Metrics, MetricsSnapshot, RequestId};
 pub use protocol::{
-    EmbeddingType, Ident, PeSubmission, Reply, Request, Response, RunMode, SearchScope,
-    SemanticHit, WireFrame,
+    EmbeddingType, Ident, PeSubmission, Reply, Request, RequestEnvelope, Response, RunMode,
+    SearchScope, SemanticHit, WireFrame, PROTOCOL_VERSION,
 };
 pub use resources::{ResourceCache, ResourceRef};
 pub use server::{LaminarServer, ServerConfig, ServerError};

@@ -1,28 +1,97 @@
-//! TCP loopback transport: the client-server split over a real socket.
+//! TCP loopback transport: the client-server split over a real socket,
+//! with a production-shaped request lifecycle.
 //!
 //! The in-process [`Transport`](crate::transport::Transport) models the
 //! §IV-E framing disciplines; this module carries the same protocol over
 //! TCP so the client and server genuinely run as separate endpoints (the
 //! paper's Dockerised client/server deployment, minus Docker).
 //!
-//! Wire format: length-prefixed JSON. Each message is a `u32` big-endian
-//! byte length followed by that many bytes of JSON. The client sends one
-//! [`Request`] per connection; the server answers with a sequence of
-//! [`WireFrame`]s terminated by a zero-length sentinel frame. Streamed
-//! frames are flushed individually — that *is* the HTTP/2-style behaviour;
-//! a batch-mode client simply buffers until the sentinel.
+//! Wire format: length-prefixed JSON (see [`crate::protocol`] for the
+//! full frame and version rules). The client sends one
+//! [`RequestEnvelope`] per connection; the server answers with a
+//! sequence of [`WireFrame`]s terminated by a zero-length sentinel.
+//!
+//! Request lifecycle:
+//!
+//! * **Backpressure** — a bounded pool of [`NetServerConfig::max_connections`]
+//!   workers serves connections handed over a rendezvous channel. When
+//!   every worker is busy the accept loop bounces the connection to a
+//!   dedicated rejection thread, which reads the request (so the reply is
+//!   not lost to a TCP reset) and answers with the typed
+//!   [`Response::Busy`] carrying a retry hint. Nothing queues invisibly.
+//! * **Deadlines** — the request frame must arrive within
+//!   [`NetServerConfig::handshake_timeout`]. Streamed replies send
+//!   [`WireFrame::Keepalive`] during quiet stretches; a stream quiet for
+//!   [`NetServerConfig::request_timeout`] is cancelled with the typed
+//!   [`Response::TimedOut`] and its producer is torn down.
+//! * **Disconnect propagation** — any write failure drops the frame
+//!   receiver immediately, so the server-side relay and the engine
+//!   observe the disconnect and stop doing work.
+//! * **Graceful drain** — [`NetServer::shutdown`] stops the accept loop;
+//!   [`NetServer::drain`] then waits for in-flight connections to finish
+//!   up to a drain deadline.
+//!
+//! Everything is accounted in the server's [`Metrics`](crate::obs::Metrics)
+//! registry: connection counters, per-endpoint rejection counts, timeout
+//! and disconnect counters.
 
-use crate::protocol::{Reply, Request, Response, WireFrame};
+use crate::connection::{classify, ConnOptions, Connection, ConnectionError};
+use crate::protocol::{Reply, Request, RequestEnvelope, Response, WireFrame};
 use crate::server::LaminarServer;
+use crate::transport::DeliveryMode;
 use bytes::{Buf, BufMut, BytesMut};
-use crossbeam_channel::unbounded;
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, TrySendError};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Maximum accepted message size (16 MiB — resources travel inline).
-const MAX_FRAME: usize = 16 * 1024 * 1024;
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Serving-path tunables.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Size of the bounded worker pool — the hard cap on concurrently
+    /// served connections. Excess connections get a typed `Busy` reply.
+    pub max_connections: usize,
+    /// A streamed reply quiet for this long is cancelled with the typed
+    /// `TimedOut` reply.
+    pub request_timeout: Duration,
+    /// Interval between keepalive frames on a quiet stream.
+    pub keepalive_interval: Duration,
+    /// How long `graceful_shutdown` waits for in-flight connections.
+    pub drain_timeout: Duration,
+    /// How long a freshly accepted connection may take to deliver its
+    /// request frame.
+    pub handshake_timeout: Duration,
+    /// Retry hint carried in `Busy` rejections.
+    pub retry_after_hint: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_connections: 32,
+            request_timeout: Duration::from_secs(30),
+            keepalive_interval: Duration::from_secs(1),
+            drain_timeout: Duration::from_secs(5),
+            handshake_timeout: Duration::from_secs(2),
+            retry_after_hint: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Why a frame read failed (drives the typed error replies).
+#[derive(Debug)]
+enum ReadError {
+    Io(std::io::Error),
+    /// Length prefix exceeded [`MAX_FRAME`].
+    TooLarge(usize),
+    /// The payload was not valid JSON for the expected type.
+    Malformed(String),
+}
 
 /// Write one length-prefixed JSON message.
 fn write_msg<T: serde::Serialize>(stream: &mut TcpStream, msg: &T) -> std::io::Result<()> {
@@ -41,63 +110,158 @@ fn write_sentinel(stream: &mut TcpStream) -> std::io::Result<()> {
 }
 
 /// Read one length-prefixed message; `Ok(None)` on the sentinel.
-fn read_msg<T: serde::de::DeserializeOwned>(stream: &mut TcpStream) -> std::io::Result<Option<T>> {
+fn read_frame<T: serde::de::DeserializeOwned>(
+    stream: &mut TcpStream,
+) -> Result<Option<T>, ReadError> {
     let mut len_buf = [0u8; 4];
-    stream.read_exact(&mut len_buf)?;
+    stream.read_exact(&mut len_buf).map_err(ReadError::Io)?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len == 0 {
         return Ok(None);
     }
     if len > MAX_FRAME {
-        return Err(std::io::Error::other(format!("frame too large: {len}")));
+        return Err(ReadError::TooLarge(len));
     }
     let mut buf = BytesMut::zeroed(len);
-    stream.read_exact(&mut buf)?;
-    let value = serde_json::from_slice(buf.chunk()).map_err(std::io::Error::other)?;
+    stream.read_exact(&mut buf).map_err(ReadError::Io)?;
+    let value =
+        serde_json::from_slice(buf.chunk()).map_err(|e| ReadError::Malformed(e.to_string()))?;
     Ok(Some(value))
 }
 
-/// A running TCP server. Dropping the handle (or calling
-/// [`NetServer::shutdown`]) stops the accept loop.
+/// A running TCP server with a bounded worker pool. Dropping the handle
+/// (or calling [`NetServer::shutdown`]) stops the accept loop; call
+/// [`NetServer::drain`] afterwards to wait for in-flight connections.
 pub struct NetServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    config: NetServerConfig,
 }
 
 impl NetServer {
-    /// Bind and serve `server` on `addr` (use port 0 for an ephemeral
-    /// port; the bound address is available via [`NetServer::addr`]).
+    /// Bind and serve `server` on `addr` with the default config (use
+    /// port 0 for an ephemeral port; the bound address is available via
+    /// [`NetServer::addr`]).
     pub fn bind(addr: &str, server: Arc<LaminarServer>) -> std::io::Result<NetServer> {
+        NetServer::bind_with(addr, server, NetServerConfig::default())
+    }
+
+    /// Bind and serve with an explicit [`NetServerConfig`].
+    pub fn bind_with(
+        addr: &str,
+        server: Arc<LaminarServer>,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let bound = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+
+        // Rendezvous channel: a handoff succeeds only when a worker is
+        // actually free, so `try_send` failing *is* the saturation signal.
+        let (work_tx, work_rx) = bounded::<TcpStream>(0);
+        // Rejections are served off the accept thread by one bouncer;
+        // its small buffer bounds the bounce backlog too.
+        let (busy_tx, busy_rx) = bounded::<TcpStream>(64);
+
+        for _ in 0..config.max_connections.max(1) {
+            let work_rx: Receiver<TcpStream> = work_rx.clone();
+            let server = server.clone();
+            let config = config.clone();
+            let active = active.clone();
+            std::thread::spawn(move || {
+                while let Ok(stream) = work_rx.recv() {
+                    active.fetch_add(1, Ordering::SeqCst);
+                    server.metrics().connections_active.inc();
+                    let _ = handle_connection(stream, &server, &config);
+                    server.metrics().connections_active.dec();
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+            });
+        }
+
+        {
+            let server = server.clone();
+            let config = config.clone();
+            std::thread::spawn(move || {
+                for stream in busy_rx.iter() {
+                    reject_busy(stream, &server, &config);
+                }
+            });
+        }
+
         let stop2 = stop.clone();
         listener.set_nonblocking(true)?;
         std::thread::spawn(move || {
             while !stop2.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let server = server.clone();
-                        std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &server);
-                        });
+                        server.metrics().connections_accepted.inc();
+                        match work_tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(stream)) => {
+                                server.metrics().connections_rejected.inc();
+                                // Bounce; if even the bouncer is backed
+                                // up, drop the connection outright.
+                                let _ = busy_tx.try_send(stream);
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        std::thread::sleep(Duration::from_millis(2));
                     }
                     Err(_) => break,
                 }
             }
+            // Dropping work_tx/busy_tx here lets idle workers and the
+            // bouncer exit once their current connection finishes.
         });
-        Ok(NetServer { addr: bound, stop })
+        Ok(NetServer {
+            addr: bound,
+            stop,
+            active,
+            config,
+        })
     }
 
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
+    pub fn config(&self) -> &NetServerConfig {
+        &self.config
+    }
+
+    /// Number of connections currently being served.
+    pub fn in_flight(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting new connections (non-blocking; in-flight
+    /// connections keep running).
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for in-flight connections to finish, up to `timeout`.
+    /// Returns `true` if the server fully drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.active.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Stop accepting, then drain up to the configured drain deadline.
+    pub fn graceful_shutdown(&self) -> bool {
+        self.shutdown();
+        self.drain(self.config.drain_timeout)
     }
 }
 
@@ -107,24 +271,97 @@ impl Drop for NetServer {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, server: &LaminarServer) -> std::io::Result<()> {
+/// Serve one bounced connection: read its request (so closing the socket
+/// does not reset away the reply), account the rejection, answer `Busy`.
+fn reject_busy(mut stream: TcpStream, server: &LaminarServer, config: &NetServerConfig) {
     stream.set_nodelay(true).ok();
-    // One request per connection (HTTP-like).
-    let Some(request): Option<Request> = read_msg(&mut stream)? else {
-        return Ok(());
+    stream
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .ok();
+    if let Ok(Some(env)) = read_frame::<RequestEnvelope>(&mut stream) {
+        let ep = server.metrics().endpoint(env.body.endpoint());
+        ep.requests.inc();
+        ep.rejections.inc();
+    }
+    let busy = WireFrame::Value(Response::Busy {
+        retry_after_ms: config.retry_after_hint.as_millis() as u64,
+    });
+    let _ = write_msg(&mut stream, &busy);
+    let _ = write_sentinel(&mut stream);
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    server: &LaminarServer,
+    config: &NetServerConfig,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // One request per connection (HTTP-like); it must arrive promptly.
+    stream.set_read_timeout(Some(config.handshake_timeout)).ok();
+    let env: RequestEnvelope = match read_frame(&mut stream) {
+        Ok(Some(env)) => env,
+        Ok(None) => return Ok(()),
+        Err(ReadError::TooLarge(len)) => {
+            let err = WireFrame::Value(Response::Error(format!(
+                "frame too large: {len} bytes (max {MAX_FRAME})"
+            )));
+            write_msg(&mut stream, &err)?;
+            return write_sentinel(&mut stream);
+        }
+        Err(ReadError::Malformed(m)) => {
+            let err = WireFrame::Value(Response::Error(format!("malformed request: {m}")));
+            write_msg(&mut stream, &err)?;
+            return write_sentinel(&mut stream);
+        }
+        Err(ReadError::Io(_)) => return Ok(()),
     };
-    match server.handle(request) {
+    stream.set_read_timeout(None).ok();
+
+    let (id, reply) = server.handle_envelope(env);
+    match reply {
         Reply::Value(v) => {
             write_msg(&mut stream, &WireFrame::Value(v))?;
             write_sentinel(&mut stream)
         }
         Reply::Stream(rx) => {
-            for frame in rx.iter() {
-                let done = matches!(frame, WireFrame::End { .. })
-                    || matches!(frame, WireFrame::Value(Response::Error(_)));
-                write_msg(&mut stream, &frame)?;
-                if done {
-                    break;
+            let mut quiet = Duration::ZERO;
+            loop {
+                match rx.recv_timeout(config.keepalive_interval) {
+                    Ok(frame) => {
+                        quiet = Duration::ZERO;
+                        let done = matches!(
+                            frame,
+                            WireFrame::End { .. } | WireFrame::Value(Response::Error(_))
+                        );
+                        if write_msg(&mut stream, &frame).is_err() {
+                            // Client hung up: dropping `rx` propagates the
+                            // disconnect to the relay and the engine.
+                            server.metrics().disconnects.inc();
+                            return Ok(());
+                        }
+                        if done {
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        quiet += config.keepalive_interval;
+                        if quiet >= config.request_timeout {
+                            // Stalled stream: cancel it. Dropping `rx`
+                            // tears down the producer.
+                            server.metrics().timeouts.inc();
+                            let cancel = WireFrame::Value(Response::TimedOut { request_id: id.0 });
+                            let _ = write_msg(&mut stream, &cancel);
+                            break;
+                        }
+                        let beat = WireFrame::Keepalive { request_id: id.0 };
+                        if write_msg(&mut stream, &beat).is_err() {
+                            server.metrics().disconnects.inc();
+                            return Ok(());
+                        }
+                    }
+                    // Producer vanished without a terminal frame; end the
+                    // response so the client is not left hanging.
+                    Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
             write_sentinel(&mut stream)
@@ -132,68 +369,141 @@ fn handle_connection(mut stream: TcpStream, server: &LaminarServer) -> std::io::
     }
 }
 
-/// Client-side TCP transport: one connection per request, frames streamed
-/// as the server flushes them.
+/// Client-side TCP [`Connection`]: one socket per request, frames
+/// delivered per the connection's [`ConnOptions`].
 #[derive(Clone)]
 pub struct NetClientTransport {
     addr: SocketAddr,
+    opts: ConnOptions,
 }
 
 impl NetClientTransport {
     pub fn new(addr: SocketAddr) -> Self {
-        NetClientTransport { addr }
+        NetClientTransport {
+            addr,
+            opts: ConnOptions::default(),
+        }
     }
 
-    /// Send a request and return the reply. A single `Value` frame becomes
-    /// `Reply::Value`; anything else becomes a frame stream fed by a
-    /// reader thread.
-    pub fn send(&self, req: Request) -> std::io::Result<Reply> {
-        let mut stream = TcpStream::connect(self.addr)?;
+    pub fn with_options(mut self, opts: ConnOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Send a request and classify the reply. A reply opening with
+    /// [`WireFrame::Begin`] (or any non-`Value` frame, for version-1
+    /// servers) becomes a frame stream; a single `Value` frame becomes
+    /// `Reply::Value`.
+    pub fn send(&self, req: Request) -> Result<Reply, ConnectionError> {
+        let mut stream = TcpStream::connect(self.addr)
+            .map_err(|e| ConnectionError::Unavailable(e.to_string()))?;
         stream.set_nodelay(true).ok();
-        write_msg(&mut stream, &req)?;
+        // The server's keepalives arrive at least every
+        // keepalive_interval, so a read timeout a bit beyond the request
+        // deadline means the server is stalled or gone.
+        stream
+            .set_read_timeout(Some(self.opts.request_timeout + Duration::from_secs(5)))
+            .ok();
+        let env = RequestEnvelope::versioned(req, self.opts.protocol_version);
+        write_msg(&mut stream, &env)
+            .map_err(|e| ConnectionError::Unavailable(format!("send failed: {e}")))?;
 
         // Read the first frame synchronously to classify the reply.
-        let first: Option<WireFrame> = read_msg(&mut stream)?;
+        let first: Option<WireFrame> = read_frame(&mut stream).map_err(first_read_error)?;
         match first {
             None => Ok(Reply::Value(Response::Error("empty reply".into()))),
             Some(WireFrame::Value(v)) => {
                 // Synchronous response; consume the sentinel.
-                let _: Option<WireFrame> = read_msg(&mut stream).unwrap_or(None);
+                let _: Result<Option<WireFrame>, _> = read_frame(&mut stream);
                 Ok(Reply::Value(v))
             }
-            Some(frame) => {
-                let (tx, rx) = unbounded::<WireFrame>();
-                let _ = tx.send(frame);
-                std::thread::spawn(move || {
-                    while let Ok(Some(f)) = read_msg::<WireFrame>(&mut stream) {
-                        if tx.send(f).is_err() {
-                            break;
-                        }
+            Some(frame) => Ok(Reply::Stream(self.deliver(stream, frame))),
+        }
+    }
+
+    /// Feed the remaining frames of a streamed reply through a channel,
+    /// honouring the configured delivery mode and frame latency.
+    fn deliver(
+        &self,
+        mut stream: TcpStream,
+        first: WireFrame,
+    ) -> crossbeam_channel::Receiver<WireFrame> {
+        let (tx, rx) = unbounded::<WireFrame>();
+        let mode = self.opts.delivery;
+        let latency = self.opts.frame_latency;
+        std::thread::spawn(move || match mode {
+            DeliveryMode::Streaming => {
+                if !latency.is_zero() {
+                    std::thread::sleep(latency);
+                }
+                if tx.send(first).is_err() {
+                    return;
+                }
+                while let Ok(Some(f)) = read_frame::<WireFrame>(&mut stream) {
+                    if !latency.is_zero() {
+                        std::thread::sleep(latency);
                     }
-                });
-                Ok(Reply::Stream(rx))
+                    if tx.send(f).is_err() {
+                        // Receiver gone; dropping `stream` closes the
+                        // socket so the server observes the disconnect.
+                        break;
+                    }
+                }
             }
-        }
+            DeliveryMode::Batch => {
+                let mut held = vec![first];
+                while let Ok(Some(f)) = read_frame::<WireFrame>(&mut stream) {
+                    held.push(f);
+                }
+                if !latency.is_zero() {
+                    std::thread::sleep(latency);
+                }
+                for f in held {
+                    if tx.send(f).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        rx
     }
 }
 
-/// Transport abstraction shared by the in-process and TCP clients.
-pub trait RequestTransport: Send + Sync {
-    fn send_request(&self, req: Request) -> Reply;
-}
-
-impl RequestTransport for crate::transport::Transport {
-    fn send_request(&self, req: Request) -> Reply {
-        self.send(req)
+/// Map a failure reading the *first* reply frame onto the retry taxonomy:
+/// before any frame arrives the request provably produced no output for
+/// us, and an EOF there means the server never started the reply.
+fn first_read_error(e: ReadError) -> ConnectionError {
+    match e {
+        ReadError::Io(io)
+            if io.kind() == std::io::ErrorKind::WouldBlock
+                || io.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            ConnectionError::TimedOut { request_id: 0 }
+        }
+        ReadError::Io(io) if io.kind() == std::io::ErrorKind::UnexpectedEof => {
+            ConnectionError::Unavailable("connection closed before reply".into())
+        }
+        ReadError::Io(io) => ConnectionError::Protocol(format!("read failed: {io}")),
+        ReadError::TooLarge(n) => ConnectionError::Protocol(format!("oversized frame: {n} bytes")),
+        ReadError::Malformed(m) => ConnectionError::Protocol(format!("malformed frame: {m}")),
     }
 }
 
-impl RequestTransport for NetClientTransport {
-    fn send_request(&self, req: Request) -> Reply {
-        match self.send(req) {
-            Ok(reply) => reply,
-            Err(e) => Reply::Value(Response::Error(format!("transport error: {e}"))),
-        }
+impl Connection for NetClientTransport {
+    fn call(&self, req: Request) -> Result<Reply, ConnectionError> {
+        classify(self.send(req)?)
+    }
+
+    fn options(&self) -> ConnOptions {
+        self.opts
+    }
+
+    fn set_options(&mut self, opts: ConnOptions) {
+        self.opts = opts;
+    }
+
+    fn endpoint(&self) -> String {
+        format!("tcp://{}", self.addr)
     }
 }
 
@@ -220,13 +530,15 @@ mod tests {
     fn sync_request_over_tcp() {
         let (_srv, client) = serve();
         let token = token_of(
-            client.send_request(Request::RegisterUser {
-                username: "tcp".into(),
-                password: "pw".into(),
-            }),
+            client
+                .call(Request::RegisterUser {
+                    username: "tcp".into(),
+                    password: "pw".into(),
+                })
+                .unwrap(),
         );
         assert!(token > 0);
-        let reply = client.send_request(Request::GetRegistry { token });
+        let reply = client.call(Request::GetRegistry { token }).unwrap();
         match reply.value() {
             Response::Registry { pes, workflows } => {
                 assert!(pes.is_empty());
@@ -239,19 +551,23 @@ mod tests {
     #[test]
     fn auth_error_over_tcp() {
         let (_srv, client) = serve();
-        let reply = client.send_request(Request::GetRegistry { token: 42 });
+        let reply = client.call(Request::GetRegistry { token: 42 }).unwrap();
         assert!(matches!(reply.value(), Response::Error(_)));
     }
 
     #[test]
     fn streaming_run_over_tcp() {
         let (_srv, client) = serve();
-        let token = token_of(client.send_request(Request::RegisterUser {
-            username: "tcp".into(),
-            password: "pw".into(),
-        }));
+        let token = token_of(
+            client
+                .call(Request::RegisterUser {
+                    username: "tcp".into(),
+                    password: "pw".into(),
+                })
+                .unwrap(),
+        );
         client
-            .send_request(Request::RegisterWorkflow {
+            .call(Request::RegisterWorkflow {
                 token,
                 name: "isprime_wf".into(),
                 code: String::new(),
@@ -262,16 +578,19 @@ mod tests {
                     description: None,
                 }],
             })
+            .unwrap()
             .value();
-        let reply = client.send_request(Request::Run {
-            token,
-            ident: Ident::Name("isprime_wf".into()),
-            input: RunInputWire::Iterations(15),
-            mode: RunMode::Multiprocess { processes: 9 },
-            streaming: true,
-            verbose: true,
-            resources: vec![],
-        });
+        let reply = client
+            .call(Request::Run {
+                token,
+                ident: Ident::Name("isprime_wf".into()),
+                input: RunInputWire::Iterations(15),
+                mode: RunMode::Multiprocess { processes: 9 },
+                streaming: true,
+                verbose: true,
+                resources: vec![],
+            })
+            .unwrap();
         let (lines, _infos, summaries, ok) = reply.drain();
         assert!(ok);
         assert!(!lines.is_empty());
@@ -284,27 +603,33 @@ mod tests {
     #[test]
     fn concurrent_tcp_clients() {
         let (_srv, client) = serve();
-        let token = token_of(client.send_request(Request::RegisterUser {
-            username: "tcp".into(),
-            password: "pw".into(),
-        }));
+        let token = token_of(
+            client
+                .call(Request::RegisterUser {
+                    username: "tcp".into(),
+                    password: "pw".into(),
+                })
+                .unwrap(),
+        );
         std::thread::scope(|s| {
             for i in 0..8 {
                 let client = client.clone();
                 s.spawn(move || {
-                    let reply = client.send_request(Request::RegisterPe {
-                        token,
-                        pe: PeSubmission {
-                            name: format!("PE{i}"),
-                            code: format!("class PE{i}(IterativePE):\n    def _process(self, x):\n        return x + {i}\n"),
-                            description: None,
-                        },
-                    });
+                    let reply = client
+                        .call(Request::RegisterPe {
+                            token,
+                            pe: PeSubmission {
+                                name: format!("PE{i}"),
+                                code: format!("class PE{i}(IterativePE):\n    def _process(self, x):\n        return x + {i}\n"),
+                                description: None,
+                            },
+                        })
+                        .unwrap();
                     assert!(matches!(reply.value(), Response::Registered { .. }));
                 });
             }
         });
-        let reply = client.send_request(Request::GetRegistry { token });
+        let reply = client.call(Request::GetRegistry { token }).unwrap();
         match reply.value() {
             Response::Registry { pes, .. } => assert_eq!(pes.len(), 8),
             other => panic!("{other:?}"),
@@ -314,30 +639,125 @@ mod tests {
     #[test]
     fn large_payload_roundtrip() {
         let (_srv, client) = serve();
-        let token = token_of(client.send_request(Request::RegisterUser {
-            username: "tcp".into(),
-            password: "pw".into(),
-        }));
+        let token = token_of(
+            client
+                .call(Request::RegisterUser {
+                    username: "tcp".into(),
+                    password: "pw".into(),
+                })
+                .unwrap(),
+        );
         // A 1 MiB resource travels fine under the 16 MiB cap.
         let bytes = vec![7u8; 1024 * 1024];
-        let reply = client.send_request(Request::UploadResource {
-            token,
-            name: "big.bin".into(),
-            bytes,
-        });
+        let reply = client
+            .call(Request::UploadResource {
+                token,
+                name: "big.bin".into(),
+                bytes,
+            })
+            .unwrap();
         assert!(matches!(reply.value(), Response::ResourceStored { .. }));
     }
 
     #[test]
     fn shutdown_stops_accepting() {
         let (srv, client) = serve();
-        srv.shutdown();
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        // Either refused or reset — but never a hang.
-        let result = client.send(Request::Login {
+        assert!(srv.graceful_shutdown(), "no in-flight work to drain");
+        std::thread::sleep(Duration::from_millis(20));
+        // Either refused (typed Unavailable) or an error reply — never a
+        // hang.
+        let result = client.call(Request::Login {
             username: "x".into(),
             password: "y".into(),
         });
-        let _ = result; // both Ok(Error-reply) and Err are acceptable here
+        match result {
+            Err(ConnectionError::Unavailable(_)) | Err(ConnectionError::Protocol(_)) => {}
+            Ok(reply) => {
+                let _ = reply.value();
+            }
+            Err(other) => panic!("unexpected error kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_frame_gets_typed_error() {
+        let (_srv, client) = serve();
+        // Hand-roll a connection that claims a 32 MiB frame.
+        let mut stream = TcpStream::connect(client.addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        stream
+            .write_all(&((32 * 1024 * 1024) as u32).to_be_bytes())
+            .unwrap();
+        stream.flush().unwrap();
+        let frame: Option<WireFrame> = read_frame(&mut stream).unwrap();
+        match frame {
+            Some(WireFrame::Value(Response::Error(e))) => {
+                assert!(e.contains("frame too large"), "{e}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_gets_typed_error() {
+        let (_srv, client) = serve();
+        let mut stream = TcpStream::connect(client.addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let garbage = b"this is not json";
+        stream
+            .write_all(&(garbage.len() as u32).to_be_bytes())
+            .unwrap();
+        stream.write_all(garbage).unwrap();
+        stream.flush().unwrap();
+        let frame: Option<WireFrame> = read_frame(&mut stream).unwrap();
+        match frame {
+            Some(WireFrame::Value(Response::Error(e))) => {
+                assert!(e.contains("malformed request"), "{e}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_one_payload_still_served() {
+        // A pre-versioning client: bare Request JSON, no envelope field.
+        let (_srv, client) = serve();
+        let mut stream = TcpStream::connect(client.addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let raw = serde_json::to_vec(&Request::Login {
+            username: "ghost".into(),
+            password: "pw".into(),
+        })
+        .unwrap();
+        stream.write_all(&(raw.len() as u32).to_be_bytes()).unwrap();
+        stream.write_all(&raw).unwrap();
+        stream.flush().unwrap();
+        let frame: Option<WireFrame> = read_frame(&mut stream).unwrap();
+        // Unknown user → a served (not protocol-level) error reply.
+        match frame {
+            Some(WireFrame::Value(Response::Error(_))) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_gets_typed_unsupported_over_tcp() {
+        let (_srv, client) = serve();
+        let mut opts = client.options();
+        opts.protocol_version = 99;
+        let client = client.clone().with_options(opts);
+        let err = client
+            .call(Request::Login {
+                username: "x".into(),
+                password: "y".into(),
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConnectionError::UnsupportedVersion {
+                client_version: 99,
+                ..
+            }
+        ));
     }
 }

@@ -1,0 +1,417 @@
+//! `laminar-obs` — the serving-path observability layer.
+//!
+//! Every request that enters [`LaminarServer::handle_envelope`]
+//! (in-process or TCP) is minted a [`RequestId`] at ingress and accounted
+//! against its endpoint's [`EndpointMetrics`]: a request counter, an error
+//! counter, a rejection counter, an in-flight gauge, and a fixed-bucket
+//! latency histogram. The whole layer is lock-free on the hot path —
+//! plain relaxed atomics — so instrumentation never contends with the
+//! requests it measures; the only lock is a read-mostly registry of
+//! endpoint names, taken once per request.
+//!
+//! A [`MetricsSnapshot`] of everything is serialisable (it travels over
+//! the `metrics` protocol endpoint) and renders as the table the
+//! `laminar metrics` CLI verb prints.
+//!
+//! [`LaminarServer::handle_envelope`]: crate::server::LaminarServer::handle_envelope
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-request identifier, minted once at ingress and threaded through
+/// the reply's [`WireFrame::Begin`] / [`WireFrame::Keepalive`] frames so
+/// client- and server-side observations of one request can be joined.
+///
+/// [`WireFrame::Begin`]: crate::protocol::WireFrame::Begin
+/// [`WireFrame::Keepalive`]: crate::protocol::WireFrame::Keepalive
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+impl RequestId {
+    /// Mint the next process-wide request id.
+    pub fn mint() -> RequestId {
+        RequestId(NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Up/down gauge (in-flight requests, active connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (µs) of the latency histogram buckets; one implicit
+/// overflow bucket follows the last bound. Log-spaced from 50 µs to 5 s,
+/// which brackets everything from an index lookup to a long streamed run.
+pub const BUCKET_BOUNDS_US: [u64; 16] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+];
+
+const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
+
+/// Fixed-bucket latency histogram. Recording is one relaxed atomic
+/// increment; quantiles are estimated from the bucket counts at snapshot
+/// time (reported as the upper bound of the bucket containing the
+/// quantile — a conservative estimate).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimated quantile in µs (`q` in `0.0..=1.0`).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        quantile_from_buckets(&counts, q)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            p50_us: quantile_from_buckets(&counts, 0.50),
+            p95_us: quantile_from_buckets(&counts, 0.95),
+            p99_us: quantile_from_buckets(&counts, 0.99),
+            buckets: BUCKET_BOUNDS_US
+                .iter()
+                .copied()
+                .chain(std::iter::once(u64::MAX))
+                .zip(counts)
+                .collect(),
+        }
+    }
+}
+
+fn quantile_from_buckets(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return BUCKET_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX);
+        }
+    }
+    u64::MAX
+}
+
+/// Per-endpoint counters + latency histogram.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    pub requests: Counter,
+    pub errors: Counter,
+    pub rejections: Counter,
+    pub in_flight: Gauge,
+    pub latency: Histogram,
+}
+
+/// The server's metric registry: one [`EndpointMetrics`] per protocol
+/// endpoint plus connection-level counters fed by the TCP layer.
+pub struct Metrics {
+    started: Instant,
+    endpoints: RwLock<HashMap<&'static str, Arc<EndpointMetrics>>>,
+    pub connections_accepted: Counter,
+    pub connections_rejected: Counter,
+    pub connections_active: Gauge,
+    pub timeouts: Counter,
+    pub disconnects: Counter,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            endpoints: RwLock::new(HashMap::new()),
+            connections_accepted: Counter::default(),
+            connections_rejected: Counter::default(),
+            connections_active: Gauge::default(),
+            timeouts: Counter::default(),
+            disconnects: Counter::default(),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The metrics handle for one endpoint, created on first use.
+    pub fn endpoint(&self, name: &'static str) -> Arc<EndpointMetrics> {
+        if let Some(m) = self.endpoints.read().get(name) {
+            return m.clone();
+        }
+        self.endpoints
+            .write()
+            .entry(name)
+            .or_insert_with(|| Arc::new(EndpointMetrics::default()))
+            .clone()
+    }
+
+    /// Point-in-time snapshot of every counter, gauge and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut endpoints: Vec<EndpointSnapshot> = self
+            .endpoints
+            .read()
+            .iter()
+            .map(|(name, m)| EndpointSnapshot {
+                endpoint: (*name).to_string(),
+                requests: m.requests.get(),
+                errors: m.errors.get(),
+                rejections: m.rejections.get(),
+                in_flight: m.in_flight.get(),
+                latency: m.latency.snapshot(),
+            })
+            .collect();
+        endpoints.sort_by(|a, b| a.endpoint.cmp(&b.endpoint));
+        MetricsSnapshot {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            connections_accepted: self.connections_accepted.get(),
+            connections_rejected: self.connections_rejected.get(),
+            connections_active: self.connections_active.get(),
+            timeouts: self.timeouts.get(),
+            disconnects: self.disconnects.get(),
+            endpoints,
+        }
+    }
+}
+
+/// Snapshot of one histogram (serialisable).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    /// `(bucket upper bound in µs, count)`; the final bound is `u64::MAX`
+    /// (the overflow bucket).
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Snapshot of one endpoint's metrics (serialisable).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EndpointSnapshot {
+    pub endpoint: String,
+    pub requests: u64,
+    pub errors: u64,
+    pub rejections: u64,
+    pub in_flight: i64,
+    pub latency: HistogramSnapshot,
+}
+
+/// The full snapshot answered by the `metrics` protocol endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub uptime_ms: u64,
+    pub connections_accepted: u64,
+    pub connections_rejected: u64,
+    pub connections_active: i64,
+    pub timeouts: u64,
+    pub disconnects: u64,
+    pub endpoints: Vec<EndpointSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot as the table `laminar metrics` prints.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "server uptime: {} ms", self.uptime_ms);
+        let _ = writeln!(
+            out,
+            "connections: accepted {}  rejected {}  active {}  timeouts {}  disconnects {}",
+            self.connections_accepted,
+            self.connections_rejected,
+            self.connections_active,
+            self.timeouts,
+            self.disconnects
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "endpoint", "requests", "errors", "rejected", "in_flight", "p50_us", "p95_us", "p99_us"
+        );
+        for e in &self.endpoints {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                e.endpoint,
+                e.requests,
+                e.errors,
+                e.rejections,
+                e.in_flight,
+                e.latency.p50_us,
+                e.latency.p95_us,
+                e.latency.p99_us
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_unique_and_increasing() {
+        let a = RequestId::mint();
+        let b = RequestId::mint();
+        assert!(b.0 > a.0);
+        assert_eq!(format!("{a}"), format!("req-{}", a.0));
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(80)); // bucket bound 100
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(40)); // bucket bound 50_000
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 100);
+        assert_eq!(h.quantile_us(0.95), 50_000);
+        assert_eq!(h.quantile_us(0.99), 50_000);
+        // An absurdly large value lands in the overflow bucket.
+        h.record(Duration::from_secs(3600));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 101);
+        assert_eq!(snap.buckets.last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrips_and_renders() {
+        let m = Metrics::new();
+        let e = m.endpoint("Run");
+        e.requests.inc();
+        e.in_flight.inc();
+        e.latency.record(Duration::from_millis(3));
+        m.connections_accepted.inc();
+        m.connections_rejected.inc();
+        let snap = m.snapshot();
+        assert_eq!(snap.connections_rejected, 1);
+        assert_eq!(snap.endpoints.len(), 1);
+        assert_eq!(snap.endpoints[0].endpoint, "Run");
+        assert_eq!(snap.endpoints[0].requests, 1);
+        assert_eq!(snap.endpoints[0].in_flight, 1);
+        assert!(snap.endpoints[0].latency.p50_us > 0);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let table = snap.render();
+        assert!(table.contains("Run"), "{table}");
+        assert!(table.contains("rejected 1"), "{table}");
+    }
+
+    #[test]
+    fn endpoint_handles_are_shared() {
+        let m = Metrics::new();
+        m.endpoint("GetRegistry").requests.inc();
+        m.endpoint("GetRegistry").requests.inc();
+        assert_eq!(m.endpoint("GetRegistry").requests.get(), 2);
+    }
+}

@@ -4,9 +4,45 @@
 //! of Table I, plus the streamed frame type used by run responses. A real
 //! HTTP layer would put `Request` in the body and stream `WireFrame`s; the
 //! in-process and TCP transports do exactly that minus the HTTP headers.
+//!
+//! # Wire format
+//!
+//! Every message on the TCP transport is **length-prefixed JSON**: a
+//! `u32` big-endian byte length followed by that many bytes of JSON.
+//! A zero length is the **sentinel** marking end-of-response; it carries
+//! no payload. Messages longer than `MAX_FRAME` (16 MiB) are rejected
+//! with a typed `Response::Error` before the payload is read.
+//!
+//! The client sends one [`RequestEnvelope`] per connection; the server
+//! answers with a sequence of [`WireFrame`]s terminated by the sentinel.
+//! Synchronous replies are a single [`WireFrame::Value`]; streamed
+//! replies open with [`WireFrame::Begin`] (carrying the request id minted
+//! at ingress), interleave payload frames with [`WireFrame::Keepalive`]s
+//! during quiet periods, and end with [`WireFrame::End`] (or a terminal
+//! [`WireFrame::Value`] holding an error).
+//!
+//! # Version rules
+//!
+//! [`RequestEnvelope::protocol_version`] is serde-defaulted to `1`, so a
+//! pre-versioning payload (a bare [`Request`] object) still parses — the
+//! envelope's fields are flattened alongside the request's own tag. The
+//! server accepts any version `<=` [`PROTOCOL_VERSION`] and answers a
+//! newer one with the typed [`Response::Unsupported`] instead of an
+//! opaque serde failure. Version history:
+//!
+//! * `1` — the original unversioned protocol (implicit).
+//! * `2` — adds `Begin`/`Keepalive` frames, typed `Busy`/`TimedOut`/
+//!   `Unsupported` rejections and the `Metrics` endpoint. All additions
+//!   are backwards-compatible for version-1 readers that ignore unknown
+//!   frames.
 
+use crate::obs::MetricsSnapshot;
 use d4py::Data;
 use serde::{Deserialize, Serialize};
+
+/// The protocol version this build speaks (see the module doc's version
+/// rules).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Session token handed out by register/login.
 pub type Token = u64;
@@ -96,8 +132,14 @@ pub struct ResourceRefWire {
 /// (plus resource upload, which Table I folds into `run`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
-    RegisterUser { username: String, password: String },
-    Login { username: String, password: String },
+    RegisterUser {
+        username: String,
+        password: String,
+    },
+    Login {
+        username: String,
+        password: String,
+    },
     RegisterPe {
         token: Token,
         pe: PeSubmission,
@@ -109,18 +151,57 @@ pub enum Request {
         description: Option<String>,
         pes: Vec<PeSubmission>,
     },
-    GetPe { token: Token, ident: Ident },
-    GetWorkflow { token: Token, ident: Ident },
-    GetPesByWorkflow { token: Token, ident: Ident },
-    GetRegistry { token: Token },
-    Describe { token: Token, scope: SearchScope, ident: Ident },
-    UpdatePeDescription { token: Token, ident: Ident, description: String },
-    UpdateWorkflowDescription { token: Token, ident: Ident, description: String },
-    RemovePe { token: Token, ident: Ident },
-    RemoveWorkflow { token: Token, ident: Ident },
-    RemoveAll { token: Token },
-    SearchLiteral { token: Token, scope: SearchScope, term: String },
-    SearchSemantic { token: Token, scope: SearchScope, query: String },
+    GetPe {
+        token: Token,
+        ident: Ident,
+    },
+    GetWorkflow {
+        token: Token,
+        ident: Ident,
+    },
+    GetPesByWorkflow {
+        token: Token,
+        ident: Ident,
+    },
+    GetRegistry {
+        token: Token,
+    },
+    Describe {
+        token: Token,
+        scope: SearchScope,
+        ident: Ident,
+    },
+    UpdatePeDescription {
+        token: Token,
+        ident: Ident,
+        description: String,
+    },
+    UpdateWorkflowDescription {
+        token: Token,
+        ident: Ident,
+        description: String,
+    },
+    RemovePe {
+        token: Token,
+        ident: Ident,
+    },
+    RemoveWorkflow {
+        token: Token,
+        ident: Ident,
+    },
+    RemoveAll {
+        token: Token,
+    },
+    SearchLiteral {
+        token: Token,
+        scope: SearchScope,
+        term: String,
+    },
+    SearchSemantic {
+        token: Token,
+        scope: SearchScope,
+        query: String,
+    },
     CodeRecommendation {
         token: Token,
         scope: SearchScope,
@@ -129,10 +210,16 @@ pub enum Request {
     },
     /// Context-aware code completion (§III): complete a partially-typed PE
     /// from the most structurally-similar registered PE.
-    CodeCompletion { token: Token, snippet: String },
+    CodeCompletion {
+        token: Token,
+        snippet: String,
+    },
     /// Execution history of a workflow (the registry's Execution/Response
     /// tables, Table II).
-    GetExecutions { token: Token, ident: Ident },
+    GetExecutions {
+        token: Token,
+        ident: Ident,
+    },
     Run {
         token: Token,
         ident: Ident,
@@ -144,7 +231,11 @@ pub enum Request {
         resources: Vec<ResourceRefWire>,
     },
     /// Multipart resource upload (2.0 path, after a NeedResources reply).
-    UploadResource { token: Token, name: String, bytes: Vec<u8> },
+    UploadResource {
+        token: Token,
+        name: String,
+        bytes: Vec<u8>,
+    },
     /// Laminar 1.0-style run: all resources inline on every request
     /// (kept for experiment E9's baseline).
     RunWithInlineResources {
@@ -154,6 +245,80 @@ pub enum Request {
         mode: RunMode,
         resources: Vec<(String, Vec<u8>)>,
     },
+    /// Observability endpoint: a point-in-time [`MetricsSnapshot`].
+    /// Tokenless by design — it is the ops surface, not user data.
+    Metrics {},
+}
+
+impl Request {
+    /// Stable endpoint name, used as the per-endpoint metrics key and in
+    /// log lines.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::RegisterUser { .. } => "RegisterUser",
+            Request::Login { .. } => "Login",
+            Request::RegisterPe { .. } => "RegisterPe",
+            Request::RegisterWorkflow { .. } => "RegisterWorkflow",
+            Request::GetPe { .. } => "GetPe",
+            Request::GetWorkflow { .. } => "GetWorkflow",
+            Request::GetPesByWorkflow { .. } => "GetPesByWorkflow",
+            Request::GetRegistry { .. } => "GetRegistry",
+            Request::Describe { .. } => "Describe",
+            Request::UpdatePeDescription { .. } => "UpdatePeDescription",
+            Request::UpdateWorkflowDescription { .. } => "UpdateWorkflowDescription",
+            Request::RemovePe { .. } => "RemovePe",
+            Request::RemoveWorkflow { .. } => "RemoveWorkflow",
+            Request::RemoveAll { .. } => "RemoveAll",
+            Request::SearchLiteral { .. } => "SearchLiteral",
+            Request::SearchSemantic { .. } => "SearchSemantic",
+            Request::CodeRecommendation { .. } => "CodeRecommendation",
+            Request::CodeCompletion { .. } => "CodeCompletion",
+            Request::GetExecutions { .. } => "GetExecutions",
+            Request::Run { .. } => "Run",
+            Request::UploadResource { .. } => "UploadResource",
+            Request::RunWithInlineResources { .. } => "RunWithInlineResources",
+            Request::Metrics {} => "Metrics",
+        }
+    }
+}
+
+/// The versioned envelope every request travels in (see the module doc).
+/// `protocol_version` defaults to `1` so pre-versioning payloads — a bare
+/// externally-tagged [`Request`] object — still deserialise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    #[serde(default = "default_protocol_version")]
+    pub protocol_version: u16,
+    #[serde(flatten)]
+    pub body: Request,
+}
+
+fn default_protocol_version() -> u16 {
+    1
+}
+
+impl RequestEnvelope {
+    /// Wrap a request at the current [`PROTOCOL_VERSION`].
+    pub fn new(body: Request) -> Self {
+        RequestEnvelope {
+            protocol_version: PROTOCOL_VERSION,
+            body,
+        }
+    }
+
+    /// Wrap a request at an explicit version (connection-level config).
+    pub fn versioned(body: Request, protocol_version: u16) -> Self {
+        RequestEnvelope {
+            protocol_version,
+            body,
+        }
+    }
+}
+
+impl From<Request> for RequestEnvelope {
+    fn from(body: Request) -> Self {
+        RequestEnvelope::new(body)
+    }
 }
 
 /// One registry row as returned to clients.
@@ -239,9 +404,30 @@ pub enum Response {
     Executions(Vec<ExecutionInfo>),
     /// §IV-F: the server lacks these resources; upload then retry.
     NeedResources(Vec<String>),
-    ResourceStored { name: String, deduplicated: bool },
+    ResourceStored {
+        name: String,
+        deduplicated: bool,
+    },
     Ok,
     Error(String),
+    /// Typed saturation rejection: the worker pool is full. The request
+    /// was **not** dispatched, so a retry after the hint is always safe.
+    Busy {
+        retry_after_ms: u64,
+    },
+    /// Typed version-mismatch rejection (see the module doc).
+    Unsupported {
+        server_version: u16,
+        client_version: u16,
+    },
+    /// The server cancelled this request after its deadline elapsed with
+    /// no progress.
+    TimedOut {
+        request_id: u64,
+    },
+    /// Point-in-time observability snapshot (boxed: it is much larger
+    /// than the other variants).
+    Metrics(Box<MetricsSnapshot>),
 }
 
 /// One frame of a (possibly streamed) reply.
@@ -249,17 +435,25 @@ pub enum Response {
 pub enum WireFrame {
     /// Complete synchronous response.
     Value(Response),
+    /// First frame of a streamed reply, carrying the request id minted at
+    /// ingress. Lets the TCP client classify value-vs-stream replies
+    /// unambiguously and correlate frames with server-side log lines.
+    Begin { request_id: u64 },
     /// One output line of a running workflow.
     Line(String),
     /// Engine-side note (container, imports).
     Info(String),
     /// Per-rank summary (verbose runs).
     Summary(String),
+    /// Liveness beacon sent during quiet stretches of a stream so the
+    /// client's read deadline does not fire while the engine works.
+    Keepalive { request_id: u64 },
     /// Terminal frame of a run stream.
     End { ok: bool, millis: u64 },
 }
 
 /// A reply: either a single value or a frame stream.
+#[derive(Debug)]
 pub enum Reply {
     Value(Response),
     Stream(crossbeam_channel::Receiver<WireFrame>),
@@ -285,11 +479,16 @@ impl Reply {
                 let mut ok = false;
                 for f in rx.iter() {
                     match f {
+                        WireFrame::Begin { .. } | WireFrame::Keepalive { .. } => {}
                         WireFrame::Line(l) => lines.push(l),
                         WireFrame::Info(i) => infos.push(i),
                         WireFrame::Summary(s) => summaries.push(s),
                         WireFrame::Value(Response::Error(e)) => {
                             infos.push(format!("error: {e}"));
+                            break;
+                        }
+                        WireFrame::Value(Response::TimedOut { request_id }) => {
+                            infos.push(format!("error: request req-{request_id} timed out"));
                             break;
                         }
                         WireFrame::Value(_) => {}
@@ -377,8 +576,61 @@ mod tests {
 
     #[test]
     fn wireframes_serialise() {
-        let f = WireFrame::End { ok: true, millis: 12 };
+        let f = WireFrame::End {
+            ok: true,
+            millis: 12,
+        };
         let json = serde_json::to_string(&f).unwrap();
         assert_eq!(serde_json::from_str::<WireFrame>(&json).unwrap(), f);
+        let f = WireFrame::Begin { request_id: 7 };
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(serde_json::from_str::<WireFrame>(&json).unwrap(), f);
+    }
+
+    #[test]
+    fn bare_request_parses_as_version_one_envelope() {
+        // A pre-versioning client sends a bare externally-tagged Request.
+        let json = r#"{"GetRegistry":{"token":9}}"#;
+        let env: RequestEnvelope = serde_json::from_str(json).unwrap();
+        assert_eq!(env.protocol_version, 1);
+        assert_eq!(env.body, Request::GetRegistry { token: 9 });
+    }
+
+    #[test]
+    fn envelope_roundtrips_at_current_version() {
+        let env = RequestEnvelope::new(Request::Metrics {});
+        assert_eq!(env.protocol_version, PROTOCOL_VERSION);
+        let json = serde_json::to_string(&env).unwrap();
+        assert!(json.contains("protocol_version"));
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn endpoint_names_are_stable() {
+        assert_eq!(Request::Metrics {}.endpoint(), "Metrics");
+        assert_eq!(
+            Request::Login {
+                username: "u".into(),
+                password: "p".into()
+            }
+            .endpoint(),
+            "Login"
+        );
+    }
+
+    #[test]
+    fn typed_rejections_roundtrip() {
+        for resp in [
+            Response::Busy { retry_after_ms: 50 },
+            Response::Unsupported {
+                server_version: 2,
+                client_version: 9,
+            },
+            Response::TimedOut { request_id: 3 },
+        ] {
+            let json = serde_json::to_string(&resp).unwrap();
+            assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+        }
     }
 }

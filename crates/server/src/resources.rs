@@ -189,7 +189,11 @@ mod tests {
                 assert!(missing.is_empty());
             }
         }
-        assert_eq!(cache.stats().bytes_received, 10_000, "one transmission total");
+        assert_eq!(
+            cache.stats().bytes_received,
+            10_000,
+            "one transmission total"
+        );
     }
 
     #[test]

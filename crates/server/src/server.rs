@@ -2,6 +2,7 @@
 //! indexes, resource cache and execution engine (paper §III, Fig. 4).
 
 use crate::indexes::{EntryKind, SearchIndexes};
+use crate::obs::{Metrics, RequestId};
 use crate::protocol::*;
 use crate::resources::ResourceCache;
 use embed::{CodeT5Sim, DescriptionContext, ReaccSim, UniXcoderSim};
@@ -79,6 +80,7 @@ pub struct LaminarServer {
     config: ServerConfig,
     codet5: CodeT5Sim,
     unixcoder: UniXcoderSim,
+    metrics: Arc<Metrics>,
 }
 
 impl LaminarServer {
@@ -93,6 +95,7 @@ impl LaminarServer {
             config,
             codet5: CodeT5Sim::new(DescriptionContext::FullClass),
             unixcoder: UniXcoderSim::new(),
+            metrics: Arc::new(Metrics::new()),
         }
     }
 
@@ -125,6 +128,11 @@ impl LaminarServer {
         &self.config
     }
 
+    /// The serving-path metric registry (shared with the TCP layer).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
     /// Switch the description-generation context (experiment E13 compares
     /// `ProcessMethodOnly` vs `FullClass`).
     pub fn set_description_context(&mut self, ctx: DescriptionContext) {
@@ -133,11 +141,85 @@ impl LaminarServer {
 
     // ---- controller ---------------------------------------------------------
 
-    /// Dispatch one request.
+    /// Dispatch one request at the current protocol version. Convenience
+    /// wrapper over [`LaminarServer::handle_envelope`].
     pub fn handle(&self, req: Request) -> Reply {
-        match self.dispatch(req) {
+        self.handle_envelope(RequestEnvelope::new(req)).1
+    }
+
+    /// The request-lifecycle ingress: mint a [`RequestId`], enforce the
+    /// version rules, account the request against its endpoint's metrics
+    /// (request count, in-flight gauge, latency histogram, error count),
+    /// and dispatch. Streamed replies are relayed through an accounting
+    /// thread that injects the [`WireFrame::Begin`] frame and — crucially —
+    /// stops forwarding the moment the downstream receiver disconnects,
+    /// dropping the upstream channel so the engine observes the disconnect
+    /// and stops doing work.
+    pub fn handle_envelope(&self, env: RequestEnvelope) -> (RequestId, Reply) {
+        let id = RequestId::mint();
+        let ep = self.metrics.endpoint(env.body.endpoint());
+        if env.protocol_version > PROTOCOL_VERSION {
+            ep.requests.inc();
+            ep.rejections.inc();
+            return (
+                id,
+                Reply::Value(Response::Unsupported {
+                    server_version: PROTOCOL_VERSION,
+                    client_version: env.protocol_version,
+                }),
+            );
+        }
+        ep.requests.inc();
+        ep.in_flight.inc();
+        let start = std::time::Instant::now();
+        let reply = match self.dispatch(env.body) {
             Ok(reply) => reply,
             Err(e) => Reply::Value(Response::Error(e.to_string())),
+        };
+        match reply {
+            Reply::Value(v) => {
+                if matches!(v, Response::Error(_)) {
+                    ep.errors.inc();
+                }
+                ep.latency.record(start.elapsed());
+                ep.in_flight.dec();
+                (id, Reply::Value(v))
+            }
+            Reply::Stream(upstream) => {
+                let (tx, rx) = crossbeam_channel::unbounded::<WireFrame>();
+                let request_id = id.0;
+                std::thread::spawn(move || {
+                    let mut failed = false;
+                    if tx.send(WireFrame::Begin { request_id }).is_ok() {
+                        for frame in upstream.iter() {
+                            let done = matches!(
+                                frame,
+                                WireFrame::End { .. } | WireFrame::Value(Response::Error(_))
+                            );
+                            if matches!(&frame, WireFrame::Value(Response::Error(_))) {
+                                failed = true;
+                            }
+                            if tx.send(frame).is_err() {
+                                // Downstream hung up: drop `upstream` so the
+                                // producer stops, and count the abort.
+                                failed = true;
+                                break;
+                            }
+                            if done {
+                                break;
+                            }
+                        }
+                    } else {
+                        failed = true;
+                    }
+                    if failed {
+                        ep.errors.inc();
+                    }
+                    ep.latency.record(start.elapsed());
+                    ep.in_flight.dec();
+                });
+                (id, Reply::Stream(rx))
+            }
         }
     }
 
@@ -197,15 +279,14 @@ impl LaminarServer {
                 self.auth(token)?;
                 Reply::Value(Response::Registry {
                     pes: self.registry.all_pes().iter().map(pe_info).collect(),
-                    workflows: self
-                        .registry
-                        .all_workflows()
-                        .iter()
-                        .map(wf_info)
-                        .collect(),
+                    workflows: self.registry.all_workflows().iter().map(wf_info).collect(),
                 })
             }
-            Request::Describe { token, scope, ident } => {
+            Request::Describe {
+                token,
+                scope,
+                ident,
+            } => {
                 self.auth(token)?;
                 let text = match scope {
                     SearchScope::Pe => {
@@ -290,9 +371,15 @@ impl LaminarServer {
                     workflows: wfs.iter().map(wf_info).collect(),
                 })
             }
-            Request::SearchSemantic { token, scope, query } => {
+            Request::SearchSemantic {
+                token,
+                scope,
+                query,
+            } => {
                 self.auth(token)?;
-                Reply::Value(Response::SemanticResults(self.semantic_search(scope, &query)))
+                Reply::Value(Response::SemanticResults(
+                    self.semantic_search(scope, &query),
+                ))
             }
             Request::CodeRecommendation {
                 token,
@@ -372,6 +459,9 @@ impl LaminarServer {
                 // Laminar 1.0 baseline: every byte re-transmitted, batch reply.
                 self.resources.receive_inline(&resources);
                 self.run(user, ident, input, mode, false, false)?
+            }
+            Request::Metrics {} => {
+                Reply::Value(Response::Metrics(Box::new(self.metrics.snapshot())))
             }
         })
     }
@@ -647,9 +737,9 @@ impl LaminarServer {
             d4py::Mapping::Dynamic(_) => "dynamic",
         };
         let run_input: d4py::RunInput = input.clone().into();
-        let exec_id = self
-            .registry
-            .add_execution(wf.id, user, mapping_name, &format!("{input:?}"))?;
+        let exec_id =
+            self.registry
+                .add_execution(wf.id, user, mapping_name, &format!("{input:?}"))?;
         self.registry
             .set_execution_status(exec_id, ExecutionStatus::Running)?;
 
@@ -686,7 +776,15 @@ impl LaminarServer {
                     Frame::Error(e) => WireFrame::Value(Response::Error(e)),
                 };
                 let failed = matches!(&wire, WireFrame::Value(Response::Error(_)));
-                let _ = tx.send(wire);
+                if tx.send(wire).is_err() {
+                    // The consumer disconnected mid-stream. Stop pumping —
+                    // dropping `engine_rx` tells the engine nobody is
+                    // listening — and record the aborted execution.
+                    let status = ExecutionStatus::Failed;
+                    let _ = registry.add_response(exec_id, &collected.join("\n"), status);
+                    let _ = registry.set_execution_status(exec_id, status);
+                    break;
+                }
                 if done {
                     let status = if failed {
                         ExecutionStatus::Failed
@@ -825,7 +923,11 @@ mod tests {
         assert!(wf_id > 0);
         // Auto-descriptions were generated (§IV-C).
         let pe = server.registry().get_pe(pe_ids[1].1).unwrap();
-        assert!(pe.description.to_lowercase().contains("prime"), "{}", pe.description);
+        assert!(
+            pe.description.to_lowercase().contains("prime"),
+            "{}",
+            pe.description
+        );
         assert!(!pe.description_embedding.is_empty());
         assert!(!pe.spt_embedding.is_empty());
         // Idempotent re-registration reuses PEs but fails on workflow name.
@@ -938,7 +1040,10 @@ mod tests {
             Response::SemanticResults(hits) => {
                 assert!(!hits.is_empty());
                 assert_eq!(hits[0].name, "AnomalyDetectionPE", "{hits:?}");
-                assert!(hits[0].cosine_similarity > hits.last().unwrap().cosine_similarity || hits.len() == 1);
+                assert!(
+                    hits[0].cosine_similarity > hits.last().unwrap().cosine_similarity
+                        || hits.len() == 1
+                );
                 assert!(hits.len() <= 5, "top-5 default");
             }
             other => panic!("{other:?}"),
@@ -963,7 +1068,11 @@ mod tests {
                 assert!(!hits.is_empty());
                 assert_eq!(hits[0].name, "NumberProducer");
                 assert!(hits[0].score >= 6.0);
-                assert!(hits[0].similar_code.contains("def _process"), "{}", hits[0].similar_code);
+                assert!(
+                    hits[0].similar_code.contains("def _process"),
+                    "{}",
+                    hits[0].similar_code
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -1015,14 +1124,15 @@ mod tests {
             })
             .value();
         match resp {
-            Response::Completion { source, lines, progress } => {
+            Response::Completion {
+                source,
+                lines,
+                progress,
+            } => {
                 let (_, name) = source.expect("a source PE");
                 assert_eq!(name, "IsPrime");
                 assert!(progress > 0.0);
-                assert!(
-                    lines.iter().any(|l| l.contains("return num")),
-                    "{lines:?}"
-                );
+                assert!(lines.iter().any(|l| l.contains("return num")), "{lines:?}");
             }
             other => panic!("{other:?}"),
         }
@@ -1207,5 +1317,148 @@ mod tests {
             resources: vec![],
         });
         assert!(matches!(reply.value(), Response::Error(_)));
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_request_accounting() {
+        let (server, token) = server_with_session();
+        server.handle(Request::GetRegistry { token }).value();
+        server.handle(Request::GetRegistry { token }).value();
+        // An auth failure counts as an error on its endpoint.
+        server.handle(Request::GetRegistry { token: 999 }).value();
+        let snap = match server.handle(Request::Metrics {}).value() {
+            Response::Metrics(s) => *s,
+            other => panic!("{other:?}"),
+        };
+        let ep = snap
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == "GetRegistry")
+            .expect("GetRegistry endpoint tracked");
+        assert_eq!(ep.requests, 3);
+        assert_eq!(ep.errors, 1);
+        assert_eq!(ep.in_flight, 0);
+        assert_eq!(ep.latency.count, 3);
+    }
+
+    #[test]
+    fn newer_protocol_version_gets_typed_unsupported() {
+        let (server, token) = server_with_session();
+        let env = RequestEnvelope::versioned(Request::GetRegistry { token }, 99);
+        let (_, reply) = server.handle_envelope(env);
+        match reply.value() {
+            Response::Unsupported {
+                server_version,
+                client_version,
+            } => {
+                assert_eq!(server_version, PROTOCOL_VERSION);
+                assert_eq!(client_version, 99);
+            }
+            other => panic!("{other:?}"),
+        }
+        let snap = server.metrics().snapshot();
+        let ep = snap
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == "GetRegistry")
+            .unwrap();
+        assert_eq!(ep.rejections, 1);
+    }
+
+    #[test]
+    fn streamed_replies_begin_with_the_request_id() {
+        let (server, token) = server_with_session();
+        let (_, wf_id) = register_isprime(&server, token);
+        let (id, reply) = server.handle_envelope(RequestEnvelope::new(Request::Run {
+            token,
+            ident: Ident::Id(wf_id),
+            input: RunInputWire::Iterations(3),
+            mode: RunMode::Sequential,
+            streaming: true,
+            verbose: false,
+            resources: vec![],
+        }));
+        match reply {
+            Reply::Stream(rx) => {
+                let first = rx.recv().unwrap();
+                assert_eq!(first, WireFrame::Begin { request_id: id.0 });
+            }
+            _ => panic!("expected stream"),
+        }
+    }
+
+    #[test]
+    fn dropped_stream_receiver_stops_the_engine_and_fails_the_execution() {
+        let (server, token) = server_with_session();
+        // A deliberately slow workflow so the run outlives the receiver.
+        server.engine().library().register("slow_wf", || {
+            use d4py::prelude::*;
+            let mut g = WorkflowGraph::new("slow_wf");
+            let src = g.add(ProducerPE::new("Src", |i| Some(Data::from(i as i64))));
+            let slow = g.add(IterativePE::new("Slow", |d: Data| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                Some(d)
+            }));
+            let sink = g.add(ConsumerPE::new("Out", |d: Data, ctx: &mut Context<'_>| {
+                ctx.log(format!("{d}"));
+            }));
+            g.connect(src, OUTPUT, slow, INPUT).unwrap();
+            g.connect(slow, OUTPUT, sink, INPUT).unwrap();
+            g
+        });
+        let resp = server
+            .handle(Request::RegisterWorkflow {
+                token,
+                name: "slow_wf".into(),
+                code: String::new(),
+                description: Some("slow".into()),
+                pes: vec![],
+            })
+            .value();
+        assert!(matches!(resp, Response::Registered { .. }));
+        let wf_id = server
+            .registry()
+            .get_workflow_by_name("slow_wf")
+            .unwrap()
+            .id;
+
+        let reply = server.handle(Request::Run {
+            token,
+            ident: Ident::Name("slow_wf".into()),
+            input: RunInputWire::Iterations(200),
+            mode: RunMode::Sequential,
+            streaming: true,
+            verbose: false,
+            resources: vec![],
+        });
+        match reply {
+            Reply::Stream(rx) => {
+                // Read one payload frame, then hang up mid-stream.
+                for f in rx.iter() {
+                    if matches!(f, WireFrame::Line(_)) {
+                        break;
+                    }
+                }
+                drop(rx);
+            }
+            _ => panic!("expected stream"),
+        }
+        // The pump thread must observe the disconnect and fail the
+        // execution well before the 200 × 5 ms run would finish.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            let execs = server.registry().executions_for(wf_id);
+            if execs
+                .first()
+                .is_some_and(|e| e.status == ExecutionStatus::Failed)
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "execution not marked failed after disconnect: {execs:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
     }
 }

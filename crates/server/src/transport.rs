@@ -7,7 +7,8 @@
 //! in-process channel with an optional per-frame latency model standing in
 //! for the network (experiment E8 sweeps it).
 
-use crate::protocol::{Reply, Request, WireFrame};
+use crate::connection::{classify, ConnOptions, Connection, ConnectionError};
+use crate::protocol::{Reply, Request, RequestEnvelope, WireFrame};
 use crate::server::LaminarServer;
 use crossbeam_channel::{unbounded, Receiver};
 use std::sync::Arc;
@@ -23,28 +24,33 @@ pub enum DeliveryMode {
     Streaming,
 }
 
-/// A client-side connection to a server, with a simulated per-frame
-/// network latency.
+/// The in-process [`Connection`]: requests go straight into a shared
+/// [`LaminarServer`], with delivery shaping (mode + simulated per-frame
+/// latency) from its [`ConnOptions`].
 #[derive(Clone)]
 pub struct Transport {
     server: Arc<LaminarServer>,
-    pub mode: DeliveryMode,
-    /// Simulated one-way latency applied per delivered frame (Batch pays
-    /// it once for the aggregate, Streaming once per frame).
-    pub frame_latency: Duration,
+    opts: ConnOptions,
 }
 
 impl Transport {
     pub fn new(server: Arc<LaminarServer>, mode: DeliveryMode) -> Self {
         Transport {
             server,
-            mode,
-            frame_latency: Duration::ZERO,
+            opts: ConnOptions {
+                delivery: mode,
+                ..ConnOptions::default()
+            },
         }
     }
 
     pub fn with_latency(mut self, latency: Duration) -> Self {
-        self.frame_latency = latency;
+        self.opts.frame_latency = latency;
+        self
+    }
+
+    pub fn with_options(mut self, opts: ConnOptions) -> Self {
+        self.opts = opts;
         self
     }
 
@@ -55,7 +61,8 @@ impl Transport {
     /// Send a request; the reply's frames obey this transport's delivery
     /// mode. Synchronous replies are unaffected by the mode.
     pub fn send(&self, req: Request) -> Reply {
-        match self.server.handle(req) {
+        let env = RequestEnvelope::versioned(req, self.opts.protocol_version);
+        match self.server.handle_envelope(env).1 {
             Reply::Value(v) => Reply::Value(v),
             Reply::Stream(upstream) => Reply::Stream(self.deliver(upstream)),
         }
@@ -63,8 +70,8 @@ impl Transport {
 
     fn deliver(&self, upstream: Receiver<WireFrame>) -> Receiver<WireFrame> {
         let (tx, rx) = unbounded::<WireFrame>();
-        let mode = self.mode;
-        let latency = self.frame_latency;
+        let mode = self.opts.delivery;
+        let latency = self.opts.frame_latency;
         std::thread::spawn(move || match mode {
             DeliveryMode::Streaming => {
                 for frame in upstream.iter() {
@@ -104,11 +111,29 @@ impl Transport {
     }
 }
 
+impl Connection for Transport {
+    fn call(&self, req: Request) -> Result<Reply, ConnectionError> {
+        classify(self.send(req))
+    }
+
+    fn options(&self) -> ConnOptions {
+        self.opts
+    }
+
+    fn set_options(&mut self, opts: ConnOptions) {
+        self.opts = opts;
+    }
+
+    fn endpoint(&self) -> String {
+        "in-process".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{PeSubmission, Response, RunInputWire, RunMode};
     use crate::protocol::{Ident, Request};
+    use crate::protocol::{PeSubmission, Response, RunInputWire, RunMode};
     use std::time::Instant;
 
     fn setup() -> (Arc<LaminarServer>, u64, u64) {
@@ -238,11 +263,36 @@ mod tests {
     #[test]
     fn latency_model_applies() {
         let (server, token, wf) = setup();
-        let slow_net = Transport::new(server, DeliveryMode::Batch)
-            .with_latency(Duration::from_millis(10));
+        let slow_net =
+            Transport::new(server, DeliveryMode::Batch).with_latency(Duration::from_millis(10));
         let t0 = Instant::now();
         let (_, _, _, ok) = slow_net.send(run_req(token, wf, false)).drain();
         assert!(ok);
         assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn transport_implements_connection() {
+        let (server, token, _) = setup();
+        let conn: Box<dyn Connection> = Box::new(Transport::new(server, DeliveryMode::Streaming));
+        let reply = conn.call(Request::GetRegistry { token }).unwrap();
+        assert!(matches!(reply.value(), Response::Registry { .. }));
+    }
+
+    #[test]
+    fn future_protocol_version_is_rejected_typed() {
+        let (server, _, _) = setup();
+        let mut tp = Transport::new(server, DeliveryMode::Streaming);
+        let mut opts = tp.options();
+        opts.protocol_version = 99;
+        tp.set_options(opts);
+        let err = tp.call(Request::Metrics {}).unwrap_err();
+        assert!(matches!(
+            err,
+            ConnectionError::UnsupportedVersion {
+                client_version: 99,
+                ..
+            }
+        ));
     }
 }

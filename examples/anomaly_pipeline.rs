@@ -30,10 +30,16 @@ fn main() {
     let hits = client
         .search_registry_semantic(SearchScope::Pe, "a pe that is able to detect anomalies")
         .expect("search");
-    println!("\nsemantic search → top hit: {} (cosine {:.4})", hits[0].name, hits[0].cosine_similarity);
+    println!(
+        "\nsemantic search → top hit: {} (cosine {:.4})",
+        hits[0].name, hits[0].cosine_similarity
+    );
 
     // Stage a calibration resource (uploaded once, then cache hits).
-    client.stage_resource("calibration.csv", b"sensor,offset\ns0,0.5\ns1,-0.25\n".to_vec());
+    client.stage_resource(
+        "calibration.csv",
+        b"sensor,offset\ns0,0.5\ns1,-0.25\n".to_vec(),
+    );
 
     // Stream the run: consume alerts as they arrive (§IV-E).
     println!("\nstreaming run (alerts appear as they are detected):");

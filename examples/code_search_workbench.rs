@@ -34,7 +34,10 @@ fn main() {
     let (pes, _) = client
         .search_registry_literal(SearchScope::Pe, "average")
         .expect("literal");
-    println!("literal_search pe average → {} hits (name/description term match)", pes.len());
+    println!(
+        "literal_search pe average → {} hits (name/description term match)",
+        pes.len()
+    );
 
     // 2. Semantic search (Fig. 8): a paraphrase, not a literal term.
     let hits = client
@@ -70,10 +73,10 @@ fn main() {
     // The paper's point, in one assertion: structural search keeps finding
     // the accumulator family from the fragment.
     assert!(
-        spt_hits
-            .iter()
-            .any(|h| h.name.starts_with("SumList") || h.name.starts_with("AverageList")
-                || h.name.starts_with("ProductList") || h.name.starts_with("CountEvens")),
+        spt_hits.iter().any(|h| h.name.starts_with("SumList")
+            || h.name.starts_with("AverageList")
+            || h.name.starts_with("ProductList")
+            || h.name.starts_with("CountEvens")),
         "{spt_hits:?}"
     );
     println!("\nAroma-style SPT search recommends completed PEs from the incomplete fragment ✓");

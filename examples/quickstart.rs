@@ -12,7 +12,9 @@ fn main() {
     // 1. Deploy the full serverless stack (registry + server + engine).
     let laminar = Laminar::deploy(LaminarConfig::default());
     let mut client = laminar.client();
-    client.register("quickstart", "secret").expect("register user");
+    client
+        .register("quickstart", "secret")
+        .expect("register user");
 
     // 2. Register the workflow file: the client finds the PEs (Fig. 5a).
     let reg = client
@@ -27,7 +29,10 @@ fn main() {
 
     // 3. Semantic text-to-code search (Fig. 8).
     let hits = client
-        .search_registry_semantic(SearchScope::Pe, "a pe that checks whether numbers are prime")
+        .search_registry_semantic(
+            SearchScope::Pe,
+            "a pe that checks whether numbers are prime",
+        )
         .expect("semantic search");
     println!("semantic_search pe \"a pe that checks whether numbers are prime\"");
     for h in &hits {
@@ -37,29 +42,47 @@ fn main() {
 
     // 4. Structural code recommendation from a partial snippet (Fig. 9).
     let recos = client
-        .code_recommendation(SearchScope::Pe, "random.randint(1, 1000)", EmbeddingType::Spt)
+        .code_recommendation(
+            SearchScope::Pe,
+            "random.randint(1, 1000)",
+            EmbeddingType::Spt,
+        )
         .expect("code recommendation");
     println!("code_recommendation pe \"random.randint(1, 1000)\"");
     for r in &recos {
-        println!("  {:>3}  {:<16} score {:.1}  {}", r.id, r.name, r.score, r.similar_code);
+        println!(
+            "  {:>3}  {:<16} score {:.1}  {}",
+            r.id, r.name, r.score, r.similar_code
+        );
     }
     println!();
 
     // 5. Run: sequential, static-parallel (Fig. 5b), and dynamic — note
     //    the Listing-3 one-liner for the dynamic case.
     let seq = client.run(reg.workflow.1, 10).expect("sequential run");
-    println!("run {} -i 10          → {} primes", reg.workflow.1, seq.lines.len());
+    println!(
+        "run {} -i 10          → {} primes",
+        reg.workflow.1,
+        seq.lines.len()
+    );
 
     let par = client
         .run_multiprocess(reg.workflow.1, 10, 9)
         .expect("multiprocess run");
-    println!("run {} -i 10 --multi 9 → {} primes; rank summaries:", reg.workflow.1, par.lines.len());
+    println!(
+        "run {} -i 10 --multi 9 → {} primes; rank summaries:",
+        reg.workflow.1,
+        par.lines.len()
+    );
     for s in par.summaries.iter().take(4) {
         println!("  {s}");
     }
 
     let dynamic = client.run_dynamic(reg.workflow.1, 10).expect("dynamic run");
-    println!("run_dynamic(graph, input=10)   → {} primes (no broker parameters!)", dynamic.lines.len());
+    println!(
+        "run_dynamic(graph, input=10)   → {} primes (no broker parameters!)",
+        dynamic.lines.len()
+    );
 
     println!("\nSample output:");
     for line in seq.lines.iter().take(3) {

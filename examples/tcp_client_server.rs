@@ -19,18 +19,27 @@ fn main() {
 
     // Client side: a *separate* endpoint that only knows the address.
     let mut client = LaminarClient::connect_tcp(net.addr());
-    client.register("remote", "secret").expect("register over TCP");
+    client
+        .register("remote", "secret")
+        .expect("register over TCP");
 
     let reg = client
         .register_workflow("isprime_wf", ISPRIME_WORKFLOW_SOURCE)
         .expect("register workflow over TCP");
-    println!("registered {} PEs + workflow id {}", reg.pes.len(), reg.workflow.1);
+    println!(
+        "registered {} PEs + workflow id {}",
+        reg.pes.len(),
+        reg.workflow.1
+    );
 
     // Search and completion across the wire.
     let hits = client
         .search_registry_semantic(SearchScope::Pe, "checks whether a given number is prime")
         .expect("semantic search over TCP");
-    println!("top semantic hit: {} ({:.4})", hits[0].name, hits[0].cosine_similarity);
+    println!(
+        "top semantic hit: {} ({:.4})",
+        hits[0].name, hits[0].cosine_similarity
+    );
 
     let (source, lines, progress) = client
         .code_completion("class P(IterativePE):\n    def _process(self, num):\n        if all(num % i != 0 for i in range(2, num)):")
@@ -45,9 +54,21 @@ fn main() {
     let out = client
         .run_multiprocess(reg.workflow.1, 15, 9)
         .expect("run over TCP");
-    println!("\nparallel run over TCP: ok={} with {} primes", out.ok, out.lines.len());
+    println!(
+        "\nparallel run over TCP: ok={} with {} primes",
+        out.ok,
+        out.lines.len()
+    );
     for l in out.lines.iter().take(3) {
         println!("  {l}");
     }
-    net.shutdown();
+
+    // The serving path keeps per-endpoint metrics; the `metrics` endpoint
+    // (and the `laminar metrics` CLI verb) exposes the live snapshot.
+    let snapshot = client.metrics().expect("metrics over TCP");
+    println!("\n{}", snapshot.render());
+
+    // Stop accepting and drain in-flight work before exiting.
+    let drained = net.graceful_shutdown();
+    println!("drained cleanly: {drained}");
 }

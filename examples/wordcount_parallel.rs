@@ -44,13 +44,22 @@ fn build() -> WorkflowGraph {
             }
         },
     ));
-    let sink = g.add(ConsumerPE::new("Print", |d: Data, ctx: &mut Context<'_>| {
-        ctx.log(d.to_string());
-    }));
+    let sink = g.add(ConsumerPE::new(
+        "Print",
+        |d: Data, ctx: &mut Context<'_>| {
+            ctx.log(d.to_string());
+        },
+    ));
     g.connect(src, OUTPUT, split, INPUT).unwrap();
     // Equal words must reach the same counter rank — GroupBy does that.
-    g.connect_grouped(split, OUTPUT, count, INPUT, Grouping::GroupBy("word".into()))
-        .unwrap();
+    g.connect_grouped(
+        split,
+        OUTPUT,
+        count,
+        INPUT,
+        Grouping::GroupBy("word".into()),
+    )
+    .unwrap();
     g.connect(count, OUTPUT, sink, INPUT).unwrap();
     g
 }
@@ -78,12 +87,19 @@ fn main() {
     for (name, mapping) in mappings {
         let result = run(&build(), RunInput::Iterations(9), &mapping).expect("run");
         let counts = final_counts(result.lines());
-        println!("# {name} — {} output lines in {:?}", result.lines().len(), result.duration);
+        println!(
+            "# {name} — {} output lines in {:?}",
+            result.lines().len(),
+            result.duration
+        );
         for (w, c) in &counts {
             println!("  {w:<12} {c}");
         }
         if let Some(p) = &result.partition {
-            let pretty: Vec<String> = p.iter().map(|r| format!("{}..{}", r.start, r.end)).collect();
+            let pretty: Vec<String> = p
+                .iter()
+                .map(|r| format!("{}..{}", r.start, r.end))
+                .collect();
             println!("  rank partition: [{}]", pretty.join(", "));
         }
         match &reference {

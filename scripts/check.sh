@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate for the serving path: formatting, lints, build, tests.
+#
+#   ./scripts/check.sh          # the tier-1 gate
+#   ./scripts/check.sh --heavy  # additionally runs the #[ignore]d stress tests
+#
+# fmt/clippy are scoped to the serving-path crates (server, client, core,
+# facade); the remaining crates predate the gate and are brought under it
+# as they are touched.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCOPED=(-p laminar-server -p laminar-client -p laminar-core -p laminar)
+
+echo "==> cargo fmt --check (serving-path crates)"
+cargo fmt --check "${SCOPED[@]}"
+
+echo "==> cargo clippy -D warnings (serving-path crates)"
+cargo clippy "${SCOPED[@]}" --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+if [[ "${1:-}" == "--heavy" ]]; then
+    echo "==> heavy stress tests (#[ignore]d)"
+    cargo test -q -p laminar heavy_ -- --ignored
+fi
+
+echo "OK"

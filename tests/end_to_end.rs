@@ -25,7 +25,10 @@ fn figure5_full_transcript() {
     // 5b: run with multiprocessing, 9 processes, verbose.
     let out = client.run_multiprocess(reg.workflow.1, 10, 9).unwrap();
     assert!(out.ok);
-    assert!(out.lines.iter().all(|l| l.starts_with("the num {'input': ")));
+    assert!(out
+        .lines
+        .iter()
+        .all(|l| l.starts_with("the num {'input': ")));
     assert!(out
         .summaries
         .iter()
@@ -135,8 +138,19 @@ fn multi_user_isolation_and_name_reuse() {
     let mut bob = laminar.client();
     bob.register("bob", "b").unwrap();
     // Same PE name under different users is allowed (per-user uniqueness).
-    alice.register_pe("Shared", "class Shared(IterativePE):\n    def _process(self, x):\n        return x\n", None).unwrap();
-    bob.register_pe("Shared", "class Shared(IterativePE):\n    def _process(self, y):\n        return y * 2\n", None).unwrap();
+    alice
+        .register_pe(
+            "Shared",
+            "class Shared(IterativePE):\n    def _process(self, x):\n        return x\n",
+            None,
+        )
+        .unwrap();
+    bob.register_pe(
+        "Shared",
+        "class Shared(IterativePE):\n    def _process(self, y):\n        return y * 2\n",
+        None,
+    )
+    .unwrap();
     let (pes, _) = alice.get_registry().unwrap();
     assert_eq!(pes.iter().filter(|p| p.name == "Shared").count(), 2);
 }

@@ -42,7 +42,11 @@ fn isprime_equivalent_under_all_mappings() {
     );
     assert!(!reference.is_empty());
     for mapping in mappings() {
-        let got = sorted_lines(&workflows::isprime_graph(), RunInput::Iterations(40), &mapping);
+        let got = sorted_lines(
+            &workflows::isprime_graph(),
+            RunInput::Iterations(40),
+            &mapping,
+        );
         assert_eq!(got, reference);
     }
 }
@@ -56,7 +60,11 @@ fn doubler_equivalent_under_all_mappings() {
     );
     assert_eq!(reference.len(), 64);
     for mapping in mappings() {
-        let got = sorted_lines(&workflows::doubler_graph(), RunInput::Iterations(64), &mapping);
+        let got = sorted_lines(
+            &workflows::doubler_graph(),
+            RunInput::Iterations(64),
+            &mapping,
+        );
         assert_eq!(got, reference);
     }
 }
@@ -76,7 +84,11 @@ fn anomaly_equivalent_under_all_mappings() {
                 continue;
             }
         }
-        let got = sorted_lines(&workflows::anomaly_graph(50.0), RunInput::Iterations(80), &mapping);
+        let got = sorted_lines(
+            &workflows::anomaly_graph(50.0),
+            RunInput::Iterations(80),
+            &mapping,
+        );
         assert_eq!(got, reference);
     }
 }
@@ -115,9 +127,13 @@ fn wordcount_final_counts_equivalent() {
         Mapping::Multi { processes: 9 },
     ] {
         let got = finals(
-            run(&workflows::word_count_graph(), RunInput::Iterations(12), &mapping)
-                .unwrap()
-                .lines(),
+            run(
+                &workflows::word_count_graph(),
+                RunInput::Iterations(12),
+                &mapping,
+            )
+            .unwrap()
+            .lines(),
         );
         assert_eq!(got, reference);
     }
@@ -128,7 +144,12 @@ fn iteration_counts_conserved_across_mappings() {
     // Total iterations per PE must equal the number of data items that
     // reached it, independent of the mapping.
     for mapping in mappings() {
-        let r = run(&workflows::doubler_graph(), RunInput::Iterations(30), &mapping).unwrap();
+        let r = run(
+            &workflows::doubler_graph(),
+            RunInput::Iterations(30),
+            &mapping,
+        )
+        .unwrap();
         let total_for = |pe: &str| -> u64 {
             r.counts
                 .iter()
@@ -145,7 +166,12 @@ fn iteration_counts_conserved_across_mappings() {
 #[test]
 fn empty_input_equivalent() {
     for mapping in mappings() {
-        let r = run(&workflows::isprime_graph(), RunInput::Iterations(0), &mapping).unwrap();
+        let r = run(
+            &workflows::isprime_graph(),
+            RunInput::Iterations(0),
+            &mapping,
+        )
+        .unwrap();
         assert!(r.lines().is_empty());
     }
 }

@@ -78,10 +78,7 @@ proptest! {
 
 fn arb_feature_vec() -> impl Strategy<Value = FeatureVec> {
     proptest::collection::vec((0u64..5000, 1u32..6), 0..60).prop_map(|pairs| {
-        let mut items: Vec<(u64, f32)> = pairs
-            .into_iter()
-            .map(|(id, c)| (id, c as f32))
-            .collect();
+        let mut items: Vec<(u64, f32)> = pairs.into_iter().map(|(id, c)| (id, c as f32)).collect();
         items.sort_unstable_by_key(|&(id, _)| id);
         items.dedup_by(|a, b| {
             if a.0 == b.0 {

@@ -83,7 +83,10 @@ fn structural_search_robust_to_partial_queries_unlike_llm() {
     let spt_hits = client
         .code_recommendation(SearchScope::Pe, &partial, EmbeddingType::Spt)
         .unwrap();
-    assert!(!spt_hits.is_empty(), "Aroma must recommend from partial code");
+    assert!(
+        !spt_hits.is_empty(),
+        "Aroma must recommend from partial code"
+    );
 
     // The LLM path may return fewer/weaker hits — the documented 1.0
     // limitation. We only require that SPT is at least as productive.

@@ -27,7 +27,8 @@ fn ten_thousand_items_every_mapping() {
         }));
         g.connect(src, OUTPUT, stage, INPUT).unwrap();
         g.connect(stage, OUTPUT, sink, INPUT).unwrap();
-        g.connect_grouped(sink, OUTPUT, out, INPUT, Grouping::AllToOne).unwrap();
+        g.connect_grouped(sink, OUTPUT, out, INPUT, Grouping::AllToOne)
+            .unwrap();
         g
     }
 
