@@ -67,7 +67,11 @@ mod tests {
     #[test]
     fn near_duplicates_cluster_together() {
         let query = "total = 0\nfor item in data:\n    total += item\n";
-        let a = pruned_of(1, "total = 0\nfor item in data:\n    total += item\n", query);
+        let a = pruned_of(
+            1,
+            "total = 0\nfor item in data:\n    total += item\n",
+            query,
+        );
         let b = pruned_of(2, "acc = 0\nfor x in data:\n    acc += x\n", query);
         let c = pruned_of(3, "with open(p) as fh:\n    body = fh.read()\n", query);
         let clusters = cluster_results(&[a, b, c], 0.5);

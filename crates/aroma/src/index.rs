@@ -228,7 +228,13 @@ mod tests {
     #[test]
     fn batch_add_matches_serial_add() {
         let snippets: Vec<Snippet> = (0..300)
-            .map(|i| Snippet::new(i, format!("S{i}"), format!("def f{i}(x):\n    return x + {i}\n")))
+            .map(|i| {
+                Snippet::new(
+                    i,
+                    format!("S{i}"),
+                    format!("def f{i}(x):\n    return x + {i}\n"),
+                )
+            })
             .collect();
         let mut a = SnippetIndex::new();
         for s in snippets.clone() {

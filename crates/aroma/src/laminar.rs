@@ -289,7 +289,9 @@ mod tests {
         assert_eq!(hits[0].workflow_id, 169);
         assert_eq!(hits[0].occurrences, 1);
         // The producer-less workflow may be absent entirely.
-        assert!(hits.iter().all(|h| h.workflow_id != 200 || h.occurrences > 0));
+        assert!(hits
+            .iter()
+            .all(|h| h.workflow_id != 200 || h.occurrences > 0));
     }
 
     #[test]

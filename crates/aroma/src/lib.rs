@@ -36,6 +36,6 @@ pub use completion::{complete_from, Completion};
 pub use engine::{AromaConfig, AromaEngine, Recommendation};
 pub use index::{ScoredSnippet, Snippet, SnippetId, SnippetIndex};
 pub use laminar::{LaminarRecommender, SptHit, SptSearcher};
-pub use lsh::{LshConfig, LshIndex, LshSearchStats};
+pub use lsh::{LshConfig, LshIndex, LshPrefilter, LshSearchStats};
 pub use prune::{granulated_vec, prune_and_rerank, statement_granules, PrunedSnippet};
 pub use recommend::create_recommendation;

@@ -293,8 +293,12 @@ def process(self, data):
 
     #[test]
     fn merge_is_sorted_sum() {
-        let a = FeatureVec { items: vec![(1, 2.0), (5, 1.0)] };
-        let b = FeatureVec { items: vec![(1, 1.0), (3, 4.0)] };
+        let a = FeatureVec {
+            items: vec![(1, 2.0), (5, 1.0)],
+        };
+        let b = FeatureVec {
+            items: vec![(1, 1.0), (3, 4.0)],
+        };
         let m = merge(&a, &b);
         assert_eq!(m.items, vec![(1, 3.0), (3, 4.0), (5, 1.0)]);
     }

@@ -1,0 +1,246 @@
+//! E11 companion: top-k engine vs the old full-sort baseline, with the
+//! numbers written to `BENCH_search.json`.
+//!
+//! For each corpus size (10k and 100k PEs by default; pass sizes as CLI
+//! arguments to override) and each modality (semantic / SPT / ReACC) this
+//! measures:
+//!
+//! * **baseline** — the pre-engine implementation: score every entry from
+//!   per-entry `Vec`s, allocate an O(n) scored list, sort it fully, take k
+//!   (exactly what `SearchIndexes` did before the SoA rewrite);
+//! * **engine** — `SearchIndexes::rank_*` (flat slab, fused dot kernel,
+//!   bounded size-k heap, rayon partitioning past 4096 rows);
+//! * **upsert** — per-entry index update cost (slot-map overwrite path);
+//! * **lsh** — the SPT path again with the MinHash prefilter engaged,
+//!   with its candidate-pool fraction.
+//!
+//! Run with `cargo run --release -p laminar-bench --bin bench_search`.
+
+use embed::{DenseVec, Embedder, ReaccSim, UniXcoderSim};
+use laminar_bench::search_corpus;
+use laminar_server::indexes::{EntryKind, SearchIndexes};
+use serde::Serialize;
+use spt::{FeatureVec, Spt};
+use std::time::Instant;
+
+/// The server's default per-query result bound.
+const K: usize = 5;
+/// Timed repetitions per measurement; the median is reported.
+const REPS: usize = 15;
+
+#[derive(Serialize)]
+struct ModalityResult {
+    n: usize,
+    modality: &'static str,
+    baseline_us: f64,
+    engine_us: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct UpsertResult {
+    n: usize,
+    upsert_us: f64,
+}
+
+#[derive(Serialize)]
+struct LshResult {
+    n: usize,
+    exact_us: f64,
+    prefiltered_us: f64,
+    candidate_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    k: usize,
+    sizes: Vec<usize>,
+    results: Vec<ModalityResult>,
+    upserts: Vec<UpsertResult>,
+    lsh: Vec<LshResult>,
+}
+
+/// Median wall-clock microseconds of `REPS` runs of `f`.
+fn time_us<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_unstable_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// The old per-entry storage: what the indexes held before the SoA slabs.
+struct Baseline {
+    ids: Vec<u64>,
+    desc: Vec<DenseVec>,
+    spt: Vec<FeatureVec>,
+    reacc: Vec<DenseVec>,
+}
+
+impl Baseline {
+    /// The pre-engine ranking: score all, sort all, truncate to k.
+    fn rank_dense(&self, vectors: &[DenseVec], q: &DenseVec) -> Vec<(u64, f32)> {
+        let mut scored: Vec<(u64, f32)> = vectors
+            .iter()
+            .zip(&self.ids)
+            .map(|(v, &id)| (id, q.cosine(v)))
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(K);
+        scored
+    }
+
+    fn rank_spt(&self, q: &FeatureVec) -> Vec<(u64, f32)> {
+        let mut scored: Vec<(u64, f32)> = self
+            .spt
+            .iter()
+            .zip(&self.ids)
+            .map(|(v, &id)| (id, q.overlap(v)))
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(K);
+        scored
+    }
+}
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![10_000, 100_000]
+        } else {
+            args
+        }
+    };
+
+    let emb = UniXcoderSim::new();
+    let reacc_model = ReaccSim::new();
+    let qtext = emb.embed("detect anomalies in sensor readings");
+    let qsnippet = "for item in data:\n    total += item\n";
+    let qspt = Spt::parse_source(qsnippet).feature_vec();
+    let qcode = reacc_model.embed_code(qsnippet);
+
+    let mut report = Report {
+        k: K,
+        sizes: sizes.clone(),
+        results: Vec::new(),
+        upserts: Vec::new(),
+        lsh: Vec::new(),
+    };
+
+    for &n in &sizes {
+        eprintln!("building corpus n={n} ...");
+        let corpus = search_corpus(n);
+        let entries: Vec<_> = corpus.entries.iter().take(n).collect();
+
+        let mut baseline = Baseline {
+            ids: Vec::with_capacity(n),
+            desc: Vec::with_capacity(n),
+            spt: Vec::with_capacity(n),
+            reacc: Vec::with_capacity(n),
+        };
+        let ix = SearchIndexes::new();
+        for e in &entries {
+            let d = emb.embed(&e.description);
+            let s = Spt::parse_source(&e.code).feature_vec();
+            let r = reacc_model.embed_code(&e.code);
+            baseline.ids.push(e.id);
+            baseline.desc.push(d.clone());
+            baseline.spt.push(s.clone());
+            baseline.reacc.push(r.clone());
+            ix.upsert_embedded(e.id, EntryKind::Pe, d, s, r);
+        }
+
+        for (modality, baseline_us, engine_us) in [
+            (
+                "semantic",
+                time_us(|| baseline.rank_dense(&baseline.desc, &qtext)),
+                time_us(|| ix.rank_semantic(&qtext, Some(EntryKind::Pe), K)),
+            ),
+            (
+                "spt",
+                time_us(|| baseline.rank_spt(&qspt)),
+                time_us(|| ix.rank_spt(&qspt, Some(EntryKind::Pe), K)),
+            ),
+            (
+                "reacc",
+                time_us(|| baseline.rank_dense(&baseline.reacc, &qcode)),
+                time_us(|| ix.rank_reacc(&qcode, Some(EntryKind::Pe), K)),
+            ),
+        ] {
+            eprintln!(
+                "  {modality:<9} baseline {baseline_us:>9.1} us  engine {engine_us:>9.1} us  \
+                 ({:.1}x)",
+                baseline_us / engine_us
+            );
+            report.results.push(ModalityResult {
+                n,
+                modality,
+                baseline_us,
+                engine_us,
+                speedup: baseline_us / engine_us,
+            });
+        }
+
+        // Upsert: overwrite an existing entry (the O(1) slot-map path that
+        // used to be an O(n) scan under the write lock).
+        let e0 = entries[0];
+        let d0 = emb.embed(&e0.description);
+        let s0 = Spt::parse_source(&e0.code).feature_vec();
+        let r0 = reacc_model.embed_code(&e0.code);
+        let upsert_us = time_us(|| {
+            ix.upsert_embedded(e0.id, EntryKind::Pe, d0.clone(), s0.clone(), r0.clone())
+        });
+        eprintln!("  upsert    {upsert_us:>9.2} us");
+        report.upserts.push(UpsertResult { n, upsert_us });
+
+        // LSH prefilter on the SPT path.
+        let lsh_ix = SearchIndexes::with_spt_prefilter(aroma::LshConfig::default(), 0);
+        for (i, e) in entries.iter().enumerate() {
+            lsh_ix.upsert_embedded(
+                e.id,
+                EntryKind::Pe,
+                baseline.desc[i].clone(),
+                baseline.spt[i].clone(),
+                baseline.reacc[i].clone(),
+            );
+        }
+        let exact_us = time_us(|| ix.rank_spt(&qspt, Some(EntryKind::Pe), K));
+        let prefiltered_us = time_us(|| lsh_ix.rank_spt(&qspt, Some(EntryKind::Pe), K));
+        let (_, stats) = lsh_ix.rank_spt_with_stats(&qspt, Some(EntryKind::Pe), K);
+        let candidate_fraction = stats
+            .map(|s| s.candidates as f64 / s.indexed.max(1) as f64)
+            .unwrap_or(1.0);
+        eprintln!(
+            "  lsh       exact {exact_us:>9.1} us  prefiltered {prefiltered_us:>9.1} us  \
+             (pool {:.1}%)",
+            candidate_fraction * 100.0
+        );
+        report.lsh.push(LshResult {
+            n,
+            exact_us,
+            prefiltered_us,
+            candidate_fraction,
+        });
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_search.json");
+}

@@ -53,6 +53,18 @@ pub fn corpus_from_args() -> Dataset {
     corpus_with_variants(variants)
 }
 
+/// Corpus sized for the search-latency benches: `n` PEs spread across the
+/// whole family catalogue (the `search_latency` Criterion bench and the
+/// `bench_search` binary share it so their numbers are comparable).
+pub fn search_corpus(n: usize) -> Dataset {
+    Dataset::generate(DatasetConfig {
+        families: csn::family_catalogue().len(),
+        variants_per_family: n / csn::family_catalogue().len() + 1,
+        seed: 9,
+        ..DatasetConfig::default()
+    })
+}
+
 /// A smaller corpus for quick Criterion iterations.
 pub fn small_corpus() -> Dataset {
     Dataset::generate(DatasetConfig {
@@ -92,8 +104,7 @@ pub fn text_to_code_eval(dataset: &Dataset, ctx: DescriptionContext) -> Vec<PrPo
         .map(|e| {
             let qvec = embedder.embed_text(&e.description);
             let ranked = rank_dense(&qvec, &stored);
-            let mut relevant: HashSet<u64> =
-                dataset.relevant_to(e).into_iter().collect();
+            let mut relevant: HashSet<u64> = dataset.relevant_to(e).into_iter().collect();
             relevant.insert(e.id);
             (ranked, relevant)
         })
@@ -161,8 +172,7 @@ pub fn code_to_code_eval(
                             .then(a.0.cmp(&b.0))
                     });
                     let ranked = scored.into_iter().map(|(id, _)| id).collect();
-                    let mut relevant: HashSet<u64> =
-                        dataset.relevant_to(e).into_iter().collect();
+                    let mut relevant: HashSet<u64> = dataset.relevant_to(e).into_iter().collect();
                     relevant.insert(e.id);
                     (ranked, relevant)
                 })
@@ -183,8 +193,7 @@ pub fn code_to_code_eval(
                     let partial = pyparse::drop_suffix_fraction(&e.code, omission);
                     let qvec = model.embed_code(&partial);
                     let ranked = rank_dense(&qvec, &stored);
-                    let mut relevant: HashSet<u64> =
-                        dataset.relevant_to(e).into_iter().collect();
+                    let mut relevant: HashSet<u64> = dataset.relevant_to(e).into_iter().collect();
                     relevant.insert(e.id);
                     (ranked, relevant)
                 })
@@ -214,7 +223,9 @@ pub fn description_keyword_recall(generated: &str, ground_truth: &str) -> f64 {
         .iter()
         .filter(|t| {
             gen_tokens.contains(*t)
-                || gen_tokens.iter().any(|g| g.starts_with(t.as_str()) || t.starts_with(g.as_str()))
+                || gen_tokens
+                    .iter()
+                    .any(|g| g.starts_with(t.as_str()) || t.starts_with(g.as_str()))
         })
         .count();
     hits as f64 / truth_tokens.len() as f64
@@ -240,7 +251,11 @@ pub fn render_curve(title: &str, curve: &[PrPoint]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     let _ = writeln!(s, "# {title}");
-    let _ = writeln!(s, "{:>4}  {:>9}  {:>9}  {:>9}", "k", "precision", "recall", "f1");
+    let _ = writeln!(
+        s,
+        "{:>4}  {:>9}  {:>9}  {:>9}",
+        "k", "precision", "recall", "f1"
+    );
     for p in curve {
         let _ = writeln!(
             s,
@@ -303,7 +318,10 @@ mod tests {
         let full = best_f1(&code_to_code_eval(&d, CodeRetriever::Aroma, 0.0)).0;
         let ninety = best_f1(&code_to_code_eval(&d, CodeRetriever::Aroma, 0.9)).0;
         assert!(full > ninety, "full {full} vs 90% dropped {ninety}");
-        assert!(ninety > 0.1, "Aroma must still work at 90% omission: {ninety}");
+        assert!(
+            ninety > 0.1,
+            "Aroma must still work at 90% omission: {ninety}"
+        );
     }
 
     #[test]
@@ -319,14 +337,21 @@ mod tests {
 
     #[test]
     fn keyword_recall_metric() {
-        assert!(description_keyword_recall("sums the numbers of a list", "sum all numbers in a list") > 0.6);
+        assert!(
+            description_keyword_recall("sums the numbers of a list", "sum all numbers in a list")
+                > 0.6
+        );
         assert_eq!(description_keyword_recall("", "anything here"), 0.0);
         assert_eq!(description_keyword_recall("words", ""), 0.0);
     }
 
     #[test]
     fn render_curve_is_table_shaped() {
-        let curve = vec![PrPoint { k: 1, precision: 1.0, recall: 0.2 }];
+        let curve = vec![PrPoint {
+            k: 1,
+            precision: 1.0,
+            recall: 0.2,
+        }];
         let s = render_curve("test", &curve);
         assert!(s.contains("# test"));
         assert!(s.contains("best F1"));

@@ -23,7 +23,7 @@ const COMMANDS: &[(&str, &str)] = &[
     ("help", "Lists commands, or shows help for one command."),
     ("history", "Lists the recorded executions of a workflow."),
     ("list", "Lists all items in the registry."),
-    ("literal_search", "Searches the registry for workflows and processing elements matching the search term."),
+    ("literal_search", "Searches the registry for workflows and processing elements matching the search term. Accepts --top N."),
     ("metrics", "Prints the server's request metrics snapshot (per-endpoint counts and latency percentiles)."),
     ("quit", "Exits the CLI."),
     ("register_pe", "Registers a new PE from a Python file."),
@@ -99,8 +99,9 @@ impl Cli {
             if let Some((name, desc)) = COMMANDS.iter().find(|(n, _)| n == topic) {
                 let usage = match *name {
                     "run" => "\nUsage:\n  run identifier [options]\n\nOptions:\n  identifier            Name or ID of the workflow to run\n  --rawinput            Treat input as raw string instead of evaluating it\n  -v, --verbose         Enable verbose output\n  -i, --input <data>    Input data for the workflow (can be used multiple times)\n  --multi <n>           Run the workflow in parallel using multiprocessing\n  --dynamic             Run the workflow in parallel using Redis",
-                    "semantic_search" => "\nUsage:\n  semantic_search [workflow|pe] [search_term]",
-                    "code_recommendation" => "\nUsage:\n  code_recommendation [workflow|pe] [code_snippet] [--embedding_type llm|spt]",
+                    "semantic_search" => "\nUsage:\n  semantic_search [workflow|pe] [search_term] [--top N]",
+                    "code_recommendation" => "\nUsage:\n  code_recommendation [workflow|pe] [code_snippet] [--embedding_type llm|spt] [--top N]",
+                    "literal_search" => "\nUsage:\n  literal_search [workflow|pe] [search_term] [--top N]",
                     _ => "",
                 };
                 return format!("{desc}{usage}");
@@ -197,8 +198,11 @@ impl Cli {
     }
 
     fn literal_search(&self, args: &[String]) -> Result<String, ClientError> {
-        let (scope, term) = parse_scope_and_term(args)?;
-        let (pes, wfs) = self.client.search_registry_literal(scope, &term)?;
+        let (args, top_n) = extract_top(args)?;
+        let (scope, term) = parse_scope_and_term(&args)?;
+        let (pes, wfs) = self
+            .client
+            .search_registry_literal_top(scope, &term, top_n)?;
         let mut out = String::new();
         let _ = writeln!(out, "Performing literal search for the term: {term}");
         for p in &pes {
@@ -226,8 +230,11 @@ impl Cli {
     }
 
     fn semantic_search(&self, args: &[String]) -> Result<String, ClientError> {
-        let (scope, term) = parse_scope_and_term(args)?;
-        let hits = self.client.search_registry_semantic(scope, &term)?;
+        let (args, top_n) = extract_top(args)?;
+        let (scope, term) = parse_scope_and_term(&args)?;
+        let hits = self
+            .client
+            .search_registry_semantic_top(scope, &term, top_n)?;
         // Fig. 8's result table.
         let mut out = String::new();
         let _ = writeln!(
@@ -255,6 +262,7 @@ impl Cli {
     }
 
     fn code_recommendation(&self, args: &[String]) -> Result<String, ClientError> {
+        let (args, top_n) = extract_top(args)?;
         let mut embedding = EmbeddingType::Spt;
         let mut positional = Vec::new();
         let mut i = 0;
@@ -278,7 +286,7 @@ impl Cli {
         let (scope, snippet) = parse_scope_and_term(&positional)?;
         let hits = self
             .client
-            .code_recommendation(scope, &snippet, embedding)?;
+            .code_recommendation_top(scope, &snippet, embedding, top_n)?;
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -482,6 +490,28 @@ fn stem(path: &str) -> String {
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| path.to_string())
+}
+
+/// Strip a `--top N` flag from `args`, returning the remaining arguments
+/// and the requested result cap.
+fn extract_top(args: &[String]) -> Result<(Vec<String>, Option<usize>), ClientError> {
+    let mut rest = Vec::new();
+    let mut top_n = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--top" {
+            i += 1;
+            top_n = Some(
+                args.get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ClientError::Server("--top needs a number".into()))?,
+            );
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    Ok((rest, top_n))
 }
 
 fn parse_ident(s: &str) -> Ident {
@@ -692,6 +722,26 @@ class PrintPrime(ConsumerPE):
         let out =
             c.execute("code_recommendation pe \"random.randint(1, 1000)\" --embedding_type llm");
         assert!(!out.contains("Error"), "{out}");
+    }
+
+    #[test]
+    fn top_flag_caps_search_results() {
+        let (mut c, _) = cli_with_isprime();
+        let out = c.execute("literal_search prime --top 1");
+        let pe_lines = out.lines().filter(|l| l.starts_with("peId")).count();
+        assert_eq!(pe_lines, 1, "{out}");
+        let out = c.execute("semantic_search pe \"prime numbers\" --top 1");
+        // Header + query lines + exactly one hit row.
+        let hit_lines = out
+            .lines()
+            .filter(|l| l.contains("Prime") || l.contains("Producer"))
+            .count();
+        assert_eq!(hit_lines, 1, "{out}");
+        // Malformed flag is an error, not a panic.
+        assert!(c.execute("literal_search prime --top").contains("Error"));
+        assert!(c
+            .execute("literal_search prime --top abc")
+            .contains("Error"));
     }
 
     #[test]

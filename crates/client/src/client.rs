@@ -443,50 +443,85 @@ impl LaminarClient {
 
     // ---- search -------------------------------------------------------------
 
-    /// `search_Registry_Literal`.
+    /// `search_Registry_Literal` (server-default result cap).
     pub fn search_registry_literal(
         &self,
         scope: SearchScope,
         term: &str,
     ) -> Result<(Vec<PeInfo>, Vec<WorkflowInfo>), ClientError> {
+        self.search_registry_literal_top(scope, term, None)
+    }
+
+    /// `search_Registry_Literal` with an explicit result cap (the CLI's
+    /// `--top N`; `None` keeps the server default).
+    pub fn search_registry_literal_top(
+        &self,
+        scope: SearchScope,
+        term: &str,
+        top_n: Option<usize>,
+    ) -> Result<(Vec<PeInfo>, Vec<WorkflowInfo>), ClientError> {
         match self.value(Request::SearchLiteral {
             token: self.token()?,
             scope,
             term: term.into(),
+            top_n,
         })? {
             Response::Registry { pes, workflows } => Ok((pes, workflows)),
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
 
-    /// `search_Registry_Semantic` (Fig. 8).
+    /// `search_Registry_Semantic` (Fig. 8, server-default top-k).
     pub fn search_registry_semantic(
         &self,
         scope: SearchScope,
         query: &str,
     ) -> Result<Vec<SemanticHit>, ClientError> {
+        self.search_registry_semantic_top(scope, query, None)
+    }
+
+    /// `search_Registry_Semantic` with an explicit top-k.
+    pub fn search_registry_semantic_top(
+        &self,
+        scope: SearchScope,
+        query: &str,
+        top_n: Option<usize>,
+    ) -> Result<Vec<SemanticHit>, ClientError> {
         match self.value(Request::SearchSemantic {
             token: self.token()?,
             scope,
             query: query.into(),
+            top_n,
         })? {
             Response::SemanticResults(hits) => Ok(hits),
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
 
-    /// `code_Recommendation` (Fig. 9).
+    /// `code_Recommendation` (Fig. 9, server-default top-k).
     pub fn code_recommendation(
         &self,
         scope: SearchScope,
         snippet: &str,
         embedding_type: EmbeddingType,
     ) -> Result<Vec<RecommendationHit>, ClientError> {
+        self.code_recommendation_top(scope, snippet, embedding_type, None)
+    }
+
+    /// `code_Recommendation` with an explicit top-k.
+    pub fn code_recommendation_top(
+        &self,
+        scope: SearchScope,
+        snippet: &str,
+        embedding_type: EmbeddingType,
+        top_n: Option<usize>,
+    ) -> Result<Vec<RecommendationHit>, ClientError> {
         match self.value(Request::CodeRecommendation {
             token: self.token()?,
             scope,
             snippet: snippet.into(),
             embedding_type,
+            top_n,
         })? {
             Response::Recommendations(hits) => Ok(hits),
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
@@ -801,6 +836,19 @@ class PrintPrime(ConsumerPE):
             )
             .unwrap();
         assert_eq!(recos[0].name, "NumberProducer");
+    }
+
+    #[test]
+    fn search_top_n_caps_results() {
+        let (c, _) = client_with_isprime();
+        let (pes, _) = c
+            .search_registry_literal_top(SearchScope::Both, "prime", Some(1))
+            .unwrap();
+        assert_eq!(pes.len(), 1);
+        let hits = c
+            .search_registry_semantic_top(SearchScope::Pe, "a prime checker", Some(2))
+            .unwrap();
+        assert!(hits.len() <= 2, "{hits:?}");
     }
 
     #[test]

@@ -215,7 +215,9 @@ fn clean_string_literal(lit: &str) -> String {
 /// Map dispel4py base classes to phrases.
 fn base_phrase(base: &str) -> Option<&'static str> {
     match base {
-        "IterativePE" => Some("an iterative processing element consuming one input and producing one output"),
+        "IterativePE" => {
+            Some("an iterative processing element consuming one input and producing one output")
+        }
         "ProducerPE" => Some("a producer processing element that generates data"),
         "ConsumerPE" => Some("a consumer processing element that absorbs data"),
         "GenericPE" => Some("a generic processing element"),
@@ -372,7 +374,10 @@ class IsPrime(IterativePE):
         assert!(!d.contains("Is prime"), "{d}");
         assert!(!d.contains("Checks whether"), "{d}");
         // It still sees the body shape.
-        assert!(d.contains("condition") || d.contains("range") || d.contains("all"), "{d}");
+        assert!(
+            d.contains("condition") || d.contains("range") || d.contains("all"),
+            "{d}"
+        );
     }
 
     #[test]
@@ -385,9 +390,12 @@ class IsPrime(IterativePE):
     #[test]
     fn base_classes_mapped() {
         let gen = CodeT5Sim::default();
-        let d = gen.describe_pe("class Gen(ProducerPE):\n    def _process(self, inputs):\n        return 1\n");
+        let d = gen.describe_pe(
+            "class Gen(ProducerPE):\n    def _process(self, inputs):\n        return 1\n",
+        );
         assert!(d.contains("producer"), "{d}");
-        let d2 = gen.describe_pe("class Sink(ConsumerPE):\n    def _process(self, x):\n        print(x)\n");
+        let d2 = gen
+            .describe_pe("class Sink(ConsumerPE):\n    def _process(self, x):\n        print(x)\n");
         assert!(d2.contains("consumer"), "{d2}");
     }
 
@@ -428,7 +436,10 @@ class IsPrime(IterativePE):
         let producer = "class NumberProducer(ProducerPE):\n    def _process(self, i):\n        return random.randint(1, 1000)\n";
         let d = gen.describe_workflow("isprime_wf", &[producer, ISPRIME]);
         assert!(d.contains("isprime wf") || d.contains("isprime"), "{d}");
-        assert!(d.contains("Number producer") || d.contains("number producer"), "{d}");
+        assert!(
+            d.contains("Number producer") || d.contains("number producer"),
+            "{d}"
+        );
         assert!(d.to_lowercase().contains("is prime"), "{d}");
     }
 

@@ -9,9 +9,44 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::topk::{ScoredRow, TopK};
+
 /// Embedding dimensionality (fixed across the workspace so embeddings can
 /// be stored in the registry and compared later).
 pub const DIM: usize = 256;
+
+/// Row count above which slab scans partition across rayon workers.
+pub const PAR_SCAN_THRESHOLD: usize = 4096;
+
+/// Fused dot product, unrolled into eight independent accumulator lanes so
+/// the compiler can keep the reduction in vector registers (the serial
+/// `zip().map().sum()` form creates a loop-carried dependency on a single
+/// scalar accumulator, which blocks auto-vectorisation of the adds).
+///
+/// Inputs of unequal length score only the common prefix; `DIM`-strided
+/// slab rows always hit the exact-chunk fast path.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut lanes = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for i in 0..8 {
+            lanes[i] += xa[i] * xb[i];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    let mut sum = tail;
+    for lane in lanes {
+        sum += lane;
+    }
+    sum
+}
 
 /// An L2-normalised dense vector.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,11 +80,7 @@ impl DenseVec {
 
     /// Cosine similarity (dot product — inputs are normalised).
     pub fn cosine(&self, other: &DenseVec) -> f32 {
-        self.values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| a * b)
-            .sum()
+        dot(&self.values, &other.values)
     }
 
     /// Serialise for registry storage (JSON array, as the paper's
@@ -93,6 +124,76 @@ pub fn batch_rank(query: &DenseVec, corpus: &[DenseVec]) -> Vec<RankedHit> {
             .then(a.index.cmp(&b.index))
     });
     hits
+}
+
+/// Serial top-k scan over a `DIM`-strided slab. `keys[row]` supplies the
+/// stable tie-break key; rows where `accept(row)` is false are skipped.
+pub fn slab_topk_serial<F>(
+    query: &[f32],
+    slab: &[f32],
+    keys: &[u64],
+    k: usize,
+    accept: F,
+) -> Vec<ScoredRow>
+where
+    F: Fn(usize) -> bool,
+{
+    debug_assert_eq!(slab.len(), keys.len() * DIM);
+    let mut top = TopK::new(k);
+    for (row, chunk) in slab.chunks_exact(DIM).enumerate() {
+        if accept(row) {
+            top.push(dot(query, chunk), keys[row], row);
+        }
+    }
+    top.into_sorted()
+}
+
+/// Rayon-partitioned top-k scan: each worker folds a bounded [`TopK`] over
+/// its partition (O(threads · k) transient memory, never O(n)) and the
+/// accumulators merge pairwise. The total `(score, key)` order makes the
+/// result identical to the serial scan regardless of partitioning.
+pub fn slab_topk_parallel<F>(
+    query: &[f32],
+    slab: &[f32],
+    keys: &[u64],
+    k: usize,
+    accept: F,
+) -> Vec<ScoredRow>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    debug_assert_eq!(slab.len(), keys.len() * DIM);
+    slab.par_chunks_exact(DIM)
+        .enumerate()
+        .fold(
+            || TopK::new(k),
+            |mut top, (row, chunk)| {
+                if accept(row) {
+                    top.push(dot(query, chunk), keys[row], row);
+                }
+                top
+            },
+        )
+        .reduce(|| TopK::new(k), TopK::merge)
+        .into_sorted()
+}
+
+/// Top-k scan over a slab, picking the parallel path for large corpora.
+pub fn slab_topk<F>(
+    query: &[f32],
+    slab: &[f32],
+    keys: &[u64],
+    k: usize,
+    accept: F,
+) -> Vec<ScoredRow>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    if keys.len() >= PAR_SCAN_THRESHOLD {
+        slab_topk_parallel(query, slab, keys, k, accept)
+    } else {
+        slab_topk_serial(query, slab, keys, k, accept)
+    }
 }
 
 /// Signed hashing: fold a feature hash into (dimension, sign).
@@ -154,10 +255,10 @@ mod tests {
     fn batch_rank_orders_and_breaks_ties() {
         let q = vec_of(&[(0, 1.0)]);
         let corpus = vec![
-            vec_of(&[(1, 1.0)]),            // orthogonal
-            vec_of(&[(0, 1.0)]),            // identical
-            vec_of(&[(0, 1.0), (1, 1.0)]),  // partial
-            vec_of(&[(1, 1.0)]),            // orthogonal (tie with 0)
+            vec_of(&[(1, 1.0)]),           // orthogonal
+            vec_of(&[(0, 1.0)]),           // identical
+            vec_of(&[(0, 1.0), (1, 1.0)]), // partial
+            vec_of(&[(1, 1.0)]),           // orthogonal (tie with 0)
         ];
         let hits = batch_rank(&q, &corpus);
         assert_eq!(hits[0].index, 1);
@@ -188,6 +289,63 @@ mod tests {
     }
 
     #[test]
+    fn fused_dot_matches_naive() {
+        let a: Vec<f32> = (0..DIM).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..DIM).map(|i| (i as f32 * 0.11).cos()).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-3);
+        // Unequal lengths score the common prefix only.
+        assert!(
+            (dot(&a[..19], &b) - a[..19].iter().zip(&b).map(|(x, y)| x * y).sum::<f32>()).abs()
+                < 1e-4
+        );
+        assert_eq!(dot(&[], &b), 0.0);
+    }
+
+    #[test]
+    fn slab_topk_matches_full_sort_prefix() {
+        let n = 300;
+        let rows: Vec<DenseVec> = (0..n)
+            .map(|i| vec_of(&[(i % DIM, 1.0), ((i * 3) % DIM, 0.5)]))
+            .collect();
+        let mut slab = Vec::with_capacity(n * DIM);
+        for r in &rows {
+            slab.extend_from_slice(&r.values);
+        }
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * 2 + 1).collect();
+        let q = vec_of(&[(0, 1.0), (3, 0.7)]);
+
+        let mut full: Vec<(f32, u64)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (q.cosine(r), keys[i]))
+            .collect();
+        full.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        for k in [1, 5, 17, n, n + 10] {
+            let got: Vec<(f32, u64)> = slab_topk_serial(&q.values, &slab, &keys, k, |_| true)
+                .into_iter()
+                .map(|h| (h.score, h.key))
+                .collect();
+            let want: Vec<(f32, u64)> = full.iter().take(k).copied().collect();
+            assert_eq!(got, want, "k={k}");
+            let par: Vec<(f32, u64)> = slab_topk_parallel(&q.values, &slab, &keys, k, |_| true)
+                .into_iter()
+                .map(|h| (h.score, h.key))
+                .collect();
+            assert_eq!(par, want, "parallel k={k}");
+        }
+
+        // Filtering: only even rows.
+        let got: Vec<usize> = slab_topk(&q.values, &slab, &keys, n, |row| row % 2 == 0)
+            .into_iter()
+            .map(|h| h.row)
+            .collect();
+        assert_eq!(got.len(), n / 2);
+        assert!(got.iter().all(|r| r % 2 == 0));
+    }
+
+    #[test]
     fn parallel_path_matches_serial() {
         let q = vec_of(&[(0, 1.0), (5, 0.5)]);
         let corpus: Vec<DenseVec> = (0..1500)
@@ -198,7 +356,10 @@ mod tests {
             let mut hits: Vec<RankedHit> = corpus
                 .iter()
                 .enumerate()
-                .map(|(i, v)| RankedHit { index: i, score: q.cosine(v) })
+                .map(|(i, v)| RankedHit {
+                    index: i,
+                    score: q.cosine(v),
+                })
                 .collect();
             hits.sort_unstable_by(|a, b| {
                 b.score

@@ -23,12 +23,14 @@ pub mod codet5;
 pub mod dense;
 pub mod reacc;
 pub mod tokenize;
+pub mod topk;
 pub mod unixcoder;
 
 pub use codet5::{CodeT5Sim, DescriptionContext};
-pub use dense::{batch_rank, DenseVec, RankedHit, DIM};
+pub use dense::{batch_rank, dot, slab_topk, DenseVec, RankedHit, DIM};
 pub use reacc::ReaccSim;
 pub use tokenize::{split_identifier, subword_tokens, text_tokens};
+pub use topk::{ScoredRow, TopK};
 pub use unixcoder::UniXcoderSim;
 
 /// Common interface implemented by both embedding substitutes.

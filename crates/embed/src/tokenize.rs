@@ -17,7 +17,9 @@ pub fn split_identifier(ident: &str) -> Vec<String> {
         let boundary = c.is_ascii_uppercase()
             && i > 0
             && (chars[i - 1].is_ascii_lowercase()
-                || (i + 1 < chars.len() && chars[i + 1].is_ascii_lowercase() && chars[i - 1].is_ascii_uppercase()));
+                || (i + 1 < chars.len()
+                    && chars[i + 1].is_ascii_lowercase()
+                    && chars[i - 1].is_ascii_uppercase()));
         if boundary && !cur.is_empty() {
             parts.push(std::mem::take(&mut cur));
         }
@@ -81,10 +83,16 @@ mod tests {
 
     #[test]
     fn snake_and_camel_split() {
-        assert_eq!(split_identifier("NumberProducer"), vec!["number", "producer"]);
+        assert_eq!(
+            split_identifier("NumberProducer"),
+            vec!["number", "producer"]
+        );
         assert_eq!(split_identifier("read_file"), vec!["read", "file"]);
         assert_eq!(split_identifier("HTTPServer"), vec!["http", "server"]);
-        assert_eq!(split_identifier("parseJSONValue"), vec!["parse", "json", "value"]);
+        assert_eq!(
+            split_identifier("parseJSONValue"),
+            vec!["parse", "json", "value"]
+        );
         assert_eq!(split_identifier("x"), vec!["x"]);
         assert_eq!(split_identifier("__init__"), vec!["init"]);
         assert!(split_identifier("").is_empty());

@@ -89,12 +89,22 @@ mod tests {
     #[test]
     fn deterministic() {
         let m = UniXcoderSim::new();
-        assert_eq!(m.embed_text("detect anomalies"), m.embed_text("detect anomalies"));
+        assert_eq!(
+            m.embed_text("detect anomalies"),
+            m.embed_text("detect anomalies")
+        );
     }
 
     #[test]
     fn identity_similarity_is_one() {
-        assert!((sim("reads a file and returns lines", "reads a file and returns lines") - 1.0).abs() < 1e-5);
+        assert!(
+            (sim(
+                "reads a file and returns lines",
+                "reads a file and returns lines"
+            ) - 1.0)
+                .abs()
+                < 1e-5
+        );
     }
 
     #[test]
@@ -121,8 +131,14 @@ mod tests {
 
     #[test]
     fn morphology_tolerance_via_char_ngrams() {
-        let s_exact = sim("normalize temperature records", "normalize temperature records");
-        let s_morph = sim("normalizes the temperatures of records", "normalize temperature records");
+        let s_exact = sim(
+            "normalize temperature records",
+            "normalize temperature records",
+        );
+        let s_morph = sim(
+            "normalizes the temperatures of records",
+            "normalize temperature records",
+        );
         let s_unrel = sim("parse json configuration", "normalize temperature records");
         assert!(s_morph > s_unrel, "morph {s_morph} unrel {s_unrel}");
         assert!(s_exact > s_morph);
@@ -150,6 +166,11 @@ mod tests {
         let query = "count words in a text";
         let short = "counts the words in a text";
         let spam = "words words words words words words words counts counts counts counts text text text text";
-        assert!(sim(query, short) > sim(query, spam), "short {} spam {}", sim(query, short), sim(query, spam));
+        assert!(
+            sim(query, short) > sim(query, spam),
+            "short {} spam {}",
+            sim(query, short),
+            sim(query, spam)
+        );
     }
 }

@@ -1,4 +1,5 @@
-//! The search service's in-memory embedding indexes.
+//! The search service's in-memory embedding indexes — a top-k vector
+//! engine over three modalities.
 //!
 //! The registry persists embeddings as JSON CLOBs; serving queries from
 //! parsed JSON on every search would dominate latency, so the server keeps
@@ -8,9 +9,44 @@
 //! * description embeddings (UniXcoderSim) — text-to-code search (§V-B);
 //! * SPT feature vectors (Aroma) — structural code recommendation (§VI);
 //! * ReACC code embeddings — the `--embedding_type llm` path (Fig. 9).
+//!
+//! # Architecture
+//!
+//! **Storage** is structure-of-arrays: each dense modality is one
+//! contiguous `DIM`-strided `f32` slab (row `i` at `[i*DIM, (i+1)*DIM)`),
+//! so a query scan is a single forward sweep over flat memory instead of a
+//! pointer chase through per-entry `Vec`s. An id→slot map gives O(1)
+//! upsert (in-place overwrite of the row) and O(DIM) deletion
+//! (swap-remove: the last row is copied into the vacated slot).
+//!
+//! **Concurrency** is read-copy-update: the whole state lives in an
+//! `Arc<IndexState>` behind a lock held only long enough to clone the
+//! `Arc`. Queries scan their snapshot entirely lock-free; writers mutate
+//! through [`Arc::make_mut`], which is in-place when no query holds a
+//! snapshot and a copy-on-write clone when one does. Registrations
+//! therefore never block searches and vice versa.
+//!
+//! **Selection** is bounded: every ranking API takes `k` and runs a
+//! size-k heap over the scan ([`embed::topk::TopK`]), O(n log k) time and
+//! O(k) memory — no full-corpus sort, no per-query allocation
+//! proportional to the corpus. Large corpora partition the scan across
+//! rayon workers; the total `(score, key)` order makes the merged result
+//! identical to the serial scan.
+//!
+//! **Prefiltering** (opt-in): an [`aroma::lsh::LshPrefilter`] shadows the
+//! SPT modality and, past a size threshold, shrinks the exact-rescore set
+//! from the whole corpus to the band-colliding candidate pool.
 
-use embed::{DenseVec, ReaccSim};
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aroma::lsh::{LshConfig, LshPrefilter, LshSearchStats};
+use embed::dense::{dot, slab_topk, PAR_SCAN_THRESHOLD};
+use embed::topk::{ScoredRow, TopK};
+use embed::{DenseVec, ReaccSim, DIM};
 use parking_lot::RwLock;
+use rayon::prelude::*;
 use spt::FeatureVec;
 
 /// What kind of registry row an index entry points at.
@@ -20,19 +56,150 @@ pub enum EntryKind {
     Workflow,
 }
 
-struct Entry {
-    id: u64,
-    kind: EntryKind,
-    desc: DenseVec,
-    spt: FeatureVec,
-    reacc: DenseVec,
+/// Encode `(id, kind)` into the stable ranking/tie-break key. Keeps id
+/// order primary so ties still break by ascending id, with kind as the
+/// final discriminant (the old full-sort left same-score same-id
+/// cross-kind order unspecified).
+#[inline]
+fn entry_key(id: u64, kind: EntryKind) -> u64 {
+    debug_assert!(id < u64::MAX / 2, "registry ids stay far below 2^63");
+    (id << 1) | matches!(kind, EntryKind::Workflow) as u64
+}
+
+#[inline]
+fn key_id(key: u64) -> u64 {
+    key >> 1
+}
+
+#[inline]
+fn key_kind(key: u64) -> EntryKind {
+    if key & 1 == 0 {
+        EntryKind::Pe
+    } else {
+        EntryKind::Workflow
+    }
+}
+
+/// One immutable snapshot of all three modalities. Cloned (copy-on-write)
+/// only when a writer mutates while a query still holds the previous
+/// snapshot.
+#[derive(Clone, Default)]
+struct IndexState {
+    /// `entry_key(id, kind)` per row — ranking tie-break + slot-map key.
+    keys: Vec<u64>,
+    kinds: Vec<EntryKind>,
+    /// Description-embedding slab, `keys.len() * DIM` values.
+    desc: Vec<f32>,
+    /// ReACC code-embedding slab, `keys.len() * DIM` values.
+    reacc: Vec<f32>,
+    /// Sparse SPT feature vectors, row-aligned with the slabs.
+    spt: Vec<FeatureVec>,
+    /// entry key → row.
+    slots: HashMap<u64, usize>,
+    pes: usize,
+    workflows: usize,
+    /// Opt-in MinHash prefilter shadowing the SPT modality.
+    lsh: Option<LshPrefilter>,
+}
+
+impl IndexState {
+    fn upsert(
+        &mut self,
+        id: u64,
+        kind: EntryKind,
+        desc: DenseVec,
+        spt: FeatureVec,
+        reacc: DenseVec,
+    ) {
+        debug_assert_eq!(desc.values.len(), DIM);
+        debug_assert_eq!(reacc.values.len(), DIM);
+        let key = entry_key(id, kind);
+        if let Some(lsh) = &mut self.lsh {
+            lsh.insert(key, &spt);
+        }
+        match self.slots.entry(key) {
+            MapEntry::Occupied(e) => {
+                let row = *e.get();
+                self.desc[row * DIM..(row + 1) * DIM].copy_from_slice(&desc.values);
+                self.reacc[row * DIM..(row + 1) * DIM].copy_from_slice(&reacc.values);
+                self.spt[row] = spt;
+            }
+            MapEntry::Vacant(e) => {
+                e.insert(self.keys.len());
+                self.keys.push(key);
+                self.kinds.push(kind);
+                self.desc.extend_from_slice(&desc.values);
+                self.reacc.extend_from_slice(&reacc.values);
+                self.spt.push(spt);
+                match kind {
+                    EntryKind::Pe => self.pes += 1,
+                    EntryKind::Workflow => self.workflows += 1,
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, id: u64, kind: EntryKind) {
+        let key = entry_key(id, kind);
+        let Some(row) = self.slots.remove(&key) else {
+            return;
+        };
+        if let Some(lsh) = &mut self.lsh {
+            lsh.remove(key);
+        }
+        match kind {
+            EntryKind::Pe => self.pes -= 1,
+            EntryKind::Workflow => self.workflows -= 1,
+        }
+        let last = self.keys.len() - 1;
+        self.keys.swap_remove(row);
+        self.kinds.swap_remove(row);
+        self.spt.swap_remove(row);
+        // Slab swap-remove: move the last row into the vacated stride,
+        // then shrink. With `row == last` the copy is a no-op onto itself.
+        self.desc
+            .copy_within(last * DIM..(last + 1) * DIM, row * DIM);
+        self.desc.truncate(last * DIM);
+        self.reacc
+            .copy_within(last * DIM..(last + 1) * DIM, row * DIM);
+        self.reacc.truncate(last * DIM);
+        if row != last {
+            self.slots.insert(self.keys[row], row);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.kinds.clear();
+        self.desc.clear();
+        self.reacc.clear();
+        self.spt.clear();
+        self.slots.clear();
+        self.pes = 0;
+        self.workflows = 0;
+        if let Some(lsh) = &mut self.lsh {
+            lsh.clear();
+        }
+    }
+
+    #[inline]
+    fn accepts(&self, row: usize, kind: Option<EntryKind>) -> bool {
+        kind.is_none_or(|k| self.kinds[row] == k)
+    }
 }
 
 /// The three search indexes, kept consistent with the registry by the
 /// server's write paths.
-#[derive(Default)]
 pub struct SearchIndexes {
-    entries: RwLock<Vec<Entry>>,
+    state: RwLock<Arc<IndexState>>,
+    /// SPT corpus size at which the LSH prefilter (when built) engages.
+    lsh_min_entries: usize,
+}
+
+impl Default for SearchIndexes {
+    fn default() -> Self {
+        SearchIndexes::new()
+    }
 }
 
 /// A scored index hit.
@@ -44,11 +211,35 @@ pub struct IndexHit {
 }
 
 impl SearchIndexes {
+    /// Exact-scan indexes (no LSH prefilter).
     pub fn new() -> Self {
-        SearchIndexes::default()
+        SearchIndexes {
+            state: RwLock::new(Arc::new(IndexState::default())),
+            lsh_min_entries: usize::MAX,
+        }
     }
 
-    /// Insert or replace the entry for `(kind, id)`.
+    /// Indexes with a MinHash-LSH prefilter on the SPT modality that
+    /// engages once the corpus reaches `min_entries` (below that, exact
+    /// scanning is both faster and lossless).
+    pub fn with_spt_prefilter(config: LshConfig, min_entries: usize) -> Self {
+        SearchIndexes {
+            state: RwLock::new(Arc::new(IndexState {
+                lsh: Some(LshPrefilter::new(config)),
+                ..IndexState::default()
+            })),
+            lsh_min_entries: min_entries,
+        }
+    }
+
+    /// Clone the current snapshot (an `Arc` bump — queries then scan it
+    /// without holding any lock).
+    fn snapshot(&self) -> Arc<IndexState> {
+        self.state.read().clone()
+    }
+
+    /// Insert or replace the entry for `(kind, id)`, embedding `code` for
+    /// the ReACC modality.
     pub fn upsert(
         &self,
         id: u64,
@@ -58,72 +249,225 @@ impl SearchIndexes {
         code: &str,
     ) {
         let reacc = ReaccSim::new().embed_code(code);
-        let mut entries = self.entries.write();
-        entries.retain(|e| !(e.id == id && e.kind == kind));
-        entries.push(Entry {
-            id,
-            kind,
-            desc,
-            spt: spt_vec,
-            reacc,
-        });
+        self.upsert_embedded(id, kind, desc, spt_vec, reacc);
+    }
+
+    /// Insert or replace with a pre-computed ReACC embedding (the warm-load
+    /// path embeds registry rows in parallel before touching the index).
+    pub fn upsert_embedded(
+        &self,
+        id: u64,
+        kind: EntryKind,
+        desc: DenseVec,
+        spt_vec: FeatureVec,
+        reacc: DenseVec,
+    ) {
+        let mut guard = self.state.write();
+        Arc::make_mut(&mut *guard).upsert(id, kind, desc, spt_vec, reacc);
     }
 
     pub fn remove(&self, id: u64, kind: EntryKind) {
-        self.entries
-            .write()
-            .retain(|e| !(e.id == id && e.kind == kind));
+        let mut guard = self.state.write();
+        Arc::make_mut(&mut *guard).remove(id, kind);
     }
 
     pub fn clear(&self) {
-        self.entries.write().clear();
+        let mut guard = self.state.write();
+        Arc::make_mut(&mut *guard).clear();
     }
 
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.state.read().keys.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.state.read().keys.is_empty()
     }
 
-    fn rank<F>(&self, kind_filter: Option<EntryKind>, score: F) -> Vec<IndexHit>
-    where
-        F: Fn(&Entry) -> f32,
-    {
-        let entries = self.entries.read();
-        let mut hits: Vec<IndexHit> = entries
-            .iter()
-            .filter(|e| kind_filter.is_none_or(|k| e.kind == k))
-            .map(|e| IndexHit {
-                id: e.id,
-                kind: e.kind,
-                score: score(e),
-            })
-            .collect();
-        hits.sort_unstable_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
+    /// `(PE entries, workflow entries)` — feeds the index-size gauges.
+    pub fn counts(&self) -> (usize, usize) {
+        let st = self.state.read();
+        (st.pes, st.workflows)
+    }
+
+    /// Top-`k` by cosine of description embeddings (semantic text search).
+    pub fn rank_semantic(
+        &self,
+        query: &DenseVec,
+        kind: Option<EntryKind>,
+        k: usize,
+    ) -> Vec<IndexHit> {
+        let st = self.snapshot();
+        let rows = slab_topk(&query.values, &st.desc, &st.keys, k, |row| {
+            st.accepts(row, kind)
         });
-        hits
+        to_hits(&st, rows)
     }
 
-    /// Rank by cosine of description embeddings (semantic text search).
-    pub fn rank_semantic(&self, query: &DenseVec, kind: Option<EntryKind>) -> Vec<IndexHit> {
-        self.rank(kind, |e| query.cosine(&e.desc))
+    /// Top-`k` by ReACC code-embedding cosine (`--embedding_type llm`).
+    pub fn rank_reacc(&self, query: &DenseVec, kind: Option<EntryKind>, k: usize) -> Vec<IndexHit> {
+        let st = self.snapshot();
+        let rows = slab_topk(&query.values, &st.reacc, &st.keys, k, |row| {
+            st.accepts(row, kind)
+        });
+        to_hits(&st, rows)
     }
 
-    /// Rank by SPT feature overlap (structural code search).
-    pub fn rank_spt(&self, query: &FeatureVec, kind: Option<EntryKind>) -> Vec<IndexHit> {
-        self.rank(kind, |e| query.overlap(&e.spt))
+    /// Top-`k` by SPT feature overlap (structural code search).
+    pub fn rank_spt(&self, query: &FeatureVec, kind: Option<EntryKind>, k: usize) -> Vec<IndexHit> {
+        self.rank_spt_with_stats(query, kind, k).0
     }
 
-    /// Rank by ReACC-style code-embedding cosine (`--embedding_type llm`).
-    pub fn rank_reacc(&self, query: &DenseVec, kind: Option<EntryKind>) -> Vec<IndexHit> {
-        self.rank(kind, |e| query.cosine(&e.reacc))
+    /// Like [`rank_spt`](Self::rank_spt), also reporting the LSH candidate
+    /// pool when the prefilter engaged (`None` ⇒ exact scan).
+    pub fn rank_spt_with_stats(
+        &self,
+        query: &FeatureVec,
+        kind: Option<EntryKind>,
+        k: usize,
+    ) -> (Vec<IndexHit>, Option<LshSearchStats>) {
+        let st = self.snapshot();
+        if let Some(lsh) = &st.lsh {
+            if st.keys.len() >= self.lsh_min_entries && !query.is_empty() {
+                let candidates = lsh.candidates(query);
+                let stats = LshSearchStats {
+                    candidates: candidates.len(),
+                    indexed: lsh.len(),
+                };
+                let mut top = TopK::new(k);
+                for key in candidates {
+                    if kind.is_some_and(|kf| key_kind(key) != kf) {
+                        continue;
+                    }
+                    // The prefilter shadows the slot map, so a candidate
+                    // always resolves; guard anyway.
+                    let Some(&row) = st.slots.get(&key) else {
+                        continue;
+                    };
+                    top.push(query.overlap(&st.spt[row]), key, row);
+                }
+                return (to_hits(&st, top.into_sorted()), Some(stats));
+            }
+        }
+        (to_hits(&st, spt_topk(&st, query, kind, k)), None)
     }
+
+    /// *All* SPT hits with overlap ≥ `min_score`, best first. The
+    /// workflow-scope recommendation aggregates member PEs and therefore
+    /// needs every match above threshold, not a fixed k; the allocation is
+    /// proportional to the number of matches, not the corpus.
+    pub fn rank_spt_above(
+        &self,
+        query: &FeatureVec,
+        kind: Option<EntryKind>,
+        min_score: f32,
+    ) -> Vec<IndexHit> {
+        let st = self.snapshot();
+        let score_row = |(row, v): (usize, &FeatureVec)| {
+            if !st.accepts(row, kind) {
+                return None;
+            }
+            let score = query.overlap(v);
+            (score >= min_score).then_some(ScoredRow {
+                row,
+                key: st.keys[row],
+                score,
+            })
+        };
+        let mut rows: Vec<ScoredRow> = if st.spt.len() >= PAR_SCAN_THRESHOLD {
+            st.spt
+                .par_iter()
+                .enumerate()
+                .filter_map(score_row)
+                .collect()
+        } else {
+            st.spt.iter().enumerate().filter_map(score_row).collect()
+        };
+        rows.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.key.cmp(&b.key)));
+        to_hits(&st, rows)
+    }
+
+    /// *All* ReACC hits with cosine ≥ `min_score`, best first — the dense
+    /// counterpart of [`rank_spt_above`](Self::rank_spt_above), used by the
+    /// workflow-scope `--embedding_type llm` recommendation.
+    pub fn rank_reacc_above(
+        &self,
+        query: &DenseVec,
+        kind: Option<EntryKind>,
+        min_score: f32,
+    ) -> Vec<IndexHit> {
+        let st = self.snapshot();
+        let score_row = |(row, chunk): (usize, &[f32])| {
+            if !st.accepts(row, kind) {
+                return None;
+            }
+            let score = dot(&query.values, chunk);
+            (score >= min_score).then_some(ScoredRow {
+                row,
+                key: st.keys[row],
+                score,
+            })
+        };
+        let mut rows: Vec<ScoredRow> = if st.keys.len() >= PAR_SCAN_THRESHOLD {
+            st.reacc
+                .par_chunks_exact(DIM)
+                .enumerate()
+                .filter_map(score_row)
+                .collect()
+        } else {
+            st.reacc
+                .chunks_exact(DIM)
+                .enumerate()
+                .filter_map(score_row)
+                .collect()
+        };
+        rows.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.key.cmp(&b.key)));
+        to_hits(&st, rows)
+    }
+}
+
+/// Exact bounded SPT scan, partitioned across rayon workers past the
+/// threshold (each worker folds an O(k) accumulator).
+fn spt_topk(
+    st: &IndexState,
+    query: &FeatureVec,
+    kind: Option<EntryKind>,
+    k: usize,
+) -> Vec<ScoredRow> {
+    if st.spt.len() >= PAR_SCAN_THRESHOLD {
+        st.spt
+            .par_iter()
+            .enumerate()
+            .fold(
+                || TopK::new(k),
+                |mut top, (row, v)| {
+                    if st.accepts(row, kind) {
+                        top.push(query.overlap(v), st.keys[row], row);
+                    }
+                    top
+                },
+            )
+            .reduce(|| TopK::new(k), TopK::merge)
+            .into_sorted()
+    } else {
+        let mut top = TopK::new(k);
+        for (row, v) in st.spt.iter().enumerate() {
+            if st.accepts(row, kind) {
+                top.push(query.overlap(v), st.keys[row], row);
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+fn to_hits(st: &IndexState, rows: Vec<ScoredRow>) -> Vec<IndexHit> {
+    rows.into_iter()
+        .map(|r| IndexHit {
+            id: key_id(r.key),
+            kind: st.kinds[r.row],
+            score: r.score,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -131,6 +475,8 @@ mod tests {
     use super::*;
     use embed::{Embedder, UniXcoderSim};
     use spt::Spt;
+
+    const ALL: usize = usize::MAX;
 
     fn add(ix: &SearchIndexes, id: u64, kind: EntryKind, desc: &str, code: &str) {
         ix.upsert(
@@ -160,9 +506,11 @@ mod tests {
             "class B: pass",
         );
         let q = UniXcoderSim::new().embed("a pe that is able to detect anomalies");
-        let hits = ix.rank_semantic(&q, Some(EntryKind::Pe));
+        let hits = ix.rank_semantic(&q, Some(EntryKind::Pe), ALL);
         assert_eq!(hits[0].id, 1);
         assert!(hits[0].score > hits[1].score);
+        // Bounded k keeps the best hit only.
+        assert_eq!(ix.rank_semantic(&q, Some(EntryKind::Pe), 1), hits[..1]);
     }
 
     #[test]
@@ -183,10 +531,10 @@ mod tests {
             "def g(y):\n    return y + 1\n",
         );
         let q = Spt::parse_source("random.randint(1, 1000)").feature_vec();
-        let pe_hits = ix.rank_spt(&q, Some(EntryKind::Pe));
+        let pe_hits = ix.rank_spt(&q, Some(EntryKind::Pe), ALL);
         assert_eq!(pe_hits.len(), 1);
         assert_eq!(pe_hits[0].id, 1);
-        let all = ix.rank_spt(&q, None);
+        let all = ix.rank_spt(&q, None, ALL);
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].id, 1);
     }
@@ -204,7 +552,7 @@ mod tests {
         );
         assert_eq!(ix.len(), 1);
         let q = UniXcoderSim::new().embed("words");
-        let hits = ix.rank_semantic(&q, None);
+        let hits = ix.rank_semantic(&q, None, ALL);
         assert!(hits[0].score > 0.0, "new embedding in effect");
     }
 
@@ -213,12 +561,15 @@ mod tests {
         let ix = SearchIndexes::new();
         add(&ix, 1, EntryKind::Pe, "a", "x = 1\n");
         add(&ix, 2, EntryKind::Workflow, "b", "y = 2\n");
+        assert_eq!(ix.counts(), (1, 1));
         ix.remove(1, EntryKind::Pe);
         assert_eq!(ix.len(), 1);
         ix.remove(1, EntryKind::Workflow); // no-op: wrong kind
         assert_eq!(ix.len(), 1);
+        assert_eq!(ix.counts(), (0, 1));
         ix.clear();
         assert!(ix.is_empty());
+        assert_eq!(ix.counts(), (0, 0));
     }
 
     #[test]
@@ -234,8 +585,129 @@ mod tests {
             "class Other:\n    def g(self):\n        pass\n",
         );
         let q = ReaccSim::new().embed_code(code);
-        let hits = ix.rank_reacc(&q, None);
+        let hits = ix.rank_reacc(&q, None, ALL);
         assert_eq!(hits[0].id, 1);
         assert!(hits[0].score > 0.99);
+    }
+
+    #[test]
+    fn swap_remove_keeps_rows_consistent() {
+        // Remove from the middle, then verify every surviving entry still
+        // ranks itself first on its own code — i.e. slabs, spt rows, and
+        // slot map all moved together.
+        let ix = SearchIndexes::new();
+        let codes: Vec<String> = (0..8)
+            .map(|i| format!("def f{i}(a):\n    return a * {i} + {i}\n"))
+            .collect();
+        for (i, code) in codes.iter().enumerate() {
+            add(
+                &ix,
+                i as u64,
+                EntryKind::Pe,
+                &format!("pe number {i}"),
+                code,
+            );
+        }
+        ix.remove(3, EntryKind::Pe);
+        ix.remove(0, EntryKind::Pe);
+        assert_eq!(ix.len(), 6);
+        for (i, code) in codes.iter().enumerate() {
+            if i == 3 || i == 0 {
+                continue;
+            }
+            let q = ReaccSim::new().embed_code(code);
+            let hits = ix.rank_reacc(&q, None, 1);
+            assert_eq!(hits[0].id, i as u64, "self-retrieval after swap-remove");
+        }
+        // The removed ids never surface again.
+        let q = ReaccSim::new().embed_code(&codes[3]);
+        assert!(ix.rank_reacc(&q, None, ALL).iter().all(|h| h.id != 3));
+    }
+
+    #[test]
+    fn rank_spt_above_returns_all_matches() {
+        let ix = SearchIndexes::new();
+        let shared = "def f(data):\n    total = 0\n    for item in data:\n        total += item\n    return total\n";
+        add(&ix, 1, EntryKind::Pe, "", shared);
+        add(&ix, 2, EntryKind::Pe, "", shared);
+        add(&ix, 3, EntryKind::Pe, "", "x = 1\n");
+        let q = Spt::parse_source(shared).feature_vec();
+        let above = ix.rank_spt_above(&q, Some(EntryKind::Pe), 6.0);
+        assert_eq!(above.len(), 2);
+        assert_eq!(above[0].id, 1, "tie broken by id");
+        assert_eq!(above[1].id, 2);
+        // Must equal filtering the full ranking.
+        let full: Vec<IndexHit> = ix
+            .rank_spt(&q, Some(EntryKind::Pe), ALL)
+            .into_iter()
+            .filter(|h| h.score >= 6.0)
+            .collect();
+        assert_eq!(above, full);
+    }
+
+    #[test]
+    fn rank_reacc_above_matches_filtered_ranking() {
+        let ix = SearchIndexes::new();
+        let shared = "def f(a):\n    return a * 2\n";
+        add(&ix, 1, EntryKind::Pe, "", shared);
+        add(&ix, 2, EntryKind::Pe, "", shared);
+        add(
+            &ix,
+            3,
+            EntryKind::Pe,
+            "",
+            "class Other:\n    def g(self):\n        pass\n",
+        );
+        let q = ReaccSim::new().embed_code(shared);
+        let above = ix.rank_reacc_above(&q, Some(EntryKind::Pe), 0.9);
+        assert_eq!(above.len(), 2);
+        assert_eq!(above[0].id, 1, "tie broken by id");
+        let full: Vec<IndexHit> = ix
+            .rank_reacc(&q, Some(EntryKind::Pe), ALL)
+            .into_iter()
+            .filter(|h| h.score >= 0.9)
+            .collect();
+        assert_eq!(above, full);
+    }
+
+    #[test]
+    fn lsh_prefilter_engages_past_threshold() {
+        let ix = SearchIndexes::with_spt_prefilter(LshConfig::default(), 4);
+        let mk = |i: usize| {
+            format!("def f{i}(data):\n    total{i} = {i}\n    for item in data:\n        total{i} += item\n    return total{i}\n")
+        };
+        for i in 0..3 {
+            add(&ix, i as u64, EntryKind::Pe, "", &mk(i));
+        }
+        let q = Spt::parse_source(&mk(0)).feature_vec();
+        // Below threshold: exact scan, no stats.
+        let (_, stats) = ix.rank_spt_with_stats(&q, None, 5);
+        assert!(stats.is_none());
+        for i in 3..12 {
+            add(&ix, i as u64, EntryKind::Pe, "", &mk(i));
+        }
+        let (hits, stats) = ix.rank_spt_with_stats(&q, None, 5);
+        let stats = stats.expect("prefilter engaged");
+        assert_eq!(stats.indexed, 12);
+        assert!(stats.candidates <= stats.indexed);
+        // The near-identical family collides; the top hit is the clone.
+        assert_eq!(hits.first().map(|h| h.id), Some(0));
+        // Removal propagates into the prefilter.
+        ix.remove(0, EntryKind::Pe);
+        let (hits, _) = ix.rank_spt_with_stats(&q, None, 5);
+        assert!(hits.iter().all(|h| h.id != 0));
+    }
+
+    #[test]
+    fn same_id_across_kinds_coexist() {
+        let ix = SearchIndexes::new();
+        add(&ix, 5, EntryKind::Pe, "pe five", "x = 1\n");
+        add(&ix, 5, EntryKind::Workflow, "workflow five", "y = 2\n");
+        assert_eq!(ix.len(), 2);
+        ix.remove(5, EntryKind::Pe);
+        assert_eq!(ix.len(), 1);
+        let q = UniXcoderSim::new().embed("workflow five");
+        let hits = ix.rank_semantic(&q, None, ALL);
+        assert_eq!(hits[0].kind, EntryKind::Workflow);
     }
 }

@@ -36,7 +36,7 @@ pub mod transport;
 
 pub use connection::{classify, ConnOptions, Connection, ConnectionError};
 pub use net::{NetClientTransport, NetServer, NetServerConfig, MAX_FRAME};
-pub use obs::{EndpointSnapshot, Metrics, MetricsSnapshot, RequestId};
+pub use obs::{EndpointSnapshot, Metrics, MetricsSnapshot, RequestId, SearchSnapshot};
 pub use protocol::{
     EmbeddingType, Ident, PeSubmission, Reply, Request, RequestEnvelope, Response, RunMode,
     SearchScope, SemanticHit, WireFrame, PROTOCOL_VERSION,

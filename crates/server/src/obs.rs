@@ -77,6 +77,11 @@ impl Gauge {
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Set to an absolute level (index sizes are re-read, not counted).
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -187,8 +192,39 @@ pub struct EndpointMetrics {
     pub latency: Histogram,
 }
 
+/// Search-engine metrics: one latency histogram per modality (the three
+/// `SearchIndexes` ranking paths), index-size gauges, and the LSH
+/// prefilter's candidate-pool accounting.
+#[derive(Debug, Default)]
+pub struct SearchMetrics {
+    pub semantic_latency: Histogram,
+    pub spt_latency: Histogram,
+    pub reacc_latency: Histogram,
+    pub index_pes: Gauge,
+    pub index_workflows: Gauge,
+    /// SPT queries answered through the LSH prefilter.
+    pub lsh_queries: Counter,
+    /// Total candidates those queries rescored (pool size, summed).
+    pub lsh_candidates: Counter,
+}
+
+impl SearchMetrics {
+    fn snapshot(&self) -> SearchSnapshot {
+        SearchSnapshot {
+            semantic: self.semantic_latency.snapshot(),
+            spt: self.spt_latency.snapshot(),
+            reacc: self.reacc_latency.snapshot(),
+            index_pes: self.index_pes.get(),
+            index_workflows: self.index_workflows.get(),
+            lsh_queries: self.lsh_queries.get(),
+            lsh_candidates: self.lsh_candidates.get(),
+        }
+    }
+}
+
 /// The server's metric registry: one [`EndpointMetrics`] per protocol
-/// endpoint plus connection-level counters fed by the TCP layer.
+/// endpoint plus connection-level counters fed by the TCP layer and the
+/// search-engine metrics fed by the search service.
 pub struct Metrics {
     started: Instant,
     endpoints: RwLock<HashMap<&'static str, Arc<EndpointMetrics>>>,
@@ -197,6 +233,7 @@ pub struct Metrics {
     pub connections_active: Gauge,
     pub timeouts: Counter,
     pub disconnects: Counter,
+    pub search: SearchMetrics,
 }
 
 impl Default for Metrics {
@@ -209,6 +246,7 @@ impl Default for Metrics {
             connections_active: Gauge::default(),
             timeouts: Counter::default(),
             disconnects: Counter::default(),
+            search: SearchMetrics::default(),
         }
     }
 }
@@ -254,8 +292,21 @@ impl Metrics {
             timeouts: self.timeouts.get(),
             disconnects: self.disconnects.get(),
             endpoints,
+            search: self.search.snapshot(),
         }
     }
+}
+
+/// Snapshot of the search-engine metrics (serialisable).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SearchSnapshot {
+    pub semantic: HistogramSnapshot,
+    pub spt: HistogramSnapshot,
+    pub reacc: HistogramSnapshot,
+    pub index_pes: i64,
+    pub index_workflows: i64,
+    pub lsh_queries: u64,
+    pub lsh_candidates: u64,
 }
 
 /// Snapshot of one histogram (serialisable).
@@ -292,6 +343,10 @@ pub struct MetricsSnapshot {
     pub timeouts: u64,
     pub disconnects: u64,
     pub endpoints: Vec<EndpointSnapshot>,
+    /// Search-engine metrics; serde-defaulted so a protocol-v2 snapshot
+    /// (no `search` field) still deserialises.
+    #[serde(default)]
+    pub search: SearchSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -326,6 +381,37 @@ impl MetricsSnapshot {
                 e.latency.p50_us,
                 e.latency.p95_us,
                 e.latency.p99_us
+            );
+        }
+        let s = &self.search;
+        let _ = writeln!(
+            out,
+            "search index: pes {}  workflows {}",
+            s.index_pes, s.index_workflows
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>9} {:>9} {:>9}",
+            "search modality", "queries", "p50_us", "p95_us", "p99_us"
+        );
+        for (name, h) in [
+            ("semantic", &s.semantic),
+            ("spt", &s.spt),
+            ("reacc", &s.reacc),
+        ] {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>9} {:>9} {:>9}",
+                name, h.count, h.p50_us, h.p95_us, h.p99_us
+            );
+        }
+        if s.lsh_queries > 0 {
+            let _ = writeln!(
+                out,
+                "lsh prefilter: queries {}  candidates {} (avg pool {:.1})",
+                s.lsh_queries,
+                s.lsh_candidates,
+                s.lsh_candidates as f64 / s.lsh_queries as f64
             );
         }
         out
@@ -405,6 +491,30 @@ mod tests {
         let table = snap.render();
         assert!(table.contains("Run"), "{table}");
         assert!(table.contains("rejected 1"), "{table}");
+    }
+
+    #[test]
+    fn search_metrics_snapshot_and_render() {
+        let m = Metrics::new();
+        m.search.semantic_latency.record(Duration::from_micros(90));
+        m.search.spt_latency.record(Duration::from_micros(300));
+        m.search.index_pes.set(42);
+        m.search.index_workflows.set(7);
+        m.search.lsh_queries.inc();
+        m.search.lsh_candidates.add(12);
+        let snap = m.snapshot();
+        assert_eq!(snap.search.semantic.count, 1);
+        assert_eq!(snap.search.index_pes, 42);
+        assert_eq!(snap.search.lsh_candidates, 12);
+        let table = snap.render();
+        assert!(table.contains("pes 42"), "{table}");
+        assert!(table.contains("semantic"), "{table}");
+        assert!(table.contains("avg pool 12.0"), "{table}");
+        // A v2 snapshot without the `search` field still parses.
+        let mut json: serde_json::Value = serde_json::to_value(&snap).unwrap();
+        json.as_object_mut().unwrap().remove("search");
+        let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
+        assert_eq!(back.search, SearchSnapshot::default());
     }
 
     #[test]

@@ -35,6 +35,9 @@
 //!   `Unsupported` rejections and the `Metrics` endpoint. All additions
 //!   are backwards-compatible for version-1 readers that ignore unknown
 //!   frames.
+//! * `3` — adds the serde-defaulted `top_n` result cap to the search
+//!   requests (`SearchLiteral`/`SearchSemantic`/`CodeRecommendation`).
+//!   Version-2 payloads parse unchanged (`top_n: None` ⇒ server default).
 
 use crate::obs::MetricsSnapshot;
 use d4py::Data;
@@ -42,7 +45,7 @@ use serde::{Deserialize, Serialize};
 
 /// The protocol version this build speaks (see the module doc's version
 /// rules).
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Session token handed out by register/login.
 pub type Token = u64;
@@ -196,17 +199,26 @@ pub enum Request {
         token: Token,
         scope: SearchScope,
         term: String,
+        /// Result cap; `None` applies the server's default.
+        #[serde(default)]
+        top_n: Option<usize>,
     },
     SearchSemantic {
         token: Token,
         scope: SearchScope,
         query: String,
+        /// Result cap; `None` applies the server's default.
+        #[serde(default)]
+        top_n: Option<usize>,
     },
     CodeRecommendation {
         token: Token,
         scope: SearchScope,
         snippet: String,
         embedding_type: EmbeddingType,
+        /// Result cap; `None` applies the server's default.
+        #[serde(default)]
+        top_n: Option<usize>,
     },
     /// Context-aware code completion (§III): complete a partially-typed PE
     /// from the most structurally-similar registered PE.
@@ -529,6 +541,7 @@ mod tests {
                 token: 1,
                 scope: SearchScope::Pe,
                 query: "a pe that is able to detect anomalies".into(),
+                top_n: Some(3),
             },
             Request::Run {
                 token: 1,
@@ -585,6 +598,28 @@ mod tests {
         let f = WireFrame::Begin { request_id: 7 };
         let json = serde_json::to_string(&f).unwrap();
         assert_eq!(serde_json::from_str::<WireFrame>(&json).unwrap(), f);
+    }
+
+    #[test]
+    fn version_two_search_payload_parses_without_top_n() {
+        // A v2 client omits `top_n`; serde's default keeps it parsing.
+        let json = r#"{"SearchSemantic":{"token":1,"scope":"Pe","query":"anomaly"}}"#;
+        let req: Request = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            req,
+            Request::SearchSemantic {
+                token: 1,
+                scope: SearchScope::Pe,
+                query: "anomaly".into(),
+                top_n: None,
+            }
+        );
+        let json = r#"{"CodeRecommendation":{"token":1,"scope":"Both","snippet":"x = 1","embedding_type":"Spt"}}"#;
+        let req: Request = serde_json::from_str(json).unwrap();
+        assert!(matches!(
+            req,
+            Request::CodeRecommendation { top_n: None, .. }
+        ));
     }
 
     #[test]

@@ -5,13 +5,15 @@ use crate::indexes::{EntryKind, SearchIndexes};
 use crate::obs::{Metrics, RequestId};
 use crate::protocol::*;
 use crate::resources::ResourceCache;
-use embed::{CodeT5Sim, DescriptionContext, ReaccSim, UniXcoderSim};
+use aroma::lsh::LshConfig;
+use embed::{CodeT5Sim, DenseVec, DescriptionContext, ReaccSim, UniXcoderSim};
 use laminar_execengine::{ExecRequest, ExecutionEngine, Frame, ResponseMode};
 use laminar_registry::{
     ExecutionStatus, NewPe, NewWorkflow, PeRow, Registry, RegistryError, SearchTarget, WorkflowRow,
 };
 use parking_lot::RwLock;
-use spt::Spt;
+use rayon::prelude::*;
+use spt::{FeatureVec, Spt};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,10 +26,20 @@ pub struct ServerConfig {
     pub semantic_top_n: usize,
     /// Code recommendations return up to this many hits (paper default: 5).
     pub reco_top_n: usize,
+    /// Literal search returns at most this many rows per table (a sane
+    /// over-the-wire cap; clients can request fewer via `top_n`).
+    pub literal_top_n: usize,
     /// Minimum SPT overlap score for a recommendation (paper default: 6.0).
     pub reco_min_score: f32,
     /// Minimum cosine for `llm` recommendations.
     pub reco_min_cosine: f32,
+    /// Enable the MinHash-LSH prefilter on the SPT recommendation path
+    /// (§IX's scaling direction). Opt-in: prefiltering trades a little
+    /// recall for a much smaller exact-rescore set.
+    pub spt_lsh: bool,
+    /// Corpus size at which the prefilter engages (exact scanning wins
+    /// below it).
+    pub spt_lsh_min_entries: usize,
     /// Dynamic-run worker bounds (the config that replaced Listing 2's
     /// explicit parameters in Laminar 2.0).
     pub dynamic: d4py::DynamicConfig,
@@ -38,8 +50,11 @@ impl Default for ServerConfig {
         ServerConfig {
             semantic_top_n: 5,
             reco_top_n: 5,
+            literal_top_n: 100,
             reco_min_score: 6.0,
             reco_min_cosine: 0.3,
+            spt_lsh: false,
+            spt_lsh_min_entries: 512,
             dynamic: d4py::DynamicConfig::default(),
         }
     }
@@ -85,10 +100,15 @@ pub struct LaminarServer {
 
 impl LaminarServer {
     pub fn new(registry: Registry, engine: ExecutionEngine, config: ServerConfig) -> Self {
-        LaminarServer {
+        let indexes = if config.spt_lsh {
+            SearchIndexes::with_spt_prefilter(LshConfig::default(), config.spt_lsh_min_entries)
+        } else {
+            SearchIndexes::new()
+        };
+        let server = LaminarServer {
             registry: Arc::new(registry),
             engine: Arc::new(engine),
-            indexes: Arc::new(SearchIndexes::new()),
+            indexes: Arc::new(indexes),
             resources: Arc::new(ResourceCache::new()),
             sessions: RwLock::new(HashMap::new()),
             next_token: AtomicU64::new(1),
@@ -96,7 +116,73 @@ impl LaminarServer {
             codet5: CodeT5Sim::new(DescriptionContext::FullClass),
             unixcoder: UniXcoderSim::new(),
             metrics: Arc::new(Metrics::new()),
+        };
+        server.warm_load_indexes();
+        server
+    }
+
+    /// Cold-start warm load: rebuild the search indexes from whatever the
+    /// registry already holds (a registry restored via `load_from` arrives
+    /// populated). Embedding CLOBs decode and the ReACC code embeddings
+    /// compute in parallel across registry rows; only the final inserts
+    /// are sequential.
+    fn warm_load_indexes(&self) {
+        let pes = self.registry.all_pes();
+        let workflows = self.registry.all_workflows();
+        if pes.is_empty() && workflows.is_empty() {
+            return;
         }
+        struct RowRef<'a> {
+            id: u64,
+            kind: EntryKind,
+            desc_json: &'a str,
+            spt_json: &'a str,
+            description: &'a str,
+            code: &'a str,
+        }
+        let rows: Vec<RowRef<'_>> = pes
+            .iter()
+            .map(|p| RowRef {
+                id: p.id,
+                kind: EntryKind::Pe,
+                desc_json: &p.description_embedding,
+                spt_json: &p.spt_embedding,
+                description: &p.description,
+                code: &p.code,
+            })
+            .chain(workflows.iter().map(|w| RowRef {
+                id: w.id,
+                kind: EntryKind::Workflow,
+                desc_json: &w.description_embedding,
+                spt_json: &w.spt_embedding,
+                description: &w.description,
+                code: &w.code,
+            }))
+            .collect();
+        let decoded: Vec<(u64, EntryKind, DenseVec, FeatureVec, DenseVec)> = rows
+            .par_iter()
+            .map(|r| {
+                // Stored CLOBs are authoritative; rows predating the
+                // embedding columns fall back to re-embedding.
+                let desc = DenseVec::from_json(r.desc_json)
+                    .unwrap_or_else(|_| self.unixcoder.embed_text(r.description));
+                let spt = FeatureVec::from_json(r.spt_json)
+                    .unwrap_or_else(|_| Spt::parse_source(r.code).feature_vec());
+                let reacc = ReaccSim::new().embed_code(r.code);
+                (r.id, r.kind, desc, spt, reacc)
+            })
+            .collect();
+        for (id, kind, desc, spt, reacc) in decoded {
+            self.indexes.upsert_embedded(id, kind, desc, spt, reacc);
+        }
+        self.sync_index_gauges();
+    }
+
+    /// Refresh the index-size gauges after an index mutation.
+    fn sync_index_gauges(&self) {
+        let (pes, workflows) = self.indexes.counts();
+        self.metrics.search.index_pes.set(pes as i64);
+        self.metrics.search.index_workflows.set(workflows as i64);
     }
 
     /// Server with stock workflows and default config.
@@ -343,6 +429,7 @@ impl LaminarServer {
                 let pe = self.resolve_pe(&ident)?;
                 self.registry.remove_pe(pe.id)?;
                 self.indexes.remove(pe.id, EntryKind::Pe);
+                self.sync_index_gauges();
                 Reply::Value(Response::Ok)
             }
             Request::RemoveWorkflow { token, ident } => {
@@ -350,35 +437,45 @@ impl LaminarServer {
                 let wf = self.resolve_workflow(&ident)?;
                 self.registry.remove_workflow(wf.id)?;
                 self.indexes.remove(wf.id, EntryKind::Workflow);
+                self.sync_index_gauges();
                 Reply::Value(Response::Ok)
             }
             Request::RemoveAll { token } => {
                 self.auth(token)?;
                 self.registry.remove_all();
                 self.indexes.clear();
+                self.sync_index_gauges();
                 Reply::Value(Response::Ok)
             }
-            Request::SearchLiteral { token, scope, term } => {
+            Request::SearchLiteral {
+                token,
+                scope,
+                term,
+                top_n,
+            } => {
                 self.auth(token)?;
                 let target = match scope {
                     SearchScope::Pe => SearchTarget::Pe,
                     SearchScope::Workflow => SearchTarget::Workflow,
                     SearchScope::Both => SearchTarget::Both,
                 };
+                let k = top_n.unwrap_or(self.config.literal_top_n);
                 let (pes, wfs) = self.registry.literal_search(target, &term);
                 Reply::Value(Response::Registry {
-                    pes: pes.iter().map(pe_info).collect(),
-                    workflows: wfs.iter().map(wf_info).collect(),
+                    pes: pes.iter().take(k).map(pe_info).collect(),
+                    workflows: wfs.iter().take(k).map(wf_info).collect(),
                 })
             }
             Request::SearchSemantic {
                 token,
                 scope,
                 query,
+                top_n,
             } => {
                 self.auth(token)?;
+                let k = top_n.unwrap_or(self.config.semantic_top_n);
                 Reply::Value(Response::SemanticResults(
-                    self.semantic_search(scope, &query),
+                    self.semantic_search(scope, &query, k),
                 ))
             }
             Request::CodeRecommendation {
@@ -386,12 +483,15 @@ impl LaminarServer {
                 scope,
                 snippet,
                 embedding_type,
+                top_n,
             } => {
                 self.auth(token)?;
+                let k = top_n.unwrap_or(self.config.reco_top_n);
                 Reply::Value(Response::Recommendations(self.code_recommendation(
                     scope,
                     &snippet,
                     embedding_type,
+                    k,
                 )))
             }
             Request::CodeCompletion { token, snippet } => {
@@ -506,6 +606,7 @@ impl LaminarServer {
             Ok(id) => {
                 self.indexes
                     .upsert(id, EntryKind::Pe, desc_emb, spt_vec, &pe.code);
+                self.sync_index_gauges();
                 Ok((pe.name, id))
             }
             Err(RegistryError::DuplicateName { .. }) => {
@@ -549,22 +650,23 @@ impl LaminarServer {
         })?;
         self.indexes
             .upsert(id, EntryKind::Workflow, desc_emb, spt_vec, code);
+        self.sync_index_gauges();
         Ok(id)
     }
 
     // ---- search service ------------------------------------------------------------
 
-    fn semantic_search(&self, scope: SearchScope, query: &str) -> Vec<SemanticHit> {
+    fn semantic_search(&self, scope: SearchScope, query: &str, k: usize) -> Vec<SemanticHit> {
         let qvec = self.unixcoder.embed_text(query);
         let kind = match scope {
             SearchScope::Pe => Some(EntryKind::Pe),
             SearchScope::Workflow => Some(EntryKind::Workflow),
             SearchScope::Both => None,
         };
-        self.indexes
-            .rank_semantic(&qvec, kind)
-            .into_iter()
-            .take(self.config.semantic_top_n)
+        let start = std::time::Instant::now();
+        let hits = self.indexes.rank_semantic(&qvec, kind, k);
+        self.metrics.search.semantic_latency.record(start.elapsed());
+        hits.into_iter()
             .filter_map(|h| {
                 let (name, description) = match h.kind {
                     EntryKind::Pe => {
@@ -591,48 +693,84 @@ impl LaminarServer {
         scope: SearchScope,
         snippet: &str,
         embedding_type: EmbeddingType,
+        k: usize,
     ) -> Vec<RecommendationHit> {
-        // PE-level ranking first (workflow recommendations derive from it).
-        let pe_hits: Vec<(u64, f32)> = match embedding_type {
-            EmbeddingType::Spt => {
-                let q = Spt::parse_source(snippet).feature_vec();
-                self.indexes
-                    .rank_spt(&q, Some(EntryKind::Pe))
-                    .into_iter()
-                    .filter(|h| h.score >= self.config.reco_min_score)
-                    .map(|h| (h.id, h.score))
-                    .collect()
-            }
-            EmbeddingType::Llm => {
-                let q = ReaccSim::new().embed_code(snippet);
-                self.indexes
-                    .rank_reacc(&q, Some(EntryKind::Pe))
-                    .into_iter()
-                    .filter(|h| h.score >= self.config.reco_min_cosine)
-                    .map(|h| (h.id, h.score))
-                    .collect()
-            }
-        };
-
         match scope {
-            SearchScope::Pe | SearchScope::Both => pe_hits
-                .into_iter()
-                .take(self.config.reco_top_n)
-                .filter_map(|(id, score)| {
-                    let pe = self.registry.get_pe(id).ok()?;
-                    Some(RecommendationHit {
-                        id,
-                        name: pe.name,
-                        description: pe.description,
-                        score,
-                        occurrences: 1,
-                        similar_code: first_function(&pe.code),
+            // PE scope: bounded top-k, then the score threshold. On a
+            // best-first ranking the threshold selects a prefix, so
+            // top-k-then-filter equals the old filter-then-truncate.
+            SearchScope::Pe | SearchScope::Both => {
+                let hits = match embedding_type {
+                    EmbeddingType::Spt => {
+                        let q = Spt::parse_source(snippet).feature_vec();
+                        let start = std::time::Instant::now();
+                        let (hits, stats) =
+                            self.indexes.rank_spt_with_stats(&q, Some(EntryKind::Pe), k);
+                        self.metrics.search.spt_latency.record(start.elapsed());
+                        if let Some(stats) = stats {
+                            self.metrics.search.lsh_queries.inc();
+                            self.metrics
+                                .search
+                                .lsh_candidates
+                                .add(stats.candidates as u64);
+                        }
+                        hits.into_iter()
+                            .filter(|h| h.score >= self.config.reco_min_score)
+                            .collect::<Vec<_>>()
+                    }
+                    EmbeddingType::Llm => {
+                        let q = ReaccSim::new().embed_code(snippet);
+                        let start = std::time::Instant::now();
+                        let hits = self.indexes.rank_reacc(&q, Some(EntryKind::Pe), k);
+                        self.metrics.search.reacc_latency.record(start.elapsed());
+                        hits.into_iter()
+                            .filter(|h| h.score >= self.config.reco_min_cosine)
+                            .collect::<Vec<_>>()
+                    }
+                };
+                hits.into_iter()
+                    .filter_map(|h| {
+                        let pe = self.registry.get_pe(h.id).ok()?;
+                        Some(RecommendationHit {
+                            id: h.id,
+                            name: pe.name,
+                            description: pe.description,
+                            score: h.score,
+                            occurrences: 1,
+                            similar_code: first_function(&pe.code),
+                        })
                     })
-                })
-                .collect(),
+                    .collect()
+            }
             SearchScope::Workflow => {
                 // Fig. 9 bottom: workflows containing matching PEs, ranked
-                // by total member score.
+                // by total member score. Aggregation needs *every* PE above
+                // threshold (a workflow's rank sums member scores), so this
+                // path uses the threshold scan, not top-k.
+                let pe_hits: Vec<(u64, f32)> = match embedding_type {
+                    EmbeddingType::Spt => {
+                        let q = Spt::parse_source(snippet).feature_vec();
+                        let start = std::time::Instant::now();
+                        let hits = self.indexes.rank_spt_above(
+                            &q,
+                            Some(EntryKind::Pe),
+                            self.config.reco_min_score,
+                        );
+                        self.metrics.search.spt_latency.record(start.elapsed());
+                        hits.into_iter().map(|h| (h.id, h.score)).collect()
+                    }
+                    EmbeddingType::Llm => {
+                        let q = ReaccSim::new().embed_code(snippet);
+                        let start = std::time::Instant::now();
+                        let hits = self.indexes.rank_reacc_above(
+                            &q,
+                            Some(EntryKind::Pe),
+                            self.config.reco_min_cosine,
+                        );
+                        self.metrics.search.reacc_latency.record(start.elapsed());
+                        hits.into_iter().map(|h| (h.id, h.score)).collect()
+                    }
+                };
                 let mut hits: Vec<RecommendationHit> = self
                     .registry
                     .all_workflows()
@@ -661,7 +799,7 @@ impl LaminarServer {
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(a.id.cmp(&b.id))
                 });
-                hits.truncate(self.config.reco_top_n);
+                hits.truncate(k);
                 hits
             }
         }
@@ -671,9 +809,12 @@ impl LaminarServer {
     /// relaxed threshold supplies the untyped remainder.
     fn code_completion(&self, snippet: &str) -> Response {
         let q = Spt::parse_source(snippet).feature_vec();
-        let best = self
-            .indexes
-            .rank_spt(&q, Some(EntryKind::Pe))
+        let start = std::time::Instant::now();
+        // Only the single best match matters (the ranking is best-first,
+        // so a failed threshold on the top hit fails on every hit).
+        let top = self.indexes.rank_spt(&q, Some(EntryKind::Pe), 1);
+        self.metrics.search.spt_latency.record(start.elapsed());
+        let best = top
             .into_iter()
             // Completion works from much smaller fragments than
             // recommendation, so use half the recommendation threshold.
@@ -1004,6 +1145,7 @@ mod tests {
                 token,
                 scope: SearchScope::Both,
                 term: "prime".to_string(),
+                top_n: None,
             })
             .value();
         match resp {
@@ -1034,6 +1176,7 @@ mod tests {
                 token,
                 scope: SearchScope::Pe,
                 query: "a pe that is able to detect anomalies".into(),
+                top_n: None,
             })
             .value();
         match resp {
@@ -1061,6 +1204,7 @@ mod tests {
                 scope: SearchScope::Pe,
                 snippet: "random.randint(1, 1000)".into(),
                 embedding_type: EmbeddingType::Spt,
+                top_n: None,
             })
             .value();
         match resp {
@@ -1083,6 +1227,7 @@ mod tests {
                 scope: SearchScope::Workflow,
                 snippet: "random.randint(1, 1000)".into(),
                 embedding_type: EmbeddingType::Spt,
+                top_n: None,
             })
             .value();
         match resp {
@@ -1100,6 +1245,7 @@ mod tests {
                 scope: SearchScope::Pe,
                 snippet: ISPRIME.into(),
                 embedding_type: EmbeddingType::Llm,
+                top_n: None,
             })
             .value();
         match resp {
@@ -1168,6 +1314,7 @@ mod tests {
                 token,
                 scope: SearchScope::Pe,
                 query: "zebra numbers".into(),
+                top_n: None,
             })
             .value();
         match resp {
@@ -1176,6 +1323,112 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn top_n_override_caps_results() {
+        let (server, token) = server_with_session();
+        register_isprime(&server, token);
+        let resp = server
+            .handle(Request::SearchSemantic {
+                token,
+                scope: SearchScope::Both,
+                query: "prime numbers".into(),
+                top_n: Some(1),
+            })
+            .value();
+        match resp {
+            Response::SemanticResults(hits) => assert_eq!(hits.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        let resp = server
+            .handle(Request::SearchLiteral {
+                token,
+                scope: SearchScope::Both,
+                term: "prime".to_string(),
+                top_n: Some(1),
+            })
+            .value();
+        match resp {
+            Response::Registry { pes, workflows } => {
+                assert_eq!(pes.len(), 1);
+                assert_eq!(workflows.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_load_rebuilds_indexes_from_registry() {
+        // Persist a populated registry, restore it into a fresh server, and
+        // verify the indexes were rebuilt from the stored CLOBs at startup.
+        let (server, token) = server_with_session();
+        register_isprime(&server, token);
+        let path =
+            std::env::temp_dir().join(format!("laminar-warmload-{}.json", std::process::id()));
+        server.registry().save_to(&path).unwrap();
+        let restored = Registry::load_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let server2 = LaminarServer::new(
+            restored,
+            ExecutionEngine::with_stock(),
+            ServerConfig::default(),
+        );
+        assert_eq!(server2.indexes().counts(), (3, 1));
+        let token2 = match server2
+            .handle(Request::Login {
+                username: "rosa".into(),
+                password: "pw".into(),
+            })
+            .value()
+        {
+            Response::Token(t) => t,
+            other => panic!("{other:?}"),
+        };
+        let resp = server2
+            .handle(Request::CodeRecommendation {
+                token: token2,
+                scope: SearchScope::Pe,
+                snippet: "random.randint(1, 1000)".into(),
+                embedding_type: EmbeddingType::Spt,
+                top_n: None,
+            })
+            .value();
+        match resp {
+            Response::Recommendations(hits) => {
+                assert_eq!(
+                    hits.first().map(|h| h.name.as_str()),
+                    Some("NumberProducer")
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_metrics_track_queries_and_index_size() {
+        let (server, token) = server_with_session();
+        register_isprime(&server, token);
+        server
+            .handle(Request::SearchSemantic {
+                token,
+                scope: SearchScope::Pe,
+                query: "prime".into(),
+                top_n: None,
+            })
+            .value();
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.search.semantic_latency.count, 1);
+        assert_eq!(snap.search.index_pes, 3);
+        assert_eq!(snap.search.index_workflows, 1);
+        server
+            .handle(Request::RemoveWorkflow {
+                token,
+                ident: Ident::Name("isprime_wf".into()),
+            })
+            .value();
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.search.index_workflows, 0);
     }
 
     #[test]

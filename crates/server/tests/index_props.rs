@@ -1,0 +1,276 @@
+//! Property tests for the top-k vector engine behind [`SearchIndexes`]:
+//!
+//! * bounded top-k selection returns exactly the prefix of the full-sorted
+//!   ranking, ties included (the tie-break key is total, so the prefix is
+//!   unique and the comparison is exact, not approximate);
+//! * the rayon-partitioned scan is bit-identical to the serial scan once
+//!   the corpus crosses `PAR_SCAN_THRESHOLD`;
+//! * arbitrary upsert/remove/clear interleavings leave the index
+//!   equivalent to a naive map-of-vectors model across all three
+//!   modalities (slot map, slab swap-remove, and per-kind counts all have
+//!   to move together for this to hold).
+
+use embed::dense::PAR_SCAN_THRESHOLD;
+use embed::{dot, DenseVec, Embedder, ReaccSim, UniXcoderSim, DIM};
+use laminar_server::indexes::{EntryKind, IndexHit, SearchIndexes};
+use proptest::prelude::*;
+use spt::{FeatureVec, Spt};
+use std::collections::HashMap;
+
+/// The engine's encoded tie-break key (mirrors the private `entry_key`).
+fn key_of(id: u64, kind: EntryKind) -> u64 {
+    (id << 1) | matches!(kind, EntryKind::Workflow) as u64
+}
+
+/// Naive reference: a map of full per-entry vectors, ranked by scoring
+/// everything and fully sorting — the behaviour the engine must match.
+#[derive(Default)]
+struct NaiveModel {
+    entries: HashMap<u64, (EntryKind, DenseVec, FeatureVec, DenseVec)>,
+}
+
+impl NaiveModel {
+    fn rank<F>(&self, score: F, kind: Option<EntryKind>, k: usize) -> Vec<IndexHit>
+    where
+        F: Fn(&(EntryKind, DenseVec, FeatureVec, DenseVec)) -> f32,
+    {
+        let mut scored: Vec<(u64, EntryKind, f32)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| kind.is_none_or(|kf| e.0 == kf))
+            .map(|(&key, e)| (key, e.0, score(e)))
+            .collect();
+        scored.sort_unstable_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+            .into_iter()
+            .map(|(key, kind, score)| IndexHit {
+                id: key >> 1,
+                kind,
+                score,
+            })
+            .collect()
+    }
+
+    fn counts(&self) -> (usize, usize) {
+        let pes = self
+            .entries
+            .values()
+            .filter(|e| e.0 == EntryKind::Pe)
+            .count();
+        (pes, self.entries.len() - pes)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert { id: u64, wf: bool, variant: u8 },
+    Remove { id: u64, wf: bool },
+    Clear,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u64..16, any::<bool>(), 0u8..4).prop_map(|(id, wf, variant)| Op::Upsert {
+            id,
+            wf,
+            variant
+        }),
+        3 => (0u64..16, any::<bool>()).prop_map(|(id, wf)| Op::Remove { id, wf }),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// Apply one op sequence to both the engine and the naive model.
+fn apply(ops: &[Op]) -> (SearchIndexes, NaiveModel) {
+    let emb = UniXcoderSim::new();
+    let reacc = ReaccSim::new();
+    let ix = SearchIndexes::new();
+    let mut model = NaiveModel::default();
+    for op in ops {
+        match op {
+            Op::Upsert { id, wf, variant } => {
+                let kind = if *wf {
+                    EntryKind::Workflow
+                } else {
+                    EntryKind::Pe
+                };
+                // Only 4 variants, so duplicate vectors — and therefore
+                // score ties — are common across ids.
+                let text = format!("entry variant {variant} does things");
+                let code = format!("def f{variant}(x):\n    return x * {variant} + 1\n");
+                let d = emb.embed(&text);
+                let s = Spt::parse_source(&code).feature_vec();
+                let r = reacc.embed_code(&code);
+                ix.upsert_embedded(*id, kind, d.clone(), s.clone(), r.clone());
+                model.entries.insert(key_of(*id, kind), (kind, d, s, r));
+            }
+            Op::Remove { id, wf } => {
+                let kind = if *wf {
+                    EntryKind::Workflow
+                } else {
+                    EntryKind::Pe
+                };
+                ix.remove(*id, kind);
+                model.entries.remove(&key_of(*id, kind));
+            }
+            Op::Clear => {
+                ix.clear();
+                model.entries.clear();
+            }
+        }
+    }
+    (ix, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Upsert/remove/clear fuzz: after any op interleaving, every modality's
+    /// bounded ranking equals the naive full-sort prefix exactly (bit-equal
+    /// scores, same ids, same order — ties resolved identically).
+    #[test]
+    fn engine_matches_naive_model_after_any_op_sequence(
+        ops in proptest::collection::vec(arb_op(), 0..40),
+    ) {
+        let (ix, model) = apply(&ops);
+        prop_assert_eq!(ix.len(), model.entries.len());
+        prop_assert_eq!(ix.counts(), model.counts());
+
+        let emb = UniXcoderSim::new();
+        let q_text = emb.embed("an entry that does things with variants");
+        let q_spt = Spt::parse_source("return x * 2 + 1\n").feature_vec();
+        let q_code = ReaccSim::new().embed_code("def g(x):\n    return x * 2 + 1\n");
+
+        for kind in [None, Some(EntryKind::Pe), Some(EntryKind::Workflow)] {
+            for k in [0usize, 1, 7, usize::MAX] {
+                prop_assert_eq!(
+                    ix.rank_semantic(&q_text, kind, k),
+                    model.rank(|e| dot(&q_text.values, &e.1.values), kind, k),
+                    "semantic kind={:?} k={}", kind, k
+                );
+                prop_assert_eq!(
+                    ix.rank_spt(&q_spt, kind, k),
+                    model.rank(|e| q_spt.overlap(&e.2), kind, k),
+                    "spt kind={:?} k={}", kind, k
+                );
+                prop_assert_eq!(
+                    ix.rank_reacc(&q_code, kind, k),
+                    model.rank(|e| dot(&q_code.values, &e.3.values), kind, k),
+                    "reacc kind={:?} k={}", kind, k
+                );
+            }
+        }
+    }
+
+    /// The threshold scans equal filtering the full ranking.
+    #[test]
+    fn threshold_scans_equal_filtered_full_ranking(
+        ops in proptest::collection::vec(arb_op(), 0..30),
+        min_spt in 0.0f32..8.0,
+        min_cos in -0.5f32..1.0,
+    ) {
+        let (ix, _) = apply(&ops);
+        let q_spt = Spt::parse_source("return x * 2 + 1\n").feature_vec();
+        let q_code = ReaccSim::new().embed_code("def g(x):\n    return x * 2 + 1\n");
+        let full_spt: Vec<IndexHit> = ix
+            .rank_spt(&q_spt, Some(EntryKind::Pe), usize::MAX)
+            .into_iter()
+            .filter(|h| h.score >= min_spt)
+            .collect();
+        prop_assert_eq!(ix.rank_spt_above(&q_spt, Some(EntryKind::Pe), min_spt), full_spt);
+        let full_reacc: Vec<IndexHit> = ix
+            .rank_reacc(&q_code, None, usize::MAX)
+            .into_iter()
+            .filter(|h| h.score >= min_cos)
+            .collect();
+        prop_assert_eq!(ix.rank_reacc_above(&q_code, None, min_cos), full_reacc);
+    }
+}
+
+/// Deterministic pseudo-random normalised vector (no rand dependency on
+/// the hot path of this test — an LCG is plenty).
+fn lcg_vec(seed: &mut u64) -> DenseVec {
+    let mut values = vec![0.0f32; DIM];
+    for v in &mut values {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((*seed >> 33) as f32 / (1u64 << 31) as f32) - 1.0;
+    }
+    DenseVec::normalised(values)
+}
+
+/// Past `PAR_SCAN_THRESHOLD` the index ranks on the rayon-partitioned
+/// path; its output must be bit-identical to a serial full sort. Only 8
+/// distinct SPT vectors across ~4k rows makes ties the common case, so
+/// the merge order of the per-worker accumulators is thoroughly exercised.
+#[test]
+fn parallel_scan_is_bit_identical_to_serial_past_threshold() {
+    let n = PAR_SCAN_THRESHOLD + 64;
+    let spt_pool: Vec<FeatureVec> = (0..8)
+        .map(|i| {
+            Spt::parse_source(&format!("def f{i}(x):\n    return x * {i} + {i}\n")).feature_vec()
+        })
+        .collect();
+    let ix = SearchIndexes::new();
+    let mut stored: Vec<(u64, DenseVec, FeatureVec, DenseVec)> = Vec::with_capacity(n);
+    let mut seed = 0x5eed;
+    for i in 0..n as u64 {
+        let d = lcg_vec(&mut seed);
+        let s = spt_pool[i as usize % spt_pool.len()].clone();
+        let r = lcg_vec(&mut seed);
+        ix.upsert_embedded(i, EntryKind::Pe, d.clone(), s.clone(), r.clone());
+        stored.push((i, d, s, r));
+    }
+    assert!(
+        ix.len() >= PAR_SCAN_THRESHOLD,
+        "corpus must force the parallel path"
+    );
+
+    let mut seed_q = 0xfeed_u64;
+    let q_dense = lcg_vec(&mut seed_q);
+    let q_spt = &spt_pool[3];
+
+    // Serial reference: full score + full sort, engine tie-break order.
+    let serial = |score_of: &dyn Fn(&(u64, DenseVec, FeatureVec, DenseVec)) -> f32| {
+        let mut scored: Vec<(u64, f32)> = stored.iter().map(|e| (e.0, score_of(e))).collect();
+        scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored
+    };
+
+    for k in [1usize, 7, 100] {
+        let want: Vec<(u64, f32)> = serial(&|e| dot(&q_dense.values, &e.1.values))
+            .into_iter()
+            .take(k)
+            .collect();
+        let got: Vec<(u64, f32)> = ix
+            .rank_semantic(&q_dense, Some(EntryKind::Pe), k)
+            .into_iter()
+            .map(|h| (h.id, h.score))
+            .collect();
+        assert_eq!(got, want, "semantic k={k}");
+
+        let want: Vec<(u64, f32)> = serial(&|e| q_spt.overlap(&e.2))
+            .into_iter()
+            .take(k)
+            .collect();
+        let got: Vec<(u64, f32)> = ix
+            .rank_spt(q_spt, Some(EntryKind::Pe), k)
+            .into_iter()
+            .map(|h| (h.id, h.score))
+            .collect();
+        assert_eq!(got, want, "spt k={k}");
+
+        let want: Vec<(u64, f32)> = serial(&|e| dot(&q_dense.values, &e.3.values))
+            .into_iter()
+            .take(k)
+            .collect();
+        let got: Vec<(u64, f32)> = ix
+            .rank_reacc(&q_dense, Some(EntryKind::Pe), k)
+            .into_iter()
+            .map(|h| (h.id, h.score))
+            .collect();
+        assert_eq!(got, want, "reacc k={k}");
+    }
+}

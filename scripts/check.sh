@@ -25,6 +25,9 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> cargo bench --no-run (benches stay compilable)"
+cargo bench --no-run -p laminar-bench
+
 if [[ "${1:-}" == "--heavy" ]]; then
     echo "==> heavy stress tests (#[ignore]d)"
     cargo test -q -p laminar heavy_ -- --ignored
