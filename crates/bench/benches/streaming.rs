@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use laminar_core::{Laminar, LaminarConfig};
-use laminar_server::protocol::{Ident, RunInputWire, RunMode, WireFrame};
+use laminar_server::protocol::{FaultPolicyWire, Ident, RunInputWire, RunMode, WireFrame};
 use laminar_server::{DeliveryMode, LaminarServer, Reply, Request, Response, Transport};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -63,6 +63,8 @@ fn ttfo(server: &Arc<LaminarServer>, token: u64, mode: DeliveryMode, streaming: 
         streaming,
         verbose: false,
         resources: vec![],
+        fault: FaultPolicyWire::default(),
+        task_timeout_ms: None,
     });
     let t0 = Instant::now();
     if let Reply::Stream(rx) = reply {

@@ -1,0 +1,160 @@
+//! Supervision-overhead benchmark: enactment throughput per mapping at
+//! 0% / 1% / 10% injected fault rates, written to `BENCH_faults.json`.
+//!
+//! Each (mapping, fault rate) cell runs the same three-PE pipeline under
+//! `FaultPolicy::DeadLetter` with permanently-faulty datums injected by
+//! the seeded chaos harness, so the run always completes: surviving
+//! datums become output lines, faulty ones land in the dead-letter queue
+//! after `max_attempts` tries. The 0% row is the supervised-but-clean
+//! baseline — its gap to unsupervised enactment is the price of
+//! `catch_unwind` isolation; the 1%/10% rows show how retry + DLQ traffic
+//! scales.
+//!
+//! Run with `cargo run --release -p laminar-bench --bin bench_faults`.
+//! Pass an item count to override the default (`bench_faults 20000`).
+
+use d4py::{
+    inject_chaos, run_with_options, ChaosConfig, ConsumerPE, Context, Data, DynamicConfig,
+    FaultPolicy, IterativePE, Mapping, OutputSink, ProducerPE, RunInput, RunOptions, RunResult,
+    WorkflowGraph, INPUT, OUTPUT,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const MAX_ATTEMPTS: u32 = 2;
+/// Timed repetitions per cell; the median elapsed time is reported.
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct FaultRateResult {
+    mapping: &'static str,
+    fault_rate: f64,
+    items: u64,
+    elapsed_ms: f64,
+    throughput_items_per_s: f64,
+    lines: usize,
+    dead_letters: usize,
+    faults: u64,
+    retries: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    items: u64,
+    seed: u64,
+    policy: String,
+    results: Vec<FaultRateResult>,
+}
+
+/// Src (0..n) → Worker (doubles; chaos-wrapped) → Out. One line per
+/// surviving datum, one DLQ entry per permanently-faulty one.
+fn graph(rate: f64) -> WorkflowGraph {
+    let mut g = WorkflowGraph::new("bench_faults_wf");
+    let src = g.add(ProducerPE::new("Src", |i| Some(Data::from(i as i64))));
+    let worker = g.add(IterativePE::new("Worker", |d: Data| {
+        let n = d.as_int()?;
+        Some(Data::from(n.wrapping_mul(2)))
+    }));
+    let out = g.add(ConsumerPE::new("Out", |d: Data, ctx: &mut Context<'_>| {
+        ctx.log(format!("out {d}"));
+    }));
+    g.connect(src, OUTPUT, worker, INPUT).expect("ports exist");
+    g.connect(worker, OUTPUT, out, INPUT).expect("ports exist");
+    if rate > 0.0 {
+        inject_chaos(
+            &mut g,
+            worker,
+            ChaosConfig {
+                seed: SEED,
+                panic_rate: rate,
+                fail_attempts: 0,
+                ..ChaosConfig::default()
+            },
+        );
+    }
+    g
+}
+
+fn enact(rate: f64, mapping: &Mapping, items: u64) -> (f64, RunResult) {
+    let g = graph(rate);
+    let options = RunOptions {
+        fault_policy: FaultPolicy::DeadLetter {
+            max_attempts: MAX_ATTEMPTS,
+        },
+        ..RunOptions::default()
+    };
+    let start = Instant::now();
+    let res = run_with_options(
+        &g,
+        RunInput::Iterations(items),
+        mapping,
+        OutputSink::new(),
+        &options,
+    )
+    .expect("dead-letter enactment must not abort");
+    (start.elapsed().as_secs_f64() * 1e3, res)
+}
+
+fn main() {
+    let items: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000);
+
+    let mappings: Vec<(&'static str, Mapping)> = vec![
+        ("simple", Mapping::Simple),
+        ("multi", Mapping::Multi { processes: 3 }),
+        ("dynamic", Mapping::Dynamic(DynamicConfig::default())),
+    ];
+    let rates = [0.0, 0.01, 0.10];
+
+    let mut report = Report {
+        items,
+        seed: SEED,
+        policy: format!("dead-letter(max_attempts={MAX_ATTEMPTS})"),
+        results: Vec::new(),
+    };
+
+    println!("# fault-rate sweep — {items} items, seed {SEED}\n");
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>8} {:>7} {:>8}",
+        "mapping", "rate", "elapsed ms", "items/s", "lines", "dlq", "retries"
+    );
+    for (name, mapping) in &mappings {
+        for &rate in &rates {
+            // Median of REPS timed runs; faults are seeded, so every rep
+            // does the identical work.
+            let mut runs: Vec<(f64, RunResult)> =
+                (0..REPS).map(|_| enact(rate, mapping, items)).collect();
+            runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (elapsed_ms, res) = runs.swap_remove(REPS / 2);
+            let throughput = items as f64 / (elapsed_ms / 1e3).max(1e-9);
+            println!(
+                "{:<8} {:>5.0}% {:>12.1} {:>12.0} {:>8} {:>7} {:>8}",
+                name,
+                rate * 100.0,
+                elapsed_ms,
+                throughput,
+                res.lines().len(),
+                res.dead_letters.len(),
+                res.fault_stats.retries,
+            );
+            report.results.push(FaultRateResult {
+                mapping: name,
+                fault_rate: rate,
+                items,
+                elapsed_ms,
+                throughput_items_per_s: throughput,
+                lines: res.lines().len(),
+                dead_letters: res.dead_letters.len(),
+                faults: res.fault_stats.faults,
+                retries: res.fault_stats.retries,
+            });
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    eprintln!("wrote BENCH_faults.json");
+}

@@ -13,7 +13,7 @@
 use laminar_core::{Laminar, LaminarConfig};
 use laminar_server::protocol::content_hash;
 use laminar_server::{Request, Response};
-use laminar_server::protocol::{Ident, ResourceRefWire, RunInputWire, RunMode};
+use laminar_server::protocol::{FaultPolicyWire, Ident, ResourceRefWire, RunInputWire, RunMode};
 
 const RESOURCE_SIZE: usize = 256 * 1024; // 256 KiB per resource
 const N_RESOURCES: usize = 3;
@@ -98,6 +98,8 @@ fn main() {
                     streaming: true,
                     verbose: false,
                     resources: refs.clone(),
+                    fault: FaultPolicyWire::default(),
+                    task_timeout_ms: None,
                 })
             };
             match run(&server_v2) {

@@ -11,7 +11,7 @@
 //! ```
 
 use laminar_core::{Laminar, LaminarConfig};
-use laminar_server::protocol::{Ident, RunInputWire, RunMode, WireFrame};
+use laminar_server::protocol::{FaultPolicyWire, Ident, RunInputWire, RunMode, WireFrame};
 use laminar_server::{DeliveryMode, Request, Transport};
 use std::time::{Duration, Instant};
 
@@ -78,6 +78,8 @@ fn main() {
                 streaming,
                 verbose: false,
                 resources: vec![],
+                fault: FaultPolicyWire::default(),
+                task_timeout_ms: None,
             });
             let t0 = Instant::now();
             let mut ttfo = None;

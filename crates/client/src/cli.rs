@@ -98,7 +98,7 @@ impl Cli {
         if let Some(topic) = args.first() {
             if let Some((name, desc)) = COMMANDS.iter().find(|(n, _)| n == topic) {
                 let usage = match *name {
-                    "run" => "\nUsage:\n  run identifier [options]\n\nOptions:\n  identifier            Name or ID of the workflow to run\n  --rawinput            Treat input as raw string instead of evaluating it\n  -v, --verbose         Enable verbose output\n  -i, --input <data>    Input data for the workflow (can be used multiple times)\n  --multi <n>           Run the workflow in parallel using multiprocessing\n  --dynamic             Run the workflow in parallel using Redis",
+                    "run" => "\nUsage:\n  run identifier [options]\n\nOptions:\n  identifier            Name or ID of the workflow to run\n  --rawinput            Treat input as raw string instead of evaluating it\n  -v, --verbose         Enable verbose output\n  -i, --input <data>    Input data for the workflow (can be used multiple times)\n  --multi <n>           Run the workflow in parallel using multiprocessing\n  --dynamic             Run the workflow in parallel using Redis\n  --fault-policy <p>    fail-fast (default) | retry | dead-letter\n  --retries <n>         Attempts per datum under retry/dead-letter (default 3)\n  --backoff-ms <n>      Base backoff between retry attempts (default 10)\n  --task-timeout-ms <n> Per-task timeout for --dynamic runs",
                     "semantic_search" => "\nUsage:\n  semantic_search [workflow|pe] [search_term] [--top N]",
                     "code_recommendation" => "\nUsage:\n  code_recommendation [workflow|pe] [code_snippet] [--embedding_type llm|spt] [--top N]",
                     "literal_search" => "\nUsage:\n  literal_search [workflow|pe] [search_term] [--top N]",
@@ -350,13 +350,17 @@ impl Cli {
     }
 
     fn run(&self, args: &[String]) -> Result<String, ClientError> {
-        use laminar_server::protocol::{RunInputWire, RunMode};
+        use laminar_server::protocol::{FaultPolicyWire, RunInputWire, RunMode};
         let mut ident: Option<Ident> = None;
         let mut inputs: Vec<String> = Vec::new();
         let mut multi: Option<usize> = None;
         let mut dynamic = false;
         let mut verbose = false;
         let mut rawinput = false;
+        let mut fault_policy: Option<String> = None;
+        let mut retries: u32 = 3;
+        let mut backoff_ms: u64 = 10;
+        let mut task_timeout_ms: Option<u64> = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -379,6 +383,35 @@ impl Cli {
                 "--dynamic" => dynamic = true,
                 "-v" | "--verbose" => verbose = true,
                 "--rawinput" => rawinput = true,
+                "--fault-policy" => {
+                    i += 1;
+                    fault_policy = Some(
+                        args.get(i)
+                            .ok_or_else(|| {
+                                ClientError::Server("--fault-policy needs a value".into())
+                            })?
+                            .clone(),
+                    );
+                }
+                "--retries" => {
+                    i += 1;
+                    retries = args.get(i).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                        ClientError::Server("--retries needs a number".into())
+                    })?;
+                }
+                "--backoff-ms" => {
+                    i += 1;
+                    backoff_ms = args.get(i).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                        ClientError::Server("--backoff-ms needs a number".into())
+                    })?;
+                }
+                "--task-timeout-ms" => {
+                    i += 1;
+                    task_timeout_ms =
+                        Some(args.get(i).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                            ClientError::Server("--task-timeout-ms needs a number".into())
+                        })?);
+                }
                 other if ident.is_none() => ident = Some(parse_ident(other)),
                 other => {
                     return Err(ClientError::Server(format!(
@@ -388,6 +421,21 @@ impl Cli {
             }
             i += 1;
         }
+        let fault = match fault_policy.as_deref() {
+            None | Some("fail-fast") => FaultPolicyWire::FailFast,
+            Some("retry") => FaultPolicyWire::Retry {
+                max_attempts: retries,
+                backoff_ms,
+            },
+            Some("dead-letter") => FaultPolicyWire::DeadLetter {
+                max_attempts: retries,
+            },
+            Some(other) => {
+                return Err(ClientError::Server(format!(
+                    "unknown fault policy '{other}' (fail-fast | retry | dead-letter)"
+                )))
+            }
+        };
         let ident =
             ident.ok_or_else(|| ClientError::Server("usage: run <id|name> [options]".into()))?;
         // One numeric `-i` is an iteration count; several values (or
@@ -406,7 +454,9 @@ impl Cli {
         } else {
             RunMode::Sequential
         };
-        let out = self.client.run_custom(ident, input, mode, verbose)?;
+        let out = self
+            .client
+            .run_custom_faults(ident, input, mode, verbose, fault, task_timeout_ms)?;
         let mut text = String::new();
         for l in &out.lines {
             let _ = writeln!(text, "{l}");
@@ -415,6 +465,20 @@ impl Cli {
             for s in &out.summaries {
                 let _ = writeln!(text, "{s}");
             }
+        }
+        for d in &out.dead_letters {
+            let _ = writeln!(
+                text,
+                "dead-letter: {} ({} attempts): {}",
+                d.pe, d.attempts, d.error
+            );
+        }
+        if let Some(s) = &out.fault_stats {
+            let _ = writeln!(
+                text,
+                "faults: {} faults, {} retries, {} dead-lettered, {} timeouts, {} workers replaced",
+                s.faults, s.retries, s.dead_letters, s.task_timeouts, s.worker_replacements
+            );
         }
         if !out.ok {
             text.push_str("Run failed.\n");
@@ -742,6 +806,22 @@ class PrintPrime(ConsumerPE):
         assert!(c
             .execute("literal_search prime --top abc")
             .contains("Error"));
+    }
+
+    #[test]
+    fn run_accepts_fault_policy_flags() {
+        let (mut c, _) = cli_with_isprime();
+        let out = c.execute("run isprime_wf -i 5 --fault-policy retry --retries 2 --backoff-ms 1");
+        assert!(!out.contains("Error"), "{out}");
+        let out = c.execute("run isprime_wf -i 5 --fault-policy dead-letter");
+        assert!(!out.contains("Error"), "{out}");
+        let out = c.execute("run isprime_wf -i 5 --fault-policy lenient");
+        assert!(out.contains("unknown fault policy"), "{out}");
+        assert!(c.execute("run isprime_wf --retries").contains("Error"));
+        // `help run` documents the new surface.
+        let help = c.execute("help run");
+        assert!(help.contains("--fault-policy"), "{help}");
+        assert!(help.contains("--task-timeout-ms"), "{help}");
     }
 
     #[test]

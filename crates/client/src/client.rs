@@ -14,7 +14,8 @@ use crossbeam_channel::Receiver;
 use d4py::Data;
 use laminar_server::protocol::SemanticHit;
 use laminar_server::protocol::{
-    content_hash, PeInfo, RecommendationHit, ResourceRefWire, RunInputWire, RunMode, WorkflowInfo,
+    content_hash, FaultPolicyWire, PeInfo, RecommendationHit, ResourceRefWire, RunInputWire,
+    RunMode, WorkflowInfo,
 };
 use laminar_server::{
     Connection, ConnectionError, DeliveryMode, EmbeddingType, Ident, LaminarServer,
@@ -139,6 +140,11 @@ pub struct RunOutput {
     pub infos: Vec<String>,
     pub summaries: Vec<String>,
     pub ok: bool,
+    /// Datums the enactment supervisor gave up on (`DeadLetter` policy).
+    pub dead_letters: Vec<laminar_server::protocol::DeadLetterEntry>,
+    /// Fault counters for the run; `None` when the run was fault-free
+    /// (the server only sends the frame on a non-clean run).
+    pub fault_stats: Option<laminar_server::protocol::FaultStats>,
 }
 
 /// The Laminar client.
@@ -629,6 +635,22 @@ impl LaminarClient {
         self.run_mode(ident.into(), input, mode, verbose)
     }
 
+    /// `run_custom` under an explicit fault policy and (dynamic mapping)
+    /// per-task timeout — the `--fault-policy` / `--task-timeout-ms`
+    /// surface of the CLI.
+    pub fn run_custom_faults(
+        &self,
+        ident: impl Into<Ident>,
+        input: RunInputWire,
+        mode: RunMode,
+        verbose: bool,
+        fault: FaultPolicyWire,
+        task_timeout_ms: Option<u64>,
+    ) -> Result<RunOutput, ClientError> {
+        let rx = self.run_stream_faults(ident.into(), input, mode, verbose, fault, task_timeout_ms)?;
+        Self::drain_run(rx)
+    }
+
     /// Execution history of a workflow (the Execution/Response tables).
     pub fn get_executions(
         &self,
@@ -651,11 +673,17 @@ impl LaminarClient {
         verbose: bool,
     ) -> Result<RunOutput, ClientError> {
         let rx = self.run_stream(ident, input, mode, verbose)?;
+        Self::drain_run(rx)
+    }
+
+    fn drain_run(rx: Receiver<WireFrame>) -> Result<RunOutput, ClientError> {
         let mut out = RunOutput {
             lines: Vec::new(),
             infos: Vec::new(),
             summaries: Vec::new(),
             ok: false,
+            dead_letters: Vec::new(),
+            fault_stats: None,
         };
         for frame in rx.iter() {
             match frame {
@@ -663,6 +691,8 @@ impl LaminarClient {
                 WireFrame::Line(l) => out.lines.push(l),
                 WireFrame::Info(i) => out.infos.push(i),
                 WireFrame::Summary(s) => out.summaries.push(s),
+                WireFrame::DeadLetter(d) => out.dead_letters.push(d),
+                WireFrame::Faults(s) => out.fault_stats = Some(s),
                 WireFrame::Value(Response::Error(e)) => return Err(ClientError::Server(e)),
                 WireFrame::Value(Response::TimedOut { request_id }) => {
                     return Err(ClientError::Connection(ConnectionError::TimedOut {
@@ -689,6 +719,19 @@ impl LaminarClient {
         mode: RunMode,
         verbose: bool,
     ) -> Result<Receiver<WireFrame>, ClientError> {
+        self.run_stream_faults(ident, input, mode, verbose, FaultPolicyWire::default(), None)
+    }
+
+    /// [`LaminarClient::run_stream`] under an explicit fault policy.
+    pub fn run_stream_faults(
+        &self,
+        ident: Ident,
+        input: RunInputWire,
+        mode: RunMode,
+        verbose: bool,
+        fault: FaultPolicyWire,
+        task_timeout_ms: Option<u64>,
+    ) -> Result<Receiver<WireFrame>, ClientError> {
         let make_req = |token| Request::Run {
             token,
             ident: ident.clone(),
@@ -697,6 +740,8 @@ impl LaminarClient {
             streaming: true,
             verbose,
             resources: self.resource_refs(),
+            fault: fault.clone(),
+            task_timeout_ms,
         };
         match self.call(make_req(self.token()?))? {
             Reply::Value(Response::NeedResources(names)) => {
@@ -849,6 +894,29 @@ class PrintPrime(ConsumerPE):
             .search_registry_semantic_top(SearchScope::Pe, "a prime checker", Some(2))
             .unwrap();
         assert!(hits.len() <= 2, "{hits:?}");
+    }
+
+    #[test]
+    fn run_with_fault_policy_on_clean_workflow() {
+        let (c, _) = client_with_isprime();
+        let out = c
+            .run_custom_faults(
+                "isprime_wf",
+                RunInputWire::Iterations(10),
+                RunMode::Sequential,
+                false,
+                FaultPolicyWire::Retry {
+                    max_attempts: 3,
+                    backoff_ms: 1,
+                },
+                None,
+            )
+            .unwrap();
+        assert!(out.ok);
+        assert!(!out.lines.is_empty());
+        // A fault-free run carries no dead letters and no fault frame.
+        assert!(out.dead_letters.is_empty());
+        assert!(out.fault_stats.is_none());
     }
 
     #[test]

@@ -20,6 +20,17 @@ pub enum GraphError {
     InvalidProcessCount { requested: usize, minimum: usize },
     /// A worker thread panicked during enactment.
     WorkerPanicked(String),
+    /// A PE kept failing after the retry budget was exhausted.
+    PeFailed {
+        pe: String,
+        attempts: u32,
+        message: String,
+    },
+    /// A task exceeded the per-task execution timeout.
+    TaskTimedOut { pe: String, timeout_ms: u64 },
+    /// A channel peer disappeared mid-stream (its rank died without
+    /// propagating end-of-stream).
+    PeerDisconnected { from: String, to: String },
 }
 
 impl fmt::Display for GraphError {
@@ -37,6 +48,17 @@ impl fmt::Display for GraphError {
                 "process count {requested} is below the minimum {minimum} for this graph"
             ),
             GraphError::WorkerPanicked(msg) => write!(f, "worker thread panicked: {msg}"),
+            GraphError::PeFailed {
+                pe,
+                attempts,
+                message,
+            } => write!(f, "PE '{pe}' failed after {attempts} attempts: {message}"),
+            GraphError::TaskTimedOut { pe, timeout_ms } => {
+                write!(f, "task on PE '{pe}' exceeded the {timeout_ms} ms timeout")
+            }
+            GraphError::PeerDisconnected { from, to } => {
+                write!(f, "channel peer lost: '{from}' could not reach '{to}'")
+            }
         }
     }
 }

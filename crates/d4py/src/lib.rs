@@ -47,6 +47,7 @@
 
 pub mod data;
 pub mod error;
+pub mod fault;
 pub mod graph;
 pub mod mapping;
 pub mod monitor;
@@ -55,8 +56,12 @@ pub mod workflows;
 
 pub use data::Data;
 pub use error::GraphError;
+pub use fault::{
+    inject_chaos, ChaosConfig, ChaosFactory, ChaosPE, DeadLetterEntry, FaultInjector, FaultPolicy,
+    FaultStats, RunOptions,
+};
 pub use graph::{Grouping, NodeId, WorkflowGraph, INPUT, OUTPUT};
-pub use mapping::{run, DynamicConfig, Mapping, RunInput, RunResult};
+pub use mapping::{run, run_with_options, DynamicConfig, Mapping, RunInput, RunResult};
 pub use monitor::{Monitor, OutputSink};
 pub use pe::{
     AggregatePE, ConsumerPE, Context, GenericPE, IterativePE, NamedPE, PortSpec, ProducerPE,
@@ -66,8 +71,12 @@ pub use pe::{
 /// Everything a workflow author needs.
 pub mod prelude {
     pub use crate::data::Data;
+    pub use crate::fault::{
+        inject_chaos, ChaosConfig, DeadLetterEntry, FaultInjector, FaultPolicy, FaultStats,
+        RunOptions,
+    };
     pub use crate::graph::{Grouping, NodeId, WorkflowGraph, INPUT, OUTPUT};
-    pub use crate::mapping::{run, DynamicConfig, Mapping, RunInput, RunResult};
+    pub use crate::mapping::{run, run_with_options, DynamicConfig, Mapping, RunInput, RunResult};
     pub use crate::pe::{
         AggregatePE, ConsumerPE, Context, GenericPE, IterativePE, NamedPE, PortSpec, ProducerPE,
         StatefulPE, PE,

@@ -13,6 +13,7 @@ pub mod simple;
 
 use crate::data::Data;
 use crate::error::GraphError;
+use crate::fault::{DeadLetterEntry, FaultStats, RunOptions, Supervisor};
 use crate::graph::WorkflowGraph;
 use crate::monitor::{Monitor, OutputSink};
 use std::collections::BTreeMap;
@@ -88,6 +89,11 @@ pub struct RunResult {
     /// Fig. 5b-style rank partition, for `Multi` runs.
     pub partition: Option<Vec<std::ops::Range<usize>>>,
     pub duration: Duration,
+    /// Datums the supervisor gave up on (`FaultPolicy::DeadLetter` only),
+    /// in canonical sorted order — a deterministic set for same-seed runs.
+    pub dead_letters: Vec<DeadLetterEntry>,
+    /// Fault/retry/timeout counters for this run.
+    pub fault_stats: FaultStats,
 }
 
 impl RunResult {
@@ -144,20 +150,42 @@ pub fn run_with_sink(
     mapping: &Mapping,
     sink: OutputSink,
 ) -> Result<RunResult, GraphError> {
+    run_with_options(graph, input, mapping, sink, &RunOptions::default())
+}
+
+/// Enact under an explicit [`RunOptions`] — fault policy and (for the
+/// dynamic mapping) per-task timeout. `run`/`run_with_sink` delegate here
+/// with the default `FailFast` policy.
+pub fn run_with_options(
+    graph: &WorkflowGraph,
+    input: RunInput,
+    mapping: &Mapping,
+    sink: OutputSink,
+    options: &RunOptions,
+) -> Result<RunResult, GraphError> {
     graph.validate()?;
     let monitor = Monitor::new();
+    let supervisor = Supervisor::new(options.fault_policy.clone());
     let start = std::time::Instant::now();
     let partition = match mapping {
         Mapping::Simple => {
-            simple::execute(graph, &input, &sink, &monitor)?;
+            simple::execute(graph, &input, &sink, &monitor, &supervisor)?;
             None
         }
         Mapping::Multi { processes } => {
-            let p = multi::execute(graph, &input, *processes, &sink, &monitor)?;
+            let p = multi::execute(graph, &input, *processes, &sink, &monitor, &supervisor)?;
             Some(p)
         }
         Mapping::Dynamic(cfg) => {
-            dynamic::execute(graph, &input, cfg, &sink, &monitor)?;
+            dynamic::execute(
+                graph,
+                &input,
+                cfg,
+                &sink,
+                &monitor,
+                &supervisor,
+                options.task_timeout,
+            )?;
             None
         }
     };
@@ -167,6 +195,8 @@ pub fn run_with_sink(
         counts: monitor.counts(),
         partition,
         duration: start.elapsed(),
+        dead_letters: supervisor.take_dead_letters(),
+        fault_stats: supervisor.stats(),
     })
 }
 

@@ -8,14 +8,27 @@
 //! target ranks according to the edge's [`Grouping`](crate::graph::Grouping); termination uses
 //! end-of-stream tokens counted per upstream rank, the standard dataflow
 //! discipline.
+//!
+//! Fault model: every PE invocation runs under the run's [`Supervisor`]
+//! (`catch_unwind` isolation), so a panicking PE fails its rank with a
+//! typed error instead of unwinding the thread, is retried in place, or
+//! dead-letters the datum — per the run's
+//! [`FaultPolicy`](crate::fault::FaultPolicy). A send to a rank that died
+//! abnormally is recorded as `GraphError::PeerDisconnected` in a shared
+//! first-failure slot rather than aborting the process; the primary error
+//! (the panic that killed the peer) still wins the error surface because
+//! it is recorded strictly earlier.
 
 use crate::data::Data;
 use crate::error::GraphError;
+use crate::fault::{Supervised, Supervisor};
 use crate::graph::{NodeId, WorkflowGraph};
 use crate::mapping::RunInput;
 use crate::monitor::{Monitor, OutputSink};
 use crate::pe::Context;
 use crossbeam_channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::ops::Range;
 
 /// Channel capacity per rank — bounded for backpressure (HPC guide idiom).
@@ -26,12 +39,31 @@ enum Msg {
     Eos,
 }
 
+/// First-failure slot shared by all ranks; the earliest recorded error is
+/// the one the run reports (panics beat the secondary peer-disconnect
+/// errors they cause, because ranks record before exiting).
+struct FailSlot(Mutex<Option<GraphError>>);
+
+impl FailSlot {
+    fn record(&self, err: GraphError) {
+        let mut slot = self.0.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+
+    fn take(&self) -> Option<GraphError> {
+        self.0.lock().take()
+    }
+}
+
 pub(crate) fn execute(
     graph: &WorkflowGraph,
     input: &RunInput,
     processes: usize,
     sink: &OutputSink,
     monitor: &Monitor,
+    supervisor: &Supervisor,
 ) -> Result<Vec<Range<usize>>, GraphError> {
     let partition = graph.partition(processes)?;
 
@@ -43,13 +75,13 @@ pub(crate) fn execute(
         }
     }
 
-    // Channels, one per rank.
+    // Channels, one per rank; popped front-to-back as ranks spawn.
     let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(processes);
-    let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(processes);
+    let mut receivers: VecDeque<Receiver<Msg>> = VecDeque::with_capacity(processes);
     for _ in 0..processes {
         let (tx, rx) = bounded::<Msg>(CHANNEL_CAP);
         senders.push(tx);
-        receivers.push(Some(rx));
+        receivers.push_back(rx);
     }
 
     // Expected EOS tokens per rank = Σ over in-edges of |source ranks|.
@@ -64,14 +96,16 @@ pub(crate) fn execute(
         })
         .collect();
 
+    let fail_slot = FailSlot(Mutex::new(None));
+
     let result: Result<Vec<()>, GraphError> = std::thread::scope(|scope| {
+        let fail_slot = &fail_slot;
         let mut handles = Vec::with_capacity(processes);
-        for rank in 0..processes {
+        for (rank, rx) in receivers.into_iter().enumerate() {
             let node_idx = rank_node[rank];
             let node = graph.node(NodeId(node_idx));
             let display = node.display_name(node_idx);
             let factory = node.factory.clone();
-            let rx = receivers[rank].take().expect("receiver taken once");
             let senders = senders.clone();
             let partition = partition.clone();
             let sink = sink.clone();
@@ -80,7 +114,6 @@ pub(crate) fn execute(
             let out_edges: Vec<_> = graph.out_edges(NodeId(node_idx)).into_iter().cloned().collect();
             let is_root = graph.in_edges(NodeId(node_idx)).is_empty();
             let input = input.clone();
-            let has_input_port = !node.ports.inputs.is_empty();
             let first_input_port = node.ports.inputs.first().cloned();
 
             handles.push(scope.spawn(move || -> Result<(), GraphError> {
@@ -120,9 +153,17 @@ pub(crate) fn execute(
                     for (port, data) in emitted {
                         for edge_idx in 0..out_edges.len() {
                             for (target, msg) in route(edge_idx, &port, data.clone(), counters) {
-                                // Send failure = downstream exited early
-                                // (panic); data loss is already fatal there.
-                                let _ = senders[target].send(msg);
+                                if senders[target].send(msg).is_err() {
+                                    // Receiver gone = downstream rank died
+                                    // abnormally. Record typed (the primary
+                                    // failure was recorded first by the
+                                    // dying rank); keep this rank draining
+                                    // so upstream ranks can terminate.
+                                    fail_slot.record(GraphError::PeerDisconnected {
+                                        from: display.clone(),
+                                        to: format!("rank {target}"),
+                                    });
+                                }
                             }
                         }
                     }
@@ -130,13 +171,19 @@ pub(crate) fn execute(
 
                 // Setup.
                 let mut emitted: Vec<(String, Data)> = Vec::new();
-                {
+                let outcome = supervisor.invoke(&display, None, None, &mut || {
+                    emitted.clear();
                     let mut emit = |p: &str, d: Data| emitted.push((p.to_string(), d));
                     let log = |line: String| sink.push(line);
                     let mut ctx = Context::new(&display, rank, 0, &mut emit, &log);
                     pe.setup(&mut ctx);
+                }).map_err(|e| {
+                    fail_slot.record(e.clone());
+                    e
+                })?;
+                if matches!(outcome, Supervised::Done) {
+                    send_all(std::mem::take(&mut emitted), &mut counters);
                 }
-                send_all(std::mem::take(&mut emitted), &mut counters);
 
                 if is_root {
                     // Root rank drives the input. (Each root PE has exactly
@@ -146,18 +193,30 @@ pub(crate) fn execute(
                         RunInput::Data(items) => items.iter().map(|d| Some(d.clone())).collect(),
                     };
                     for (i, datum) in feed.into_iter().enumerate() {
+                        let call = match (&datum, &first_input_port) {
+                            (Some(d), Some(port)) => Some((port.clone(), d.clone())),
+                            _ => None,
+                        };
                         let mut emitted: Vec<(String, Data)> = Vec::new();
-                        {
-                            let mut emit = |p: &str, d: Data| emitted.push((p.to_string(), d));
-                            let log = |line: String| sink.push(line);
-                            let mut ctx = Context::new(&display, rank, i as u64, &mut emit, &log);
-                            let call = match (&datum, has_input_port) {
-                                (Some(d), true) => {
-                                    Some((first_input_port.clone().unwrap(), d.clone()))
-                                }
-                                _ => None,
-                            };
-                            pe.process(call, &mut ctx);
+                        let outcome = supervisor.invoke(
+                            &display,
+                            call.as_ref().map(|(p, _)| p.as_str()),
+                            call.as_ref().map(|(_, d)| d),
+                            &mut || {
+                                emitted.clear();
+                                let mut emit =
+                                    |p: &str, d: Data| emitted.push((p.to_string(), d));
+                                let log = |line: String| sink.push(line);
+                                let mut ctx =
+                                    Context::new(&display, rank, i as u64, &mut emit, &log);
+                                pe.process(call.clone(), &mut ctx);
+                            },
+                        ).map_err(|e| {
+                            fail_slot.record(e.clone());
+                            e
+                        })?;
+                        if matches!(outcome, Supervised::DeadLettered) {
+                            continue;
                         }
                         iterations += 1;
                         send_all(emitted, &mut counters);
@@ -169,14 +228,26 @@ pub(crate) fn execute(
                         match rx.recv() {
                             Ok(Msg::Item { port, data }) => {
                                 let mut emitted: Vec<(String, Data)> = Vec::new();
-                                {
-                                    let mut emit =
-                                        |p: &str, d: Data| emitted.push((p.to_string(), d));
-                                    let log = |line: String| sink.push(line);
-                                    let mut ctx = Context::new(
-                                        &display, rank, iterations, &mut emit, &log,
-                                    );
-                                    pe.process(Some((port, data)), &mut ctx);
+                                let outcome = supervisor.invoke(
+                                    &display,
+                                    Some(&port),
+                                    Some(&data),
+                                    &mut || {
+                                        emitted.clear();
+                                        let mut emit =
+                                            |p: &str, d: Data| emitted.push((p.to_string(), d));
+                                        let log = |line: String| sink.push(line);
+                                        let mut ctx = Context::new(
+                                            &display, rank, iterations, &mut emit, &log,
+                                        );
+                                        pe.process(Some((port.clone(), data.clone())), &mut ctx);
+                                    },
+                                ).map_err(|e| {
+                                    fail_slot.record(e.clone());
+                                    e
+                                })?;
+                                if matches!(outcome, Supervised::DeadLettered) {
+                                    continue;
                                 }
                                 iterations += 1;
                                 send_all(emitted, &mut counters);
@@ -189,13 +260,19 @@ pub(crate) fn execute(
 
                 // Teardown, then propagate EOS to every downstream rank.
                 let mut emitted: Vec<(String, Data)> = Vec::new();
-                {
+                let outcome = supervisor.invoke(&display, None, None, &mut || {
+                    emitted.clear();
                     let mut emit = |p: &str, d: Data| emitted.push((p.to_string(), d));
                     let log = |line: String| sink.push(line);
                     let mut ctx = Context::new(&display, rank, iterations, &mut emit, &log);
                     pe.teardown(&mut ctx);
+                }).map_err(|e| {
+                    fail_slot.record(e.clone());
+                    e
+                })?;
+                if matches!(outcome, Supervised::Done) {
+                    send_all(emitted, &mut counters);
                 }
-                send_all(emitted, &mut counters);
                 for edge in &out_edges {
                     for target in partition[edge.to.0].clone() {
                         let _ = senders[target].send(Msg::Eos);
@@ -214,14 +291,24 @@ pub(crate) fn execute(
             })
             .collect()
     });
-    result?;
-    Ok(partition)
+    match result {
+        Ok(_) => Ok(partition),
+        Err(e) => {
+            // Prefer the first-recorded failure: a panic that killed a rank
+            // beats the peer-disconnect errors it caused downstream.
+            Err(match fail_slot.take() {
+                Some(first) => first,
+                None => e,
+            })
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use crate::error::GraphError;
-    use crate::mapping::{run, Mapping, RunInput};
+    use crate::mapping::{run, run_with_options, Mapping, RunInput};
+    use crate::monitor::OutputSink;
     use crate::prelude::*;
     use crate::workflows;
     use std::collections::BTreeMap;
@@ -381,5 +468,64 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sorted(r.lines().to_vec()), vec!["got 2", "got 3", "got 4"]);
+    }
+
+    #[test]
+    fn dead_letter_policy_survives_panicking_rank() {
+        let mut g = WorkflowGraph::new("w");
+        let src = g.add(workflows::number_producer(100));
+        let picky = g.add(IterativePE::new("Picky", |d: Data| {
+            let v = d.as_int().unwrap_or(0);
+            if v % 4 == 0 {
+                panic!("refuses multiples of four: {v}");
+            }
+            Some(d)
+        }));
+        let sink = g.add(workflows::print_consumer("Out"));
+        g.connect(src, OUTPUT, picky, INPUT).unwrap();
+        g.connect(picky, OUTPUT, sink, INPUT).unwrap();
+        let r = run_with_options(
+            &g,
+            RunInput::Iterations(8),
+            &Mapping::Multi { processes: 4 },
+            OutputSink::new(),
+            &RunOptions {
+                fault_policy: FaultPolicy::DeadLetter { max_attempts: 1 },
+                task_timeout: None,
+            },
+        )
+        .unwrap();
+        // 0 and 4 dead-lettered; 1,2,3,5,6,7 delivered.
+        assert_eq!(r.lines().len(), 6, "{:?}", r.lines());
+        assert_eq!(r.dead_letters.len(), 2);
+        assert!(r.dead_letters.iter().all(|e| e.pe == "Picky1"));
+    }
+
+    #[test]
+    fn retry_policy_exhaustion_fails_typed() {
+        let mut g = WorkflowGraph::new("w");
+        let src = g.add(workflows::number_producer(100));
+        let boom = g.add(IterativePE::new("Boom", |_d: Data| -> Option<Data> {
+            panic!("permanent")
+        }));
+        g.connect(src, OUTPUT, boom, INPUT).unwrap();
+        let err = run_with_options(
+            &g,
+            RunInput::Iterations(2),
+            &Mapping::Multi { processes: 2 },
+            OutputSink::new(),
+            &RunOptions {
+                fault_policy: FaultPolicy::Retry {
+                    max_attempts: 2,
+                    backoff: std::time::Duration::ZERO,
+                },
+                task_timeout: None,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, GraphError::PeFailed { ref pe, attempts: 2, .. } if pe == "Boom1"),
+            "{err:?}"
+        );
     }
 }

@@ -2,9 +2,15 @@
 //! propagation through the DAG on a work queue. Reference semantics for the
 //! parallel mappings — every mapping must produce the same multiset of
 //! output lines for a deterministic workflow.
+//!
+//! Every PE invocation runs under the run's [`Supervisor`]: a panicking PE
+//! no longer unwinds through the caller — it fails fast with a typed
+//! error, is retried, or dead-letters the datum, per the run's
+//! [`FaultPolicy`](crate::fault::FaultPolicy).
 
 use crate::data::Data;
 use crate::error::GraphError;
+use crate::fault::{Supervised, Supervisor};
 use crate::graph::{NodeId, WorkflowGraph};
 use crate::mapping::RunInput;
 use crate::monitor::{Monitor, OutputSink};
@@ -16,6 +22,7 @@ pub(crate) fn execute(
     input: &RunInput,
     sink: &OutputSink,
     monitor: &Monitor,
+    supervisor: &Supervisor,
 ) -> Result<(), GraphError> {
     let order = graph.topo_order()?;
     let mut instances: Vec<Box<dyn PE>> = graph.nodes.iter().map(|n| n.factory.create()).collect();
@@ -28,11 +35,16 @@ pub(crate) fn execute(
     for &n in &order {
         let display = graph.node(n).display_name(n.0);
         let mut emitted: Vec<(String, Data)> = Vec::new();
-        let mut emit = |port: &str, d: Data| emitted.push((port.to_string(), d));
-        let log = make_log(sink);
-        let mut ctx = Context::new(&display, 0, 0, &mut emit, &log);
-        instances[n.0].setup(&mut ctx);
-        route_emitted(graph, n, emitted, &mut queue);
+        let outcome = supervisor.invoke(&display, None, None, &mut || {
+            emitted.clear();
+            let mut emit = |port: &str, d: Data| emitted.push((port.to_string(), d));
+            let log = make_log(sink);
+            let mut ctx = Context::new(&display, 0, 0, &mut emit, &log);
+            instances[n.0].setup(&mut ctx);
+        })?;
+        if matches!(outcome, Supervised::Done) {
+            route_emitted(graph, n, emitted, &mut queue);
+        }
     }
 
     // Drive roots.
@@ -50,41 +62,50 @@ pub(crate) fn execute(
     for (i, (root, datum)) in feed.into_iter().enumerate() {
         let node = graph.node(root);
         let display = node.display_name(root.0);
-        let has_input_port = !node.ports.inputs.is_empty();
+        let call_input = match (datum, node.ports.inputs.first()) {
+            (Some(d), Some(port)) => Some((port.clone(), d)),
+            // Data fed to a pure producer just drives one iteration.
+            _ => None,
+        };
         let mut emitted: Vec<(String, Data)> = Vec::new();
-        {
-            let mut emit = |port: &str, d: Data| emitted.push((port.to_string(), d));
-            let log = make_log(sink);
-            let mut ctx = Context::new(&display, 0, i as u64, &mut emit, &log);
-            let call_input = match (datum, has_input_port) {
-                (Some(d), true) => {
-                    Some((node.ports.inputs[0].clone(), d))
-                }
-                // Data fed to a pure producer just drives one iteration.
-                _ => None,
-            };
-            instances[root.0].process(call_input, &mut ctx);
+        let outcome = supervisor.invoke(
+            &display,
+            call_input.as_ref().map(|(p, _)| p.as_str()),
+            call_input.as_ref().map(|(_, d)| d),
+            &mut || {
+                emitted.clear();
+                let mut emit = |port: &str, d: Data| emitted.push((port.to_string(), d));
+                let log = make_log(sink);
+                let mut ctx = Context::new(&display, 0, i as u64, &mut emit, &log);
+                instances[root.0].process(call_input.clone(), &mut ctx);
+            },
+        )?;
+        if matches!(outcome, Supervised::DeadLettered) {
+            continue;
         }
         iteration_counts[root.0] += 1;
         route_emitted(graph, root, emitted, &mut queue);
 
         // Fully drain after each root firing: streaming semantics, outputs
         // appear as soon as their inputs exist.
-        drain(graph, &mut instances, &mut queue, &mut iteration_counts, sink)?;
+        drain(graph, &mut instances, &mut queue, &mut iteration_counts, sink, supervisor)?;
     }
 
     // Teardown in topological order.
     for &n in &order {
         let display = graph.node(n).display_name(n.0);
         let mut emitted: Vec<(String, Data)> = Vec::new();
-        {
+        let outcome = supervisor.invoke(&display, None, None, &mut || {
+            emitted.clear();
             let mut emit = |port: &str, d: Data| emitted.push((port.to_string(), d));
             let log = make_log(sink);
             let mut ctx = Context::new(&display, 0, iteration_counts[n.0], &mut emit, &log);
             instances[n.0].teardown(&mut ctx);
+        })?;
+        if matches!(outcome, Supervised::Done) {
+            route_emitted(graph, n, emitted, &mut queue);
         }
-        route_emitted(graph, n, emitted, &mut queue);
-        drain(graph, &mut instances, &mut queue, &mut iteration_counts, sink)?;
+        drain(graph, &mut instances, &mut queue, &mut iteration_counts, sink, supervisor)?;
     }
 
     for (i, count) in iteration_counts.iter().enumerate() {
@@ -119,15 +140,20 @@ fn drain(
     queue: &mut VecDeque<(NodeId, String, Data)>,
     iteration_counts: &mut [u64],
     sink: &OutputSink,
+    supervisor: &Supervisor,
 ) -> Result<(), GraphError> {
     while let Some((node, port, data)) = queue.pop_front() {
         let display = graph.node(node).display_name(node.0);
         let mut emitted: Vec<(String, Data)> = Vec::new();
-        {
+        let outcome = supervisor.invoke(&display, Some(&port), Some(&data), &mut || {
+            emitted.clear();
             let mut emit = |p: &str, d: Data| emitted.push((p.to_string(), d));
             let log = make_log(sink);
             let mut ctx = Context::new(&display, 0, iteration_counts[node.0], &mut emit, &log);
-            instances[node.0].process(Some((port, data)), &mut ctx);
+            instances[node.0].process(Some((port.clone(), data.clone())), &mut ctx);
+        })?;
+        if matches!(outcome, Supervised::DeadLettered) {
+            continue;
         }
         iteration_counts[node.0] += 1;
         route_emitted(graph, node, emitted, queue);
@@ -227,5 +253,94 @@ mod tests {
         g.connect(a, OUTPUT, b, INPUT).unwrap();
         g.connect(b, OUTPUT, a, INPUT).unwrap();
         assert!(run(&g, RunInput::Iterations(1), &Mapping::Simple).is_err());
+    }
+
+    #[test]
+    fn panicking_pe_is_typed_not_unwound() {
+        // Pre-fault-model, a panicking PE unwound straight through run().
+        // Under the default FailFast policy it now surfaces as the same
+        // typed error the parallel mappings raise.
+        let mut g = WorkflowGraph::new("w");
+        let src = g.add(workflows::number_producer(10));
+        let boom = g.add(IterativePE::new("Boom", |_d: Data| -> Option<Data> {
+            panic!("sequential boom")
+        }));
+        g.connect(src, OUTPUT, boom, INPUT).unwrap();
+        let err = run(&g, RunInput::Iterations(2), &Mapping::Simple).unwrap_err();
+        match err {
+            GraphError::WorkerPanicked(msg) => assert!(msg.contains("sequential boom")),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_letter_policy_keeps_stream_flowing() {
+        let mut g = WorkflowGraph::new("w");
+        let src = g.add(workflows::number_producer(100));
+        let picky = g.add(IterativePE::new("Picky", |d: Data| {
+            let v = d.as_int().unwrap_or(0);
+            if v % 3 == 0 {
+                panic!("refuses multiples of three: {v}");
+            }
+            Some(d)
+        }));
+        let sink = g.add(workflows::print_consumer("Out"));
+        g.connect(src, OUTPUT, picky, INPUT).unwrap();
+        g.connect(picky, OUTPUT, sink, INPUT).unwrap();
+        let r = crate::mapping::run_with_options(
+            &g,
+            RunInput::Iterations(9),
+            &Mapping::Simple,
+            crate::monitor::OutputSink::new(),
+            &RunOptions {
+                fault_policy: FaultPolicy::DeadLetter { max_attempts: 1 },
+                task_timeout: None,
+            },
+        )
+        .unwrap();
+        // 0,3,6 dead-lettered; 1,2,4,5,7,8 delivered.
+        assert_eq!(r.lines().len(), 6, "{:?}", r.lines());
+        assert_eq!(r.dead_letters.len(), 3);
+        assert_eq!(r.fault_stats.dead_letters, 3);
+        assert!(r.dead_letters.iter().all(|e| e.pe == "Picky1"));
+        assert_eq!(r.dead_letters[0].datum, Some(Data::from(0i64)));
+    }
+
+    #[test]
+    fn retry_policy_overcomes_transient_faults() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let failures = Arc::new(AtomicU32::new(0));
+        let f2 = failures.clone();
+        let mut g = WorkflowGraph::new("w");
+        let src = g.add(workflows::number_producer(100));
+        let flaky = g.add(IterativePE::new("Flaky", move |d: Data| {
+            // Fail the first two invocations ever, then behave.
+            if f2.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            Some(d)
+        }));
+        let sink = g.add(workflows::print_consumer("Out"));
+        g.connect(src, OUTPUT, flaky, INPUT).unwrap();
+        g.connect(flaky, OUTPUT, sink, INPUT).unwrap();
+        let r = crate::mapping::run_with_options(
+            &g,
+            RunInput::Iterations(5),
+            &Mapping::Simple,
+            crate::monitor::OutputSink::new(),
+            &RunOptions {
+                fault_policy: FaultPolicy::Retry {
+                    max_attempts: 3,
+                    backoff: std::time::Duration::ZERO,
+                },
+                task_timeout: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.lines().len(), 5, "{:?}", r.lines());
+        assert_eq!(r.fault_stats.faults, 2);
+        assert_eq!(r.fault_stats.retries, 2);
+        assert!(r.dead_letters.is_empty());
     }
 }

@@ -12,9 +12,9 @@ use crate::containers::{ContainerPool, PoolConfig};
 use crate::imports::{resolve_imports, ImportResolution, PackageIndex};
 use crate::library::WorkflowLibrary;
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use d4py::mapping::run_with_sink;
+use d4py::mapping::run_with_options;
 use d4py::monitor::OutputSink;
-use d4py::{GraphError, Mapping, RunInput};
+use d4py::{DeadLetterEntry, FaultStats, GraphError, Mapping, RunInput, RunOptions};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,10 +37,16 @@ pub enum Frame {
     Line(String),
     /// Per-rank iteration summary line (verbose mode).
     Summary(String),
+    /// One datum the supervisor gave up on (`FaultPolicy::DeadLetter`).
+    DeadLetter(DeadLetterEntry),
+    /// Fault/retry/timeout counters for the run; emitted once before
+    /// `End` whenever the run was not fault-free.
+    Faults(FaultStats),
     /// Terminal frame: success flag + total duration.
     End { ok: bool, duration: Duration },
-    /// Terminal frame on failure.
-    Error(String),
+    /// Terminal frame on failure — a typed error, not a formatted string,
+    /// so consumers can match on the failure class.
+    Error(EngineError),
 }
 
 /// Errors surfaced by the engine.
@@ -80,6 +86,8 @@ pub struct ExecRequest {
     pub mode: ResponseMode,
     /// Include per-rank summaries (the CLI's `-v`).
     pub verbose: bool,
+    /// Enactment fault policy and (dynamic mapping) per-task timeout.
+    pub options: RunOptions,
 }
 
 /// Collected result of a completed execution.
@@ -90,6 +98,8 @@ pub struct ExecutionReport {
     pub cold_start: bool,
     pub imports: Vec<ImportResolution>,
     pub duration: Duration,
+    pub dead_letters: Vec<DeadLetterEntry>,
+    pub fault_stats: FaultStats,
 }
 
 /// The serverless execution engine.
@@ -145,6 +155,8 @@ impl ExecutionEngine {
         let mut cold = false;
         let mut imports = Vec::new();
         let mut duration = Duration::ZERO;
+        let mut dead_letters = Vec::new();
+        let mut fault_stats = FaultStats::default();
         for frame in rx.iter() {
             match frame {
                 Frame::Line(l) => lines.push(l),
@@ -157,12 +169,14 @@ impl ExecutionEngine {
                         imports.push(ImportResolution::Cached(rest.to_string()));
                     }
                 }
+                Frame::DeadLetter(d) => dead_letters.push(d),
+                Frame::Faults(s) => fault_stats = s,
                 Frame::End { duration: d, .. } => {
                     duration = d;
                     break;
                 }
                 Frame::Error(e) => {
-                    return Err(parse_engine_error(&e));
+                    return Err(e);
                 }
             }
         }
@@ -172,17 +186,9 @@ impl ExecutionEngine {
             cold_start: cold,
             imports,
             duration,
+            dead_letters,
+            fault_stats,
         })
-    }
-}
-
-fn parse_engine_error(msg: &str) -> EngineError {
-    if let Some(w) = msg.strip_prefix("unknown workflow: ") {
-        EngineError::UnknownWorkflow(w.to_string())
-    } else if let Some(m) = msg.strip_prefix("unresolved import: ") {
-        EngineError::UnresolvedImport(m.to_string())
-    } else {
-        EngineError::Graph(GraphError::WorkerPanicked(msg.to_string()))
     }
 }
 
@@ -197,7 +203,7 @@ fn run_request(
 
     // 1. Resolve the workflow to a runnable graph.
     let Some(graph) = library.build(&req.workflow) else {
-        let _ = tx.send(Frame::Error(format!("unknown workflow: {}", req.workflow)));
+        let _ = tx.send(Frame::Error(EngineError::UnknownWorkflow(req.workflow.clone())));
         return;
     };
 
@@ -205,7 +211,7 @@ fn run_request(
     for res in resolve_imports(&req.code, packages) {
         match &res {
             ImportResolution::Unresolved(m) => {
-                let _ = tx.send(Frame::Error(format!("unresolved import: {m}")));
+                let _ = tx.send(Frame::Error(EngineError::UnresolvedImport(m.clone())));
                 return;
             }
             other => {
@@ -229,11 +235,11 @@ fn run_request(
             let sink = OutputSink::with_tap(Arc::new(move |line: &str| {
                 let _ = tap_tx.send(Frame::Line(line.to_string()));
             }));
-            run_with_sink(&graph, req.input.clone(), &req.mapping, sink)
+            run_with_options(&graph, req.input.clone(), &req.mapping, sink, &req.options)
         }
         ResponseMode::Batch => {
             let sink = OutputSink::new();
-            let r = run_with_sink(&graph, req.input.clone(), &req.mapping, sink);
+            let r = run_with_options(&graph, req.input.clone(), &req.mapping, sink, &req.options);
             if let Ok(res) = &r {
                 for line in res.lines() {
                     let _ = tx.send(Frame::Line(line.clone()));
@@ -254,13 +260,19 @@ fn run_request(
                     )));
                 }
             }
+            for entry in &res.dead_letters {
+                let _ = tx.send(Frame::DeadLetter(entry.clone()));
+            }
+            if !res.fault_stats.is_clean() {
+                let _ = tx.send(Frame::Faults(res.fault_stats.clone()));
+            }
             let _ = tx.send(Frame::End {
                 ok: true,
                 duration: started.elapsed(),
             });
         }
         Err(e) => {
-            let _ = tx.send(Frame::Error(e.to_string()));
+            let _ = tx.send(Frame::Error(EngineError::from(e)));
         }
     }
 }
@@ -289,6 +301,7 @@ mod tests {
             mapping: Mapping::Simple,
             mode,
             verbose: false,
+            options: RunOptions::default(),
         }
     }
 
@@ -387,6 +400,62 @@ mod tests {
         r.code = "import not_a_real_package\n".into();
         let err = e.execute_collect(r).unwrap_err();
         assert_eq!(err, EngineError::UnresolvedImport("not_a_real_package".into()));
+    }
+
+    #[test]
+    fn dead_letter_policy_surfaces_dlq_in_report() {
+        let lib = WorkflowLibrary::with_stock_workflows();
+        lib.register("flaky_wf", || {
+            use d4py::prelude::*;
+            let mut g = WorkflowGraph::new("flaky_wf");
+            let src = g.add(ProducerPE::new("Src", |i| Some(Data::from(i as i64))));
+            let flaky = g.add(IterativePE::new("Flaky", |d: Data| {
+                let v = d.as_int().unwrap_or(0);
+                if v % 3 == 0 {
+                    panic!("flaky on {v}");
+                }
+                Some(d)
+            }));
+            let sink = g.add(ConsumerPE::new("Out", |d: Data, ctx: &mut Context<'_>| {
+                ctx.log(format!("{d}"));
+            }));
+            g.connect(src, OUTPUT, flaky, INPUT).unwrap();
+            g.connect(flaky, OUTPUT, sink, INPUT).unwrap();
+            g
+        });
+        let e = ExecutionEngine::new(PoolConfig::default(), lib);
+        let mut r = req("flaky_wf", ResponseMode::Batch);
+        r.input = RunInput::Iterations(9);
+        r.options.fault_policy = d4py::FaultPolicy::DeadLetter { max_attempts: 2 };
+        let rep = e.execute_collect(r).unwrap();
+        assert_eq!(rep.lines.len(), 6, "0, 3, 6 dead-lettered: {:?}", rep.lines);
+        assert_eq!(rep.dead_letters.len(), 3);
+        assert!(rep.dead_letters.iter().all(|d| d.pe == "Flaky1"));
+        assert_eq!(rep.fault_stats.dead_letters, 3);
+        assert!(rep.fault_stats.retries > 0, "{:?}", rep.fault_stats);
+    }
+
+    #[test]
+    fn failing_run_surfaces_typed_graph_error() {
+        let lib = WorkflowLibrary::with_stock_workflows();
+        lib.register("boom_wf", || {
+            use d4py::prelude::*;
+            let mut g = WorkflowGraph::new("boom_wf");
+            let src = g.add(ProducerPE::new("Src", |i| Some(Data::from(i as i64))));
+            let boom = g.add(ConsumerPE::new("Boom", |_d: Data, _ctx: &mut Context<'_>| {
+                panic!("kaboom");
+            }));
+            g.connect(src, OUTPUT, boom, INPUT).unwrap();
+            g
+        });
+        let e = ExecutionEngine::new(PoolConfig::default(), lib);
+        let mut r = req("boom_wf", ResponseMode::Batch);
+        r.input = RunInput::Iterations(1);
+        let err = e.execute_collect(r).unwrap_err();
+        match err {
+            EngineError::Graph(GraphError::WorkerPanicked(m)) => assert!(m.contains("kaboom")),
+            other => panic!("expected typed worker panic, got {other:?}"),
+        }
     }
 
     #[test]

@@ -36,10 +36,10 @@ pub mod transport;
 
 pub use connection::{classify, ConnOptions, Connection, ConnectionError};
 pub use net::{NetClientTransport, NetServer, NetServerConfig, MAX_FRAME};
-pub use obs::{EndpointSnapshot, Metrics, MetricsSnapshot, RequestId, SearchSnapshot};
+pub use obs::{EnactmentSnapshot, EndpointSnapshot, Metrics, MetricsSnapshot, RequestId, SearchSnapshot};
 pub use protocol::{
-    EmbeddingType, Ident, PeSubmission, Reply, Request, RequestEnvelope, Response, RunMode,
-    SearchScope, SemanticHit, WireFrame, PROTOCOL_VERSION,
+    EmbeddingType, FaultPolicyWire, Ident, PeSubmission, Reply, Request, RequestEnvelope, Response,
+    RunMode, SearchScope, SemanticHit, WireFrame, PROTOCOL_VERSION,
 };
 pub use resources::{ResourceCache, ResourceRef};
 pub use server::{LaminarServer, ServerConfig, ServerError};

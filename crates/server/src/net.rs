@@ -36,7 +36,7 @@
 //! and disconnect counters.
 
 use crate::connection::{classify, ConnOptions, Connection, ConnectionError};
-use crate::protocol::{Reply, Request, RequestEnvelope, Response, WireFrame};
+use crate::protocol::{FaultPolicyWire, Reply, Request, RequestEnvelope, Response, WireFrame};
 use crate::server::LaminarServer;
 use crate::transport::DeliveryMode;
 use bytes::{Buf, BufMut, BytesMut};
@@ -589,6 +589,8 @@ mod tests {
                 streaming: true,
                 verbose: true,
                 resources: vec![],
+                fault: FaultPolicyWire::default(),
+                task_timeout_ms: None,
             })
             .unwrap();
         let (lines, _infos, summaries, ok) = reply.drain();

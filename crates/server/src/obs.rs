@@ -222,6 +222,51 @@ impl SearchMetrics {
     }
 }
 
+/// Enactment (workflow-run) fault metrics, fed by the run path from the
+/// per-run [`d4py::FaultStats`]: how often PEs fail, how often the
+/// supervisor retries, what ends up dead-lettered, and how the dynamic
+/// mapping's task-timeout supervision behaves.
+#[derive(Debug, Default)]
+pub struct EnactmentMetrics {
+    /// Completed runs (whatever the outcome).
+    pub runs: Counter,
+    /// Runs that ended in a terminal error.
+    pub runs_failed: Counter,
+    /// Failed PE invocations observed (each failed attempt counts once).
+    pub pe_faults: Counter,
+    /// Supervisor re-invocations under `Retry`/`DeadLetter`.
+    pub retries: Counter,
+    /// Datums dropped into dead-letter queues.
+    pub dead_letters: Counter,
+    /// Tasks abandoned for exceeding the per-task timeout.
+    pub task_timeouts: Counter,
+    /// Hung workers detached and replaced.
+    pub worker_replacements: Counter,
+}
+
+impl EnactmentMetrics {
+    /// Fold one run's fault counters into the server-lifetime totals.
+    pub fn observe(&self, stats: &d4py::FaultStats) {
+        self.pe_faults.add(stats.faults);
+        self.retries.add(stats.retries);
+        self.dead_letters.add(stats.dead_letters);
+        self.task_timeouts.add(stats.task_timeouts);
+        self.worker_replacements.add(stats.worker_replacements);
+    }
+
+    fn snapshot(&self) -> EnactmentSnapshot {
+        EnactmentSnapshot {
+            runs: self.runs.get(),
+            runs_failed: self.runs_failed.get(),
+            pe_faults: self.pe_faults.get(),
+            retries: self.retries.get(),
+            dead_letters: self.dead_letters.get(),
+            task_timeouts: self.task_timeouts.get(),
+            worker_replacements: self.worker_replacements.get(),
+        }
+    }
+}
+
 /// The server's metric registry: one [`EndpointMetrics`] per protocol
 /// endpoint plus connection-level counters fed by the TCP layer and the
 /// search-engine metrics fed by the search service.
@@ -234,6 +279,7 @@ pub struct Metrics {
     pub timeouts: Counter,
     pub disconnects: Counter,
     pub search: SearchMetrics,
+    pub enactment: EnactmentMetrics,
 }
 
 impl Default for Metrics {
@@ -247,6 +293,7 @@ impl Default for Metrics {
             timeouts: Counter::default(),
             disconnects: Counter::default(),
             search: SearchMetrics::default(),
+            enactment: EnactmentMetrics::default(),
         }
     }
 }
@@ -293,6 +340,7 @@ impl Metrics {
             disconnects: self.disconnects.get(),
             endpoints,
             search: self.search.snapshot(),
+            enactment: self.enactment.snapshot(),
         }
     }
 }
@@ -307,6 +355,18 @@ pub struct SearchSnapshot {
     pub index_workflows: i64,
     pub lsh_queries: u64,
     pub lsh_candidates: u64,
+}
+
+/// Snapshot of the enactment fault metrics (serialisable).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EnactmentSnapshot {
+    pub runs: u64,
+    pub runs_failed: u64,
+    pub pe_faults: u64,
+    pub retries: u64,
+    pub dead_letters: u64,
+    pub task_timeouts: u64,
+    pub worker_replacements: u64,
 }
 
 /// Snapshot of one histogram (serialisable).
@@ -347,6 +407,10 @@ pub struct MetricsSnapshot {
     /// (no `search` field) still deserialises.
     #[serde(default)]
     pub search: SearchSnapshot,
+    /// Enactment fault metrics; serde-defaulted so a pre-v4 snapshot
+    /// (no `enactment` field) still deserialises.
+    #[serde(default)]
+    pub enactment: EnactmentSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -414,6 +478,22 @@ impl MetricsSnapshot {
                 s.lsh_candidates as f64 / s.lsh_queries as f64
             );
         }
+        let f = &self.enactment;
+        let _ = writeln!(
+            out,
+            "enactment: runs {}  failed {}",
+            f.runs, f.runs_failed
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>8} {:>12} {:>9} {:>9}",
+            "enactment faults", "faults", "retries", "dead_letters", "timeouts", "replaced"
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>8} {:>12} {:>9} {:>9}",
+            "", f.pe_faults, f.retries, f.dead_letters, f.task_timeouts, f.worker_replacements
+        );
         out
     }
 }
@@ -515,6 +595,37 @@ mod tests {
         json.as_object_mut().unwrap().remove("search");
         let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
         assert_eq!(back.search, SearchSnapshot::default());
+    }
+
+    #[test]
+    fn enactment_metrics_snapshot_and_render() {
+        let m = Metrics::new();
+        m.enactment.runs.inc();
+        m.enactment.runs.inc();
+        m.enactment.runs_failed.inc();
+        m.enactment.observe(&d4py::FaultStats {
+            faults: 5,
+            retries: 3,
+            dead_letters: 2,
+            task_timeouts: 1,
+            worker_replacements: 1,
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.enactment.runs, 2);
+        assert_eq!(snap.enactment.runs_failed, 1);
+        assert_eq!(snap.enactment.pe_faults, 5);
+        assert_eq!(snap.enactment.retries, 3);
+        assert_eq!(snap.enactment.dead_letters, 2);
+        assert_eq!(snap.enactment.task_timeouts, 1);
+        assert_eq!(snap.enactment.worker_replacements, 1);
+        let table = snap.render();
+        assert!(table.contains("enactment: runs 2  failed 1"), "{table}");
+        assert!(table.contains("dead_letters"), "{table}");
+        // A pre-v4 snapshot without the `enactment` field still parses.
+        let mut json: serde_json::Value = serde_json::to_value(&snap).unwrap();
+        json.as_object_mut().unwrap().remove("enactment");
+        let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
+        assert_eq!(back.enactment, EnactmentSnapshot::default());
     }
 
     #[test]

@@ -38,14 +38,22 @@
 //! * `3` — adds the serde-defaulted `top_n` result cap to the search
 //!   requests (`SearchLiteral`/`SearchSemantic`/`CodeRecommendation`).
 //!   Version-2 payloads parse unchanged (`top_n: None` ⇒ server default).
+//! * `4` — fault-tolerant enactment: `Run` gains the serde-defaulted
+//!   `fault` policy ([`FaultPolicyWire`], default `FailFast`) and
+//!   `task_timeout_ms`; run streams may carry the new `DeadLetter` and
+//!   `Faults` frames. Version-3 payloads parse unchanged, and version-3
+//!   readers that ignore unknown frames keep working.
 
 use crate::obs::MetricsSnapshot;
 use d4py::Data;
+/// Re-exported so wire consumers can name the frame payload types without
+/// depending on `d4py` directly.
+pub use d4py::{DeadLetterEntry, FaultStats};
 use serde::{Deserialize, Serialize};
 
 /// The protocol version this build speaks (see the module doc's version
 /// rules).
-pub const PROTOCOL_VERSION: u16 = 3;
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Session token handed out by register/login.
 pub type Token = u64;
@@ -105,6 +113,38 @@ pub struct PeSubmission {
     pub name: String,
     pub code: String,
     pub description: Option<String>,
+}
+
+/// Enactment fault policy as transmitted (mirrors `d4py::FaultPolicy`,
+/// with the backoff in milliseconds so the payload stays flat JSON).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FaultPolicyWire {
+    /// Abort the run on the first PE failure (the pre-v4 behaviour).
+    #[default]
+    FailFast,
+    /// Re-invoke up to `max_attempts` times with jittered backoff.
+    Retry { max_attempts: u32, backoff_ms: u64 },
+    /// After `max_attempts`, drop the datum into the dead-letter queue
+    /// and keep the stream flowing.
+    DeadLetter { max_attempts: u32 },
+}
+
+impl From<FaultPolicyWire> for d4py::FaultPolicy {
+    fn from(w: FaultPolicyWire) -> Self {
+        match w {
+            FaultPolicyWire::FailFast => d4py::FaultPolicy::FailFast,
+            FaultPolicyWire::Retry {
+                max_attempts,
+                backoff_ms,
+            } => d4py::FaultPolicy::Retry {
+                max_attempts,
+                backoff: std::time::Duration::from_millis(backoff_ms),
+            },
+            FaultPolicyWire::DeadLetter { max_attempts } => {
+                d4py::FaultPolicy::DeadLetter { max_attempts }
+            }
+        }
+    }
 }
 
 /// Run input as transmitted (mirrors `d4py::RunInput`).
@@ -241,6 +281,13 @@ pub enum Request {
         verbose: bool,
         /// Resources the workflow needs, by reference (2.0 path).
         resources: Vec<ResourceRefWire>,
+        /// Enactment fault policy (v4; v3 payloads default to `FailFast`).
+        #[serde(default)]
+        fault: FaultPolicyWire,
+        /// Per-task timeout for the dynamic mapping, in milliseconds
+        /// (v4; `None` ⇒ no timeout).
+        #[serde(default)]
+        task_timeout_ms: Option<u64>,
     },
     /// Multipart resource upload (2.0 path, after a NeedResources reply).
     UploadResource {
@@ -460,6 +507,12 @@ pub enum WireFrame {
     /// Liveness beacon sent during quiet stretches of a stream so the
     /// client's read deadline does not fire while the engine works.
     Keepalive { request_id: u64 },
+    /// One datum the enactment supervisor gave up on (v4, `DeadLetter`
+    /// fault policy). Pre-v4 readers ignore it like any unknown frame.
+    DeadLetter(DeadLetterEntry),
+    /// Fault/retry/timeout counters for the run; sent once before `End`
+    /// when the run was not fault-free (v4).
+    Faults(FaultStats),
     /// Terminal frame of a run stream.
     End { ok: bool, millis: u64 },
 }
@@ -504,6 +557,21 @@ impl Reply {
                             break;
                         }
                         WireFrame::Value(_) => {}
+                        WireFrame::DeadLetter(d) => {
+                            infos.push(format!(
+                                "dead-letter: pe={} port={} attempts={} error={}",
+                                d.pe,
+                                d.port.as_deref().unwrap_or("-"),
+                                d.attempts,
+                                d.error
+                            ));
+                        }
+                        WireFrame::Faults(s) => {
+                            infos.push(format!(
+                                "faults: {} faults, {} retries, {} dead-lettered, {} timeouts, {} workers replaced",
+                                s.faults, s.retries, s.dead_letters, s.task_timeouts, s.worker_replacements
+                            ));
+                        }
                         WireFrame::End { ok: o, .. } => {
                             ok = o;
                             break;
@@ -554,6 +622,11 @@ mod tests {
                     name: "input.csv".into(),
                     content_hash: 42,
                 }],
+                fault: FaultPolicyWire::Retry {
+                    max_attempts: 3,
+                    backoff_ms: 5,
+                },
+                task_timeout_ms: Some(2_000),
             },
         ];
         for r in reqs {
@@ -620,6 +693,47 @@ mod tests {
             req,
             Request::CodeRecommendation { top_n: None, .. }
         ));
+    }
+
+    #[test]
+    fn version_three_run_payload_parses_without_fault_fields() {
+        // A v3 client omits `fault` and `task_timeout_ms`; serde defaults
+        // keep it parsing with the pre-fault-model behaviour (FailFast).
+        let json = r#"{"Run":{"token":1,"ident":{"Id":169},"input":{"Iterations":10},"mode":"Sequential","streaming":false,"verbose":false,"resources":[]}}"#;
+        let req: Request = serde_json::from_str(json).unwrap();
+        match req {
+            Request::Run {
+                fault,
+                task_timeout_ms,
+                ..
+            } => {
+                assert_eq!(fault, FaultPolicyWire::FailFast);
+                assert_eq!(task_timeout_ms, None);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_frames_serialise() {
+        let f = WireFrame::DeadLetter(DeadLetterEntry {
+            pe: "IsPrime1".into(),
+            port: Some("input".into()),
+            datum: Some(Data::from(9i64)),
+            error: "chaos: injected panic".into(),
+            attempts: 3,
+        });
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(serde_json::from_str::<WireFrame>(&json).unwrap(), f);
+        let f = WireFrame::Faults(FaultStats {
+            faults: 4,
+            retries: 2,
+            dead_letters: 1,
+            task_timeouts: 1,
+            worker_replacements: 1,
+        });
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(serde_json::from_str::<WireFrame>(&json).unwrap(), f);
     }
 
     #[test]

@@ -538,6 +538,8 @@ impl LaminarServer {
                 mode,
                 streaming,
                 verbose,
+                fault,
+                task_timeout_ms,
                 resources,
             } => {
                 let user = self.auth(token)?;
@@ -546,7 +548,16 @@ impl LaminarServer {
                 if !missing.is_empty() {
                     return Ok(Reply::Value(Response::NeedResources(missing)));
                 }
-                self.run(user, ident, input, mode, streaming, verbose)?
+                self.run(
+                    user,
+                    ident,
+                    input,
+                    mode,
+                    streaming,
+                    verbose,
+                    fault,
+                    task_timeout_ms,
+                )?
             }
             Request::RunWithInlineResources {
                 token,
@@ -558,7 +569,16 @@ impl LaminarServer {
                 let user = self.auth(token)?;
                 // Laminar 1.0 baseline: every byte re-transmitted, batch reply.
                 self.resources.receive_inline(&resources);
-                self.run(user, ident, input, mode, false, false)?
+                self.run(
+                    user,
+                    ident,
+                    input,
+                    mode,
+                    false,
+                    false,
+                    FaultPolicyWire::default(),
+                    None,
+                )?
             }
             Request::Metrics {} => {
                 Reply::Value(Response::Metrics(Box::new(self.metrics.snapshot())))
@@ -857,6 +877,7 @@ impl LaminarServer {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run(
         &self,
         user: u64,
@@ -865,6 +886,8 @@ impl LaminarServer {
         mode: RunMode,
         streaming: bool,
         verbose: bool,
+        fault: FaultPolicyWire,
+        task_timeout_ms: Option<u64>,
     ) -> Result<Reply, ServerError> {
         let wf = self.resolve_workflow(&ident)?;
         let mapping = match mode {
@@ -895,10 +918,15 @@ impl LaminarServer {
                 ResponseMode::Batch
             },
             verbose,
+            options: d4py::RunOptions {
+                fault_policy: fault.into(),
+                task_timeout: task_timeout_ms.map(std::time::Duration::from_millis),
+            },
         });
 
         let (tx, rx) = crossbeam_channel::unbounded::<WireFrame>();
         let registry = self.registry.clone();
+        let metrics = self.metrics.clone();
         std::thread::spawn(move || {
             let mut collected = Vec::new();
             for frame in engine_rx.iter() {
@@ -910,11 +938,16 @@ impl LaminarServer {
                         WireFrame::Line(l)
                     }
                     Frame::Summary(s) => WireFrame::Summary(s),
+                    Frame::DeadLetter(d) => WireFrame::DeadLetter(d),
+                    Frame::Faults(s) => {
+                        metrics.enactment.observe(&s);
+                        WireFrame::Faults(s)
+                    }
                     Frame::End { ok, duration } => WireFrame::End {
                         ok,
                         millis: duration.as_millis() as u64,
                     },
-                    Frame::Error(e) => WireFrame::Value(Response::Error(e)),
+                    Frame::Error(e) => WireFrame::Value(Response::Error(e.to_string())),
                 };
                 let failed = matches!(&wire, WireFrame::Value(Response::Error(_)));
                 if tx.send(wire).is_err() {
@@ -932,6 +965,10 @@ impl LaminarServer {
                     } else {
                         ExecutionStatus::Completed
                     };
+                    metrics.enactment.runs.inc();
+                    if failed {
+                        metrics.enactment.runs_failed.inc();
+                    }
                     let _ = registry.add_response(exec_id, &collected.join("\n"), status);
                     let _ = registry.set_execution_status(exec_id, status);
                     break;
@@ -1475,6 +1512,8 @@ mod tests {
             streaming: true,
             verbose: true,
             resources: vec![],
+            fault: FaultPolicyWire::default(),
+            task_timeout_ms: None,
         });
         let (lines, _infos, summaries, ok) = reply.drain();
         assert!(ok);
@@ -1508,6 +1547,8 @@ mod tests {
                 name: "input.csv".into(),
                 content_hash: content_hash(&data),
             }],
+            fault: FaultPolicyWire::default(),
+            task_timeout_ms: None,
         });
         match reply.value() {
             Response::NeedResources(names) => assert_eq!(names, vec!["input.csv"]),
@@ -1532,6 +1573,8 @@ mod tests {
                 name: "input.csv".into(),
                 content_hash: content_hash(&data),
             }],
+            fault: FaultPolicyWire::default(),
+            task_timeout_ms: None,
         });
         let (_, _, _, ok) = reply.drain();
         assert!(ok);
@@ -1552,6 +1595,8 @@ mod tests {
             streaming: true,
             verbose: false,
             resources: vec![],
+            fault: FaultPolicyWire::default(),
+            task_timeout_ms: None,
         });
         let (_lines, _infos, _summaries, ok) = reply.drain();
         assert!(ok);
@@ -1568,6 +1613,8 @@ mod tests {
             streaming: false,
             verbose: false,
             resources: vec![],
+            fault: FaultPolicyWire::default(),
+            task_timeout_ms: None,
         });
         assert!(matches!(reply.value(), Response::Error(_)));
     }
@@ -1630,6 +1677,8 @@ mod tests {
             streaming: true,
             verbose: false,
             resources: vec![],
+            fault: FaultPolicyWire::default(),
+            task_timeout_ms: None,
         }));
         match reply {
             Reply::Stream(rx) => {
@@ -1683,6 +1732,8 @@ mod tests {
             streaming: true,
             verbose: false,
             resources: vec![],
+            fault: FaultPolicyWire::default(),
+            task_timeout_ms: None,
         });
         match reply {
             Reply::Stream(rx) => {

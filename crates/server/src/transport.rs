@@ -8,7 +8,7 @@
 //! for the network (experiment E8 sweeps it).
 
 use crate::connection::{classify, ConnOptions, Connection, ConnectionError};
-use crate::protocol::{Reply, Request, RequestEnvelope, WireFrame};
+use crate::protocol::{FaultPolicyWire, Reply, Request, RequestEnvelope, WireFrame};
 use crate::server::LaminarServer;
 use crossbeam_channel::{unbounded, Receiver};
 use std::sync::Arc;
@@ -177,6 +177,8 @@ mod tests {
             streaming,
             verbose: false,
             resources: vec![],
+            fault: FaultPolicyWire::default(),
+            task_timeout_ms: None,
         }
     }
 
@@ -236,6 +238,8 @@ mod tests {
                 streaming,
                 verbose: false,
                 resources: vec![],
+                fault: FaultPolicyWire::default(),
+                task_timeout_ms: None,
             });
             let t0 = Instant::now();
             match reply {

@@ -28,6 +28,12 @@ cargo test -q
 echo "==> cargo bench --no-run (benches stay compilable)"
 cargo bench --no-run -p laminar-bench
 
+# The chaos suite is seeded (pinned seed inside the test file), so this is
+# a deterministic gate, not a flaky soak: same-seed runs must produce
+# bit-identical dead-letter queues on every mapping.
+echo "==> chaos suite (seeded fault injection, all mappings x all policies)"
+cargo test -q -p d4py --test chaos
+
 if [[ "${1:-}" == "--heavy" ]]; then
     echo "==> heavy stress tests (#[ignore]d)"
     cargo test -q -p laminar heavy_ -- --ignored

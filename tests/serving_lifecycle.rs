@@ -5,7 +5,7 @@
 
 use laminar::client::{LaminarClient, RetryPolicy};
 use laminar::core::{Laminar, LaminarConfig};
-use laminar::server::protocol::RunInputWire;
+use laminar::server::protocol::{FaultPolicyWire, RunInputWire};
 use laminar::server::{
     Connection, ConnectionError, Ident, LaminarServer, NetClientTransport, NetServer,
     NetServerConfig, Reply, Request, Response, RunMode, WireFrame,
@@ -66,6 +66,8 @@ fn run_request(token: u64, name: &str, items: u64) -> Request {
         streaming: true,
         verbose: false,
         resources: vec![],
+        fault: FaultPolicyWire::default(),
+        task_timeout_ms: None,
     }
 }
 
