@@ -1,0 +1,192 @@
+//! Durability-cost benchmark: registration throughput with the WAL off /
+//! on / on with per-append fsync, plus recovery time as a function of WAL
+//! length, written to `BENCH_persist.json`.
+//!
+//! The first sweep prices the durability ladder: an in-memory registry is
+//! the ceiling, OS-buffered WAL appends show the cost of the serialised
+//! frame write, and `--wal-fsync` shows the cost of making every
+//! acknowledgement crash-proof rather than process-crash-proof. The
+//! second sweep measures `Registry::open` replaying logs of increasing
+//! length — the number that tells an operator how to set
+//! `--snapshot-every`.
+//!
+//! Run with `cargo run --release -p laminar-bench --bin bench_persist`.
+//! Pass a registration count to override the default
+//! (`bench_persist 5000`).
+
+use laminar_registry::{NewPe, PersistOptions, Registry, SyncPolicy};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Timed repetitions per cell; the median elapsed time is reported.
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct ThroughputResult {
+    mode: &'static str,
+    registrations: u64,
+    elapsed_ms: f64,
+    registrations_per_s: f64,
+    wal_bytes: u64,
+    fsyncs: u64,
+}
+
+#[derive(Serialize)]
+struct RecoveryResult {
+    wal_records: u64,
+    recovery_ms: f64,
+    records_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    registrations: u64,
+    throughput: Vec<ThroughputResult>,
+    recovery: Vec<RecoveryResult>,
+}
+
+fn bench_dir(tag: &str, rep: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "laminar-bench-persist-{tag}-{rep}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn pe(user_id: u64, i: u64) -> NewPe {
+    NewPe {
+        user_id,
+        name: format!("BenchPe{i}"),
+        description: "counts the words of the stream".into(),
+        code: "class BenchPe(IterativePE):\n    def _process(self, d):\n        return d".into(),
+        description_embedding: "0.12,0.34,0.56".into(),
+        spt_embedding: "0.78,0.90".into(),
+    }
+}
+
+/// Register `n` PEs against a fresh registry in `mode`; returns elapsed ms
+/// and the persistence counters (zeroed for the in-memory mode).
+fn registration_run(mode: &'static str, n: u64, rep: usize) -> (f64, u64, u64) {
+    let dir = bench_dir(mode, rep);
+    let reg = match mode {
+        "in-memory" => Registry::new(),
+        "wal" => Registry::open(
+            &dir,
+            PersistOptions {
+                snapshot_every: 0,
+                sync: SyncPolicy::OsBuffered,
+            },
+        )
+        .expect("open bench registry"),
+        "wal+fsync" => Registry::open(
+            &dir,
+            PersistOptions {
+                snapshot_every: 0,
+                sync: SyncPolicy::EveryAppend,
+            },
+        )
+        .expect("open bench registry"),
+        other => unreachable!("unknown mode {other}"),
+    };
+    let user = reg.register_user("bench", "pw").expect("register user");
+    let start = Instant::now();
+    for i in 0..n {
+        reg.add_pe(pe(user, i)).expect("unique names never collide");
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (wal_bytes, fsyncs) = reg
+        .persist_stats()
+        .map(|s| (s.wal_bytes, s.fsyncs))
+        .unwrap_or((0, 0));
+    drop(reg);
+    let _ = std::fs::remove_dir_all(&dir);
+    (elapsed_ms, wal_bytes, fsyncs)
+}
+
+/// Build a WAL of `records` registrations, then time a cold
+/// `Registry::open` replaying it.
+fn recovery_run(records: u64, rep: usize) -> f64 {
+    let dir = bench_dir("recovery", rep);
+    let opts = PersistOptions {
+        snapshot_every: 0,
+        sync: SyncPolicy::OsBuffered,
+    };
+    {
+        let reg = Registry::open(&dir, opts).expect("open bench registry");
+        let user = reg.register_user("bench", "pw").expect("register user");
+        for i in 0..records.saturating_sub(1) {
+            reg.add_pe(pe(user, i)).expect("unique names never collide");
+        }
+    }
+    let start = Instant::now();
+    let reg = Registry::open(&dir, opts).expect("recover bench registry");
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = reg.persist_stats().expect("durable registry has stats");
+    assert_eq!(stats.recovered_records, records, "whole log replays");
+    drop(reg);
+    let _ = std::fs::remove_dir_all(&dir);
+    elapsed_ms
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+
+    let mut report = Report {
+        registrations: n,
+        throughput: Vec::new(),
+        recovery: Vec::new(),
+    };
+
+    println!("# durability cost — {n} PE registrations per mode\n");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>8}",
+        "mode", "elapsed ms", "regs/s", "wal bytes", "fsyncs"
+    );
+    for mode in ["in-memory", "wal", "wal+fsync"] {
+        let mut runs: Vec<(f64, u64, u64)> =
+            (0..REPS).map(|rep| registration_run(mode, n, rep)).collect();
+        runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (elapsed_ms, wal_bytes, fsyncs) = runs[REPS / 2];
+        let per_s = n as f64 / (elapsed_ms / 1e3).max(1e-9);
+        println!(
+            "{:<10} {:>12.1} {:>14.0} {:>12} {:>8}",
+            mode, elapsed_ms, per_s, wal_bytes, fsyncs
+        );
+        report.throughput.push(ThroughputResult {
+            mode,
+            registrations: n,
+            elapsed_ms,
+            registrations_per_s: per_s,
+            wal_bytes,
+            fsyncs,
+        });
+    }
+
+    println!("\n# recovery time vs WAL length\n");
+    println!("{:>12} {:>14} {:>14}", "wal records", "recovery ms", "recs/s");
+    for records in [n / 4, n, n * 4] {
+        let records = records.max(1);
+        let elapsed_ms = median((0..REPS).map(|rep| recovery_run(records, rep)).collect());
+        let per_s = records as f64 / (elapsed_ms / 1e3).max(1e-9);
+        println!("{:>12} {:>14.1} {:>14.0}", records, elapsed_ms, per_s);
+        report.recovery.push(RecoveryResult {
+            wal_records: records,
+            recovery_ms: elapsed_ms,
+            records_per_s: per_s,
+        });
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_persist.json", &json).expect("write BENCH_persist.json");
+    eprintln!("wrote BENCH_persist.json");
+}

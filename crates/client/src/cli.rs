@@ -19,6 +19,7 @@ pub struct Cli {
 const COMMANDS: &[(&str, &str)] = &[
     ("code_completion", "Completes a partially typed PE from the most structurally similar registered PE."),
     ("code_recommendation", "Provides code recommendations from registered workflows and processing elements matching the code snippet."),
+    ("compact", "Folds the registry's write-ahead log into an atomic snapshot (requires a server started with --data-dir)."),
     ("describe", "Prints the description and source of a PE or workflow."),
     ("help", "Lists commands, or shows help for one command."),
     ("history", "Lists the recorded executions of a workflow."),
@@ -87,6 +88,12 @@ impl Cli {
             "run" => self.run(rest),
             "history" => self.history(rest),
             "metrics" => self.client.metrics().map(|snap| snap.render()),
+            "compact" => self.client.compact().map(|r| {
+                format!(
+                    "Compacted: {} WAL records ({} bytes) folded into a {}-byte snapshot.",
+                    r.wal_records, r.wal_bytes, r.snapshot_bytes
+                )
+            }),
             other => Ok(format!(
                 "Unknown command '{other}'. Type 'help' to list commands."
             )),
@@ -889,6 +896,17 @@ class PrintPrime(ConsumerPE):
         assert!(out.contains("endpoint"), "{out}");
         assert!(out.contains("GetRegistry"), "{out}");
         assert!(out.contains("connections:"), "{out}");
+    }
+
+    #[test]
+    fn compact_command_without_data_dir_reports_error() {
+        let mut c = cli();
+        let help = c.execute("help");
+        assert!(help.contains("compact"), "{help}");
+        // An in-memory server has no data directory to compact.
+        let out = c.execute("compact");
+        assert!(out.contains("Error"), "{out}");
+        assert!(out.contains("--data-dir"), "{out}");
     }
 
     #[test]

@@ -117,7 +117,20 @@ fn is_idempotent(req: &Request) -> bool {
             | Request::CodeCompletion { .. }
             | Request::GetExecutions { .. }
             | Request::Metrics {}
+            | Request::Compact { .. }
     )
+}
+
+/// Result of a registry compaction (`laminar compact`): what the snapshot
+/// absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// WAL records folded into the snapshot.
+    pub wal_records: u64,
+    /// WAL bytes reclaimed.
+    pub wal_bytes: u64,
+    /// Size of the snapshot written.
+    pub snapshot_bytes: u64,
 }
 
 /// Result of registering a workflow file (Fig. 5a's output).
@@ -244,6 +257,27 @@ impl LaminarClient {
     pub fn metrics(&self) -> Result<MetricsSnapshot, ClientError> {
         match self.value(Request::Metrics {})? {
             Response::Metrics(snap) => Ok(*snap),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Force a registry snapshot compaction (the `laminar compact` verb).
+    /// Returns what was folded into the snapshot; errors when the server
+    /// runs without a data directory. Safe to retry: compacting an
+    /// already-compacted registry just rewrites the same snapshot.
+    pub fn compact(&self) -> Result<CompactReport, ClientError> {
+        match self.value(Request::Compact {
+            token: self.token()?,
+        })? {
+            Response::Compacted {
+                wal_records,
+                wal_bytes,
+                snapshot_bytes,
+            } => Ok(CompactReport {
+                wal_records,
+                wal_bytes,
+                snapshot_bytes,
+            }),
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
@@ -983,6 +1017,16 @@ class PrintPrime(ConsumerPE):
             "{snap:?}"
         );
         assert!(snap.render().contains("RegisterWorkflow"));
+    }
+
+    #[test]
+    fn compact_without_data_dir_is_server_error() {
+        let (c, _) = client_with_isprime();
+        let err = c.compact().unwrap_err();
+        assert!(
+            matches!(err, ClientError::Server(ref m) if m.contains("--data-dir")),
+            "{err:?}"
+        );
     }
 
     #[test]

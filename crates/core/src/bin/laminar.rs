@@ -15,11 +15,17 @@ use std::io::{BufRead, Write};
 
 fn main() {
     // `--connect host:port` talks to a remote laminar-server over TCP;
-    // otherwise an in-process stack is deployed.
+    // otherwise an in-process stack is deployed. `--data-dir PATH` makes
+    // the in-process registry durable: quit, relaunch with the same path,
+    // and every registered PE and workflow is still there.
     let args: Vec<String> = std::env::args().collect();
     let connect = args
         .iter()
         .position(|a| a == "--connect")
+        .and_then(|i| args.get(i + 1).cloned());
+    let data_dir = args
+        .iter()
+        .position(|a| a == "--data-dir")
         .and_then(|i| args.get(i + 1).cloned());
 
     let (_local, mut cli) = match connect {
@@ -36,7 +42,14 @@ fn main() {
             (None, Cli::new(LaminarClient::connect_tcp(sockaddr)))
         }
         None => {
-            let laminar = Laminar::deploy(LaminarConfig::default());
+            let laminar = Laminar::try_deploy(LaminarConfig {
+                data_dir: data_dir.map(Into::into),
+                ..LaminarConfig::default()
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open registry data directory: {e}");
+                std::process::exit(1);
+            });
             let cli = laminar.cli();
             (Some(laminar), cli)
         }

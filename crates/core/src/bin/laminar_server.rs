@@ -7,6 +7,9 @@
 //! # tune the serving path:
 //! cargo run -p laminar-core --bin laminar-server -- 0.0.0.0:7878 \
 //!     --max-connections 64 --request-timeout-secs 60
+//! # durable registry (survives restarts):
+//! cargo run -p laminar-core --bin laminar-server -- 0.0.0.0:7878 \
+//!     --data-dir /var/lib/laminar --snapshot-every 1024
 //! # then, from anywhere:
 //! cargo run -p laminar-core --bin laminar -- --connect 127.0.0.1:7878
 //! ```
@@ -17,14 +20,16 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: laminar-server [ADDR] [--max-connections N] \
-         [--request-timeout-secs N] [--drain-timeout-secs N]"
+         [--request-timeout-secs N] [--drain-timeout-secs N] \
+         [--data-dir PATH] [--snapshot-every N] [--wal-fsync]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (String, NetServerConfig) {
+fn parse_args() -> (String, NetServerConfig, LaminarConfig) {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = NetServerConfig::default();
+    let mut deploy = LaminarConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut numeric = || -> u64 {
@@ -45,6 +50,13 @@ fn parse_args() -> (String, NetServerConfig) {
                 let n = numeric();
                 config.drain_timeout = Duration::from_secs(n);
             }
+            "--data-dir" => {
+                deploy.data_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--snapshot-every" => {
+                deploy.snapshot_every = numeric();
+            }
+            "--wal-fsync" => deploy.wal_fsync = true,
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => usage(),
             positional => addr = positional.to_string(),
@@ -53,15 +65,19 @@ fn parse_args() -> (String, NetServerConfig) {
     if config.max_connections == 0 {
         usage();
     }
-    (addr, config)
+    (addr, config, deploy)
 }
 
 fn main() {
-    let (addr, config) = parse_args();
-    let laminar = Laminar::deploy(LaminarConfig::default());
+    let (addr, config, deploy) = parse_args();
+    let data_dir = deploy.data_dir.clone();
+    let laminar = Laminar::try_deploy(deploy).unwrap_or_else(|e| {
+        eprintln!("cannot open registry data directory: {e}");
+        std::process::exit(1);
+    });
     laminar
         .seed_stock_registry()
-        .expect("stock registry seeding on a fresh deployment");
+        .expect("stock registry seeding (fresh or recovered deployment)");
     let net = NetServer::bind_with(&addr, laminar.server(), config.clone()).unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");
         std::process::exit(1);
@@ -72,6 +88,10 @@ fn main() {
         config.max_connections,
         config.request_timeout.as_secs()
     );
+    match data_dir {
+        Some(dir) => println!("registry: durable at {} (WAL + snapshots)", dir.display()),
+        None => println!("registry: in-memory (pass --data-dir to persist across restarts)"),
+    }
     println!("stock workflows registered: isprime_wf, anomaly_wf, wordcount_wf, doubler_wf");
     // Serve until killed.
     loop {

@@ -23,12 +23,14 @@
 use embed::DescriptionContext;
 use laminar_client::{Cli, LaminarClient};
 use laminar_execengine::{ExecutionEngine, PoolConfig, WorkflowLibrary};
-use laminar_registry::Registry;
+use laminar_registry::{PersistOptions, Registry, SyncPolicy};
 use laminar_server::{DeliveryMode, LaminarServer, ServerConfig, Transport};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 pub use laminar_client::{ClientError, RegisteredWorkflow, RetryPolicy, RunOutput};
+pub use laminar_registry::RegistryError;
 pub use laminar_server::{
     ConnOptions, Connection, ConnectionError, EmbeddingType, Ident, MetricsSnapshot,
     NetClientTransport, NetServer, NetServerConfig, SearchScope,
@@ -49,6 +51,15 @@ pub struct LaminarConfig {
     pub description_context: DescriptionContext,
     /// Server search tunables.
     pub server: ServerConfig,
+    /// Registry data directory (`--data-dir`). `None` keeps the registry
+    /// purely in memory, exactly as before persistence existed.
+    pub data_dir: Option<PathBuf>,
+    /// Compact the WAL into a snapshot every this many records
+    /// (`--snapshot-every`; 0 disables auto-compaction).
+    pub snapshot_every: u64,
+    /// fsync the WAL on every append (`--wal-fsync`): maximum durability,
+    /// at a per-mutation latency cost.
+    pub wal_fsync: bool,
 }
 
 impl Default for LaminarConfig {
@@ -60,6 +71,9 @@ impl Default for LaminarConfig {
             stock_workflows: true,
             description_context: DescriptionContext::FullClass,
             server: ServerConfig::default(),
+            data_dir: None,
+            snapshot_every: PersistOptions::default().snapshot_every,
+            wal_fsync: false,
         }
     }
 }
@@ -70,8 +84,29 @@ pub struct Laminar {
 }
 
 impl Laminar {
-    /// Deploy the full stack.
+    /// Deploy the full stack. Panics when a configured data directory
+    /// cannot be opened — use [`Laminar::try_deploy`] to handle that.
     pub fn deploy(config: LaminarConfig) -> Laminar {
+        Self::try_deploy(config).unwrap_or_else(|e| panic!("laminar deployment failed: {e}"))
+    }
+
+    /// Deploy the full stack, surfacing registry-recovery failures (bad
+    /// data directory, unreadable snapshot) instead of panicking.
+    pub fn try_deploy(config: LaminarConfig) -> Result<Laminar, RegistryError> {
+        let registry = match &config.data_dir {
+            Some(dir) => Registry::open(
+                dir,
+                PersistOptions {
+                    snapshot_every: config.snapshot_every,
+                    sync: if config.wal_fsync {
+                        SyncPolicy::EveryAppend
+                    } else {
+                        SyncPolicy::OsBuffered
+                    },
+                },
+            )?,
+            None => Registry::new(),
+        };
         let library = if config.stock_workflows {
             WorkflowLibrary::with_stock_workflows()
         } else {
@@ -85,11 +120,11 @@ impl Laminar {
             },
             library,
         );
-        let mut server = LaminarServer::new(Registry::new(), engine, config.server.clone());
+        let mut server = LaminarServer::new(registry, engine, config.server.clone());
         server.set_description_context(config.description_context);
-        Laminar {
+        Ok(Laminar {
             server: Arc::new(server),
-        }
+        })
     }
 
     /// The underlying server (for direct protocol access / evaluation).
@@ -117,14 +152,26 @@ impl Laminar {
 
     /// Seed the registry with the stock workflows (isprime, anomaly,
     /// wordcount, doubler) under a `stock` user, so a fresh deployment can
-    /// `run isprime_wf` immediately. Idempotent per deployment.
+    /// `run isprime_wf` immediately. Idempotent — a registry recovered
+    /// from `--data-dir` already holds the stock rows, so the `stock` user
+    /// is logged into rather than re-registered and present workflows are
+    /// skipped.
     pub fn seed_stock_registry(&self) -> Result<(), laminar_client::ClientError> {
         let mut client = self.client();
-        client.register("stock", "stock")?;
-        client.register_workflow("isprime_wf", ISPRIME_WORKFLOW_SOURCE)?;
-        client.register_workflow("anomaly_wf", ANOMALY_WORKFLOW_SOURCE)?;
-        client.register_workflow("wordcount_wf", WORDCOUNT_WORKFLOW_SOURCE)?;
-        client.register_workflow("doubler_wf", DOUBLER_WORKFLOW_SOURCE)?;
+        if client.register("stock", "stock").is_err() {
+            client.login("stock", "stock")?;
+        }
+        for (name, source) in [
+            ("isprime_wf", ISPRIME_WORKFLOW_SOURCE),
+            ("anomaly_wf", ANOMALY_WORKFLOW_SOURCE),
+            ("wordcount_wf", WORDCOUNT_WORKFLOW_SOURCE),
+            ("doubler_wf", DOUBLER_WORKFLOW_SOURCE),
+        ] {
+            if client.get_workflow(name).is_ok() {
+                continue;
+            }
+            client.register_workflow(name, source)?;
+        }
         Ok(())
     }
 }
@@ -287,6 +334,34 @@ mod tests {
         assert!(!hits.is_empty());
         // …but running fails: no runnable twin in the engine library.
         assert!(client.run(reg.workflow.1, 3).is_err());
+    }
+
+    #[test]
+    fn durable_deploy_survives_restart_and_reseeds_idempotently() {
+        let dir = std::env::temp_dir().join(format!("laminar-core-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = LaminarConfig {
+            data_dir: Some(dir.clone()),
+            ..LaminarConfig::default()
+        };
+        {
+            let laminar = Laminar::deploy(config.clone());
+            laminar.seed_stock_registry().unwrap();
+            let mut client = laminar.client();
+            client.login("stock", "stock").unwrap();
+            assert!(client.run("isprime_wf", 3).unwrap().ok);
+        }
+        // "Restart": a fresh deployment over the same data directory
+        // recovers the rows; re-seeding is a no-op rather than a panic.
+        let laminar = Laminar::deploy(config);
+        laminar.seed_stock_registry().unwrap();
+        let mut client = laminar.client();
+        client.login("stock", "stock").unwrap();
+        let (pes, wfs) = client.get_registry().unwrap();
+        assert_eq!(wfs.len(), 4, "{wfs:?}");
+        assert!(!pes.is_empty());
+        assert!(client.run("isprime_wf", 3).unwrap().ok);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -32,10 +32,15 @@ pub mod error;
 pub mod rows;
 pub mod schema;
 pub mod store;
+pub mod wal;
 
 pub use error::RegistryError;
 pub use rows::{
     ExecutionRow, ExecutionStatus, NewPe, NewWorkflow, PeRow, ResponseRow, UserRow, WorkflowRow,
 };
 pub use schema::{schema_ddl, table_descriptions};
-pub use store::{Registry, RegistrySnapshot, SearchTarget};
+pub use store::{
+    CompactStats, PersistOptions, PersistSnapshot, Registry, RegistrySnapshot, SearchTarget,
+    SNAPSHOT_FILE, WAL_FILE,
+};
+pub use wal::SyncPolicy;

@@ -1,11 +1,33 @@
 //! The registry store: tables, indexes, integrity rules, persistence.
+//!
+//! # Durability
+//!
+//! A registry opened with [`Registry::open`] is backed by a data
+//! directory holding `snapshot.json` (atomic full snapshot) and
+//! `wal.log` (a [`crate::wal`] write-ahead log). Every write path
+//! appends its typed mutation record to the WAL **before** mutating
+//! in-memory state, under the same write lock, so WAL order equals
+//! apply order and an acknowledged mutation is always recoverable.
+//! Recovery is snapshot load → WAL replay (truncating a torn tail) →
+//! index rebuild. Compaction rewrites the snapshot atomically and
+//! truncates the WAL; it runs automatically every
+//! [`PersistOptions::snapshot_every`] records and on demand via
+//! [`Registry::compact`]. A registry built with [`Registry::new`] has
+//! no persistence and behaves exactly as before.
 
 use crate::error::RegistryError;
 use crate::rows::*;
+use crate::wal::{self, SyncPolicy, Wal, WalOp, WalRecord};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Snapshot file name inside a data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+/// WAL file name inside a data directory.
+pub const WAL_FILE: &str = "wal.log";
 
 /// What a search should cover (the CLI's `workflow | pe` argument).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,6 +35,75 @@ pub enum SearchTarget {
     Pe,
     Workflow,
     Both,
+}
+
+/// Durability knobs for [`Registry::open`].
+#[derive(Debug, Clone, Copy)]
+pub struct PersistOptions {
+    /// Auto-compact (snapshot + WAL truncate) once the WAL holds this
+    /// many records. `0` disables auto-compaction.
+    pub snapshot_every: u64,
+    /// When WAL appends reach the disk.
+    pub sync: SyncPolicy,
+}
+
+impl Default for PersistOptions {
+    fn default() -> Self {
+        PersistOptions {
+            snapshot_every: 1024,
+            sync: SyncPolicy::OsBuffered,
+        }
+    }
+}
+
+/// Counters for the persistence layer, surfaced in the metrics table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PersistSnapshot {
+    /// Records appended to the WAL since open.
+    pub wal_appends: u64,
+    /// Frame bytes appended to the WAL since open.
+    pub wal_bytes: u64,
+    /// fsync calls issued (per-append syncs + compaction syncs).
+    pub fsyncs: u64,
+    /// Compactions performed since open.
+    pub compactions: u64,
+    /// Records currently in the WAL (resets on compaction).
+    pub wal_records: u64,
+    /// WAL records replayed during recovery at open.
+    pub recovered_records: u64,
+    /// Wall-clock recovery duration (snapshot load + replay) at open.
+    pub recovery_ms: u64,
+}
+
+/// What a compaction folded into the snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// WAL records absorbed (and truncated away).
+    pub wal_records: u64,
+    /// WAL bytes absorbed.
+    pub wal_bytes: u64,
+    /// Size of the snapshot written.
+    pub snapshot_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct PersistCounters {
+    wal_appends: u64,
+    wal_bytes: u64,
+    fsyncs: u64,
+    compactions: u64,
+    recovered_records: u64,
+    recovery_ms: u64,
+}
+
+/// Live persistence state: the open WAL plus counters. Lives inside
+/// `Inner` so WAL appends happen under the registry write lock.
+#[derive(Debug)]
+struct Persist {
+    dir: PathBuf,
+    wal: Wal,
+    opts: PersistOptions,
+    stats: PersistCounters,
 }
 
 #[derive(Debug, Default, Serialize, Deserialize)]
@@ -30,19 +121,11 @@ struct Inner {
     /// Secondary index: lowercase workflow name → ids (idx_wf_name).
     #[serde(skip)]
     wf_name_index: HashMap<String, Vec<u64>>,
+    #[serde(skip)]
+    persist: Option<Persist>,
 }
 
 impl Inner {
-    fn next_id(&mut self) -> u64 {
-        self.next_id += 1;
-        self.next_id
-    }
-
-    fn next_seq(&mut self) -> u64 {
-        self.seq += 1;
-        self.seq
-    }
-
     fn rebuild_indexes(&mut self) {
         self.pe_name_index.clear();
         for (id, pe) in &self.pes {
@@ -59,18 +142,153 @@ impl Inner {
                 .push(*id);
         }
     }
+
+    /// Drop `id` from a name index, removing the key once empty so the
+    /// index can't grow without bound under register/remove churn.
+    fn unindex(index: &mut HashMap<String, Vec<u64>>, name: &str, id: u64) {
+        let key = name.to_lowercase();
+        if let Some(v) = index.get_mut(&key) {
+            v.retain(|&x| x != id);
+            if v.is_empty() {
+                index.remove(&key);
+            }
+        }
+    }
+
+    fn bump_id(&mut self, id: u64) {
+        self.next_id = self.next_id.max(id);
+    }
+
+    /// Apply one mutation record to in-memory state. This is the single
+    /// mutation path shared by live writes and WAL replay, so recovery is
+    /// bit-identical to the original execution. Records were validated
+    /// before being logged, so apply never fails; it keeps `next_id` and
+    /// `seq` as high-water marks of the ids/seqs it has seen, and every
+    /// add is guarded at its recorded id so that replaying a WAL whose
+    /// records a crashed compaction already folded into the snapshot
+    /// (crash between rename and truncate) cannot duplicate rows.
+    fn apply(&mut self, rec: &WalRecord) {
+        self.seq = self.seq.max(rec.seq);
+        match &rec.op {
+            WalOp::AddUser(row) => {
+                self.bump_id(row.id);
+                if !self.users.iter().any(|u| u.id == row.id) {
+                    self.users.push(row.clone());
+                }
+            }
+            WalOp::AddPe(row) => {
+                self.bump_id(row.id);
+                let ids = self.pe_name_index.entry(row.name.to_lowercase()).or_default();
+                if !ids.contains(&row.id) {
+                    ids.push(row.id);
+                }
+                self.pes.insert(row.id, row.clone());
+            }
+            WalOp::UpdatePeDescription {
+                id,
+                description,
+                description_embedding,
+            } => {
+                if let Some(pe) = self.pes.get_mut(id) {
+                    pe.description = description.clone();
+                    pe.description_embedding = description_embedding.clone();
+                }
+            }
+            WalOp::RemovePe { id } => {
+                if let Some(row) = self.pes.remove(id) {
+                    Self::unindex(&mut self.pe_name_index, &row.name, *id);
+                }
+            }
+            WalOp::AddWorkflow(row) => {
+                self.bump_id(row.id);
+                let ids = self.wf_name_index.entry(row.name.to_lowercase()).or_default();
+                if !ids.contains(&row.id) {
+                    ids.push(row.id);
+                }
+                self.workflows.insert(row.id, row.clone());
+            }
+            WalOp::UpdateWorkflowDescription {
+                id,
+                description,
+                description_embedding,
+            } => {
+                if let Some(wf) = self.workflows.get_mut(id) {
+                    wf.description = description.clone();
+                    wf.description_embedding = description_embedding.clone();
+                }
+            }
+            WalOp::RemoveWorkflow { id } => {
+                if let Some(row) = self.workflows.remove(id) {
+                    Self::unindex(&mut self.wf_name_index, &row.name, *id);
+                }
+            }
+            WalOp::RemoveAll => {
+                self.pes.clear();
+                self.workflows.clear();
+                self.pe_name_index.clear();
+                self.wf_name_index.clear();
+            }
+            WalOp::AddExecution(row) => {
+                self.bump_id(row.id);
+                if !self.executions.iter().any(|e| e.id == row.id) {
+                    self.executions.push(row.clone());
+                }
+            }
+            WalOp::SetExecutionStatus { id, status } => {
+                if let Some(ex) = self.executions.iter_mut().find(|e| e.id == *id) {
+                    ex.status = *status;
+                }
+            }
+            WalOp::AddResponse(row) => {
+                self.bump_id(row.id);
+                if !self.responses.iter().any(|r| r.id == row.id) {
+                    self.responses.push(row.clone());
+                }
+            }
+        }
+    }
+
+    fn to_snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            users: self.users.clone(),
+            pes: self.pes.values().cloned().collect(),
+            workflows: self.workflows.values().cloned().collect(),
+            executions: self.executions.clone(),
+            responses: self.responses.clone(),
+            next_id: self.next_id,
+            seq: self.seq,
+        }
+    }
+
+    fn from_snapshot(snap: RegistrySnapshot) -> Inner {
+        let mut inner = Inner {
+            users: snap.users,
+            pes: snap.pes.into_iter().map(|p| (p.id, p)).collect(),
+            workflows: snap.workflows.into_iter().map(|w| (w.id, w)).collect(),
+            executions: snap.executions,
+            responses: snap.responses,
+            next_id: snap.next_id,
+            seq: snap.seq,
+            pe_name_index: HashMap::new(),
+            wf_name_index: HashMap::new(),
+            persist: None,
+        };
+        inner.rebuild_indexes();
+        inner
+    }
 }
 
-/// Serializable snapshot of the whole registry.
-#[derive(Debug, Serialize, Deserialize)]
+/// Serializable snapshot of the whole registry. Fields are public so
+/// recovery tests can compare registries structurally.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RegistrySnapshot {
-    users: Vec<UserRow>,
-    pes: Vec<PeRow>,
-    workflows: Vec<WorkflowRow>,
-    executions: Vec<ExecutionRow>,
-    responses: Vec<ResponseRow>,
-    next_id: u64,
-    seq: u64,
+    pub users: Vec<UserRow>,
+    pub pes: Vec<PeRow>,
+    pub workflows: Vec<WorkflowRow>,
+    pub executions: Vec<ExecutionRow>,
+    pub responses: Vec<ResponseRow>,
+    pub next_id: u64,
+    pub seq: u64,
 }
 
 /// The registry. Cheap to share: interior `RwLock`, many concurrent
@@ -91,9 +309,137 @@ pub fn hash_password(username: &str, password: &str) -> u64 {
     h
 }
 
+fn persist_err(context: &str, e: impl std::fmt::Display) -> RegistryError {
+    RegistryError::Persistence(format!("{context}: {e}"))
+}
+
 impl Registry {
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// Open a durable registry backed by `dir`, recovering prior state:
+    /// load `snapshot.json` if present, replay `wal.log` on top
+    /// (truncating a torn tail in place), rebuild the name indexes, and
+    /// leave the WAL open for appending. The directory is created if
+    /// missing; an empty directory yields an empty registry.
+    pub fn open(dir: &Path, opts: PersistOptions) -> Result<Registry, RegistryError> {
+        let start = Instant::now();
+        std::fs::create_dir_all(dir).map_err(|e| persist_err("create data dir", e))?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        // A leftover snapshot.json.tmp is a compaction that died before
+        // its rename — the live snapshot + WAL are still authoritative.
+        let _ = std::fs::remove_file(wal::tmp_path(&snap_path));
+
+        let mut inner = if snap_path.exists() {
+            let json = std::fs::read_to_string(&snap_path)
+                .map_err(|e| persist_err("read snapshot", e))?;
+            let snap: RegistrySnapshot =
+                serde_json::from_str(&json).map_err(|e| persist_err("parse snapshot", e))?;
+            Inner::from_snapshot(snap)
+        } else {
+            Inner::default()
+        };
+
+        let wal_path = dir.join(WAL_FILE);
+        let replayed = wal::replay(&wal_path).map_err(|e| persist_err("replay wal", e))?;
+        if replayed.torn {
+            wal::truncate_to(&wal_path, replayed.valid_bytes)
+                .map_err(|e| persist_err("truncate torn wal tail", e))?;
+        }
+        let recovered = replayed.records.len() as u64;
+        for rec in &replayed.records {
+            inner.apply(rec);
+        }
+
+        let wal = Wal::open(&wal_path, opts.sync, recovered, replayed.valid_bytes)
+            .map_err(|e| persist_err("open wal", e))?;
+        inner.persist = Some(Persist {
+            dir: dir.to_path_buf(),
+            wal,
+            opts,
+            stats: PersistCounters {
+                recovered_records: recovered,
+                recovery_ms: start.elapsed().as_millis() as u64,
+                ..PersistCounters::default()
+            },
+        });
+        Ok(Registry {
+            inner: RwLock::new(inner),
+        })
+    }
+
+    /// Log `rec` to the WAL (when persistent), then apply it in memory.
+    /// On WAL failure nothing is applied and the mutation is rejected —
+    /// acknowledged implies durable. Runs auto-compaction when due;
+    /// compaction failure never fails the already-durable mutation.
+    fn commit(inner: &mut Inner, rec: WalRecord) -> Result<(), RegistryError> {
+        if let Some(p) = inner.persist.as_mut() {
+            let (bytes, synced) =
+                p.wal.append(&rec).map_err(|e| persist_err("wal append", e))?;
+            p.stats.wal_appends += 1;
+            p.stats.wal_bytes += bytes;
+            if synced {
+                p.stats.fsyncs += 1;
+            }
+        }
+        inner.apply(&rec);
+        let due = inner
+            .persist
+            .as_ref()
+            .is_some_and(|p| p.opts.snapshot_every > 0 && p.wal.records() >= p.opts.snapshot_every);
+        if due {
+            let _ = Self::compact_locked(inner); // best-effort
+        }
+        Ok(())
+    }
+
+    /// Fold the WAL into a fresh snapshot: serialize state, write it via
+    /// temp-file + fsync + rename, then truncate the WAL. Returns `None`
+    /// for a non-persistent registry. A crash between the rename and the
+    /// truncate replays WAL records onto a snapshot that already contains
+    /// them — harmless, because every op is idempotent at its recorded id.
+    pub fn compact(&self) -> Result<Option<CompactStats>, RegistryError> {
+        Self::compact_locked(&mut self.inner.write())
+    }
+
+    fn compact_locked(inner: &mut Inner) -> Result<Option<CompactStats>, RegistryError> {
+        if inner.persist.is_none() {
+            return Ok(None);
+        }
+        let json = serde_json::to_vec(&inner.to_snapshot())
+            .map_err(|e| persist_err("serialise snapshot", e))?;
+        let p = inner.persist.as_mut().expect("checked above");
+        let stats = CompactStats {
+            wal_records: p.wal.records(),
+            wal_bytes: p.wal.bytes(),
+            snapshot_bytes: json.len() as u64,
+        };
+        wal::write_atomic(&p.dir.join(SNAPSHOT_FILE), &json)
+            .map_err(|e| persist_err("write snapshot", e))?;
+        p.wal.reset().map_err(|e| persist_err("truncate wal", e))?;
+        p.stats.compactions += 1;
+        p.stats.fsyncs += 2; // snapshot fsync + wal-truncate fsync
+        Ok(Some(stats))
+    }
+
+    /// Persistence counters, or `None` for an in-memory registry.
+    pub fn persist_stats(&self) -> Option<PersistSnapshot> {
+        let inner = self.inner.read();
+        inner.persist.as_ref().map(|p| PersistSnapshot {
+            wal_appends: p.stats.wal_appends,
+            wal_bytes: p.stats.wal_bytes,
+            fsyncs: p.stats.fsyncs,
+            compactions: p.stats.compactions,
+            wal_records: p.wal.records(),
+            recovered_records: p.stats.recovered_records,
+            recovery_ms: p.stats.recovery_ms,
+        })
+    }
+
+    /// The backing data directory, if this registry is durable.
+    pub fn data_dir(&self) -> Option<PathBuf> {
+        self.inner.read().persist.as_ref().map(|p| p.dir.clone())
     }
 
     // ---- users -----------------------------------------------------------
@@ -104,14 +450,15 @@ impl Registry {
         if inner.users.iter().any(|u| u.username == username) {
             return Err(RegistryError::DuplicateUser(username.to_string()));
         }
-        let id = inner.next_id();
-        let seq = inner.next_seq();
-        inner.users.push(UserRow {
+        let id = inner.next_id + 1;
+        let seq = inner.seq + 1;
+        let row = UserRow {
             id,
             username: username.to_string(),
             password_hash: hash_password(username, password),
             created_seq: seq,
-        });
+        };
+        Self::commit(&mut inner, WalRecord { seq, op: WalOp::AddUser(row) })?;
         Ok(id)
     }
 
@@ -149,34 +496,32 @@ impl Registry {
     pub fn add_pe(&self, new: NewPe) -> Result<u64, RegistryError> {
         let mut inner = self.inner.write();
         Self::check_user(&inner, new.user_id)?;
-        let dup = inner
-            .pes
-            .values()
-            .any(|p| p.user_id == new.user_id && p.name == new.name);
+        // Duplicate detection goes through the lowercase name index so it
+        // matches what `get_pe_by_name` can actually reach: `IsPrime`
+        // then `isprime` under one user is a duplicate, not a shadowed row.
+        let key = new.name.to_lowercase();
+        let dup = inner.pe_name_index.get(&key).is_some_and(|ids| {
+            ids.iter()
+                .any(|id| inner.pes.get(id).is_some_and(|p| p.user_id == new.user_id))
+        });
         if dup {
             return Err(RegistryError::DuplicateName {
                 table: "ProcessingElement",
                 name: new.name,
             });
         }
-        let id = inner.next_id();
-        inner
-            .pe_name_index
-            .entry(new.name.to_lowercase())
-            .or_default()
-            .push(id);
-        inner.pes.insert(
+        let id = inner.next_id + 1;
+        let seq = inner.seq + 1;
+        let row = PeRow {
             id,
-            PeRow {
-                id,
-                user_id: new.user_id,
-                name: new.name,
-                description: new.description,
-                code: new.code,
-                description_embedding: new.description_embedding,
-                spt_embedding: new.spt_embedding,
-            },
-        );
+            user_id: new.user_id,
+            name: new.name,
+            description: new.description,
+            code: new.code,
+            description_embedding: new.description_embedding,
+            spt_embedding: new.spt_embedding,
+        };
+        Self::commit(&mut inner, WalRecord { seq, op: WalOp::AddPe(row) })?;
         Ok(id)
     }
 
@@ -210,13 +555,21 @@ impl Registry {
         description_embedding: &str,
     ) -> Result<(), RegistryError> {
         let mut inner = self.inner.write();
-        let pe = inner
-            .pes
-            .get_mut(&id)
-            .ok_or_else(|| RegistryError::NotFound("ProcessingElement", id.to_string()))?;
-        pe.description = description.to_string();
-        pe.description_embedding = description_embedding.to_string();
-        Ok(())
+        if !inner.pes.contains_key(&id) {
+            return Err(RegistryError::NotFound("ProcessingElement", id.to_string()));
+        }
+        let seq = inner.seq + 1;
+        Self::commit(
+            &mut inner,
+            WalRecord {
+                seq,
+                op: WalOp::UpdatePeDescription {
+                    id,
+                    description: description.to_string(),
+                    description_embedding: description_embedding.to_string(),
+                },
+            },
+        )
     }
 
     /// Remove a PE. FK rule: fails while any workflow still references it.
@@ -232,12 +585,8 @@ impl Registry {
                 referenced_by: "Workflow",
             });
         }
-        let name = inner.pes[&id].name.to_lowercase();
-        inner.pes.remove(&id);
-        if let Some(v) = inner.pe_name_index.get_mut(&name) {
-            v.retain(|&x| x != id);
-        }
-        Ok(())
+        let seq = inner.seq + 1;
+        Self::commit(&mut inner, WalRecord { seq, op: WalOp::RemovePe { id } })
     }
 
     // ---- workflows ---------------------------------------------------------
@@ -253,35 +602,32 @@ impl Registry {
                 });
             }
         }
-        let dup = inner
-            .workflows
-            .values()
-            .any(|w| w.user_id == new.user_id && w.name == new.name);
+        // Case-insensitive duplicate detection through the index (see
+        // `add_pe`), still scoped per user.
+        let key = new.name.to_lowercase();
+        let dup = inner.wf_name_index.get(&key).is_some_and(|ids| {
+            ids.iter()
+                .any(|id| inner.workflows.get(id).is_some_and(|w| w.user_id == new.user_id))
+        });
         if dup {
             return Err(RegistryError::DuplicateName {
                 table: "Workflow",
                 name: new.name,
             });
         }
-        let id = inner.next_id();
-        inner
-            .wf_name_index
-            .entry(new.name.to_lowercase())
-            .or_default()
-            .push(id);
-        inner.workflows.insert(
+        let id = inner.next_id + 1;
+        let seq = inner.seq + 1;
+        let row = WorkflowRow {
             id,
-            WorkflowRow {
-                id,
-                user_id: new.user_id,
-                name: new.name,
-                description: new.description,
-                code: new.code,
-                description_embedding: new.description_embedding,
-                spt_embedding: new.spt_embedding,
-                pe_ids: new.pe_ids,
-            },
-        );
+            user_id: new.user_id,
+            name: new.name,
+            description: new.description,
+            code: new.code,
+            description_embedding: new.description_embedding,
+            spt_embedding: new.spt_embedding,
+            pe_ids: new.pe_ids,
+        };
+        Self::commit(&mut inner, WalRecord { seq, op: WalOp::AddWorkflow(row) })?;
         Ok(id)
     }
 
@@ -329,36 +675,39 @@ impl Registry {
         description_embedding: &str,
     ) -> Result<(), RegistryError> {
         let mut inner = self.inner.write();
-        let wf = inner
-            .workflows
-            .get_mut(&id)
-            .ok_or_else(|| RegistryError::NotFound("Workflow", id.to_string()))?;
-        wf.description = description.to_string();
-        wf.description_embedding = description_embedding.to_string();
-        Ok(())
+        if !inner.workflows.contains_key(&id) {
+            return Err(RegistryError::NotFound("Workflow", id.to_string()));
+        }
+        let seq = inner.seq + 1;
+        Self::commit(
+            &mut inner,
+            WalRecord {
+                seq,
+                op: WalOp::UpdateWorkflowDescription {
+                    id,
+                    description: description.to_string(),
+                    description_embedding: description_embedding.to_string(),
+                },
+            },
+        )
     }
 
     pub fn remove_workflow(&self, id: u64) -> Result<(), RegistryError> {
         let mut inner = self.inner.write();
-        let wf = inner
-            .workflows
-            .remove(&id)
-            .ok_or_else(|| RegistryError::NotFound("Workflow", id.to_string()))?;
-        let key = wf.name.to_lowercase();
-        if let Some(v) = inner.wf_name_index.get_mut(&key) {
-            v.retain(|&x| x != id);
+        if !inner.workflows.contains_key(&id) {
+            return Err(RegistryError::NotFound("Workflow", id.to_string()));
         }
-        Ok(())
+        let seq = inner.seq + 1;
+        Self::commit(&mut inner, WalRecord { seq, op: WalOp::RemoveWorkflow { id } })
     }
 
     /// `remove_All` (Table I): clears PEs and workflows, keeps users and
-    /// execution history.
-    pub fn remove_all(&self) {
+    /// execution history. Fallible because the tombstone must reach the
+    /// WAL before the wipe is acknowledged.
+    pub fn remove_all(&self) -> Result<(), RegistryError> {
         let mut inner = self.inner.write();
-        inner.pes.clear();
-        inner.workflows.clear();
-        inner.pe_name_index.clear();
-        inner.wf_name_index.clear();
+        let seq = inner.seq + 1;
+        Self::commit(&mut inner, WalRecord { seq, op: WalOp::RemoveAll })
     }
 
     // ---- literal search (paper §V-A, Fig. 7) --------------------------------
@@ -413,9 +762,9 @@ impl Registry {
             });
         }
         Self::check_user(&inner, user_id)?;
-        let id = inner.next_id();
-        let seq = inner.next_seq();
-        inner.executions.push(ExecutionRow {
+        let id = inner.next_id + 1;
+        let seq = inner.seq + 1;
+        let row = ExecutionRow {
             id,
             workflow_id,
             user_id,
@@ -423,19 +772,21 @@ impl Registry {
             input: input.to_string(),
             status: ExecutionStatus::Submitted,
             submitted_seq: seq,
-        });
+        };
+        Self::commit(&mut inner, WalRecord { seq, op: WalOp::AddExecution(row) })?;
         Ok(id)
     }
 
     pub fn set_execution_status(&self, id: u64, status: ExecutionStatus) -> Result<(), RegistryError> {
         let mut inner = self.inner.write();
-        let ex = inner
-            .executions
-            .iter_mut()
-            .find(|e| e.id == id)
-            .ok_or_else(|| RegistryError::NotFound("Execution", id.to_string()))?;
-        ex.status = status;
-        Ok(())
+        if !inner.executions.iter().any(|e| e.id == id) {
+            return Err(RegistryError::NotFound("Execution", id.to_string()));
+        }
+        let seq = inner.seq + 1;
+        Self::commit(
+            &mut inner,
+            WalRecord { seq, op: WalOp::SetExecutionStatus { id, status } },
+        )
     }
 
     pub fn add_response(
@@ -451,13 +802,15 @@ impl Registry {
                 id: execution_id,
             });
         }
-        let id = inner.next_id();
-        inner.responses.push(ResponseRow {
+        let id = inner.next_id + 1;
+        let seq = inner.seq + 1;
+        let row = ResponseRow {
             id,
             execution_id,
             output: output.to_string(),
             status,
-        });
+        };
+        Self::commit(&mut inner, WalRecord { seq, op: WalOp::AddResponse(row) })?;
         Ok(id)
     }
 
@@ -484,40 +837,21 @@ impl Registry {
     // ---- persistence ---------------------------------------------------------
 
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let inner = self.inner.read();
-        RegistrySnapshot {
-            users: inner.users.clone(),
-            pes: inner.pes.values().cloned().collect(),
-            workflows: inner.workflows.values().cloned().collect(),
-            executions: inner.executions.clone(),
-            responses: inner.responses.clone(),
-            next_id: inner.next_id,
-            seq: inner.seq,
-        }
+        self.inner.read().to_snapshot()
     }
 
     pub fn from_snapshot(snap: RegistrySnapshot) -> Registry {
-        let mut inner = Inner {
-            users: snap.users,
-            pes: snap.pes.into_iter().map(|p| (p.id, p)).collect(),
-            workflows: snap.workflows.into_iter().map(|w| (w.id, w)).collect(),
-            executions: snap.executions,
-            responses: snap.responses,
-            next_id: snap.next_id,
-            seq: snap.seq,
-            pe_name_index: HashMap::new(),
-            wf_name_index: HashMap::new(),
-        };
-        inner.rebuild_indexes();
         Registry {
-            inner: RwLock::new(inner),
+            inner: RwLock::new(Inner::from_snapshot(snap)),
         }
     }
 
+    /// Write a snapshot atomically: temp file + fsync + rename, so a
+    /// crash mid-write can never corrupt an existing snapshot.
     pub fn save_to(&self, path: &Path) -> Result<(), RegistryError> {
-        let json = serde_json::to_string(&self.snapshot())
-            .map_err(|e| RegistryError::Persistence(e.to_string()))?;
-        std::fs::write(path, json).map_err(|e| RegistryError::Persistence(e.to_string()))
+        let json = serde_json::to_vec(&self.snapshot())
+            .map_err(|e| persist_err("serialise snapshot", e))?;
+        wal::write_atomic(path, &json).map_err(|e| persist_err("write snapshot", e))
     }
 
     pub fn load_from(path: &Path) -> Result<Registry, RegistryError> {
@@ -532,6 +866,26 @@ impl Registry {
     pub fn counts(&self) -> (usize, usize) {
         let inner = self.inner.read();
         (inner.pes.len(), inner.workflows.len())
+    }
+
+    /// Sorted copies of the name indexes, for tests that assert the
+    /// incrementally-maintained indexes match a from-scratch rebuild.
+    #[doc(hidden)]
+    pub fn debug_name_indexes(&self) -> (Vec<(String, Vec<u64>)>, Vec<(String, Vec<u64>)>) {
+        let inner = self.inner.read();
+        let mut pe: Vec<_> = inner
+            .pe_name_index
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        pe.sort();
+        let mut wf: Vec<_> = inner
+            .wf_name_index
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        wf.sort();
+        (pe, wf)
     }
 }
 
@@ -554,6 +908,13 @@ mod tests {
             description_embedding: String::new(),
             spt_embedding: String::new(),
         }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("laminar-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -602,6 +963,126 @@ mod tests {
         // A different user can reuse the name.
         let u2 = r.register_user("sam", "pw").unwrap();
         assert!(r.add_pe(pe(u2, "X")).is_ok());
+    }
+
+    #[test]
+    fn duplicate_names_are_case_insensitive() {
+        // Regression: duplicate detection used exact string comparison
+        // while the name index is lowercase-keyed, so `IsPrime` then
+        // `isprime` both registered but the second was unreachable by
+        // name lookup.
+        let (r, u) = with_user();
+        let id = r.add_pe(pe(u, "IsPrime")).unwrap();
+        assert!(matches!(
+            r.add_pe(pe(u, "isprime")).unwrap_err(),
+            RegistryError::DuplicateName { table: "ProcessingElement", .. }
+        ));
+        assert!(matches!(
+            r.add_pe(pe(u, "ISPRIME")).unwrap_err(),
+            RegistryError::DuplicateName { .. }
+        ));
+        assert_eq!(r.get_pe_by_name("IsPrime").unwrap().id, id);
+        assert_eq!(r.counts().0, 1, "no shadowed row was created");
+
+        r.add_workflow(NewWorkflow {
+            user_id: u,
+            name: "Pipeline".into(),
+            description: String::new(),
+            code: String::new(),
+            description_embedding: String::new(),
+            spt_embedding: String::new(),
+            pe_ids: vec![],
+        })
+        .unwrap();
+        assert!(matches!(
+            r.add_workflow(NewWorkflow {
+                user_id: u,
+                name: "pipeline".into(),
+                description: String::new(),
+                code: String::new(),
+                description_embedding: String::new(),
+                spt_embedding: String::new(),
+                pe_ids: vec![],
+            })
+            .unwrap_err(),
+            RegistryError::DuplicateName { table: "Workflow", .. }
+        ));
+        // A different user can still reuse the name in any case.
+        let u2 = r.register_user("sam", "pw").unwrap();
+        assert!(r.add_pe(pe(u2, "ISPRIME")).is_ok());
+    }
+
+    #[test]
+    fn name_index_does_not_grow_under_churn() {
+        // Regression: remove_pe/remove_workflow retained the id out of
+        // the index Vec but left the empty key behind, so the index grew
+        // without bound under register/remove churn.
+        let (r, u) = with_user();
+        let (pe_baseline, wf_baseline) = r.debug_name_indexes();
+        for i in 0..100 {
+            let id = r.add_pe(pe(u, &format!("Churn{i}"))).unwrap();
+            r.remove_pe(id).unwrap();
+            let wid = r
+                .add_workflow(NewWorkflow {
+                    user_id: u,
+                    name: format!("ChurnWf{i}"),
+                    description: String::new(),
+                    code: String::new(),
+                    description_embedding: String::new(),
+                    spt_embedding: String::new(),
+                    pe_ids: vec![],
+                })
+                .unwrap();
+            r.remove_workflow(wid).unwrap();
+        }
+        let (pe_after, wf_after) = r.debug_name_indexes();
+        assert_eq!(pe_after, pe_baseline, "PE index back to baseline");
+        assert_eq!(wf_after, wf_baseline, "workflow index back to baseline");
+    }
+
+    #[test]
+    fn every_mutation_advances_seq() {
+        // Regression: add_pe/add_workflow/update_* never advanced `seq`,
+        // making it unusable as a WAL ordering cursor.
+        let r = Registry::new();
+        let mut last = r.snapshot().seq;
+        let mut bump = |r: &Registry, what: &str| {
+            let now = r.snapshot().seq;
+            assert_eq!(now, last + 1, "{what} must advance seq by exactly 1");
+            last = now;
+        };
+        let u = r.register_user("rosa", "pw").unwrap();
+        bump(&r, "register_user");
+        let p = r.add_pe(pe(u, "A")).unwrap();
+        bump(&r, "add_pe");
+        r.update_pe_description(p, "d", "[1.0]").unwrap();
+        bump(&r, "update_pe_description");
+        let wf = r
+            .add_workflow(NewWorkflow {
+                user_id: u,
+                name: "wf".into(),
+                description: String::new(),
+                code: String::new(),
+                description_embedding: String::new(),
+                spt_embedding: String::new(),
+                pe_ids: vec![p],
+            })
+            .unwrap();
+        bump(&r, "add_workflow");
+        r.update_workflow_description(wf, "d", "[1.0]").unwrap();
+        bump(&r, "update_workflow_description");
+        let ex = r.add_execution(wf, u, "simple", "1").unwrap();
+        bump(&r, "add_execution");
+        r.set_execution_status(ex, ExecutionStatus::Running).unwrap();
+        bump(&r, "set_execution_status");
+        r.add_response(ex, "out", ExecutionStatus::Completed).unwrap();
+        bump(&r, "add_response");
+        r.remove_workflow(wf).unwrap();
+        bump(&r, "remove_workflow");
+        r.remove_pe(p).unwrap();
+        bump(&r, "remove_pe");
+        r.remove_all().unwrap();
+        bump(&r, "remove_all");
     }
 
     #[test]
@@ -736,7 +1217,7 @@ mod tests {
         let (r, u) = with_user();
         r.add_pe(pe(u, "A")).unwrap();
         r.add_pe(pe(u, "B")).unwrap();
-        r.remove_all();
+        r.remove_all().unwrap();
         assert_eq!(r.counts(), (0, 0));
         assert_eq!(r.user_count(), 1);
     }
@@ -759,12 +1240,11 @@ mod tests {
         let ex = r.add_execution(wf, u, "simple", "5").unwrap();
         r.add_response(ex, "out", ExecutionStatus::Completed).unwrap();
 
-        let dir = std::env::temp_dir().join("laminar-registry-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmp_dir("roundtrip");
         let path = dir.join("snapshot.json");
         r.save_to(&path).unwrap();
         let r2 = Registry::load_from(&path).unwrap();
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
 
         assert_eq!(r2.counts(), (1, 1));
         assert_eq!(r2.get_pe(p).unwrap().name, "A");
@@ -779,12 +1259,173 @@ mod tests {
     #[test]
     fn load_from_missing_or_corrupt_file() {
         assert!(Registry::load_from(Path::new("/nonexistent/reg.json")).is_err());
-        let dir = std::env::temp_dir().join("laminar-registry-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmp_dir("corrupt-load");
         let path = dir.join("corrupt.json");
         std::fs::write(&path, "not json").unwrap();
         assert!(Registry::load_from(&path).is_err());
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_to_is_atomic_and_truncated_snapshot_fails_loudly() {
+        // Regression: save_to used a bare fs::write, so a crash mid-write
+        // corrupted the only copy. Now it goes temp + fsync + rename.
+        let (r, u) = with_user();
+        r.add_pe(pe(u, "A")).unwrap();
+        let dir = tmp_dir("atomic-save");
+        let path = dir.join("snapshot.json");
+        r.save_to(&path).unwrap();
+        let intact = std::fs::read(&path).unwrap();
+        assert!(!wal::tmp_path(&path).exists(), "temp file renamed away");
+
+        // A truncated snapshot (simulated torn write) fails loudly…
+        let truncated = &intact[..intact.len() / 2];
+        let torn = dir.join("torn.json");
+        std::fs::write(&torn, truncated).unwrap();
+        assert!(matches!(
+            Registry::load_from(&torn).unwrap_err(),
+            RegistryError::Persistence(_)
+        ));
+
+        // …while the previous intact snapshot still loads: overwriting
+        // through save_to never leaves a torn live file even if the new
+        // state serialises first to the side.
+        r.add_pe(pe(u, "B")).unwrap();
+        r.save_to(&path).unwrap();
+        let r2 = Registry::load_from(&path).unwrap();
+        assert_eq!(r2.counts().0, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_registry_survives_reopen() {
+        let dir = tmp_dir("durable");
+        let wf;
+        let u;
+        {
+            let r = Registry::open(&dir, PersistOptions::default()).unwrap();
+            u = r.register_user("rosa", "pw").unwrap();
+            let p = r.add_pe(pe(u, "A")).unwrap();
+            wf = r
+                .add_workflow(NewWorkflow {
+                    user_id: u,
+                    name: "wf".into(),
+                    description: "d".into(),
+                    code: "c".into(),
+                    description_embedding: "[1.0]".into(),
+                    spt_embedding: String::new(),
+                    pe_ids: vec![p],
+                })
+                .unwrap();
+            let stats = r.persist_stats().unwrap();
+            assert_eq!(stats.wal_appends, 3);
+            assert_eq!(stats.wal_records, 3);
+            assert_eq!(stats.compactions, 0);
+        }
+        // Reopen: snapshot absent, everything comes back via WAL replay.
+        let r2 = Registry::open(&dir, PersistOptions::default()).unwrap();
+        let stats = r2.persist_stats().unwrap();
+        assert_eq!(stats.recovered_records, 3);
+        assert_eq!(r2.login("rosa", "pw").unwrap(), u);
+        assert_eq!(r2.get_workflow_by_name("WF").unwrap().id, wf, "indexes warm after recovery");
+        // Mutations keep appending to the recovered WAL.
+        r2.add_pe(pe(u, "B")).unwrap();
+        drop(r2);
+        let r3 = Registry::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r3.persist_stats().unwrap().recovered_records, 4);
+        assert_eq!(r3.counts(), (2, 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_compaction_truncates_wal_and_survives_reopen() {
+        let dir = tmp_dir("autocompact");
+        {
+            let r = Registry::open(
+                &dir,
+                PersistOptions {
+                    snapshot_every: 4,
+                    ..PersistOptions::default()
+                },
+            )
+            .unwrap();
+            let u = r.register_user("rosa", "pw").unwrap();
+            for i in 0..7 {
+                r.add_pe(pe(u, &format!("P{i}"))).unwrap();
+            }
+            let stats = r.persist_stats().unwrap();
+            assert_eq!(stats.compactions, 2, "8 records / snapshot_every=4");
+            assert_eq!(stats.wal_records, 0, "WAL truncated at the threshold");
+            assert_eq!(stats.wal_appends, 8, "appends keep counting across compactions");
+        }
+        let r2 = Registry::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r2.counts().0, 7);
+        assert_eq!(
+            r2.persist_stats().unwrap().recovered_records,
+            0,
+            "everything came from the snapshot"
+        );
+        assert_eq!(r2.login("rosa", "pw").unwrap(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explicit_compact_reports_stats() {
+        let dir = tmp_dir("compact");
+        let r = Registry::open(&dir, PersistOptions::default()).unwrap();
+        assert!(Registry::new().compact().unwrap().is_none(), "in-memory: no-op");
+        let u = r.register_user("rosa", "pw").unwrap();
+        r.add_pe(pe(u, "A")).unwrap();
+        let stats = r.compact().unwrap().expect("persistent registry compacts");
+        assert_eq!(stats.wal_records, 2);
+        assert!(stats.snapshot_bytes > 0);
+        assert_eq!(r.persist_stats().unwrap().wal_records, 0);
+        // Compacting an empty WAL is a harmless no-op snapshot rewrite.
+        let again = r.compact().unwrap().unwrap();
+        assert_eq!(again.wal_records, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_prefix() {
+        let dir = tmp_dir("torn-tail");
+        {
+            let r = Registry::open(&dir, PersistOptions::default()).unwrap();
+            let u = r.register_user("rosa", "pw").unwrap();
+            r.add_pe(pe(u, "A")).unwrap();
+            r.add_pe(pe(u, "B")).unwrap();
+        }
+        // Tear the last frame: cut 3 bytes off the WAL.
+        let wal_path = dir.join(WAL_FILE);
+        let len = std::fs::metadata(&wal_path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let r2 = Registry::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r2.persist_stats().unwrap().recovered_records, 2);
+        assert_eq!(r2.counts().0, 1, "torn add_pe(B) was never acknowledged-durable");
+        assert!(r2.get_pe_by_name("a").is_ok());
+        assert!(r2.get_pe_by_name("b").is_err());
+        // The torn tail was truncated in place: a further reopen is clean.
+        let r3 = Registry::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r3.persist_stats().unwrap().recovered_records, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leftover_tmp_snapshot_is_discarded_on_open() {
+        let dir = tmp_dir("tmp-left");
+        {
+            let r = Registry::open(&dir, PersistOptions::default()).unwrap();
+            r.register_user("rosa", "pw").unwrap();
+        }
+        // Simulate a compaction that died before the rename.
+        std::fs::write(dir.join("snapshot.json.tmp"), "garbage{{{").unwrap();
+        let r2 = Registry::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r2.user_count(), 1);
+        assert!(!dir.join("snapshot.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -357,6 +357,32 @@ pub struct SearchSnapshot {
     pub lsh_candidates: u64,
 }
 
+/// Snapshot of the registry persistence layer (serialisable). Filled by
+/// the `Metrics` endpoint from [`Registry::persist_stats`] when the
+/// server runs with a data directory; `enabled` stays false otherwise
+/// and the row group is omitted from the rendered table.
+///
+/// [`Registry::persist_stats`]: laminar_registry::Registry::persist_stats
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PersistenceSnapshot {
+    /// True when the registry has a data directory (WAL + snapshots).
+    pub enabled: bool,
+    /// Records appended to the WAL since open.
+    pub wal_appends: u64,
+    /// Frame bytes appended to the WAL since open.
+    pub wal_bytes: u64,
+    /// fsync calls issued (per-append syncs + compaction syncs).
+    pub fsyncs: u64,
+    /// Snapshot compactions performed since open.
+    pub compactions: u64,
+    /// Records currently in the WAL (resets on compaction).
+    pub wal_records: u64,
+    /// WAL records replayed during recovery at open.
+    pub recovered_records: u64,
+    /// Wall-clock recovery duration at open.
+    pub recovery_ms: u64,
+}
+
 /// Snapshot of the enactment fault metrics (serialisable).
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct EnactmentSnapshot {
@@ -411,6 +437,10 @@ pub struct MetricsSnapshot {
     /// (no `enactment` field) still deserialises.
     #[serde(default)]
     pub enactment: EnactmentSnapshot,
+    /// Registry persistence metrics; serde-defaulted so a pre-v5 snapshot
+    /// (no `persistence` field) still deserialises.
+    #[serde(default)]
+    pub persistence: PersistenceSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -494,6 +524,24 @@ impl MetricsSnapshot {
             "{:<28} {:>8} {:>8} {:>12} {:>9} {:>9}",
             "", f.pe_faults, f.retries, f.dead_letters, f.task_timeouts, f.worker_replacements
         );
+        let p = &self.persistence;
+        if p.enabled {
+            let _ = writeln!(
+                out,
+                "persistence: recovered {} records in {} ms",
+                p.recovered_records, p.recovery_ms
+            );
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>10} {:>7} {:>11} {:>11}",
+                "wal", "appends", "bytes", "fsyncs", "compactions", "wal_records"
+            );
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>10} {:>7} {:>11} {:>11}",
+                "", p.wal_appends, p.wal_bytes, p.fsyncs, p.compactions, p.wal_records
+            );
+        }
         out
     }
 }
@@ -626,6 +674,36 @@ mod tests {
         json.as_object_mut().unwrap().remove("enactment");
         let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
         assert_eq!(back.enactment, EnactmentSnapshot::default());
+    }
+
+    #[test]
+    fn persistence_snapshot_serde_compat_and_render() {
+        let m = Metrics::new();
+        let mut snap = m.snapshot();
+        // Disabled by default: row group absent from the table.
+        assert!(!snap.persistence.enabled);
+        assert!(!snap.render().contains("persistence:"));
+        snap.persistence = PersistenceSnapshot {
+            enabled: true,
+            wal_appends: 12,
+            wal_bytes: 4096,
+            fsyncs: 3,
+            compactions: 1,
+            wal_records: 4,
+            recovered_records: 8,
+            recovery_ms: 2,
+        };
+        let table = snap.render();
+        assert!(table.contains("recovered 8 records in 2 ms"), "{table}");
+        assert!(table.contains("compactions"), "{table}");
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.persistence, snap.persistence);
+        // A pre-v5 snapshot without the `persistence` field still parses.
+        let mut json: serde_json::Value = serde_json::to_value(&snap).unwrap();
+        json.as_object_mut().unwrap().remove("persistence");
+        let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
+        assert_eq!(back.persistence, PersistenceSnapshot::default());
     }
 
     #[test]

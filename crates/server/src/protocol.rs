@@ -43,6 +43,10 @@
 //!   `task_timeout_ms`; run streams may carry the new `DeadLetter` and
 //!   `Faults` frames. Version-3 payloads parse unchanged, and version-3
 //!   readers that ignore unknown frames keep working.
+//! * `5` — durable registry: adds the `Compact` request (fold the
+//!   registry WAL into an atomic snapshot) and its `Compacted` response,
+//!   and the metrics snapshot grows a serde-defaulted `persistence` row
+//!   group. Version-4 payloads parse unchanged.
 
 use crate::obs::MetricsSnapshot;
 use d4py::Data;
@@ -53,7 +57,7 @@ use serde::{Deserialize, Serialize};
 
 /// The protocol version this build speaks (see the module doc's version
 /// rules).
-pub const PROTOCOL_VERSION: u16 = 4;
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Session token handed out by register/login.
 pub type Token = u64;
@@ -307,6 +311,12 @@ pub enum Request {
     /// Observability endpoint: a point-in-time [`MetricsSnapshot`].
     /// Tokenless by design — it is the ops surface, not user data.
     Metrics {},
+    /// Fold the registry's write-ahead log into a fresh atomic snapshot
+    /// and truncate the WAL (v5). Errors when the server runs without a
+    /// data directory.
+    Compact {
+        token: Token,
+    },
 }
 
 impl Request {
@@ -337,6 +347,7 @@ impl Request {
             Request::UploadResource { .. } => "UploadResource",
             Request::RunWithInlineResources { .. } => "RunWithInlineResources",
             Request::Metrics {} => "Metrics",
+            Request::Compact { .. } => "Compact",
         }
     }
 }
@@ -487,6 +498,15 @@ pub enum Response {
     /// Point-in-time observability snapshot (boxed: it is much larger
     /// than the other variants).
     Metrics(Box<MetricsSnapshot>),
+    /// Result of a `Compact` request (v5): what the snapshot absorbed.
+    Compacted {
+        /// WAL records folded into the snapshot (and truncated away).
+        wal_records: u64,
+        /// WAL bytes folded in.
+        wal_bytes: u64,
+        /// Size of the snapshot written.
+        snapshot_bytes: u64,
+    },
 }
 
 /// One frame of a (possibly streamed) reply.
@@ -766,6 +786,21 @@ mod tests {
             .endpoint(),
             "Login"
         );
+    }
+
+    #[test]
+    fn version_five_compact_roundtrips() {
+        let req = Request::Compact { token: 7 };
+        assert_eq!(req.endpoint(), "Compact");
+        let json = serde_json::to_string(&req).unwrap();
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), req);
+        let resp = Response::Compacted {
+            wal_records: 12,
+            wal_bytes: 4096,
+            snapshot_bytes: 1024,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
     }
 
     #[test]

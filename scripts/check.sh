@@ -34,6 +34,11 @@ cargo bench --no-run -p laminar-bench
 echo "==> chaos suite (seeded fault injection, all mappings x all policies)"
 cargo test -q -p d4py --test chaos
 
+# Crash-recovery gate: random mutation scripts, the WAL cut at every byte
+# of the tail record, recovery compared against the acknowledged prefix.
+echo "==> registry recovery suite (WAL torn-tail property tests)"
+cargo test -q -p laminar-registry --test recovery
+
 if [[ "${1:-}" == "--heavy" ]]; then
     echo "==> heavy stress tests (#[ignore]d)"
     cargo test -q -p laminar heavy_ -- --ignored
