@@ -1,0 +1,206 @@
+//! Ingestion-throughput benchmark: rows/sec for the v6 `RegisterBatch`
+//! path at increasing batch sizes, against the sequential one-request-
+//! per-PE baseline, under both WAL sync policies. Written to
+//! `BENCH_ingest.json`.
+//!
+//! The batched path amortises three costs that the sequential path pays
+//! per row: the analysis stage (parse → feature → embed, pipelined
+//! across items with rayon), the WAL fsync (one group commit per batch)
+//! and the search-index publication (one RCU snapshot swap per batch).
+//! Under `--wal-fsync` the group commit dominates, so rows/sec should
+//! scale nearly linearly with batch size until the analysis stage
+//! saturates the cores.
+//!
+//! Run with `cargo run --release -p laminar-bench --bin bench_ingest`.
+//! Pass a row count to override the default (`bench_ingest 4096`).
+
+use laminar_core::{Laminar, LaminarConfig};
+use laminar_server::protocol::{BatchItemWire, PeSubmission};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Timed repetitions per cell; the median elapsed time is reported.
+const REPS: usize = 3;
+
+/// Batch sizes swept for the `RegisterBatch` path. `1` prices the fixed
+/// per-batch overhead; `2048` (== the default row count) is one giant
+/// group commit.
+const BATCH_SIZES: &[usize] = &[1, 32, 256, 2048];
+
+#[derive(Serialize)]
+struct Cell {
+    /// `os-buffered` or `fsync` (the `--wal-fsync` ladder rung).
+    sync: &'static str,
+    /// `sequential` (one `RegisterPe` request per row) or `batch`.
+    mode: &'static str,
+    /// Rows per `RegisterBatch` request; 0 for the sequential baseline.
+    batch_size: usize,
+    rows: usize,
+    elapsed_ms: f64,
+    rows_per_s: f64,
+    wal_bytes: u64,
+    fsyncs: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    rows: usize,
+    cells: Vec<Cell>,
+    /// The acceptance headline: batch=256 over batch=1 rows/sec under
+    /// per-append fsync, where group commit matters most.
+    speedup_fsync_batch256_vs_batch1: f64,
+}
+
+fn bench_dir(tag: &str, rep: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "laminar-bench-ingest-{tag}-{rep}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One synthetic PE per row. The description is left out so every row
+/// exercises the full analysis stage: parse, feature extraction,
+/// description generation and both embeddings.
+fn row(i: usize) -> PeSubmission {
+    PeSubmission {
+        name: format!("IngestPe{i}"),
+        code: format!(
+            "class IngestPe{i}(IterativePE):\n    def _process(self, data):\n        return data + {i}\n"
+        ),
+        description: None,
+    }
+}
+
+/// Deploy a durable stack, ingest `rows` PEs — sequentially when
+/// `batch_size` is `None`, else in `RegisterBatch` chunks — and return
+/// elapsed ms plus the WAL counters.
+fn ingest_run(fsync: bool, batch_size: Option<usize>, rows: usize, rep: usize) -> (f64, u64, u64) {
+    let tag = match batch_size {
+        None => "seq".to_string(),
+        Some(b) => format!("b{b}"),
+    };
+    let dir = bench_dir(&tag, rep);
+    let laminar = Laminar::try_deploy(LaminarConfig {
+        data_dir: Some(dir.clone()),
+        wal_fsync: fsync,
+        snapshot_every: 0,
+        stock_workflows: false,
+        ..LaminarConfig::default()
+    })
+    .expect("open bench registry");
+    let mut client = laminar.client();
+    client.register("bench", "pw").expect("register bench user");
+
+    let items: Vec<PeSubmission> = (0..rows).map(row).collect();
+    let start = Instant::now();
+    match batch_size {
+        None => {
+            for pe in &items {
+                client
+                    .register_pe(&pe.name, &pe.code, None)
+                    .expect("unique names never collide");
+            }
+        }
+        Some(b) => {
+            for chunk in items.chunks(b) {
+                let batch: Vec<BatchItemWire> =
+                    chunk.iter().cloned().map(BatchItemWire::Pe).collect();
+                for outcome in client.register_batch(batch).expect("batch accepted") {
+                    assert!(
+                        matches!(
+                            outcome,
+                            laminar_server::protocol::BatchOutcomeWire::Registered { .. }
+                        ),
+                        "every synthetic row registers"
+                    );
+                }
+            }
+        }
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (wal_bytes, fsyncs) = laminar
+        .server()
+        .registry()
+        .persist_stats()
+        .map(|s| (s.wal_bytes, s.fsyncs))
+        .unwrap_or((0, 0));
+    drop(laminar);
+    let _ = std::fs::remove_dir_all(&dir);
+    (elapsed_ms, wal_bytes, fsyncs)
+}
+
+/// Median-elapsed run of a cell; WAL counters come from the median rep.
+fn cell(sync: &'static str, fsync: bool, batch_size: Option<usize>, rows: usize) -> Cell {
+    let mut runs: Vec<(f64, u64, u64)> = (0..REPS)
+        .map(|rep| ingest_run(fsync, batch_size, rows, rep))
+        .collect();
+    runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (elapsed_ms, wal_bytes, fsyncs) = runs[REPS / 2];
+    let rows_per_s = rows as f64 / (elapsed_ms / 1e3).max(1e-9);
+    Cell {
+        sync,
+        mode: if batch_size.is_some() { "batch" } else { "sequential" },
+        batch_size: batch_size.unwrap_or(0),
+        rows,
+        elapsed_ms,
+        rows_per_s,
+        wal_bytes,
+        fsyncs,
+    }
+}
+
+fn main() {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_048);
+
+    let mut report = Report {
+        rows,
+        cells: Vec::new(),
+        speedup_fsync_batch256_vs_batch1: 0.0,
+    };
+
+    println!("# ingestion throughput — {rows} PE rows per cell\n");
+    println!(
+        "{:<12} {:<12} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "sync", "mode", "batch", "elapsed ms", "rows/s", "wal bytes", "fsyncs"
+    );
+    for (sync, fsync) in [("os-buffered", false), ("fsync", true)] {
+        let mut sweep = vec![cell(sync, fsync, None, rows)];
+        for &b in BATCH_SIZES {
+            sweep.push(cell(sync, fsync, Some(b), rows));
+        }
+        for c in sweep {
+            println!(
+                "{:<12} {:<12} {:>10} {:>12.1} {:>12.0} {:>12} {:>8}",
+                c.sync, c.mode, c.batch_size, c.elapsed_ms, c.rows_per_s, c.wal_bytes, c.fsyncs
+            );
+            report.cells.push(c);
+        }
+    }
+
+    let speedup = {
+        let rate = |batch: usize| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.sync == "fsync" && c.batch_size == batch)
+                .map(|c| c.rows_per_s)
+                .unwrap_or(0.0)
+        };
+        rate(256) / rate(1).max(1e-9)
+    };
+    report.speedup_fsync_batch256_vs_batch1 = speedup;
+    println!(
+        "\nfsync speedup, batch=256 vs batch=1: {:.1}x",
+        report.speedup_fsync_batch256_vs_batch1
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    eprintln!("wrote BENCH_ingest.json");
+}

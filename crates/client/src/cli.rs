@@ -2,9 +2,19 @@
 //!
 //! A transcript-testable command interpreter: [`Cli::execute`] takes one
 //! input line and returns the text the terminal would print. The `laminar`
-//! binary (in `laminar-core`) wraps it in a stdin loop.
+//! binary (in `laminar-core`) wraps it in a stdin loop and exits with
+//! [`Cli::exit_code`], so scripted sessions (`laminar < script`) fail
+//! loudly when any command errored.
+//!
+//! The verb table is derived from the typed endpoint declarations in
+//! [`crate::endpoint`]: a wire endpoint's CLI verb, help line and usage
+//! text are stated once, next to its request/response types, so the CLI
+//! cannot drift from the protocol surface. Only the purely local verbs
+//! (`help`, `quit`) are declared here.
 
 use crate::client::{ClientError, LaminarClient};
+use crate::endpoint;
+use laminar_server::protocol::{BatchItemWire, BatchOutcomeWire};
 use laminar_server::{EmbeddingType, Ident, SearchScope};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -14,35 +24,41 @@ pub struct Cli {
     client: LaminarClient,
     /// Set when the user asked to quit.
     pub done: bool,
+    /// Whether the most recently executed command failed.
+    last_failed: bool,
+    /// Whether any command of the session failed (drives the process
+    /// exit status of the `laminar` binary).
+    any_failed: bool,
 }
 
-const COMMANDS: &[(&str, &str)] = &[
-    ("code_completion", "Completes a partially typed PE from the most structurally similar registered PE."),
-    ("code_recommendation", "Provides code recommendations from registered workflows and processing elements matching the code snippet."),
-    ("compact", "Folds the registry's write-ahead log into an atomic snapshot (requires a server started with --data-dir)."),
-    ("describe", "Prints the description and source of a PE or workflow."),
+/// Verbs that exist only in the terminal — no wire endpoint behind them.
+const CLI_ONLY: &[(&str, &str)] = &[
     ("help", "Lists commands, or shows help for one command."),
-    ("history", "Lists the recorded executions of a workflow."),
-    ("list", "Lists all items in the registry."),
-    ("literal_search", "Searches the registry for workflows and processing elements matching the search term. Accepts --top N."),
-    ("metrics", "Prints the server's request metrics snapshot (per-endpoint counts and latency percentiles)."),
     ("quit", "Exits the CLI."),
-    ("register_pe", "Registers a new PE from a Python file."),
-    ("register_workflow", "Registers a workflow file and every PE found in it."),
-    ("remove_all", "Removes all registered PEs and workflows."),
-    ("remove_pe", "Removes a PE by name or ID."),
-    ("remove_workflow", "Removes a workflow by name or ID."),
-    ("run", "Runs a workflow in the registry based on the provided name or ID."),
-    ("semantic_search", "Searches the registry for workflows and processing elements matching semantically the search term."),
-    ("update_pe_description", "Updates a PE's description."),
-    ("update_workflow_description", "Updates a workflow's description."),
 ];
+
+/// The command table: `(verb, help, usage)`, alphabetical — the CLI-only
+/// verbs plus every verb declared in [`endpoint::ENDPOINTS`].
+fn commands() -> Vec<(&'static str, &'static str, &'static str)> {
+    let mut out: Vec<(&'static str, &'static str, &'static str)> =
+        CLI_ONLY.iter().map(|&(v, h)| (v, h, "")).collect();
+    out.extend(
+        endpoint::ENDPOINTS
+            .iter()
+            .filter(|d| !d.verb.is_empty())
+            .map(|d| (d.verb, d.help, d.usage)),
+    );
+    out.sort_by_key(|&(v, _, _)| v);
+    out
+}
 
 impl Cli {
     pub fn new(client: LaminarClient) -> Self {
         Cli {
             client,
             done: false,
+            last_failed: false,
+            any_failed: false,
         }
     }
 
@@ -55,14 +71,29 @@ impl Cli {
         "(laminar) "
     }
 
-    /// Execute one input line, returning the output text.
+    /// Whether the most recently executed command failed.
+    pub fn last_command_failed(&self) -> bool {
+        self.last_failed
+    }
+
+    /// Process exit status for the session: nonzero when any command
+    /// failed, so piped scripts surface errors instead of exiting 0.
+    pub fn exit_code(&self) -> u8 {
+        u8::from(self.any_failed)
+    }
+
+    /// Execute one input line, returning the output text. Errors are
+    /// rendered as `Error: <typed error>` and recorded — see
+    /// [`Cli::last_command_failed`] and [`Cli::exit_code`].
     pub fn execute(&mut self, line: &str) -> String {
         let args = tokenize(line);
         if args.is_empty() {
+            self.last_failed = false;
             return String::new();
         }
         let cmd = args[0].as_str();
         let rest = &args[1..];
+        let mut unknown = false;
         let result = match cmd {
             "help" => Ok(self.help(rest)),
             "quit" => {
@@ -72,6 +103,7 @@ impl Cli {
             "list" => self.list(),
             "register_pe" => self.register_pe(rest),
             "register_workflow" => self.register_workflow(rest),
+            "ingest" => self.ingest(rest),
             "remove_pe" => self.remove(rest, true),
             "remove_workflow" => self.remove(rest, false),
             "remove_all" => self
@@ -94,23 +126,22 @@ impl Cli {
                     r.wal_records, r.wal_bytes, r.snapshot_bytes
                 )
             }),
-            other => Ok(format!(
-                "Unknown command '{other}'. Type 'help' to list commands."
-            )),
+            other => {
+                unknown = true;
+                Ok(format!(
+                    "Unknown command '{other}'. Type 'help' to list commands."
+                ))
+            }
         };
+        self.last_failed = result.is_err() || unknown;
+        self.any_failed |= self.last_failed;
         result.unwrap_or_else(|e| format!("Error: {e}"))
     }
 
     fn help(&self, args: &[String]) -> String {
+        let table = commands();
         if let Some(topic) = args.first() {
-            if let Some((name, desc)) = COMMANDS.iter().find(|(n, _)| n == topic) {
-                let usage = match *name {
-                    "run" => "\nUsage:\n  run identifier [options]\n\nOptions:\n  identifier            Name or ID of the workflow to run\n  --rawinput            Treat input as raw string instead of evaluating it\n  -v, --verbose         Enable verbose output\n  -i, --input <data>    Input data for the workflow (can be used multiple times)\n  --multi <n>           Run the workflow in parallel using multiprocessing\n  --dynamic             Run the workflow in parallel using Redis\n  --fault-policy <p>    fail-fast (default) | retry | dead-letter\n  --retries <n>         Attempts per datum under retry/dead-letter (default 3)\n  --backoff-ms <n>      Base backoff between retry attempts (default 10)\n  --task-timeout-ms <n> Per-task timeout for --dynamic runs",
-                    "semantic_search" => "\nUsage:\n  semantic_search [workflow|pe] [search_term] [--top N]",
-                    "code_recommendation" => "\nUsage:\n  code_recommendation [workflow|pe] [code_snippet] [--embedding_type llm|spt] [--top N]",
-                    "literal_search" => "\nUsage:\n  literal_search [workflow|pe] [search_term] [--top N]",
-                    _ => "",
-                };
+            if let Some((_, desc, usage)) = table.iter().find(|(v, ..)| v == topic) {
                 return format!("{desc}{usage}");
             }
             return format!("No help for '{topic}'.");
@@ -118,10 +149,73 @@ impl Cli {
         let mut out = String::from(
             "Documented commands (type help <topic>):\n========================================\n",
         );
-        for (name, _) in COMMANDS {
+        for (name, ..) in &table {
             let _ = writeln!(out, "{name}");
         }
         out
+    }
+
+    /// `ingest --file <items.json>`: the bulk registration verb over the
+    /// v6 `RegisterBatch` endpoint.
+    fn ingest(&self, args: &[String]) -> Result<String, ClientError> {
+        let mut file: Option<&String> = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--file" => {
+                    i += 1;
+                    file = Some(
+                        args.get(i)
+                            .ok_or_else(|| ClientError::Server("--file needs a path".into()))?,
+                    );
+                }
+                other => {
+                    return Err(ClientError::Server(format!("unexpected argument '{other}'")))
+                }
+            }
+            i += 1;
+        }
+        let path = file
+            .ok_or_else(|| ClientError::Server("usage: ingest --file <items.json>".into()))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ClientError::Server(format!("cannot read {path}: {e}")))?;
+        let items: Vec<BatchItemWire> = serde_json::from_str(&text)
+            .map_err(|e| ClientError::Server(format!("invalid batch file {path}: {e}")))?;
+        let submitted = items.len();
+        let outcomes = self.client.register_batch(items)?;
+        let mut out = String::new();
+        let mut failures: Vec<String> = Vec::new();
+        for (idx, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                BatchOutcomeWire::Registered {
+                    pe_ids,
+                    workflow_id,
+                } => {
+                    for (name, id) in pe_ids {
+                        let _ = writeln!(out, "• {name} - type (ID {id})");
+                    }
+                    if let Some((name, id)) = workflow_id {
+                        let _ = writeln!(out, "• {name} - Workflow (ID {id})");
+                    }
+                }
+                BatchOutcomeWire::Failed { pe_ids, error } => {
+                    for (name, id) in pe_ids {
+                        let _ = writeln!(out, "• {name} - type (ID {id})");
+                    }
+                    failures.push(format!("item {}: {error}", idx + 1));
+                }
+            }
+        }
+        let registered = submitted - failures.len();
+        if !failures.is_empty() {
+            return Err(ClientError::Server(format!(
+                "ingest committed {registered} of {submitted} items; {} failed: {}",
+                failures.len(),
+                failures.join("; ")
+            )));
+        }
+        let _ = writeln!(out, "Ingested {registered} items in one batch.");
+        Ok(out)
     }
 
     fn list(&self) -> Result<String, ClientError> {
@@ -942,5 +1036,85 @@ class PrintPrime(ConsumerPE):
             .execute("register_workflow /no/such/file.py")
             .contains("Error"));
         assert!(c.execute("run ghost -i 2").contains("Error"));
+    }
+
+    #[test]
+    fn errors_set_nonzero_exit_status() {
+        let mut c = cli();
+        c.execute("list");
+        assert!(!c.last_command_failed());
+        assert_eq!(c.exit_code(), 0);
+        let out = c.execute("describe");
+        assert!(out.contains("Error"), "{out}");
+        assert!(c.last_command_failed());
+        assert_eq!(c.exit_code(), 1);
+        // A later success clears the per-command flag, but the session
+        // status stays sticky so piped scripts surface the failure.
+        c.execute("list");
+        assert!(!c.last_command_failed());
+        assert_eq!(c.exit_code(), 1);
+        // Unknown commands are failures too.
+        let mut c2 = cli();
+        c2.execute("frobnicate");
+        assert!(c2.last_command_failed());
+        assert_eq!(c2.exit_code(), 1);
+    }
+
+    #[test]
+    fn verb_table_derives_from_endpoint_declarations() {
+        let mut c = cli();
+        let help = c.execute("help");
+        for d in endpoint::ENDPOINTS.iter().filter(|d| !d.verb.is_empty()) {
+            assert!(help.contains(d.verb), "help missing {}:\n{help}", d.verb);
+            let out = c.execute(d.verb);
+            assert!(
+                !out.contains("Unknown command"),
+                "declared verb '{}' is not dispatched: {out}",
+                d.verb
+            );
+        }
+        // Topic help flows from the same declaration rows.
+        let topic = c.execute("help ingest");
+        assert!(topic.contains("--file"), "{topic}");
+        let topic = c.execute("help run");
+        assert!(topic.contains("--fault-policy"), "{topic}");
+    }
+
+    #[test]
+    fn ingest_command_bulk_registers_from_file() {
+        use laminar_server::PeSubmission;
+        let mut c = cli();
+        let items = vec![
+            BatchItemWire::Pe(PeSubmission {
+                name: "Standalone".into(),
+                code: "class Standalone(IterativePE):\n    def _process(self, x):\n        return x\n"
+                    .into(),
+                description: None,
+            }),
+            BatchItemWire::Workflow {
+                name: "batch_wf".into(),
+                code: WORKFLOW_FILE.into(),
+                description: None,
+                pes: crate::extract::extract_pes_from_source(WORKFLOW_FILE),
+            },
+        ];
+        let dir = std::env::temp_dir().join(format!("laminar-cli-ingest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("items.json");
+        std::fs::write(&path, serde_json::to_string(&items).unwrap()).unwrap();
+        let out = c.execute(&format!("ingest --file {}", path.display()));
+        assert!(out.contains("• Standalone - type (ID"), "{out}");
+        assert!(out.contains("• batch_wf - Workflow (ID"), "{out}");
+        assert!(out.contains("Ingested 2 items in one batch."), "{out}");
+        assert!(!c.last_command_failed());
+        let list = c.execute("list");
+        assert!(list.contains("IsPrime"), "{list}");
+        // Bad invocations are typed errors with a failing status, not
+        // panics or silent successes.
+        assert!(c.execute("ingest").contains("Error"));
+        assert!(c.execute("ingest --file /no/such.json").contains("Error"));
+        assert!(c.execute("ingest --frobnicate").contains("Error"));
+        assert!(c.last_command_failed());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -8,14 +8,21 @@
 //! always retried (the request provably never dispatched), timeouts only
 //! for idempotent requests, and a `run` whose stream already started is
 //! never re-sent.
+//!
+//! Every value endpoint is declared once in [`crate::endpoint`] (typed
+//! params, typed output, idempotency class, CLI verb); the generic
+//! [`LaminarClient::call`] drives envelope, retry and parsing for all
+//! of them. The Table I methods below are thin named wrappers over
+//! those declarations, kept so call sites read like the paper.
 
+use crate::endpoint::{self, Endpoint};
 use crate::extract::extract_pes_from_source;
 use crossbeam_channel::Receiver;
 use d4py::Data;
 use laminar_server::protocol::SemanticHit;
 use laminar_server::protocol::{
-    content_hash, FaultPolicyWire, PeInfo, RecommendationHit, ResourceRefWire, RunInputWire,
-    RunMode, WorkflowInfo,
+    content_hash, BatchItemWire, BatchOutcomeWire, FaultPolicyWire, PeInfo, RecommendationHit,
+    ResourceRefWire, RunInputWire, RunMode, WorkflowInfo,
 };
 use laminar_server::{
     Connection, ConnectionError, DeliveryMode, EmbeddingType, Ident, LaminarServer,
@@ -98,27 +105,6 @@ impl RetryPolicy {
             .unwrap_or(0);
         capped + capped.mul_f64((nanos % 1000) as f64 / 2000.0)
     }
-}
-
-/// Whether re-sending `req` can never duplicate side effects, making a
-/// retry after an ambiguous failure (timeout) safe.
-fn is_idempotent(req: &Request) -> bool {
-    matches!(
-        req,
-        Request::Login { .. }
-            | Request::GetPe { .. }
-            | Request::GetWorkflow { .. }
-            | Request::GetPesByWorkflow { .. }
-            | Request::GetRegistry { .. }
-            | Request::Describe { .. }
-            | Request::SearchLiteral { .. }
-            | Request::SearchSemantic { .. }
-            | Request::CodeRecommendation { .. }
-            | Request::CodeCompletion { .. }
-            | Request::GetExecutions { .. }
-            | Request::Metrics {}
-            | Request::Compact { .. }
-    )
 }
 
 /// Result of a registry compaction (`laminar compact`): what the snapshot
@@ -214,14 +200,24 @@ impl LaminarClient {
         self.token.ok_or(ClientError::NotLoggedIn)
     }
 
+    /// Issue a typed endpoint call: the one generic path behind every
+    /// Table I method. Builds the wire request from the [`Endpoint`]
+    /// declaration (supplying the session token), sends it under the
+    /// retry policy — whose timeout eligibility comes from the same
+    /// declaration table — and parses the typed result.
+    pub fn call<E: Endpoint>(&self, params: E::Params) -> Result<E::Output, ClientError> {
+        E::response(self.value(E::request(self.token, params)?)?)
+    }
+
     /// Issue one request through the connection, applying the retry
     /// policy: `Unavailable`/`Busy` always retry (the request provably
     /// never dispatched — the server rejects *before* handing the request
-    /// to a worker); timeouts retry only for idempotent requests. A run
-    /// whose stream already opened comes back as `Ok(Reply::Stream)` and
-    /// is therefore never re-sent from here.
-    fn call(&self, req: Request) -> Result<Reply, ClientError> {
-        let idempotent = is_idempotent(&req);
+    /// to a worker); timeouts retry only for idempotent requests (per
+    /// the [`crate::endpoint::ENDPOINTS`] declarations). A run whose
+    /// stream already opened comes back as `Ok(Reply::Stream)` and is
+    /// therefore never re-sent from here.
+    fn dispatch(&self, req: Request) -> Result<Reply, ClientError> {
+        let idempotent = endpoint::is_idempotent(&req);
         let mut attempt = 0u32;
         loop {
             attempt += 1;
@@ -246,7 +242,7 @@ impl LaminarClient {
     }
 
     fn value(&self, req: Request) -> Result<Response, ClientError> {
-        match self.call(req)? {
+        match self.dispatch(req)? {
             Reply::Value(Response::Error(e)) => Err(ClientError::Server(e)),
             Reply::Value(v) => Ok(v),
             Reply::Stream(_) => Err(ClientError::UnexpectedResponse("stream".into())),
@@ -255,10 +251,7 @@ impl LaminarClient {
 
     /// Fetch the server's metrics snapshot (the `laminar metrics` verb).
     pub fn metrics(&self) -> Result<MetricsSnapshot, ClientError> {
-        match self.value(Request::Metrics {})? {
-            Response::Metrics(snap) => Ok(*snap),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::Metrics>(())
     }
 
     /// Force a registry snapshot compaction (the `laminar compact` verb).
@@ -266,50 +259,23 @@ impl LaminarClient {
     /// runs without a data directory. Safe to retry: compacting an
     /// already-compacted registry just rewrites the same snapshot.
     pub fn compact(&self) -> Result<CompactReport, ClientError> {
-        match self.value(Request::Compact {
-            token: self.token()?,
-        })? {
-            Response::Compacted {
-                wal_records,
-                wal_bytes,
-                snapshot_bytes,
-            } => Ok(CompactReport {
-                wal_records,
-                wal_bytes,
-                snapshot_bytes,
-            }),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::Compact>(())
     }
 
     // ---- auth -----------------------------------------------------------
 
     /// `register`: create a user and start a session.
     pub fn register(&mut self, username: &str, password: &str) -> Result<(), ClientError> {
-        match self.value(Request::RegisterUser {
-            username: username.into(),
-            password: password.into(),
-        })? {
-            Response::Token(t) => {
-                self.token = Some(t);
-                Ok(())
-            }
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        let t = self.call::<endpoint::RegisterUser>((username.into(), password.into()))?;
+        self.token = Some(t);
+        Ok(())
     }
 
     /// `login`: authenticate an existing user.
     pub fn login(&mut self, username: &str, password: &str) -> Result<(), ClientError> {
-        match self.value(Request::Login {
-            username: username.into(),
-            password: password.into(),
-        })? {
-            Response::Token(t) => {
-                self.token = Some(t);
-                Ok(())
-            }
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        let t = self.call::<endpoint::Login>((username.into(), password.into()))?;
+        self.token = Some(t);
+        Ok(())
     }
 
     // ---- registration -----------------------------------------------------
@@ -322,17 +288,11 @@ impl LaminarClient {
         code: &str,
         description: Option<&str>,
     ) -> Result<u64, ClientError> {
-        match self.value(Request::RegisterPe {
-            token: self.token()?,
-            pe: PeSubmission {
-                name: name.into(),
-                code: code.into(),
-                description: description.map(str::to_string),
-            },
-        })? {
-            Response::Registered { pe_ids, .. } => Ok(pe_ids[0].1),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::RegisterPe>(PeSubmission {
+            name: name.into(),
+            code: code.into(),
+            description: description.map(str::to_string),
+        })
     }
 
     /// `register_Workflow`: analyse a workflow source, register its PEs and
@@ -343,68 +303,46 @@ impl LaminarClient {
         source: &str,
     ) -> Result<RegisteredWorkflow, ClientError> {
         let pes = extract_pes_from_source(source);
-        match self.value(Request::RegisterWorkflow {
-            token: self.token()?,
-            name: workflow_name.into(),
-            code: source.into(),
-            description: None,
+        self.call::<endpoint::RegisterWorkflow>((
+            workflow_name.into(),
+            source.into(),
+            None,
             pes,
-        })? {
-            Response::Registered {
-                pe_ids,
-                workflow_id,
-            } => Ok(RegisteredWorkflow {
-                pes: pe_ids,
-                workflow: workflow_id
-                    .ok_or_else(|| ClientError::UnexpectedResponse("no workflow id".into()))?,
-            }),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        ))
+    }
+
+    /// `ingest` (v6): register a batch of PEs and workflows in one
+    /// request. The server pipelines the analysis stages across items,
+    /// commits the whole batch under a single WAL fsync and publishes
+    /// one search-index snapshot. Outcomes come back per item, in
+    /// submission order — a failed item does not abort the rest.
+    pub fn register_batch(
+        &self,
+        items: Vec<BatchItemWire>,
+    ) -> Result<Vec<BatchOutcomeWire>, ClientError> {
+        self.call::<endpoint::RegisterBatch>(items)
     }
 
     // ---- reads -------------------------------------------------------------
 
     /// `get_PE`.
     pub fn get_pe(&self, ident: impl Into<Ident>) -> Result<PeInfo, ClientError> {
-        match self.value(Request::GetPe {
-            token: self.token()?,
-            ident: ident.into(),
-        })? {
-            Response::Pe(p) => Ok(p),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::GetPe>(ident.into())
     }
 
     /// `get_Workflow`.
     pub fn get_workflow(&self, ident: impl Into<Ident>) -> Result<WorkflowInfo, ClientError> {
-        match self.value(Request::GetWorkflow {
-            token: self.token()?,
-            ident: ident.into(),
-        })? {
-            Response::Workflow(w) => Ok(w),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::GetWorkflow>(ident.into())
     }
 
     /// `get_PEs_By_Workflow`.
     pub fn get_pes_by_workflow(&self, ident: impl Into<Ident>) -> Result<Vec<PeInfo>, ClientError> {
-        match self.value(Request::GetPesByWorkflow {
-            token: self.token()?,
-            ident: ident.into(),
-        })? {
-            Response::Pes(p) => Ok(p),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::GetPesByWorkflow>(ident.into())
     }
 
     /// `get_Registry`.
     pub fn get_registry(&self) -> Result<(Vec<PeInfo>, Vec<WorkflowInfo>), ClientError> {
-        match self.value(Request::GetRegistry {
-            token: self.token()?,
-        })? {
-            Response::Registry { pes, workflows } => Ok((pes, workflows)),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::GetRegistry>(())
     }
 
     /// `describe`.
@@ -413,14 +351,7 @@ impl LaminarClient {
         scope: SearchScope,
         ident: impl Into<Ident>,
     ) -> Result<String, ClientError> {
-        match self.value(Request::Describe {
-            token: self.token()?,
-            scope,
-            ident: ident.into(),
-        })? {
-            Response::Description(d) => Ok(d),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::Describe>((scope, ident.into()))
     }
 
     // ---- updates / removals ---------------------------------------------------
@@ -431,11 +362,7 @@ impl LaminarClient {
         ident: impl Into<Ident>,
         description: &str,
     ) -> Result<(), ClientError> {
-        self.expect_ok(Request::UpdatePeDescription {
-            token: self.token()?,
-            ident: ident.into(),
-            description: description.into(),
-        })
+        self.call::<endpoint::UpdatePeDescription>((ident.into(), description.into()))
     }
 
     /// `update_Workflow_Description`.
@@ -444,41 +371,22 @@ impl LaminarClient {
         ident: impl Into<Ident>,
         description: &str,
     ) -> Result<(), ClientError> {
-        self.expect_ok(Request::UpdateWorkflowDescription {
-            token: self.token()?,
-            ident: ident.into(),
-            description: description.into(),
-        })
+        self.call::<endpoint::UpdateWorkflowDescription>((ident.into(), description.into()))
     }
 
     /// `remove_PE`.
     pub fn remove_pe(&self, ident: impl Into<Ident>) -> Result<(), ClientError> {
-        self.expect_ok(Request::RemovePe {
-            token: self.token()?,
-            ident: ident.into(),
-        })
+        self.call::<endpoint::RemovePe>(ident.into())
     }
 
     /// `remove_Workflow`.
     pub fn remove_workflow(&self, ident: impl Into<Ident>) -> Result<(), ClientError> {
-        self.expect_ok(Request::RemoveWorkflow {
-            token: self.token()?,
-            ident: ident.into(),
-        })
+        self.call::<endpoint::RemoveWorkflow>(ident.into())
     }
 
     /// `remove_All`.
     pub fn remove_all(&self) -> Result<(), ClientError> {
-        self.expect_ok(Request::RemoveAll {
-            token: self.token()?,
-        })
-    }
-
-    fn expect_ok(&self, req: Request) -> Result<(), ClientError> {
-        match self.value(req)? {
-            Response::Ok => Ok(()),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::RemoveAll>(())
     }
 
     // ---- search -------------------------------------------------------------
@@ -500,15 +408,7 @@ impl LaminarClient {
         term: &str,
         top_n: Option<usize>,
     ) -> Result<(Vec<PeInfo>, Vec<WorkflowInfo>), ClientError> {
-        match self.value(Request::SearchLiteral {
-            token: self.token()?,
-            scope,
-            term: term.into(),
-            top_n,
-        })? {
-            Response::Registry { pes, workflows } => Ok((pes, workflows)),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::SearchLiteral>((scope, term.into(), top_n))
     }
 
     /// `search_Registry_Semantic` (Fig. 8, server-default top-k).
@@ -527,15 +427,7 @@ impl LaminarClient {
         query: &str,
         top_n: Option<usize>,
     ) -> Result<Vec<SemanticHit>, ClientError> {
-        match self.value(Request::SearchSemantic {
-            token: self.token()?,
-            scope,
-            query: query.into(),
-            top_n,
-        })? {
-            Response::SemanticResults(hits) => Ok(hits),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::SearchSemantic>((scope, query.into(), top_n))
     }
 
     /// `code_Recommendation` (Fig. 9, server-default top-k).
@@ -556,32 +448,13 @@ impl LaminarClient {
         embedding_type: EmbeddingType,
         top_n: Option<usize>,
     ) -> Result<Vec<RecommendationHit>, ClientError> {
-        match self.value(Request::CodeRecommendation {
-            token: self.token()?,
-            scope,
-            snippet: snippet.into(),
-            embedding_type,
-            top_n,
-        })? {
-            Response::Recommendations(hits) => Ok(hits),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::CodeRecommendation>((scope, snippet.into(), embedding_type, top_n))
     }
 
     /// Context-aware code completion (§III): returns
     /// `(source PE (id, name) if any, suggested lines, progress)`.
     pub fn code_completion(&self, snippet: &str) -> Result<CompletionResult, ClientError> {
-        match self.value(Request::CodeCompletion {
-            token: self.token()?,
-            snippet: snippet.into(),
-        })? {
-            Response::Completion {
-                source,
-                lines,
-                progress,
-            } => Ok((source, lines, progress)),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::CodeCompletion>(snippet.into())
     }
 
     // ---- resources -------------------------------------------------------------
@@ -690,13 +563,7 @@ impl LaminarClient {
         &self,
         ident: impl Into<Ident>,
     ) -> Result<Vec<laminar_server::protocol::ExecutionInfo>, ClientError> {
-        match self.value(Request::GetExecutions {
-            token: self.token()?,
-            ident: ident.into(),
-        })? {
-            Response::Executions(rows) => Ok(rows),
-            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
-        }
+        self.call::<endpoint::GetExecutions>(ident.into())
     }
 
     fn run_mode(
@@ -777,7 +644,7 @@ impl LaminarClient {
             fault: fault.clone(),
             task_timeout_ms,
         };
-        match self.call(make_req(self.token()?))? {
+        match self.dispatch(make_req(self.token()?))? {
             Reply::Value(Response::NeedResources(names)) => {
                 for name in &names {
                     let Some((_, bytes)) = self.staged_resources.iter().find(|(n, _)| n == name)
@@ -790,7 +657,7 @@ impl LaminarClient {
                         bytes: bytes.clone(),
                     })?;
                 }
-                match self.call(make_req(self.token()?))? {
+                match self.dispatch(make_req(self.token()?))? {
                     Reply::Stream(rx) => Ok(rx),
                     Reply::Value(Response::Error(e)) => Err(ClientError::Server(e)),
                     Reply::Value(v) => Err(ClientError::UnexpectedResponse(format!("{v:?}"))),
@@ -850,6 +717,47 @@ class PrintPrime(ConsumerPE):
         let names: Vec<&str> = reg.pes.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["NumberProducer", "IsPrime", "PrintPrime"]);
         assert_eq!(reg.workflow.0, "isprime_wf");
+    }
+
+    #[test]
+    fn register_batch_reports_per_item_outcomes() {
+        let c = client();
+        let items = vec![
+            BatchItemWire::Pe(PeSubmission {
+                name: "Standalone".into(),
+                code: "class Standalone(IterativePE):\n    def _process(self, x):\n        return x\n"
+                    .into(),
+                description: None,
+            }),
+            BatchItemWire::Workflow {
+                name: "batch_wf".into(),
+                code: WORKFLOW_FILE.into(),
+                description: None,
+                pes: extract_pes_from_source(WORKFLOW_FILE),
+            },
+        ];
+        let outcomes = c.register_batch(items).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(matches!(outcomes[0], BatchOutcomeWire::Registered { .. }));
+        match &outcomes[1] {
+            BatchOutcomeWire::Registered {
+                pe_ids,
+                workflow_id,
+            } => {
+                assert_eq!(pe_ids.len(), 3);
+                assert_eq!(workflow_id.as_ref().unwrap().0, "batch_wf");
+            }
+            other => panic!("expected Registered outcome: {other:?}"),
+        }
+        let (pes, wfs) = c.get_registry().unwrap();
+        assert_eq!(pes.len(), 4);
+        assert_eq!(wfs.len(), 1);
+        // Without a session the typed endpoint refuses client-side.
+        let fresh = LaminarClient::connect(Arc::new(LaminarServer::with_stock()));
+        assert_eq!(
+            fresh.register_batch(vec![]).unwrap_err(),
+            ClientError::NotLoggedIn
+        );
     }
 
     #[test]

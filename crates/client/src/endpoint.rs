@@ -1,0 +1,902 @@
+//! Typed endpoint declarations — the single source of truth for the
+//! client's request surface.
+//!
+//! Before v6 the client grew one hand-rolled method per wire endpoint,
+//! and the CLI kept its own parallel verb table; the idempotency set
+//! lived in a third place (a `matches!` inside the retry loop). Those
+//! three lists drifted independently. This module collapses them:
+//!
+//! * [`Endpoint`] — one impl per value endpoint, declaring the typed
+//!   params, the typed output, the request builder and the response
+//!   parser. [`crate::LaminarClient::call`] is the one generic path
+//!   that drives envelope, retry and parsing for all of them.
+//! * [`ENDPOINTS`] — one [`EndpointDecl`] row per wire endpoint,
+//!   declaring the CLI verb (if any), its help text and the
+//!   idempotency class. [`is_idempotent`] and the CLI's command table
+//!   are both lookups into this table, so a new endpoint that forgets
+//!   its row is caught by the tests here rather than by a user.
+//!
+//! Streaming endpoints (`Run`, and the resource-negotiation pair
+//! `UploadResource`/`RunWithInlineResources`) have declaration rows but
+//! no [`Endpoint`] impl: their reply is a frame stream, not a value,
+//! and they keep their dedicated client path.
+
+use crate::client::{ClientError, CompactReport, CompletionResult, RegisteredWorkflow};
+use laminar_server::protocol::{
+    BatchItemWire, BatchOutcomeWire, ExecutionInfo, PeInfo, RecommendationHit, SemanticHit,
+    WorkflowInfo,
+};
+use laminar_server::{
+    EmbeddingType, Ident, MetricsSnapshot, PeSubmission, Request, Response, SearchScope,
+};
+
+/// One value endpoint of the wire protocol, declared once: typed
+/// params in, wire request out, wire response back in, typed output
+/// out. `NAME` ties the impl to its [`EndpointDecl`] row (and must
+/// equal `Request::endpoint()` of the built request — tested below).
+pub trait Endpoint {
+    /// Typed input of the call.
+    type Params;
+    /// Typed result of the call.
+    type Output;
+    /// The wire endpoint name (`Request::endpoint()`).
+    const NAME: &'static str;
+
+    /// Build the wire request. `token` is the client's session token;
+    /// endpoints that need one fail with [`ClientError::NotLoggedIn`]
+    /// when it is absent.
+    fn request(token: Option<u64>, params: Self::Params) -> Result<Request, ClientError>;
+
+    /// Parse the wire response into the typed output.
+    fn response(resp: Response) -> Result<Self::Output, ClientError>;
+}
+
+/// One row of [`ENDPOINTS`]: the per-endpoint facts that the retry
+/// policy and the CLI both consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointDecl {
+    /// Wire endpoint name (`Request::endpoint()`).
+    pub name: &'static str,
+    /// CLI verb derived from this endpoint; `""` for library-only
+    /// endpoints with no direct verb.
+    pub verb: &'static str,
+    /// One-line help shown by the CLI's `help` listing.
+    pub help: &'static str,
+    /// Extra usage text appended by `help <verb>`.
+    pub usage: &'static str,
+    /// Whether re-sending can never duplicate side effects.
+    pub idempotent: bool,
+}
+
+impl EndpointDecl {
+    /// Retry eligibility after an *ambiguous* failure (a timeout, where
+    /// the server may or may not have executed the request): safe only
+    /// when the endpoint is idempotent. Transient rejections
+    /// (`Unavailable`, typed `Busy`) are always retryable regardless —
+    /// the request provably never dispatched.
+    pub fn retry_on_timeout(&self) -> bool {
+        self.idempotent
+    }
+}
+
+/// Every wire endpoint, in wire-protocol order. The CLI renders its
+/// command table from the rows with a non-empty `verb`; the retry loop
+/// reads `idempotent`.
+pub static ENDPOINTS: &[EndpointDecl] = &[
+    EndpointDecl {
+        name: "RegisterUser",
+        verb: "",
+        help: "",
+        usage: "",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "Login",
+        verb: "",
+        help: "",
+        usage: "",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "RegisterPe",
+        verb: "register_pe",
+        help: "Registers a new PE from a Python file.",
+        usage: "",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "RegisterWorkflow",
+        verb: "register_workflow",
+        help: "Registers a workflow file and every PE found in it.",
+        usage: "",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "RegisterBatch",
+        verb: "ingest",
+        help: "Registers a JSON file of PEs and workflows as one batch: analysis runs in parallel, the registry commits under a single WAL fsync, and the search indexes publish once.",
+        usage: "\nUsage:\n  ingest --file <items.json>\n\nThe file holds a JSON array of items, each either\n  {\"Pe\": {\"name\": \"...\", \"code\": \"...\"}}\n  {\"Workflow\": {\"name\": \"...\", \"code\": \"...\", \"pes\": [{\"name\": \"...\", \"code\": \"...\"}]}}\n(`description` is optional everywhere and auto-generated when absent.)\nOutcomes print per item — a failed item does not abort the rest.",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "GetPe",
+        verb: "",
+        help: "",
+        usage: "",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "GetWorkflow",
+        verb: "",
+        help: "",
+        usage: "",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "GetPesByWorkflow",
+        verb: "",
+        help: "",
+        usage: "",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "GetRegistry",
+        verb: "list",
+        help: "Lists all items in the registry.",
+        usage: "",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "Describe",
+        verb: "describe",
+        help: "Prints the description and source of a PE or workflow.",
+        usage: "",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "UpdatePeDescription",
+        verb: "update_pe_description",
+        help: "Updates a PE's description.",
+        usage: "",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "UpdateWorkflowDescription",
+        verb: "update_workflow_description",
+        help: "Updates a workflow's description.",
+        usage: "",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "RemovePe",
+        verb: "remove_pe",
+        help: "Removes a PE by name or ID.",
+        usage: "",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "RemoveWorkflow",
+        verb: "remove_workflow",
+        help: "Removes a workflow by name or ID.",
+        usage: "",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "RemoveAll",
+        verb: "remove_all",
+        help: "Removes all registered PEs and workflows.",
+        usage: "",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "SearchLiteral",
+        verb: "literal_search",
+        help: "Searches the registry for workflows and processing elements matching the search term. Accepts --top N.",
+        usage: "\nUsage:\n  literal_search [workflow|pe] [search_term] [--top N]",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "SearchSemantic",
+        verb: "semantic_search",
+        help: "Searches the registry for workflows and processing elements matching semantically the search term.",
+        usage: "\nUsage:\n  semantic_search [workflow|pe] [search_term] [--top N]",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "CodeRecommendation",
+        verb: "code_recommendation",
+        help: "Provides code recommendations from registered workflows and processing elements matching the code snippet.",
+        usage: "\nUsage:\n  code_recommendation [workflow|pe] [code_snippet] [--embedding_type llm|spt] [--top N]",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "CodeCompletion",
+        verb: "code_completion",
+        help: "Completes a partially typed PE from the most structurally similar registered PE.",
+        usage: "",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "GetExecutions",
+        verb: "history",
+        help: "Lists the recorded executions of a workflow.",
+        usage: "",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "Run",
+        verb: "run",
+        help: "Runs a workflow in the registry based on the provided name or ID.",
+        usage: "\nUsage:\n  run identifier [options]\n\nOptions:\n  identifier            Name or ID of the workflow to run\n  --rawinput            Treat input as raw string instead of evaluating it\n  -v, --verbose         Enable verbose output\n  -i, --input <data>    Input data for the workflow (can be used multiple times)\n  --multi <n>           Run the workflow in parallel using multiprocessing\n  --dynamic             Run the workflow in parallel using Redis\n  --fault-policy <p>    fail-fast (default) | retry | dead-letter\n  --retries <n>         Attempts per datum under retry/dead-letter (default 3)\n  --backoff-ms <n>      Base backoff between retry attempts (default 10)\n  --task-timeout-ms <n> Per-task timeout for --dynamic runs",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "UploadResource",
+        verb: "",
+        help: "",
+        usage: "",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "RunWithInlineResources",
+        verb: "",
+        help: "",
+        usage: "",
+        idempotent: false,
+    },
+    EndpointDecl {
+        name: "Metrics",
+        verb: "metrics",
+        help: "Prints the server's request metrics snapshot (per-endpoint counts and latency percentiles).",
+        usage: "",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "Compact",
+        verb: "compact",
+        help: "Folds the registry's write-ahead log into an atomic snapshot (requires a server started with --data-dir).",
+        usage: "",
+        idempotent: true,
+    },
+];
+
+/// Declaration row for a wire endpoint name.
+pub fn decl(name: &str) -> Option<&'static EndpointDecl> {
+    ENDPOINTS.iter().find(|d| d.name == name)
+}
+
+/// Declaration row for a CLI verb.
+pub fn decl_for_verb(verb: &str) -> Option<&'static EndpointDecl> {
+    ENDPOINTS.iter().find(|d| !d.verb.is_empty() && d.verb == verb)
+}
+
+/// Whether re-sending `req` can never duplicate side effects, making a
+/// retry after an ambiguous failure (timeout) safe. Derived from the
+/// endpoint declarations: the idempotency class is stated once, in
+/// [`ENDPOINTS`], not re-listed in the retry loop.
+pub fn is_idempotent(req: &Request) -> bool {
+    decl(req.endpoint()).is_some_and(|d| d.idempotent)
+}
+
+fn need(token: Option<u64>) -> Result<u64, ClientError> {
+    token.ok_or(ClientError::NotLoggedIn)
+}
+
+fn unexpected<T>(other: Response) -> Result<T, ClientError> {
+    Err(ClientError::UnexpectedResponse(format!("{other:?}")))
+}
+
+/// Declares one marker type and its [`Endpoint`] impl.
+macro_rules! endpoint {
+    (
+        $(#[$doc:meta])*
+        $ty:ident = $name:literal {
+            params: $params:ty,
+            output: $output:ty,
+            request($token:pat_param, $p:pat_param) $build:block,
+            response($resp:ident) $parse:block $(,)?
+        }
+    ) => {
+        $(#[$doc])*
+        pub struct $ty;
+
+        impl Endpoint for $ty {
+            type Params = $params;
+            type Output = $output;
+            const NAME: &'static str = $name;
+
+            fn request($token: Option<u64>, $p: Self::Params) -> Result<Request, ClientError> $build
+
+            fn response($resp: Response) -> Result<Self::Output, ClientError> $parse
+        }
+    };
+}
+
+endpoint! {
+    /// `register`: create a user; returns the session token.
+    RegisterUser = "RegisterUser" {
+        params: (String, String),
+        output: u64,
+        request(_, (username, password)) {
+            Ok(Request::RegisterUser { username, password })
+        },
+        response(resp) {
+            match resp {
+                Response::Token(t) => Ok(t),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `login`: authenticate; returns the session token.
+    Login = "Login" {
+        params: (String, String),
+        output: u64,
+        request(_, (username, password)) {
+            Ok(Request::Login { username, password })
+        },
+        response(resp) {
+            match resp {
+                Response::Token(t) => Ok(t),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `register_PE`: one PE; returns its id.
+    RegisterPe = "RegisterPe" {
+        params: PeSubmission,
+        output: u64,
+        request(token, pe) {
+            Ok(Request::RegisterPe { token: need(token)?, pe })
+        },
+        response(resp) {
+            match resp {
+                Response::Registered { pe_ids, .. } => Ok(pe_ids[0].1),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `register_Workflow`: a workflow plus its member PEs.
+    RegisterWorkflow = "RegisterWorkflow" {
+        params: (String, String, Option<String>, Vec<PeSubmission>),
+        output: RegisteredWorkflow,
+        request(token, (name, code, description, pes)) {
+            Ok(Request::RegisterWorkflow { token: need(token)?, name, code, description, pes })
+        },
+        response(resp) {
+            match resp {
+                Response::Registered { pe_ids, workflow_id } => Ok(RegisteredWorkflow {
+                    pes: pe_ids,
+                    workflow: workflow_id
+                        .ok_or_else(|| ClientError::UnexpectedResponse("no workflow id".into()))?,
+                }),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `ingest` (v6): a batch of PEs and workflows in one request, with
+    /// per-item outcomes.
+    RegisterBatch = "RegisterBatch" {
+        params: Vec<BatchItemWire>,
+        output: Vec<BatchOutcomeWire>,
+        request(token, items) {
+            Ok(Request::RegisterBatch { token: need(token)?, items })
+        },
+        response(resp) {
+            match resp {
+                Response::BatchRegistered { outcomes } => Ok(outcomes),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `get_PE`.
+    GetPe = "GetPe" {
+        params: Ident,
+        output: PeInfo,
+        request(token, ident) {
+            Ok(Request::GetPe { token: need(token)?, ident })
+        },
+        response(resp) {
+            match resp {
+                Response::Pe(p) => Ok(p),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `get_Workflow`.
+    GetWorkflow = "GetWorkflow" {
+        params: Ident,
+        output: WorkflowInfo,
+        request(token, ident) {
+            Ok(Request::GetWorkflow { token: need(token)?, ident })
+        },
+        response(resp) {
+            match resp {
+                Response::Workflow(w) => Ok(w),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `get_PEs_By_Workflow`.
+    GetPesByWorkflow = "GetPesByWorkflow" {
+        params: Ident,
+        output: Vec<PeInfo>,
+        request(token, ident) {
+            Ok(Request::GetPesByWorkflow { token: need(token)?, ident })
+        },
+        response(resp) {
+            match resp {
+                Response::Pes(p) => Ok(p),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `get_Registry`.
+    GetRegistry = "GetRegistry" {
+        params: (),
+        output: (Vec<PeInfo>, Vec<WorkflowInfo>),
+        request(token, ()) {
+            Ok(Request::GetRegistry { token: need(token)? })
+        },
+        response(resp) {
+            match resp {
+                Response::Registry { pes, workflows } => Ok((pes, workflows)),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `describe`.
+    Describe = "Describe" {
+        params: (SearchScope, Ident),
+        output: String,
+        request(token, (scope, ident)) {
+            Ok(Request::Describe { token: need(token)?, scope, ident })
+        },
+        response(resp) {
+            match resp {
+                Response::Description(d) => Ok(d),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `update_PE_Description`.
+    UpdatePeDescription = "UpdatePeDescription" {
+        params: (Ident, String),
+        output: (),
+        request(token, (ident, description)) {
+            Ok(Request::UpdatePeDescription { token: need(token)?, ident, description })
+        },
+        response(resp) {
+            match resp {
+                Response::Ok => Ok(()),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `update_Workflow_Description`.
+    UpdateWorkflowDescription = "UpdateWorkflowDescription" {
+        params: (Ident, String),
+        output: (),
+        request(token, (ident, description)) {
+            Ok(Request::UpdateWorkflowDescription { token: need(token)?, ident, description })
+        },
+        response(resp) {
+            match resp {
+                Response::Ok => Ok(()),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `remove_PE`.
+    RemovePe = "RemovePe" {
+        params: Ident,
+        output: (),
+        request(token, ident) {
+            Ok(Request::RemovePe { token: need(token)?, ident })
+        },
+        response(resp) {
+            match resp {
+                Response::Ok => Ok(()),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `remove_Workflow`.
+    RemoveWorkflow = "RemoveWorkflow" {
+        params: Ident,
+        output: (),
+        request(token, ident) {
+            Ok(Request::RemoveWorkflow { token: need(token)?, ident })
+        },
+        response(resp) {
+            match resp {
+                Response::Ok => Ok(()),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `remove_All`.
+    RemoveAll = "RemoveAll" {
+        params: (),
+        output: (),
+        request(token, ()) {
+            Ok(Request::RemoveAll { token: need(token)? })
+        },
+        response(resp) {
+            match resp {
+                Response::Ok => Ok(()),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `search_Registry_Literal` (with optional result cap).
+    SearchLiteral = "SearchLiteral" {
+        params: (SearchScope, String, Option<usize>),
+        output: (Vec<PeInfo>, Vec<WorkflowInfo>),
+        request(token, (scope, term, top_n)) {
+            Ok(Request::SearchLiteral { token: need(token)?, scope, term, top_n })
+        },
+        response(resp) {
+            match resp {
+                Response::Registry { pes, workflows } => Ok((pes, workflows)),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `search_Registry_Semantic` (with optional top-k).
+    SearchSemantic = "SearchSemantic" {
+        params: (SearchScope, String, Option<usize>),
+        output: Vec<SemanticHit>,
+        request(token, (scope, query, top_n)) {
+            Ok(Request::SearchSemantic { token: need(token)?, scope, query, top_n })
+        },
+        response(resp) {
+            match resp {
+                Response::SemanticResults(hits) => Ok(hits),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// `code_Recommendation` (with optional top-k).
+    CodeRecommendation = "CodeRecommendation" {
+        params: (SearchScope, String, EmbeddingType, Option<usize>),
+        output: Vec<RecommendationHit>,
+        request(token, (scope, snippet, embedding_type, top_n)) {
+            Ok(Request::CodeRecommendation {
+                token: need(token)?,
+                scope,
+                snippet,
+                embedding_type,
+                top_n,
+            })
+        },
+        response(resp) {
+            match resp {
+                Response::Recommendations(hits) => Ok(hits),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// Context-aware code completion (§III).
+    CodeCompletion = "CodeCompletion" {
+        params: String,
+        output: CompletionResult,
+        request(token, snippet) {
+            Ok(Request::CodeCompletion { token: need(token)?, snippet })
+        },
+        response(resp) {
+            match resp {
+                Response::Completion { source, lines, progress } => Ok((source, lines, progress)),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// Execution history of a workflow.
+    GetExecutions = "GetExecutions" {
+        params: Ident,
+        output: Vec<ExecutionInfo>,
+        request(token, ident) {
+            Ok(Request::GetExecutions { token: need(token)?, ident })
+        },
+        response(resp) {
+            match resp {
+                Response::Executions(rows) => Ok(rows),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// The server's observability snapshot.
+    Metrics = "Metrics" {
+        params: (),
+        output: MetricsSnapshot,
+        request(_, ()) {
+            Ok(Request::Metrics {})
+        },
+        response(resp) {
+            match resp {
+                Response::Metrics(snap) => Ok(*snap),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+endpoint! {
+    /// Force a registry snapshot compaction.
+    Compact = "Compact" {
+        params: (),
+        output: CompactReport,
+        request(token, ()) {
+            Ok(Request::Compact { token: need(token)? })
+        },
+        response(resp) {
+            match resp {
+                Response::Compacted { wal_records, wal_bytes, snapshot_bytes } => Ok(CompactReport {
+                    wal_records,
+                    wal_bytes,
+                    snapshot_bytes,
+                }),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One sample request per wire endpoint, used to pin the
+    /// declaration table against the protocol enum.
+    fn sample_requests() -> Vec<Request> {
+        let ident = Ident::Id(1);
+        vec![
+            Request::RegisterUser { username: "u".into(), password: "p".into() },
+            Request::Login { username: "u".into(), password: "p".into() },
+            Request::RegisterPe {
+                token: 1,
+                pe: PeSubmission { name: "A".into(), code: "x".into(), description: None },
+            },
+            Request::RegisterWorkflow {
+                token: 1,
+                name: "w".into(),
+                code: "x".into(),
+                description: None,
+                pes: vec![],
+            },
+            Request::RegisterBatch { token: 1, items: vec![] },
+            Request::GetPe { token: 1, ident: ident.clone() },
+            Request::GetWorkflow { token: 1, ident: ident.clone() },
+            Request::GetPesByWorkflow { token: 1, ident: ident.clone() },
+            Request::GetRegistry { token: 1 },
+            Request::Describe { token: 1, scope: SearchScope::Pe, ident: ident.clone() },
+            Request::UpdatePeDescription { token: 1, ident: ident.clone(), description: "d".into() },
+            Request::UpdateWorkflowDescription {
+                token: 1,
+                ident: ident.clone(),
+                description: "d".into(),
+            },
+            Request::RemovePe { token: 1, ident: ident.clone() },
+            Request::RemoveWorkflow { token: 1, ident: ident.clone() },
+            Request::RemoveAll { token: 1 },
+            Request::SearchLiteral {
+                token: 1,
+                scope: SearchScope::Both,
+                term: "t".into(),
+                top_n: None,
+            },
+            Request::SearchSemantic {
+                token: 1,
+                scope: SearchScope::Both,
+                query: "q".into(),
+                top_n: None,
+            },
+            Request::CodeRecommendation {
+                token: 1,
+                scope: SearchScope::Both,
+                snippet: "s".into(),
+                embedding_type: EmbeddingType::Spt,
+                top_n: None,
+            },
+            Request::CodeCompletion { token: 1, snippet: "s".into() },
+            Request::GetExecutions { token: 1, ident },
+            Request::Metrics {},
+            Request::Compact { token: 1 },
+        ]
+    }
+
+    #[test]
+    fn every_request_kind_has_a_declaration_row() {
+        for req in sample_requests() {
+            assert!(
+                decl(req.endpoint()).is_some(),
+                "no EndpointDecl row for {}",
+                req.endpoint()
+            );
+        }
+        // The streaming endpoints are declared too (for the CLI verb
+        // table and the idempotency lookup), impl-less by design.
+        for name in ["Run", "UploadResource", "RunWithInlineResources"] {
+            assert!(decl(name).is_some(), "missing row for {name}");
+        }
+    }
+
+    #[test]
+    fn declared_idempotency_matches_the_retry_contract() {
+        // The pre-v6 hardcoded set, now derived from the table: reads,
+        // Login, Metrics and Compact retry on timeout; every mutation
+        // (including RegisterBatch) does not.
+        let idempotent: Vec<&str> = sample_requests()
+            .iter()
+            .filter(|r| is_idempotent(r))
+            .map(|r| r.endpoint())
+            .collect();
+        assert_eq!(
+            idempotent,
+            vec![
+                "Login",
+                "GetPe",
+                "GetWorkflow",
+                "GetPesByWorkflow",
+                "GetRegistry",
+                "Describe",
+                "SearchLiteral",
+                "SearchSemantic",
+                "CodeRecommendation",
+                "CodeCompletion",
+                "GetExecutions",
+                "Metrics",
+                "Compact",
+            ]
+        );
+        assert!(!is_idempotent(&Request::RegisterBatch { token: 1, items: vec![] }));
+        assert!(!decl("RegisterBatch").unwrap().retry_on_timeout());
+        assert!(decl("GetRegistry").unwrap().retry_on_timeout());
+    }
+
+    #[test]
+    fn endpoint_impls_build_their_own_wire_name() {
+        let t = Some(7u64);
+        let ident = Ident::Name("x".into());
+        let pe = PeSubmission { name: "A".into(), code: "c".into(), description: None };
+        let cases: Vec<(&str, Request)> = vec![
+            (RegisterUser::NAME, RegisterUser::request(t, ("u".into(), "p".into())).unwrap()),
+            (Login::NAME, Login::request(t, ("u".into(), "p".into())).unwrap()),
+            (RegisterPe::NAME, RegisterPe::request(t, pe.clone()).unwrap()),
+            (
+                RegisterWorkflow::NAME,
+                RegisterWorkflow::request(t, ("w".into(), "c".into(), None, vec![])).unwrap(),
+            ),
+            (RegisterBatch::NAME, RegisterBatch::request(t, vec![]).unwrap()),
+            (GetPe::NAME, GetPe::request(t, ident.clone()).unwrap()),
+            (GetWorkflow::NAME, GetWorkflow::request(t, ident.clone()).unwrap()),
+            (GetPesByWorkflow::NAME, GetPesByWorkflow::request(t, ident.clone()).unwrap()),
+            (GetRegistry::NAME, GetRegistry::request(t, ()).unwrap()),
+            (Describe::NAME, Describe::request(t, (SearchScope::Pe, ident.clone())).unwrap()),
+            (
+                UpdatePeDescription::NAME,
+                UpdatePeDescription::request(t, (ident.clone(), "d".into())).unwrap(),
+            ),
+            (
+                UpdateWorkflowDescription::NAME,
+                UpdateWorkflowDescription::request(t, (ident.clone(), "d".into())).unwrap(),
+            ),
+            (RemovePe::NAME, RemovePe::request(t, ident.clone()).unwrap()),
+            (RemoveWorkflow::NAME, RemoveWorkflow::request(t, ident.clone()).unwrap()),
+            (RemoveAll::NAME, RemoveAll::request(t, ()).unwrap()),
+            (
+                SearchLiteral::NAME,
+                SearchLiteral::request(t, (SearchScope::Both, "q".into(), None)).unwrap(),
+            ),
+            (
+                SearchSemantic::NAME,
+                SearchSemantic::request(t, (SearchScope::Both, "q".into(), None)).unwrap(),
+            ),
+            (
+                CodeRecommendation::NAME,
+                CodeRecommendation::request(
+                    t,
+                    (SearchScope::Both, "s".into(), EmbeddingType::Llm, None),
+                )
+                .unwrap(),
+            ),
+            (CodeCompletion::NAME, CodeCompletion::request(t, "s".into()).unwrap()),
+            (GetExecutions::NAME, GetExecutions::request(t, ident).unwrap()),
+            (Metrics::NAME, Metrics::request(t, ()).unwrap()),
+            (Compact::NAME, Compact::request(t, ()).unwrap()),
+        ];
+        for (name, req) in cases {
+            assert_eq!(req.endpoint(), name, "Endpoint::NAME drifted from the wire name");
+            assert!(decl(name).is_some(), "impl {name} has no declaration row");
+        }
+    }
+
+    #[test]
+    fn token_needing_endpoints_fail_without_login() {
+        assert_eq!(
+            GetRegistry::request(None, ()).unwrap_err(),
+            ClientError::NotLoggedIn
+        );
+        assert_eq!(
+            RegisterBatch::request(None, vec![]).unwrap_err(),
+            ClientError::NotLoggedIn
+        );
+        // Auth endpoints and Metrics work tokenless.
+        assert!(Login::request(None, ("u".into(), "p".into())).is_ok());
+        assert!(Metrics::request(None, ()).is_ok());
+    }
+
+    #[test]
+    fn cli_verbs_are_unique() {
+        let mut verbs: Vec<&str> = ENDPOINTS
+            .iter()
+            .filter(|d| !d.verb.is_empty())
+            .map(|d| d.verb)
+            .collect();
+        let n = verbs.len();
+        verbs.sort_unstable();
+        verbs.dedup();
+        assert_eq!(verbs.len(), n, "duplicate CLI verb in ENDPOINTS");
+        assert_eq!(decl_for_verb("ingest").unwrap().name, "RegisterBatch");
+        assert!(decl_for_verb("").is_none());
+    }
+}

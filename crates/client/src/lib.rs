@@ -28,12 +28,17 @@
 //! | `run_dynamic` | [`LaminarClient::run_dynamic`] | new |
 //!
 //! The interactive CLI of Fig. 5 lives in [`cli`]; it is transcript-testable
-//! (each input line returns its output text).
+//! (each input line returns its output text). Every method and every CLI
+//! verb derives from the typed endpoint declarations in [`endpoint`] —
+//! request shape, response shape, idempotency class and verb name are
+//! stated once per endpoint and consumed by both layers.
 
 pub mod cli;
 pub mod client;
+pub mod endpoint;
 pub mod extract;
 
 pub use cli::Cli;
 pub use client::{ClientError, LaminarClient, RegisteredWorkflow, RetryPolicy, RunOutput};
+pub use endpoint::{Endpoint, EndpointDecl, ENDPOINTS};
 pub use extract::extract_pes_from_source;

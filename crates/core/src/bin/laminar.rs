@@ -12,8 +12,9 @@
 use laminar_client::{Cli, LaminarClient};
 use laminar_core::{Laminar, LaminarConfig};
 use std::io::{BufRead, Write};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     // `--connect host:port` talks to a remote laminar-server over TCP;
     // otherwise an in-process stack is deployed. `--data-dir PATH` makes
     // the in-process registry durable: quit, relaunch with the same path,
@@ -86,4 +87,7 @@ fn main() {
             }
         }
     }
+    // Scripted sessions (`laminar < commands.txt`) exit nonzero when any
+    // command failed, instead of swallowing errors into stdout text.
+    ExitCode::from(cli.exit_code())
 }

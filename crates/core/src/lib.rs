@@ -152,25 +152,40 @@ impl Laminar {
 
     /// Seed the registry with the stock workflows (isprime, anomaly,
     /// wordcount, doubler) under a `stock` user, so a fresh deployment can
-    /// `run isprime_wf` immediately. Idempotent — a registry recovered
-    /// from `--data-dir` already holds the stock rows, so the `stock` user
-    /// is logged into rather than re-registered and present workflows are
-    /// skipped.
+    /// `run isprime_wf` immediately. The missing workflows go up as ONE
+    /// `RegisterBatch` (v6): analysis is pipelined across them and the
+    /// registry commits under a single WAL fsync. Idempotent — a registry
+    /// recovered from `--data-dir` already holds the stock rows, so the
+    /// `stock` user is logged into rather than re-registered and present
+    /// workflows are skipped.
     pub fn seed_stock_registry(&self) -> Result<(), laminar_client::ClientError> {
+        use laminar_server::protocol::{BatchItemWire, BatchOutcomeWire};
         let mut client = self.client();
         if client.register("stock", "stock").is_err() {
             client.login("stock", "stock")?;
         }
-        for (name, source) in [
+        let items: Vec<BatchItemWire> = [
             ("isprime_wf", ISPRIME_WORKFLOW_SOURCE),
             ("anomaly_wf", ANOMALY_WORKFLOW_SOURCE),
             ("wordcount_wf", WORDCOUNT_WORKFLOW_SOURCE),
             ("doubler_wf", DOUBLER_WORKFLOW_SOURCE),
-        ] {
-            if client.get_workflow(name).is_ok() {
-                continue;
+        ]
+        .into_iter()
+        .filter(|(name, _)| client.get_workflow(*name).is_err())
+        .map(|(name, source)| BatchItemWire::Workflow {
+            name: name.to_string(),
+            code: source.to_string(),
+            description: None,
+            pes: laminar_client::extract_pes_from_source(source),
+        })
+        .collect();
+        if items.is_empty() {
+            return Ok(());
+        }
+        for outcome in client.register_batch(items)? {
+            if let BatchOutcomeWire::Failed { error, .. } = outcome {
+                return Err(laminar_client::ClientError::Server(error));
             }
-            client.register_workflow(name, source)?;
         }
         Ok(())
     }
@@ -362,6 +377,23 @@ mod tests {
         assert!(!pes.is_empty());
         assert!(client.run("isprime_wf", 3).unwrap().ok);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeding_sends_one_batch() {
+        let laminar = Laminar::deploy(LaminarConfig::default());
+        laminar.seed_stock_registry().unwrap();
+        let mut client = laminar.client();
+        client.login("stock", "stock").unwrap();
+        let snap = client.metrics().unwrap();
+        assert_eq!(snap.ingest.batches, 1, "{:?}", snap.ingest);
+        assert_eq!(snap.ingest.items, 4);
+        let (pes, wfs) = client.get_registry().unwrap();
+        assert_eq!(wfs.len(), 4, "{wfs:?}");
+        assert_eq!(pes.len(), 14, "{pes:?}");
+        // Re-seeding is a no-op: every workflow present, no second batch.
+        laminar.seed_stock_registry().unwrap();
+        assert_eq!(client.metrics().unwrap().ingest.batches, 1);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use rows::{
 };
 pub use schema::{schema_ddl, table_descriptions};
 pub use store::{
-    CompactStats, PersistOptions, PersistSnapshot, Registry, RegistrySnapshot, SearchTarget,
-    SNAPSHOT_FILE, WAL_FILE,
+    CompactStats, PeOutcome, PersistOptions, PersistSnapshot, RegistrationUnit, Registry,
+    RegistrySnapshot, SearchTarget, UnitOutcome, SNAPSHOT_FILE, WAL_FILE,
 };
 pub use wal::SyncPolicy;

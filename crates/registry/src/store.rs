@@ -75,6 +75,38 @@ pub struct PersistSnapshot {
     pub recovery_ms: u64,
 }
 
+/// One unit of a batch registration: member PEs plus an optional
+/// workflow row referencing them. A bare PE registration is a unit with
+/// one PE and no workflow. The workflow's `pe_ids` field is ignored —
+/// it is filled with the unit's resolved member ids, exactly as the
+/// sequential register-workflow path does.
+#[derive(Debug, Clone)]
+pub struct RegistrationUnit {
+    pub pes: Vec<NewPe>,
+    pub workflow: Option<NewWorkflow>,
+}
+
+/// One member PE's fate inside a batch unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeOutcome {
+    pub name: String,
+    pub id: u64,
+    /// False when the name already existed for this user and the
+    /// existing id was reused (idempotent re-registration).
+    pub created: bool,
+}
+
+/// Per-unit outcome of [`Registry::add_units`]. Mirrors the sequential
+/// path's partial-progress semantics: member PEs registered before a
+/// failure stay committed, so `pes`/`workflow` report what actually
+/// landed even when `error` is set.
+#[derive(Debug, Clone, Default)]
+pub struct UnitOutcome {
+    pub pes: Vec<PeOutcome>,
+    pub workflow: Option<(String, u64)>,
+    pub error: Option<RegistryError>,
+}
+
 /// What a compaction folded into the snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactStats {
@@ -523,6 +555,166 @@ impl Registry {
         };
         Self::commit(&mut inner, WalRecord { seq, op: WalOp::AddPe(row) })?;
         Ok(id)
+    }
+
+    /// Batch registration with group commit: validate every unit under
+    /// **one** write-lock hold, append all resulting records as **one**
+    /// multi-op WAL frame (one fsync under `EveryAppend`), then apply.
+    ///
+    /// Per-unit semantics mirror the sequential register path exactly:
+    /// a duplicate PE name (same user, case-insensitive) reuses the
+    /// existing id instead of failing; a member-PE error stops the unit
+    /// (earlier members stay committed, the workflow is skipped); a
+    /// duplicate workflow name fails the unit while its member PEs stay.
+    /// Units later in the batch see the effects of earlier units, as if
+    /// registered sequentially. The outer `Err` is reserved for WAL
+    /// failure, in which case nothing was applied.
+    pub fn add_units(
+        &self,
+        units: Vec<RegistrationUnit>,
+    ) -> Result<Vec<UnitOutcome>, RegistryError> {
+        let mut guard = self.inner.write();
+        let inner = &mut *guard;
+        let mut frame: Vec<WalRecord> = Vec::new();
+        let mut outcomes = Vec::with_capacity(units.len());
+        // Ids/seqs are pre-assigned against local counters; rows become
+        // visible only when the whole frame is durable and applied.
+        // Pending name maps give later units intra-batch visibility.
+        let mut next_id = inner.next_id;
+        let mut seq = inner.seq;
+        let mut pending_pe_names: HashMap<String, Vec<(u64, u64)>> = HashMap::new();
+        let mut pending_wf_names: HashMap<String, Vec<u64>> = HashMap::new();
+        for unit in units {
+            let mut out = UnitOutcome::default();
+            let mut member_ids: Vec<u64> = Vec::new();
+            for new in unit.pes {
+                if let Err(e) = Self::check_user(inner, new.user_id) {
+                    out.error = Some(e);
+                    break;
+                }
+                let key = new.name.to_lowercase();
+                let dup_committed = inner.pe_name_index.get(&key).is_some_and(|ids| {
+                    ids.iter()
+                        .any(|id| inner.pes.get(id).is_some_and(|p| p.user_id == new.user_id))
+                });
+                let dup_pending = pending_pe_names
+                    .get(&key)
+                    .is_some_and(|v| v.iter().any(|&(_, u)| u == new.user_id));
+                if dup_committed || dup_pending {
+                    // Reuse the resolved id, like the sequential path's
+                    // duplicate handling: first id under the name —
+                    // committed rows sort before batch-pending ones,
+                    // matching the index order after a sequential run.
+                    let existing = inner
+                        .pe_name_index
+                        .get(&key)
+                        .and_then(|ids| ids.first().copied())
+                        .or_else(|| {
+                            pending_pe_names
+                                .get(&key)
+                                .and_then(|v| v.first().map(|&(id, _)| id))
+                        })
+                        .expect("duplicate implies a resolvable id");
+                    member_ids.push(existing);
+                    out.pes.push(PeOutcome {
+                        name: new.name,
+                        id: existing,
+                        created: false,
+                    });
+                    continue;
+                }
+                next_id += 1;
+                seq += 1;
+                let id = next_id;
+                pending_pe_names
+                    .entry(key)
+                    .or_default()
+                    .push((id, new.user_id));
+                member_ids.push(id);
+                out.pes.push(PeOutcome {
+                    name: new.name.clone(),
+                    id,
+                    created: true,
+                });
+                frame.push(WalRecord {
+                    seq,
+                    op: WalOp::AddPe(PeRow {
+                        id,
+                        user_id: new.user_id,
+                        name: new.name,
+                        description: new.description,
+                        code: new.code,
+                        description_embedding: new.description_embedding,
+                        spt_embedding: new.spt_embedding,
+                    }),
+                });
+            }
+            if out.error.is_none() {
+                if let Some(wf) = unit.workflow {
+                    let valid_user = Self::check_user(inner, wf.user_id);
+                    let key = wf.name.to_lowercase();
+                    let dup_committed = inner.wf_name_index.get(&key).is_some_and(|ids| {
+                        ids.iter().any(|id| {
+                            inner.workflows.get(id).is_some_and(|w| w.user_id == wf.user_id)
+                        })
+                    });
+                    let dup_pending = pending_wf_names
+                        .get(&key)
+                        .is_some_and(|v| v.contains(&wf.user_id));
+                    if let Err(e) = valid_user {
+                        out.error = Some(e);
+                    } else if dup_committed || dup_pending {
+                        out.error = Some(RegistryError::DuplicateName {
+                            table: "Workflow",
+                            name: wf.name,
+                        });
+                    } else {
+                        next_id += 1;
+                        seq += 1;
+                        let id = next_id;
+                        pending_wf_names.entry(key).or_default().push(wf.user_id);
+                        out.workflow = Some((wf.name.clone(), id));
+                        frame.push(WalRecord {
+                            seq,
+                            op: WalOp::AddWorkflow(WorkflowRow {
+                                id,
+                                user_id: wf.user_id,
+                                name: wf.name,
+                                description: wf.description,
+                                code: wf.code,
+                                description_embedding: wf.description_embedding,
+                                spt_embedding: wf.spt_embedding,
+                                pe_ids: member_ids.clone(),
+                            }),
+                        });
+                    }
+                }
+            }
+            outcomes.push(out);
+        }
+        // Group commit: one frame, durable before anything is applied.
+        if let Some(p) = inner.persist.as_mut() {
+            let (bytes, synced) = p
+                .wal
+                .append_batch(&frame)
+                .map_err(|e| persist_err("wal append batch", e))?;
+            p.stats.wal_appends += frame.len() as u64;
+            p.stats.wal_bytes += bytes;
+            if synced {
+                p.stats.fsyncs += 1;
+            }
+        }
+        for rec in &frame {
+            inner.apply(rec);
+        }
+        let due = inner
+            .persist
+            .as_ref()
+            .is_some_and(|p| p.opts.snapshot_every > 0 && p.wal.records() >= p.opts.snapshot_every);
+        if due {
+            let _ = Self::compact_locked(inner); // best-effort
+        }
+        Ok(outcomes)
     }
 
     pub fn get_pe(&self, id: u64) -> Result<PeRow, RegistryError> {
@@ -1426,6 +1618,175 @@ mod tests {
         assert_eq!(r2.user_count(), 1);
         assert!(!dir.join("snapshot.json.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn unit(user: u64, wf_name: &str, pe_names: &[&str]) -> RegistrationUnit {
+        RegistrationUnit {
+            pes: pe_names.iter().map(|n| pe(user, n)).collect(),
+            workflow: Some(NewWorkflow {
+                user_id: user,
+                name: wf_name.into(),
+                description: format!("{wf_name} description"),
+                code: String::new(),
+                description_embedding: String::new(),
+                spt_embedding: String::new(),
+                pe_ids: vec![],
+            }),
+        }
+    }
+
+    #[test]
+    fn add_units_commits_pes_and_workflows() {
+        let (r, u) = with_user();
+        let outcomes = r
+            .add_units(vec![
+                unit(u, "wf1", &["A", "B"]),
+                RegistrationUnit {
+                    pes: vec![pe(u, "Solo")],
+                    workflow: None,
+                },
+            ])
+            .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].error.is_none());
+        assert_eq!(outcomes[0].pes.len(), 2);
+        assert!(outcomes[0].pes.iter().all(|p| p.created));
+        let (wf_name, wf_id) = outcomes[0].workflow.clone().unwrap();
+        assert_eq!(wf_name, "wf1");
+        // The workflow references the unit's members in order.
+        let wf = r.get_workflow(wf_id).unwrap();
+        assert_eq!(
+            wf.pe_ids,
+            outcomes[0].pes.iter().map(|p| p.id).collect::<Vec<_>>()
+        );
+        assert!(outcomes[1].workflow.is_none());
+        assert_eq!(r.counts(), (3, 1));
+        // Ids and seq advanced exactly as a sequential run would.
+        assert_eq!(r.snapshot().seq, 1 + 4, "user + 3 PEs + 1 workflow");
+    }
+
+    #[test]
+    fn add_units_reuses_duplicate_pe_ids() {
+        let (r, u) = with_user();
+        let a = r.add_pe(pe(u, "A")).unwrap();
+        let outcomes = r
+            .add_units(vec![unit(u, "wf1", &["A", "B"]), unit(u, "wf2", &["B", "C"])])
+            .unwrap();
+        assert!(outcomes.iter().all(|o| o.error.is_none()));
+        // "A" reused the committed id; the second unit's "B" reused the
+        // first unit's pending "B".
+        assert_eq!(outcomes[0].pes[0], PeOutcome { name: "A".into(), id: a, created: false });
+        assert!(outcomes[0].pes[1].created);
+        let b = outcomes[0].pes[1].id;
+        assert_eq!(outcomes[1].pes[0], PeOutcome { name: "B".into(), id: b, created: false });
+        assert!(outcomes[1].pes[1].created);
+        assert_eq!(r.counts(), (3, 2), "A, B, C — no duplicate rows");
+    }
+
+    #[test]
+    fn add_units_partial_failure_keeps_the_rest() {
+        let (r, u) = with_user();
+        r.add_workflow(NewWorkflow {
+            user_id: u,
+            name: "taken".into(),
+            description: String::new(),
+            code: String::new(),
+            description_embedding: String::new(),
+            spt_embedding: String::new(),
+            pe_ids: vec![],
+        })
+        .unwrap();
+        let outcomes = r
+            .add_units(vec![
+                unit(u, "ok1", &["A"]),
+                unit(u, "taken", &["B"]), // workflow dup: unit fails…
+                RegistrationUnit {
+                    pes: vec![pe(999, "Ghost")], // unknown user: PE fails
+                    workflow: None,
+                },
+                unit(u, "ok2", &["C"]),
+            ])
+            .unwrap();
+        assert!(outcomes[0].error.is_none());
+        assert!(matches!(
+            outcomes[1].error,
+            Some(RegistryError::DuplicateName { table: "Workflow", .. })
+        ));
+        // …but its member PEs stay committed, like the sequential path.
+        assert_eq!(outcomes[1].pes.len(), 1);
+        assert!(r.get_pe_by_name("B").is_ok());
+        assert!(matches!(
+            outcomes[2].error,
+            Some(RegistryError::MissingReference { .. })
+        ));
+        assert!(outcomes[2].pes.is_empty());
+        assert!(outcomes[3].error.is_none(), "later units commit normally");
+        assert_eq!(r.counts(), (3, 3), "A, B, C + taken, ok1, ok2");
+    }
+
+    #[test]
+    fn add_units_groups_wal_records_into_one_fsync() {
+        let dir = tmp_dir("units-group");
+        let r = Registry::open(
+            &dir,
+            PersistOptions {
+                snapshot_every: 0,
+                sync: SyncPolicy::EveryAppend,
+            },
+        )
+        .unwrap();
+        let u = r.register_user("rosa", "pw").unwrap();
+        let before = r.persist_stats().unwrap();
+        r.add_units(vec![unit(u, "wf1", &["A", "B", "C"])]).unwrap();
+        let after = r.persist_stats().unwrap();
+        assert_eq!(after.wal_appends - before.wal_appends, 4, "3 PEs + 1 workflow");
+        assert_eq!(after.fsyncs - before.fsyncs, 1, "one fsync for the whole batch");
+        drop(r);
+        // The batch survives reopen through the group-commit frame.
+        let r2 = Registry::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r2.counts(), (3, 1));
+        assert_eq!(r2.get_workflow_by_name("wf1").unwrap().pe_ids.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn add_units_matches_sequential_registration_state() {
+        // The core equivalence: one batch == the same items registered
+        // one by one, bit-identical at the snapshot level.
+        let seq_reg = Registry::new();
+        let u1 = seq_reg.register_user("rosa", "pw").unwrap();
+        let batch_reg = Registry::new();
+        let u2 = batch_reg.register_user("rosa", "pw").unwrap();
+        assert_eq!(u1, u2);
+
+        let items = vec![unit(u1, "wf1", &["A", "B"]), unit(u1, "wf2", &["B", "C"])];
+        // Sequential: register each unit through the single-row paths.
+        for it in &items {
+            let mut ids = Vec::new();
+            for p in &it.pes {
+                match seq_reg.add_pe(p.clone()) {
+                    Ok(id) => ids.push(id),
+                    Err(RegistryError::DuplicateName { .. }) => {
+                        ids.push(seq_reg.get_pe_by_name(&p.name).unwrap().id)
+                    }
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            let wf = it.workflow.clone().unwrap();
+            seq_reg
+                .add_workflow(NewWorkflow {
+                    pe_ids: ids,
+                    ..wf
+                })
+                .unwrap();
+        }
+        let outcomes = batch_reg.add_units(items).unwrap();
+        assert!(outcomes.iter().all(|o| o.error.is_none()));
+        assert_eq!(batch_reg.snapshot(), seq_reg.snapshot());
+        assert_eq!(
+            batch_reg.debug_name_indexes(),
+            seq_reg.debug_name_indexes()
+        );
     }
 
     #[test]

@@ -12,9 +12,19 @@
 //! [len: u32 LE] [crc32: u32 LE over payload] [payload: `len` bytes of JSON]
 //! ```
 //!
-//! The payload is the serde-JSON encoding of a [`WalRecord`]. Frames are
-//! written with a single `write_all`, so on most filesystems a crash
-//! leaves at worst one torn frame at the tail.
+//! The payload is the serde-JSON encoding of a [`WalRecord`] (a JSON
+//! object) or, for a group-commit frame, of a `Vec<WalRecord>` (a JSON
+//! array) — the two are distinguished by the payload's first byte, so the
+//! formats coexist in one log. Frames are written with a single
+//! `write_all`, so on most filesystems a crash leaves at worst one torn
+//! frame at the tail.
+//!
+//! # Group commit
+//!
+//! [`Wal::append_batch`] packs N records into **one** frame: one
+//! `write_all`, one fsync under [`SyncPolicy::EveryAppend`]. Because the
+//! CRC covers the whole payload, the frame is the atomicity unit — a
+//! batch replays all-or-nothing under the torn-tail rule below.
 //!
 //! # Torn-tail contract
 //!
@@ -218,6 +228,34 @@ impl Wal {
         Ok((frame.len() as u64, synced))
     }
 
+    /// Group-commit: append `recs` as **one** multi-op frame — a single
+    /// `write_all` and (under [`SyncPolicy::EveryAppend`]) a single
+    /// fsync, regardless of batch size. Returns `(frame bytes written,
+    /// fsynced)`. The payload is a JSON array, which [`replay`] decodes
+    /// back into the individual records; the CRC makes the whole batch
+    /// atomic (all-or-nothing on a torn tail). Appending an empty batch
+    /// is a no-op.
+    pub fn append_batch(&mut self, recs: &[WalRecord]) -> std::io::Result<(u64, bool)> {
+        if recs.is_empty() {
+            return Ok((0, false));
+        }
+        let payload = serde_json::to_vec(recs)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        debug_assert!(payload.len() as u64 <= MAX_RECORD_BYTES as u64);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        let synced = matches!(self.sync, SyncPolicy::EveryAppend);
+        if synced {
+            self.file.sync_data()?;
+        }
+        self.records += recs.len() as u64;
+        self.bytes += frame.len() as u64;
+        Ok((frame.len() as u64, synced))
+    }
+
     /// Records currently in the log.
     pub fn records(&self) -> u64 {
         self.records
@@ -276,11 +314,18 @@ pub fn replay(path: &Path) -> std::io::Result<Replay> {
             out.torn = true;
             break;
         }
-        let Ok(rec) = serde_json::from_slice::<WalRecord>(payload) else {
-            out.torn = true;
-            break;
-        };
-        out.records.push(rec);
+        // A single-op frame is a JSON object; a group-commit frame is a
+        // JSON array of records (see the module doc).
+        match serde_json::from_slice::<WalRecord>(payload) {
+            Ok(rec) => out.records.push(rec),
+            Err(_) => {
+                let Ok(batch) = serde_json::from_slice::<Vec<WalRecord>>(payload) else {
+                    out.torn = true;
+                    break;
+                };
+                out.records.extend(batch);
+            }
+        }
         pos += 8 + len;
         out.valid_bytes = pos as u64;
     }
@@ -433,6 +478,102 @@ mod tests {
         let rep = replay(&path).unwrap();
         assert_eq!(rep.records.len(), 1);
         assert_eq!(rep.records[0].seq, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_frame_roundtrips_with_one_fsync() {
+        let dir = tmp_dir("batch");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open(&path, SyncPolicy::EveryAppend, 0, 0).unwrap();
+        let recs: Vec<WalRecord> = (1..=4).map(rec).collect();
+        let (bytes, synced) = wal.append_batch(&recs).unwrap();
+        assert!(bytes > 0);
+        assert!(synced, "one fsync for the whole batch");
+        assert_eq!(wal.records(), 4);
+        drop(wal);
+        let rep = replay(&path).unwrap();
+        assert!(!rep.torn);
+        assert_eq!(rep.records, recs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let dir = tmp_dir("batch-empty");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open(&path, SyncPolicy::EveryAppend, 0, 0).unwrap();
+        let (bytes, synced) = wal.append_batch(&[]).unwrap();
+        assert_eq!((bytes, synced), (0, false));
+        assert_eq!(wal.records(), 0);
+        assert_eq!(wal.bytes(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mixed_single_and_batch_frames_replay_in_order() {
+        let dir = tmp_dir("batch-mixed");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open(&path, SyncPolicy::OsBuffered, 0, 0).unwrap();
+        wal.append(&rec(1)).unwrap();
+        wal.append_batch(&[rec(2), rec(3)]).unwrap();
+        wal.append(&rec(4)).unwrap();
+        wal.append_batch(&[rec(5)]).unwrap();
+        assert_eq!(wal.records(), 5);
+        drop(wal);
+        let rep = replay(&path).unwrap();
+        assert!(!rep.torn);
+        assert_eq!(
+            rep.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_batch_frame_is_all_or_nothing_at_every_cut() {
+        let dir = tmp_dir("batch-torn");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open(&path, SyncPolicy::OsBuffered, 0, 0).unwrap();
+        wal.append(&rec(1)).unwrap();
+        let first_len = wal.bytes();
+        wal.append_batch(&[rec(2), rec(3), rec(4)]).unwrap();
+        let full_len = wal.bytes();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        // Cut the batch frame at every byte boundary: the single record
+        // always survives, and no batch member ever replays partially —
+        // either all three or none.
+        for cut in first_len..full_len {
+            std::fs::write(&path, &full[..cut as usize]).unwrap();
+            let rep = replay(&path).unwrap();
+            assert_eq!(rep.records.len(), 1, "cut at {cut}: batch must vanish whole");
+            assert_eq!(rep.valid_bytes, first_len);
+        }
+        // The intact file replays all four.
+        std::fs::write(&path, &full).unwrap();
+        let rep = replay(&path).unwrap();
+        assert_eq!(rep.records.len(), 4);
+        assert!(!rep.torn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_batch_payload_drops_whole_batch() {
+        let dir = tmp_dir("batch-corrupt");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open(&path, SyncPolicy::OsBuffered, 0, 0).unwrap();
+        wal.append(&rec(1)).unwrap();
+        let first_len = wal.bytes() as usize;
+        wal.append_batch(&[rec(2), rec(3)]).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[first_len + 12] ^= 0xff; // flip a byte inside the batch payload
+        std::fs::write(&path, &bytes).unwrap();
+        let rep = replay(&path).unwrap();
+        assert!(rep.torn);
+        assert_eq!(rep.records.len(), 1);
+        assert_eq!(rep.valid_bytes, first_len as u64);
         std::fs::remove_dir_all(&dir).ok();
     }
 

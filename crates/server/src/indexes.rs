@@ -266,6 +266,25 @@ impl SearchIndexes {
         Arc::make_mut(&mut *guard).upsert(id, kind, desc, spt_vec, reacc);
     }
 
+    /// Insert or replace many pre-embedded entries under a *single*
+    /// copy-on-write clone — the batched-ingestion path publishes one RCU
+    /// snapshot swap per batch instead of one per row. Row-for-row
+    /// equivalent to calling [`upsert_embedded`](Self::upsert_embedded) in
+    /// order.
+    pub fn bulk_upsert_embedded(
+        &self,
+        rows: Vec<(u64, EntryKind, DenseVec, FeatureVec, DenseVec)>,
+    ) {
+        if rows.is_empty() {
+            return;
+        }
+        let mut guard = self.state.write();
+        let st = Arc::make_mut(&mut *guard);
+        for (id, kind, desc, spt_vec, reacc) in rows {
+            st.upsert(id, kind, desc, spt_vec, reacc);
+        }
+    }
+
     pub fn remove(&self, id: u64, kind: EntryKind) {
         let mut guard = self.state.write();
         Arc::make_mut(&mut *guard).remove(id, kind);
@@ -696,6 +715,60 @@ mod tests {
         ix.remove(0, EntryKind::Pe);
         let (hits, _) = ix.rank_spt_with_stats(&q, None, 5);
         assert!(hits.iter().all(|h| h.id != 0));
+    }
+
+    #[test]
+    fn bulk_upsert_matches_sequential_upserts() {
+        let seq = SearchIndexes::new();
+        let bulk = SearchIndexes::new();
+        let entries: Vec<(u64, EntryKind, String, String)> = (0..6)
+            .map(|i| {
+                let kind = if i % 3 == 0 {
+                    EntryKind::Workflow
+                } else {
+                    EntryKind::Pe
+                };
+                (
+                    i as u64,
+                    kind,
+                    format!("entry number {i} does thing {i}"),
+                    format!("def f{i}(a):\n    return a * {i} + {i}\n"),
+                )
+            })
+            .collect();
+        let embed_row = |(id, kind, desc, code): &(u64, EntryKind, String, String)| {
+            (
+                *id,
+                *kind,
+                UniXcoderSim::new().embed(desc),
+                Spt::parse_source(code).feature_vec(),
+                ReaccSim::new().embed_code(code),
+            )
+        };
+        for e in &entries {
+            let (id, kind, desc, spt_vec, reacc) = embed_row(e);
+            seq.upsert_embedded(id, kind, desc, spt_vec, reacc);
+        }
+        bulk.bulk_upsert_embedded(entries.iter().map(embed_row).collect());
+        assert_eq!(seq.len(), bulk.len());
+        assert_eq!(seq.counts(), bulk.counts());
+        for (_, _, desc, code) in &entries {
+            let dq = UniXcoderSim::new().embed(desc);
+            assert_eq!(
+                seq.rank_semantic(&dq, None, ALL),
+                bulk.rank_semantic(&dq, None, ALL)
+            );
+            let sq = Spt::parse_source(code).feature_vec();
+            assert_eq!(seq.rank_spt(&sq, None, ALL), bulk.rank_spt(&sq, None, ALL));
+            let rq = ReaccSim::new().embed_code(code);
+            assert_eq!(
+                seq.rank_reacc(&rq, None, ALL),
+                bulk.rank_reacc(&rq, None, ALL)
+            );
+        }
+        // An empty bulk call is a no-op, not a snapshot churn.
+        bulk.bulk_upsert_embedded(Vec::new());
+        assert_eq!(bulk.len(), entries.len());
     }
 
     #[test]

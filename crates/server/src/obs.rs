@@ -121,13 +121,20 @@ impl Default for Histogram {
 impl Histogram {
     pub fn record(&self, latency: Duration) {
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.record_value(us);
+    }
+
+    /// Record a raw value against the bucket bounds. The bounds are
+    /// unit-agnostic log-spaced numbers; latency recording uses them as
+    /// µs, the ingest row group reuses them for batch sizes (rows).
+    pub fn record_value(&self, v: u64) {
         let idx = BUCKET_BOUNDS_US
             .iter()
-            .position(|&bound| us <= bound)
+            .position(|&bound| v <= bound)
             .unwrap_or(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.sum_us.fetch_add(v, Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
@@ -222,6 +229,50 @@ impl SearchMetrics {
     }
 }
 
+/// Batched-ingestion metrics, fed by the `RegisterBatch` path: how large
+/// the batches are, where each batch's time goes (parallel analysis vs
+/// group commit vs index publish), and how many fsyncs the group-commit
+/// WAL saved over the per-row path.
+#[derive(Debug, Default)]
+pub struct IngestMetrics {
+    /// `RegisterBatch` requests served.
+    pub batches: Counter,
+    /// Items (PE or workflow units) submitted across all batches.
+    pub items: Counter,
+    /// Items whose registration failed (the rest of their batch commits).
+    pub items_failed: Counter,
+    /// Registry rows created (PEs + workflows; duplicates reused count 0).
+    pub rows: Counter,
+    /// fsyncs avoided vs sequential registration: rows that shared a
+    /// group-commit frame instead of each paying their own sync.
+    pub fsyncs_saved: Counter,
+    /// Items-per-batch distribution (bucket bounds reused as counts).
+    pub batch_size: Histogram,
+    /// Parallel analysis stage: pyparse → SPT → features → describe →
+    /// embed, across the batch.
+    pub analyze_latency: Histogram,
+    /// Group-commit stage: validation + one WAL frame + apply.
+    pub commit_latency: Histogram,
+    /// Bulk index publish stage: one RCU snapshot swap.
+    pub index_latency: Histogram,
+}
+
+impl IngestMetrics {
+    fn snapshot(&self) -> IngestSnapshot {
+        IngestSnapshot {
+            batches: self.batches.get(),
+            items: self.items.get(),
+            items_failed: self.items_failed.get(),
+            rows: self.rows.get(),
+            fsyncs_saved: self.fsyncs_saved.get(),
+            batch_size: self.batch_size.snapshot(),
+            analyze: self.analyze_latency.snapshot(),
+            commit: self.commit_latency.snapshot(),
+            index: self.index_latency.snapshot(),
+        }
+    }
+}
+
 /// Enactment (workflow-run) fault metrics, fed by the run path from the
 /// per-run [`d4py::FaultStats`]: how often PEs fail, how often the
 /// supervisor retries, what ends up dead-lettered, and how the dynamic
@@ -280,6 +331,7 @@ pub struct Metrics {
     pub disconnects: Counter,
     pub search: SearchMetrics,
     pub enactment: EnactmentMetrics,
+    pub ingest: IngestMetrics,
 }
 
 impl Default for Metrics {
@@ -294,6 +346,7 @@ impl Default for Metrics {
             disconnects: Counter::default(),
             search: SearchMetrics::default(),
             enactment: EnactmentMetrics::default(),
+            ingest: IngestMetrics::default(),
         }
     }
 }
@@ -341,6 +394,7 @@ impl Metrics {
             endpoints,
             search: self.search.snapshot(),
             enactment: self.enactment.snapshot(),
+            ingest: self.ingest.snapshot(),
         }
     }
 }
@@ -381,6 +435,21 @@ pub struct PersistenceSnapshot {
     pub recovered_records: u64,
     /// Wall-clock recovery duration at open.
     pub recovery_ms: u64,
+}
+
+/// Snapshot of the batched-ingestion metrics (serialisable). The
+/// `batch_size` histogram's buckets count rows, not µs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IngestSnapshot {
+    pub batches: u64,
+    pub items: u64,
+    pub items_failed: u64,
+    pub rows: u64,
+    pub fsyncs_saved: u64,
+    pub batch_size: HistogramSnapshot,
+    pub analyze: HistogramSnapshot,
+    pub commit: HistogramSnapshot,
+    pub index: HistogramSnapshot,
 }
 
 /// Snapshot of the enactment fault metrics (serialisable).
@@ -441,6 +510,10 @@ pub struct MetricsSnapshot {
     /// (no `persistence` field) still deserialises.
     #[serde(default)]
     pub persistence: PersistenceSnapshot,
+    /// Batched-ingestion metrics; serde-defaulted so a pre-v6 snapshot
+    /// (no `ingest` field) still deserialises.
+    #[serde(default)]
+    pub ingest: IngestSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -524,6 +597,30 @@ impl MetricsSnapshot {
             "{:<28} {:>8} {:>8} {:>12} {:>9} {:>9}",
             "", f.pe_faults, f.retries, f.dead_letters, f.task_timeouts, f.worker_replacements
         );
+        let i = &self.ingest;
+        if i.batches > 0 {
+            let _ = writeln!(
+                out,
+                "ingest: batches {}  items {}  failed {}  rows {}  fsyncs saved {}  batch p50 {} rows",
+                i.batches, i.items, i.items_failed, i.rows, i.fsyncs_saved, i.batch_size.p50_us
+            );
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>9} {:>9} {:>9}",
+                "ingest stage", "batches", "p50_us", "p95_us", "p99_us"
+            );
+            for (name, h) in [
+                ("analyze", &i.analyze),
+                ("commit", &i.commit),
+                ("index", &i.index),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>8} {:>9} {:>9} {:>9}",
+                    name, h.count, h.p50_us, h.p95_us, h.p99_us
+                );
+            }
+        }
         let p = &self.persistence;
         if p.enabled {
             let _ = writeln!(
@@ -704,6 +801,42 @@ mod tests {
         json.as_object_mut().unwrap().remove("persistence");
         let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
         assert_eq!(back.persistence, PersistenceSnapshot::default());
+    }
+
+    #[test]
+    fn ingest_metrics_snapshot_and_render() {
+        let m = Metrics::new();
+        // Absent until the first batch: row group omitted from the table.
+        assert!(!m.snapshot().render().contains("ingest:"));
+        m.ingest.batches.inc();
+        m.ingest.items.add(32);
+        m.ingest.items_failed.inc();
+        m.ingest.rows.add(33);
+        m.ingest.fsyncs_saved.add(32);
+        m.ingest.batch_size.record_value(32);
+        m.ingest.analyze_latency.record(Duration::from_micros(900));
+        m.ingest.commit_latency.record(Duration::from_micros(200));
+        m.ingest.index_latency.record(Duration::from_micros(60));
+        let snap = m.snapshot();
+        assert_eq!(snap.ingest.batches, 1);
+        assert_eq!(snap.ingest.items, 32);
+        assert_eq!(snap.ingest.rows, 33);
+        assert_eq!(snap.ingest.fsyncs_saved, 32);
+        assert_eq!(snap.ingest.batch_size.count, 1);
+        // Batch size 32 lands in the ≤50 bucket: reported bound is 50.
+        assert_eq!(snap.ingest.batch_size.p50_us, 50);
+        assert_eq!(snap.ingest.analyze.count, 1);
+        let table = snap.render();
+        assert!(table.contains("fsyncs saved 32"), "{table}");
+        assert!(table.contains("analyze"), "{table}");
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.ingest, snap.ingest);
+        // A pre-v6 snapshot without the `ingest` field still parses.
+        let mut json: serde_json::Value = serde_json::to_value(&snap).unwrap();
+        json.as_object_mut().unwrap().remove("ingest");
+        let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
+        assert_eq!(back.ingest, IngestSnapshot::default());
     }
 
     #[test]

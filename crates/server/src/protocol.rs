@@ -47,6 +47,12 @@
 //!   registry WAL into an atomic snapshot) and its `Compacted` response,
 //!   and the metrics snapshot grows a serde-defaulted `persistence` row
 //!   group. Version-4 payloads parse unchanged.
+//! * `6` — batched ingestion: adds the `RegisterBatch` request (N
+//!   PE/workflow registrations in one round-trip, committed through the
+//!   group-commit WAL and one index snapshot swap) with its per-item
+//!   `BatchRegistered` response, and the metrics snapshot grows a
+//!   serde-defaulted `ingest` row group. Version-5 payloads parse
+//!   unchanged.
 
 use crate::obs::MetricsSnapshot;
 use d4py::Data;
@@ -57,7 +63,7 @@ use serde::{Deserialize, Serialize};
 
 /// The protocol version this build speaks (see the module doc's version
 /// rules).
-pub const PROTOCOL_VERSION: u16 = 5;
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Session token handed out by register/login.
 pub type Token = u64;
@@ -117,6 +123,40 @@ pub struct PeSubmission {
     pub name: String,
     pub code: String,
     pub description: Option<String>,
+}
+
+/// One registration unit of a `RegisterBatch` (v6): either a standalone
+/// PE or a workflow with its member PEs — the same shapes `RegisterPe`
+/// and `RegisterWorkflow` carry, minus the per-request token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BatchItemWire {
+    Pe(PeSubmission),
+    Workflow {
+        name: String,
+        code: String,
+        description: Option<String>,
+        pes: Vec<PeSubmission>,
+    },
+}
+
+/// Per-item result of a `RegisterBatch` (v6). The batch is *partially
+/// successful* by design: item k can fail validation while the rest
+/// commit, so the response carries one outcome per submitted item, in
+/// submission order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BatchOutcomeWire {
+    /// The item committed — same shape as `Response::Registered`.
+    Registered {
+        pe_ids: Vec<(String, u64)>,
+        workflow_id: Option<(String, u64)>,
+    },
+    /// The item failed; member PEs registered before the failure stay
+    /// (matching the sequential path's partial-progress behaviour), and
+    /// any that did commit are listed.
+    Failed {
+        pe_ids: Vec<(String, u64)>,
+        error: String,
+    },
 }
 
 /// Enactment fault policy as transmitted (mirrors `d4py::FaultPolicy`,
@@ -197,6 +237,14 @@ pub enum Request {
         code: String,
         description: Option<String>,
         pes: Vec<PeSubmission>,
+    },
+    /// Bulk ingestion (v6): N PE/workflow registrations in one
+    /// round-trip, analysed in parallel and committed through one
+    /// group-commit WAL frame + one index snapshot swap. Answered with
+    /// `Response::BatchRegistered` carrying per-item outcomes.
+    RegisterBatch {
+        token: Token,
+        items: Vec<BatchItemWire>,
     },
     GetPe {
         token: Token,
@@ -328,6 +376,7 @@ impl Request {
             Request::Login { .. } => "Login",
             Request::RegisterPe { .. } => "RegisterPe",
             Request::RegisterWorkflow { .. } => "RegisterWorkflow",
+            Request::RegisterBatch { .. } => "RegisterBatch",
             Request::GetPe { .. } => "GetPe",
             Request::GetWorkflow { .. } => "GetWorkflow",
             Request::GetPesByWorkflow { .. } => "GetPesByWorkflow",
@@ -469,6 +518,10 @@ pub enum Response {
         lines: Vec<String>,
         /// Fraction of the source PE the snippet already covers.
         progress: f32,
+    },
+    /// Per-item outcomes of a `RegisterBatch` (v6), in submission order.
+    BatchRegistered {
+        outcomes: Vec<BatchOutcomeWire>,
     },
     /// Execution history rows.
     Executions(Vec<ExecutionInfo>),
@@ -801,6 +854,62 @@ mod tests {
         };
         let json = serde_json::to_string(&resp).unwrap();
         assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn version_six_register_batch_roundtrips() {
+        let req = Request::RegisterBatch {
+            token: 7,
+            items: vec![
+                BatchItemWire::Pe(PeSubmission {
+                    name: "IsPrime".into(),
+                    code: "class IsPrime(IterativePE): ...".into(),
+                    description: None,
+                }),
+                BatchItemWire::Workflow {
+                    name: "isprime_wf".into(),
+                    code: "# workflow".into(),
+                    description: Some("prime sieve".into()),
+                    pes: vec![PeSubmission {
+                        name: "NumberProducer".into(),
+                        code: "class NumberProducer(ProducerPE): ...".into(),
+                        description: Some("produces numbers".into()),
+                    }],
+                },
+            ],
+        };
+        assert_eq!(req.endpoint(), "RegisterBatch");
+        let json = serde_json::to_string(&req).unwrap();
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), req);
+        let resp = Response::BatchRegistered {
+            outcomes: vec![
+                BatchOutcomeWire::Registered {
+                    pe_ids: vec![("IsPrime".into(), 3)],
+                    workflow_id: None,
+                },
+                BatchOutcomeWire::Failed {
+                    pe_ids: vec![("NumberProducer".into(), 4)],
+                    error: "duplicate Workflow name 'isprime_wf'".into(),
+                },
+            ],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn version_five_payloads_parse_under_version_six() {
+        // v6 adds a request variant; every v5 payload must keep parsing
+        // byte-for-byte unchanged.
+        let json = r#"{"Compact":{"token":7}}"#;
+        assert_eq!(
+            serde_json::from_str::<Request>(json).unwrap(),
+            Request::Compact { token: 7 }
+        );
+        let json = r#"{"protocol_version":5,"RegisterPe":{"token":1,"pe":{"name":"A","code":"x = 1","description":null}}}"#;
+        let env: RequestEnvelope = serde_json::from_str(json).unwrap();
+        assert_eq!(env.protocol_version, 5);
+        assert!(matches!(env.body, Request::RegisterPe { token: 1, .. }));
     }
 
     #[test]

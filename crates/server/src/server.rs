@@ -345,6 +345,11 @@ impl LaminarServer {
                     workflow_id: Some((name, wf_id)),
                 })
             }
+            Request::RegisterBatch { token, items } => {
+                let user = self.auth(token)?;
+                let outcomes = self.register_batch(user, items)?;
+                Reply::Value(Response::BatchRegistered { outcomes })
+            }
             Request::GetPe { token, ident } => {
                 self.auth(token)?;
                 let pe = self.resolve_pe(&ident)?;
@@ -698,6 +703,244 @@ impl LaminarServer {
             .upsert(id, EntryKind::Workflow, desc_emb, spt_vec, code);
         self.sync_index_gauges();
         Ok(id)
+    }
+
+    /// Bulk ingestion (v6): the batched counterpart of N sequential
+    /// `RegisterPe`/`RegisterWorkflow` calls, in three amortized stages:
+    ///
+    /// 1. **Analyze** (rayon-parallel, no locks): per submission, pyparse →
+    ///    SPT features → codet5 description → unixcoder/reacc embeddings.
+    /// 2. **Commit** ([`Registry::add_units`]): every unit validated under
+    ///    one write-lock hold, all rows appended as one group-commit WAL
+    ///    frame (one fsync), then applied.
+    /// 3. **Index**: every created row published through one bulk upsert —
+    ///    a single RCU snapshot swap instead of one per row.
+    ///
+    /// Outcomes are per-item (partial success); the final state is
+    /// identical to registering the same items sequentially, including
+    /// duplicate-name reuse and the partial-progress behaviour on item
+    /// failure. The outer `Err` is reserved for WAL failure, in which case
+    /// nothing was committed.
+    ///
+    /// [`Registry::add_units`]: laminar_registry::Registry::add_units
+    fn register_batch(
+        &self,
+        user: u64,
+        items: Vec<BatchItemWire>,
+    ) -> Result<Vec<BatchOutcomeWire>, ServerError> {
+        struct AnalyzedPe {
+            name: String,
+            code: String,
+            description: String,
+            desc_emb: DenseVec,
+            spt_vec: FeatureVec,
+            reacc: DenseVec,
+        }
+        struct AnalyzedWf {
+            name: String,
+            code: String,
+            /// `None` until the auto-description resolves in stage 2.
+            description: Option<String>,
+            desc_emb: DenseVec,
+            spt_vec: FeatureVec,
+            reacc: DenseVec,
+        }
+        struct AnalyzedItem {
+            pes: Vec<AnalyzedPe>,
+            workflow: Option<AnalyzedWf>,
+        }
+        let item_count = items.len();
+
+        // Stage 1: parallel per-submission analysis. Everything here is
+        // pure (registry untouched), so items fan out across rayon
+        // workers; the duplicate-heavy case wastes some embedding work,
+        // exactly like the sequential path does.
+        let analyze_start = std::time::Instant::now();
+        let reacc = ReaccSim::new();
+        let analyze_pe = |pe: &PeSubmission| {
+            let description = match &pe.description {
+                Some(d) if !d.is_empty() => d.clone(),
+                _ => self.codet5.describe_pe(&pe.code),
+            };
+            AnalyzedPe {
+                name: pe.name.clone(),
+                code: pe.code.clone(),
+                desc_emb: self.unixcoder.embed_text(&description),
+                spt_vec: Spt::parse_source(&pe.code).feature_vec(),
+                reacc: reacc.embed_code(&pe.code),
+                description,
+            }
+        };
+        let mut analyzed: Vec<AnalyzedItem> = items
+            .par_iter()
+            .map(|item| match item {
+                BatchItemWire::Pe(pe) => AnalyzedItem {
+                    pes: vec![analyze_pe(pe)],
+                    workflow: None,
+                },
+                BatchItemWire::Workflow {
+                    name,
+                    code,
+                    description,
+                    pes,
+                } => {
+                    let description = match description {
+                        Some(d) if !d.is_empty() => Some(d.clone()),
+                        _ => None,
+                    };
+                    // Placeholder for auto-described workflows; replaced
+                    // in stage 2a once the member codes resolve.
+                    let desc_emb = description
+                        .as_deref()
+                        .map(|d| self.unixcoder.embed_text(d))
+                        .unwrap_or_else(DenseVec::zero);
+                    AnalyzedItem {
+                        pes: pes.iter().map(analyze_pe).collect(),
+                        workflow: Some(AnalyzedWf {
+                            name: name.clone(),
+                            code: code.clone(),
+                            description,
+                            desc_emb,
+                            spt_vec: Spt::parse_source(code).feature_vec(),
+                            reacc: reacc.embed_code(code),
+                        }),
+                    }
+                }
+            })
+            .collect();
+
+        // Stage 2a (sequential, pre-lock): resolve workflow
+        // auto-descriptions from the member codes the workflow rows will
+        // actually reference — the *existing* row's code when a member
+        // name duplicates (committed rows first, then earlier batch
+        // items), the submitted code when the member is new. This mirrors
+        // the sequential path, where members commit before the workflow
+        // description reads them back via `get_pe`.
+        let user_pe_names: std::collections::HashSet<String> = self
+            .registry
+            .all_pes()
+            .iter()
+            .filter(|p| p.user_id == user)
+            .map(|p| p.name.to_lowercase())
+            .collect();
+        let mut pending_codes: HashMap<String, String> = HashMap::new();
+        for item in &mut analyzed {
+            let mut member_codes: Vec<String> = Vec::with_capacity(item.pes.len());
+            for pe in &item.pes {
+                let key = pe.name.to_lowercase();
+                let dup = user_pe_names.contains(&key) || pending_codes.contains_key(&key);
+                let code = if dup {
+                    self.registry
+                        .get_pe_by_name(&pe.name)
+                        .map(|row| row.code)
+                        .unwrap_or_else(|_| {
+                            pending_codes
+                                .get(&key)
+                                .cloned()
+                                .unwrap_or_else(|| pe.code.clone())
+                        })
+                } else {
+                    pending_codes.insert(key, pe.code.clone());
+                    pe.code.clone()
+                };
+                member_codes.push(code);
+            }
+            if let Some(wf) = &mut item.workflow {
+                if wf.description.is_none() {
+                    let refs: Vec<&str> = member_codes.iter().map(String::as_str).collect();
+                    let d = self.codet5.describe_workflow(&wf.name, &refs);
+                    wf.desc_emb = self.unixcoder.embed_text(&d);
+                    wf.description = Some(d);
+                }
+            }
+        }
+        let analyze_elapsed = analyze_start.elapsed();
+
+        // Stage 2b: group commit — one lock hold, one WAL frame.
+        let commit_start = std::time::Instant::now();
+        let units: Vec<laminar_registry::RegistrationUnit> = analyzed
+            .iter()
+            .map(|item| laminar_registry::RegistrationUnit {
+                pes: item
+                    .pes
+                    .iter()
+                    .map(|p| NewPe {
+                        user_id: user,
+                        name: p.name.clone(),
+                        description: p.description.clone(),
+                        code: p.code.clone(),
+                        description_embedding: p.desc_emb.to_json(),
+                        spt_embedding: p.spt_vec.to_json(),
+                    })
+                    .collect(),
+                workflow: item.workflow.as_ref().map(|w| NewWorkflow {
+                    user_id: user,
+                    name: w.name.clone(),
+                    description: w.description.clone().unwrap_or_default(),
+                    code: w.code.clone(),
+                    description_embedding: w.desc_emb.to_json(),
+                    spt_embedding: w.spt_vec.to_json(),
+                    // Resolved per-unit inside `add_units`.
+                    pe_ids: Vec::new(),
+                }),
+            })
+            .collect();
+        let outcomes = self.registry.add_units(units)?;
+        let commit_elapsed = commit_start.elapsed();
+
+        // Stage 3: publish every *created* row (duplicate-reused PEs are
+        // not re-indexed, matching the sequential path) in one snapshot
+        // swap.
+        let index_start = std::time::Instant::now();
+        let mut rows: Vec<(u64, EntryKind, DenseVec, FeatureVec, DenseVec)> = Vec::new();
+        for (outcome, item) in outcomes.iter().zip(analyzed) {
+            for (po, ap) in outcome.pes.iter().zip(item.pes) {
+                if po.created {
+                    rows.push((po.id, EntryKind::Pe, ap.desc_emb, ap.spt_vec, ap.reacc));
+                }
+            }
+            if let (Some((_, wf_id)), Some(aw)) = (&outcome.workflow, item.workflow) {
+                rows.push((*wf_id, EntryKind::Workflow, aw.desc_emb, aw.spt_vec, aw.reacc));
+            }
+        }
+        let created_rows = rows.len() as u64;
+        self.indexes.bulk_upsert_embedded(rows);
+        self.sync_index_gauges();
+        let index_elapsed = index_start.elapsed();
+
+        let failed = outcomes.iter().filter(|o| o.error.is_some()).count() as u64;
+        let ingest = &self.metrics.ingest;
+        ingest.batches.inc();
+        ingest.items.add(item_count as u64);
+        ingest.items_failed.add(failed);
+        ingest.rows.add(created_rows);
+        ingest.batch_size.record_value(item_count as u64);
+        if self.registry.persist_stats().is_some() {
+            // Each created row shared the one group-commit frame instead
+            // of paying its own WAL append/fsync.
+            ingest.fsyncs_saved.add(created_rows.saturating_sub(1));
+        }
+        ingest.analyze_latency.record(analyze_elapsed);
+        ingest.commit_latency.record(commit_elapsed);
+        ingest.index_latency.record(index_elapsed);
+
+        Ok(outcomes
+            .into_iter()
+            .map(|o| {
+                let pe_ids: Vec<(String, u64)> =
+                    o.pes.into_iter().map(|p| (p.name, p.id)).collect();
+                match o.error {
+                    None => BatchOutcomeWire::Registered {
+                        pe_ids,
+                        workflow_id: o.workflow,
+                    },
+                    Some(e) => BatchOutcomeWire::Failed {
+                        pe_ids,
+                        error: e.to_string(),
+                    },
+                }
+            })
+            .collect())
     }
 
     // ---- search service ------------------------------------------------------------
@@ -1806,6 +2049,215 @@ mod tests {
             }
             _ => panic!("expected stream"),
         }
+    }
+
+    fn batch_items() -> Vec<BatchItemWire> {
+        vec![
+            BatchItemWire::Pe(PeSubmission {
+                name: "Standalone".into(),
+                code: "class Standalone(IterativePE):\n    def _process(self, d):\n        return d\n"
+                    .into(),
+                description: None,
+            }),
+            BatchItemWire::Workflow {
+                name: "isprime_wf".into(),
+                code: format!("{PRODUCER}\n{ISPRIME}\n{PRINTER}"),
+                description: None,
+                pes: vec![
+                    PeSubmission {
+                        name: "NumberProducer".into(),
+                        code: PRODUCER.into(),
+                        description: None,
+                    },
+                    PeSubmission {
+                        name: "IsPrime".into(),
+                        code: ISPRIME.into(),
+                        description: None,
+                    },
+                    PeSubmission {
+                        name: "PrintPrime".into(),
+                        code: PRINTER.into(),
+                        description: None,
+                    },
+                ],
+            },
+            BatchItemWire::Workflow {
+                name: "primes_again".into(),
+                code: format!("{PRODUCER}\n{ISPRIME}"),
+                description: Some("re-uses the prime members".into()),
+                // Duplicates of the previous item's members: reused, not
+                // re-created.
+                pes: vec![
+                    PeSubmission {
+                        name: "NumberProducer".into(),
+                        code: PRODUCER.into(),
+                        description: None,
+                    },
+                    PeSubmission {
+                        name: "IsPrime".into(),
+                        code: ISPRIME.into(),
+                        description: None,
+                    },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn register_batch_matches_sequential_registration() {
+        // The same items, one per request on server A and one batch on
+        // server B, must leave identical registry state and identical
+        // search rankings.
+        let (seq, seq_token) = server_with_session();
+        let (batch, batch_token) = server_with_session();
+        let items = batch_items();
+        for item in items.clone() {
+            let resp = match item {
+                BatchItemWire::Pe(pe) => seq.handle(Request::RegisterPe {
+                    token: seq_token,
+                    pe,
+                }),
+                BatchItemWire::Workflow {
+                    name,
+                    code,
+                    description,
+                    pes,
+                } => seq.handle(Request::RegisterWorkflow {
+                    token: seq_token,
+                    name,
+                    code,
+                    description,
+                    pes,
+                }),
+            };
+            assert!(matches!(resp.value(), Response::Registered { .. }));
+        }
+        let resp = batch
+            .handle(Request::RegisterBatch {
+                token: batch_token,
+                items,
+            })
+            .value();
+        let Response::BatchRegistered { outcomes } = resp else {
+            panic!("expected BatchRegistered, got {resp:?}");
+        };
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, BatchOutcomeWire::Registered { .. })));
+        // Duplicate members of item 3 resolved to item 2's ids.
+        let (item2_ids, item3_ids) = match (&outcomes[1], &outcomes[2]) {
+            (
+                BatchOutcomeWire::Registered { pe_ids: a, .. },
+                BatchOutcomeWire::Registered { pe_ids: b, .. },
+            ) => (a.clone(), b.clone()),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(item3_ids[0].1, item2_ids[0].1);
+        assert_eq!(item3_ids[1].1, item2_ids[1].1);
+        // Registry state is bit-identical.
+        assert_eq!(seq.registry().snapshot(), batch.registry().snapshot());
+        assert_eq!(
+            seq.registry().debug_name_indexes(),
+            batch.registry().debug_name_indexes()
+        );
+        // Search indexes agree: same sizes, same rankings.
+        assert_eq!(seq.indexes().len(), batch.indexes().len());
+        assert_eq!(seq.indexes().counts(), batch.indexes().counts());
+        for query in ["produces random numbers", "checks whether a number is prime"] {
+            let q = UniXcoderSim::new().embed_text(query);
+            assert_eq!(
+                seq.indexes().rank_semantic(&q, None, usize::MAX),
+                batch.indexes().rank_semantic(&q, None, usize::MAX)
+            );
+        }
+        let q = Spt::parse_source(ISPRIME).feature_vec();
+        assert_eq!(
+            seq.indexes().rank_spt(&q, None, usize::MAX),
+            batch.indexes().rank_spt(&q, None, usize::MAX)
+        );
+        // Ingest metrics recorded the batch.
+        let m = batch.metrics().snapshot();
+        assert_eq!(m.ingest.batches, 1);
+        assert_eq!(m.ingest.items, 3);
+        assert_eq!(m.ingest.items_failed, 0);
+        // 1 standalone + 3 workflow members (2 reused) + 2 workflows.
+        assert_eq!(m.ingest.rows, 6);
+        assert_eq!(m.ingest.batch_size.count, 1);
+        assert_eq!(m.ingest.analyze.count, 1);
+        assert_eq!(m.ingest.commit.count, 1);
+        assert_eq!(m.ingest.index.count, 1);
+        // The sequential server recorded nothing under `ingest`.
+        assert_eq!(seq.metrics().snapshot().ingest.batches, 0);
+    }
+
+    #[test]
+    fn register_batch_reports_partial_failure() {
+        let (server, token) = server_with_session();
+        // Occupy the workflow name so the batch's second item fails.
+        register_isprime(&server, token);
+        let before = server.indexes().len();
+        let resp = server
+            .handle(Request::RegisterBatch {
+                token,
+                items: vec![
+                    BatchItemWire::Pe(PeSubmission {
+                        name: "FreshPe".into(),
+                        code: "class FreshPe(IterativePE):\n    def _process(self, d):\n        return d\n"
+                            .into(),
+                        description: Some("passes data through".into()),
+                    }),
+                    BatchItemWire::Workflow {
+                        name: "isprime_wf".into(),
+                        code: "# duplicate workflow".into(),
+                        description: Some("dup".into()),
+                        pes: vec![PeSubmission {
+                            name: "NewMember".into(),
+                            code: "class NewMember(IterativePE):\n    def _process(self, d):\n        return d\n"
+                                .into(),
+                            description: None,
+                        }],
+                    },
+                ],
+            })
+            .value();
+        let Response::BatchRegistered { outcomes } = resp else {
+            panic!("expected BatchRegistered, got {resp:?}");
+        };
+        assert!(matches!(
+            &outcomes[0],
+            BatchOutcomeWire::Registered { workflow_id: None, .. }
+        ));
+        match &outcomes[1] {
+            BatchOutcomeWire::Failed { pe_ids, error } => {
+                // The member PE committed before the workflow failed —
+                // the sequential path's partial-progress behaviour.
+                assert_eq!(pe_ids.len(), 1);
+                assert_eq!(pe_ids[0].0, "NewMember");
+                assert!(error.contains("isprime_wf"), "{error}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(server.registry().get_pe_by_name("FreshPe").is_ok());
+        assert!(server.registry().get_pe_by_name("NewMember").is_ok());
+        // Indexed: the two new PEs, no workflow.
+        assert_eq!(server.indexes().len(), before + 2);
+        let m = server.metrics().snapshot();
+        assert_eq!(m.ingest.items, 2);
+        assert_eq!(m.ingest.items_failed, 1);
+        assert_eq!(m.ingest.rows, 2);
+    }
+
+    #[test]
+    fn register_batch_requires_auth() {
+        let server = LaminarServer::with_stock();
+        let resp = server
+            .handle(Request::RegisterBatch {
+                token: 999,
+                items: vec![],
+            })
+            .value();
+        assert_eq!(resp, Response::Error("not logged in".into()));
     }
 
     #[test]

@@ -4,9 +4,9 @@
 #   ./scripts/check.sh          # the tier-1 gate
 #   ./scripts/check.sh --heavy  # additionally runs the #[ignore]d stress tests
 #
-# fmt/clippy are scoped to the serving-path crates (server, client, core,
-# facade); the remaining crates predate the gate and are brought under it
-# as they are touched.
+# fmt stays scoped to the serving-path crates (server, client, core,
+# facade); the remaining crates predate the formatting gate. clippy runs
+# workspace-wide.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,8 +16,8 @@ SCOPED=(-p laminar-server -p laminar-client -p laminar-core -p laminar)
 echo "==> cargo fmt --check (serving-path crates)"
 cargo fmt --check "${SCOPED[@]}"
 
-echo "==> cargo clippy -D warnings (serving-path crates)"
-cargo clippy "${SCOPED[@]}" --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings (workspace)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -27,6 +27,12 @@ cargo test -q
 
 echo "==> cargo bench --no-run (benches stay compilable)"
 cargo bench --no-run -p laminar-bench
+
+# `cargo bench --no-run` covers the Criterion benches; the report bins
+# (bench_ingest and friends) are built by the release build above, but
+# keep an explicit gate so a broken ingest bench names itself.
+echo "==> bench_ingest builds"
+cargo build --release -p laminar-bench --bin bench_ingest
 
 # The chaos suite is seeded (pinned seed inside the test file), so this is
 # a deterministic gate, not a flaky soak: same-seed runs must produce
@@ -38,6 +44,11 @@ cargo test -q -p d4py --test chaos
 # of the tail record, recovery compared against the acknowledged prefix.
 echo "==> registry recovery suite (WAL torn-tail property tests)"
 cargo test -q -p laminar-registry --test recovery
+
+# Batch ≡ sequential equivalence, and all-or-nothing recovery of the
+# group-commit frame when the WAL is cut at every byte across it.
+echo "==> batch ingestion equivalence suite"
+cargo test -q -p laminar-registry --test batch_equivalence
 
 if [[ "${1:-}" == "--heavy" ]]; then
     echo "==> heavy stress tests (#[ignore]d)"
