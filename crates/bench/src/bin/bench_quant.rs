@@ -1,0 +1,237 @@
+//! Quantized two-phase search vs the exact f32 scan, with the numbers
+//! written to `BENCH_quant.json`.
+//!
+//! For each corpus size (10k / 100k / 500k rows by default; pass sizes as
+//! CLI arguments to override) this measures the full server-shaped query
+//! path — embed the query text, then rank top-k — under three
+//! configurations:
+//!
+//! * **f32** — exact slab scan (`SearchIndexes::new`);
+//! * **two-phase** — int8 candidate pass + exact rescore of a `4·k`
+//!   window (`IndexOptions { quantized: true, .. }`);
+//! * **two-phase+cache** — the same index behind the opt-in
+//!   [`QueryCache`]: embedding LRU + generation-scoped result LRU, cycling
+//!   a fixed query pool so the steady state is cache hits.
+//!
+//! Reported per configuration: single-thread QPS and p50/p95/p99 per-query
+//! latency; per corpus size: the bytes/row each scan tier streams (the
+//! acceptance bar is f32 ≥ 3× i8).
+//!
+//! The corpus is synthetic (deterministic LCG vectors, L2-normalised) so
+//! 500k rows build in seconds; the scan cost it exercises is identical to
+//! real embeddings. Expect ~2.5 GB peak RSS at 500k rows.
+//!
+//! Run with `cargo run --release -p laminar-bench --bin bench_quant`.
+
+use embed::{DenseVec, Embedder, UniXcoderSim, DIM};
+use laminar_server::indexes::{
+    EntryKind, IndexOptions, SearchIndexes, DEFAULT_RESCORE_WINDOW,
+};
+use laminar_server::{QueryCache, QueryModality, ResultKey, ResultOp};
+use serde::Serialize;
+use spt::Spt;
+use std::time::Instant;
+
+/// The server's default per-query result bound.
+const K: usize = 5;
+/// Distinct query texts cycled by every configuration.
+const POOL: usize = 64;
+/// Timed passes over the pool (after one untimed warmup pass).
+const ROUNDS: usize = 3;
+/// Result/embedding cache capacity for the cached configuration.
+const CACHE_ENTRIES: usize = 256;
+
+#[derive(Serialize)]
+struct VariantResult {
+    n: usize,
+    variant: &'static str,
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct TierResult {
+    n: usize,
+    f32_bytes_per_row: usize,
+    i8_bytes_per_row: usize,
+    ratio: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    k: usize,
+    rescore_window: usize,
+    cache_entries: usize,
+    sizes: Vec<usize>,
+    variants: Vec<VariantResult>,
+    tiers: Vec<TierResult>,
+}
+
+fn lcg_vec(seed: &mut u64) -> DenseVec {
+    let mut values = vec![0.0f32; DIM];
+    for v in &mut values {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((*seed >> 33) as f32 / (1u64 << 31) as f32) - 1.0;
+    }
+    DenseVec::normalised(values)
+}
+
+/// Populate `ix` with `n` synthetic rows in bounded-memory batches.
+fn fill(ix: &SearchIndexes, n: usize) {
+    let spt = Spt::parse_source("x = 1\n").feature_vec();
+    let mut seed = 0x1a317a2_u64 ^ n as u64;
+    let mut id = 0u64;
+    while (id as usize) < n {
+        let batch: Vec<_> = (0..10_000.min(n - id as usize))
+            .map(|_| {
+                let row = (id, EntryKind::Pe, lcg_vec(&mut seed), spt.clone(), lcg_vec(&mut seed));
+                id += 1;
+                row
+            })
+            .collect();
+        ix.bulk_upsert_embedded(batch);
+    }
+}
+
+/// Per-query latencies of `ROUNDS` passes over the query pool (one
+/// untimed warmup pass first), and the derived summary row.
+fn measure(
+    n: usize,
+    variant: &'static str,
+    queries: &[String],
+    mut query_once: impl FnMut(&str) -> usize,
+) -> VariantResult {
+    for q in queries {
+        std::hint::black_box(query_once(q));
+    }
+    let mut samples = Vec::with_capacity(ROUNDS * queries.len());
+    for _ in 0..ROUNDS {
+        for q in queries {
+            let start = Instant::now();
+            std::hint::black_box(query_once(q));
+            samples.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    samples.sort_unstable_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| samples[((p / 100.0) * (samples.len() - 1) as f64).round() as usize];
+    let result = VariantResult {
+        n,
+        variant,
+        qps: 1e6 / mean,
+        p50_us: pct(50.0),
+        p95_us: pct(95.0),
+        p99_us: pct(99.0),
+    };
+    eprintln!(
+        "  {variant:<15} {:>9.0} qps  p50 {:>8.1} us  p95 {:>8.1} us  p99 {:>8.1} us",
+        result.qps, result.p50_us, result.p95_us, result.p99_us
+    );
+    result
+}
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![10_000, 100_000, 500_000]
+        } else {
+            args
+        }
+    };
+
+    let emb = UniXcoderSim::new();
+    let queries: Vec<String> = (0..POOL)
+        .map(|i| format!("detect anomalies in sensor stream number {i}"))
+        .collect();
+
+    let mut report = Report {
+        k: K,
+        rescore_window: DEFAULT_RESCORE_WINDOW,
+        cache_entries: CACHE_ENTRIES,
+        sizes: sizes.clone(),
+        variants: Vec::new(),
+        tiers: Vec::new(),
+    };
+
+    for &n in &sizes {
+        eprintln!("n={n}");
+        // Exact baseline first, dropped before the quantized index is
+        // built, so peak RSS stays one corpus + one tier.
+        {
+            let exact = SearchIndexes::new();
+            eprintln!("  building f32 corpus ...");
+            fill(&exact, n);
+            report.variants.push(measure(n, "f32", &queries, |q| {
+                exact.rank_semantic(&emb.embed(q), None, K).len()
+            }));
+        }
+
+        let quant = SearchIndexes::with_options(IndexOptions {
+            quantized: true,
+            ..IndexOptions::default()
+        });
+        eprintln!("  building quantized corpus ...");
+        fill(&quant, n);
+        report.variants.push(measure(n, "two-phase", &queries, |q| {
+            quant.rank_semantic(&emb.embed(q), None, K).len()
+        }));
+
+        // The server's cached query path: embedding LRU in front of the
+        // embedder, result LRU scoped to the index snapshot generation.
+        let cache = QueryCache::new(CACHE_ENTRIES);
+        report
+            .variants
+            .push(measure(n, "two-phase+cache", &queries, |q| {
+                let norm = QueryCache::normalize(q);
+                let key = ResultKey {
+                    generation: quant.generation(),
+                    op: ResultOp::Semantic,
+                    kind: None,
+                    k: K,
+                    score_bits: 0.0f32.to_bits(),
+                    query: norm.clone(),
+                };
+                if let Some(hits) = cache.results(&key) {
+                    return hits.len();
+                }
+                let qvec = match cache.embedding(QueryModality::Text, &norm) {
+                    Some(v) => v,
+                    None => {
+                        let v = emb.embed(&norm);
+                        cache.store_embedding(QueryModality::Text, norm, v.clone());
+                        v
+                    }
+                };
+                let hits = quant.rank_semantic(&qvec, None, K);
+                let len = hits.len();
+                cache.store_results(key, hits);
+                len
+            }));
+
+        let tb = quant.tier_bytes();
+        let tier = TierResult {
+            n,
+            f32_bytes_per_row: tb.desc_f32 / tb.rows.max(1),
+            i8_bytes_per_row: tb.desc_i8 / tb.rows.max(1),
+            ratio: tb.desc_f32 as f64 / tb.desc_i8.max(1) as f64,
+        };
+        eprintln!(
+            "  tier bytes/row  f32 {}  i8 {}  ({:.1}x smaller)",
+            tier.f32_bytes_per_row, tier.i8_bytes_per_row, tier.ratio
+        );
+        report.tiers.push(tier);
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_quant.json", &json).expect("write BENCH_quant.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_quant.json");
+}

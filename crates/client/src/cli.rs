@@ -170,13 +170,15 @@ impl Cli {
                     );
                 }
                 other => {
-                    return Err(ClientError::Server(format!("unexpected argument '{other}'")))
+                    return Err(ClientError::Server(format!(
+                        "unexpected argument '{other}'"
+                    )))
                 }
             }
             i += 1;
         }
-        let path = file
-            .ok_or_else(|| ClientError::Server("usage: ingest --file <items.json>".into()))?;
+        let path =
+            file.ok_or_else(|| ClientError::Server("usage: ingest --file <items.json>".into()))?;
         let text = std::fs::read_to_string(path)
             .map_err(|e| ClientError::Server(format!("cannot read {path}: {e}")))?;
         let items: Vec<BatchItemWire> = serde_json::from_str(&text)
@@ -496,15 +498,17 @@ impl Cli {
                 }
                 "--retries" => {
                     i += 1;
-                    retries = args.get(i).and_then(|s| s.parse().ok()).ok_or_else(|| {
-                        ClientError::Server("--retries needs a number".into())
-                    })?;
+                    retries = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| ClientError::Server("--retries needs a number".into()))?;
                 }
                 "--backoff-ms" => {
                     i += 1;
-                    backoff_ms = args.get(i).and_then(|s| s.parse().ok()).ok_or_else(|| {
-                        ClientError::Server("--backoff-ms needs a number".into())
-                    })?;
+                    backoff_ms = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| ClientError::Server("--backoff-ms needs a number".into()))?;
                 }
                 "--task-timeout-ms" => {
                     i += 1;
@@ -555,9 +559,9 @@ impl Cli {
         } else {
             RunMode::Sequential
         };
-        let out = self
-            .client
-            .run_custom_faults(ident, input, mode, verbose, fault, task_timeout_ms)?;
+        let out =
+            self.client
+                .run_custom_faults(ident, input, mode, verbose, fault, task_timeout_ms)?;
         let mut text = String::new();
         for l in &out.lines {
             let _ = writeln!(text, "{l}");
@@ -1087,8 +1091,9 @@ class PrintPrime(ConsumerPE):
         let items = vec![
             BatchItemWire::Pe(PeSubmission {
                 name: "Standalone".into(),
-                code: "class Standalone(IterativePE):\n    def _process(self, x):\n        return x\n"
-                    .into(),
+                code:
+                    "class Standalone(IterativePE):\n    def _process(self, x):\n        return x\n"
+                        .into(),
                 description: None,
             }),
             BatchItemWire::Workflow {

@@ -303,12 +303,7 @@ impl LaminarClient {
         source: &str,
     ) -> Result<RegisteredWorkflow, ClientError> {
         let pes = extract_pes_from_source(source);
-        self.call::<endpoint::RegisterWorkflow>((
-            workflow_name.into(),
-            source.into(),
-            None,
-            pes,
-        ))
+        self.call::<endpoint::RegisterWorkflow>((workflow_name.into(), source.into(), None, pes))
     }
 
     /// `ingest` (v6): register a batch of PEs and workflows in one
@@ -554,7 +549,8 @@ impl LaminarClient {
         fault: FaultPolicyWire,
         task_timeout_ms: Option<u64>,
     ) -> Result<RunOutput, ClientError> {
-        let rx = self.run_stream_faults(ident.into(), input, mode, verbose, fault, task_timeout_ms)?;
+        let rx =
+            self.run_stream_faults(ident.into(), input, mode, verbose, fault, task_timeout_ms)?;
         Self::drain_run(rx)
     }
 
@@ -620,7 +616,14 @@ impl LaminarClient {
         mode: RunMode,
         verbose: bool,
     ) -> Result<Receiver<WireFrame>, ClientError> {
-        self.run_stream_faults(ident, input, mode, verbose, FaultPolicyWire::default(), None)
+        self.run_stream_faults(
+            ident,
+            input,
+            mode,
+            verbose,
+            FaultPolicyWire::default(),
+            None,
+        )
     }
 
     /// [`LaminarClient::run_stream`] under an explicit fault policy.
@@ -725,8 +728,9 @@ class PrintPrime(ConsumerPE):
         let items = vec![
             BatchItemWire::Pe(PeSubmission {
                 name: "Standalone".into(),
-                code: "class Standalone(IterativePE):\n    def _process(self, x):\n        return x\n"
-                    .into(),
+                code:
+                    "class Standalone(IterativePE):\n    def _process(self, x):\n        return x\n"
+                        .into(),
                 description: None,
             }),
             BatchItemWire::Workflow {

@@ -267,7 +267,9 @@ pub fn decl(name: &str) -> Option<&'static EndpointDecl> {
 
 /// Declaration row for a CLI verb.
 pub fn decl_for_verb(verb: &str) -> Option<&'static EndpointDecl> {
-    ENDPOINTS.iter().find(|d| !d.verb.is_empty() && d.verb == verb)
+    ENDPOINTS
+        .iter()
+        .find(|d| !d.verb.is_empty() && d.verb == verb)
 }
 
 /// Whether re-sending `req` can never duplicate side effects, making a
@@ -710,11 +712,21 @@ mod tests {
     fn sample_requests() -> Vec<Request> {
         let ident = Ident::Id(1);
         vec![
-            Request::RegisterUser { username: "u".into(), password: "p".into() },
-            Request::Login { username: "u".into(), password: "p".into() },
+            Request::RegisterUser {
+                username: "u".into(),
+                password: "p".into(),
+            },
+            Request::Login {
+                username: "u".into(),
+                password: "p".into(),
+            },
             Request::RegisterPe {
                 token: 1,
-                pe: PeSubmission { name: "A".into(), code: "x".into(), description: None },
+                pe: PeSubmission {
+                    name: "A".into(),
+                    code: "x".into(),
+                    description: None,
+                },
             },
             Request::RegisterWorkflow {
                 token: 1,
@@ -723,20 +735,46 @@ mod tests {
                 description: None,
                 pes: vec![],
             },
-            Request::RegisterBatch { token: 1, items: vec![] },
-            Request::GetPe { token: 1, ident: ident.clone() },
-            Request::GetWorkflow { token: 1, ident: ident.clone() },
-            Request::GetPesByWorkflow { token: 1, ident: ident.clone() },
+            Request::RegisterBatch {
+                token: 1,
+                items: vec![],
+            },
+            Request::GetPe {
+                token: 1,
+                ident: ident.clone(),
+            },
+            Request::GetWorkflow {
+                token: 1,
+                ident: ident.clone(),
+            },
+            Request::GetPesByWorkflow {
+                token: 1,
+                ident: ident.clone(),
+            },
             Request::GetRegistry { token: 1 },
-            Request::Describe { token: 1, scope: SearchScope::Pe, ident: ident.clone() },
-            Request::UpdatePeDescription { token: 1, ident: ident.clone(), description: "d".into() },
+            Request::Describe {
+                token: 1,
+                scope: SearchScope::Pe,
+                ident: ident.clone(),
+            },
+            Request::UpdatePeDescription {
+                token: 1,
+                ident: ident.clone(),
+                description: "d".into(),
+            },
             Request::UpdateWorkflowDescription {
                 token: 1,
                 ident: ident.clone(),
                 description: "d".into(),
             },
-            Request::RemovePe { token: 1, ident: ident.clone() },
-            Request::RemoveWorkflow { token: 1, ident: ident.clone() },
+            Request::RemovePe {
+                token: 1,
+                ident: ident.clone(),
+            },
+            Request::RemoveWorkflow {
+                token: 1,
+                ident: ident.clone(),
+            },
             Request::RemoveAll { token: 1 },
             Request::SearchLiteral {
                 token: 1,
@@ -757,7 +795,10 @@ mod tests {
                 embedding_type: EmbeddingType::Spt,
                 top_n: None,
             },
-            Request::CodeCompletion { token: 1, snippet: "s".into() },
+            Request::CodeCompletion {
+                token: 1,
+                snippet: "s".into(),
+            },
             Request::GetExecutions { token: 1, ident },
             Request::Metrics {},
             Request::Compact { token: 1 },
@@ -808,7 +849,10 @@ mod tests {
                 "Compact",
             ]
         );
-        assert!(!is_idempotent(&Request::RegisterBatch { token: 1, items: vec![] }));
+        assert!(!is_idempotent(&Request::RegisterBatch {
+            token: 1,
+            items: vec![]
+        }));
         assert!(!decl("RegisterBatch").unwrap().retry_on_timeout());
         assert!(decl("GetRegistry").unwrap().retry_on_timeout());
     }
@@ -817,21 +861,46 @@ mod tests {
     fn endpoint_impls_build_their_own_wire_name() {
         let t = Some(7u64);
         let ident = Ident::Name("x".into());
-        let pe = PeSubmission { name: "A".into(), code: "c".into(), description: None };
+        let pe = PeSubmission {
+            name: "A".into(),
+            code: "c".into(),
+            description: None,
+        };
         let cases: Vec<(&str, Request)> = vec![
-            (RegisterUser::NAME, RegisterUser::request(t, ("u".into(), "p".into())).unwrap()),
-            (Login::NAME, Login::request(t, ("u".into(), "p".into())).unwrap()),
-            (RegisterPe::NAME, RegisterPe::request(t, pe.clone()).unwrap()),
+            (
+                RegisterUser::NAME,
+                RegisterUser::request(t, ("u".into(), "p".into())).unwrap(),
+            ),
+            (
+                Login::NAME,
+                Login::request(t, ("u".into(), "p".into())).unwrap(),
+            ),
+            (
+                RegisterPe::NAME,
+                RegisterPe::request(t, pe.clone()).unwrap(),
+            ),
             (
                 RegisterWorkflow::NAME,
                 RegisterWorkflow::request(t, ("w".into(), "c".into(), None, vec![])).unwrap(),
             ),
-            (RegisterBatch::NAME, RegisterBatch::request(t, vec![]).unwrap()),
+            (
+                RegisterBatch::NAME,
+                RegisterBatch::request(t, vec![]).unwrap(),
+            ),
             (GetPe::NAME, GetPe::request(t, ident.clone()).unwrap()),
-            (GetWorkflow::NAME, GetWorkflow::request(t, ident.clone()).unwrap()),
-            (GetPesByWorkflow::NAME, GetPesByWorkflow::request(t, ident.clone()).unwrap()),
+            (
+                GetWorkflow::NAME,
+                GetWorkflow::request(t, ident.clone()).unwrap(),
+            ),
+            (
+                GetPesByWorkflow::NAME,
+                GetPesByWorkflow::request(t, ident.clone()).unwrap(),
+            ),
             (GetRegistry::NAME, GetRegistry::request(t, ()).unwrap()),
-            (Describe::NAME, Describe::request(t, (SearchScope::Pe, ident.clone())).unwrap()),
+            (
+                Describe::NAME,
+                Describe::request(t, (SearchScope::Pe, ident.clone())).unwrap(),
+            ),
             (
                 UpdatePeDescription::NAME,
                 UpdatePeDescription::request(t, (ident.clone(), "d".into())).unwrap(),
@@ -841,7 +910,10 @@ mod tests {
                 UpdateWorkflowDescription::request(t, (ident.clone(), "d".into())).unwrap(),
             ),
             (RemovePe::NAME, RemovePe::request(t, ident.clone()).unwrap()),
-            (RemoveWorkflow::NAME, RemoveWorkflow::request(t, ident.clone()).unwrap()),
+            (
+                RemoveWorkflow::NAME,
+                RemoveWorkflow::request(t, ident.clone()).unwrap(),
+            ),
             (RemoveAll::NAME, RemoveAll::request(t, ()).unwrap()),
             (
                 SearchLiteral::NAME,
@@ -859,13 +931,23 @@ mod tests {
                 )
                 .unwrap(),
             ),
-            (CodeCompletion::NAME, CodeCompletion::request(t, "s".into()).unwrap()),
-            (GetExecutions::NAME, GetExecutions::request(t, ident).unwrap()),
+            (
+                CodeCompletion::NAME,
+                CodeCompletion::request(t, "s".into()).unwrap(),
+            ),
+            (
+                GetExecutions::NAME,
+                GetExecutions::request(t, ident).unwrap(),
+            ),
             (Metrics::NAME, Metrics::request(t, ()).unwrap()),
             (Compact::NAME, Compact::request(t, ()).unwrap()),
         ];
         for (name, req) in cases {
-            assert_eq!(req.endpoint(), name, "Endpoint::NAME drifted from the wire name");
+            assert_eq!(
+                req.endpoint(),
+                name,
+                "Endpoint::NAME drifted from the wire name"
+            );
             assert!(decl(name).is_some(), "impl {name} has no declaration row");
         }
     }

@@ -18,7 +18,9 @@ fn main() -> ExitCode {
     // `--connect host:port` talks to a remote laminar-server over TCP;
     // otherwise an in-process stack is deployed. `--data-dir PATH` makes
     // the in-process registry durable: quit, relaunch with the same path,
-    // and every registered PE and workflow is still there.
+    // and every registered PE and workflow is still there. `--quantized`,
+    // `--rescore-window N` and `--query-cache-entries N` tune the
+    // in-process search path the same way the server flags do.
     let args: Vec<String> = std::env::args().collect();
     let connect = args
         .iter()
@@ -28,6 +30,15 @@ fn main() -> ExitCode {
         .iter()
         .position(|a| a == "--data-dir")
         .and_then(|i| args.get(i + 1).cloned());
+    let quantized = args.iter().any(|a| a == "--quantized");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let rescore_window = flag_value("--rescore-window");
+    let query_cache_entries = flag_value("--query-cache-entries");
 
     let (_local, mut cli) = match connect {
         Some(addr) => {
@@ -43,11 +54,18 @@ fn main() -> ExitCode {
             (None, Cli::new(LaminarClient::connect_tcp(sockaddr)))
         }
         None => {
-            let laminar = Laminar::try_deploy(LaminarConfig {
+            let mut config = LaminarConfig {
                 data_dir: data_dir.map(Into::into),
                 ..LaminarConfig::default()
-            })
-            .unwrap_or_else(|e| {
+            };
+            config.server.quantized = quantized;
+            if let Some(w) = rescore_window {
+                config.server.rescore_window = w;
+            }
+            if let Some(n) = query_cache_entries {
+                config.server.query_cache_entries = n;
+            }
+            let laminar = Laminar::try_deploy(config).unwrap_or_else(|e| {
                 eprintln!("cannot open registry data directory: {e}");
                 std::process::exit(1);
             });

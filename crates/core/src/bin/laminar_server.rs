@@ -21,7 +21,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: laminar-server [ADDR] [--max-connections N] \
          [--request-timeout-secs N] [--drain-timeout-secs N] \
-         [--data-dir PATH] [--snapshot-every N] [--wal-fsync]"
+         [--data-dir PATH] [--snapshot-every N] [--wal-fsync] \
+         [--quantized] [--rescore-window N] [--query-cache-entries N]"
     );
     std::process::exit(2);
 }
@@ -57,6 +58,13 @@ fn parse_args() -> (String, NetServerConfig, LaminarConfig) {
                 deploy.snapshot_every = numeric();
             }
             "--wal-fsync" => deploy.wal_fsync = true,
+            "--quantized" => deploy.server.quantized = true,
+            "--rescore-window" => {
+                deploy.server.rescore_window = numeric() as usize;
+            }
+            "--query-cache-entries" => {
+                deploy.server.query_cache_entries = numeric() as usize;
+            }
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => usage(),
             positional => addr = positional.to_string(),

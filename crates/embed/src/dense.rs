@@ -196,6 +196,45 @@ where
     }
 }
 
+/// Threshold scan shared by every "all hits above `min_score`" ranking
+/// path: score rows `0..n` with the caller's closure (dense slab stride,
+/// sparse feature overlap — the helper doesn't care), keep rows where
+/// `accept(row)` holds and `score(row) ≥ min_score`, and return them
+/// best-first under the total `(score desc, key asc)` order. Partitions
+/// across rayon workers past [`PAR_SCAN_THRESHOLD`]; the sort key is
+/// unique per row, so the result is identical either way.
+pub fn slab_scan_above<S, F>(
+    n: usize,
+    score: S,
+    accept: F,
+    keys: &[u64],
+    min_score: f32,
+) -> Vec<ScoredRow>
+where
+    S: Fn(usize) -> f32 + Sync,
+    F: Fn(usize) -> bool + Sync,
+{
+    debug_assert!(keys.len() >= n);
+    let score_row = |row: usize| {
+        if !accept(row) {
+            return None;
+        }
+        let s = score(row);
+        (s >= min_score).then_some(ScoredRow {
+            row,
+            key: keys[row],
+            score: s,
+        })
+    };
+    let mut rows: Vec<ScoredRow> = if n >= PAR_SCAN_THRESHOLD {
+        (0..n).into_par_iter().filter_map(score_row).collect()
+    } else {
+        (0..n).filter_map(score_row).collect()
+    };
+    rows.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.key.cmp(&b.key)));
+    rows
+}
+
 /// Signed hashing: fold a feature hash into (dimension, sign).
 #[inline]
 pub fn hash_to_dim(h: u64) -> (usize, f32) {
@@ -343,6 +382,17 @@ mod tests {
             .collect();
         assert_eq!(got.len(), n / 2);
         assert!(got.iter().all(|r| r % 2 == 0));
+    }
+
+    #[test]
+    fn slab_scan_above_filters_and_sorts() {
+        let rows: Vec<f32> = vec![0.9, 0.1, 0.5, 0.9, 0.3];
+        let keys: Vec<u64> = vec![10, 11, 12, 13, 14];
+        let got = slab_scan_above(rows.len(), |r| rows[r], |r| r != 2, &keys, 0.25);
+        let picks: Vec<(u64, f32)> = got.iter().map(|h| (h.key, h.score)).collect();
+        // row 2 rejected by accept, row 1 below threshold; tie 0/3 breaks
+        // by ascending key.
+        assert_eq!(picks, vec![(10, 0.9), (13, 0.9), (14, 0.3)]);
     }
 
     #[test]

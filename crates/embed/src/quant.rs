@@ -1,0 +1,353 @@
+//! Int8 scalar quantization and the two-phase (quantized candidate pass →
+//! exact rescore) top-k scan.
+//!
+//! A full-precision slab scan is memory-bandwidth bound: every query
+//! streams `rows · DIM · 4` bytes of `f32`. The quantized tier shrinks the
+//! streamed bytes ~4× with **per-row symmetric quantization**: each row
+//! stores `DIM` `i8` codes plus one `f32` scale, where
+//! `scale = max|v| / 127` and `code_i = round(v_i / scale)`. The
+//! approximate dot of two quantized vectors is the exact widened integer
+//! dot times both scales:
+//!
+//! ```text
+//! dot(a, b) ≈ Σ (ca_i · sa)(cb_i · sb) = (Σ ca_i·cb_i) · sa · sb
+//! ```
+//!
+//! The integer accumulation is exact (`256 · 127² ≪ i32::MAX`), so the
+//! only error is the per-component rounding — bounded by half a
+//! quantization step, tiny against the score gaps of real corpora.
+//!
+//! **Two-phase scan** ([`two_phase_topk`]): phase 1 runs the quantized
+//! kernel over *all* rows and keeps a candidate window of `w ≥ k` rows;
+//! phase 2 rescores only those `w` rows against the `f32` slab and selects
+//! the final top-k under the same total `(score, key)` order the exact
+//! scan uses. Final scores and ranking are therefore always full
+//! precision; quantization can only affect *which* rows reach the rescore,
+//! and a window of a few multiples of `k` makes a miss vanishingly rare
+//! (the recall property suite pins this down).
+
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+use crate::dense::{dot, DIM, PAR_SCAN_THRESHOLD};
+use crate::topk::{ScoredRow, TopK};
+
+/// Largest code magnitude (symmetric: codes span `-127..=127`; `-128` is
+/// never produced, keeping negation lossless).
+pub const QUANT_MAX: f32 = 127.0;
+
+/// Quantize `values` into the pre-sized `codes` buffer, returning the
+/// per-row scale. An all-zero row quantizes to scale `0.0` and all-zero
+/// codes (its approximate score against anything is exactly `0.0`, same
+/// as the exact scan's).
+pub fn quantize_into(values: &[f32], codes: &mut [i8]) -> f32 {
+    debug_assert_eq!(values.len(), codes.len());
+    let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        codes.fill(0);
+        return 0.0;
+    }
+    let inv = QUANT_MAX / max_abs;
+    for (c, &v) in codes.iter_mut().zip(values) {
+        *c = (v * inv).round().clamp(-QUANT_MAX, QUANT_MAX) as i8;
+    }
+    max_abs / QUANT_MAX
+}
+
+/// Quantize into a freshly allocated code vector.
+pub fn quantize_row(values: &[f32]) -> (f32, Vec<i8>) {
+    let mut codes = vec![0i8; values.len()];
+    let scale = quantize_into(values, &mut codes);
+    (scale, codes)
+}
+
+/// Reconstruct the approximate values a quantized row stands for.
+pub fn dequantize_row(scale: f32, codes: &[i8]) -> Vec<f32> {
+    codes.iter().map(|&c| c as f32 * scale).collect()
+}
+
+/// A quantized query vector (the query-side counterpart of one slab row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedVec {
+    pub scale: f32,
+    pub codes: Vec<i8>,
+}
+
+impl QuantizedVec {
+    pub fn quantize(values: &[f32]) -> Self {
+        let (scale, codes) = quantize_row(values);
+        QuantizedVec { scale, codes }
+    }
+
+    pub fn dequantize(&self) -> Vec<f32> {
+        dequantize_row(self.scale, &self.codes)
+    }
+}
+
+/// Fused widening dot product: `i8 × i8 → i32` accumulation, unrolled
+/// into eight independent lanes exactly like [`dot`] so the reduction
+/// stays in vector registers. Inputs of unequal length score the common
+/// prefix.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut lanes = [0i32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for i in 0..8 {
+            lanes[i] += xa[i] as i32 * xb[i] as i32;
+        }
+    }
+    let mut sum: i32 = ca
+        .remainder()
+        .iter()
+        .zip(cb.remainder())
+        .map(|(&x, &y)| x as i32 * y as i32)
+        .sum();
+    for lane in lanes {
+        sum += lane;
+    }
+    sum
+}
+
+/// Approximate score of one quantized row against a quantized query.
+#[inline]
+fn quant_score(qcodes: &[i8], qscale: f32, chunk: &[i8], row_scale: f32) -> f32 {
+    dot_i8(qcodes, chunk) as f32 * (qscale * row_scale)
+}
+
+/// Phase-1 candidate selection: bounded top-`k` over the `i8` slab by
+/// approximate score, same `(score, key)` total order and rayon
+/// partitioning rules as the exact scan.
+pub fn quantized_topk<F>(
+    qcodes: &[i8],
+    qscale: f32,
+    codes: &[i8],
+    scales: &[f32],
+    keys: &[u64],
+    k: usize,
+    accept: F,
+) -> Vec<ScoredRow>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    debug_assert_eq!(codes.len(), keys.len() * DIM);
+    debug_assert_eq!(scales.len(), keys.len());
+    if keys.len() >= PAR_SCAN_THRESHOLD {
+        codes
+            .par_chunks_exact(DIM)
+            .enumerate()
+            .fold(
+                || TopK::new(k),
+                |mut top, (row, chunk)| {
+                    if accept(row) {
+                        top.push(quant_score(qcodes, qscale, chunk, scales[row]), keys[row], row);
+                    }
+                    top
+                },
+            )
+            .reduce(|| TopK::new(k), TopK::merge)
+            .into_sorted()
+    } else {
+        let mut top = TopK::new(k);
+        for (row, chunk) in codes.chunks_exact(DIM).enumerate() {
+            if accept(row) {
+                top.push(quant_score(qcodes, qscale, chunk, scales[row]), keys[row], row);
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+/// Per-query accounting of one two-phase scan (feeds the `search_quant`
+/// metrics row group).
+#[derive(Debug, Clone, Copy)]
+pub struct TwoPhaseStats {
+    /// Candidate window requested (`≥ k`).
+    pub window: usize,
+    /// Rows the exact rescore actually visited (`≤ window`).
+    pub candidates: usize,
+    /// Phase-1 quantized scan wall time.
+    pub phase1: Duration,
+    /// Phase-2 exact-rescore wall time.
+    pub rescore: Duration,
+}
+
+/// Two-phase top-k: quantized candidate pass over all rows, exact `f32`
+/// rescore of the best `window` candidates, final top-`k` under the exact
+/// total order. Returned scores are full precision — identical bits to
+/// the exact scan's whenever every true top-k row lands in the window
+/// (guaranteed when `window ≥ keys.len()`, overwhelmingly likely far
+/// below it; see the recall property suite).
+#[allow(clippy::too_many_arguments)]
+pub fn two_phase_topk<F>(
+    query: &[f32],
+    qquant: &QuantizedVec,
+    slab: &[f32],
+    codes: &[i8],
+    scales: &[f32],
+    keys: &[u64],
+    k: usize,
+    window: usize,
+    accept: F,
+) -> (Vec<ScoredRow>, TwoPhaseStats)
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    let window = window.max(k);
+    let t0 = Instant::now();
+    let candidates = quantized_topk(&qquant.codes, qquant.scale, codes, scales, keys, window, &accept);
+    let phase1 = t0.elapsed();
+    let t1 = Instant::now();
+    let mut top = TopK::new(k);
+    for c in &candidates {
+        top.push(dot(query, &slab[c.row * DIM..(c.row + 1) * DIM]), c.key, c.row);
+    }
+    let rows = top.into_sorted();
+    (
+        rows,
+        TwoPhaseStats {
+            window,
+            candidates: candidates.len(),
+            phase1,
+            rescore: t1.elapsed(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{slab_topk_serial, DenseVec};
+
+    fn lcg_vec(seed: &mut u64) -> DenseVec {
+        let mut values = vec![0.0f32; DIM];
+        for v in &mut values {
+            *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((*seed >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+        }
+        DenseVec::normalised(values)
+    }
+
+    fn corpus(n: usize, seed: u64) -> (Vec<f32>, Vec<i8>, Vec<f32>, Vec<u64>) {
+        let mut seed = seed;
+        let mut slab = Vec::with_capacity(n * DIM);
+        let mut codes = vec![0i8; n * DIM];
+        let mut scales = Vec::with_capacity(n);
+        for row in 0..n {
+            let v = lcg_vec(&mut seed);
+            scales.push(quantize_into(&v.values, &mut codes[row * DIM..(row + 1) * DIM]));
+            slab.extend_from_slice(&v.values);
+        }
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * 2).collect();
+        (slab, codes, scales, keys)
+    }
+
+    #[test]
+    fn widening_dot_matches_naive() {
+        let a: Vec<i8> = (0..DIM).map(|i| ((i as i32 * 37) % 255 - 127) as i8).collect();
+        let b: Vec<i8> = (0..DIM).map(|i| ((i as i32 * 91) % 255 - 127) as i8).collect();
+        let naive: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+        assert_eq!(dot_i8(&a, &b), naive);
+        // Unequal lengths score the common prefix; the tail path is hit.
+        let naive19: i32 = a[..19].iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+        assert_eq!(dot_i8(&a[..19], &b), naive19);
+        assert_eq!(dot_i8(&[], &b), 0);
+        // Worst case stays far from overflow.
+        let lo = vec![-127i8; DIM];
+        assert_eq!(dot_i8(&lo, &lo), DIM as i32 * 127 * 127);
+    }
+
+    #[test]
+    fn quantize_bounds_and_zero_row() {
+        let mut seed = 7u64;
+        let v = lcg_vec(&mut seed);
+        let (scale, codes) = quantize_row(&v.values);
+        assert!(scale > 0.0);
+        assert!(codes.iter().all(|&c| (-127..=127).contains(&(c as i32))));
+        // The max-magnitude component maps to ±127.
+        assert_eq!(codes.iter().map(|&c| (c as i32).abs()).max(), Some(127));
+        // Reconstruction error ≤ half a step per component.
+        for (&orig, &c) in v.values.iter().zip(&codes) {
+            assert!((orig - c as f32 * scale).abs() <= scale * 0.5 + f32::EPSILON);
+        }
+        let (zs, zc) = quantize_row(&vec![0.0f32; DIM]);
+        assert_eq!(zs, 0.0);
+        assert!(zc.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn quantize_dequantize_quantize_fixpoint() {
+        let mut seed = 99u64;
+        for _ in 0..16 {
+            let v = lcg_vec(&mut seed);
+            let q1 = QuantizedVec::quantize(&v.values);
+            let q2 = QuantizedVec::quantize(&q1.dequantize());
+            assert_eq!(q1.codes, q2.codes, "codes are a fixpoint");
+            // The scale can wobble by one rounding of `max·s/127`; a third
+            // pass must be fully stable against the second.
+            let q3 = QuantizedVec::quantize(&q2.dequantize());
+            assert_eq!(q2.codes, q3.codes);
+        }
+    }
+
+    #[test]
+    fn two_phase_full_window_equals_exact() {
+        // window ≥ n ⇒ every row is rescored exactly ⇒ bit-identical to
+        // the exact scan whatever the quantization error.
+        let n = 300;
+        let (slab, codes, scales, keys) = corpus(n, 5);
+        let mut qs = 123u64;
+        let q = lcg_vec(&mut qs);
+        let qq = QuantizedVec::quantize(&q.values);
+        for k in [1usize, 5, 17] {
+            let exact = slab_topk_serial(&q.values, &slab, &keys, k, |_| true);
+            let (got, stats) =
+                two_phase_topk(&q.values, &qq, &slab, &codes, &scales, &keys, k, n, |_| true);
+            assert_eq!(got, exact, "k={k}");
+            assert_eq!(stats.candidates, n);
+        }
+        // Kind-style filtering flows through both phases.
+        let exact = slab_topk_serial(&q.values, &slab, &keys, 5, |row| row % 2 == 0);
+        let (got, _) =
+            two_phase_topk(&q.values, &qq, &slab, &codes, &scales, &keys, 5, n, |row| row % 2 == 0);
+        assert_eq!(got, exact);
+        assert!(got.iter().all(|r| r.row % 2 == 0));
+    }
+
+    #[test]
+    fn quantized_scan_parallel_matches_serial_past_threshold() {
+        let n = PAR_SCAN_THRESHOLD + 64;
+        let (_, codes, scales, keys) = corpus(n, 11);
+        let mut qs = 77u64;
+        let q = QuantizedVec::quantize(&lcg_vec(&mut qs).values);
+        // Serial reference via an explicit TopK fold.
+        let mut top = TopK::new(9);
+        for (row, chunk) in codes.chunks_exact(DIM).enumerate() {
+            top.push(quant_score(&q.codes, q.scale, chunk, scales[row]), keys[row], row);
+        }
+        let serial = top.into_sorted();
+        let par = quantized_topk(&q.codes, q.scale, &codes, &scales, &keys, 9, |_| true);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn two_phase_scores_are_exact_f32() {
+        let n = 200;
+        let (slab, codes, scales, keys) = corpus(n, 21);
+        let mut qs = 4u64;
+        let q = lcg_vec(&mut qs);
+        let qq = QuantizedVec::quantize(&q.values);
+        let (rows, stats) =
+            two_phase_topk(&q.values, &qq, &slab, &codes, &scales, &keys, 5, 20, |_| true);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(stats.window, 20);
+        for r in &rows {
+            let exact = dot(&q.values, &slab[r.row * DIM..(r.row + 1) * DIM]);
+            assert_eq!(r.score.to_bits(), exact.to_bits(), "full-precision final score");
+        }
+    }
+}

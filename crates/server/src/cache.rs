@@ -1,0 +1,236 @@
+//! Query-path caches for the search service.
+//!
+//! Two caches sit in front of the ranking pipeline, both opt-in via
+//! `--query-cache-entries` (0 ⇒ off):
+//!
+//! * an **embedding cache** keyed by `(modality, normalized query text)` —
+//!   re-embedding the same query string through UniXcoderSim or ReaccSim
+//!   is pure recomputation, so identical queries (modulo surrounding
+//!   whitespace, which neither embedder is sensitive to) reuse the vector;
+//! * a **result cache** keyed by the full ranking request *plus the index
+//!   snapshot generation*. The generation is bumped every time a write
+//!   publishes a new RCU snapshot, so entries cached against an older
+//!   snapshot simply stop matching — staleness is impossible by
+//!   construction and no invalidation protocol exists to get wrong.
+//!
+//! Both are small bounded LRUs. Eviction scans for the least-recently-used
+//! stamp (O(capacity)); with the intended capacities (tens to a few
+//! thousand entries) that is cheaper and far simpler than an intrusive
+//! list, and it needs no dependencies.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use embed::DenseVec;
+use parking_lot::Mutex;
+
+use crate::indexes::{EntryKind, IndexHit};
+
+/// A minimal bounded LRU: map of key → (last-use stamp, value) plus a
+/// monotone clock. `get` refreshes the stamp; `insert` at capacity evicts
+/// the smallest stamp.
+pub struct Lru<K, V> {
+    entries: HashMap<K, (u64, V)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
+    pub fn new(capacity: usize) -> Self {
+        Lru {
+            entries: HashMap::with_capacity(capacity.min(1024)),
+            clock: 0,
+            capacity,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|slot| {
+            slot.0 = clock;
+            slot.1.clone()
+        })
+    }
+
+    /// Insert or refresh `key`, evicting the least-recently-used entry if
+    /// the cache is full and `key` is new.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (self.clock, value));
+    }
+}
+
+/// Which embedder produced (or would produce) a cached vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryModality {
+    /// UniXcoderSim over query text (semantic text-to-code search).
+    Text,
+    /// ReaccSim over a code snippet (`--embedding_type llm`).
+    Code,
+}
+
+/// Which ranking API a cached result list came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResultOp {
+    Semantic,
+    Reacc,
+    ReaccAbove,
+}
+
+/// Full identity of a ranking request against one index snapshot. Any
+/// parameter that changes the answer is part of the key; `generation`
+/// scopes the entry to the snapshot it was computed on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    pub generation: u64,
+    pub op: ResultOp,
+    pub kind: Option<EntryKind>,
+    pub k: usize,
+    /// Bit pattern of the score threshold (`f32` is not `Hash`; bitwise
+    /// identity is exactly the equivalence we want for cache keys).
+    pub score_bits: u32,
+    /// Normalized query text or code.
+    pub query: String,
+}
+
+/// The two query-path caches behind their own locks (they are touched at
+/// most twice per query; contention is negligible next to a slab scan).
+pub struct QueryCache {
+    embeddings: Mutex<Lru<(QueryModality, String), DenseVec>>,
+    results: Mutex<Lru<ResultKey, Vec<IndexHit>>>,
+}
+
+impl QueryCache {
+    pub fn new(entries: usize) -> Self {
+        QueryCache {
+            embeddings: Mutex::new(Lru::new(entries)),
+            results: Mutex::new(Lru::new(entries)),
+        }
+    }
+
+    /// Canonical cache form of query text. Both embedders tokenize, so
+    /// they are insensitive to leading/trailing whitespace — trimming
+    /// folds trivially-distinct request strings onto one entry without
+    /// ever changing the embedding.
+    pub fn normalize(text: &str) -> String {
+        text.trim().to_string()
+    }
+
+    pub fn embedding(&self, modality: QueryModality, query: &str) -> Option<DenseVec> {
+        self.embeddings.lock().get(&(modality, query.to_string()))
+    }
+
+    pub fn store_embedding(&self, modality: QueryModality, query: String, vector: DenseVec) {
+        self.embeddings.lock().insert((modality, query), vector);
+    }
+
+    pub fn results(&self, key: &ResultKey) -> Option<Vec<IndexHit>> {
+        self.results.lock().get(key)
+    }
+
+    pub fn store_results(&self, key: ResultKey, hits: Vec<IndexHit>) {
+        self.results.lock().insert(key, hits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: Lru<&str, u32> = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"a"), Some(1), "hit refreshes recency");
+        lru.insert("c", 3);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&"b"), None, "b was least recently used");
+        assert_eq!(lru.get(&"a"), Some(1));
+        assert_eq!(lru.get(&"c"), Some(3));
+    }
+
+    #[test]
+    fn lru_refresh_does_not_evict() {
+        let mut lru: Lru<&str, u32> = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.insert("a", 10);
+        assert_eq!(lru.len(), 2, "re-insert of a live key is a refresh");
+        assert_eq!(lru.get(&"a"), Some(10));
+        assert_eq!(lru.get(&"b"), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut lru: Lru<&str, u32> = Lru::new(0);
+        lru.insert("a", 1);
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&"a"), None);
+    }
+
+    #[test]
+    fn result_cache_scopes_to_generation() {
+        let cache = QueryCache::new(8);
+        let key = |generation: u64| ResultKey {
+            generation,
+            op: ResultOp::Semantic,
+            kind: Some(EntryKind::Pe),
+            k: 5,
+            score_bits: 0,
+            query: "find anomalies".to_string(),
+        };
+        let hits = vec![IndexHit {
+            id: 7,
+            kind: EntryKind::Pe,
+            score: 0.5,
+        }];
+        cache.store_results(key(1), hits.clone());
+        assert_eq!(cache.results(&key(1)), Some(hits));
+        assert_eq!(
+            cache.results(&key(2)),
+            None,
+            "a new snapshot generation invalidates by key miss"
+        );
+    }
+
+    #[test]
+    fn embedding_cache_round_trips_by_modality() {
+        let cache = QueryCache::new(8);
+        let q = QueryCache::normalize("  find anomalies  ");
+        assert_eq!(q, "find anomalies");
+        let v = DenseVec {
+            values: vec![1.0; 4],
+        };
+        cache.store_embedding(QueryModality::Text, q.clone(), v.clone());
+        assert_eq!(cache.embedding(QueryModality::Text, &q), Some(v));
+        assert_eq!(
+            cache.embedding(QueryModality::Code, &q),
+            None,
+            "modalities never alias"
+        );
+    }
+}

@@ -36,13 +36,26 @@
 //! **Prefiltering** (opt-in): an [`aroma::lsh::LshPrefilter`] shadows the
 //! SPT modality and, past a size threshold, shrinks the exact-rescore set
 //! from the whole corpus to the band-colliding candidate pool.
+//!
+//! **Quantized tier** (opt-in): each dense modality additionally keeps an
+//! `i8` code slab plus per-row `f32` scales (per-row symmetric
+//! quantization, ~4× fewer bytes per scanned row). Dense rankings then run
+//! **two-phase**: a quantized candidate pass over all rows selects a
+//! rescore window of `rescore_window · k` rows, and only those are scored
+//! against the `f32` slab — final scores and ranking stay full precision.
+//! The quantized slabs live inside [`IndexState`], so the RCU snapshot
+//! swap publishes both tiers atomically, and a monotone `generation`
+//! counter (bumped per published write) lets the server's result cache
+//! scope entries to one snapshot — publication invalidates by key miss,
+//! with no explicit invalidation protocol.
 
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use aroma::lsh::{LshConfig, LshPrefilter, LshSearchStats};
-use embed::dense::{dot, slab_topk, PAR_SCAN_THRESHOLD};
+use embed::dense::{dot, slab_scan_above, slab_topk, PAR_SCAN_THRESHOLD};
+use embed::quant::{quantize_into, two_phase_topk, QuantizedVec, TwoPhaseStats};
 use embed::topk::{ScoredRow, TopK};
 use embed::{DenseVec, ReaccSim, DIM};
 use parking_lot::RwLock;
@@ -50,7 +63,7 @@ use rayon::prelude::*;
 use spt::FeatureVec;
 
 /// What kind of registry row an index entry points at.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EntryKind {
     Pe,
     Workflow,
@@ -80,6 +93,60 @@ fn key_kind(key: u64) -> EntryKind {
     }
 }
 
+/// The opt-in int8 tier: per-row symmetric quantizations of both dense
+/// slabs, row-aligned with them and maintained through the exact same
+/// upsert / swap-remove / clear motions.
+#[derive(Clone, Default)]
+struct QuantState {
+    /// `i8` codes, `keys.len() * DIM` per modality.
+    desc_codes: Vec<i8>,
+    reacc_codes: Vec<i8>,
+    /// Per-row quantization scales (`max|v| / 127`).
+    desc_scales: Vec<f32>,
+    reacc_scales: Vec<f32>,
+}
+
+impl QuantState {
+    /// Quantize one row into the tier — append when `row` is the new
+    /// tail, overwrite in place otherwise (mirrors the slab upsert).
+    fn set_row(&mut self, row: usize, desc: &[f32], reacc: &[f32]) {
+        let mut dc = [0i8; DIM];
+        let mut rc = [0i8; DIM];
+        let ds = quantize_into(desc, &mut dc);
+        let rs = quantize_into(reacc, &mut rc);
+        if row == self.desc_scales.len() {
+            self.desc_scales.push(ds);
+            self.desc_codes.extend_from_slice(&dc);
+            self.reacc_scales.push(rs);
+            self.reacc_codes.extend_from_slice(&rc);
+        } else {
+            self.desc_scales[row] = ds;
+            self.desc_codes[row * DIM..(row + 1) * DIM].copy_from_slice(&dc);
+            self.reacc_scales[row] = rs;
+            self.reacc_codes[row * DIM..(row + 1) * DIM].copy_from_slice(&rc);
+        }
+    }
+
+    /// Mirror of the slab swap-remove: last row into the vacated stride.
+    fn swap_remove(&mut self, row: usize, last: usize) {
+        self.desc_codes
+            .copy_within(last * DIM..(last + 1) * DIM, row * DIM);
+        self.desc_codes.truncate(last * DIM);
+        self.desc_scales.swap_remove(row);
+        self.reacc_codes
+            .copy_within(last * DIM..(last + 1) * DIM, row * DIM);
+        self.reacc_codes.truncate(last * DIM);
+        self.reacc_scales.swap_remove(row);
+    }
+
+    fn clear(&mut self) {
+        self.desc_codes.clear();
+        self.desc_scales.clear();
+        self.reacc_codes.clear();
+        self.reacc_scales.clear();
+    }
+}
+
 /// One immutable snapshot of all three modalities. Cloned (copy-on-write)
 /// only when a writer mutates while a query still holds the previous
 /// snapshot.
@@ -100,6 +167,12 @@ struct IndexState {
     workflows: usize,
     /// Opt-in MinHash prefilter shadowing the SPT modality.
     lsh: Option<LshPrefilter>,
+    /// Opt-in int8 tier shadowing both dense slabs.
+    quant: Option<QuantState>,
+    /// Monotone snapshot generation, bumped once per published write.
+    /// Result-cache entries key on it, so a new publication invalidates
+    /// them by construction.
+    generation: u64,
 }
 
 impl IndexState {
@@ -117,15 +190,17 @@ impl IndexState {
         if let Some(lsh) = &mut self.lsh {
             lsh.insert(key, &spt);
         }
-        match self.slots.entry(key) {
+        let row = match self.slots.entry(key) {
             MapEntry::Occupied(e) => {
                 let row = *e.get();
                 self.desc[row * DIM..(row + 1) * DIM].copy_from_slice(&desc.values);
                 self.reacc[row * DIM..(row + 1) * DIM].copy_from_slice(&reacc.values);
                 self.spt[row] = spt;
+                row
             }
             MapEntry::Vacant(e) => {
-                e.insert(self.keys.len());
+                let row = self.keys.len();
+                e.insert(row);
                 self.keys.push(key);
                 self.kinds.push(kind);
                 self.desc.extend_from_slice(&desc.values);
@@ -135,7 +210,15 @@ impl IndexState {
                     EntryKind::Pe => self.pes += 1,
                     EntryKind::Workflow => self.workflows += 1,
                 }
+                row
             }
+        };
+        if let Some(q) = &mut self.quant {
+            q.set_row(
+                row,
+                &self.desc[row * DIM..(row + 1) * DIM],
+                &self.reacc[row * DIM..(row + 1) * DIM],
+            );
         }
     }
 
@@ -163,6 +246,9 @@ impl IndexState {
         self.reacc
             .copy_within(last * DIM..(last + 1) * DIM, row * DIM);
         self.reacc.truncate(last * DIM);
+        if let Some(q) = &mut self.quant {
+            q.swap_remove(row, last);
+        }
         if row != last {
             self.slots.insert(self.keys[row], row);
         }
@@ -180,6 +266,9 @@ impl IndexState {
         if let Some(lsh) = &mut self.lsh {
             lsh.clear();
         }
+        if let Some(q) = &mut self.quant {
+            q.clear();
+        }
     }
 
     #[inline]
@@ -188,12 +277,59 @@ impl IndexState {
     }
 }
 
+/// Construction-time options for [`SearchIndexes`].
+#[derive(Debug, Clone)]
+pub struct IndexOptions {
+    /// Build a MinHash-LSH prefilter on the SPT modality.
+    pub lsh: Option<LshConfig>,
+    /// Corpus size at which the prefilter engages.
+    pub lsh_min_entries: usize,
+    /// Maintain the int8 tier and answer dense rankings two-phase.
+    pub quantized: bool,
+    /// Exact-rescore window as a multiple of `k` (clamped to ≥ 1).
+    pub rescore_window: usize,
+}
+
+/// Default rescore window: rescore `4·k` candidates per query.
+pub const DEFAULT_RESCORE_WINDOW: usize = 4;
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            lsh: None,
+            lsh_min_entries: usize::MAX,
+            quantized: false,
+            rescore_window: DEFAULT_RESCORE_WINDOW,
+        }
+    }
+}
+
+/// Per-modality index footprint: bytes each scan tier streams for the
+/// current row count (`i8` tier bytes are 0 when the tier is off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierBytes {
+    pub rows: usize,
+    pub desc_f32: usize,
+    pub desc_i8: usize,
+    pub reacc_f32: usize,
+    pub reacc_i8: usize,
+}
+
+/// Which dense modality a ranking runs over.
+#[derive(Clone, Copy)]
+enum DenseSlab {
+    Desc,
+    Reacc,
+}
+
 /// The three search indexes, kept consistent with the registry by the
 /// server's write paths.
 pub struct SearchIndexes {
     state: RwLock<Arc<IndexState>>,
     /// SPT corpus size at which the LSH prefilter (when built) engages.
     lsh_min_entries: usize,
+    /// Two-phase rescore window multiple (`Some` ⇒ quantized tier on).
+    rescore_window: Option<usize>,
 }
 
 impl Default for SearchIndexes {
@@ -211,25 +347,82 @@ pub struct IndexHit {
 }
 
 impl SearchIndexes {
-    /// Exact-scan indexes (no LSH prefilter).
+    /// Exact-scan indexes (no LSH prefilter, no quantized tier).
     pub fn new() -> Self {
-        SearchIndexes {
-            state: RwLock::new(Arc::new(IndexState::default())),
-            lsh_min_entries: usize::MAX,
-        }
+        SearchIndexes::with_options(IndexOptions::default())
     }
 
     /// Indexes with a MinHash-LSH prefilter on the SPT modality that
     /// engages once the corpus reaches `min_entries` (below that, exact
     /// scanning is both faster and lossless).
     pub fn with_spt_prefilter(config: LshConfig, min_entries: usize) -> Self {
+        SearchIndexes::with_options(IndexOptions {
+            lsh: Some(config),
+            lsh_min_entries: min_entries,
+            ..IndexOptions::default()
+        })
+    }
+
+    /// Indexes with the full option set (LSH prefilter and/or the int8
+    /// two-phase tier).
+    pub fn with_options(opts: IndexOptions) -> Self {
         SearchIndexes {
             state: RwLock::new(Arc::new(IndexState {
-                lsh: Some(LshPrefilter::new(config)),
+                lsh: opts.lsh.map(LshPrefilter::new),
+                quant: opts.quantized.then(QuantState::default),
                 ..IndexState::default()
             })),
-            lsh_min_entries: min_entries,
+            lsh_min_entries: opts.lsh_min_entries,
+            rescore_window: opts.quantized.then(|| opts.rescore_window.max(1)),
         }
+    }
+
+    /// Whether the int8 two-phase tier is maintained.
+    pub fn quantized(&self) -> bool {
+        self.rescore_window.is_some()
+    }
+
+    /// Current snapshot generation (bumped once per published write).
+    /// Cache entries keyed on it go stale — and therefore miss — the
+    /// moment a new snapshot publishes.
+    pub fn generation(&self) -> u64 {
+        self.state.read().generation
+    }
+
+    /// Bytes each scan tier holds for the current corpus (feeds the
+    /// `search_quant` byte gauges; the i8 tier counts codes + scales).
+    pub fn tier_bytes(&self) -> TierBytes {
+        let st = self.state.read();
+        let rows = st.keys.len();
+        let f32_bytes = rows * DIM * std::mem::size_of::<f32>();
+        let i8_bytes = if st.quant.is_some() {
+            rows * (DIM * std::mem::size_of::<i8>() + std::mem::size_of::<f32>())
+        } else {
+            0
+        };
+        TierBytes {
+            rows,
+            desc_f32: f32_bytes,
+            desc_i8: i8_bytes,
+            reacc_f32: f32_bytes,
+            reacc_i8: i8_bytes,
+        }
+    }
+
+    /// Test/bench introspection: clones of the quantized tier's slabs as
+    /// `(desc scales, desc codes, reacc scales, reacc codes)`. The slab
+    /// bit-identity property suite compares these across construction
+    /// orders (per-row vs bulk vs registry replay).
+    pub fn quant_slabs(&self) -> Option<(Vec<f32>, Vec<i8>, Vec<f32>, Vec<i8>)> {
+        let st = self.state.read();
+        st.quant.as_ref().map(|q| {
+            (
+                q.desc_scales.clone(),
+                q.desc_codes.clone(),
+                q.reacc_scales.clone(),
+                q.reacc_codes.clone(),
+            )
+        })
     }
 
     /// Clone the current snapshot (an `Arc` bump — queries then scan it
@@ -263,7 +456,9 @@ impl SearchIndexes {
         reacc: DenseVec,
     ) {
         let mut guard = self.state.write();
-        Arc::make_mut(&mut *guard).upsert(id, kind, desc, spt_vec, reacc);
+        let st = Arc::make_mut(&mut *guard);
+        st.upsert(id, kind, desc, spt_vec, reacc);
+        st.generation = st.generation.wrapping_add(1);
     }
 
     /// Insert or replace many pre-embedded entries under a *single*
@@ -283,16 +478,21 @@ impl SearchIndexes {
         for (id, kind, desc, spt_vec, reacc) in rows {
             st.upsert(id, kind, desc, spt_vec, reacc);
         }
+        st.generation = st.generation.wrapping_add(1);
     }
 
     pub fn remove(&self, id: u64, kind: EntryKind) {
         let mut guard = self.state.write();
-        Arc::make_mut(&mut *guard).remove(id, kind);
+        let st = Arc::make_mut(&mut *guard);
+        st.remove(id, kind);
+        st.generation = st.generation.wrapping_add(1);
     }
 
     pub fn clear(&self) {
         let mut guard = self.state.write();
-        Arc::make_mut(&mut *guard).clear();
+        let st = Arc::make_mut(&mut *guard);
+        st.clear();
+        st.generation = st.generation.wrapping_add(1);
     }
 
     pub fn len(&self) -> usize {
@@ -309,6 +509,55 @@ impl SearchIndexes {
         (st.pes, st.workflows)
     }
 
+    /// One dense ranking for both modalities. Zero queries short-circuit
+    /// (a zero vector scores 0 against everything — scanning would return
+    /// `k` arbitrary zero-scored rows). When the quantized tier is on and
+    /// the corpus outgrows the rescore window, the scan runs two-phase:
+    /// int8 candidate pass, then exact `f32` rescore of the window — final
+    /// scores are always full-precision dots.
+    fn rank_dense(
+        &self,
+        slab: DenseSlab,
+        query: &DenseVec,
+        kind: Option<EntryKind>,
+        k: usize,
+    ) -> (Vec<IndexHit>, Option<TwoPhaseStats>) {
+        if query.is_zero() {
+            return (Vec::new(), None);
+        }
+        let st = self.snapshot();
+        let values = match slab {
+            DenseSlab::Desc => &st.desc,
+            DenseSlab::Reacc => &st.reacc,
+        };
+        if let (Some(factor), Some(q)) = (self.rescore_window, &st.quant) {
+            let window = k.saturating_mul(factor).max(k);
+            if k > 0 && st.keys.len() > window {
+                let (codes, scales) = match slab {
+                    DenseSlab::Desc => (&q.desc_codes, &q.desc_scales),
+                    DenseSlab::Reacc => (&q.reacc_codes, &q.reacc_scales),
+                };
+                let qquant = QuantizedVec::quantize(&query.values);
+                let (rows, stats) = two_phase_topk(
+                    &query.values,
+                    &qquant,
+                    values,
+                    codes,
+                    scales,
+                    &st.keys,
+                    k,
+                    window,
+                    |row| st.accepts(row, kind),
+                );
+                return (to_hits(&st, rows), Some(stats));
+            }
+        }
+        let rows = slab_topk(&query.values, values, &st.keys, k, |row| {
+            st.accepts(row, kind)
+        });
+        (to_hits(&st, rows), None)
+    }
+
     /// Top-`k` by cosine of description embeddings (semantic text search).
     pub fn rank_semantic(
         &self,
@@ -316,20 +565,35 @@ impl SearchIndexes {
         kind: Option<EntryKind>,
         k: usize,
     ) -> Vec<IndexHit> {
-        let st = self.snapshot();
-        let rows = slab_topk(&query.values, &st.desc, &st.keys, k, |row| {
-            st.accepts(row, kind)
-        });
-        to_hits(&st, rows)
+        self.rank_semantic_with_stats(query, kind, k).0
+    }
+
+    /// Like [`rank_semantic`](Self::rank_semantic), also reporting the
+    /// two-phase scan stats when the quantized tier answered the query
+    /// (`None` ⇒ exact `f32` scan).
+    pub fn rank_semantic_with_stats(
+        &self,
+        query: &DenseVec,
+        kind: Option<EntryKind>,
+        k: usize,
+    ) -> (Vec<IndexHit>, Option<TwoPhaseStats>) {
+        self.rank_dense(DenseSlab::Desc, query, kind, k)
     }
 
     /// Top-`k` by ReACC code-embedding cosine (`--embedding_type llm`).
     pub fn rank_reacc(&self, query: &DenseVec, kind: Option<EntryKind>, k: usize) -> Vec<IndexHit> {
-        let st = self.snapshot();
-        let rows = slab_topk(&query.values, &st.reacc, &st.keys, k, |row| {
-            st.accepts(row, kind)
-        });
-        to_hits(&st, rows)
+        self.rank_reacc_with_stats(query, kind, k).0
+    }
+
+    /// Like [`rank_reacc`](Self::rank_reacc), also reporting the two-phase
+    /// scan stats when the quantized tier answered the query.
+    pub fn rank_reacc_with_stats(
+        &self,
+        query: &DenseVec,
+        kind: Option<EntryKind>,
+        k: usize,
+    ) -> (Vec<IndexHit>, Option<TwoPhaseStats>) {
+        self.rank_dense(DenseSlab::Reacc, query, kind, k)
     }
 
     /// Top-`k` by SPT feature overlap (structural code search).
@@ -382,65 +646,37 @@ impl SearchIndexes {
         min_score: f32,
     ) -> Vec<IndexHit> {
         let st = self.snapshot();
-        let score_row = |(row, v): (usize, &FeatureVec)| {
-            if !st.accepts(row, kind) {
-                return None;
-            }
-            let score = query.overlap(v);
-            (score >= min_score).then_some(ScoredRow {
-                row,
-                key: st.keys[row],
-                score,
-            })
-        };
-        let mut rows: Vec<ScoredRow> = if st.spt.len() >= PAR_SCAN_THRESHOLD {
-            st.spt
-                .par_iter()
-                .enumerate()
-                .filter_map(score_row)
-                .collect()
-        } else {
-            st.spt.iter().enumerate().filter_map(score_row).collect()
-        };
-        rows.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.key.cmp(&b.key)));
+        let rows = slab_scan_above(
+            st.spt.len(),
+            |row| query.overlap(&st.spt[row]),
+            |row| st.accepts(row, kind),
+            &st.keys,
+            min_score,
+        );
         to_hits(&st, rows)
     }
 
     /// *All* ReACC hits with cosine ≥ `min_score`, best first — the dense
     /// counterpart of [`rank_spt_above`](Self::rank_spt_above), used by the
-    /// workflow-scope `--embedding_type llm` recommendation.
+    /// workflow-scope `--embedding_type llm` recommendation. Zero queries
+    /// short-circuit like the top-k paths.
     pub fn rank_reacc_above(
         &self,
         query: &DenseVec,
         kind: Option<EntryKind>,
         min_score: f32,
     ) -> Vec<IndexHit> {
+        if query.is_zero() {
+            return Vec::new();
+        }
         let st = self.snapshot();
-        let score_row = |(row, chunk): (usize, &[f32])| {
-            if !st.accepts(row, kind) {
-                return None;
-            }
-            let score = dot(&query.values, chunk);
-            (score >= min_score).then_some(ScoredRow {
-                row,
-                key: st.keys[row],
-                score,
-            })
-        };
-        let mut rows: Vec<ScoredRow> = if st.keys.len() >= PAR_SCAN_THRESHOLD {
-            st.reacc
-                .par_chunks_exact(DIM)
-                .enumerate()
-                .filter_map(score_row)
-                .collect()
-        } else {
-            st.reacc
-                .chunks_exact(DIM)
-                .enumerate()
-                .filter_map(score_row)
-                .collect()
-        };
-        rows.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.key.cmp(&b.key)));
+        let rows = slab_scan_above(
+            st.keys.len(),
+            |row| dot(&query.values, &st.reacc[row * DIM..(row + 1) * DIM]),
+            |row| st.accepts(row, kind),
+            &st.keys,
+            min_score,
+        );
         to_hits(&st, rows)
     }
 }
@@ -782,5 +1018,145 @@ mod tests {
         let q = UniXcoderSim::new().embed("workflow five");
         let hits = ix.rank_semantic(&q, None, ALL);
         assert_eq!(hits[0].kind, EntryKind::Workflow);
+    }
+
+    fn quantized_ix(window: usize) -> SearchIndexes {
+        SearchIndexes::with_options(IndexOptions {
+            quantized: true,
+            rescore_window: window,
+            ..IndexOptions::default()
+        })
+    }
+
+    #[test]
+    fn zero_query_short_circuits() {
+        let ix = SearchIndexes::new();
+        add(&ix, 1, EntryKind::Pe, "some description", "x = 1\n");
+        let zero = UniXcoderSim::new().embed("");
+        assert!(zero.is_zero());
+        assert!(ix.rank_semantic(&zero, None, ALL).is_empty());
+        assert!(ix.rank_reacc(&zero, None, ALL).is_empty());
+        assert!(ix.rank_reacc_above(&zero, None, -1.0).is_empty());
+    }
+
+    #[test]
+    fn quantized_two_phase_matches_exact_when_window_covers_accepted() {
+        let exact = SearchIndexes::new();
+        let quant = quantized_ix(2);
+        for ix in [&exact, &quant] {
+            for i in 0..6u64 {
+                add(
+                    ix,
+                    i,
+                    EntryKind::Pe,
+                    &format!("pe number {i} parses logs"),
+                    &format!("def f{i}(a):\n    return a * {i} + {i}\n"),
+                );
+            }
+            for i in 6..13u64 {
+                add(
+                    ix,
+                    i,
+                    EntryKind::Workflow,
+                    &format!("workflow number {i} moves files"),
+                    &format!("def g{i}(b):\n    return b - {i}\n"),
+                );
+            }
+        }
+        assert!(quant.quantized());
+        let q = UniXcoderSim::new().embed("a pe that parses logs");
+        let (hits, stats) = quant.rank_semantic_with_stats(&q, Some(EntryKind::Pe), 3);
+        let stats = stats.expect("13 rows > window 6 ⇒ two-phase engaged");
+        assert_eq!(stats.window, 6);
+        // Window ≥ every accepted row ⇒ the rescore set is the full kind
+        // slice, so the result is bit-identical to the exact scan.
+        assert_eq!(hits, exact.rank_semantic(&q, Some(EntryKind::Pe), 3));
+        let rq = ReaccSim::new().embed_code("def f2(a):\n    return a * 2 + 2\n");
+        let (rhits, rstats) = quant.rank_reacc_with_stats(&rq, Some(EntryKind::Pe), 3);
+        assert!(rstats.is_some());
+        assert_eq!(rhits, exact.rank_reacc(&rq, Some(EntryKind::Pe), 3));
+    }
+
+    #[test]
+    fn quantized_self_retrieval_with_tight_window() {
+        // rescore_window = 1 forces the narrowest possible phase-2 set;
+        // the swap-remove in the middle additionally exercises quant-slab
+        // row moves staying aligned with the f32 slabs.
+        let ix = quantized_ix(1);
+        let codes: Vec<String> = (0..8)
+            .map(|i| format!("def f{i}(a):\n    return a * {i} + {i}\n"))
+            .collect();
+        for (i, code) in codes.iter().enumerate() {
+            add(
+                &ix,
+                i as u64,
+                EntryKind::Pe,
+                &format!("pe number {i}"),
+                code,
+            );
+        }
+        ix.remove(3, EntryKind::Pe);
+        for (i, code) in codes.iter().enumerate() {
+            if i == 3 {
+                continue;
+            }
+            let q = ReaccSim::new().embed_code(code);
+            let (hits, stats) = ix.rank_reacc_with_stats(&q, None, 1);
+            assert!(stats.is_some(), "7 rows > window 1 ⇒ two-phase engaged");
+            assert_eq!(hits[0].id, i as u64, "self-retrieval through int8 tier");
+            assert!(hits[0].score > 0.99, "final score is the exact f32 dot");
+        }
+    }
+
+    #[test]
+    fn generation_bumps_once_per_published_write() {
+        let ix = SearchIndexes::new();
+        let g0 = ix.generation();
+        add(&ix, 1, EntryKind::Pe, "a", "x = 1\n");
+        assert_eq!(ix.generation(), g0 + 1);
+        let row = |id: u64, desc: &str, code: &str| {
+            (
+                id,
+                EntryKind::Pe,
+                UniXcoderSim::new().embed(desc),
+                Spt::parse_source(code).feature_vec(),
+                ReaccSim::new().embed_code(code),
+            )
+        };
+        ix.bulk_upsert_embedded(vec![row(2, "b", "y = 2\n"), row(3, "c", "z = 3\n")]);
+        assert_eq!(ix.generation(), g0 + 2, "one bump per batch, not per row");
+        ix.remove(1, EntryKind::Pe);
+        assert_eq!(ix.generation(), g0 + 3);
+        ix.clear();
+        assert_eq!(ix.generation(), g0 + 4);
+    }
+
+    #[test]
+    fn tier_bytes_reports_quantized_savings() {
+        let ix = quantized_ix(DEFAULT_RESCORE_WINDOW);
+        for i in 0..4u64 {
+            add(
+                &ix,
+                i,
+                EntryKind::Pe,
+                "a description",
+                &format!("v{i} = {i}\n"),
+            );
+        }
+        let tb = ix.tier_bytes();
+        assert_eq!(tb.rows, 4);
+        assert_eq!(tb.desc_f32, 4 * DIM * 4);
+        assert_eq!(tb.desc_i8, 4 * (DIM + 4));
+        assert!(
+            tb.desc_f32 >= 3 * tb.desc_i8,
+            "acceptance: scan tier ≥ 3× smaller"
+        );
+        assert_eq!(tb.reacc_f32, tb.desc_f32);
+        assert_eq!(tb.reacc_i8, tb.desc_i8);
+        // Quantization is strictly opt-in: the default index carries no
+        // i8 tier at all.
+        let plain = SearchIndexes::new();
+        assert!(!plain.quantized());
+        assert_eq!(plain.tier_bytes().desc_i8, 0);
     }
 }

@@ -9,7 +9,11 @@
 //! * [`server`] — the controller: session auth, request dispatch;
 //! * [`indexes`] — the search service's in-memory embedding indexes
 //!   (description embeddings, SPT feature vectors, ReACC code vectors),
-//!   updated incrementally on every registration;
+//!   updated incrementally on every registration, with an opt-in int8
+//!   two-phase scan tier;
+//! * [`cache`] — the opt-in query-path caches: an LRU over query
+//!   embeddings and a result cache scoped to the index snapshot
+//!   generation;
 //! * [`resources`] — the §IV-F resource cache: content-hash dedup,
 //!   multipart upload, bytes-on-wire accounting;
 //! * [`transport`] — batch (HTTP/1.1-style) vs streaming (HTTP/2-style)
@@ -25,6 +29,7 @@
 //! The data-access layer is the `laminar-registry` crate; the models are
 //! its row types.
 
+pub mod cache;
 pub mod connection;
 pub mod indexes;
 pub mod net;
@@ -34,9 +39,14 @@ pub mod resources;
 pub mod server;
 pub mod transport;
 
+pub use cache::{QueryCache, QueryModality, ResultKey, ResultOp};
 pub use connection::{classify, ConnOptions, Connection, ConnectionError};
+pub use indexes::{IndexOptions, SearchIndexes, TierBytes};
 pub use net::{NetClientTransport, NetServer, NetServerConfig, MAX_FRAME};
-pub use obs::{EnactmentSnapshot, EndpointSnapshot, Metrics, MetricsSnapshot, RequestId, SearchSnapshot};
+pub use obs::{
+    EnactmentSnapshot, EndpointSnapshot, Metrics, MetricsSnapshot, RequestId, SearchQuantSnapshot,
+    SearchSnapshot,
+};
 pub use protocol::{
     EmbeddingType, FaultPolicyWire, Ident, PeSubmission, Reply, Request, RequestEnvelope, Response,
     RunMode, SearchScope, SemanticHit, WireFrame, PROTOCOL_VERSION,

@@ -229,6 +229,51 @@ impl SearchMetrics {
     }
 }
 
+/// Quantized-search and query-cache metrics, fed by the two-phase dense
+/// ranking path and the opt-in query caches: cache hit/miss counters,
+/// rescore-window sizing, per-phase scan latency, and the per-modality
+/// scan-tier footprints (f32 vs i8 bytes) behind the ≥3× memory claim.
+#[derive(Debug, Default)]
+pub struct SearchQuantMetrics {
+    /// Embedding-cache lookups that reused a vector.
+    pub embed_cache_hits: Counter,
+    /// Embedding-cache lookups that had to embed.
+    pub embed_cache_misses: Counter,
+    /// Result-cache lookups answered without a scan.
+    pub result_cache_hits: Counter,
+    /// Result-cache lookups that ran the ranking.
+    pub result_cache_misses: Counter,
+    /// Rescore-window sizes per two-phase query (buckets count rows).
+    pub rescore_window: Histogram,
+    /// Phase-1 latency: the int8 candidate scan over all rows.
+    pub quant_scan_latency: Histogram,
+    /// Phase-2 latency: the exact `f32` rescore of the window.
+    pub rescore_latency: Histogram,
+    /// Scan-tier bytes per modality (re-read from the index, not counted).
+    pub desc_f32_bytes: Gauge,
+    pub desc_i8_bytes: Gauge,
+    pub reacc_f32_bytes: Gauge,
+    pub reacc_i8_bytes: Gauge,
+}
+
+impl SearchQuantMetrics {
+    fn snapshot(&self) -> SearchQuantSnapshot {
+        SearchQuantSnapshot {
+            embed_cache_hits: self.embed_cache_hits.get(),
+            embed_cache_misses: self.embed_cache_misses.get(),
+            result_cache_hits: self.result_cache_hits.get(),
+            result_cache_misses: self.result_cache_misses.get(),
+            rescore_window: self.rescore_window.snapshot(),
+            quant_scan: self.quant_scan_latency.snapshot(),
+            rescore: self.rescore_latency.snapshot(),
+            desc_f32_bytes: self.desc_f32_bytes.get(),
+            desc_i8_bytes: self.desc_i8_bytes.get(),
+            reacc_f32_bytes: self.reacc_f32_bytes.get(),
+            reacc_i8_bytes: self.reacc_i8_bytes.get(),
+        }
+    }
+}
+
 /// Batched-ingestion metrics, fed by the `RegisterBatch` path: how large
 /// the batches are, where each batch's time goes (parallel analysis vs
 /// group commit vs index publish), and how many fsyncs the group-commit
@@ -330,6 +375,7 @@ pub struct Metrics {
     pub timeouts: Counter,
     pub disconnects: Counter,
     pub search: SearchMetrics,
+    pub search_quant: SearchQuantMetrics,
     pub enactment: EnactmentMetrics,
     pub ingest: IngestMetrics,
 }
@@ -345,6 +391,7 @@ impl Default for Metrics {
             timeouts: Counter::default(),
             disconnects: Counter::default(),
             search: SearchMetrics::default(),
+            search_quant: SearchQuantMetrics::default(),
             enactment: EnactmentMetrics::default(),
             ingest: IngestMetrics::default(),
         }
@@ -393,6 +440,7 @@ impl Metrics {
             disconnects: self.disconnects.get(),
             endpoints,
             search: self.search.snapshot(),
+            search_quant: self.search_quant.snapshot(),
             enactment: self.enactment.snapshot(),
             ingest: self.ingest.snapshot(),
         }
@@ -409,6 +457,25 @@ pub struct SearchSnapshot {
     pub index_workflows: i64,
     pub lsh_queries: u64,
     pub lsh_candidates: u64,
+}
+
+/// Snapshot of the quantized-search and query-cache metrics
+/// (serialisable). All-zero — and absent from the rendered table — until
+/// the quantized tier or a query cache is switched on.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SearchQuantSnapshot {
+    pub embed_cache_hits: u64,
+    pub embed_cache_misses: u64,
+    pub result_cache_hits: u64,
+    pub result_cache_misses: u64,
+    /// `rescore_window` buckets count rows, not µs.
+    pub rescore_window: HistogramSnapshot,
+    pub quant_scan: HistogramSnapshot,
+    pub rescore: HistogramSnapshot,
+    pub desc_f32_bytes: i64,
+    pub desc_i8_bytes: i64,
+    pub reacc_f32_bytes: i64,
+    pub reacc_i8_bytes: i64,
 }
 
 /// Snapshot of the registry persistence layer (serialisable). Filled by
@@ -514,6 +581,10 @@ pub struct MetricsSnapshot {
     /// (no `ingest` field) still deserialises.
     #[serde(default)]
     pub ingest: IngestSnapshot,
+    /// Quantized-search and query-cache metrics; serde-defaulted so a
+    /// pre-v7 snapshot (no `search_quant` field) still deserialises.
+    #[serde(default)]
+    pub search_quant: SearchQuantSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -581,12 +652,51 @@ impl MetricsSnapshot {
                 s.lsh_candidates as f64 / s.lsh_queries as f64
             );
         }
+        let q = &self.search_quant;
+        let cache_lookups =
+            q.embed_cache_hits + q.embed_cache_misses + q.result_cache_hits + q.result_cache_misses;
+        if q.quant_scan.count > 0 || q.desc_i8_bytes > 0 || cache_lookups > 0 {
+            let _ = writeln!(
+                out,
+                "query cache: embed hits {}  misses {}  result hits {}  misses {}",
+                q.embed_cache_hits,
+                q.embed_cache_misses,
+                q.result_cache_hits,
+                q.result_cache_misses
+            );
+            if q.desc_i8_bytes > 0 {
+                let _ = writeln!(
+                    out,
+                    "quantized tier bytes: desc {} f32 / {} i8 ({:.1}x)  reacc {} f32 / {} i8",
+                    q.desc_f32_bytes,
+                    q.desc_i8_bytes,
+                    q.desc_f32_bytes as f64 / q.desc_i8_bytes as f64,
+                    q.reacc_f32_bytes,
+                    q.reacc_i8_bytes
+                );
+            }
+            if q.quant_scan.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "rescore window rows: p50 {}  p95 {}  p99 {}",
+                    q.rescore_window.p50_us, q.rescore_window.p95_us, q.rescore_window.p99_us
+                );
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>8} {:>9} {:>9} {:>9}",
+                    "two-phase stage", "queries", "p50_us", "p95_us", "p99_us"
+                );
+                for (name, h) in [("quant_scan", &q.quant_scan), ("rescore", &q.rescore)] {
+                    let _ = writeln!(
+                        out,
+                        "{:<28} {:>8} {:>9} {:>9} {:>9}",
+                        name, h.count, h.p50_us, h.p95_us, h.p99_us
+                    );
+                }
+            }
+        }
         let f = &self.enactment;
-        let _ = writeln!(
-            out,
-            "enactment: runs {}  failed {}",
-            f.runs, f.runs_failed
-        );
+        let _ = writeln!(out, "enactment: runs {}  failed {}", f.runs, f.runs_failed);
         let _ = writeln!(
             out,
             "{:<28} {:>8} {:>8} {:>12} {:>9} {:>9}",
@@ -837,6 +947,48 @@ mod tests {
         json.as_object_mut().unwrap().remove("ingest");
         let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
         assert_eq!(back.ingest, IngestSnapshot::default());
+    }
+
+    #[test]
+    fn search_quant_metrics_snapshot_and_render() {
+        let m = Metrics::new();
+        // Absent until the tier or a cache is on: row group omitted.
+        assert!(!m.snapshot().render().contains("query cache:"));
+        m.search_quant.embed_cache_hits.add(3);
+        m.search_quant.embed_cache_misses.inc();
+        m.search_quant.result_cache_hits.add(2);
+        m.search_quant.result_cache_misses.add(2);
+        m.search_quant.rescore_window.record_value(20);
+        m.search_quant
+            .quant_scan_latency
+            .record(Duration::from_micros(70));
+        m.search_quant
+            .rescore_latency
+            .record(Duration::from_micros(30));
+        m.search_quant.desc_f32_bytes.set(4096);
+        m.search_quant.desc_i8_bytes.set(1040);
+        m.search_quant.reacc_f32_bytes.set(4096);
+        m.search_quant.reacc_i8_bytes.set(1040);
+        let snap = m.snapshot();
+        assert_eq!(snap.search_quant.embed_cache_hits, 3);
+        assert_eq!(snap.search_quant.result_cache_misses, 2);
+        assert_eq!(snap.search_quant.quant_scan.count, 1);
+        assert_eq!(snap.search_quant.desc_i8_bytes, 1040);
+        // Window of 20 rows lands in the ≤25 bucket: reported bound 25.
+        assert_eq!(snap.search_quant.rescore_window.p50_us, 25);
+        let table = snap.render();
+        assert!(table.contains("embed hits 3"), "{table}");
+        assert!(table.contains("quantized tier bytes"), "{table}");
+        assert!(table.contains("(3.9x)"), "{table}");
+        assert!(table.contains("quant_scan"), "{table}");
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.search_quant, snap.search_quant);
+        // A pre-v7 snapshot without the `search_quant` field still parses.
+        let mut json: serde_json::Value = serde_json::to_value(&snap).unwrap();
+        json.as_object_mut().unwrap().remove("search_quant");
+        let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
+        assert_eq!(back.search_quant, SearchQuantSnapshot::default());
     }
 
     #[test]

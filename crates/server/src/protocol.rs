@@ -53,6 +53,11 @@
 //!   `BatchRegistered` response, and the metrics snapshot grows a
 //!   serde-defaulted `ingest` row group. Version-5 payloads parse
 //!   unchanged.
+//! * `7` — quantized two-phase search: the metrics snapshot grows a
+//!   serde-defaulted `search_quant` row group (query-cache hit/miss
+//!   counters, rescore-window sizing, per-phase scan latency, f32-vs-i8
+//!   tier bytes). No request or frame changes; version-6 payloads parse
+//!   unchanged.
 
 use crate::obs::MetricsSnapshot;
 use d4py::Data;
@@ -63,7 +68,7 @@ use serde::{Deserialize, Serialize};
 
 /// The protocol version this build speaks (see the module doc's version
 /// rules).
-pub const PROTOCOL_VERSION: u16 = 6;
+pub const PROTOCOL_VERSION: u16 = 7;
 
 /// Session token handed out by register/login.
 pub type Token = u64;
@@ -910,6 +915,17 @@ mod tests {
         let env: RequestEnvelope = serde_json::from_str(json).unwrap();
         assert_eq!(env.protocol_version, 5);
         assert!(matches!(env.body, Request::RegisterPe { token: 1, .. }));
+    }
+
+    #[test]
+    fn version_six_payloads_parse_under_version_seven() {
+        // v7 only extends the metrics snapshot (serde-defaulted row
+        // group); every v6 payload must keep parsing byte-for-byte
+        // unchanged.
+        let json = r#"{"protocol_version":6,"SearchSemantic":{"token":2,"scope":"Pe","query":"find primes","top_n":null}}"#;
+        let env: RequestEnvelope = serde_json::from_str(json).unwrap();
+        assert_eq!(env.protocol_version, 6);
+        assert!(matches!(env.body, Request::SearchSemantic { token: 2, .. }));
     }
 
     #[test]

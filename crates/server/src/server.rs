@@ -1,11 +1,13 @@
 //! The Laminar server: controller + services over the registry, search
 //! indexes, resource cache and execution engine (paper §III, Fig. 4).
 
-use crate::indexes::{EntryKind, SearchIndexes};
+use crate::cache::{QueryCache, QueryModality, ResultKey, ResultOp};
+use crate::indexes::{EntryKind, IndexHit, IndexOptions, SearchIndexes, DEFAULT_RESCORE_WINDOW};
 use crate::obs::{Metrics, RequestId};
 use crate::protocol::*;
 use crate::resources::ResourceCache;
 use aroma::lsh::LshConfig;
+use embed::quant::TwoPhaseStats;
 use embed::{CodeT5Sim, DenseVec, DescriptionContext, ReaccSim, UniXcoderSim};
 use laminar_execengine::{ExecRequest, ExecutionEngine, Frame, ResponseMode};
 use laminar_registry::{
@@ -40,6 +42,16 @@ pub struct ServerConfig {
     /// Corpus size at which the prefilter engages (exact scanning wins
     /// below it).
     pub spt_lsh_min_entries: usize,
+    /// Maintain the int8 scan tier and answer dense rankings two-phase
+    /// (quantized candidate pass → exact `f32` rescore). Opt-in
+    /// (`--quantized`); final scores stay full precision either way.
+    pub quantized: bool,
+    /// Two-phase exact-rescore window as a multiple of `k`
+    /// (`--rescore-window`, default 4).
+    pub rescore_window: usize,
+    /// Capacity of the query-path caches (embedding LRU + generation-
+    /// scoped result cache); 0 disables them (`--query-cache-entries`).
+    pub query_cache_entries: usize,
     /// Dynamic-run worker bounds (the config that replaced Listing 2's
     /// explicit parameters in Laminar 2.0).
     pub dynamic: d4py::DynamicConfig,
@@ -55,6 +67,9 @@ impl Default for ServerConfig {
             reco_min_cosine: 0.3,
             spt_lsh: false,
             spt_lsh_min_entries: 512,
+            quantized: false,
+            rescore_window: DEFAULT_RESCORE_WINDOW,
+            query_cache_entries: 0,
             dynamic: d4py::DynamicConfig::default(),
         }
     }
@@ -96,15 +111,20 @@ pub struct LaminarServer {
     codet5: CodeT5Sim,
     unixcoder: UniXcoderSim,
     metrics: Arc<Metrics>,
+    /// Opt-in query-path caches (`query_cache_entries > 0`).
+    query_cache: Option<QueryCache>,
 }
 
 impl LaminarServer {
     pub fn new(registry: Registry, engine: ExecutionEngine, config: ServerConfig) -> Self {
-        let indexes = if config.spt_lsh {
-            SearchIndexes::with_spt_prefilter(LshConfig::default(), config.spt_lsh_min_entries)
-        } else {
-            SearchIndexes::new()
-        };
+        let indexes = SearchIndexes::with_options(IndexOptions {
+            lsh: config.spt_lsh.then(LshConfig::default),
+            lsh_min_entries: config.spt_lsh_min_entries,
+            quantized: config.quantized,
+            rescore_window: config.rescore_window,
+        });
+        let query_cache =
+            (config.query_cache_entries > 0).then(|| QueryCache::new(config.query_cache_entries));
         let server = LaminarServer {
             registry: Arc::new(registry),
             engine: Arc::new(engine),
@@ -116,6 +136,7 @@ impl LaminarServer {
             codet5: CodeT5Sim::new(DescriptionContext::FullClass),
             unixcoder: UniXcoderSim::new(),
             metrics: Arc::new(Metrics::new()),
+            query_cache,
         };
         server.warm_load_indexes();
         server
@@ -183,6 +204,12 @@ impl LaminarServer {
         let (pes, workflows) = self.indexes.counts();
         self.metrics.search.index_pes.set(pes as i64);
         self.metrics.search.index_workflows.set(workflows as i64);
+        let tb = self.indexes.tier_bytes();
+        let q = &self.metrics.search_quant;
+        q.desc_f32_bytes.set(tb.desc_f32 as i64);
+        q.desc_i8_bytes.set(tb.desc_i8 as i64);
+        q.reacc_f32_bytes.set(tb.reacc_f32 as i64);
+        q.reacc_i8_bytes.set(tb.reacc_i8 as i64);
     }
 
     /// Server with stock workflows and default config.
@@ -900,7 +927,13 @@ impl LaminarServer {
                 }
             }
             if let (Some((_, wf_id)), Some(aw)) = (&outcome.workflow, item.workflow) {
-                rows.push((*wf_id, EntryKind::Workflow, aw.desc_emb, aw.spt_vec, aw.reacc));
+                rows.push((
+                    *wf_id,
+                    EntryKind::Workflow,
+                    aw.desc_emb,
+                    aw.spt_vec,
+                    aw.reacc,
+                ));
             }
         }
         let created_rows = rows.len() as u64;
@@ -945,15 +978,86 @@ impl LaminarServer {
 
     // ---- search service ------------------------------------------------------------
 
+    /// Look up or compute a query embedding through the optional cache.
+    /// Both embedders tokenize, so the trimmed normal form embeds
+    /// identically to the raw request string.
+    fn cached_embed(
+        &self,
+        modality: QueryModality,
+        query: &str,
+        embed: impl FnOnce(&str) -> DenseVec,
+    ) -> DenseVec {
+        let Some(cache) = &self.query_cache else {
+            return embed(query);
+        };
+        let norm = QueryCache::normalize(query);
+        if let Some(v) = cache.embedding(modality, &norm) {
+            self.metrics.search_quant.embed_cache_hits.inc();
+            return v;
+        }
+        self.metrics.search_quant.embed_cache_misses.inc();
+        let v = embed(&norm);
+        cache.store_embedding(modality, norm, v.clone());
+        v
+    }
+
+    /// Look up or compute a ranking through the optional result cache.
+    /// The key carries the current index snapshot generation, so entries
+    /// computed against an older snapshot stop matching the moment a
+    /// write publishes — no explicit invalidation.
+    fn cached_rank(
+        &self,
+        op: ResultOp,
+        kind: Option<EntryKind>,
+        k: usize,
+        min_score: f32,
+        query: &str,
+        rank: impl FnOnce() -> Vec<IndexHit>,
+    ) -> Vec<IndexHit> {
+        let Some(cache) = &self.query_cache else {
+            return rank();
+        };
+        let key = ResultKey {
+            generation: self.indexes.generation(),
+            op,
+            kind,
+            k,
+            score_bits: min_score.to_bits(),
+            query: QueryCache::normalize(query),
+        };
+        if let Some(hits) = cache.results(&key) {
+            self.metrics.search_quant.result_cache_hits.inc();
+            return hits;
+        }
+        self.metrics.search_quant.result_cache_misses.inc();
+        let hits = rank();
+        cache.store_results(key, hits.clone());
+        hits
+    }
+
+    /// Fold one two-phase scan's timings into the `search_quant` group.
+    fn observe_quant(&self, stats: Option<TwoPhaseStats>) {
+        if let Some(s) = stats {
+            let q = &self.metrics.search_quant;
+            q.rescore_window.record_value(s.window as u64);
+            q.quant_scan_latency.record(s.phase1);
+            q.rescore_latency.record(s.rescore);
+        }
+    }
+
     fn semantic_search(&self, scope: SearchScope, query: &str, k: usize) -> Vec<SemanticHit> {
-        let qvec = self.unixcoder.embed_text(query);
+        let qvec = self.cached_embed(QueryModality::Text, query, |q| self.unixcoder.embed_text(q));
         let kind = match scope {
             SearchScope::Pe => Some(EntryKind::Pe),
             SearchScope::Workflow => Some(EntryKind::Workflow),
             SearchScope::Both => None,
         };
         let start = std::time::Instant::now();
-        let hits = self.indexes.rank_semantic(&qvec, kind, k);
+        let hits = self.cached_rank(ResultOp::Semantic, kind, k, 0.0, query, || {
+            let (hits, stats) = self.indexes.rank_semantic_with_stats(&qvec, kind, k);
+            self.observe_quant(stats);
+            hits
+        });
         self.metrics.search.semantic_latency.record(start.elapsed());
         hits.into_iter()
             .filter_map(|h| {
@@ -1008,9 +1112,24 @@ impl LaminarServer {
                             .collect::<Vec<_>>()
                     }
                     EmbeddingType::Llm => {
-                        let q = ReaccSim::new().embed_code(snippet);
+                        let q = self.cached_embed(QueryModality::Code, snippet, |s| {
+                            ReaccSim::new().embed_code(s)
+                        });
                         let start = std::time::Instant::now();
-                        let hits = self.indexes.rank_reacc(&q, Some(EntryKind::Pe), k);
+                        let hits = self.cached_rank(
+                            ResultOp::Reacc,
+                            Some(EntryKind::Pe),
+                            k,
+                            0.0,
+                            snippet,
+                            || {
+                                let (hits, stats) =
+                                    self.indexes
+                                        .rank_reacc_with_stats(&q, Some(EntryKind::Pe), k);
+                                self.observe_quant(stats);
+                                hits
+                            },
+                        );
                         self.metrics.search.reacc_latency.record(start.elapsed());
                         hits.into_iter()
                             .filter(|h| h.score >= self.config.reco_min_cosine)
@@ -1049,12 +1168,23 @@ impl LaminarServer {
                         hits.into_iter().map(|h| (h.id, h.score)).collect()
                     }
                     EmbeddingType::Llm => {
-                        let q = ReaccSim::new().embed_code(snippet);
+                        let q = self.cached_embed(QueryModality::Code, snippet, |s| {
+                            ReaccSim::new().embed_code(s)
+                        });
                         let start = std::time::Instant::now();
-                        let hits = self.indexes.rank_reacc_above(
-                            &q,
+                        let hits = self.cached_rank(
+                            ResultOp::ReaccAbove,
                             Some(EntryKind::Pe),
+                            usize::MAX,
                             self.config.reco_min_cosine,
+                            snippet,
+                            || {
+                                self.indexes.rank_reacc_above(
+                                    &q,
+                                    Some(EntryKind::Pe),
+                                    self.config.reco_min_cosine,
+                                )
+                            },
                         );
                         self.metrics.search.reacc_latency.record(start.elapsed());
                         hits.into_iter().map(|h| (h.id, h.score)).collect()
@@ -1605,6 +1735,88 @@ mod tests {
     }
 
     #[test]
+    fn quantized_server_with_query_cache() {
+        let server = LaminarServer::new(
+            Registry::new(),
+            ExecutionEngine::with_stock(),
+            ServerConfig {
+                quantized: true,
+                rescore_window: 2,
+                query_cache_entries: 16,
+                ..ServerConfig::default()
+            },
+        );
+        let token = match server
+            .handle(Request::RegisterUser {
+                username: "rosa".into(),
+                password: "pw".into(),
+            })
+            .value()
+        {
+            Response::Token(t) => t,
+            other => panic!("{other:?}"),
+        };
+        register_isprime(&server, token);
+        let search = || match server
+            .handle(Request::SearchSemantic {
+                token,
+                scope: SearchScope::Pe,
+                query: "a pe that checks whether numbers are prime".into(),
+                top_n: None,
+            })
+            .value()
+        {
+            Response::SemanticResults(hits) => hits,
+            other => panic!("{other:?}"),
+        };
+        let first = search();
+        assert!(!first.is_empty());
+        let misses = server.metrics().search_quant.result_cache_misses.get();
+        assert!(misses >= 1, "first query scans");
+        let second = search();
+        assert_eq!(first, second, "cached answer is the scanned answer");
+        assert_eq!(
+            server.metrics().search_quant.result_cache_hits.get(),
+            1,
+            "second identical query is a result-cache hit"
+        );
+        assert_eq!(
+            server.metrics().search_quant.embed_cache_hits.get(),
+            1,
+            "…and an embedding-cache hit"
+        );
+        // A new registration publishes a new snapshot generation, so the
+        // cached entry stops matching (no stale answers).
+        server
+            .handle(Request::RegisterPe {
+                token,
+                pe: PeSubmission {
+                    name: "PrimeSieve".into(),
+                    code: "class PrimeSieve(IterativePE):\n    \"\"\"Sieve PE: filters prime numbers from the stream.\"\"\"\n    def _process(self, num):\n        return num\n".to_string(),
+                    description: None,
+                },
+            })
+            .value();
+        let third = search();
+        assert!(!third.is_empty());
+        assert_eq!(
+            server.metrics().search_quant.result_cache_hits.get(),
+            1,
+            "generation changed: the third query misses, not stale-hits"
+        );
+        // The quantized tier's footprint is reported ≥ 3× smaller.
+        let snap = server.metrics().snapshot();
+        assert!(snap.search_quant.desc_i8_bytes > 0);
+        assert!(
+            snap.search_quant.desc_f32_bytes >= 3 * snap.search_quant.desc_i8_bytes,
+            "{} vs {}",
+            snap.search_quant.desc_f32_bytes,
+            snap.search_quant.desc_i8_bytes
+        );
+        assert!(snap.render().contains("query cache:"), "{}", snap.render());
+    }
+
+    #[test]
     fn update_description_reflected_in_search() {
         let (server, token) = server_with_session();
         let (pe_ids, _) = register_isprime(&server, token);
@@ -2055,8 +2267,9 @@ mod tests {
         vec![
             BatchItemWire::Pe(PeSubmission {
                 name: "Standalone".into(),
-                code: "class Standalone(IterativePE):\n    def _process(self, d):\n        return d\n"
-                    .into(),
+                code:
+                    "class Standalone(IterativePE):\n    def _process(self, d):\n        return d\n"
+                        .into(),
                 description: None,
             }),
             BatchItemWire::Workflow {
@@ -2164,7 +2377,10 @@ mod tests {
         // Search indexes agree: same sizes, same rankings.
         assert_eq!(seq.indexes().len(), batch.indexes().len());
         assert_eq!(seq.indexes().counts(), batch.indexes().counts());
-        for query in ["produces random numbers", "checks whether a number is prime"] {
+        for query in [
+            "produces random numbers",
+            "checks whether a number is prime",
+        ] {
             let q = UniXcoderSim::new().embed_text(query);
             assert_eq!(
                 seq.indexes().rank_semantic(&q, None, usize::MAX),
@@ -2226,7 +2442,10 @@ mod tests {
         };
         assert!(matches!(
             &outcomes[0],
-            BatchOutcomeWire::Registered { workflow_id: None, .. }
+            BatchOutcomeWire::Registered {
+                workflow_id: None,
+                ..
+            }
         ));
         match &outcomes[1] {
             BatchOutcomeWire::Failed { pe_ids, error } => {

@@ -1,0 +1,235 @@
+//! Property suite for the int8 quantized tier of [`SearchIndexes`] and its
+//! server integration:
+//!
+//! * a quantized index at the default rescore window returns hits equal to
+//!   the exact-scan index on random corpora, below and above the rayon
+//!   partitioning threshold (recall@k == 1.0); squeezing the window to 2·k
+//!   keeps aggregate recall ≥ 0.99;
+//! * the quantized slabs are **bit-identical** whichever way the corpus was
+//!   built — per-row upserts, one bulk batch, chunked batches, or a
+//!   registry save/restore replay through a full server warm load — so no
+//!   ingestion path can drift the tier from the `f32` slabs it shadows;
+//! * the reported tier footprint honours the ≥ 3× bytes/row acceptance bar.
+
+use embed::dense::PAR_SCAN_THRESHOLD;
+use embed::{DenseVec, DIM};
+use laminar_execengine::ExecutionEngine;
+use laminar_registry::Registry;
+use laminar_server::indexes::{EntryKind, IndexOptions, SearchIndexes, DEFAULT_RESCORE_WINDOW};
+use laminar_server::{LaminarServer, PeSubmission, Request, Response, ServerConfig};
+use spt::{FeatureVec, Spt};
+
+/// Deterministic pseudo-random normalised vector (the LCG the other index
+/// property suites use).
+fn lcg_vec(seed: &mut u64) -> DenseVec {
+    let mut values = vec![0.0f32; DIM];
+    for v in &mut values {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((*seed >> 33) as f32 / (1u64 << 31) as f32) - 1.0;
+    }
+    DenseVec::normalised(values)
+}
+
+/// One synthetic pre-embedded row (SPT modality is irrelevant here and
+/// shared across rows).
+fn row(
+    i: u64,
+    seed: &mut u64,
+    spt: &FeatureVec,
+) -> (u64, EntryKind, DenseVec, FeatureVec, DenseVec) {
+    let kind = if i % 3 == 0 {
+        EntryKind::Workflow
+    } else {
+        EntryKind::Pe
+    };
+    (i, kind, lcg_vec(seed), spt.clone(), lcg_vec(seed))
+}
+
+fn quantized_ix(window: usize) -> SearchIndexes {
+    SearchIndexes::with_options(IndexOptions {
+        quantized: true,
+        rescore_window: window,
+        ..IndexOptions::default()
+    })
+}
+
+fn fill(ix: &SearchIndexes, n: u64, seed: u64) {
+    let spt = Spt::parse_source("x = 1\n").feature_vec();
+    let mut seed = seed;
+    ix.bulk_upsert_embedded((0..n).map(|i| row(i, &mut seed, &spt)).collect());
+}
+
+/// recall@k == 1.0 at the default window: the two-phase index returns the
+/// same hits (ids, kinds, and score bits) as the exact index, across
+/// corpus sizes straddling the parallel-scan threshold, k values, both
+/// dense modalities, and kind filtering.
+#[test]
+fn quantized_hits_equal_exact_hits_at_default_window() {
+    for (n, seed) in [(512u64, 1u64), (PAR_SCAN_THRESHOLD as u64 + 64, 2)] {
+        let exact = SearchIndexes::new();
+        let quant = quantized_ix(DEFAULT_RESCORE_WINDOW);
+        fill(&exact, n, seed);
+        fill(&quant, n, seed);
+        let mut qseed = seed.wrapping_mul(0xabcd).wrapping_add(3);
+        for k in [1usize, 5, 16] {
+            for _ in 0..3 {
+                let q = lcg_vec(&mut qseed);
+                assert_eq!(
+                    quant.rank_semantic(&q, None, k),
+                    exact.rank_semantic(&q, None, k),
+                    "semantic n={n} k={k}"
+                );
+                assert_eq!(
+                    quant.rank_reacc(&q, None, k),
+                    exact.rank_reacc(&q, None, k),
+                    "reacc n={n} k={k}"
+                );
+            }
+            // Kind filtering flows through both phases of the scan.
+            let q = lcg_vec(&mut qseed);
+            assert_eq!(
+                quant.rank_semantic(&q, Some(EntryKind::Pe), k),
+                exact.rank_semantic(&q, Some(EntryKind::Pe), k),
+                "kind-filtered n={n} k={k}"
+            );
+        }
+    }
+}
+
+/// Aggregate recall@5 across a query pool stays ≥ 0.99 even with the
+/// rescore window squeezed to 2·k.
+#[test]
+fn recall_stays_above_099_with_tight_window() {
+    let n = 2048u64;
+    let k = 5usize;
+    let exact = SearchIndexes::new();
+    let quant = quantized_ix(2);
+    fill(&exact, n, 0x5eed);
+    fill(&quant, n, 0x5eed);
+    let mut qseed = 0xfeed_u64;
+    let queries = 30;
+    let mut matched = 0usize;
+    for _ in 0..queries {
+        let q = lcg_vec(&mut qseed);
+        let got = quant.rank_semantic(&q, None, k);
+        let want = exact.rank_semantic(&q, None, k);
+        matched += got
+            .iter()
+            .filter(|h| want.iter().any(|w| w.id == h.id && w.kind == h.kind))
+            .count();
+    }
+    let recall = matched as f64 / (queries * k) as f64;
+    assert!(recall >= 0.99, "aggregate recall@{k} = {recall}");
+}
+
+/// The quantized slabs are a pure function of the row sequence: per-row
+/// upserts, a single bulk batch, and chunked batches all leave
+/// bit-identical codes and scales — and stay aligned through swap-removes.
+#[test]
+fn quant_slabs_bit_identical_across_construction_orders() {
+    let n = 24u64;
+    let spt = Spt::parse_source("x = 1\n").feature_vec();
+    let rows: Vec<_> = {
+        let mut seed = 9u64;
+        (0..n).map(|i| row(i, &mut seed, &spt)).collect()
+    };
+    let per_row = quantized_ix(DEFAULT_RESCORE_WINDOW);
+    for r in rows.clone() {
+        per_row.upsert_embedded(r.0, r.1, r.2, r.3, r.4);
+    }
+    let bulk = quantized_ix(DEFAULT_RESCORE_WINDOW);
+    bulk.bulk_upsert_embedded(rows.clone());
+    let chunked = quantized_ix(DEFAULT_RESCORE_WINDOW);
+    for chunk in rows.chunks(7) {
+        chunked.bulk_upsert_embedded(chunk.to_vec());
+    }
+    let reference = per_row.quant_slabs().expect("tier is on");
+    assert_eq!(bulk.quant_slabs().as_ref(), Some(&reference));
+    assert_eq!(chunked.quant_slabs().as_ref(), Some(&reference));
+    // Same mutation ⇒ still identical (swap-remove moves the same row in
+    // each, whatever path built the slabs).
+    for ix in [&per_row, &bulk, &chunked] {
+        ix.remove(5, EntryKind::Pe);
+    }
+    let after = per_row.quant_slabs().expect("tier is on");
+    assert_eq!(bulk.quant_slabs().as_ref(), Some(&after));
+    assert_eq!(chunked.quant_slabs().as_ref(), Some(&after));
+    assert_ne!(after, reference, "the removal actually changed the slabs");
+}
+
+fn register_user(server: &LaminarServer, name: &str) -> u64 {
+    match server
+        .handle(Request::RegisterUser {
+            username: name.into(),
+            password: "pw".into(),
+        })
+        .value()
+    {
+        Response::Token(t) => t,
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Registry save/restore replay: a quantized server warm-loaded from a
+/// persisted registry rebuilds quantized slabs bit-identical to the server
+/// that built them incrementally, and its reported tier footprint meets
+/// the ≥ 3× acceptance bar.
+#[test]
+fn registry_replay_rebuilds_identical_quant_slabs() {
+    let config = || ServerConfig {
+        quantized: true,
+        ..ServerConfig::default()
+    };
+    let server = LaminarServer::new(Registry::new(), ExecutionEngine::with_stock(), config());
+    let token = register_user(&server, "rosa");
+    // PEs only: warm load replays all PEs in id order, which is exactly
+    // the registration order here.
+    for (name, body) in [
+        ("DoubleIt", "return a * 2"),
+        ("Halver", "return a / 2"),
+        ("Squarer", "return a * a"),
+        ("Negate", "return -a"),
+    ] {
+        let resp = server
+            .handle(Request::RegisterPe {
+                token,
+                pe: PeSubmission {
+                    name: name.into(),
+                    code: format!(
+                        "class {name}(IterativePE):\n    \"\"\"{name} transforms each number.\"\"\"\n    def _process(self, a):\n        {body}\n"
+                    ),
+                    description: None,
+                },
+            })
+            .value();
+        assert!(
+            matches!(resp, Response::Registered { .. }),
+            "{name}: {resp:?}"
+        );
+    }
+    let built = server.indexes().quant_slabs().expect("tier is on");
+    assert_eq!(server.indexes().len(), 4);
+
+    let path =
+        std::env::temp_dir().join(format!("laminar-quantreplay-{}.json", std::process::id()));
+    server.registry().save_to(&path).unwrap();
+    let restored = Registry::load_from(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let replayed = LaminarServer::new(restored, ExecutionEngine::with_stock(), config());
+    assert_eq!(replayed.indexes().len(), 4);
+    assert_eq!(
+        replayed.indexes().quant_slabs().as_ref(),
+        Some(&built),
+        "warm load rebuilds the int8 tier bit-for-bit"
+    );
+
+    let tb = replayed.indexes().tier_bytes();
+    assert_eq!(tb.rows, 4);
+    assert!(tb.desc_i8 > 0 && tb.reacc_i8 > 0);
+    assert!(
+        tb.desc_f32 >= 3 * tb.desc_i8 && tb.reacc_f32 >= 3 * tb.reacc_i8,
+        "acceptance: quantized scan tier ≥ 3× smaller ({tb:?})"
+    );
+}

@@ -50,6 +50,21 @@ cargo test -q -p laminar-registry --test recovery
 echo "==> batch ingestion equivalence suite"
 cargo test -q -p laminar-registry --test batch_equivalence
 
+# Quantized tier invariants: int8 round-trip idempotence, widening-kernel
+# equivalence, and two-phase recall (== 1.0 at the 4·k window, ≥ 0.99 at
+# 2·k) against the exact f32 scan.
+echo "==> quantized search kernel suite"
+cargo test -q -p embed --test quant_props
+
+# Index-level quantized properties: quantized hits ≡ exact hits, slab
+# bit-identity across per-row / bulk / registry-replay construction, and
+# the ≥ 3× bytes/row acceptance bar.
+echo "==> quantized index + replay suite"
+cargo test -q -p laminar-server --test quant_props
+
+echo "==> bench_quant builds"
+cargo build --release -p laminar-bench --bin bench_quant
+
 if [[ "${1:-}" == "--heavy" ]]; then
     echo "==> heavy stress tests (#[ignore]d)"
     cargo test -q -p laminar heavy_ -- --ignored
