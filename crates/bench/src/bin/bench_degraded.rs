@@ -1,0 +1,281 @@
+//! Degraded-mode serving benchmark: read throughput over TCP while the
+//! storage is healthy vs degraded (read-only), the cost of a typed
+//! `Degraded` rejection, and recovery-probe latency as a function of WAL
+//! length, written to `BENCH_degraded.json`.
+//!
+//! The number that matters: flipping to read-only degraded mode must not
+//! tax the read path — searches and registry reads serve at the same
+//! rate whether the disk is full or not, and a rejected mutation costs a
+//! dispatch-time gate check rather than a failed syscall.
+//!
+//! Run with `cargo run --release -p laminar-bench --bin bench_degraded`.
+//! Pass a PE count to override the default (`bench_degraded 200`).
+
+use laminar_execengine::ExecutionEngine;
+use laminar_registry::{
+    FaultHook, FaultKind, FaultSpec, IoFaultInjector, NewPe, PersistOptions, Registry, SyncPolicy,
+};
+use laminar_server::{
+    Connection, ConnectionError, LaminarServer, NetClientTransport, NetServer, PeSubmission,
+    Request, Response, ServerConfig,
+};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Timed repetitions per cell; the median is reported.
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct ReadResult {
+    state: &'static str,
+    reads: u64,
+    elapsed_ms: f64,
+    reads_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct RejectionResult {
+    attempts: u64,
+    elapsed_ms: f64,
+    rejections_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct ProbeResult {
+    wal_records: u64,
+    outcome: &'static str,
+    probe_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    pes: u64,
+    reads: Vec<ReadResult>,
+    rejection: RejectionResult,
+    probes: Vec<ProbeResult>,
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "laminar-bench-degraded-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn pe(user_id: u64, i: u64) -> NewPe {
+    NewPe {
+        user_id,
+        name: format!("BenchPe{i}"),
+        description: "counts the words of the stream".into(),
+        code: "class BenchPe(IterativePE):\n    def _process(self, d):\n        return d".into(),
+        description_embedding: "0.12,0.34,0.56".into(),
+        spt_embedding: "0.78,0.90".into(),
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Time `reads` GetRegistry round-trips over TCP; returns elapsed ms.
+fn read_loop(client: &NetClientTransport, token: u64, reads: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reads {
+        match client.call(Request::GetRegistry { token }).expect("read").value() {
+            Response::Registry { .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let reads: u64 = 300;
+
+    // A durable registry with a persistent-ENOSPC injector installed but
+    // disarmed: the disk is healthy until `arm()` fills it.
+    let dir = bench_dir("srv");
+    let inj = IoFaultInjector::new(42, FaultSpec::persistent(FaultKind::Enospc));
+    inj.clear();
+    let hook: FaultHook = inj.clone();
+    let registry = Registry::open_with_faults(
+        &dir,
+        PersistOptions {
+            snapshot_every: 0,
+            sync: SyncPolicy::OsBuffered,
+        },
+        hook,
+    )
+    .expect("open bench registry");
+    let user = registry.register_user("bench", "pw").expect("register user");
+    for i in 0..n {
+        registry.add_pe(pe(user, i)).expect("unique names never collide");
+    }
+    let wal_records = registry
+        .persist_stats()
+        .expect("durable registry has stats")
+        .wal_records;
+
+    let server = Arc::new(LaminarServer::new(
+        registry,
+        ExecutionEngine::with_stock(),
+        ServerConfig::default(),
+    ));
+    let net = NetServer::bind("127.0.0.1:0", server.clone()).expect("bind");
+    let client = NetClientTransport::new(net.addr());
+    let token = match client
+        .call(Request::Login {
+            username: "bench".into(),
+            password: "pw".into(),
+        })
+        .expect("login")
+        .value()
+    {
+        Response::Token(t) => t,
+        other => panic!("{other:?}"),
+    };
+
+    let mut report = Report {
+        pes: n,
+        reads: Vec::new(),
+        rejection: RejectionResult {
+            attempts: 0,
+            elapsed_ms: 0.0,
+            rejections_per_s: 0.0,
+        },
+        probes: Vec::new(),
+    };
+
+    println!("# degraded-mode serving — {n} PEs, {reads} reads per state\n");
+    println!("{:<10} {:>12} {:>12}", "state", "elapsed ms", "reads/s");
+
+    // Healthy read throughput.
+    let healthy_ms = median((0..REPS).map(|_| read_loop(&client, token, reads)).collect());
+    let healthy_qps = reads as f64 / (healthy_ms / 1e3).max(1e-9);
+    println!("{:<10} {:>12.1} {:>12.0}", "healthy", healthy_ms, healthy_qps);
+    report.reads.push(ReadResult {
+        state: "healthy",
+        reads,
+        elapsed_ms: healthy_ms,
+        reads_per_s: healthy_qps,
+    });
+
+    // The disk fills: one mutation fails and the server flips degraded.
+    inj.arm();
+    match client
+        .call(Request::RegisterPe {
+            token,
+            pe: PeSubmission {
+                name: "HitsFullDisk".into(),
+                code: "class HitsFullDisk(IterativePE):\n    def _process(self, d):\n        return d".into(),
+                description: None,
+            },
+        })
+        .expect("the failed mutation still gets a typed reply")
+        .value()
+    {
+        Response::Error(_) => {}
+        other => panic!("{other:?}"),
+    }
+    assert!(server.health().is_degraded(), "server must be degraded now");
+
+    // Degraded read throughput — the headline comparison.
+    let degraded_ms = median((0..REPS).map(|_| read_loop(&client, token, reads)).collect());
+    let degraded_qps = reads as f64 / (degraded_ms / 1e3).max(1e-9);
+    println!("{:<10} {:>12.1} {:>12.0}", "degraded", degraded_ms, degraded_qps);
+    report.reads.push(ReadResult {
+        state: "degraded",
+        reads,
+        elapsed_ms: degraded_ms,
+        reads_per_s: degraded_qps,
+    });
+
+    // Cost of a typed Degraded rejection (gate check + round-trip; no
+    // embedding work, no syscall against the broken disk).
+    let attempts: u64 = 200;
+    let start = Instant::now();
+    for i in 0..attempts {
+        match client.call(Request::RegisterPe {
+            token,
+            pe: PeSubmission {
+                name: format!("Rejected{i}"),
+                code: "class R(IterativePE): pass".into(),
+                description: None,
+            },
+        }) {
+            Err(ConnectionError::Degraded { .. }) => {}
+            other => panic!("expected Degraded: {other:?}"),
+        }
+    }
+    let rej_ms = start.elapsed().as_secs_f64() * 1e3;
+    let rej_per_s = attempts as f64 / (rej_ms / 1e3).max(1e-9);
+    println!("\n# typed rejections while degraded\n");
+    println!(
+        "{:>10} {:>12.1} {:>14.0}",
+        attempts, rej_ms, rej_per_s
+    );
+    report.rejection = RejectionResult {
+        attempts,
+        elapsed_ms: rej_ms,
+        rejections_per_s: rej_per_s,
+    };
+
+    // Probe latency: failing (fault still armed), then recovering (fault
+    // cleared; the probe replays the WAL as a CRC audit, so its cost
+    // scales with log length).
+    println!("\n# recovery probe\n");
+    println!("{:>12} {:>10} {:>10}", "wal records", "outcome", "probe ms");
+    let start = Instant::now();
+    let still_degraded = server.probe_storage();
+    let fail_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(still_degraded, "probe must fail while the disk is full");
+    println!("{:>12} {:>10} {:>10.2}", wal_records, "fail", fail_ms);
+    report.probes.push(ProbeResult {
+        wal_records,
+        outcome: "fail",
+        probe_ms: fail_ms,
+    });
+
+    inj.clear();
+    let start = Instant::now();
+    let degraded_after = server.probe_storage();
+    let ok_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(!degraded_after, "probe must recover once the fault clears");
+    println!("{:>12} {:>10} {:>10.2}", wal_records, "recover", ok_ms);
+    report.probes.push(ProbeResult {
+        wal_records,
+        outcome: "recover",
+        probe_ms: ok_ms,
+    });
+
+    // Recovered: mutations land again.
+    match client
+        .call(Request::RegisterPe {
+            token,
+            pe: PeSubmission {
+                name: "AfterRecovery".into(),
+                code: "class AfterRecovery(IterativePE):\n    def _process(self, d):\n        return d".into(),
+                description: None,
+            },
+        })
+        .expect("mutation after recovery")
+        .value()
+    {
+        Response::Registered { .. } => {}
+        other => panic!("{other:?}"),
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_degraded.json", &json).expect("write BENCH_degraded.json");
+    eprintln!("wrote BENCH_degraded.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -120,6 +120,7 @@ impl Cli {
             "run" => self.run(rest),
             "history" => self.history(rest),
             "metrics" => self.client.metrics().map(|snap| snap.render()),
+            "health" => self.health(),
             "compact" => self.client.compact().map(|r| {
                 format!(
                     "Compacted: {} WAL records ({} bytes) folded into a {}-byte snapshot.",
@@ -591,6 +592,36 @@ impl Cli {
         Ok(text)
     }
 
+    /// `health`: liveness/readiness probe. Not-ready is reported as an
+    /// error so the session exit status goes nonzero — a piped
+    /// `echo health | laminar` works as a container healthcheck.
+    fn health(&self) -> Result<String, ClientError> {
+        let h = self.client.health()?;
+        let mut out = String::new();
+        let _ = writeln!(out, "live: {}", h.live);
+        let _ = writeln!(out, "ready: {}", h.ready);
+        let _ = writeln!(
+            out,
+            "storage: {}",
+            match h.storage {
+                laminar_server::StorageStateWire::Healthy => "healthy",
+                laminar_server::StorageStateWire::Degraded => "DEGRADED (read-only)",
+            }
+        );
+        let _ = writeln!(out, "uptime: {} ms", h.uptime_ms);
+        let _ = writeln!(out, "degraded transitions: {}", h.degraded_transitions);
+        if let Some(e) = &h.last_persist_error {
+            let _ = writeln!(out, "last persist error: {e}");
+        }
+        if h.ready {
+            Ok(out)
+        } else {
+            Err(ClientError::Server(format!(
+                "{out}server is not ready (storage degraded, read-only)"
+            )))
+        }
+    }
+
     fn history(&self, args: &[String]) -> Result<String, ClientError> {
         let ident = parse_ident(
             args.first()
@@ -994,6 +1025,17 @@ class PrintPrime(ConsumerPE):
         assert!(out.contains("endpoint"), "{out}");
         assert!(out.contains("GetRegistry"), "{out}");
         assert!(out.contains("connections:"), "{out}");
+    }
+
+    #[test]
+    fn health_command_reports_ready_with_zero_exit() {
+        let mut c = cli();
+        let out = c.execute("health");
+        assert!(out.contains("live: true"), "{out}");
+        assert!(out.contains("ready: true"), "{out}");
+        assert!(out.contains("storage: healthy"), "{out}");
+        assert!(!c.last_command_failed());
+        assert_eq!(c.exit_code(), 0);
     }
 
     #[test]

@@ -107,6 +107,24 @@ impl RetryPolicy {
     }
 }
 
+/// Result of the tokenless `health` endpoint: liveness, readiness and
+/// the storage-health facts behind them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The server answered at all.
+    pub live: bool,
+    /// The server can accept mutations (storage healthy).
+    pub ready: bool,
+    /// Current storage state.
+    pub storage: laminar_server::StorageStateWire,
+    /// Most recent persistence error, if any has ever occurred.
+    pub last_persist_error: Option<String>,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Healthy→Degraded transitions since start.
+    pub degraded_transitions: u64,
+}
+
 /// Result of a registry compaction (`laminar compact`): what the snapshot
 /// absorbed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,13 +242,24 @@ impl LaminarClient {
             match self.connection.call(req.clone()) {
                 Ok(reply) => return Ok(reply),
                 Err(e) => {
+                    // Degraded is retried only for idempotent requests:
+                    // the server rejected before applying anything, but
+                    // whether a re-send can duplicate work is an endpoint
+                    // property, and the degraded spell may outlast the
+                    // whole backoff schedule anyway.
                     let retryable = e.is_transient()
-                        || (idempotent && matches!(e, ConnectionError::TimedOut { .. }));
+                        || (idempotent
+                            && matches!(
+                                e,
+                                ConnectionError::TimedOut { .. }
+                                    | ConnectionError::Degraded { .. }
+                            ));
                     if !retryable || attempt >= self.retry.max_attempts {
                         return Err(ClientError::Connection(e));
                     }
                     let hint = match &e {
-                        ConnectionError::Busy { retry_after_ms } => {
+                        ConnectionError::Busy { retry_after_ms }
+                        | ConnectionError::Degraded { retry_after_ms, .. } => {
                             Duration::from_millis(*retry_after_ms)
                         }
                         _ => Duration::ZERO,
@@ -252,6 +281,13 @@ impl LaminarClient {
     /// Fetch the server's metrics snapshot (the `laminar metrics` verb).
     pub fn metrics(&self) -> Result<MetricsSnapshot, ClientError> {
         self.call::<endpoint::Metrics>(())
+    }
+
+    /// Fetch the server's liveness/readiness and storage health (the
+    /// tokenless `laminar health` verb — suitable for container
+    /// healthchecks).
+    pub fn health(&self) -> Result<HealthReport, ClientError> {
+        self.call::<endpoint::Health>(())
     }
 
     /// Force a registry snapshot compaction (the `laminar compact` verb).
@@ -929,6 +965,18 @@ class PrintPrime(ConsumerPE):
             "{snap:?}"
         );
         assert!(snap.render().contains("RegisterWorkflow"));
+    }
+
+    #[test]
+    fn health_is_tokenless_and_ready_on_a_healthy_server() {
+        let server = Arc::new(LaminarServer::with_stock());
+        let c = LaminarClient::connect(server);
+        let h = c.health().unwrap();
+        assert!(h.live);
+        assert!(h.ready, "{h:?}");
+        assert_eq!(h.storage, laminar_server::StorageStateWire::Healthy);
+        assert_eq!(h.degraded_transitions, 0);
+        assert!(h.last_persist_error.is_none());
     }
 
     #[test]

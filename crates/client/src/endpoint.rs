@@ -21,7 +21,7 @@
 //! no [`Endpoint`] impl: their reply is a frame stream, not a value,
 //! and they keep their dedicated client path.
 
-use crate::client::{ClientError, CompactReport, CompletionResult, RegisteredWorkflow};
+use crate::client::{ClientError, CompactReport, CompletionResult, HealthReport, RegisteredWorkflow};
 use laminar_server::protocol::{
     BatchItemWire, BatchOutcomeWire, ExecutionInfo, PeInfo, RecommendationHit, SemanticHit,
     WorkflowInfo,
@@ -256,6 +256,13 @@ pub static ENDPOINTS: &[EndpointDecl] = &[
         verb: "compact",
         help: "Folds the registry's write-ahead log into an atomic snapshot (requires a server started with --data-dir).",
         usage: "",
+        idempotent: true,
+    },
+    EndpointDecl {
+        name: "Health",
+        verb: "health",
+        help: "Prints the server's liveness/readiness and storage health; exits nonzero when the server is not ready (degraded storage).",
+        usage: "\nUsage:\n  health\n\nExit status is nonzero when the server is degraded, so the verb can\nback a container healthcheck directly.",
         idempotent: true,
     },
 ];
@@ -703,6 +710,38 @@ endpoint! {
     }
 }
 
+endpoint! {
+    /// Liveness/readiness + storage health (tokenless, like `Metrics`,
+    /// so orchestrator healthchecks need no session).
+    Health = "Health" {
+        params: (),
+        output: HealthReport,
+        request(_, ()) {
+            Ok(Request::Health {})
+        },
+        response(resp) {
+            match resp {
+                Response::Health {
+                    live,
+                    ready,
+                    storage,
+                    last_persist_error,
+                    uptime_ms,
+                    degraded_transitions,
+                } => Ok(HealthReport {
+                    live,
+                    ready,
+                    storage,
+                    last_persist_error,
+                    uptime_ms,
+                    degraded_transitions,
+                }),
+                other => unexpected(other),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -802,6 +841,7 @@ mod tests {
             Request::GetExecutions { token: 1, ident },
             Request::Metrics {},
             Request::Compact { token: 1 },
+            Request::Health {},
         ]
     }
 
@@ -847,6 +887,7 @@ mod tests {
                 "GetExecutions",
                 "Metrics",
                 "Compact",
+                "Health",
             ]
         );
         assert!(!is_idempotent(&Request::RegisterBatch {
@@ -941,6 +982,7 @@ mod tests {
             ),
             (Metrics::NAME, Metrics::request(t, ()).unwrap()),
             (Compact::NAME, Compact::request(t, ()).unwrap()),
+            (Health::NAME, Health::request(t, ()).unwrap()),
         ];
         for (name, req) in cases {
             assert_eq!(
@@ -962,9 +1004,10 @@ mod tests {
             RegisterBatch::request(None, vec![]).unwrap_err(),
             ClientError::NotLoggedIn
         );
-        // Auth endpoints and Metrics work tokenless.
+        // Auth endpoints, Metrics and Health work tokenless.
         assert!(Login::request(None, ("u".into(), "p".into())).is_ok());
         assert!(Metrics::request(None, ()).is_ok());
+        assert!(Health::request(None, ()).is_ok());
     }
 
     #[test]

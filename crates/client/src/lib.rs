@@ -39,6 +39,8 @@ pub mod endpoint;
 pub mod extract;
 
 pub use cli::Cli;
-pub use client::{ClientError, LaminarClient, RegisteredWorkflow, RetryPolicy, RunOutput};
+pub use client::{
+    ClientError, HealthReport, LaminarClient, RegisteredWorkflow, RetryPolicy, RunOutput,
+};
 pub use endpoint::{Endpoint, EndpointDecl, ENDPOINTS};
 pub use extract::extract_pes_from_source;

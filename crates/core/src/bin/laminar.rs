@@ -21,7 +21,31 @@ fn main() -> ExitCode {
     // and every registered PE and workflow is still there. `--quantized`,
     // `--rescore-window N` and `--query-cache-entries N` tune the
     // in-process search path the same way the server flags do.
+    //
+    // Any remaining positional words are executed as ONE command and the
+    // process exits with the command's status — so
+    // `laminar --connect server:7878 health` works directly as a
+    // container healthcheck (nonzero exit when the server is degraded).
     let args: Vec<String> = std::env::args().collect();
+    let value_flags = [
+        "--connect",
+        "--data-dir",
+        "--rescore-window",
+        "--query-cache-entries",
+    ];
+    let mut oneshot: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if value_flags.contains(&a) {
+            i += 2;
+        } else if a.starts_with("--") {
+            i += 1;
+        } else {
+            oneshot.push(args[i].clone());
+            i += 1;
+        }
+    }
     let connect = args
         .iter()
         .position(|a| a == "--connect")
@@ -75,10 +99,20 @@ fn main() -> ExitCode {
     };
     // The paper's CLI sessions assume an authenticated user; mirror that:
     // register the demo user, or log in when it already exists (remote).
+    // Not fatal: a degraded (read-only) server rejects registration, but
+    // tokenless commands — health in particular — must still work.
     if cli.client().register("demo", "demo").is_err() {
-        cli.client()
-            .login("demo", "demo")
-            .expect("register or login as demo");
+        if let Err(e) = cli.client().login("demo", "demo") {
+            eprintln!("warning: cannot authenticate as demo ({e}); tokenless commands still work");
+        }
+    }
+
+    if !oneshot.is_empty() {
+        let out = cli.execute(&oneshot.join(" "));
+        if !out.is_empty() {
+            println!("{out}");
+        }
+        return ExitCode::from(cli.exit_code());
     }
 
     println!("Welcome to the Laminar CLI");

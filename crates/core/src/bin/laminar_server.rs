@@ -14,7 +14,9 @@
 //! cargo run -p laminar-core --bin laminar -- --connect 127.0.0.1:7878
 //! ```
 
-use laminar_core::{Laminar, LaminarConfig, NetServer, NetServerConfig};
+use laminar_core::{
+    FaultKind, FaultMode, FaultSpec, IoSite, Laminar, LaminarConfig, NetServer, NetServerConfig,
+};
 use std::time::Duration;
 
 fn usage() -> ! {
@@ -22,15 +24,54 @@ fn usage() -> ! {
         "usage: laminar-server [ADDR] [--max-connections N] \
          [--request-timeout-secs N] [--drain-timeout-secs N] \
          [--data-dir PATH] [--snapshot-every N] [--wal-fsync] \
-         [--quantized] [--rescore-window N] [--query-cache-entries N]"
+         [--quantized] [--rescore-window N] [--query-cache-entries N] \
+         [--probe-interval-ms N] \
+         [--io-fault-kind enospc|short-write|fsync-error] \
+         [--io-fault-mode nth:N|from:N|random:PCT] \
+         [--io-fault-site SITE]... [--io-fault-seed N]\n\
+         \n\
+         Disk chaos (testing only): --io-fault-kind arms a deterministic\n\
+         fault injector on the registry's WAL/snapshot IO. --io-fault-mode\n\
+         picks when it fires (nth:N = the Nth matching op, from:N = every\n\
+         op from the Nth on, random:PCT = each op with PCT percent\n\
+         probability). --io-fault-site limits it to named sites (wal_append,\n\
+         wal_batch_append, wal_fsync, wal_truncate, snapshot_write,\n\
+         snapshot_fsync, snapshot_rename; default all). The same seed and\n\
+         spec replay a bit-identical fault schedule. A persist failure\n\
+         flips the server into read-only degraded mode; the recovery\n\
+         probe (--probe-interval-ms, 0 disables) restores it."
     );
     std::process::exit(2);
+}
+
+fn parse_site(name: &str) -> IoSite {
+    *IoSite::ALL
+        .iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| usage())
+}
+
+fn parse_fault_mode(s: &str) -> FaultMode {
+    let (kind, n) = s.split_once(':').unwrap_or_else(|| usage());
+    let n: u64 = n.parse().unwrap_or_else(|_| usage());
+    match kind {
+        "nth" => FaultMode::Nth(n),
+        "from" => FaultMode::From(n),
+        "random" => FaultMode::Random(n as u32),
+        _ => usage(),
+    }
 }
 
 fn parse_args() -> (String, NetServerConfig, LaminarConfig) {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = NetServerConfig::default();
     let mut deploy = LaminarConfig::default();
+    // The standalone server probes degraded storage every second by
+    // default; unit-test deployments keep the library default of 0.
+    deploy.server.probe_interval_ms = 1000;
+    let mut fault_kind: Option<FaultKind> = None;
+    let mut fault_mode = FaultMode::Nth(1);
+    let mut fault_sites: Vec<IoSite> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut numeric = || -> u64 {
@@ -65,6 +106,26 @@ fn parse_args() -> (String, NetServerConfig, LaminarConfig) {
             "--query-cache-entries" => {
                 deploy.server.query_cache_entries = numeric() as usize;
             }
+            "--probe-interval-ms" => {
+                deploy.server.probe_interval_ms = numeric();
+            }
+            "--io-fault-kind" => {
+                fault_kind = Some(match args.next().as_deref() {
+                    Some("enospc") => FaultKind::Enospc,
+                    Some("short-write") => FaultKind::ShortWrite,
+                    Some("fsync-error") => FaultKind::FsyncError,
+                    _ => usage(),
+                });
+            }
+            "--io-fault-mode" => {
+                fault_mode = parse_fault_mode(&args.next().unwrap_or_else(|| usage()));
+            }
+            "--io-fault-site" => {
+                fault_sites.push(parse_site(&args.next().unwrap_or_else(|| usage())));
+            }
+            "--io-fault-seed" => {
+                deploy.io_fault_seed = numeric();
+            }
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => usage(),
             positional => addr = positional.to_string(),
@@ -72,6 +133,18 @@ fn parse_args() -> (String, NetServerConfig, LaminarConfig) {
     }
     if config.max_connections == 0 {
         usage();
+    }
+    if let Some(kind) = fault_kind {
+        if deploy.data_dir.is_none() {
+            eprintln!("--io-fault-* needs --data-dir (the injector hooks the registry's disk IO)");
+            std::process::exit(2);
+        }
+        deploy.io_fault = Some(FaultSpec {
+            sites: fault_sites,
+            mode: fault_mode,
+            kind,
+            short_cut: None,
+        });
     }
     (addr, config, deploy)
 }
@@ -99,6 +172,9 @@ fn main() {
     match data_dir {
         Some(dir) => println!("registry: durable at {} (WAL + snapshots)", dir.display()),
         None => println!("registry: in-memory (pass --data-dir to persist across restarts)"),
+    }
+    if laminar.fault_injector().is_some() {
+        println!("io fault injector ARMED (chaos testing — expect degraded mode)");
     }
     println!("stock workflows registered: isprime_wf, anomaly_wf, wordcount_wf, doubler_wf");
     // Serve until killed.

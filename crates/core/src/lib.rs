@@ -23,17 +23,17 @@
 use embed::DescriptionContext;
 use laminar_client::{Cli, LaminarClient};
 use laminar_execengine::{ExecutionEngine, PoolConfig, WorkflowLibrary};
-use laminar_registry::{PersistOptions, Registry, SyncPolicy};
+use laminar_registry::{FaultHook, PersistOptions, Registry, SyncPolicy};
 use laminar_server::{DeliveryMode, LaminarServer, ServerConfig, Transport};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-pub use laminar_client::{ClientError, RegisteredWorkflow, RetryPolicy, RunOutput};
-pub use laminar_registry::RegistryError;
+pub use laminar_client::{ClientError, HealthReport, RegisteredWorkflow, RetryPolicy, RunOutput};
+pub use laminar_registry::{FaultKind, FaultMode, FaultSpec, IoFaultInjector, IoSite, RegistryError};
 pub use laminar_server::{
     ConnOptions, Connection, ConnectionError, EmbeddingType, Ident, MetricsSnapshot,
-    NetClientTransport, NetServer, NetServerConfig, SearchScope,
+    NetClientTransport, NetServer, NetServerConfig, SearchScope, StorageStateWire,
 };
 
 /// Deployment configuration.
@@ -60,6 +60,14 @@ pub struct LaminarConfig {
     /// fsync the WAL on every append (`--wal-fsync`): maximum durability,
     /// at a per-mutation latency cost.
     pub wal_fsync: bool,
+    /// Deterministic disk-fault injection (`--io-fault-*`): when set, the
+    /// registry's WAL and snapshot IO consult a seeded injector. Chaos
+    /// testing only — never set in production deployments.
+    pub io_fault: Option<FaultSpec>,
+    /// Seed of the fault injector's deterministic RNG
+    /// (`--io-fault-seed`): the same seed and spec produce bit-identical
+    /// fault schedules.
+    pub io_fault_seed: u64,
 }
 
 impl Default for LaminarConfig {
@@ -74,6 +82,8 @@ impl Default for LaminarConfig {
             data_dir: None,
             snapshot_every: PersistOptions::default().snapshot_every,
             wal_fsync: false,
+            io_fault: None,
+            io_fault_seed: 1,
         }
     }
 }
@@ -81,6 +91,10 @@ impl Default for LaminarConfig {
 /// A deployed Laminar 2.0 instance.
 pub struct Laminar {
     server: Arc<LaminarServer>,
+    /// Present when the deployment was configured with `io_fault`: the
+    /// chaos harnesses use it to clear/re-arm the fault and read the
+    /// injection journal.
+    injector: Option<Arc<IoFaultInjector>>,
 }
 
 impl Laminar {
@@ -93,18 +107,27 @@ impl Laminar {
     /// Deploy the full stack, surfacing registry-recovery failures (bad
     /// data directory, unreadable snapshot) instead of panicking.
     pub fn try_deploy(config: LaminarConfig) -> Result<Laminar, RegistryError> {
+        let mut injector = None;
         let registry = match &config.data_dir {
-            Some(dir) => Registry::open(
-                dir,
-                PersistOptions {
+            Some(dir) => {
+                let opts = PersistOptions {
                     snapshot_every: config.snapshot_every,
                     sync: if config.wal_fsync {
                         SyncPolicy::EveryAppend
                     } else {
                         SyncPolicy::OsBuffered
                     },
-                },
-            )?,
+                };
+                match &config.io_fault {
+                    Some(spec) => {
+                        let inj = IoFaultInjector::new(config.io_fault_seed, spec.clone());
+                        let hook: FaultHook = inj.clone();
+                        injector = Some(inj);
+                        Registry::open_with_faults(dir, opts, hook)?
+                    }
+                    None => Registry::open(dir, opts)?,
+                }
+            }
             None => Registry::new(),
         };
         let library = if config.stock_workflows {
@@ -124,12 +147,19 @@ impl Laminar {
         server.set_description_context(config.description_context);
         Ok(Laminar {
             server: Arc::new(server),
+            injector,
         })
     }
 
     /// The underlying server (for direct protocol access / evaluation).
     pub fn server(&self) -> Arc<LaminarServer> {
         self.server.clone()
+    }
+
+    /// The configured IO fault injector, when the deployment set
+    /// `io_fault` (chaos harnesses clear/re-arm it between phases).
+    pub fn fault_injector(&self) -> Option<Arc<IoFaultInjector>> {
+        self.injector.clone()
     }
 
     /// A client connected over the streaming (HTTP/2-style) transport.

@@ -29,12 +29,17 @@
 //! ```
 
 pub mod error;
+pub mod iofault;
 pub mod rows;
 pub mod schema;
 pub mod store;
 pub mod wal;
 
 pub use error::RegistryError;
+pub use iofault::{
+    FaultEvent, FaultHook, FaultKind, FaultMode, FaultSpec, Induced, IoFaultHook, IoFaultInjector,
+    IoSite, SiteCounter,
+};
 pub use rows::{
     ExecutionRow, ExecutionStatus, NewPe, NewWorkflow, PeRow, ResponseRow, UserRow, WorkflowRow,
 };

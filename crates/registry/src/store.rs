@@ -16,6 +16,7 @@
 //! no persistence and behaves exactly as before.
 
 use crate::error::RegistryError;
+use crate::iofault::{FaultHook, IoSite, SiteCounter};
 use crate::rows::*;
 use crate::wal::{self, SyncPolicy, Wal, WalOp, WalRecord};
 use parking_lot::RwLock;
@@ -73,6 +74,13 @@ pub struct PersistSnapshot {
     pub recovered_records: u64,
     /// Wall-clock recovery duration (snapshot load + replay) at open.
     pub recovery_ms: u64,
+    /// IO errors observed on the persistence path (WAL appends, snapshot
+    /// writes, truncates) since open. Serde-defaulted for v7 payloads.
+    #[serde(default)]
+    pub io_errors: u64,
+    /// Human-readable description of the most recent persistence error.
+    #[serde(default)]
+    pub last_error: Option<String>,
 }
 
 /// One unit of a batch registration: member PEs plus an optional
@@ -126,6 +134,17 @@ struct PersistCounters {
     compactions: u64,
     recovered_records: u64,
     recovery_ms: u64,
+    io_errors: u64,
+    last_error: Option<String>,
+}
+
+impl PersistCounters {
+    /// Record a persistence-path IO failure so callers (metrics, health
+    /// probes) can see storage trouble without parsing error strings.
+    fn io_failed(&mut self, context: &str, e: &dyn std::fmt::Display) {
+        self.io_errors += 1;
+        self.last_error = Some(format!("{context}: {e}"));
+    }
 }
 
 /// Live persistence state: the open WAL plus counters. Lives inside
@@ -136,6 +155,9 @@ struct Persist {
     wal: Wal,
     opts: PersistOptions,
     stats: PersistCounters,
+    /// Fault hook shared with the WAL, kept here so snapshot writes in
+    /// `compact_locked` and the storage probe consult the same injector.
+    fault: Option<FaultHook>,
 }
 
 #[derive(Debug, Default, Serialize, Deserialize)]
@@ -356,6 +378,27 @@ impl Registry {
     /// leave the WAL open for appending. The directory is created if
     /// missing; an empty directory yields an empty registry.
     pub fn open(dir: &Path, opts: PersistOptions) -> Result<Registry, RegistryError> {
+        Self::open_impl(dir, opts, None)
+    }
+
+    /// [`Registry::open`] with a deterministic IO fault hook installed
+    /// (see [`crate::iofault`]). Every WAL append/fsync/truncate and
+    /// snapshot write/fsync/rename consults the hook before touching the
+    /// file, so tests can fail any single IO operation and check that
+    /// "acknowledged ⇒ durable, unacknowledged ⇒ absent" holds there.
+    pub fn open_with_faults(
+        dir: &Path,
+        opts: PersistOptions,
+        fault: FaultHook,
+    ) -> Result<Registry, RegistryError> {
+        Self::open_impl(dir, opts, Some(fault))
+    }
+
+    fn open_impl(
+        dir: &Path,
+        opts: PersistOptions,
+        fault: Option<FaultHook>,
+    ) -> Result<Registry, RegistryError> {
         let start = Instant::now();
         std::fs::create_dir_all(dir).map_err(|e| persist_err("create data dir", e))?;
         let snap_path = dir.join(SNAPSHOT_FILE);
@@ -384,8 +427,11 @@ impl Registry {
             inner.apply(rec);
         }
 
-        let wal = Wal::open(&wal_path, opts.sync, recovered, replayed.valid_bytes)
+        let mut wal = Wal::open(&wal_path, opts.sync, recovered, replayed.valid_bytes)
             .map_err(|e| persist_err("open wal", e))?;
+        if let Some(hook) = fault.clone() {
+            wal.set_fault_hook(hook);
+        }
         inner.persist = Some(Persist {
             dir: dir.to_path_buf(),
             wal,
@@ -395,6 +441,7 @@ impl Registry {
                 recovery_ms: start.elapsed().as_millis() as u64,
                 ..PersistCounters::default()
             },
+            fault,
         });
         Ok(Registry {
             inner: RwLock::new(inner),
@@ -407,8 +454,13 @@ impl Registry {
     /// compaction failure never fails the already-durable mutation.
     fn commit(inner: &mut Inner, rec: WalRecord) -> Result<(), RegistryError> {
         if let Some(p) = inner.persist.as_mut() {
-            let (bytes, synced) =
-                p.wal.append(&rec).map_err(|e| persist_err("wal append", e))?;
+            let (bytes, synced) = match p.wal.append(&rec) {
+                Ok(v) => v,
+                Err(e) => {
+                    p.stats.io_failed("wal append", &e);
+                    return Err(persist_err("wal append", e));
+                }
+            };
             p.stats.wal_appends += 1;
             p.stats.wal_bytes += bytes;
             if synced {
@@ -447,9 +499,15 @@ impl Registry {
             wal_bytes: p.wal.bytes(),
             snapshot_bytes: json.len() as u64,
         };
-        wal::write_atomic(&p.dir.join(SNAPSHOT_FILE), &json)
-            .map_err(|e| persist_err("write snapshot", e))?;
-        p.wal.reset().map_err(|e| persist_err("truncate wal", e))?;
+        if let Err(e) = wal::write_atomic_hooked(&p.dir.join(SNAPSHOT_FILE), &json, p.fault.as_ref())
+        {
+            p.stats.io_failed("write snapshot", &e);
+            return Err(persist_err("write snapshot", e));
+        }
+        if let Err(e) = p.wal.reset() {
+            p.stats.io_failed("truncate wal", &e);
+            return Err(persist_err("truncate wal", e));
+        }
         p.stats.compactions += 1;
         p.stats.fsyncs += 2; // snapshot fsync + wal-truncate fsync
         Ok(Some(stats))
@@ -466,7 +524,79 @@ impl Registry {
             wal_records: p.wal.records(),
             recovered_records: p.stats.recovered_records,
             recovery_ms: p.stats.recovery_ms,
+            io_errors: p.stats.io_errors,
+            last_error: p.stats.last_error.clone(),
         })
+    }
+
+    /// Per-site fault-injection counters from the installed hook, or
+    /// empty when no hook is installed (the production configuration).
+    pub fn fault_counters(&self) -> Vec<SiteCounter> {
+        self.inner
+            .read()
+            .persist
+            .as_ref()
+            .and_then(|p| p.fault.as_ref())
+            .map(|h| h.counters())
+            .unwrap_or_default()
+    }
+
+    /// Recovery probe for health checks: re-verify that the storage
+    /// under a durable registry is writable and the WAL tail is clean.
+    ///
+    /// Three steps, cheapest first: (1) replay the WAL from disk as a
+    /// CRC audit — a torn or unreadable tail fails the probe; (2) write,
+    /// fsync, and remove a scratch `health.probe` file in the data
+    /// directory, consulting the same fault hook the WAL uses (an armed
+    /// persistent injector keeps the probe failing until it is cleared);
+    /// (3) heal the live WAL tail under the write lock so a previously
+    /// poisoned log is re-truncated to its acknowledged boundary. An
+    /// in-memory registry trivially passes. Steps 1–2 take only the read
+    /// lock, so searches keep serving while the probe runs.
+    pub fn verify_storage(&self) -> Result<(), RegistryError> {
+        let (dir, wal_path, fault) = {
+            let inner = self.inner.read();
+            match inner.persist.as_ref() {
+                None => return Ok(()),
+                Some(p) => (p.dir.clone(), p.dir.join(WAL_FILE), p.fault.clone()),
+            }
+        };
+        let replayed = wal::replay(&wal_path).map_err(|e| persist_err("probe: replay wal", e))?;
+        if replayed.torn {
+            return Err(persist_err(
+                "probe: wal tail",
+                "torn frame past the acknowledged boundary",
+            ));
+        }
+        let probe = dir.join("health.probe");
+        let res = Self::probe_write(&probe, fault.as_ref());
+        let _ = std::fs::remove_file(&probe);
+        if let Err(e) = res {
+            let mut inner = self.inner.write();
+            if let Some(p) = inner.persist.as_mut() {
+                p.stats.io_failed("probe: test append", &e);
+            }
+            return Err(persist_err("probe: test append", e));
+        }
+        let mut inner = self.inner.write();
+        if let Some(p) = inner.persist.as_mut() {
+            p.wal.heal().map_err(|e| persist_err("probe: heal wal", e))?;
+        }
+        Ok(())
+    }
+
+    /// The probe's scratch write: create/write/fsync `path`. Consults
+    /// the fault hook at the WAL-append site first so injected storage
+    /// failure and real storage failure look identical to the prober.
+    fn probe_write(path: &Path, fault: Option<&FaultHook>) -> std::io::Result<()> {
+        if let Some(hook) = fault {
+            if let Some(induced) = hook.induce(IoSite::WalAppend, 0) {
+                return Err(induced.into_error());
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        std::io::Write::write_all(&mut f, b"laminar-health-probe")?;
+        f.sync_data()
     }
 
     /// The backing data directory, if this registry is durable.
@@ -694,10 +824,13 @@ impl Registry {
         }
         // Group commit: one frame, durable before anything is applied.
         if let Some(p) = inner.persist.as_mut() {
-            let (bytes, synced) = p
-                .wal
-                .append_batch(&frame)
-                .map_err(|e| persist_err("wal append batch", e))?;
+            let (bytes, synced) = match p.wal.append_batch(&frame) {
+                Ok(v) => v,
+                Err(e) => {
+                    p.stats.io_failed("wal append batch", &e);
+                    return Err(persist_err("wal append batch", e));
+                }
+            };
             p.stats.wal_appends += frame.len() as u64;
             p.stats.wal_bytes += bytes;
             if synced {

@@ -35,7 +35,30 @@
 //! The caller truncates the file there and continues — a crash mid-append
 //! therefore loses only the unacknowledged record being written, never a
 //! previously acknowledged one.
+//!
+//! # Self-healing tail
+//!
+//! A *failed* append (ENOSPC mid-frame, a short write, a failed fsync)
+//! can leave torn bytes after the last acknowledged frame while the
+//! process keeps running. Before the fix in this module, a later
+//! successful append would land **after** those torn bytes and the
+//! torn-tail rule above would discard it (and everything after it) at
+//! replay — a single transient IO error permanently poisoned the log.
+//! [`Wal::append`]/[`Wal::append_batch`] now roll the tail back on any
+//! failure: seek to the last acknowledged frame boundary and truncate
+//! the file there, so a retry appends onto a clean tail. If even the
+//! rollback fails the log marks itself unhealthy and refuses appends
+//! until [`Wal::heal`] succeeds.
+//!
+//! # Fault injection
+//!
+//! Every IO site here consults an optional [`crate::iofault::IoFaultHook`]
+//! immediately before the real syscall (see [`Wal::set_fault_hook`] and
+//! [`write_atomic_hooked`]), which is how the storage chaos suite drives
+//! deterministic ENOSPC/short-write/fsync failures through the exact
+//! production code paths.
 
+use crate::iofault::{FaultHook, Induced, IoSite};
 use crate::rows::{ExecutionRow, ExecutionStatus, PeRow, ResponseRow, UserRow, WorkflowRow};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
@@ -157,13 +180,50 @@ pub fn tmp_path(path: &Path) -> PathBuf {
 /// itself is durable. A crash at any point leaves either the old intact
 /// file or the new intact file — never a torn one.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    write_atomic_hooked(path, bytes, None)
+}
+
+/// [`write_atomic`] with an optional fault hook consulted at each of its
+/// three IO sites (`SnapshotWrite`, `SnapshotFsync`, `SnapshotRename`).
+/// On an injected failure the tmp file is removed (or left torn for a
+/// short write — the next open discards leftover tmps either way) and
+/// the target file is untouched.
+pub fn write_atomic_hooked(
+    path: &Path,
+    bytes: &[u8],
+    fault: Option<&FaultHook>,
+) -> std::io::Result<()> {
+    let induce = |site: IoSite, len: usize| fault.and_then(|h| h.induce(site, len));
     let tmp = tmp_path(path);
     {
         let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
+        match induce(IoSite::SnapshotWrite, bytes.len()) {
+            None => f.write_all(bytes)?,
+            Some(Induced::Short { written, error }) => {
+                // The torn prefix really lands in the tmp file.
+                let _ = f.write_all(&bytes[..written.min(bytes.len())]);
+                return Err(error);
+            }
+            Some(Induced::Error(e)) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+        }
+        match induce(IoSite::SnapshotFsync, 0) {
+            None => f.sync_all()?,
+            Some(i) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(i.into_error());
+            }
+        }
     }
-    std::fs::rename(&tmp, path)?;
+    match induce(IoSite::SnapshotRename, 0) {
+        None => std::fs::rename(&tmp, path)?,
+        Some(i) => {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(i.into_error());
+        }
+    }
     if let Some(parent) = path.parent() {
         // Directory fsync is best-effort: not every platform/filesystem
         // supports opening a directory for sync.
@@ -186,6 +246,11 @@ pub struct Wal {
     records: u64,
     /// Bytes currently in the file.
     bytes: u64,
+    /// Optional fault hook consulted before every IO (test/chaos only).
+    fault: Option<FaultHook>,
+    /// Set when a failed append could not roll the tail back; appends
+    /// refuse until [`Wal::heal`] succeeds.
+    poisoned: bool,
 }
 
 impl Wal {
@@ -205,27 +270,100 @@ impl Wal {
             sync,
             records,
             bytes,
+            fault: None,
+            poisoned: false,
         })
     }
 
-    /// Append one record. Returns `(frame bytes written, fsynced)`. The
-    /// record is durable (per the sync policy) when this returns.
-    pub fn append(&mut self, rec: &WalRecord) -> std::io::Result<(u64, bool)> {
-        let payload = serde_json::to_vec(rec)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    /// Install a fault hook, consulted before every append/fsync/truncate.
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.fault = Some(hook);
+    }
+
+    fn induce(&self, site: IoSite, len: usize) -> Option<Induced> {
+        self.fault.as_ref().and_then(|h| h.induce(site, len))
+    }
+
+    /// Encode one frame: `[len][crc][payload]`.
+    fn frame(payload: &[u8]) -> Vec<u8> {
         debug_assert!(payload.len() as u64 <= MAX_RECORD_BYTES as u64);
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame
+    }
+
+    /// Write one frame at the tail, rolling the tail back to the last
+    /// acknowledged boundary on any failure (the self-healing tail — see
+    /// the module doc). Counters advance only on full success.
+    fn append_frame(&mut self, frame: &[u8], recs: u64, site: IoSite) -> std::io::Result<(u64, bool)> {
+        self.heal()?;
+        let written = match self.induce(site, frame.len()) {
+            None => self.file.write_all(frame),
+            Some(Induced::Short { written, error }) => {
+                // The torn prefix really lands on disk, exactly like a
+                // device error mid-write.
+                let _ = self.file.write_all(&frame[..written.min(frame.len())]);
+                Err(error)
+            }
+            Some(Induced::Error(e)) => Err(e),
+        };
+        if let Err(e) = written {
+            self.rewind_tail();
+            return Err(e);
+        }
         let synced = matches!(self.sync, SyncPolicy::EveryAppend);
         if synced {
-            self.file.sync_data()?;
+            let sync = match self.induce(IoSite::WalFsync, 0) {
+                None => self.file.sync_data(),
+                Some(i) => Err(i.into_error()),
+            };
+            if let Err(e) = sync {
+                // The frame reached the page cache but durability is
+                // unknown; discard it so an unacknowledged record can
+                // never replay.
+                self.rewind_tail();
+                return Err(e);
+            }
         }
-        self.records += 1;
+        self.records += recs;
         self.bytes += frame.len() as u64;
         Ok((frame.len() as u64, synced))
+    }
+
+    /// Roll the file back to the last acknowledged frame boundary. On
+    /// failure the log is poisoned until [`Wal::heal`] succeeds.
+    fn rewind_tail(&mut self) {
+        let ok = self.file.set_len(self.bytes).is_ok()
+            && self.file.seek(SeekFrom::Start(self.bytes)).is_ok();
+        self.poisoned = !ok;
+    }
+
+    /// Retry the tail rollback of a poisoned log; a no-op when healthy.
+    pub fn heal(&mut self) -> std::io::Result<()> {
+        if !self.poisoned {
+            return Ok(());
+        }
+        self.file.set_len(self.bytes)?;
+        self.file.seek(SeekFrom::Start(self.bytes))?;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// False while a failed rollback keeps the log refusing appends.
+    pub fn healthy(&self) -> bool {
+        !self.poisoned
+    }
+
+    /// Append one record. Returns `(frame bytes written, fsynced)`. The
+    /// record is durable (per the sync policy) when this returns; on
+    /// error the file tail is rolled back to the last acknowledged frame.
+    pub fn append(&mut self, rec: &WalRecord) -> std::io::Result<(u64, bool)> {
+        let payload = serde_json::to_vec(rec)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let frame = Self::frame(&payload);
+        self.append_frame(&frame, 1, IoSite::WalAppend)
     }
 
     /// Group-commit: append `recs` as **one** multi-op frame — a single
@@ -241,19 +379,8 @@ impl Wal {
         }
         let payload = serde_json::to_vec(recs)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        debug_assert!(payload.len() as u64 <= MAX_RECORD_BYTES as u64);
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
-        let synced = matches!(self.sync, SyncPolicy::EveryAppend);
-        if synced {
-            self.file.sync_data()?;
-        }
-        self.records += recs.len() as u64;
-        self.bytes += frame.len() as u64;
-        Ok((frame.len() as u64, synced))
+        let frame = Self::frame(&payload);
+        self.append_frame(&frame, recs.len() as u64, IoSite::WalBatchAppend)
     }
 
     /// Records currently in the log.
@@ -269,11 +396,15 @@ impl Wal {
     /// Truncate the log to empty (after a successful snapshot has made
     /// its contents redundant). Durable before returning.
     pub fn reset(&mut self) -> std::io::Result<()> {
+        if let Some(i) = self.induce(IoSite::WalTruncate, 0) {
+            return Err(i.into_error());
+        }
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_all()?;
         self.records = 0;
         self.bytes = 0;
+        self.poisoned = false;
         Ok(())
     }
 
@@ -585,6 +716,163 @@ mod tests {
         write_atomic(&path, b"new contents").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
         assert!(!tmp_path(&path).exists(), "tmp renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_append_heals_tail_at_every_cut_byte() {
+        use crate::iofault::{FaultKind, FaultSpec, IoFaultInjector};
+        // Regression for the torn-tail poisoning bug: a short write that
+        // leaves N bytes of a failed frame on disk, followed by a
+        // successful append, used to bury the new frame behind torn
+        // bytes — replay then discarded it. With the self-healing tail
+        // the retry must land on a clean boundary for EVERY cut point.
+        let probe_frame_len = {
+            let dir = tmp_dir("heal-probe");
+            let path = dir.join("wal.log");
+            let mut wal = Wal::open(&path, SyncPolicy::OsBuffered, 0, 0).unwrap();
+            wal.append(&rec(2)).unwrap();
+            let len = wal.bytes();
+            std::fs::remove_dir_all(&dir).ok();
+            len as usize
+        };
+        for cut in 0..=probe_frame_len {
+            let dir = tmp_dir(&format!("heal-{cut}"));
+            let path = dir.join("wal.log");
+            let mut wal = Wal::open(&path, SyncPolicy::OsBuffered, 0, 0).unwrap();
+            wal.append(&rec(1)).unwrap();
+            let acknowledged = wal.bytes();
+            let inj = IoFaultInjector::new(
+                1,
+                FaultSpec {
+                    sites: vec![IoSite::WalAppend],
+                    mode: crate::iofault::FaultMode::Nth(1),
+                    kind: FaultKind::ShortWrite,
+                    short_cut: Some(cut),
+                },
+            );
+            wal.set_fault_hook(inj);
+            assert!(wal.append(&rec(2)).is_err(), "cut at {cut}");
+            assert!(wal.healthy(), "tail rollback must succeed: cut {cut}");
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                acknowledged,
+                "torn bytes truncated at cut {cut}"
+            );
+            // The retry (the Nth fault fired once) succeeds and replays.
+            wal.append(&rec(3)).unwrap();
+            drop(wal);
+            let rep = replay(&path).unwrap();
+            assert!(!rep.torn, "cut at {cut}");
+            assert_eq!(
+                rep.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+                vec![1, 3],
+                "cut at {cut}"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn failed_fsync_discards_the_unacknowledged_frame() {
+        use crate::iofault::{FaultKind, FaultSpec, IoFaultInjector};
+        let dir = tmp_dir("fsync-fault");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open(&path, SyncPolicy::EveryAppend, 0, 0).unwrap();
+        wal.append(&rec(1)).unwrap();
+        let acknowledged = wal.bytes();
+        wal.set_fault_hook(IoFaultInjector::new(
+            3,
+            FaultSpec::nth_at(IoSite::WalFsync, 1, FaultKind::FsyncError),
+        ));
+        // The frame write succeeds; the fsync fails — the frame must not
+        // survive, because the caller never acknowledged it.
+        assert!(wal.append(&rec(2)).is_err());
+        assert_eq!(wal.records(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), acknowledged);
+        wal.append(&rec(3)).unwrap();
+        drop(wal);
+        let rep = replay(&path).unwrap();
+        assert!(!rep.torn);
+        assert_eq!(
+            rep.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_append_fault_is_all_or_nothing() {
+        use crate::iofault::{FaultKind, FaultSpec, IoFaultInjector};
+        let dir = tmp_dir("batch-fault");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open(&path, SyncPolicy::OsBuffered, 0, 0).unwrap();
+        wal.append(&rec(1)).unwrap();
+        wal.set_fault_hook(IoFaultInjector::new(
+            9,
+            FaultSpec::nth_at(IoSite::WalBatchAppend, 1, FaultKind::Enospc),
+        ));
+        assert!(wal.append_batch(&[rec(2), rec(3)]).is_err());
+        assert_eq!(wal.records(), 1, "no batch member counted");
+        // Retry succeeds (Nth fired) and the whole batch lands.
+        wal.append_batch(&[rec(2), rec(3)]).unwrap();
+        drop(wal);
+        let rep = replay(&path).unwrap();
+        assert!(!rep.torn);
+        assert_eq!(
+            rep.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hooked_write_atomic_fails_sites_without_corrupting_target() {
+        use crate::iofault::{FaultHook, FaultKind, FaultSpec, IoFaultInjector};
+        let dir = tmp_dir("atomic-fault");
+        let path = dir.join("snapshot.json");
+        std::fs::write(&path, b"old").unwrap();
+        for (site, kind) in [
+            (IoSite::SnapshotWrite, FaultKind::Enospc),
+            (IoSite::SnapshotWrite, FaultKind::ShortWrite),
+            (IoSite::SnapshotFsync, FaultKind::FsyncError),
+            (IoSite::SnapshotRename, FaultKind::Enospc),
+        ] {
+            let hook: FaultHook = IoFaultInjector::new(11, FaultSpec::nth_at(site, 1, kind));
+            let err = write_atomic_hooked(&path, b"new contents", Some(&hook)).unwrap_err();
+            assert!(err.to_string().contains("injected"), "{site:?}: {err}");
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                b"old",
+                "{site:?} must leave the target intact"
+            );
+        }
+        // With the faults exhausted the same hook lets the write through.
+        let hook: FaultHook = IoFaultInjector::new(
+            11,
+            FaultSpec::nth_at(IoSite::SnapshotWrite, 99, FaultKind::Enospc),
+        );
+        write_atomic_hooked(&path, b"new contents", Some(&hook)).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_fault_leaves_log_intact() {
+        use crate::iofault::{FaultKind, FaultSpec, IoFaultInjector};
+        let dir = tmp_dir("reset-fault");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open(&path, SyncPolicy::OsBuffered, 0, 0).unwrap();
+        wal.append(&rec(1)).unwrap();
+        wal.set_fault_hook(IoFaultInjector::new(
+            2,
+            FaultSpec::nth_at(IoSite::WalTruncate, 1, FaultKind::Enospc),
+        ));
+        assert!(wal.reset().is_err());
+        assert_eq!(wal.records(), 1, "failed reset keeps the log");
+        wal.reset().unwrap();
+        assert_eq!(wal.records(), 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

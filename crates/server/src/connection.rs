@@ -19,6 +19,12 @@
 //!   dispatched. Always safe to retry, after the hinted delay.
 //! * [`ConnectionError::TimedOut`] — no reply within the deadline; the
 //!   request may have executed, so only idempotent requests retry.
+//! * [`ConnectionError::Degraded`] — the server is in read-only degraded
+//!   mode and rejected a mutation before applying it. The server may
+//!   recover (a background probe restores it), so idempotent requests
+//!   retry after the hinted delay; non-idempotent requests surface the
+//!   error — NOT `is_transient`, because whether a retry is safe depends
+//!   on the endpoint, not the connection.
 //! * [`ConnectionError::UnsupportedVersion`] / [`ConnectionError::Protocol`]
 //!   — never retried.
 
@@ -65,6 +71,14 @@ pub enum ConnectionError {
     Busy { retry_after_ms: u64 },
     /// No reply within the deadline.
     TimedOut { request_id: u64 },
+    /// The server is in read-only degraded mode (storage fault) and
+    /// rejected the mutation without applying it. Idempotent requests
+    /// may retry after the hint — the server probes its storage in the
+    /// background and recovers.
+    Degraded {
+        reason: String,
+        retry_after_ms: u64,
+    },
     /// The server does not speak this protocol version.
     UnsupportedVersion {
         server_version: u16,
@@ -96,6 +110,13 @@ impl fmt::Display for ConnectionError {
             ConnectionError::TimedOut { request_id } => {
                 write!(f, "request req-{request_id} timed out")
             }
+            ConnectionError::Degraded {
+                reason,
+                retry_after_ms,
+            } => write!(
+                f,
+                "server degraded, read-only: {reason} (retry after {retry_after_ms} ms)"
+            ),
             ConnectionError::UnsupportedVersion {
                 server_version,
                 client_version,
@@ -142,6 +163,13 @@ pub fn classify(reply: Reply) -> Result<Reply, ConnectionError> {
         Reply::Value(Response::Busy { retry_after_ms }) => {
             Err(ConnectionError::Busy { retry_after_ms })
         }
+        Reply::Value(Response::Degraded {
+            reason,
+            retry_after_ms,
+        }) => Err(ConnectionError::Degraded {
+            reason,
+            retry_after_ms,
+        }),
         Reply::Value(Response::Unsupported {
             server_version,
             client_version,
@@ -185,6 +213,28 @@ mod tests {
         assert!(ConnectionError::Busy { retry_after_ms: 1 }.is_transient());
         assert!(!ConnectionError::TimedOut { request_id: 1 }.is_transient());
         assert!(!ConnectionError::Protocol("x".into()).is_transient());
+        // Degraded is endpoint-dependent (idempotent-only retry), so it
+        // must NOT ride the unconditional transient path.
+        assert!(!ConnectionError::Degraded {
+            reason: "disk".into(),
+            retry_after_ms: 100
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn classify_maps_degraded() {
+        let deg = classify(Reply::Value(Response::Degraded {
+            reason: "wal append: injected ENOSPC".into(),
+            retry_after_ms: 250,
+        }));
+        match deg {
+            Err(ConnectionError::Degraded {
+                reason,
+                retry_after_ms: 250,
+            }) => assert!(reason.contains("ENOSPC")),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
     }
 
     #[test]

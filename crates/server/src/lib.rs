@@ -24,13 +24,18 @@
 //!   delivery mode, frame latency, protocol version and deadline;
 //! * [`obs`] — the serving-path observability layer: per-request ids,
 //!   lock-free per-endpoint counters and latency histograms, and the
-//!   serialisable [`obs::MetricsSnapshot`] behind the `metrics` endpoint.
+//!   serialisable [`obs::MetricsSnapshot`] behind the `metrics` endpoint;
+//! * [`health`] — the storage-health state machine behind read-only
+//!   degraded mode: the first persistence error rejects further
+//!   mutations while reads keep serving, and a background probe
+//!   ([`server::LaminarServer::probe_storage`]) restores `Healthy`.
 //!
 //! The data-access layer is the `laminar-registry` crate; the models are
 //! its row types.
 
 pub mod cache;
 pub mod connection;
+pub mod health;
 pub mod indexes;
 pub mod net;
 pub mod obs;
@@ -41,15 +46,16 @@ pub mod transport;
 
 pub use cache::{QueryCache, QueryModality, ResultKey, ResultOp};
 pub use connection::{classify, ConnOptions, Connection, ConnectionError};
+pub use health::StorageHealth;
 pub use indexes::{IndexOptions, SearchIndexes, TierBytes};
 pub use net::{NetClientTransport, NetServer, NetServerConfig, MAX_FRAME};
 pub use obs::{
     EnactmentSnapshot, EndpointSnapshot, Metrics, MetricsSnapshot, RequestId, SearchQuantSnapshot,
-    SearchSnapshot,
+    SearchSnapshot, StorageHealthSnapshot,
 };
 pub use protocol::{
     EmbeddingType, FaultPolicyWire, Ident, PeSubmission, Reply, Request, RequestEnvelope, Response,
-    RunMode, SearchScope, SemanticHit, WireFrame, PROTOCOL_VERSION,
+    RunMode, SearchScope, SemanticHit, StorageStateWire, WireFrame, PROTOCOL_VERSION,
 };
 pub use resources::{ResourceCache, ResourceRef};
 pub use server::{LaminarServer, ServerConfig, ServerError};

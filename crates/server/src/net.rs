@@ -137,6 +137,7 @@ pub struct NetServer {
     stop: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     config: NetServerConfig,
+    server: Arc<LaminarServer>,
 }
 
 impl NetServer {
@@ -192,6 +193,7 @@ impl NetServer {
         }
 
         let stop2 = stop.clone();
+        let server_handle = server.clone();
         listener.set_nonblocking(true)?;
         std::thread::spawn(move || {
             while !stop2.load(Ordering::SeqCst) {
@@ -223,6 +225,7 @@ impl NetServer {
             stop,
             active,
             config,
+            server: server_handle,
         })
     }
 
@@ -258,10 +261,20 @@ impl NetServer {
         true
     }
 
-    /// Stop accepting, then drain up to the configured drain deadline.
+    /// Stop accepting, then drain up to the configured drain deadline,
+    /// then fold the WAL into a snapshot with whatever drain budget is
+    /// left — best-effort (skipped under degraded storage, and never
+    /// blocking past the deadline), so the next start recovers from a
+    /// snapshot instead of a long WAL replay.
     pub fn graceful_shutdown(&self) -> bool {
         self.shutdown();
-        self.drain(self.config.drain_timeout)
+        let start = Instant::now();
+        let drained = self.drain(self.config.drain_timeout);
+        let remaining = self.config.drain_timeout.saturating_sub(start.elapsed());
+        if !remaining.is_zero() {
+            let _ = self.server.shutdown_compact(remaining);
+        }
+        drained
     }
 }
 

@@ -403,6 +403,13 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Milliseconds since this metrics registry (i.e. the server) was
+    /// created — the `Health` endpoint's uptime without the cost of a
+    /// full snapshot.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
     /// The metrics handle for one endpoint, created on first use.
     pub fn endpoint(&self, name: &'static str) -> Arc<EndpointMetrics> {
         if let Some(m) = self.endpoints.read().get(name) {
@@ -504,6 +511,34 @@ pub struct PersistenceSnapshot {
     pub recovery_ms: u64,
 }
 
+/// Snapshot of the storage-health state machine (serialisable, v8).
+/// Filled by the `Metrics` endpoint from the server's `StorageHealth`
+/// plus the registry's fault-injection counters; all-zero — and absent
+/// from the rendered table — until a persist error, probe, or injected
+/// fault has occurred.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StorageHealthSnapshot {
+    /// True while the server is in read-only degraded mode.
+    pub degraded: bool,
+    /// Healthy→Degraded transitions since start.
+    pub degraded_entries: u64,
+    /// Degraded→Healthy transitions (successful recoveries).
+    pub degraded_exits: u64,
+    /// Recovery probes run (periodic + on-demand).
+    pub probe_attempts: u64,
+    /// Recovery probes that failed (storage still bad).
+    pub probe_failures: u64,
+    /// Mutating requests rejected with `Response::Degraded`.
+    pub rejected_while_degraded: u64,
+    /// Persistence-path IO errors observed by the registry.
+    pub io_errors: u64,
+    /// Most recent persistence error, if any.
+    pub last_error: Option<String>,
+    /// Per-site fault-injector counters `(site, ops, injected)`; empty
+    /// unless a test injector is installed.
+    pub fault_sites: Vec<(String, u64, u64)>,
+}
+
 /// Snapshot of the batched-ingestion metrics (serialisable). The
 /// `batch_size` histogram's buckets count rows, not µs.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -585,6 +620,10 @@ pub struct MetricsSnapshot {
     /// pre-v7 snapshot (no `search_quant` field) still deserialises.
     #[serde(default)]
     pub search_quant: SearchQuantSnapshot,
+    /// Storage-health state machine; serde-defaulted so a pre-v8
+    /// snapshot (no `storage_health` field) still deserialises.
+    #[serde(default)]
+    pub storage_health: StorageHealthSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -729,6 +768,40 @@ impl MetricsSnapshot {
                     "{:<28} {:>8} {:>9} {:>9} {:>9}",
                     name, h.count, h.p50_us, h.p95_us, h.p99_us
                 );
+            }
+        }
+        let h = &self.storage_health;
+        if h.degraded || h.degraded_entries > 0 || h.probe_attempts > 0 || h.io_errors > 0 {
+            let _ = writeln!(
+                out,
+                "storage health: {}  entries {}  exits {}  rejected-while-degraded {}",
+                if h.degraded { "DEGRADED (read-only)" } else { "healthy" },
+                h.degraded_entries,
+                h.degraded_exits,
+                h.rejected_while_degraded
+            );
+            let _ = writeln!(
+                out,
+                "storage probes: attempts {}  failures {}  io errors {}{}",
+                h.probe_attempts,
+                h.probe_failures,
+                h.io_errors,
+                h.last_error
+                    .as_deref()
+                    .map(|e| format!("  last: {e}"))
+                    .unwrap_or_default()
+            );
+            if h.fault_sites.iter().any(|&(_, ops, _)| ops > 0) {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>8} {:>9}",
+                    "io fault site", "ops", "injected"
+                );
+                for (site, ops, injected) in &h.fault_sites {
+                    if *ops > 0 {
+                        let _ = writeln!(out, "{site:<28} {ops:>8} {injected:>9}");
+                    }
+                }
             }
         }
         let p = &self.persistence;
@@ -989,6 +1062,44 @@ mod tests {
         json.as_object_mut().unwrap().remove("search_quant");
         let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
         assert_eq!(back.search_quant, SearchQuantSnapshot::default());
+    }
+
+    #[test]
+    fn storage_health_snapshot_serde_compat_and_render() {
+        let m = Metrics::new();
+        let mut snap = m.snapshot();
+        // All-zero by default: row group absent from the table.
+        assert_eq!(snap.storage_health, StorageHealthSnapshot::default());
+        assert!(!snap.render().contains("storage health:"));
+        snap.storage_health = StorageHealthSnapshot {
+            degraded: true,
+            degraded_entries: 2,
+            degraded_exits: 1,
+            probe_attempts: 5,
+            probe_failures: 4,
+            rejected_while_degraded: 7,
+            io_errors: 3,
+            last_error: Some("wal append: injected ENOSPC".into()),
+            fault_sites: vec![
+                ("wal_append".into(), 12, 3),
+                ("snapshot_rename".into(), 0, 0),
+            ],
+        };
+        let table = snap.render();
+        assert!(table.contains("DEGRADED (read-only)"), "{table}");
+        assert!(table.contains("rejected-while-degraded 7"), "{table}");
+        assert!(table.contains("last: wal append: injected ENOSPC"), "{table}");
+        assert!(table.contains("wal_append"), "{table}");
+        // Zero-op sites are elided from the fault table.
+        assert!(!table.contains("snapshot_rename"), "{table}");
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.storage_health, snap.storage_health);
+        // A pre-v8 snapshot without the `storage_health` field still parses.
+        let mut json: serde_json::Value = serde_json::to_value(&snap).unwrap();
+        json.as_object_mut().unwrap().remove("storage_health");
+        let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
+        assert_eq!(back.storage_health, StorageHealthSnapshot::default());
     }
 
     #[test]

@@ -58,6 +58,14 @@
 //!   counters, rescore-window sizing, per-phase scan latency, f32-vs-i8
 //!   tier bytes). No request or frame changes; version-6 payloads parse
 //!   unchanged.
+//! * `8` — storage health: adds the tokenless `Health` request and its
+//!   `Health` response (liveness, readiness, storage state, last persist
+//!   error, uptime, degraded-transition count), the typed `Degraded`
+//!   rejection returned by mutating endpoints while the server is in
+//!   read-only degraded mode, and a serde-defaulted `storage_health`
+//!   metrics row group (io faults by site, degraded entries/exits, probe
+//!   attempts, rejected-while-degraded counts). Version-7 payloads parse
+//!   unchanged.
 
 use crate::obs::MetricsSnapshot;
 use d4py::Data;
@@ -68,7 +76,7 @@ use serde::{Deserialize, Serialize};
 
 /// The protocol version this build speaks (see the module doc's version
 /// rules).
-pub const PROTOCOL_VERSION: u16 = 7;
+pub const PROTOCOL_VERSION: u16 = 8;
 
 /// Session token handed out by register/login.
 pub type Token = u64;
@@ -370,6 +378,10 @@ pub enum Request {
     Compact {
         token: Token,
     },
+    /// Health probe (v8): liveness, readiness, and the storage state
+    /// machine. Tokenless like `Metrics` — it is the surface load
+    /// balancers and healthchecks poll, not user data.
+    Health {},
 }
 
 impl Request {
@@ -402,6 +414,7 @@ impl Request {
             Request::RunWithInlineResources { .. } => "RunWithInlineResources",
             Request::Metrics {} => "Metrics",
             Request::Compact { .. } => "Compact",
+            Request::Health {} => "Health",
         }
     }
 }
@@ -565,6 +578,38 @@ pub enum Response {
         /// Size of the snapshot written.
         snapshot_bytes: u64,
     },
+    /// Typed read-only rejection (v8): the storage layer failed a persist
+    /// and the server is in degraded mode. Only mutating endpoints get
+    /// this; reads keep serving. The request was **not** applied, so a
+    /// retry after the hint is safe for idempotent endpoints.
+    Degraded {
+        reason: String,
+        retry_after_ms: u64,
+    },
+    /// Health report (v8). `live` is always true when the server can
+    /// answer at all; `ready` means it is accepting mutations (storage
+    /// healthy).
+    Health {
+        live: bool,
+        ready: bool,
+        /// The storage state machine's current state.
+        storage: StorageStateWire,
+        /// Most recent persistence error, if any has ever occurred.
+        last_persist_error: Option<String>,
+        uptime_ms: u64,
+        /// Healthy→Degraded transitions since the server started.
+        degraded_transitions: u64,
+    },
+}
+
+/// The storage state machine's state as transmitted (v8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageStateWire {
+    /// Persists are succeeding; mutations are accepted.
+    Healthy,
+    /// A persist failed; mutations are rejected until a recovery probe
+    /// passes.
+    Degraded,
 }
 
 /// One frame of a (possibly streamed) reply.
@@ -925,6 +970,44 @@ mod tests {
         let json = r#"{"protocol_version":6,"SearchSemantic":{"token":2,"scope":"Pe","query":"find primes","top_n":null}}"#;
         let env: RequestEnvelope = serde_json::from_str(json).unwrap();
         assert_eq!(env.protocol_version, 6);
+        assert!(matches!(env.body, Request::SearchSemantic { token: 2, .. }));
+    }
+
+    #[test]
+    fn version_eight_health_roundtrips() {
+        let req = Request::Health {};
+        assert_eq!(req.endpoint(), "Health");
+        let json = serde_json::to_string(&req).unwrap();
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), req);
+        let resp = Response::Health {
+            live: true,
+            ready: false,
+            storage: StorageStateWire::Degraded,
+            last_persist_error: Some("wal append: injected ENOSPC".into()),
+            uptime_ms: 12_345,
+            degraded_transitions: 2,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+        let resp = Response::Degraded {
+            reason: "storage degraded: wal append failed".into(),
+            retry_after_ms: 500,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn version_seven_payloads_parse_under_version_eight() {
+        // v8 adds a request variant, two response variants, and a
+        // serde-defaulted metrics row group; every v7 payload must keep
+        // parsing byte-for-byte unchanged.
+        let json = r#"{"protocol_version":7,"Compact":{"token":7}}"#;
+        let env: RequestEnvelope = serde_json::from_str(json).unwrap();
+        assert_eq!(env.protocol_version, 7);
+        assert_eq!(env.body, Request::Compact { token: 7 });
+        let json = r#"{"protocol_version":7,"SearchSemantic":{"token":2,"scope":"Pe","query":"find primes","top_n":null}}"#;
+        let env: RequestEnvelope = serde_json::from_str(json).unwrap();
         assert!(matches!(env.body, Request::SearchSemantic { token: 2, .. }));
     }
 

@@ -2,8 +2,9 @@
 //! indexes, resource cache and execution engine (paper §III, Fig. 4).
 
 use crate::cache::{QueryCache, QueryModality, ResultKey, ResultOp};
+use crate::health::StorageHealth;
 use crate::indexes::{EntryKind, IndexHit, IndexOptions, SearchIndexes, DEFAULT_RESCORE_WINDOW};
-use crate::obs::{Metrics, RequestId};
+use crate::obs::{Metrics, RequestId, StorageHealthSnapshot};
 use crate::protocol::*;
 use crate::resources::ResourceCache;
 use aroma::lsh::LshConfig;
@@ -52,6 +53,12 @@ pub struct ServerConfig {
     /// Capacity of the query-path caches (embedding LRU + generation-
     /// scoped result cache); 0 disables them (`--query-cache-entries`).
     pub query_cache_entries: usize,
+    /// Interval of the background storage-recovery probe in milliseconds
+    /// (`--probe-interval-ms`); 0 disables the probe thread. The probe
+    /// only does IO while the server is degraded.
+    pub probe_interval_ms: u64,
+    /// `retry_after_ms` hint carried by `Response::Degraded` rejections.
+    pub degraded_retry_after_ms: u64,
     /// Dynamic-run worker bounds (the config that replaced Listing 2's
     /// explicit parameters in Laminar 2.0).
     pub dynamic: d4py::DynamicConfig,
@@ -70,6 +77,8 @@ impl Default for ServerConfig {
             quantized: false,
             rescore_window: DEFAULT_RESCORE_WINDOW,
             query_cache_entries: 0,
+            probe_interval_ms: 0,
+            degraded_retry_after_ms: 500,
             dynamic: d4py::DynamicConfig::default(),
         }
     }
@@ -113,6 +122,8 @@ pub struct LaminarServer {
     metrics: Arc<Metrics>,
     /// Opt-in query-path caches (`query_cache_entries > 0`).
     query_cache: Option<QueryCache>,
+    /// The storage-health state machine behind read-only degraded mode.
+    health: Arc<StorageHealth>,
 }
 
 impl LaminarServer {
@@ -137,9 +148,73 @@ impl LaminarServer {
             unixcoder: UniXcoderSim::new(),
             metrics: Arc::new(Metrics::new()),
             query_cache,
+            health: Arc::new(StorageHealth::new()),
         };
         server.warm_load_indexes();
+        server.spawn_recovery_probe();
         server
+    }
+
+    /// Start the background storage-recovery probe thread (disabled when
+    /// `probe_interval_ms` is 0). The thread holds only weak references,
+    /// so it exits once the server (and its registry) are dropped; it
+    /// does IO only while the server is degraded, so a healthy server
+    /// pays nothing but a timer tick.
+    fn spawn_recovery_probe(&self) {
+        if self.config.probe_interval_ms == 0 {
+            return;
+        }
+        let interval = std::time::Duration::from_millis(self.config.probe_interval_ms);
+        let registry = Arc::downgrade(&self.registry);
+        let health = Arc::downgrade(&self.health);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            let (Some(registry), Some(health)) = (registry.upgrade(), health.upgrade()) else {
+                return;
+            };
+            if health.is_degraded() {
+                match registry.verify_storage() {
+                    Ok(()) => health.probe_passed(),
+                    Err(e) => health.probe_failed(&e.to_string()),
+                }
+            }
+        });
+    }
+
+    /// The storage-health state machine (shared with tests and the
+    /// drain path).
+    pub fn health(&self) -> &Arc<StorageHealth> {
+        &self.health
+    }
+
+    /// Run one recovery probe now (the background thread does the same
+    /// on its timer): verify storage and transition the state machine.
+    /// Returns the new degraded state.
+    pub fn probe_storage(&self) -> bool {
+        match self.registry.verify_storage() {
+            Ok(()) => self.health.probe_passed(),
+            Err(e) => self.health.probe_failed(&e.to_string()),
+        }
+        self.health.is_degraded()
+    }
+
+    /// Best-effort final compaction for graceful shutdown: fold the WAL
+    /// into a snapshot so the next start recovers from the snapshot
+    /// instead of a long replay. Runs on a helper thread and gives up
+    /// after `timeout` (the compaction itself keeps running to
+    /// completion, but drain is not blocked on it). Skipped while
+    /// degraded — a failing disk would only eat the drain budget.
+    /// Returns true when the compaction finished (successfully) in time.
+    pub fn shutdown_compact(&self, timeout: std::time::Duration) -> bool {
+        if self.health.is_degraded() {
+            return false;
+        }
+        let registry = self.registry.clone();
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        std::thread::spawn(move || {
+            let _ = tx.send(registry.compact().is_ok());
+        });
+        matches!(rx.recv_timeout(timeout), Ok(true))
     }
 
     /// Cold-start warm load: rebuild the search indexes from whatever the
@@ -287,7 +362,15 @@ impl LaminarServer {
         let start = std::time::Instant::now();
         let reply = match self.dispatch(env.body) {
             Ok(reply) => reply,
-            Err(e) => Reply::Value(Response::Error(e.to_string())),
+            Err(e) => {
+                // Central persist-error observation: any mutation that
+                // died on the persistence path flips the server into
+                // read-only degraded mode.
+                if let ServerError::Registry(RegistryError::Persistence(msg)) = &e {
+                    self.health.record_persist_error(msg);
+                }
+                Reply::Value(Response::Error(e.to_string()))
+            }
         };
         match reply {
             Reply::Value(v) => {
@@ -336,7 +419,43 @@ impl LaminarServer {
         }
     }
 
+    /// True for requests that mutate durable registry state. These are
+    /// the endpoints degraded mode rejects; reads, searches, runs (whose
+    /// history rows degrade to best-effort), metrics, health, and the
+    /// in-memory resource cache keep serving.
+    fn is_mutating(req: &Request) -> bool {
+        matches!(
+            req,
+            Request::RegisterUser { .. }
+                | Request::RegisterPe { .. }
+                | Request::RegisterWorkflow { .. }
+                | Request::RegisterBatch { .. }
+                | Request::UpdatePeDescription { .. }
+                | Request::UpdateWorkflowDescription { .. }
+                | Request::RemovePe { .. }
+                | Request::RemoveWorkflow { .. }
+                | Request::RemoveAll { .. }
+                | Request::Compact { .. }
+        )
+    }
+
     fn dispatch(&self, req: Request) -> Result<Reply, ServerError> {
+        // Read-only degraded mode: reject mutations with the typed
+        // rejection (the request was NOT applied; the hint tells
+        // idempotent callers when to retry) while everything else keeps
+        // serving from in-memory state.
+        if self.health.is_degraded() && Self::is_mutating(&req) {
+            self.health.note_rejected();
+            let reason = self
+                .health
+                .last_error()
+                .map(|e| format!("storage degraded: {e}"))
+                .unwrap_or_else(|| "storage degraded".to_string());
+            return Ok(Reply::Value(Response::Degraded {
+                reason,
+                retry_after_ms: self.config.degraded_retry_after_ms,
+            }));
+        }
         Ok(match req {
             Request::RegisterUser { username, password } => {
                 let user = self.registry.register_user(&username, &password)?;
@@ -626,6 +745,7 @@ impl LaminarServer {
                         recovery_ms: p.recovery_ms,
                     };
                 }
+                snap.storage_health = self.storage_health_snapshot();
                 Reply::Value(Response::Metrics(Box::new(snap)))
             }
             Request::Compact { token } => {
@@ -641,7 +761,43 @@ impl LaminarServer {
                     )),
                 }
             }
+            Request::Health {} => {
+                let degraded = self.health.is_degraded();
+                Reply::Value(Response::Health {
+                    live: true,
+                    ready: !degraded,
+                    storage: if degraded {
+                        StorageStateWire::Degraded
+                    } else {
+                        StorageStateWire::Healthy
+                    },
+                    last_persist_error: self.health.last_error(),
+                    uptime_ms: self.metrics.uptime_ms(),
+                    degraded_transitions: self.health.degraded_entries(),
+                })
+            }
         })
+    }
+
+    /// The `storage_health` metrics row group: the state machine's own
+    /// counters merged with the registry-side IO error tally and the
+    /// fault injector's per-site op counts (empty when no injector is
+    /// armed).
+    fn storage_health_snapshot(&self) -> StorageHealthSnapshot {
+        let mut snap = self.health.snapshot();
+        if let Some(p) = self.registry.persist_stats() {
+            snap.io_errors = p.io_errors;
+            if snap.last_error.is_none() {
+                snap.last_error = p.last_error;
+            }
+        }
+        snap.fault_sites = self
+            .registry
+            .fault_counters()
+            .into_iter()
+            .map(|c| (c.site.name().to_string(), c.ops, c.injected))
+            .collect();
+        snap
     }
 
     // ---- sessions -------------------------------------------------------------
@@ -1300,11 +1456,33 @@ impl LaminarServer {
             d4py::Mapping::Dynamic(_) => "dynamic",
         };
         let run_input: d4py::RunInput = input.clone().into();
-        let exec_id =
-            self.registry
-                .add_execution(wf.id, user, mapping_name, &format!("{input:?}"))?;
-        self.registry
-            .set_execution_status(exec_id, ExecutionStatus::Running)?;
+        // Execution-history rows are best-effort under degraded storage:
+        // a run still executes when the WAL cannot take the row — it just
+        // leaves no history. The persist error itself flips health to
+        // degraded so operators see it.
+        let exec_id = match self
+            .registry
+            .add_execution(wf.id, user, mapping_name, &format!("{input:?}"))
+        {
+            Ok(id) => {
+                match self
+                    .registry
+                    .set_execution_status(id, ExecutionStatus::Running)
+                {
+                    Ok(()) => Some(id),
+                    Err(RegistryError::Persistence(msg)) => {
+                        self.health.record_persist_error(&msg);
+                        Some(id)
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            Err(RegistryError::Persistence(msg)) => {
+                self.health.record_persist_error(&msg);
+                None
+            }
+            Err(e) => return Err(e.into()),
+        };
 
         let engine_rx = self.engine.execute(ExecRequest {
             workflow: wf.name.clone(),
@@ -1326,6 +1504,20 @@ impl LaminarServer {
         let (tx, rx) = crossbeam_channel::unbounded::<WireFrame>();
         let registry = self.registry.clone();
         let metrics = self.metrics.clone();
+        let health = self.health.clone();
+        let finish = move |status: ExecutionStatus, collected: &[String]| {
+            let Some(exec_id) = exec_id else { return };
+            for res in [
+                registry
+                    .add_response(exec_id, &collected.join("\n"), status)
+                    .map(|_| ()),
+                registry.set_execution_status(exec_id, status),
+            ] {
+                if let Err(RegistryError::Persistence(msg)) = res {
+                    health.record_persist_error(&msg);
+                }
+            }
+        };
         std::thread::spawn(move || {
             let mut collected = Vec::new();
             for frame in engine_rx.iter() {
@@ -1353,9 +1545,7 @@ impl LaminarServer {
                     // The consumer disconnected mid-stream. Stop pumping —
                     // dropping `engine_rx` tells the engine nobody is
                     // listening — and record the aborted execution.
-                    let status = ExecutionStatus::Failed;
-                    let _ = registry.add_response(exec_id, &collected.join("\n"), status);
-                    let _ = registry.set_execution_status(exec_id, status);
+                    finish(ExecutionStatus::Failed, &collected);
                     break;
                 }
                 if done {
@@ -1368,8 +1558,7 @@ impl LaminarServer {
                     if failed {
                         metrics.enactment.runs_failed.inc();
                     }
-                    let _ = registry.add_response(exec_id, &collected.join("\n"), status);
-                    let _ = registry.set_execution_status(exec_id, status);
+                    finish(status, &collected);
                     break;
                 }
             }

@@ -65,6 +65,20 @@ cargo test -q -p laminar-server --test quant_props
 echo "==> bench_quant builds"
 cargo build --release -p laminar-bench --bin bench_quant
 
+# Storage chaos: one injected fault at every WAL/snapshot IO site x every
+# fault kind, persistent-ENOSPC rejection, and seeded determinism
+# (same seed => bit-identical fault schedule and recovered registry).
+echo "==> storage chaos suite (disk-fault injection at every IO site)"
+cargo test -q -p laminar-registry --test iofault_recovery
+
+# Degraded-mode end-to-end over TCP: ENOSPC -> typed Degraded rejections
+# while reads/metrics/health keep serving -> probe recovery -> writes land.
+echo "==> degraded-mode server suite (read-only degradation + recovery)"
+cargo test -q -p laminar-server --test degraded
+
+echo "==> bench_degraded builds"
+cargo build --release -p laminar-bench --bin bench_degraded
+
 if [[ "${1:-}" == "--heavy" ]]; then
     echo "==> heavy stress tests (#[ignore]d)"
     cargo test -q -p laminar heavy_ -- --ignored
