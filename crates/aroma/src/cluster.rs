@@ -15,8 +15,11 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    pub fn seed(&self) -> usize {
-        self.members[0]
+    /// Index of the best-ranked member (the seed), or `None` for an empty
+    /// cluster. [`cluster_results`] never produces empty clusters, but the
+    /// accessor is total so hand-built clusters cannot panic the pipeline.
+    pub fn seed(&self) -> Option<usize> {
+        self.members.first().copied()
     }
 
     pub fn len(&self) -> usize {
@@ -110,7 +113,14 @@ mod tests {
         let a = pruned_of(1, "for i in xs:\n    s += i\n", query);
         let b = pruned_of(2, "for j in xs:\n    t += j\n", query);
         let clusters = cluster_results(&[a, b], 0.5);
-        assert_eq!(clusters[0].seed(), 0);
+        assert_eq!(clusters[0].seed(), Some(0));
+    }
+
+    #[test]
+    fn empty_cluster_has_no_seed() {
+        let c = Cluster { members: vec![] };
+        assert!(c.is_empty());
+        assert_eq!(c.seed(), None);
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //! cluster → create recommendations.
 
 use crate::cluster::cluster_results;
-use crate::index::{Snippet, SnippetIndex};
+use crate::index::{ScoredSnippet, Snippet, SnippetIndex};
+use crate::lsh::LshPrefilter;
 use crate::prune::{prune_and_rerank, PrunedSnippet};
 use crate::recommend::create_recommendation;
 use rayon::prelude::*;
 use spt::Spt;
+use std::time::{Duration, Instant};
 
 /// Tunables for the pipeline. Defaults follow the Aroma paper's spirit at
 /// registry scale (the paper retrieves 1000 from millions; Laminar
@@ -24,6 +26,18 @@ pub struct AromaConfig {
     pub support_fraction: f32,
     /// Maximum number of recommendations returned.
     pub max_recommendations: usize,
+    /// Prune/rerank switches to rayon once the retrieved candidate set
+    /// has at least this many rows; below it runs serially. The parallel
+    /// path is bit-identical to the serial one (per-candidate work is
+    /// pure and the indexed collect preserves candidate order before the
+    /// deterministic sort), so this is purely a latency knob.
+    pub parallel_threshold: usize,
+    /// Engage the MinHash-LSH prefilter for retrieval once the index
+    /// holds at least this many snippets (0 = always full-scan).
+    pub lsh_min_entries: usize,
+    /// Drop retrieval candidates whose feature overlap with the query is
+    /// below this (0.0 keeps every overlapping candidate).
+    pub min_overlap: f32,
 }
 
 impl Default for AromaConfig {
@@ -34,6 +48,9 @@ impl Default for AromaConfig {
             cluster_sim: 0.5,
             support_fraction: 0.5,
             max_recommendations: 5,
+            parallel_threshold: 32,
+            lsh_min_entries: 0,
+            min_overlap: 0.0,
         }
     }
 }
@@ -49,21 +66,49 @@ pub struct Recommendation {
     pub code: String,
     /// Rerank score of the seed.
     pub score: f32,
+    /// Raw feature-overlap of the seed at retrieval (the scale the
+    /// simplified Laminar scorer — and its 6.0 threshold — lives on).
+    pub retrieval_score: f32,
     /// Number of snippets in the cluster backing this recommendation.
     pub cluster_size: usize,
 }
 
-/// Aroma engine over a [`SnippetIndex`].
-#[derive(Default)]
+/// Per-stage telemetry of one pipeline run (feeds the server's
+/// recommendation metrics row group).
+#[derive(Debug, Clone, Default)]
+pub struct RecoStats {
+    /// Candidates surviving light-weight retrieval (and the overlap floor).
+    pub retrieved: usize,
+    /// Snippets kept after prune & rerank.
+    pub pruned: usize,
+    /// Clusters formed.
+    pub clusters: usize,
+    /// LSH candidate-pool size, when the prefilter engaged.
+    pub lsh_candidates: Option<usize>,
+    /// Whether prune/rerank ran on the rayon path.
+    pub parallel: bool,
+    pub retrieve: Duration,
+    pub prune: Duration,
+    pub cluster: Duration,
+    pub intersect: Duration,
+}
+
+/// Aroma engine over a [`SnippetIndex`], with an optional MinHash-LSH
+/// prefilter kept in lockstep with the index. `Clone` so a server can
+/// publish it behind an Arc-snapshot RCU.
+#[derive(Default, Clone)]
 pub struct AromaEngine {
     index: SnippetIndex,
+    lsh: Option<LshPrefilter>,
     config: AromaConfig,
 }
 
 impl AromaEngine {
     pub fn new(config: AromaConfig) -> Self {
+        let lsh = (config.lsh_min_entries > 0).then(LshPrefilter::with_default_config);
         AromaEngine {
             index: SnippetIndex::new(),
+            lsh,
             config,
         }
     }
@@ -80,58 +125,139 @@ impl AromaEngine {
         &self.index
     }
 
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
     pub fn add(&mut self, snippet: Snippet) {
+        let id = snippet.id;
         self.index.add(snippet);
+        self.lsh_insert(id);
+    }
+
+    /// Insert or replace by id (index and LSH prefilter in lockstep).
+    pub fn upsert(&mut self, snippet: Snippet) {
+        self.add(snippet);
     }
 
     pub fn add_batch(&mut self, snippets: Vec<Snippet>) {
+        let ids: Vec<u64> = snippets.iter().map(|s| s.id).collect();
         self.index.add_batch(snippets);
+        for id in ids {
+            self.lsh_insert(id);
+        }
+    }
+
+    pub fn remove(&mut self, id: u64) -> bool {
+        if let Some(lsh) = &mut self.lsh {
+            lsh.remove(id);
+        }
+        self.index.remove(id)
+    }
+
+    pub fn clear(&mut self) {
+        if let Some(lsh) = &mut self.lsh {
+            lsh.clear();
+        }
+        self.index.clear();
+    }
+
+    fn lsh_insert(&mut self, id: u64) {
+        if let Some(lsh) = &mut self.lsh {
+            if let Some(vec) = self.index.feature_vec_of(id) {
+                lsh.insert(id, vec);
+            }
+        }
     }
 
     /// Run the full pipeline for a (possibly partial) code query.
     pub fn recommend(&self, query_code: &str) -> Vec<Recommendation> {
+        self.recommend_with_stats(query_code).0
+    }
+
+    /// Full pipeline plus per-stage telemetry.
+    pub fn recommend_with_stats(&self, query_code: &str) -> (Vec<Recommendation>, RecoStats) {
+        let mut stats = RecoStats::default();
         let qvec = Spt::parse_source(query_code).feature_vec();
         if qvec.is_empty() {
-            return Vec::new();
+            return (Vec::new(), stats);
         }
 
-        // Stage 2: light-weight retrieval.
-        let hits = self.index.search_vec(&qvec, self.config.retrieve_n);
-        if hits.is_empty() {
-            return Vec::new();
-        }
-
-        // Stage 3: prune & rerank (parallel — each candidate reparses).
-        // Rerank compares in granule space, so re-featurise the query.
-        let gvec = crate::prune::granulated_vec(query_code);
-        let mut pruned: Vec<PrunedSnippet> = hits
-            .par_iter()
-            .filter_map(|h| {
-                let code = &self.index.get(h.id)?.code;
-                Some(prune_and_rerank(h.id, code, &gvec))
-            })
+        // Stage 2: light-weight retrieval, LSH-prefiltered past the
+        // row threshold.
+        let t = Instant::now();
+        let hits = match &self.lsh {
+            Some(lsh)
+                if self.config.lsh_min_entries > 0
+                    && self.index.len() >= self.config.lsh_min_entries =>
+            {
+                let candidates = lsh.candidates(&qvec);
+                stats.lsh_candidates = Some(candidates.len());
+                self.index
+                    .search_vec_among(&qvec, &candidates, self.config.retrieve_n)
+            }
+            _ => self.index.search_vec(&qvec, self.config.retrieve_n),
+        };
+        let hits: Vec<ScoredSnippet> = hits
+            .into_iter()
+            .filter(|h| h.score >= self.config.min_overlap)
             .collect();
+        stats.retrieve = t.elapsed();
+        stats.retrieved = hits.len();
+        if hits.is_empty() {
+            return (Vec::new(), stats);
+        }
+
+        // Stage 3: prune & rerank (each candidate reparses). Rerank
+        // compares in granule space, so re-featurise the query.
+        let t = Instant::now();
+        let gvec = crate::prune::granulated_vec(query_code);
+        let prune_one = |h: &ScoredSnippet| {
+            let code = &self.index.get(h.id)?.code;
+            Some((h.score, prune_and_rerank(h.id, code, &gvec)))
+        };
+        stats.parallel = hits.len() >= self.config.parallel_threshold;
+        let mut pruned: Vec<(f32, PrunedSnippet)> = if stats.parallel {
+            hits.par_iter().filter_map(prune_one).collect()
+        } else {
+            hits.iter().filter_map(prune_one).collect()
+        };
         pruned.sort_by(|a, b| {
-            b.rerank_score
-                .partial_cmp(&a.rerank_score)
+            b.1.rerank_score
+                .partial_cmp(&a.1.rerank_score)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
+                .then(a.1.id.cmp(&b.1.id))
         });
         pruned.truncate(self.config.rerank_keep);
+        let retrieval_scores: Vec<f32> = pruned.iter().map(|(s, _)| *s).collect();
+        let pruned: Vec<PrunedSnippet> = pruned.into_iter().map(|(_, p)| p).collect();
+        stats.prune = t.elapsed();
+        stats.pruned = pruned.len();
 
         // Stage 4: cluster.
+        let t = Instant::now();
         let clusters = cluster_results(&pruned, self.config.cluster_sim);
+        stats.cluster = t.elapsed();
+        stats.clusters = clusters.len();
 
         // Stage 5: intersect each cluster into a recommendation.
+        let t = Instant::now();
         let mut out = Vec::new();
         for cluster in clusters.iter().take(self.config.max_recommendations) {
+            let Some(seed_ix) = cluster.seed() else {
+                continue;
+            };
             let min_support =
                 ((cluster.len() as f32) * self.config.support_fraction).ceil() as usize;
             let code = create_recommendation(&pruned, cluster, min_support.max(1));
             if code.is_empty() {
                 continue;
             }
-            let seed = &pruned[cluster.seed()];
+            let seed = &pruned[seed_ix];
             let seed_name = self
                 .index
                 .get(seed.id)
@@ -142,10 +268,12 @@ impl AromaEngine {
                 seed_name,
                 code,
                 score: seed.rerank_score,
+                retrieval_score: retrieval_scores[seed_ix],
                 cluster_size: cluster.len(),
             });
         }
-        out
+        stats.intersect = t.elapsed();
+        (out, stats)
     }
 }
 
@@ -243,5 +371,104 @@ mod tests {
         for w in recs.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
+    }
+
+    fn assert_recs_identical(a: &[Recommendation], b: &[Recommendation]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.seed_id, y.seed_id);
+            assert_eq!(x.seed_name, y.seed_name);
+            assert_eq!(x.code, y.code);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.retrieval_score.to_bits(), y.retrieval_score.to_bits());
+            assert_eq!(x.cluster_size, y.cluster_size);
+        }
+    }
+
+    #[test]
+    fn parallel_prune_bit_identical_to_serial() {
+        let snippets: Vec<Snippet> = (0..64)
+            .map(|i| {
+                Snippet::new(
+                    i,
+                    format!("PE{i}"),
+                    format!(
+                        "def f{i}(x):\n    total = 0\n    for item in x:\n        total += item + {i}\n    return total\n"
+                    ),
+                )
+            })
+            .collect();
+        let mut serial = AromaEngine::new(AromaConfig {
+            parallel_threshold: usize::MAX,
+            retrieve_n: 64,
+            ..AromaConfig::default()
+        });
+        serial.add_batch(snippets.clone());
+        let mut parallel = AromaEngine::new(AromaConfig {
+            parallel_threshold: 0,
+            retrieve_n: 64,
+            ..AromaConfig::default()
+        });
+        parallel.add_batch(snippets);
+        let q = "total = 0\nfor item in x:\n    total += item\n";
+        let (rs, ss) = serial.recommend_with_stats(q);
+        let (rp, sp) = parallel.recommend_with_stats(q);
+        assert!(!ss.parallel);
+        assert!(sp.parallel);
+        assert_recs_identical(&rs, &rp);
+    }
+
+    #[test]
+    fn min_overlap_floor_filters_weak_candidates() {
+        let e = engine();
+        let q = "class NumberProducer(ProducerPE):\n    def _process(self, inputs):\n        return random.randint(1, 1000)\n";
+        let all = e.recommend(q);
+        assert!(!all.is_empty());
+        let floor = all[0].retrieval_score;
+        let mut strict = AromaEngine::new(AromaConfig {
+            min_overlap: floor,
+            ..AromaConfig::default()
+        });
+        strict.add_batch(vec![
+            e.index().get(1).unwrap().clone(),
+            e.index().get(2).unwrap().clone(),
+            e.index().get(3).unwrap().clone(),
+            e.index().get(4).unwrap().clone(),
+        ]);
+        let recs = strict.recommend(q);
+        assert!(recs.iter().all(|r| r.retrieval_score >= floor), "{recs:?}");
+    }
+
+    #[test]
+    fn lsh_prefilter_engages_past_row_threshold() {
+        // The query is the indexed code verbatim: identical feature vecs
+        // hash to identical MinHash signatures, so the candidate pool is
+        // guaranteed (deterministically) to contain the snippet.
+        let rand_pe =
+            "class RandPE(ProducerPE):\n    def _process(self, inputs):\n        return random.randint(1, 1000)\n";
+        let mut e = AromaEngine::new(AromaConfig {
+            lsh_min_entries: 4,
+            ..AromaConfig::default()
+        });
+        e.add(Snippet::new(1, "RandPE", rand_pe));
+        // Below the threshold: full-scan retrieval, no candidate stats.
+        let (_, stats) = e.recommend_with_stats(rand_pe);
+        assert_eq!(stats.lsh_candidates, None);
+        for i in 2..=6u64 {
+            e.add(Snippet::new(
+                i,
+                format!("PE{i}"),
+                format!("def f{i}(x):\n    return x + {i}\n"),
+            ));
+        }
+        let (recs, stats) = e.recommend_with_stats(rand_pe);
+        assert!(stats.lsh_candidates.is_some(), "{stats:?}");
+        assert!(!recs.is_empty(), "{recs:?}");
+        assert_eq!(recs[0].seed_name, "RandPE");
+        // Mutations keep the prefilter in lockstep: removing the snippet
+        // removes it from the candidate pool too.
+        assert!(e.remove(1));
+        let (recs, _) = e.recommend_with_stats(rand_pe);
+        assert!(recs.iter().all(|r| r.seed_id != 1), "{recs:?}");
     }
 }

@@ -8,6 +8,7 @@
 
 use rayon::prelude::*;
 use spt::{FeatureVec, Spt};
+use std::collections::HashMap;
 
 /// Registry-wide identifier of an indexed snippet.
 pub type SnippetId = u64;
@@ -37,15 +38,19 @@ pub struct ScoredSnippet {
     pub score: f32,
 }
 
+#[derive(Clone)]
 struct Entry {
     snippet: Snippet,
     vec: FeatureVec,
 }
 
-/// The in-memory structural index.
-#[derive(Default)]
+/// The in-memory structural index. `Clone` so a server can publish it in
+/// an Arc-snapshot RCU state and mutate through `Arc::make_mut`.
+#[derive(Default, Clone)]
 pub struct SnippetIndex {
     entries: Vec<Entry>,
+    /// id → slot in `entries`, for O(1) lookup/upsert/remove.
+    by_id: HashMap<SnippetId, usize>,
 }
 
 impl SnippetIndex {
@@ -53,26 +58,63 @@ impl SnippetIndex {
         SnippetIndex::default()
     }
 
-    /// Parse, featurise and store a snippet. Returns the number of distinct
-    /// features extracted (0 for unparseable/empty code — still indexed so
-    /// ids stay dense, but it can never be retrieved).
+    /// Parse, featurise and store a snippet, replacing any entry with the
+    /// same id. Returns the number of distinct features extracted (0 for
+    /// unparseable/empty code — still indexed so ids stay dense, but it
+    /// can never be retrieved).
     pub fn add(&mut self, snippet: Snippet) -> usize {
         let vec = Spt::parse_source(&snippet.code).feature_vec();
         let n = vec.len();
-        self.entries.push(Entry { snippet, vec });
+        self.insert_entry(Entry { snippet, vec });
         n
     }
 
-    /// Bulk-add with parallel featurisation. Order of ids is preserved.
+    /// Insert or replace by id (alias of [`add`](Self::add), named for the
+    /// registry-lockstep call sites).
+    pub fn upsert(&mut self, snippet: Snippet) -> usize {
+        self.add(snippet)
+    }
+
+    /// Remove by id (swap-remove). Returns `true` when present.
+    pub fn remove(&mut self, id: SnippetId) -> bool {
+        let Some(ix) = self.by_id.remove(&id) else {
+            return false;
+        };
+        self.entries.swap_remove(ix);
+        if ix < self.entries.len() {
+            self.by_id.insert(self.entries[ix].snippet.id, ix);
+        }
+        true
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.by_id.clear();
+    }
+
+    fn insert_entry(&mut self, e: Entry) {
+        match self.by_id.get(&e.snippet.id) {
+            Some(&ix) => self.entries[ix] = e,
+            None => {
+                self.by_id.insert(e.snippet.id, self.entries.len());
+                self.entries.push(e);
+            }
+        }
+    }
+
+    /// Bulk-add with parallel featurisation. Order of ids is preserved
+    /// (later duplicates replace earlier ones, like serial `add`).
     pub fn add_batch(&mut self, snippets: Vec<Snippet>) {
-        let mut entries: Vec<Entry> = snippets
+        let entries: Vec<Entry> = snippets
             .into_par_iter()
             .map(|snippet| {
                 let vec = Spt::parse_source(&snippet.code).feature_vec();
                 Entry { snippet, vec }
             })
             .collect();
-        self.entries.append(&mut entries);
+        for e in entries {
+            self.insert_entry(e);
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -84,17 +126,11 @@ impl SnippetIndex {
     }
 
     pub fn get(&self, id: SnippetId) -> Option<&Snippet> {
-        self.entries
-            .iter()
-            .find(|e| e.snippet.id == id)
-            .map(|e| &e.snippet)
+        self.by_id.get(&id).map(|&ix| &self.entries[ix].snippet)
     }
 
     pub fn feature_vec_of(&self, id: SnippetId) -> Option<&FeatureVec> {
-        self.entries
-            .iter()
-            .find(|e| e.snippet.id == id)
-            .map(|e| &e.vec)
+        self.by_id.get(&id).map(|&ix| &self.entries[ix].vec)
     }
 
     /// Retrieve the `top_n` snippets by feature overlap with `query_code`.
@@ -138,7 +174,42 @@ impl SnippetIndex {
         scored
     }
 
-    /// Iterate over all (id, name) pairs, in insertion order.
+    /// Retrieval restricted to `ids` (the LSH candidate set). Same
+    /// scoring, filtering and ordering as [`search_vec`](Self::search_vec);
+    /// unknown ids are skipped.
+    pub fn search_vec_among(
+        &self,
+        qvec: &FeatureVec,
+        ids: &[SnippetId],
+        top_n: usize,
+    ) -> Vec<ScoredSnippet> {
+        if qvec.is_empty() || ids.is_empty() || top_n == 0 {
+            return Vec::new();
+        }
+        let mut scored: Vec<ScoredSnippet> = ids
+            .iter()
+            .filter_map(|id| {
+                let ix = *self.by_id.get(id)?;
+                let score = qvec.overlap(&self.entries[ix].vec);
+                if score > 0.0 {
+                    Some(ScoredSnippet { id: *id, score })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        scored.truncate(top_n);
+        scored
+    }
+
+    /// Iterate over all snippet ids, in slab order (insertion order until
+    /// the first remove).
     pub fn ids(&self) -> impl Iterator<Item = SnippetId> + '_ {
         self.entries.iter().map(|e| e.snippet.id)
     }
@@ -264,5 +335,41 @@ mod tests {
         assert!(ix.get(99).is_none());
         assert!(ix.feature_vec_of(1).is_some());
         assert_eq!(ix.ids().count(), 3);
+    }
+
+    #[test]
+    fn upsert_replaces_in_place() {
+        let mut ix = demo_index();
+        ix.upsert(Snippet::new(1, "SumPE", "with open(p) as fh:\n    pass\n"));
+        assert_eq!(ix.len(), 3);
+        assert!(ix.get(1).unwrap().code.contains("open"));
+        // The accumulate loop no longer top-ranks the replaced snippet.
+        let hits = ix.search("for item in data:\n    total += item\n", 3);
+        assert_ne!(hits[0].id, 1, "{hits:?}");
+    }
+
+    #[test]
+    fn remove_then_search_skips_removed() {
+        let mut ix = demo_index();
+        assert!(ix.remove(1));
+        assert!(!ix.remove(1));
+        assert_eq!(ix.len(), 2);
+        assert!(ix.get(1).is_none());
+        // The swap-removed slot still resolves the moved entry.
+        assert_eq!(ix.get(3).unwrap().name, "MaxPE");
+        let hits = ix.search("for item in data:\n    total += item\n", 3);
+        assert!(hits.iter().all(|h| h.id != 1), "{hits:?}");
+        ix.clear();
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn search_among_matches_full_search_on_same_candidates() {
+        let ix = demo_index();
+        let qvec = Spt::parse_source("for item in data:\n    total += item\n").feature_vec();
+        let full = ix.search_vec(&qvec, 3);
+        let among = ix.search_vec_among(&qvec, &[1, 2, 3, 99], 3);
+        assert_eq!(full, among);
+        assert!(ix.search_vec_among(&qvec, &[], 3).is_empty());
     }
 }

@@ -15,12 +15,14 @@
 //! 4. **Recommendation** ([`recommend`]): each cluster is intersected into
 //!    a single representative snippet.
 //!
-//! Laminar 2.0 itself ships a *simplified* variant — cosine/overlap scoring
-//! of stored `sptEmbedding`s with a configurable score threshold (default
-//! 6.0) and top-5 cut, "without the need for complex clustering or
-//! reranking steps" (§VI-A). That variant is [`laminar::SptSearcher`]; the
-//! full pipeline is [`AromaEngine`] and is used as the ablation baseline
-//! (DESIGN.md E12).
+//! The paper's Laminar 2.0 *described* a simplified variant — cosine/
+//! overlap scoring of stored `sptEmbedding`s with a configurable score
+//! threshold (default 6.0) and top-5 cut, "without the need for complex
+//! clustering or reranking steps" (§VI-A). That variant remains as
+//! [`laminar::SptSearcher`] (the flat-scan ablation baseline, DESIGN.md
+//! E12); the served `code_recommendation` path now runs the full
+//! [`AromaEngine`] pipeline end-to-end, kept in registry lockstep by the
+//! server's recommendation subsystem (DESIGN.md §12).
 
 pub mod cluster;
 pub mod completion;
@@ -33,7 +35,7 @@ pub mod recommend;
 
 pub use cluster::{cluster_results, Cluster};
 pub use completion::{complete_from, Completion};
-pub use engine::{AromaConfig, AromaEngine, Recommendation};
+pub use engine::{AromaConfig, AromaEngine, RecoStats, Recommendation};
 pub use index::{ScoredSnippet, Snippet, SnippetId, SnippetIndex};
 pub use laminar::{LaminarRecommender, SptHit, SptSearcher};
 pub use lsh::{LshConfig, LshIndex, LshPrefilter, LshSearchStats};

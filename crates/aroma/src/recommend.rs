@@ -23,10 +23,10 @@ pub fn create_recommendation(
     cluster: &Cluster,
     min_support: usize,
 ) -> String {
-    if cluster.is_empty() {
+    let Some(seed_ix) = cluster.seed() else {
         return String::new();
-    }
-    let seed = &pruned[cluster.seed()];
+    };
+    let seed = &pruned[seed_ix];
     let need = min_support.clamp(1, cluster.len());
     let mut lines = Vec::new();
     for (si, svec) in seed.kept_vecs.iter().enumerate() {

@@ -1,0 +1,300 @@
+//! The served Aroma recommendation pipeline vs the old flat-scan
+//! shortcut, with the numbers written to `BENCH_recommend.json`.
+//!
+//! For each corpus size (1k / 10k / 100k snippets by default; pass sizes
+//! as CLI arguments to override) this measures the server-shaped
+//! recommendation path under three configurations:
+//!
+//! * **flat-scan** — the pre-v9 shortcut: rank every snippet by feature
+//!   overlap, keep the top-k (no prune, no cluster, no intersection);
+//! * **full-pipeline** — [`AromaEngine::recommend`]: retrieve → prune &
+//!   rerank → cluster → intersect, exactly what the server now serves;
+//! * **full-pipeline+cache** — the same engine behind the server's
+//!   generation-keyed [`QueryCache`] recommendation LRU, cycling a fixed
+//!   query pool so the steady state is cache hits.
+//!
+//! Reported per configuration: single-thread QPS and p50/p95/p99
+//! per-query latency.
+//!
+//! A second section guards the workflow-scope aggregation rewrite: the
+//! old O(workflows × hits × pe_ids) `contains` scan vs the inverted
+//! hash-map sweep ([`sweep_workflows`]) over 10k synthetic workflows,
+//! asserting the two agree bit-for-bit before timing them.
+//!
+//! Run with `cargo run --release -p laminar-bench --bin bench_recommend`.
+
+use aroma::{AromaConfig, AromaEngine, Snippet};
+use laminar_server::protocol::{EmbeddingType, RecommendationHit, SearchScope};
+use laminar_server::{sweep_workflows, QueryCache, RecoKey};
+use serde::Serialize;
+use spt::Spt;
+use std::time::Instant;
+
+/// The server's default per-query result bound.
+const K: usize = 5;
+/// Distinct query snippets cycled by every configuration.
+const POOL: usize = 32;
+/// Timed passes over the pool (after one untimed warmup pass).
+const ROUNDS: usize = 3;
+/// Recommendation cache capacity for the cached configuration.
+const CACHE_ENTRIES: usize = 256;
+/// Workflows in the aggregation-sweep guard.
+const SWEEP_WORKFLOWS: usize = 10_000;
+
+#[derive(Serialize)]
+struct VariantResult {
+    n: usize,
+    variant: &'static str,
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct SweepResult {
+    workflows: usize,
+    pe_hits: usize,
+    naive_us: f64,
+    inverted_us: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    k: usize,
+    cache_entries: usize,
+    sizes: Vec<usize>,
+    variants: Vec<VariantResult>,
+    sweep: SweepResult,
+}
+
+/// A synthetic PE whose statement mix varies with `i`, so feature
+/// vectors differ across the corpus while every snippet parses.
+fn synth_snippet(i: usize) -> String {
+    let mut body = format!(
+        "        total = {}\n        for item in data:\n            total += item * {}\n",
+        i % 7,
+        i % 5 + 1
+    );
+    if i % 3 == 0 {
+        body.push_str("        if total > 10:\n            return total\n");
+    }
+    if i % 4 == 0 {
+        body.push_str(&format!("        print('pe {} saw', total)\n", i % 11));
+    }
+    body.push_str("        return None\n");
+    format!("class Pe{i}(IterativePE):\n    def _process(self, data):\n{body}")
+}
+
+/// Per-query latencies of `ROUNDS` passes over the query pool (one
+/// untimed warmup pass first), and the derived summary row.
+fn measure(
+    n: usize,
+    variant: &'static str,
+    queries: &[String],
+    mut query_once: impl FnMut(&str) -> usize,
+) -> VariantResult {
+    for q in queries {
+        std::hint::black_box(query_once(q));
+    }
+    let mut samples = Vec::with_capacity(ROUNDS * queries.len());
+    for _ in 0..ROUNDS {
+        for q in queries {
+            let start = Instant::now();
+            std::hint::black_box(query_once(q));
+            samples.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    samples.sort_unstable_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| samples[((p / 100.0) * (samples.len() - 1) as f64).round() as usize];
+    let result = VariantResult {
+        n,
+        variant,
+        qps: 1e6 / mean,
+        p50_us: pct(50.0),
+        p95_us: pct(95.0),
+        p99_us: pct(99.0),
+    };
+    eprintln!(
+        "  {variant:<20} {:>9.0} qps  p50 {:>8.1} us  p95 {:>8.1} us  p99 {:>8.1} us",
+        result.qps, result.p50_us, result.p95_us, result.p99_us
+    );
+    result
+}
+
+/// The pre-inversion workflow aggregation, verbatim from the old server.
+fn naive_sweep(pe_hits: &[(u64, f32)], workflows: &[(u64, Vec<u64>)]) -> Vec<(u64, f32, usize)> {
+    let mut out: Vec<(u64, f32, usize)> = workflows
+        .iter()
+        .filter_map(|(wf_id, pe_ids)| {
+            let matching: Vec<&(u64, f32)> = pe_hits
+                .iter()
+                .filter(|(id, _)| pe_ids.contains(id))
+                .collect();
+            if matching.is_empty() {
+                return None;
+            }
+            Some((
+                *wf_id,
+                matching.iter().map(|(_, s)| s).sum(),
+                matching.len(),
+            ))
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    out
+}
+
+fn sweep_guard() -> SweepResult {
+    // 10k workflows of 8 members each over a 40k-PE id space; hits cover
+    // every 16th PE, so ~2k hits spread across the memberships.
+    let workflows: Vec<(u64, Vec<u64>)> = (0..SWEEP_WORKFLOWS as u64)
+        .map(|w| {
+            (
+                100_000 + w,
+                (0..8).map(|m| (w * 5 + m * 3) % 40_000).collect(),
+            )
+        })
+        .collect();
+    let pe_hits: Vec<(u64, f32)> = (0..40_000u64)
+        .filter(|id| id % 16 == 0)
+        .map(|id| (id, 6.0 + (id % 97) as f32 * 0.125))
+        .collect();
+    let run_inverted = || {
+        sweep_workflows(
+            &pe_hits,
+            workflows.iter().map(|(id, pes)| (*id, pes.as_slice())),
+        )
+    };
+    // Equivalence first: the rewrite must agree bit-for-bit.
+    let naive = naive_sweep(&pe_hits, &workflows);
+    let inverted = run_inverted();
+    assert_eq!(naive.len(), inverted.len(), "sweep results diverge");
+    for (a, b) in naive.iter().zip(&inverted) {
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "wf {} score diverges", a.0);
+        assert_eq!(a.2, b.2);
+    }
+    let time = |f: &mut dyn FnMut() -> usize| {
+        let mut best = f64::MAX;
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(start.elapsed().as_secs_f64() * 1e6);
+        }
+        best
+    };
+    let naive_us = time(&mut || naive_sweep(&pe_hits, &workflows).len());
+    let inverted_us = time(&mut || run_inverted().len());
+    let result = SweepResult {
+        workflows: SWEEP_WORKFLOWS,
+        pe_hits: pe_hits.len(),
+        naive_us,
+        inverted_us,
+        speedup: naive_us / inverted_us.max(1e-9),
+    };
+    eprintln!(
+        "workflow sweep ({} workflows, {} hits): naive {:.0} us, inverted {:.0} us ({:.1}x)",
+        result.workflows, result.pe_hits, result.naive_us, result.inverted_us, result.speedup
+    );
+    result
+}
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![1_000, 10_000, 100_000]
+        } else {
+            args
+        }
+    };
+
+    let mut report = Report {
+        k: K,
+        cache_entries: CACHE_ENTRIES,
+        sizes: sizes.clone(),
+        variants: Vec::new(),
+        sweep: sweep_guard(),
+    };
+
+    for &n in &sizes {
+        eprintln!("n={n}");
+        eprintln!("  building corpus ...");
+        let mut engine = AromaEngine::new(AromaConfig {
+            max_recommendations: K,
+            ..AromaConfig::default()
+        });
+        engine.add_batch(
+            (0..n)
+                .map(|i| Snippet::new(i as u64, format!("Pe{i}"), synth_snippet(i)))
+                .collect(),
+        );
+        // Queries are corpus members, evenly spread, so retrieval always
+        // has strong matches to prune and cluster.
+        let queries: Vec<String> = (0..POOL)
+            .map(|j| synth_snippet(j * n.max(POOL) / POOL))
+            .collect();
+
+        report.variants.push(measure(n, "flat-scan", &queries, |q| {
+            let qvec = Spt::parse_source(q).feature_vec();
+            engine.index().search_vec(&qvec, K).len()
+        }));
+
+        report
+            .variants
+            .push(measure(n, "full-pipeline", &queries, |q| {
+                engine.recommend(q).len()
+            }));
+
+        // The server's cached path: full answers keyed by snippet text
+        // and both snapshot generations.
+        let cache = QueryCache::new(CACHE_ENTRIES);
+        report
+            .variants
+            .push(measure(n, "full-pipeline+cache", &queries, |q| {
+                let key = RecoKey {
+                    generation: 0,
+                    reco_generation: 1,
+                    scope: SearchScope::Pe,
+                    embedding: EmbeddingType::Spt,
+                    k: K,
+                    snippet: QueryCache::normalize(q),
+                };
+                if let Some(hits) = cache.recommendations(&key) {
+                    return hits.len();
+                }
+                let hits: Vec<RecommendationHit> = engine
+                    .recommend(q)
+                    .into_iter()
+                    .map(|r| RecommendationHit {
+                        id: r.seed_id,
+                        name: r.seed_name,
+                        description: String::new(),
+                        score: r.retrieval_score,
+                        occurrences: 1,
+                        similar_code: String::new(),
+                        cluster_size: r.cluster_size,
+                        common_core: r.code,
+                    })
+                    .collect();
+                let len = hits.len();
+                cache.store_recommendations(key, hits);
+                len
+            }));
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_recommend.json", &json).expect("write BENCH_recommend.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_recommend.json");
+}

@@ -407,6 +407,14 @@ impl Cli {
                 h.score,
                 short(&h.similar_code)
             );
+            // v9: clustered hits carry the common idiom their cluster
+            // agreed on (Aroma's intersected statements).
+            if h.cluster_size > 1 && !h.common_core.is_empty() {
+                let _ = writeln!(out, "      cluster of {}, common core:", h.cluster_size);
+                for line in h.common_core.lines() {
+                    let _ = writeln!(out, "      | {line}");
+                }
+            }
         }
         Ok(out)
     }

@@ -251,8 +251,7 @@ impl LaminarClient {
                         || (idempotent
                             && matches!(
                                 e,
-                                ConnectionError::TimedOut { .. }
-                                    | ConnectionError::Degraded { .. }
+                                ConnectionError::TimedOut { .. } | ConnectionError::Degraded { .. }
                             ));
                     if !retryable || attempt >= self.retry.max_attempts {
                         return Err(ClientError::Connection(e));

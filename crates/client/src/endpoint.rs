@@ -21,7 +21,9 @@
 //! no [`Endpoint`] impl: their reply is a frame stream, not a value,
 //! and they keep their dedicated client path.
 
-use crate::client::{ClientError, CompactReport, CompletionResult, HealthReport, RegisteredWorkflow};
+use crate::client::{
+    ClientError, CompactReport, CompletionResult, HealthReport, RegisteredWorkflow,
+};
 use laminar_server::protocol::{
     BatchItemWire, BatchOutcomeWire, ExecutionInfo, PeInfo, RecommendationHit, SemanticHit,
     WorkflowInfo,

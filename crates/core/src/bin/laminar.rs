@@ -20,7 +20,8 @@ fn main() -> ExitCode {
     // the in-process registry durable: quit, relaunch with the same path,
     // and every registered PE and workflow is still there. `--quantized`,
     // `--rescore-window N` and `--query-cache-entries N` tune the
-    // in-process search path the same way the server flags do.
+    // in-process search path, and the `--reco-*` flags tune the Aroma
+    // recommendation pipeline, the same way the server flags do.
     //
     // Any remaining positional words are executed as ONE command and the
     // process exits with the command's status — so
@@ -32,6 +33,11 @@ fn main() -> ExitCode {
         "--data-dir",
         "--rescore-window",
         "--query-cache-entries",
+        "--reco-retrieve-n",
+        "--reco-rerank-keep",
+        "--reco-cluster-sim",
+        "--reco-parallel-threshold",
+        "--reco-lsh-min-entries",
     ];
     let mut oneshot: Vec<String> = Vec::new();
     let mut i = 1;
@@ -63,6 +69,15 @@ fn main() -> ExitCode {
     };
     let rescore_window = flag_value("--rescore-window");
     let query_cache_entries = flag_value("--query-cache-entries");
+    let reco_retrieve_n = flag_value("--reco-retrieve-n");
+    let reco_rerank_keep = flag_value("--reco-rerank-keep");
+    let reco_parallel_threshold = flag_value("--reco-parallel-threshold");
+    let reco_lsh_min_entries = flag_value("--reco-lsh-min-entries");
+    let reco_cluster_sim = args
+        .iter()
+        .position(|a| a == "--reco-cluster-sim")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f32>().ok());
 
     let (_local, mut cli) = match connect {
         Some(addr) => {
@@ -88,6 +103,21 @@ fn main() -> ExitCode {
             }
             if let Some(n) = query_cache_entries {
                 config.server.query_cache_entries = n;
+            }
+            if let Some(n) = reco_retrieve_n {
+                config.server.reco_retrieve_n = n;
+            }
+            if let Some(n) = reco_rerank_keep {
+                config.server.reco_rerank_keep = n;
+            }
+            if let Some(s) = reco_cluster_sim {
+                config.server.reco_cluster_sim = s;
+            }
+            if let Some(n) = reco_parallel_threshold {
+                config.server.reco_parallel_threshold = n;
+            }
+            if let Some(n) = reco_lsh_min_entries {
+                config.server.reco_lsh_min_entries = n;
             }
             let laminar = Laminar::try_deploy(config).unwrap_or_else(|e| {
                 eprintln!("cannot open registry data directory: {e}");

@@ -25,6 +25,9 @@ fn usage() -> ! {
          [--request-timeout-secs N] [--drain-timeout-secs N] \
          [--data-dir PATH] [--snapshot-every N] [--wal-fsync] \
          [--quantized] [--rescore-window N] [--query-cache-entries N] \
+         [--reco-retrieve-n N] [--reco-rerank-keep N] \
+         [--reco-cluster-sim F] [--reco-parallel-threshold N] \
+         [--reco-lsh-min-entries N] \
          [--probe-interval-ms N] \
          [--io-fault-kind enospc|short-write|fsync-error] \
          [--io-fault-mode nth:N|from:N|random:PCT] \
@@ -105,6 +108,24 @@ fn parse_args() -> (String, NetServerConfig, LaminarConfig) {
             }
             "--query-cache-entries" => {
                 deploy.server.query_cache_entries = numeric() as usize;
+            }
+            "--reco-retrieve-n" => {
+                deploy.server.reco_retrieve_n = numeric() as usize;
+            }
+            "--reco-rerank-keep" => {
+                deploy.server.reco_rerank_keep = numeric() as usize;
+            }
+            "--reco-cluster-sim" => {
+                deploy.server.reco_cluster_sim = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--reco-parallel-threshold" => {
+                deploy.server.reco_parallel_threshold = numeric() as usize;
+            }
+            "--reco-lsh-min-entries" => {
+                deploy.server.reco_lsh_min_entries = numeric() as usize;
             }
             "--probe-interval-ms" => {
                 deploy.server.probe_interval_ms = numeric();

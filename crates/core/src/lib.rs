@@ -30,7 +30,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use laminar_client::{ClientError, HealthReport, RegisteredWorkflow, RetryPolicy, RunOutput};
-pub use laminar_registry::{FaultKind, FaultMode, FaultSpec, IoFaultInjector, IoSite, RegistryError};
+pub use laminar_registry::{
+    FaultKind, FaultMode, FaultSpec, IoFaultInjector, IoSite, RegistryError,
+};
 pub use laminar_server::{
     ConnOptions, Connection, ConnectionError, EmbeddingType, Ident, MetricsSnapshot,
     NetClientTransport, NetServer, NetServerConfig, SearchScope, StorageStateWire,

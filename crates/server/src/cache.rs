@@ -25,6 +25,7 @@ use embed::DenseVec;
 use parking_lot::Mutex;
 
 use crate::indexes::{EntryKind, IndexHit};
+use crate::protocol::{EmbeddingType, RecommendationHit, SearchScope};
 
 /// A minimal bounded LRU: map of key → (last-use stamp, value) plus a
 /// monotone clock. `get` refreshes the stamp; `insert` at capacity evicts
@@ -98,6 +99,9 @@ pub enum ResultOp {
     Semantic,
     Reacc,
     ReaccAbove,
+    /// SPT threshold scan (`rank_spt_above`) — the workflow-scope
+    /// aggregation input.
+    SptAbove,
 }
 
 /// Full identity of a ranking request against one index snapshot. Any
@@ -116,11 +120,30 @@ pub struct ResultKey {
     pub query: String,
 }
 
-/// The two query-path caches behind their own locks (they are touched at
+/// Full identity of one `CodeRecommendation` request against one pair of
+/// snapshots. The key carries *both* generations feeding the answer — the
+/// search indexes (workflow aggregation, flat paths) and the recommendation
+/// engine (the Aroma pipeline) — so a write to either publishes and the
+/// cached answer stops matching.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RecoKey {
+    pub generation: u64,
+    pub reco_generation: u64,
+    pub scope: SearchScope,
+    pub embedding: EmbeddingType,
+    pub k: usize,
+    /// Normalized snippet text.
+    pub snippet: String,
+}
+
+/// The query-path caches behind their own locks (they are touched at
 /// most twice per query; contention is negligible next to a slab scan).
 pub struct QueryCache {
     embeddings: Mutex<Lru<(QueryModality, String), DenseVec>>,
     results: Mutex<Lru<ResultKey, Vec<IndexHit>>>,
+    /// Full-pipeline recommendation answers (retrieve→prune→cluster→
+    /// intersect is the most expensive ranking the server runs).
+    recommendations: Mutex<Lru<RecoKey, Vec<RecommendationHit>>>,
 }
 
 impl QueryCache {
@@ -128,6 +151,7 @@ impl QueryCache {
         QueryCache {
             embeddings: Mutex::new(Lru::new(entries)),
             results: Mutex::new(Lru::new(entries)),
+            recommendations: Mutex::new(Lru::new(entries)),
         }
     }
 
@@ -153,6 +177,14 @@ impl QueryCache {
 
     pub fn store_results(&self, key: ResultKey, hits: Vec<IndexHit>) {
         self.results.lock().insert(key, hits);
+    }
+
+    pub fn recommendations(&self, key: &RecoKey) -> Option<Vec<RecommendationHit>> {
+        self.recommendations.lock().get(key)
+    }
+
+    pub fn store_recommendations(&self, key: RecoKey, hits: Vec<RecommendationHit>) {
+        self.recommendations.lock().insert(key, hits);
     }
 }
 
@@ -214,6 +246,41 @@ mod tests {
             cache.results(&key(2)),
             None,
             "a new snapshot generation invalidates by key miss"
+        );
+    }
+
+    #[test]
+    fn recommendation_cache_scopes_to_both_generations() {
+        let cache = QueryCache::new(8);
+        let key = |generation: u64, reco_generation: u64| RecoKey {
+            generation,
+            reco_generation,
+            scope: SearchScope::Both,
+            embedding: EmbeddingType::Spt,
+            k: 5,
+            snippet: "random.randint(1, 1000)".to_string(),
+        };
+        let hits = vec![RecommendationHit {
+            id: 4,
+            name: "NumberProducer".into(),
+            description: "d".into(),
+            score: 7.0,
+            occurrences: 1,
+            similar_code: "def _process(self): ...".into(),
+            cluster_size: 2,
+            common_core: "return random.randint(1, 1000)".into(),
+        }];
+        cache.store_recommendations(key(1, 1), hits.clone());
+        assert_eq!(cache.recommendations(&key(1, 1)), Some(hits));
+        assert_eq!(
+            cache.recommendations(&key(2, 1)),
+            None,
+            "a search-index write invalidates by key miss"
+        );
+        assert_eq!(
+            cache.recommendations(&key(1, 2)),
+            None,
+            "a reco-engine write invalidates by key miss"
         );
     }
 

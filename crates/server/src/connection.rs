@@ -75,10 +75,7 @@ pub enum ConnectionError {
     /// rejected the mutation without applying it. Idempotent requests
     /// may retry after the hint — the server probes its storage in the
     /// background and recovers.
-    Degraded {
-        reason: String,
-        retry_after_ms: u64,
-    },
+    Degraded { reason: String, retry_after_ms: u64 },
     /// The server does not speak this protocol version.
     UnsupportedVersion {
         server_version: u16,

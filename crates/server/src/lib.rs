@@ -12,8 +12,13 @@
 //!   updated incrementally on every registration, with an opt-in int8
 //!   two-phase scan tier;
 //! * [`cache`] — the opt-in query-path caches: an LRU over query
-//!   embeddings and a result cache scoped to the index snapshot
-//!   generation;
+//!   embeddings, a result cache scoped to the index snapshot
+//!   generation, and a full-pipeline recommendation cache scoped to both
+//!   snapshot generations;
+//! * [`reco`] — the recommendation subsystem: a persistent
+//!   [`aroma::AromaEngine`] behind its own Arc-snapshot RCU, kept in
+//!   lockstep with registry mutations, plus the inverted workflow-scope
+//!   aggregation sweep;
 //! * [`resources`] — the §IV-F resource cache: content-hash dedup,
 //!   multipart upload, bytes-on-wire accounting;
 //! * [`transport`] — batch (HTTP/1.1-style) vs streaming (HTTP/2-style)
@@ -40,23 +45,25 @@ pub mod indexes;
 pub mod net;
 pub mod obs;
 pub mod protocol;
+pub mod reco;
 pub mod resources;
 pub mod server;
 pub mod transport;
 
-pub use cache::{QueryCache, QueryModality, ResultKey, ResultOp};
+pub use cache::{QueryCache, QueryModality, RecoKey, ResultKey, ResultOp};
 pub use connection::{classify, ConnOptions, Connection, ConnectionError};
 pub use health::StorageHealth;
 pub use indexes::{IndexOptions, SearchIndexes, TierBytes};
 pub use net::{NetClientTransport, NetServer, NetServerConfig, MAX_FRAME};
 pub use obs::{
-    EnactmentSnapshot, EndpointSnapshot, Metrics, MetricsSnapshot, RequestId, SearchQuantSnapshot,
-    SearchSnapshot, StorageHealthSnapshot,
+    EnactmentSnapshot, EndpointSnapshot, Metrics, MetricsSnapshot, RecoSnapshot, RequestId,
+    SearchQuantSnapshot, SearchSnapshot, StorageHealthSnapshot,
 };
 pub use protocol::{
     EmbeddingType, FaultPolicyWire, Ident, PeSubmission, Reply, Request, RequestEnvelope, Response,
     RunMode, SearchScope, SemanticHit, StorageStateWire, WireFrame, PROTOCOL_VERSION,
 };
+pub use reco::{sweep_workflows, RecoIndexes, RecoState};
 pub use resources::{ResourceCache, ResourceRef};
 pub use server::{LaminarServer, ServerConfig, ServerError};
 pub use transport::{DeliveryMode, Transport};

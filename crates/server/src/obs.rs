@@ -207,6 +207,9 @@ pub struct SearchMetrics {
     pub semantic_latency: Histogram,
     pub spt_latency: Histogram,
     pub reacc_latency: Histogram,
+    /// Registry literal search (`SearchLiteral`) — every search endpoint
+    /// records a per-request latency histogram.
+    pub literal_latency: Histogram,
     pub index_pes: Gauge,
     pub index_workflows: Gauge,
     /// SPT queries answered through the LSH prefilter.
@@ -221,10 +224,76 @@ impl SearchMetrics {
             semantic: self.semantic_latency.snapshot(),
             spt: self.spt_latency.snapshot(),
             reacc: self.reacc_latency.snapshot(),
+            literal: self.literal_latency.snapshot(),
             index_pes: self.index_pes.get(),
             index_workflows: self.index_workflows.get(),
             lsh_queries: self.lsh_queries.get(),
             lsh_candidates: self.lsh_candidates.get(),
+        }
+    }
+}
+
+/// Recommendation-pipeline metrics (v9), fed by the served Aroma path:
+/// where each request's time goes (retrieve → prune → cluster →
+/// intersect), how often the LSH prefilter bounds the candidate pool,
+/// whether rayon engaged for the prune stage, and the full-pipeline
+/// result cache's hit rate.
+#[derive(Debug, Default)]
+pub struct RecoMetrics {
+    /// `CodeRecommendation` requests served (any scope or embedding).
+    pub requests: Counter,
+    /// Requests that ran the full Aroma pipeline (SPT, PE or Both scope).
+    pub pipeline_runs: Counter,
+    /// Pipeline runs whose prune stage ran under rayon.
+    pub parallel_runs: Counter,
+    /// Pipeline runs answered through the LSH prefilter.
+    pub lsh_queries: Counter,
+    /// Total candidates those runs retrieved over (pool size, summed).
+    pub lsh_candidates: Counter,
+    /// Full-pipeline result-cache lookups answered without running.
+    pub cache_hits: Counter,
+    /// Full-pipeline result-cache lookups that ran the pipeline.
+    pub cache_misses: Counter,
+    /// Stage 1–2: featurize + light-weight retrieval.
+    pub retrieve_latency: Histogram,
+    /// Stage 3: prune & rerank over the candidate set.
+    pub prune_latency: Histogram,
+    /// Stage 4: greedy seed clustering.
+    pub cluster_latency: Histogram,
+    /// Stage 5: cluster intersection into recommendation text.
+    pub intersect_latency: Histogram,
+}
+
+impl RecoMetrics {
+    /// Fold one pipeline run's stage stats into the lifetime totals.
+    pub fn observe(&self, stats: &aroma::RecoStats) {
+        self.pipeline_runs.inc();
+        if stats.parallel {
+            self.parallel_runs.inc();
+        }
+        if let Some(candidates) = stats.lsh_candidates {
+            self.lsh_queries.inc();
+            self.lsh_candidates.add(candidates as u64);
+        }
+        self.retrieve_latency.record(stats.retrieve);
+        self.prune_latency.record(stats.prune);
+        self.cluster_latency.record(stats.cluster);
+        self.intersect_latency.record(stats.intersect);
+    }
+
+    fn snapshot(&self) -> RecoSnapshot {
+        RecoSnapshot {
+            requests: self.requests.get(),
+            pipeline_runs: self.pipeline_runs.get(),
+            parallel_runs: self.parallel_runs.get(),
+            lsh_queries: self.lsh_queries.get(),
+            lsh_candidates: self.lsh_candidates.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            retrieve: self.retrieve_latency.snapshot(),
+            prune: self.prune_latency.snapshot(),
+            cluster: self.cluster_latency.snapshot(),
+            intersect: self.intersect_latency.snapshot(),
         }
     }
 }
@@ -378,6 +447,7 @@ pub struct Metrics {
     pub search_quant: SearchQuantMetrics,
     pub enactment: EnactmentMetrics,
     pub ingest: IngestMetrics,
+    pub reco: RecoMetrics,
 }
 
 impl Default for Metrics {
@@ -394,6 +464,7 @@ impl Default for Metrics {
             search_quant: SearchQuantMetrics::default(),
             enactment: EnactmentMetrics::default(),
             ingest: IngestMetrics::default(),
+            reco: RecoMetrics::default(),
         }
     }
 }
@@ -450,6 +521,7 @@ impl Metrics {
             search_quant: self.search_quant.snapshot(),
             enactment: self.enactment.snapshot(),
             ingest: self.ingest.snapshot(),
+            reco: self.reco.snapshot(),
         }
     }
 }
@@ -460,6 +532,10 @@ pub struct SearchSnapshot {
     pub semantic: HistogramSnapshot,
     pub spt: HistogramSnapshot,
     pub reacc: HistogramSnapshot,
+    /// Literal-search latency; serde-defaulted so pre-v9 snapshots (no
+    /// `literal` field) still deserialise.
+    #[serde(default)]
+    pub literal: HistogramSnapshot,
     pub index_pes: i64,
     pub index_workflows: i64,
     pub lsh_queries: u64,
@@ -554,6 +630,24 @@ pub struct IngestSnapshot {
     pub index: HistogramSnapshot,
 }
 
+/// Snapshot of the recommendation-pipeline metrics (serialisable, v9).
+/// All-zero — and absent from the rendered table — until the first
+/// `CodeRecommendation` request.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecoSnapshot {
+    pub requests: u64,
+    pub pipeline_runs: u64,
+    pub parallel_runs: u64,
+    pub lsh_queries: u64,
+    pub lsh_candidates: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub retrieve: HistogramSnapshot,
+    pub prune: HistogramSnapshot,
+    pub cluster: HistogramSnapshot,
+    pub intersect: HistogramSnapshot,
+}
+
 /// Snapshot of the enactment fault metrics (serialisable).
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct EnactmentSnapshot {
@@ -624,6 +718,10 @@ pub struct MetricsSnapshot {
     /// snapshot (no `storage_health` field) still deserialises.
     #[serde(default)]
     pub storage_health: StorageHealthSnapshot,
+    /// Recommendation-pipeline metrics; serde-defaulted so a pre-v9
+    /// snapshot (no `reco` field) still deserialises.
+    #[serde(default)]
+    pub reco: RecoSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -675,6 +773,7 @@ impl MetricsSnapshot {
             ("semantic", &s.semantic),
             ("spt", &s.spt),
             ("reacc", &s.reacc),
+            ("literal", &s.literal),
         ] {
             let _ = writeln!(
                 out,
@@ -734,6 +833,40 @@ impl MetricsSnapshot {
                 }
             }
         }
+        let r = &self.reco;
+        if r.requests > 0 {
+            let _ = writeln!(
+                out,
+                "reco: requests {}  pipeline {}  parallel {}  cache hits {}  misses {}",
+                r.requests, r.pipeline_runs, r.parallel_runs, r.cache_hits, r.cache_misses
+            );
+            if r.lsh_queries > 0 {
+                let _ = writeln!(
+                    out,
+                    "reco lsh: queries {}  candidates {} (avg pool {:.1})",
+                    r.lsh_queries,
+                    r.lsh_candidates,
+                    r.lsh_candidates as f64 / r.lsh_queries as f64
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>9} {:>9} {:>9}",
+                "reco stage", "runs", "p50_us", "p95_us", "p99_us"
+            );
+            for (name, h) in [
+                ("retrieve", &r.retrieve),
+                ("prune", &r.prune),
+                ("cluster", &r.cluster),
+                ("intersect", &r.intersect),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>8} {:>9} {:>9} {:>9}",
+                    name, h.count, h.p50_us, h.p95_us, h.p99_us
+                );
+            }
+        }
         let f = &self.enactment;
         let _ = writeln!(out, "enactment: runs {}  failed {}", f.runs, f.runs_failed);
         let _ = writeln!(
@@ -775,7 +908,11 @@ impl MetricsSnapshot {
             let _ = writeln!(
                 out,
                 "storage health: {}  entries {}  exits {}  rejected-while-degraded {}",
-                if h.degraded { "DEGRADED (read-only)" } else { "healthy" },
+                if h.degraded {
+                    "DEGRADED (read-only)"
+                } else {
+                    "healthy"
+                },
                 h.degraded_entries,
                 h.degraded_exits,
                 h.rejected_while_degraded
@@ -1065,6 +1202,66 @@ mod tests {
     }
 
     #[test]
+    fn reco_metrics_snapshot_and_render() {
+        let m = Metrics::new();
+        // Absent until the first recommendation: row group omitted.
+        assert!(!m.snapshot().render().contains("reco:"));
+        m.reco.requests.inc();
+        m.reco.cache_misses.inc();
+        m.reco.observe(&aroma::RecoStats {
+            retrieved: 40,
+            pruned: 10,
+            clusters: 3,
+            lsh_candidates: Some(64),
+            parallel: true,
+            retrieve: Duration::from_micros(400),
+            prune: Duration::from_micros(900),
+            cluster: Duration::from_micros(80),
+            intersect: Duration::from_micros(60),
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.reco.requests, 1);
+        assert_eq!(snap.reco.pipeline_runs, 1);
+        assert_eq!(snap.reco.parallel_runs, 1);
+        assert_eq!(snap.reco.lsh_queries, 1);
+        assert_eq!(snap.reco.lsh_candidates, 64);
+        assert_eq!(snap.reco.cache_misses, 1);
+        assert_eq!(snap.reco.prune.count, 1);
+        let table = snap.render();
+        assert!(table.contains("reco: requests 1"), "{table}");
+        assert!(table.contains("avg pool 64.0"), "{table}");
+        assert!(table.contains("intersect"), "{table}");
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.reco, snap.reco);
+        // A pre-v9 snapshot without the `reco` field still parses.
+        let mut json: serde_json::Value = serde_json::to_value(&snap).unwrap();
+        json.as_object_mut().unwrap().remove("reco");
+        let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
+        assert_eq!(back.reco, RecoSnapshot::default());
+    }
+
+    #[test]
+    fn literal_latency_serde_compat() {
+        let m = Metrics::new();
+        m.search.literal_latency.record(Duration::from_micros(120));
+        let snap = m.snapshot();
+        assert_eq!(snap.search.literal.count, 1);
+        assert!(snap.render().contains("literal"), "{}", snap.render());
+        // A pre-v9 `search` group without the `literal` field still parses.
+        let mut json: serde_json::Value = serde_json::to_value(&snap).unwrap();
+        json.as_object_mut()
+            .unwrap()
+            .get_mut("search")
+            .unwrap()
+            .as_object_mut()
+            .unwrap()
+            .remove("literal");
+        let back: MetricsSnapshot = serde_json::from_value(json).unwrap();
+        assert_eq!(back.search.literal, HistogramSnapshot::default());
+    }
+
+    #[test]
     fn storage_health_snapshot_serde_compat_and_render() {
         let m = Metrics::new();
         let mut snap = m.snapshot();
@@ -1088,7 +1285,10 @@ mod tests {
         let table = snap.render();
         assert!(table.contains("DEGRADED (read-only)"), "{table}");
         assert!(table.contains("rejected-while-degraded 7"), "{table}");
-        assert!(table.contains("last: wal append: injected ENOSPC"), "{table}");
+        assert!(
+            table.contains("last: wal append: injected ENOSPC"),
+            "{table}"
+        );
         assert!(table.contains("wal_append"), "{table}");
         // Zero-op sites are elided from the fault table.
         assert!(!table.contains("snapshot_rename"), "{table}");

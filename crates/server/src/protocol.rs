@@ -66,6 +66,13 @@
 //!   metrics row group (io faults by site, degraded entries/exits, probe
 //!   attempts, rejected-while-degraded counts). Version-7 payloads parse
 //!   unchanged.
+//! * `9` — full Aroma recommendations: [`RecommendationHit`] grows the
+//!   serde-defaulted `cluster_size` and `common_core` fields (how many
+//!   pruned snippets agreed on the hit, and the intersected idiom they
+//!   share), and the metrics snapshot grows a serde-defaulted `reco` row
+//!   group (per-stage pipeline latency, LSH candidate counts, result-cache
+//!   hit/miss). No request changes; version-8 payloads parse unchanged and
+//!   version-8 readers see the old fields untouched.
 
 use crate::obs::MetricsSnapshot;
 use d4py::Data;
@@ -76,7 +83,7 @@ use serde::{Deserialize, Serialize};
 
 /// The protocol version this build speaks (see the module doc's version
 /// rules).
-pub const PROTOCOL_VERSION: u16 = 8;
+pub const PROTOCOL_VERSION: u16 = 9;
 
 /// Session token handed out by register/login.
 pub type Token = u64;
@@ -101,7 +108,7 @@ impl From<&str> for Ident {
 }
 
 /// What a search covers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SearchScope {
     Pe,
     Workflow,
@@ -110,7 +117,7 @@ pub enum SearchScope {
 
 /// Which embedding backs a code recommendation (paper Fig. 9:
 /// `--embedding_type spt | llm`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EmbeddingType {
     /// Aroma SPT structural features (the 2.0 default).
     Spt,
@@ -507,6 +514,14 @@ pub struct RecommendationHit {
     pub occurrences: usize,
     /// The most similar function/snippet, for display.
     pub similar_code: String,
+    /// v9: how many pruned snippets clustered behind this hit (1 for a
+    /// singleton, 0 on paths that don't cluster, e.g. workflow hits).
+    #[serde(default)]
+    pub cluster_size: usize,
+    /// v9: the cluster-intersected common idiom (Aroma stage 5), one kept
+    /// statement per line. Empty on non-pipeline paths.
+    #[serde(default)]
+    pub common_core: String,
 }
 
 /// Synchronous responses.
@@ -1009,6 +1024,25 @@ mod tests {
         let json = r#"{"protocol_version":7,"SearchSemantic":{"token":2,"scope":"Pe","query":"find primes","top_n":null}}"#;
         let env: RequestEnvelope = serde_json::from_str(json).unwrap();
         assert!(matches!(env.body, Request::SearchSemantic { token: 2, .. }));
+    }
+
+    #[test]
+    fn version_eight_payloads_parse_under_version_nine() {
+        // v9 only extends `RecommendationHit` and the metrics snapshot
+        // (all serde-defaulted); every v8 payload must keep parsing
+        // byte-for-byte unchanged.
+        let json = r#"{"protocol_version":8,"CodeRecommendation":{"token":3,"scope":"Both","snippet":"x = 1","embedding_type":"Spt","top_n":null}}"#;
+        let env: RequestEnvelope = serde_json::from_str(json).unwrap();
+        assert_eq!(env.protocol_version, 8);
+        assert!(matches!(
+            env.body,
+            Request::CodeRecommendation { token: 3, .. }
+        ));
+        // A v8 hit (no cluster fields) parses with the defaults.
+        let json = r#"{"id":4,"name":"NumberProducer","description":"d","score":7.0,"occurrences":1,"similar_code":"def _process(self): ..."}"#;
+        let hit: RecommendationHit = serde_json::from_str(json).unwrap();
+        assert_eq!(hit.cluster_size, 0);
+        assert_eq!(hit.common_core, "");
     }
 
     #[test]

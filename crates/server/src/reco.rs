@@ -1,0 +1,271 @@
+//! The served recommendation subsystem: a persistent [`AromaEngine`]
+//! kept in lockstep with registry mutations.
+//!
+//! The engine holds PE *source code* (the Aroma pipeline reparses
+//! candidates during prune & rerank), which the search indexes never
+//! stored — so it is its own RCU cell rather than a fourth modality of
+//! [`SearchIndexes`]. The concurrency scheme is identical: the whole
+//! engine lives in an `Arc<RecoState>` behind a lock held only long
+//! enough to clone the `Arc`. A recommendation runs entirely on its
+//! snapshot, lock-free; writers mutate through [`Arc::make_mut`]
+//! (in-place when no query holds the snapshot, copy-on-write otherwise)
+//! and bump a monotone generation once per published write, so the
+//! server's full-pipeline result cache scopes entries to one snapshot
+//! and staleness is impossible by construction.
+//!
+//! Only PEs are indexed: workflow-scope recommendations aggregate PE
+//! hits over workflow membership (Fig. 9 bottom), they never run the
+//! pipeline against workflow code. That aggregation lives here too, as
+//! [`sweep_workflows`] — the inverted-map sweep that replaced the old
+//! O(workflows × hits × pe_ids) `contains` scan.
+//!
+//! [`SearchIndexes`]: crate::indexes::SearchIndexes
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aroma::{AromaConfig, AromaEngine, Snippet};
+use parking_lot::RwLock;
+
+/// One immutable snapshot of the recommendation engine. Cloned
+/// (copy-on-write) only when a writer mutates while a query still holds
+/// the previous snapshot.
+#[derive(Clone)]
+pub struct RecoState {
+    pub engine: AromaEngine,
+    /// Monotone snapshot generation, bumped once per published write.
+    pub generation: u64,
+}
+
+/// The RCU cell the server publishes the engine through.
+pub struct RecoIndexes {
+    state: RwLock<Arc<RecoState>>,
+}
+
+impl RecoIndexes {
+    pub fn new(config: AromaConfig) -> Self {
+        RecoIndexes {
+            state: RwLock::new(Arc::new(RecoState {
+                engine: AromaEngine::new(config),
+                generation: 0,
+            })),
+        }
+    }
+
+    /// The current snapshot. Queries run against it lock-free; later
+    /// writes publish new snapshots without disturbing it.
+    pub fn snapshot(&self) -> Arc<RecoState> {
+        self.state.read().clone()
+    }
+
+    /// Current snapshot generation (bumped once per published write).
+    /// Cache keys carry it so publication invalidates by key miss.
+    pub fn generation(&self) -> u64 {
+        self.state.read().generation
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.read().engine.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.state.read().engine.is_empty()
+    }
+
+    /// Insert or replace one PE snippet.
+    pub fn upsert(&self, id: u64, name: &str, code: &str) {
+        let mut guard = self.state.write();
+        let st = Arc::make_mut(&mut guard);
+        st.engine.upsert(Snippet::new(id, name, code));
+        st.generation = st.generation.wrapping_add(1);
+    }
+
+    /// Insert or replace many PE snippets in one published write (one
+    /// snapshot swap, one generation bump — the warm-load and
+    /// `RegisterBatch` path).
+    pub fn bulk_upsert(&self, snippets: Vec<Snippet>) {
+        let mut guard = self.state.write();
+        let st = Arc::make_mut(&mut guard);
+        st.engine.add_batch(snippets);
+        st.generation = st.generation.wrapping_add(1);
+    }
+
+    pub fn remove(&self, id: u64) -> bool {
+        let mut guard = self.state.write();
+        let st = Arc::make_mut(&mut guard);
+        let removed = st.engine.remove(id);
+        st.generation = st.generation.wrapping_add(1);
+        removed
+    }
+
+    pub fn clear(&self) {
+        let mut guard = self.state.write();
+        let st = Arc::make_mut(&mut guard);
+        st.engine.clear();
+        st.generation = st.generation.wrapping_add(1);
+    }
+}
+
+/// Workflow-scope aggregation (Fig. 9 bottom): rank workflows by the
+/// summed scores of their matching member PEs. Inverts `pe_hits` into a
+/// hash map once, then sweeps each workflow's member list with O(1)
+/// lookups — O(hits + Σ|pe_ids|) instead of the old
+/// O(workflows × hits × pe_ids) nested `contains` scan. A member id
+/// listed twice still counts once, exactly like the scan it replaced.
+///
+/// Returns `(workflow_id, summed_score, occurrences)` for every workflow
+/// with at least one matching member, sorted score-descending with ties
+/// broken by ascending id.
+pub fn sweep_workflows<'a>(
+    pe_hits: &[(u64, f32)],
+    workflows: impl IntoIterator<Item = (u64, &'a [u64])>,
+) -> Vec<(u64, f32, usize)> {
+    // The map carries each hit's rank position so the per-workflow sum
+    // runs in hit order — float addition isn't associative, and bit
+    // identity with the scan this replaced is part of the contract.
+    let by_id: HashMap<u64, (usize, f32)> = pe_hits
+        .iter()
+        .enumerate()
+        .map(|(pos, &(id, score))| (id, (pos, score)))
+        .collect();
+    let mut out: Vec<(u64, f32, usize)> = workflows
+        .into_iter()
+        .filter_map(|(wf_id, pe_ids)| {
+            let mut matched: Vec<(usize, f32)> = Vec::new();
+            for id in pe_ids {
+                if let Some(&(pos, s)) = by_id.get(id) {
+                    if !matched.iter().any(|&(p, _)| p == pos) {
+                        matched.push((pos, s));
+                    }
+                }
+            }
+            if matched.is_empty() {
+                return None;
+            }
+            matched.sort_unstable_by_key(|&(pos, _)| pos);
+            let score = matched.iter().map(|&(_, s)| s).sum();
+            Some((wf_id, score, matched.len()))
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACC: &str = "total = 0\nfor item in data:\n    total += item\n";
+
+    #[test]
+    fn generation_bumps_once_per_published_write() {
+        let reco = RecoIndexes::new(AromaConfig::default());
+        let g0 = reco.generation();
+        reco.upsert(1, "A", ACC);
+        assert_eq!(reco.generation(), g0 + 1);
+        reco.bulk_upsert(vec![
+            Snippet::new(2, "B", "x = f(y)\n"),
+            Snippet::new(3, "C", "with open(p) as fh:\n    fh.read()\n"),
+        ]);
+        assert_eq!(reco.generation(), g0 + 2, "one bump per batch, not per row");
+        assert_eq!(reco.len(), 3);
+        assert!(reco.remove(2));
+        assert_eq!(reco.generation(), g0 + 3);
+        reco.clear();
+        assert_eq!(reco.generation(), g0 + 4);
+        assert!(reco.is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_writes() {
+        let reco = RecoIndexes::new(AromaConfig::default());
+        reco.upsert(1, "SumPE", ACC);
+        let snap = reco.snapshot();
+        reco.remove(1);
+        // The old snapshot still answers from its own state.
+        assert_eq!(snap.engine.len(), 1);
+        assert!(!snap.engine.recommend(ACC).is_empty());
+        assert!(reco.snapshot().engine.recommend(ACC).is_empty());
+        assert_ne!(snap.generation, reco.generation());
+    }
+
+    #[test]
+    fn upsert_replaces_by_id() {
+        let reco = RecoIndexes::new(AromaConfig::default());
+        reco.upsert(1, "A", ACC);
+        reco.upsert(1, "A2", "x = open(path)\n");
+        assert_eq!(reco.len(), 1);
+        let snap = reco.snapshot();
+        assert_eq!(snap.engine.index().get(1).unwrap().name, "A2");
+    }
+
+    /// The pre-inversion aggregation, verbatim from the old server sweep.
+    fn naive_sweep<'a>(
+        pe_hits: &[(u64, f32)],
+        workflows: impl IntoIterator<Item = (u64, &'a [u64])>,
+    ) -> Vec<(u64, f32, usize)> {
+        let mut out: Vec<(u64, f32, usize)> = workflows
+            .into_iter()
+            .filter_map(|(wf_id, pe_ids)| {
+                let matching: Vec<&(u64, f32)> = pe_hits
+                    .iter()
+                    .filter(|(id, _)| pe_ids.contains(id))
+                    .collect();
+                if matching.is_empty() {
+                    return None;
+                }
+                Some((wf_id, matching.iter().map(|(_, s)| s).sum(), matching.len()))
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    #[test]
+    fn inverted_sweep_matches_naive_contains_scan() {
+        // Deterministic synthetic membership: workflow w holds members
+        // {w, w+1, … w+4} mod 40; hits cover every third PE id.
+        let memberships: Vec<(u64, Vec<u64>)> = (0..50u64)
+            .map(|w| (w + 1000, (0..5).map(|m| (w + m) % 40).collect()))
+            .collect();
+        let pe_hits: Vec<(u64, f32)> = (0..40u64)
+            .filter(|id| id % 3 == 0)
+            .map(|id| (id, 6.0 + id as f32 * 0.25))
+            .collect();
+        let wfs = || memberships.iter().map(|(id, pes)| (*id, pes.as_slice()));
+        let fast = sweep_workflows(&pe_hits, wfs());
+        let naive = naive_sweep(&pe_hits, wfs());
+        assert_eq!(fast.len(), naive.len());
+        for (f, n) in fast.iter().zip(&naive) {
+            assert_eq!(f.0, n.0);
+            assert_eq!(f.1.to_bits(), n.1.to_bits(), "wf {}", f.0);
+            assert_eq!(f.2, n.2);
+        }
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn sweep_counts_duplicate_members_once() {
+        let pe_hits = [(7u64, 6.5f32)];
+        let members: &[u64] = &[7, 7, 9];
+        let out = sweep_workflows(&pe_hits, [(1u64, members)]);
+        assert_eq!(out, vec![(1, 6.5, 1)]);
+    }
+
+    #[test]
+    fn sweep_skips_workflows_without_matches() {
+        let pe_hits = [(1u64, 8.0f32), (2, 7.0)];
+        let a: &[u64] = &[1, 2];
+        let b: &[u64] = &[3];
+        let out = sweep_workflows(&pe_hits, [(10u64, a), (11, b)]);
+        assert_eq!(out, vec![(10, 15.0, 2)]);
+    }
+}

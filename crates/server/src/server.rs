@@ -1,13 +1,15 @@
 //! The Laminar server: controller + services over the registry, search
 //! indexes, resource cache and execution engine (paper §III, Fig. 4).
 
-use crate::cache::{QueryCache, QueryModality, ResultKey, ResultOp};
+use crate::cache::{QueryCache, QueryModality, RecoKey, ResultKey, ResultOp};
 use crate::health::StorageHealth;
 use crate::indexes::{EntryKind, IndexHit, IndexOptions, SearchIndexes, DEFAULT_RESCORE_WINDOW};
 use crate::obs::{Metrics, RequestId, StorageHealthSnapshot};
 use crate::protocol::*;
+use crate::reco::{sweep_workflows, RecoIndexes};
 use crate::resources::ResourceCache;
 use aroma::lsh::LshConfig;
+use aroma::{AromaConfig, Snippet};
 use embed::quant::TwoPhaseStats;
 use embed::{CodeT5Sim, DenseVec, DescriptionContext, ReaccSim, UniXcoderSim};
 use laminar_execengine::{ExecRequest, ExecutionEngine, Frame, ResponseMode};
@@ -33,9 +35,26 @@ pub struct ServerConfig {
     /// over-the-wire cap; clients can request fewer via `top_n`).
     pub literal_top_n: usize,
     /// Minimum SPT overlap score for a recommendation (paper default: 6.0).
+    /// Doubles as the Aroma engine's retrieval floor (`min_overlap`).
     pub reco_min_score: f32,
     /// Minimum cosine for `llm` recommendations.
     pub reco_min_cosine: f32,
+    /// Aroma stage 2: candidates kept by light-weight retrieval
+    /// (`--reco-retrieve-n`).
+    pub reco_retrieve_n: usize,
+    /// Aroma stage 3: snippets surviving prune & rerank
+    /// (`--reco-rerank-keep`).
+    pub reco_rerank_keep: usize,
+    /// Aroma stage 4: cosine floor for joining a cluster
+    /// (`--reco-cluster-sim`).
+    pub reco_cluster_sim: f32,
+    /// Candidate count at which prune & rerank fans out across rayon
+    /// workers (`--reco-parallel-threshold`); results are bit-identical
+    /// to the serial pass either way.
+    pub reco_parallel_threshold: usize,
+    /// Engine size at which the recommendation pipeline's own MinHash-LSH
+    /// prefilter engages (`--reco-lsh-min-entries`; 0 disables it).
+    pub reco_lsh_min_entries: usize,
     /// Enable the MinHash-LSH prefilter on the SPT recommendation path
     /// (§IX's scaling direction). Opt-in: prefiltering trades a little
     /// recall for a much smaller exact-rescore set.
@@ -72,6 +91,11 @@ impl Default for ServerConfig {
             literal_top_n: 100,
             reco_min_score: 6.0,
             reco_min_cosine: 0.3,
+            reco_retrieve_n: 50,
+            reco_rerank_keep: 10,
+            reco_cluster_sim: 0.5,
+            reco_parallel_threshold: 32,
+            reco_lsh_min_entries: 512,
             spt_lsh: false,
             spt_lsh_min_entries: 512,
             quantized: false,
@@ -120,6 +144,9 @@ pub struct LaminarServer {
     codet5: CodeT5Sim,
     unixcoder: UniXcoderSim,
     metrics: Arc<Metrics>,
+    /// The recommendation subsystem: a persistent Aroma engine kept in
+    /// lockstep with registry mutations (its own RCU snapshot cell).
+    reco: RecoIndexes,
     /// Opt-in query-path caches (`query_cache_entries > 0`).
     query_cache: Option<QueryCache>,
     /// The storage-health state machine behind read-only degraded mode.
@@ -136,6 +163,16 @@ impl LaminarServer {
         });
         let query_cache =
             (config.query_cache_entries > 0).then(|| QueryCache::new(config.query_cache_entries));
+        let reco = RecoIndexes::new(AromaConfig {
+            retrieve_n: config.reco_retrieve_n,
+            rerank_keep: config.reco_rerank_keep,
+            cluster_sim: config.reco_cluster_sim,
+            max_recommendations: config.reco_rerank_keep,
+            parallel_threshold: config.reco_parallel_threshold,
+            lsh_min_entries: config.reco_lsh_min_entries,
+            min_overlap: config.reco_min_score,
+            ..AromaConfig::default()
+        });
         let server = LaminarServer {
             registry: Arc::new(registry),
             engine: Arc::new(engine),
@@ -147,6 +184,7 @@ impl LaminarServer {
             codet5: CodeT5Sim::new(DescriptionContext::FullClass),
             unixcoder: UniXcoderSim::new(),
             metrics: Arc::new(Metrics::new()),
+            reco,
             query_cache,
             health: Arc::new(StorageHealth::new()),
         };
@@ -271,6 +309,15 @@ impl LaminarServer {
         for (id, kind, desc, spt, reacc) in decoded {
             self.indexes.upsert_embedded(id, kind, desc, spt, reacc);
         }
+        // The recommendation engine warm-loads alongside: every PE's
+        // source code, published as one snapshot swap.
+        let snippets: Vec<Snippet> = pes
+            .iter()
+            .map(|p| Snippet::new(p.id, &p.name, &p.code))
+            .collect();
+        if !snippets.is_empty() {
+            self.reco.bulk_upsert(snippets);
+        }
         self.sync_index_gauges();
     }
 
@@ -310,6 +357,11 @@ impl LaminarServer {
 
     pub fn indexes(&self) -> &SearchIndexes {
         &self.indexes
+    }
+
+    /// The recommendation subsystem (shared with tests and the benches).
+    pub fn reco(&self) -> &RecoIndexes {
+        &self.reco
     }
 
     pub fn config(&self) -> &ServerConfig {
@@ -580,6 +632,7 @@ impl LaminarServer {
                 let pe = self.resolve_pe(&ident)?;
                 self.registry.remove_pe(pe.id)?;
                 self.indexes.remove(pe.id, EntryKind::Pe);
+                self.reco.remove(pe.id);
                 self.sync_index_gauges();
                 Reply::Value(Response::Ok)
             }
@@ -595,6 +648,7 @@ impl LaminarServer {
                 self.auth(token)?;
                 self.registry.remove_all()?;
                 self.indexes.clear();
+                self.reco.clear();
                 self.sync_index_gauges();
                 Reply::Value(Response::Ok)
             }
@@ -611,7 +665,9 @@ impl LaminarServer {
                     SearchScope::Both => SearchTarget::Both,
                 };
                 let k = top_n.unwrap_or(self.config.literal_top_n);
+                let start = std::time::Instant::now();
                 let (pes, wfs) = self.registry.literal_search(target, &term);
+                self.metrics.search.literal_latency.record(start.elapsed());
                 Reply::Value(Response::Registry {
                     pes: pes.iter().take(k).map(pe_info).collect(),
                     workflows: wfs.iter().take(k).map(wf_info).collect(),
@@ -840,6 +896,7 @@ impl LaminarServer {
             Ok(id) => {
                 self.indexes
                     .upsert(id, EntryKind::Pe, desc_emb, spt_vec, &pe.code);
+                self.reco.upsert(id, &pe.name, &pe.code);
                 self.sync_index_gauges();
                 Ok((pe.name, id))
             }
@@ -1076,9 +1133,11 @@ impl LaminarServer {
         // swap.
         let index_start = std::time::Instant::now();
         let mut rows: Vec<(u64, EntryKind, DenseVec, FeatureVec, DenseVec)> = Vec::new();
+        let mut reco_rows: Vec<Snippet> = Vec::new();
         for (outcome, item) in outcomes.iter().zip(analyzed) {
             for (po, ap) in outcome.pes.iter().zip(item.pes) {
                 if po.created {
+                    reco_rows.push(Snippet::new(po.id, &ap.name, &ap.code));
                     rows.push((po.id, EntryKind::Pe, ap.desc_emb, ap.spt_vec, ap.reacc));
                 }
             }
@@ -1094,6 +1153,9 @@ impl LaminarServer {
         }
         let created_rows = rows.len() as u64;
         self.indexes.bulk_upsert_embedded(rows);
+        if !reco_rows.is_empty() {
+            self.reco.bulk_upsert(reco_rows);
+        }
         self.sync_index_gauges();
         let index_elapsed = index_start.elapsed();
 
@@ -1244,55 +1306,107 @@ impl LaminarServer {
         embedding_type: EmbeddingType,
         k: usize,
     ) -> Vec<RecommendationHit> {
-        match scope {
-            // PE scope: bounded top-k, then the score threshold. On a
-            // best-first ranking the threshold selects a prefix, so
-            // top-k-then-filter equals the old filter-then-truncate.
-            SearchScope::Pe | SearchScope::Both => {
-                let hits = match embedding_type {
-                    EmbeddingType::Spt => {
-                        let q = Spt::parse_source(snippet).feature_vec();
-                        let start = std::time::Instant::now();
+        self.metrics.reco.requests.inc();
+        // Full-response cache: the key carries both snapshot generations
+        // (search indexes and recommendation engine), so a write to
+        // either publishes and the entry stops matching.
+        let key = self.query_cache.as_ref().map(|_| RecoKey {
+            generation: self.indexes.generation(),
+            reco_generation: self.reco.generation(),
+            scope,
+            embedding: embedding_type,
+            k,
+            snippet: QueryCache::normalize(snippet),
+        });
+        if let (Some(cache), Some(key)) = (&self.query_cache, &key) {
+            if let Some(hits) = cache.recommendations(key) {
+                self.metrics.reco.cache_hits.inc();
+                return hits;
+            }
+            self.metrics.reco.cache_misses.inc();
+        }
+        let hits = match scope {
+            SearchScope::Pe => self.recommend_pes(snippet, embedding_type, k),
+            SearchScope::Workflow => self.recommend_workflows(snippet, embedding_type, k),
+            SearchScope::Both => {
+                // Both lists, merged on the shared score scale. (The old
+                // dispatch folded `Both` into the PE arm, so it never
+                // returned a workflow hit.)
+                let mut hits = self.recommend_pes(snippet, embedding_type, k);
+                hits.extend(self.recommend_workflows(snippet, embedding_type, k));
+                hits.sort_by(|a, b| {
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.id.cmp(&b.id))
+                });
+                hits.truncate(k);
+                hits
+            }
+        };
+        if let (Some(cache), Some(key)) = (&self.query_cache, key) {
+            cache.store_recommendations(key, hits.clone());
+        }
+        hits
+    }
+
+    /// PE-scope recommendations. `spt` runs the full Aroma pipeline
+    /// (retrieve → prune & rerank → cluster → intersect) on the engine's
+    /// current snapshot; `llm` stays the flat ReACC cosine ranking.
+    fn recommend_pes(
+        &self,
+        snippet: &str,
+        embedding_type: EmbeddingType,
+        k: usize,
+    ) -> Vec<RecommendationHit> {
+        match embedding_type {
+            EmbeddingType::Spt => {
+                let snap = self.reco.snapshot();
+                let start = std::time::Instant::now();
+                let (recs, stats) = snap.engine.recommend_with_stats(snippet);
+                self.metrics.search.spt_latency.record(start.elapsed());
+                self.metrics.reco.observe(&stats);
+                recs.into_iter()
+                    .filter_map(|r| {
+                        let pe = self.registry.get_pe(r.seed_id).ok()?;
+                        Some(RecommendationHit {
+                            id: r.seed_id,
+                            name: pe.name,
+                            description: pe.description,
+                            // The seed's raw feature overlap — the scale
+                            // the flat scan always reported (≥ 6.0).
+                            score: r.retrieval_score,
+                            occurrences: 1,
+                            similar_code: first_function(&pe.code),
+                            cluster_size: r.cluster_size,
+                            common_core: r.code,
+                        })
+                    })
+                    .take(k)
+                    .collect()
+            }
+            EmbeddingType::Llm => {
+                let q = self.cached_embed(QueryModality::Code, snippet, |s| {
+                    ReaccSim::new().embed_code(s)
+                });
+                let start = std::time::Instant::now();
+                let hits = self.cached_rank(
+                    ResultOp::Reacc,
+                    Some(EntryKind::Pe),
+                    k,
+                    0.0,
+                    snippet,
+                    || {
                         let (hits, stats) =
-                            self.indexes.rank_spt_with_stats(&q, Some(EntryKind::Pe), k);
-                        self.metrics.search.spt_latency.record(start.elapsed());
-                        if let Some(stats) = stats {
-                            self.metrics.search.lsh_queries.inc();
-                            self.metrics
-                                .search
-                                .lsh_candidates
-                                .add(stats.candidates as u64);
-                        }
-                        hits.into_iter()
-                            .filter(|h| h.score >= self.config.reco_min_score)
-                            .collect::<Vec<_>>()
-                    }
-                    EmbeddingType::Llm => {
-                        let q = self.cached_embed(QueryModality::Code, snippet, |s| {
-                            ReaccSim::new().embed_code(s)
-                        });
-                        let start = std::time::Instant::now();
-                        let hits = self.cached_rank(
-                            ResultOp::Reacc,
-                            Some(EntryKind::Pe),
-                            k,
-                            0.0,
-                            snippet,
-                            || {
-                                let (hits, stats) =
-                                    self.indexes
-                                        .rank_reacc_with_stats(&q, Some(EntryKind::Pe), k);
-                                self.observe_quant(stats);
-                                hits
-                            },
-                        );
-                        self.metrics.search.reacc_latency.record(start.elapsed());
-                        hits.into_iter()
-                            .filter(|h| h.score >= self.config.reco_min_cosine)
-                            .collect::<Vec<_>>()
-                    }
-                };
+                            self.indexes
+                                .rank_reacc_with_stats(&q, Some(EntryKind::Pe), k);
+                        self.observe_quant(stats);
+                        hits
+                    },
+                );
+                self.metrics.search.reacc_latency.record(start.elapsed());
                 hits.into_iter()
+                    .filter(|h| h.score >= self.config.reco_min_cosine)
                     .filter_map(|h| {
                         let pe = self.registry.get_pe(h.id).ok()?;
                         Some(RecommendationHit {
@@ -1302,82 +1416,90 @@ impl LaminarServer {
                             score: h.score,
                             occurrences: 1,
                             similar_code: first_function(&pe.code),
+                            cluster_size: 1,
+                            common_core: String::new(),
                         })
                     })
                     .collect()
             }
-            SearchScope::Workflow => {
-                // Fig. 9 bottom: workflows containing matching PEs, ranked
-                // by total member score. Aggregation needs *every* PE above
-                // threshold (a workflow's rank sums member scores), so this
-                // path uses the threshold scan, not top-k.
-                let pe_hits: Vec<(u64, f32)> = match embedding_type {
-                    EmbeddingType::Spt => {
+        }
+    }
+
+    /// Workflow-scope recommendations (Fig. 9 bottom): workflows
+    /// containing matching PEs, ranked by total member score. Aggregation
+    /// needs *every* PE above threshold (a workflow's rank sums member
+    /// scores), so this path uses the threshold scan, not top-k.
+    fn recommend_workflows(
+        &self,
+        snippet: &str,
+        embedding_type: EmbeddingType,
+        k: usize,
+    ) -> Vec<RecommendationHit> {
+        let pe_hits: Vec<(u64, f32)> = match embedding_type {
+            EmbeddingType::Spt => {
+                let start = std::time::Instant::now();
+                let hits = self.cached_rank(
+                    ResultOp::SptAbove,
+                    Some(EntryKind::Pe),
+                    usize::MAX,
+                    self.config.reco_min_score,
+                    snippet,
+                    || {
                         let q = Spt::parse_source(snippet).feature_vec();
-                        let start = std::time::Instant::now();
-                        let hits = self.indexes.rank_spt_above(
+                        self.indexes.rank_spt_above(
                             &q,
                             Some(EntryKind::Pe),
                             self.config.reco_min_score,
-                        );
-                        self.metrics.search.spt_latency.record(start.elapsed());
-                        hits.into_iter().map(|h| (h.id, h.score)).collect()
-                    }
-                    EmbeddingType::Llm => {
-                        let q = self.cached_embed(QueryModality::Code, snippet, |s| {
-                            ReaccSim::new().embed_code(s)
-                        });
-                        let start = std::time::Instant::now();
-                        let hits = self.cached_rank(
-                            ResultOp::ReaccAbove,
-                            Some(EntryKind::Pe),
-                            usize::MAX,
-                            self.config.reco_min_cosine,
-                            snippet,
-                            || {
-                                self.indexes.rank_reacc_above(
-                                    &q,
-                                    Some(EntryKind::Pe),
-                                    self.config.reco_min_cosine,
-                                )
-                            },
-                        );
-                        self.metrics.search.reacc_latency.record(start.elapsed());
-                        hits.into_iter().map(|h| (h.id, h.score)).collect()
-                    }
-                };
-                let mut hits: Vec<RecommendationHit> = self
-                    .registry
-                    .all_workflows()
-                    .into_iter()
-                    .filter_map(|wf| {
-                        let matching: Vec<&(u64, f32)> = pe_hits
-                            .iter()
-                            .filter(|(id, _)| wf.pe_ids.contains(id))
-                            .collect();
-                        if matching.is_empty() {
-                            return None;
-                        }
-                        Some(RecommendationHit {
-                            id: wf.id,
-                            name: wf.name.clone(),
-                            description: wf.description.clone(),
-                            score: matching.iter().map(|(_, s)| s).sum(),
-                            occurrences: matching.len(),
-                            similar_code: String::new(),
-                        })
-                    })
-                    .collect();
-                hits.sort_unstable_by(|a, b| {
-                    b.score
-                        .partial_cmp(&a.score)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.id.cmp(&b.id))
-                });
-                hits.truncate(k);
-                hits
+                        )
+                    },
+                );
+                self.metrics.search.spt_latency.record(start.elapsed());
+                hits.into_iter().map(|h| (h.id, h.score)).collect()
             }
-        }
+            EmbeddingType::Llm => {
+                let q = self.cached_embed(QueryModality::Code, snippet, |s| {
+                    ReaccSim::new().embed_code(s)
+                });
+                let start = std::time::Instant::now();
+                let hits = self.cached_rank(
+                    ResultOp::ReaccAbove,
+                    Some(EntryKind::Pe),
+                    usize::MAX,
+                    self.config.reco_min_cosine,
+                    snippet,
+                    || {
+                        self.indexes.rank_reacc_above(
+                            &q,
+                            Some(EntryKind::Pe),
+                            self.config.reco_min_cosine,
+                        )
+                    },
+                );
+                self.metrics.search.reacc_latency.record(start.elapsed());
+                hits.into_iter().map(|h| (h.id, h.score)).collect()
+            }
+        };
+        let workflows = self.registry.all_workflows();
+        sweep_workflows(
+            &pe_hits,
+            workflows.iter().map(|wf| (wf.id, wf.pe_ids.as_slice())),
+        )
+        .into_iter()
+        .take(k)
+        .filter_map(|(wf_id, score, occurrences)| {
+            let wf = workflows.iter().find(|w| w.id == wf_id)?;
+            Some(RecommendationHit {
+                id: wf_id,
+                name: wf.name.clone(),
+                description: wf.description.clone(),
+                score,
+                occurrences,
+                similar_code: String::new(),
+                cluster_size: 0,
+                common_core: String::new(),
+            })
+        })
+        .collect()
     }
 
     /// Context-aware code completion (§III): the best SPT match above a
@@ -1460,29 +1582,30 @@ impl LaminarServer {
         // a run still executes when the WAL cannot take the row — it just
         // leaves no history. The persist error itself flips health to
         // degraded so operators see it.
-        let exec_id = match self
-            .registry
-            .add_execution(wf.id, user, mapping_name, &format!("{input:?}"))
-        {
-            Ok(id) => {
-                match self
-                    .registry
-                    .set_execution_status(id, ExecutionStatus::Running)
-                {
-                    Ok(()) => Some(id),
-                    Err(RegistryError::Persistence(msg)) => {
-                        self.health.record_persist_error(&msg);
-                        Some(id)
+        let exec_id =
+            match self
+                .registry
+                .add_execution(wf.id, user, mapping_name, &format!("{input:?}"))
+            {
+                Ok(id) => {
+                    match self
+                        .registry
+                        .set_execution_status(id, ExecutionStatus::Running)
+                    {
+                        Ok(()) => Some(id),
+                        Err(RegistryError::Persistence(msg)) => {
+                            self.health.record_persist_error(&msg);
+                            Some(id)
+                        }
+                        Err(e) => return Err(e.into()),
                     }
-                    Err(e) => return Err(e.into()),
                 }
-            }
-            Err(RegistryError::Persistence(msg)) => {
-                self.health.record_persist_error(&msg);
-                None
-            }
-            Err(e) => return Err(e.into()),
-        };
+                Err(RegistryError::Persistence(msg)) => {
+                    self.health.record_persist_error(&msg);
+                    None
+                }
+                Err(e) => return Err(e.into()),
+            };
 
         let engine_rx = self.engine.execute(ExecRequest {
             workflow: wf.name.clone(),
@@ -1880,6 +2003,186 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn both_scope_returns_pe_and_workflow_hits() {
+        // Regression: the old dispatch matched `Both` into the PE-only
+        // arm, so a `Both` recommendation never contained a workflow.
+        let (server, token) = server_with_session();
+        register_isprime(&server, token);
+        for embedding_type in [EmbeddingType::Spt, EmbeddingType::Llm] {
+            let resp = server
+                .handle(Request::CodeRecommendation {
+                    token,
+                    scope: SearchScope::Both,
+                    snippet: PRODUCER.into(),
+                    embedding_type,
+                    top_n: None,
+                })
+                .value();
+            match resp {
+                Response::Recommendations(hits) => {
+                    assert!(
+                        hits.iter().any(|h| h.name == "NumberProducer"),
+                        "{embedding_type:?}: {hits:?}"
+                    );
+                    assert!(
+                        hits.iter().any(|h| h.name == "isprime_wf"),
+                        "{embedding_type:?}: {hits:?}"
+                    );
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recommendations_come_from_the_full_pipeline() {
+        // Served hits must agree with a direct `AromaEngine::recommend`
+        // over the same snapshot — pipeline fields included.
+        let (server, token) = server_with_session();
+        register_isprime(&server, token);
+        let snippet = "random.randint(1, 1000)";
+        let direct = server.reco().snapshot().engine.recommend(snippet);
+        assert!(!direct.is_empty());
+        let resp = server
+            .handle(Request::CodeRecommendation {
+                token,
+                scope: SearchScope::Pe,
+                snippet: snippet.into(),
+                embedding_type: EmbeddingType::Spt,
+                top_n: None,
+            })
+            .value();
+        let Response::Recommendations(hits) = resp else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(hits.len(), direct.len().min(5));
+        for (h, r) in hits.iter().zip(&direct) {
+            assert_eq!(h.id, r.seed_id);
+            assert_eq!(h.score.to_bits(), r.retrieval_score.to_bits());
+            assert_eq!(h.cluster_size, r.cluster_size);
+            assert_eq!(h.common_core, r.code);
+            assert!(h.cluster_size >= 1);
+            assert!(!h.common_core.is_empty());
+        }
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.reco.requests, 1);
+        assert_eq!(snap.reco.pipeline_runs, 1);
+        assert_eq!(snap.reco.retrieve.count, 1);
+        assert_eq!(snap.reco.intersect.count, 1);
+    }
+
+    #[test]
+    fn spt_recommendations_hit_the_generation_keyed_cache() {
+        // Regression: the SPT path re-ran `Spt::parse_source` and a full
+        // scan on every identical request while the LLM path cached.
+        let server = LaminarServer::new(
+            Registry::new(),
+            ExecutionEngine::with_stock(),
+            ServerConfig {
+                query_cache_entries: 16,
+                ..ServerConfig::default()
+            },
+        );
+        let token = match server
+            .handle(Request::RegisterUser {
+                username: "rosa".into(),
+                password: "pw".into(),
+            })
+            .value()
+        {
+            Response::Token(t) => t,
+            other => panic!("{other:?}"),
+        };
+        register_isprime(&server, token);
+        let ask = |scope| match server
+            .handle(Request::CodeRecommendation {
+                token,
+                scope,
+                snippet: "random.randint(1, 1000)".into(),
+                embedding_type: EmbeddingType::Spt,
+                top_n: None,
+            })
+            .value()
+        {
+            Response::Recommendations(hits) => hits,
+            other => panic!("{other:?}"),
+        };
+        let first = ask(SearchScope::Pe);
+        assert!(!first.is_empty());
+        assert_eq!(server.metrics().reco.cache_misses.get(), 1);
+        let second = ask(SearchScope::Pe);
+        assert_eq!(first, second, "cached answer is the computed answer");
+        assert_eq!(
+            server.metrics().reco.cache_hits.get(),
+            1,
+            "second identical SPT query is a full-pipeline cache hit"
+        );
+        // Scope is part of the key: a workflow-scope query misses.
+        ask(SearchScope::Workflow);
+        assert_eq!(server.metrics().reco.cache_hits.get(), 1);
+        // A registration publishes new generations; the entry stops
+        // matching instead of serving stale hits.
+        server
+            .handle(Request::RegisterPe {
+                token,
+                pe: PeSubmission {
+                    name: "OtherProducer".into(),
+                    code: "class OtherProducer(ProducerPE):\n    def _process(self, inputs):\n        return random.randint(1, 1000)\n".into(),
+                    description: None,
+                },
+            })
+            .value();
+        let third = ask(SearchScope::Pe);
+        assert!(!third.is_empty());
+        assert_eq!(
+            server.metrics().reco.cache_hits.get(),
+            1,
+            "generation changed: the third query misses, not stale-hits"
+        );
+        assert_ne!(first, third, "the new PE joins the answer");
+    }
+
+    #[test]
+    fn reco_engine_stays_in_lockstep_with_mutations() {
+        let (server, token) = server_with_session();
+        let (pe_ids, wf_id) = register_isprime(&server, token);
+        assert_eq!(server.reco().len(), 3, "registrations upsert the engine");
+        server
+            .handle(Request::RemoveWorkflow {
+                token,
+                ident: Ident::Id(wf_id),
+            })
+            .value();
+        server
+            .handle(Request::RemovePe {
+                token,
+                ident: Ident::Id(pe_ids[0].1),
+            })
+            .value();
+        assert_eq!(server.reco().len(), 2, "PE removal removes the snippet");
+        let resp = server
+            .handle(Request::CodeRecommendation {
+                token,
+                scope: SearchScope::Pe,
+                snippet: "random.randint(1, 1000)".into(),
+                embedding_type: EmbeddingType::Spt,
+                top_n: None,
+            })
+            .value();
+        match resp {
+            Response::Recommendations(hits) => {
+                assert!(
+                    hits.iter().all(|h| h.name != "NumberProducer"),
+                    "removed PE must not be recommended: {hits:?}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        server.handle(Request::RemoveAll { token }).value();
+        assert!(server.reco().is_empty());
     }
 
     #[test]

@@ -34,9 +34,7 @@ fn fresh_dir(tag: &str) -> PathBuf {
 fn pe(name: &str) -> PeSubmission {
     PeSubmission {
         name: name.into(),
-        code: format!(
-            "class {name}(IterativePE):\n    def _process(self, x):\n        return x\n"
-        ),
+        code: format!("class {name}(IterativePE):\n    def _process(self, x):\n        return x\n"),
         description: Some("a chaos-test pe".into()),
     }
 }
@@ -48,7 +46,12 @@ fn serve_with_faults(
     spec: FaultSpec,
     seed: u64,
     config: ServerConfig,
-) -> (Arc<IoFaultInjector>, Arc<LaminarServer>, NetServer, NetClientTransport) {
+) -> (
+    Arc<IoFaultInjector>,
+    Arc<LaminarServer>,
+    NetServer,
+    NetClientTransport,
+) {
     let inj = IoFaultInjector::new(seed, spec);
     let hook: FaultHook = inj.clone();
     let registry = Registry::open_with_faults(
@@ -200,12 +203,18 @@ fn enospc_flips_degraded_reads_keep_serving_probe_recovers() {
     assert_eq!(transitions, 1);
 
     // While the disk is still full the probe must NOT clear the state.
-    assert!(server.probe_storage(), "probe fails while the fault is armed");
+    assert!(
+        server.probe_storage(),
+        "probe fails while the fault is armed"
+    );
     assert!(server.health().is_degraded());
 
     // Space frees up: the probe recovers the server and writes land.
     inj.clear();
-    assert!(!server.probe_storage(), "probe passes once the fault clears");
+    assert!(
+        !server.probe_storage(),
+        "probe passes once the fault clears"
+    );
     let (ready, storage, transitions) = health_of(&client);
     assert!(ready);
     assert_eq!(storage, StorageStateWire::Healthy);

@@ -79,6 +79,22 @@ cargo test -q -p laminar-server --test degraded
 echo "==> bench_degraded builds"
 cargo build --release -p laminar-bench --bin bench_degraded
 
+# Aroma pipeline invariants: clustering covers every pruned input exactly
+# once, seeds are best-ranked, parallel prune/rerank ≡ serial bit-identical,
+# and the engine's recommendations survive the full retrieve → prune →
+# cluster → intersect path.
+echo "==> aroma pipeline property suite"
+cargo test -q -p aroma --test pipeline_props
+
+# Served recommendations: full-pipeline responses ≡ direct engine output on
+# the same snapshot, Both scope merges PE + workflow hits, generation-keyed
+# cache hits, and the reco index stays in lockstep with registry mutations.
+echo "==> server recommendation suite"
+cargo test -q -p laminar-server --lib -- reco recommendation both_scope
+
+echo "==> bench_recommend builds"
+cargo build --release -p laminar-bench --bin bench_recommend
+
 if [[ "${1:-}" == "--heavy" ]]; then
     echo "==> heavy stress tests (#[ignore]d)"
     cargo test -q -p laminar heavy_ -- --ignored
