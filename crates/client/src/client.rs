@@ -168,6 +168,10 @@ pub struct RunOutput {
 pub struct LaminarClient {
     connection: Box<dyn Connection>,
     retry: RetryPolicy,
+    /// How retry backoff waits. Production sleeps the thread; the
+    /// deterministic simulation harness injects a virtual-clock sleeper
+    /// so backoff never consumes real time.
+    sleeper: Arc<dyn Fn(Duration) + Send + Sync>,
     token: Option<u64>,
     /// Local resource staging area: name → bytes (replaces 1.0's
     /// `resources/` directory — §IV-F "direct file path specification").
@@ -197,6 +201,7 @@ impl LaminarClient {
         LaminarClient {
             connection: Box::new(connection),
             retry: RetryPolicy::default(),
+            sleeper: Arc::new(|d| std::thread::sleep(d)),
             token: None,
             staged_resources: Vec::new(),
         }
@@ -206,6 +211,13 @@ impl LaminarClient {
     /// 1 s cap).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Replace how retry backoff waits (default: `thread::sleep`). The
+    /// simulation harness injects a virtual-clock sleeper here.
+    pub fn with_sleeper(mut self, sleeper: Arc<dyn Fn(Duration) + Send + Sync>) -> Self {
+        self.sleeper = sleeper;
         self
     }
 
@@ -263,7 +275,7 @@ impl LaminarClient {
                         }
                         _ => Duration::ZERO,
                     };
-                    std::thread::sleep(self.retry.backoff(attempt).max(hint));
+                    (self.sleeper)(self.retry.backoff(attempt).max(hint));
                 }
             }
         }

@@ -34,8 +34,9 @@ pub use laminar_registry::{
     FaultKind, FaultMode, FaultSpec, IoFaultInjector, IoSite, RegistryError,
 };
 pub use laminar_server::{
-    ConnOptions, Connection, ConnectionError, EmbeddingType, Ident, MetricsSnapshot,
-    NetClientTransport, NetServer, NetServerConfig, SearchScope, StorageStateWire,
+    Clock, ConnOptions, Connection, ConnectionError, EmbeddingType, Ident, MetricsSnapshot,
+    NetClientTransport, NetServer, NetServerConfig, SearchScope, SharedClock, SimClock,
+    StorageStateWire, SystemClock,
 };
 
 /// Deployment configuration.
@@ -70,6 +71,11 @@ pub struct LaminarConfig {
     /// (`--io-fault-seed`): the same seed and spec produce bit-identical
     /// fault schedules.
     pub io_fault_seed: u64,
+    /// The clock the server's timers run on. `None` deploys on the OS
+    /// clock; the deterministic simulation harness injects a
+    /// [`laminar_server::SimClock`] so probe timers and frame latency
+    /// run under virtual time.
+    pub clock: Option<laminar_server::SharedClock>,
 }
 
 impl Default for LaminarConfig {
@@ -86,6 +92,7 @@ impl Default for LaminarConfig {
             wal_fsync: false,
             io_fault: None,
             io_fault_seed: 1,
+            clock: None,
         }
     }
 }
@@ -145,7 +152,12 @@ impl Laminar {
             },
             library,
         );
-        let mut server = LaminarServer::new(registry, engine, config.server.clone());
+        let mut server = match &config.clock {
+            Some(clock) => {
+                LaminarServer::with_clock(registry, engine, config.server.clone(), clock.clone())
+            }
+            None => LaminarServer::new(registry, engine, config.server.clone()),
+        };
         server.set_description_context(config.description_context);
         Ok(Laminar {
             server: Arc::new(server),

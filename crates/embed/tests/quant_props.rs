@@ -14,6 +14,16 @@ use embed::quant::{dot_i8, quantize_into, two_phase_topk, QuantizedVec};
 use embed::{dot, DenseVec, ScoredRow, DIM};
 use proptest::prelude::*;
 
+/// Case count: the pinned default, or `LAMINAR_PROPTEST_CASES` when set.
+/// `PROPTEST_RNG_SEED=<n>` pins the RNG; the committed
+/// `.proptest-regressions` seeds are re-run before any novel case.
+fn cases(default: u32) -> u32 {
+    std::env::var("LAMINAR_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Deterministic pseudo-random normalised vector (same LCG the index
 /// property suite uses; no rand dependency).
 fn lcg_vec(seed: &mut u64) -> DenseVec {
@@ -57,7 +67,7 @@ fn exact_topk(query: &[f32], c: &Corpus, k: usize) -> Vec<ScoredRow> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
 
     /// quantize(dequantize(quantize(x))) is idempotent at the code level:
     /// the i8 grid is a fixed point of the round trip. (The scale may

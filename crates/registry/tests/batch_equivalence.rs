@@ -23,6 +23,16 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
 
+/// Case count: the pinned default, or `LAMINAR_PROPTEST_CASES` when set.
+/// `PROPTEST_RNG_SEED=<n>` pins the RNG; the committed
+/// `.proptest-regressions` seeds are re-run before any novel case.
+fn cases(default: u32) -> u32 {
+    std::env::var("LAMINAR_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn fresh_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "laminar-batch-eq-{tag}-{}-{}",
@@ -174,7 +184,7 @@ fn drive_sequential(reg: &Registry, unit: RegistrationUnit) -> UnitOutcome {
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 24,
+        cases: cases(24),
         ..ProptestConfig::default()
     })]
 

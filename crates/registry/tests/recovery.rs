@@ -16,14 +16,24 @@
 //! * the recovered registry accepts new writes.
 
 use laminar_registry::{
-    wal, ExecutionStatus, NewPe, NewWorkflow, PersistOptions, Registry, RegistrySnapshot,
-    SyncPolicy, WAL_FILE,
+    wal, ExecutionStatus, FaultHook, FaultKind, FaultSpec, IoFaultInjector, IoSite, NewPe,
+    NewWorkflow, PersistOptions, Registry, RegistrySnapshot, SyncPolicy, WAL_FILE,
 };
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// Case count: the pinned default, or `LAMINAR_PROPTEST_CASES` when set.
+/// `PROPTEST_RNG_SEED=<n>` pins the RNG; the committed
+/// `.proptest-regressions` seeds are re-run before any novel case.
+fn cases(default: u32) -> u32 {
+    std::env::var("LAMINAR_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn fresh_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -195,7 +205,7 @@ fn frame_ends(wal_path: &std::path::Path) -> Vec<u64> {
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 12,
+        cases: cases(12),
         ..ProptestConfig::default()
     })]
 
@@ -291,4 +301,73 @@ fn snapshot_plus_overlapping_wal_recovers_once() {
         Registry::from_snapshot(before).debug_name_indexes()
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash-during-compaction, at every IO site the compaction touches: the
+/// snapshot tmp write, its fsync, the atomic rename over `snapshot.json`,
+/// and the WAL truncation that follows. Whichever step dies, the failed
+/// `compact()` must surface an error and a reopen must recover exactly
+/// the acknowledged pre-compaction state — the WAL-truncate case lands in
+/// the overlap window (new snapshot + untruncated WAL), where replay must
+/// be idempotent; the earlier sites must leave the old snapshot + WAL
+/// authoritative (a dead `snapshot.json.tmp` is ignored).
+#[test]
+fn compaction_crash_at_every_site_recovers_the_acknowledged_state() {
+    for (i, site) in [
+        IoSite::SnapshotWrite,
+        IoSite::SnapshotFsync,
+        IoSite::SnapshotRename,
+        IoSite::WalTruncate,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let dir = fresh_dir("compact-crash");
+        let acknowledged = {
+            let hook: FaultHook = IoFaultInjector::new(
+                100 + i as u64,
+                FaultSpec::nth_at(site, 1, FaultKind::Enospc),
+            );
+            let reg = Registry::open_with_faults(&dir, opts(), hook).unwrap();
+            let user = reg.register_user("rosa", "pw").unwrap();
+            let a = reg.add_pe(new_pe(user, "IsPrime".into())).unwrap();
+            let b = reg.add_pe(new_pe(user, "Doubler".into())).unwrap();
+            reg.add_workflow(new_wf(user, "isprime_wf".into(), vec![a, b]))
+                .unwrap();
+            let wf = reg.all_workflows()[0].id;
+            reg.add_execution(wf, user, "simple", "5").unwrap();
+            let acknowledged = reg.snapshot();
+            // The compaction dies at `site`; the error must be loud.
+            assert!(
+                reg.compact().is_err(),
+                "{site:?}: a compaction that lost an IO op must error"
+            );
+            acknowledged
+            // `reg` dropped here: the crash.
+        };
+
+        let recovered = Registry::open(&dir, opts()).unwrap();
+        assert_eq!(
+            recovered.snapshot(),
+            acknowledged,
+            "{site:?}: reopen must recover the acknowledged prefix"
+        );
+        assert_eq!(
+            recovered.debug_name_indexes(),
+            Registry::from_snapshot(acknowledged.clone()).debug_name_indexes(),
+            "{site:?}: recovered indexes must match a from-scratch rebuild"
+        );
+        // The recovered registry accepts writes and a clean compaction.
+        let uid = recovered.login("rosa", "pw").unwrap();
+        recovered
+            .add_pe(new_pe(uid, "PostCrash".into()))
+            .unwrap();
+        recovered.compact().unwrap().unwrap();
+        let after = recovered.snapshot();
+        drop(recovered);
+        // And the post-compaction state survives yet another reopen.
+        let again = Registry::open(&dir, opts()).unwrap();
+        assert_eq!(again.snapshot(), after, "{site:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -30,6 +30,9 @@
 //! * [`obs`] — the serving-path observability layer: per-request ids,
 //!   lock-free per-endpoint counters and latency histograms, and the
 //!   serialisable [`obs::MetricsSnapshot`] behind the `metrics` endpoint;
+//! * [`clock`] — the test-only clock seam behind the serving path's
+//!   timers (recovery probe, frame-latency model), so the deterministic
+//!   simulation harness can run them under virtual time;
 //! * [`health`] — the storage-health state machine behind read-only
 //!   degraded mode: the first persistence error rejects further
 //!   mutations while reads keep serving, and a background probe
@@ -39,6 +42,7 @@
 //! its row types.
 
 pub mod cache;
+pub mod clock;
 pub mod connection;
 pub mod health;
 pub mod indexes;
@@ -51,6 +55,7 @@ pub mod server;
 pub mod transport;
 
 pub use cache::{QueryCache, QueryModality, RecoKey, ResultKey, ResultOp};
+pub use clock::{Clock, SharedClock, SimClock, SystemClock};
 pub use connection::{classify, ConnOptions, Connection, ConnectionError};
 pub use health::StorageHealth;
 pub use indexes::{IndexOptions, SearchIndexes, TierBytes};

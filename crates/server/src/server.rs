@@ -2,6 +2,7 @@
 //! indexes, resource cache and execution engine (paper §III, Fig. 4).
 
 use crate::cache::{QueryCache, QueryModality, RecoKey, ResultKey, ResultOp};
+use crate::clock::{SharedClock, SystemClock};
 use crate::health::StorageHealth;
 use crate::indexes::{EntryKind, IndexHit, IndexOptions, SearchIndexes, DEFAULT_RESCORE_WINDOW};
 use crate::obs::{Metrics, RequestId, StorageHealthSnapshot};
@@ -151,10 +152,26 @@ pub struct LaminarServer {
     query_cache: Option<QueryCache>,
     /// The storage-health state machine behind read-only degraded mode.
     health: Arc<StorageHealth>,
+    /// The clock the server's timers run on (the recovery-probe
+    /// interval). Production uses [`SystemClock`]; the deterministic
+    /// simulation harness injects a virtual clock.
+    clock: SharedClock,
 }
 
 impl LaminarServer {
     pub fn new(registry: Registry, engine: ExecutionEngine, config: ServerConfig) -> Self {
+        Self::with_clock(registry, engine, config, Arc::new(SystemClock::new()))
+    }
+
+    /// [`LaminarServer::new`] with an explicit [`Clock`](crate::clock::Clock)
+    /// — the seam the simulation harness uses to run the server's timers
+    /// under virtual time.
+    pub fn with_clock(
+        registry: Registry,
+        engine: ExecutionEngine,
+        config: ServerConfig,
+        clock: SharedClock,
+    ) -> Self {
         let indexes = SearchIndexes::with_options(IndexOptions {
             lsh: config.spt_lsh.then(LshConfig::default),
             lsh_min_entries: config.spt_lsh_min_entries,
@@ -187,10 +204,16 @@ impl LaminarServer {
             reco,
             query_cache,
             health: Arc::new(StorageHealth::new()),
+            clock,
         };
         server.warm_load_indexes();
         server.spawn_recovery_probe();
         server
+    }
+
+    /// The clock the server's timers run on.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
     }
 
     /// Start the background storage-recovery probe thread (disabled when
@@ -205,8 +228,13 @@ impl LaminarServer {
         let interval = std::time::Duration::from_millis(self.config.probe_interval_ms);
         let registry = Arc::downgrade(&self.registry);
         let health = Arc::downgrade(&self.health);
+        // The probe ticks on the injectable clock so the simulation
+        // harness can drive it under virtual time. Holding the clock
+        // strongly is fine: it owns no server state, so it never keeps
+        // the registry alive past the server's drop.
+        let clock = self.clock.clone();
         std::thread::spawn(move || loop {
-            std::thread::sleep(interval);
+            clock.sleep(interval);
             let (Some(registry), Some(health)) = (registry.upgrade(), health.upgrade()) else {
                 return;
             };
@@ -1664,14 +1692,12 @@ impl LaminarServer {
                     Frame::Error(e) => WireFrame::Value(Response::Error(e.to_string())),
                 };
                 let failed = matches!(&wire, WireFrame::Value(Response::Error(_)));
-                if tx.send(wire).is_err() {
-                    // The consumer disconnected mid-stream. Stop pumping —
-                    // dropping `engine_rx` tells the engine nobody is
-                    // listening — and record the aborted execution.
-                    finish(ExecutionStatus::Failed, &collected);
-                    break;
-                }
                 if done {
+                    // Persist the outcome BEFORE emitting the terminal
+                    // frame: once the client observes End, the registry
+                    // must already reflect the acknowledged run, or a
+                    // crash straight after the stream drains loses rows
+                    // the client was told about.
                     let status = if failed {
                         ExecutionStatus::Failed
                     } else {
@@ -1682,6 +1708,14 @@ impl LaminarServer {
                         metrics.enactment.runs_failed.inc();
                     }
                     finish(status, &collected);
+                    let _ = tx.send(wire);
+                    break;
+                }
+                if tx.send(wire).is_err() {
+                    // The consumer disconnected mid-stream. Stop pumping —
+                    // dropping `engine_rx` tells the engine nobody is
+                    // listening — and record the aborted execution.
+                    finish(ExecutionStatus::Failed, &collected);
                     break;
                 }
             }

@@ -7,6 +7,7 @@
 //! in-process channel with an optional per-frame latency model standing in
 //! for the network (experiment E8 sweeps it).
 
+use crate::clock::{SharedClock, SystemClock};
 use crate::connection::{classify, ConnOptions, Connection, ConnectionError};
 use crate::protocol::{FaultPolicyWire, Reply, Request, RequestEnvelope, WireFrame};
 use crate::server::LaminarServer;
@@ -31,6 +32,7 @@ pub enum DeliveryMode {
 pub struct Transport {
     server: Arc<LaminarServer>,
     opts: ConnOptions,
+    clock: SharedClock,
 }
 
 impl Transport {
@@ -41,11 +43,19 @@ impl Transport {
                 delivery: mode,
                 ..ConnOptions::default()
             },
+            clock: Arc::new(SystemClock::new()),
         }
     }
 
     pub fn with_latency(mut self, latency: Duration) -> Self {
         self.opts.frame_latency = latency;
+        self
+    }
+
+    /// Run the frame-latency model on an injected clock (the simulation
+    /// harness passes a virtual one so latency never blocks real time).
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -72,11 +82,12 @@ impl Transport {
         let (tx, rx) = unbounded::<WireFrame>();
         let mode = self.opts.delivery;
         let latency = self.opts.frame_latency;
+        let clock = self.clock.clone();
         std::thread::spawn(move || match mode {
             DeliveryMode::Streaming => {
                 for frame in upstream.iter() {
                     if !latency.is_zero() {
-                        std::thread::sleep(latency);
+                        clock.sleep(latency);
                     }
                     let done = matches!(frame, WireFrame::End { .. });
                     if tx.send(frame).is_err() {
@@ -98,7 +109,7 @@ impl Transport {
                     }
                 }
                 if !latency.is_zero() {
-                    std::thread::sleep(latency);
+                    clock.sleep(latency);
                 }
                 for frame in held {
                     if tx.send(frame).is_err() {

@@ -17,6 +17,16 @@ use proptest::prelude::*;
 use spt::{FeatureVec, Spt};
 use std::collections::HashMap;
 
+/// Case count: the pinned default, or `LAMINAR_PROPTEST_CASES` when set.
+/// `PROPTEST_RNG_SEED=<n>` pins the RNG; the committed
+/// `.proptest-regressions` seeds are re-run before any novel case.
+fn cases(default: u32) -> u32 {
+    std::env::var("LAMINAR_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// The engine's encoded tie-break key (mirrors the private `entry_key`).
 fn key_of(id: u64, kind: EntryKind) -> u64 {
     (id << 1) | matches!(kind, EntryKind::Workflow) as u64
@@ -124,7 +134,7 @@ fn apply(ops: &[Op]) -> (SearchIndexes, NaiveModel) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
 
     /// Upsert/remove/clear fuzz: after any op interleaving, every modality's
     /// bounded ranking equals the naive full-sort prefix exactly (bit-equal

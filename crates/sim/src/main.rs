@@ -1,0 +1,74 @@
+//! CLI entry point for the simulation harness.
+//!
+//! ```text
+//! laminar-sim [--seed N] [--episodes N] [--ops N] [--mutate lose-wal] [--quiet]
+//! ```
+//!
+//! Prints the deterministic event trace, then a one-line verdict:
+//!
+//! ```text
+//! SIM_SEED=1337 episodes=3 ops=120 verdict=OK digest=4f1e9a2b77c01d58
+//! ```
+//!
+//! The digest is an FNV-1a hash of the trace; two runs with the same
+//! seed and options must print identical traces and digests (the
+//! `check.sh` sim gate runs every seed twice and diffs the output).
+//! Exit code 1 on any oracle violation.
+
+use laminar_sim::{run_sim, Mutation, SimOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: laminar-sim [--seed N] [--episodes N] [--ops N] [--mutate lose-wal] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = SimOptions::default();
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => usage(),
+            },
+            "--episodes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.episodes = v,
+                None => usage(),
+            },
+            "--ops" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.ops_per_episode = v,
+                None => usage(),
+            },
+            "--mutate" => match args.next().as_deref() {
+                Some("lose-wal") => opts.mutate = Some(Mutation::LoseWal),
+                _ => usage(),
+            },
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+
+    let report = run_sim(&opts);
+    if !quiet {
+        for line in &report.trace {
+            println!("{line}");
+        }
+    }
+    for v in &report.violations {
+        println!("VIOLATION: {v}");
+    }
+    println!(
+        "SIM_SEED={} episodes={} ops={} verdict={} digest={:016x}",
+        opts.seed,
+        report.episodes_run,
+        report.ops_run,
+        if report.ok() { "OK" } else { "FAIL" },
+        report.digest
+    );
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}

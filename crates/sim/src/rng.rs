@@ -1,0 +1,122 @@
+//! The simulation's single source of randomness.
+//!
+//! Every nondeterministic decision in the harness — which op to issue,
+//! which name to reuse, which fault plane to poke, when to crash — is
+//! drawn from one [`SimRng`] tree rooted at the episode seed. Subsystems
+//! get their own deterministic branch via [`SimRng::fork`], so adding a
+//! draw in one module never shifts the schedule of another. The
+//! generator is the same xorshift64 the registry's
+//! `IoFaultInjector` uses; forks are decorrelated through a splitmix64
+//! finalizer.
+
+/// Deterministic xorshift64 generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+/// splitmix64 finalizer: decorrelates nearby seeds so `fork(1)` and
+/// `fork(2)` do not produce overlapping streams.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    pub fn new(seed: u64) -> SimRng {
+        // xorshift must not start at 0.
+        SimRng {
+            state: splitmix64(seed) | 1,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform draw in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// True with probability `percent`/100.
+    pub fn chance(&mut self, percent: u32) -> bool {
+        self.below(100) < u64::from(percent)
+    }
+
+    /// Skewed draw in `0..n`: min of two uniforms, so low indexes are
+    /// reused much more often — the key-reuse distribution the workload
+    /// generator wants (hot names collide, cold names stay fresh).
+    pub fn skewed(&mut self, n: u64) -> u64 {
+        self.below(n).min(self.below(n))
+    }
+
+    /// Uniform element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// A decorrelated child generator for a labelled subsystem.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        SimRng::new(self.next_u64() ^ splitmix64(label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_distinct() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        let mut fa = a.fork(1);
+        let mut fb = b.fork(1);
+        for _ in 0..20 {
+            assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+        let mut other = SimRng::new(7).fork(2);
+        assert_ne!(fa.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn skewed_prefers_low_indexes() {
+        let mut rng = SimRng::new(1);
+        let mut low = 0u32;
+        for _ in 0..1000 {
+            if rng.skewed(10) < 5 {
+                low += 1;
+            }
+        }
+        // min-of-two gives P(x < 5) = 1 - 0.25 = 0.75.
+        assert!(low > 600, "{low}");
+    }
+
+    #[test]
+    fn chance_and_below_bounds() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..100 {
+            assert!(rng.below(7) < 7);
+        }
+        assert!(!rng.chance(0));
+        assert!(rng.chance(100));
+    }
+}

@@ -1,0 +1,428 @@
+//! Seeded workload generator.
+//!
+//! Draws a weighted stream of operations over small, deliberately
+//! colliding name pools: PE and workflow names are picked with a
+//! min-of-two-uniforms skew, so hot names are re-registered, updated,
+//! removed and re-created constantly — exactly the history interleavings
+//! (duplicate reuse, remove/re-register, FK-blocked removes) the oracle
+//! exists to check. Code bodies vary per draw so duplicate-reuse
+//! semantics (first registration's code wins) are actually observable.
+
+use crate::model::SimModel;
+use crate::rng::SimRng;
+use laminar_server::protocol::{
+    BatchItemWire, FaultPolicyWire, Ident, PeSubmission, RunMode, SearchScope,
+};
+
+/// PE class-name pool (skew-reused).
+const PE_NAMES: [&str; 8] = [
+    "SimScale", "SimShift", "SimGate", "SimTag", "SimFold", "SimEcho", "SimTrim", "SimRank",
+];
+
+/// Workflow name pool. These have registry rows but no engine builder,
+/// so running one exercises the typed engine-lookup error path.
+const WF_NAMES: [&str; 5] = ["sim_wf_a", "sim_wf_b", "sim_wf_c", "sim_wf_d", "sim_wf_e"];
+
+/// Runnable targets: stock builders plus the chaos workflow the harness
+/// installs. Weighted toward chaos.
+const RUN_TARGETS: [&str; 6] = [
+    "isprime_wf",
+    "doubler_wf",
+    "isprime_wf",
+    "chaos_wf",
+    "chaos_wf",
+    "doubler_wf",
+];
+
+const SEARCH_TERMS: [&str; 6] = ["prime", "sim", "anomaly", "count", "double", "stream"];
+
+const QUERIES: [&str; 5] = [
+    "find prime numbers in a stream",
+    "scale numeric values",
+    "count words in sentences",
+    "detect anomalies",
+    "double every number",
+];
+
+const SNIPPETS: [&str; 4] = [
+    "random.randint(1, 1000)",
+    "return x * 2",
+    "print('the num')",
+    "words = line.split()",
+];
+
+const COMPLETION_PREFIXES: [&str; 3] = [
+    "class IsPrime(IterativePE):\n    def _process(self, num):",
+    "class SimScale(IterativePE):\n    def _process(self, x):",
+    "class Sentences(ProducerPE):\n    def _process(self, inputs):",
+];
+
+/// One generated operation. The harness maps these onto client calls.
+#[derive(Debug, Clone)]
+pub enum SimOp {
+    RegisterPe { sub: PeSubmission },
+    RegisterWorkflow { name: String, source: String },
+    RegisterBatch { items: Vec<BatchItemWire> },
+    GetPe { ident: Ident },
+    GetWorkflow { ident: Ident },
+    GetPesByWorkflow { ident: Ident },
+    GetRegistry,
+    Describe { ident: Ident },
+    UpdatePeDescription { ident: Ident, description: String },
+    RemovePe { ident: Ident },
+    RemoveWorkflow { ident: Ident },
+    RemoveAll,
+    SearchLiteral { scope: SearchScope, term: String },
+    SearchSemantic { scope: SearchScope, query: String },
+    Recommend { snippet: String },
+    Complete { snippet: String },
+    Run { ident: Ident, iterations: u64, mode: RunMode, fault: FaultPolicyWire },
+    GetExecutions { ident: Ident },
+    Compact,
+    Health,
+    Metrics,
+}
+
+impl SimOp {
+    /// Deterministic one-line label for the trace.
+    pub fn label(&self) -> String {
+        fn ident(i: &Ident) -> String {
+            match i {
+                Ident::Name(n) => n.clone(),
+                Ident::Id(id) => format!("#{id}"),
+            }
+        }
+        match self {
+            SimOp::RegisterPe { sub } => format!("register-pe {}", sub.name),
+            SimOp::RegisterWorkflow { name, .. } => format!("register-wf {name}"),
+            SimOp::RegisterBatch { items } => format!("register-batch n={}", items.len()),
+            SimOp::GetPe { ident: i } => format!("get-pe {}", ident(i)),
+            SimOp::GetWorkflow { ident: i } => format!("get-wf {}", ident(i)),
+            SimOp::GetPesByWorkflow { ident: i } => format!("get-pes-by-wf {}", ident(i)),
+            SimOp::GetRegistry => "get-registry".into(),
+            SimOp::Describe { ident: i } => format!("describe {}", ident(i)),
+            SimOp::UpdatePeDescription { ident: i, .. } => format!("update-pe-desc {}", ident(i)),
+            SimOp::RemovePe { ident: i } => format!("remove-pe {}", ident(i)),
+            SimOp::RemoveWorkflow { ident: i } => format!("remove-wf {}", ident(i)),
+            SimOp::RemoveAll => "remove-all".into(),
+            SimOp::SearchLiteral { term, .. } => format!("search-literal '{term}'"),
+            SimOp::SearchSemantic { query, .. } => format!("search-semantic '{query}'"),
+            SimOp::Recommend { snippet } => {
+                format!("recommend '{}'", snippet.lines().next().unwrap_or(""))
+            }
+            SimOp::Complete { snippet } => {
+                format!("complete '{}'", snippet.lines().next().unwrap_or(""))
+            }
+            SimOp::Run {
+                ident: i,
+                iterations,
+                mode,
+                fault,
+            } => {
+                let m = match mode {
+                    RunMode::Sequential => "seq".to_string(),
+                    RunMode::Multiprocess { processes } => format!("mp{processes}"),
+                    RunMode::Dynamic => "dyn".to_string(),
+                };
+                let f = match fault {
+                    FaultPolicyWire::FailFast => "failfast".to_string(),
+                    FaultPolicyWire::Retry { max_attempts, .. } => format!("retry{max_attempts}"),
+                    FaultPolicyWire::DeadLetter { max_attempts } => {
+                        format!("deadletter{max_attempts}")
+                    }
+                };
+                format!("run {} x{iterations} {m} {f}", ident(i))
+            }
+            SimOp::GetExecutions { ident: i } => format!("get-executions {}", ident(i)),
+            SimOp::Compact => "compact".into(),
+            SimOp::Health => "health".into(),
+            SimOp::Metrics => "metrics".into(),
+        }
+    }
+
+    /// Does this op mutate the registry (subject to the degraded-mode
+    /// write gate)?
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            SimOp::RegisterPe { .. }
+                | SimOp::RegisterWorkflow { .. }
+                | SimOp::RegisterBatch { .. }
+                | SimOp::UpdatePeDescription { .. }
+                | SimOp::RemovePe { .. }
+                | SimOp::RemoveWorkflow { .. }
+                | SimOp::RemoveAll
+                | SimOp::Compact
+        )
+    }
+}
+
+/// The generator. Owns a forked rng branch; all draws are local so the
+/// harness's own schedule is unaffected by how many draws one op costs.
+pub struct Workload {
+    rng: SimRng,
+}
+
+impl Workload {
+    pub fn new(rng: SimRng) -> Workload {
+        Workload { rng }
+    }
+
+    fn pe_name(&mut self) -> String {
+        PE_NAMES[self.rng.skewed(PE_NAMES.len() as u64) as usize].to_string()
+    }
+
+    fn wf_name(&mut self) -> String {
+        WF_NAMES[self.rng.skewed(WF_NAMES.len() as u64) as usize].to_string()
+    }
+
+    fn pe_code(&mut self, name: &str) -> String {
+        let op = *self.rng.pick(&["+", "*", "-"]);
+        let k = 2 + self.rng.below(8);
+        format!("class {name}(IterativePE):\n    def _process(self, x):\n        return x {op} {k}\n")
+    }
+
+    fn pe_submission(&mut self) -> PeSubmission {
+        let name = self.pe_name();
+        let code = self.pe_code(&name);
+        // Mostly explicit descriptions (stored verbatim — the model can
+        // check them exactly); sometimes auto-generated (unknown until
+        // the next read learns it).
+        let description = if self.rng.chance(70) {
+            Some(format!("sim pe {name} variant {}", self.rng.below(100)))
+        } else {
+            None
+        };
+        PeSubmission {
+            name,
+            code,
+            description,
+        }
+    }
+
+    /// Workflow source: 1–2 PE class bodies from the pool; the client
+    /// extracts them as member submissions.
+    fn wf_source(&mut self) -> String {
+        let n = 1 + self.rng.below(2);
+        let mut src = String::new();
+        for _ in 0..n {
+            let name = self.pe_name();
+            src.push_str(&self.pe_code(&name));
+            src.push('\n');
+        }
+        src
+    }
+
+    /// Pick an ident for a PE: a pool name, or (30% of the time, when
+    /// the model knows one) a numeric id the model has confirmed —
+    /// never a guessed id, so model resolution stays unambiguous.
+    fn pe_ident(&mut self, model: &SimModel) -> Ident {
+        if self.rng.chance(30) {
+            let names = model.present_pe_names();
+            if !names.is_empty() {
+                let name = &names[self.rng.below(names.len() as u64) as usize];
+                if let Some(id) = model.pe_id(name) {
+                    return Ident::Id(id);
+                }
+            }
+        }
+        Ident::Name(self.pe_name())
+    }
+
+    fn wf_ident(&mut self) -> Ident {
+        Ident::Name(self.wf_name())
+    }
+
+    fn run_fault_policy(&mut self, target: &str) -> FaultPolicyWire {
+        if target != "chaos_wf" {
+            return FaultPolicyWire::FailFast;
+        }
+        match self.rng.below(3) {
+            0 => FaultPolicyWire::FailFast,
+            1 => FaultPolicyWire::Retry {
+                max_attempts: 3,
+                backoff_ms: 1,
+            },
+            _ => FaultPolicyWire::DeadLetter { max_attempts: 2 },
+        }
+    }
+
+    /// Draw the next operation.
+    pub fn next_op(&mut self, model: &SimModel) -> SimOp {
+        // (weight, kind) table; draw a point under the total.
+        const WEIGHTS: [(u32, u32); 21] = [
+            (14, 0),  // RegisterPe
+            (9, 1),   // RegisterWorkflow
+            (5, 2),   // RegisterBatch
+            (9, 3),   // GetPe
+            (5, 4),   // GetWorkflow
+            (4, 5),   // GetPesByWorkflow
+            (5, 6),   // GetRegistry
+            (3, 7),   // Describe
+            (6, 8),   // UpdatePeDescription
+            (6, 9),   // RemovePe
+            (4, 10),  // RemoveWorkflow
+            (2, 11),  // RemoveAll
+            (4, 12),  // SearchLiteral
+            (5, 13),  // SearchSemantic
+            (4, 14),  // Recommend
+            (3, 15),  // Complete
+            (12, 16), // Run
+            (3, 17),  // GetExecutions
+            (4, 18),  // Compact
+            (3, 19),  // Health
+            (2, 20),  // Metrics
+        ];
+        let total: u32 = WEIGHTS.iter().map(|(w, _)| w).sum();
+        let mut point = self.rng.below(u64::from(total)) as u32;
+        let mut kind = 0;
+        for (w, k) in WEIGHTS {
+            if point < w {
+                kind = k;
+                break;
+            }
+            point -= w;
+        }
+        match kind {
+            0 => SimOp::RegisterPe {
+                sub: self.pe_submission(),
+            },
+            1 => SimOp::RegisterWorkflow {
+                name: self.wf_name(),
+                source: self.wf_source(),
+            },
+            2 => {
+                let n = 2 + self.rng.below(3);
+                let items = (0..n)
+                    .map(|_| {
+                        if self.rng.chance(60) {
+                            BatchItemWire::Pe(self.pe_submission())
+                        } else {
+                            let name = self.wf_name();
+                            let source = self.wf_source();
+                            let pes = laminar_client::extract_pes_from_source(&source);
+                            BatchItemWire::Workflow {
+                                name,
+                                code: source,
+                                description: Some("sim batch workflow".to_string()),
+                                pes,
+                            }
+                        }
+                    })
+                    .collect();
+                SimOp::RegisterBatch { items }
+            }
+            3 => SimOp::GetPe {
+                ident: self.pe_ident(model),
+            },
+            4 => SimOp::GetWorkflow {
+                ident: self.wf_ident(),
+            },
+            5 => SimOp::GetPesByWorkflow {
+                ident: self.wf_ident(),
+            },
+            6 => SimOp::GetRegistry,
+            7 => SimOp::Describe {
+                ident: Ident::Name(self.pe_name()),
+            },
+            8 => SimOp::UpdatePeDescription {
+                ident: self.pe_ident(model),
+                description: format!("updated description {}", self.rng.below(1000)),
+            },
+            9 => SimOp::RemovePe {
+                ident: self.pe_ident(model),
+            },
+            10 => SimOp::RemoveWorkflow {
+                ident: self.wf_ident(),
+            },
+            11 => SimOp::RemoveAll,
+            12 => SimOp::SearchLiteral {
+                scope: SearchScope::Both,
+                term: self.rng.pick(&SEARCH_TERMS).to_string(),
+            },
+            13 => SimOp::SearchSemantic {
+                scope: SearchScope::Both,
+                query: self.rng.pick(&QUERIES).to_string(),
+            },
+            14 => SimOp::Recommend {
+                snippet: self.rng.pick(&SNIPPETS).to_string(),
+            },
+            15 => SimOp::Complete {
+                snippet: self.rng.pick(&COMPLETION_PREFIXES).to_string(),
+            },
+            16 => {
+                // Mostly runnable targets; sometimes a registered-but-
+                // builderless workflow or a missing name (typed errors).
+                let target = match self.rng.below(10) {
+                    0 => self.wf_name(),
+                    1 => "ghost_wf".to_string(),
+                    _ => self.rng.pick(&RUN_TARGETS).to_string(),
+                };
+                let fault = self.run_fault_policy(&target);
+                // FailFast + chaos + multiprocess aborts mid-stream at a
+                // worker-interleaving-dependent point, which would leak
+                // a nondeterministic line count into the trace; every
+                // other combination is bit-stable.
+                let failfast_chaos =
+                    target == "chaos_wf" && matches!(fault, FaultPolicyWire::FailFast);
+                let mode = if self.rng.chance(20) && !failfast_chaos {
+                    RunMode::Multiprocess { processes: 2 }
+                } else {
+                    RunMode::Sequential
+                };
+                SimOp::Run {
+                    ident: Ident::Name(target),
+                    iterations: 1 + self.rng.skewed(8),
+                    mode,
+                    fault,
+                }
+            }
+            17 => SimOp::GetExecutions {
+                ident: Ident::Name(self.rng.pick(&RUN_TARGETS).to_string()),
+            },
+            18 => SimOp::Compact,
+            19 => SimOp::Health,
+            _ => SimOp::Metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_op_stream() {
+        let model = SimModel::new();
+        let ops = |seed: u64| -> Vec<String> {
+            let mut w = Workload::new(SimRng::new(seed));
+            (0..200).map(|_| w.next_op(&model).label()).collect()
+        };
+        assert_eq!(ops(11), ops(11));
+        assert_ne!(ops(11), ops(12));
+    }
+
+    #[test]
+    fn generator_covers_every_op_kind() {
+        let model = SimModel::new();
+        let mut w = Workload::new(SimRng::new(5));
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let op = w.next_op(&model);
+            kinds.insert(std::mem::discriminant(&op));
+        }
+        // All 21 variants should appear in 2000 draws.
+        assert_eq!(kinds.len(), 21, "only {} op kinds drawn", kinds.len());
+    }
+
+    #[test]
+    fn run_targets_are_never_duplicated_into_dynamic_mode() {
+        let model = SimModel::new();
+        let mut w = Workload::new(SimRng::new(9));
+        for _ in 0..500 {
+            if let SimOp::Run { mode, .. } = w.next_op(&model) {
+                assert!(!matches!(mode, RunMode::Dynamic));
+            }
+        }
+    }
+}

@@ -95,9 +95,56 @@ cargo test -q -p laminar-server --lib -- reco recommendation both_scope
 echo "==> bench_recommend builds"
 cargo build --release -p laminar-bench --bin bench_recommend
 
+# Network-fault wrapper in isolation: every fault kind on either side of
+# a frame exchange surfaces as a typed error or a successful retry —
+# never a wedged call — and the journal records true server-side effects.
+echo "==> network-fault wrapper suite"
+cargo test -q -p laminar-sim --test netfault
+
+# The simulation oracle's own contract: a clean seeded run is
+# violation-free and bit-identical on replay, and a deliberately broken
+# invariant (losing the WAL) is caught.
+echo "==> simulation oracle suite"
+cargo test -q -p laminar-sim --test oracle
+
+# Whole-system simulation smoke: pinned seeds, every fault plane armed
+# (disk faults, execution chaos, network faults, crash-restart). Each
+# seed runs twice and the full stdout is diffed: the same seed must
+# print bit-identical traces, journals and verdicts.
+echo "==> simulation smoke (pinned seeds, bit-identity replay)"
+cargo build --release -p laminar-sim
+SIM_BIN=target/release/laminar-sim
+SIM_TMP="$(mktemp -d)"
+trap 'rm -rf "$SIM_TMP"' EXIT
+for seed in 1 7 1337; do
+    for rep in a b; do
+        if ! "$SIM_BIN" --seed "$seed" --episodes 2 --ops 30 \
+                > "$SIM_TMP/sim-$seed-$rep.out"; then
+            cat "$SIM_TMP/sim-$seed-$rep.out"
+            echo "sim smoke failed — replay with:" \
+                 "cargo run -p laminar-sim --release -- --seed $seed --episodes 2 --ops 30"
+            exit 1
+        fi
+    done
+    if ! diff "$SIM_TMP/sim-$seed-a.out" "$SIM_TMP/sim-$seed-b.out"; then
+        echo "sim seed $seed did not replay bit-identically"
+        exit 1
+    fi
+done
+
 if [[ "${1:-}" == "--heavy" ]]; then
     echo "==> heavy stress tests (#[ignore]d)"
     cargo test -q -p laminar heavy_ -- --ignored
+
+    # Randomised simulation soak: a fresh seed each run (or SIM_SEED=<n>
+    # to pin one), printed up front so any failure is replayable.
+    SOAK_SEED="${SIM_SEED:-$(date +%s)}"
+    echo "==> simulation soak (SIM_SEED=$SOAK_SEED)"
+    if ! "$SIM_BIN" --seed "$SOAK_SEED" --episodes 4 --ops 80; then
+        echo "sim soak failed — replay with:" \
+             "cargo run -p laminar-sim --release -- --seed $SOAK_SEED --episodes 4 --ops 80"
+        exit 1
+    fi
 fi
 
 echo "OK"

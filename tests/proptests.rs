@@ -8,13 +8,25 @@ use laminar::spt::{FeatureVec, Spt};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
+/// Case count for the property blocks below: the pinned default, or
+/// `LAMINAR_PROPTEST_CASES` when set (raise for a deeper soak, lower for
+/// a quick pass). Pin the RNG itself with proptest's own
+/// `PROPTEST_RNG_SEED=<n>`; the committed `.proptest-regressions` seeds
+/// are always re-run first either way.
+fn cases(default: u32) -> u32 {
+    std::env::var("LAMINAR_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 // ---------------------------------------------------------------------------
 // pyparse: total robustness — the parser must never panic, and its trees
 // must always satisfy structural integrity.
 // ---------------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
 
     #[test]
     fn parser_never_panics_on_arbitrary_input(src in ".{0,200}") {
@@ -93,7 +105,7 @@ fn arb_feature_vec() -> impl Strategy<Value = FeatureVec> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
 
     #[test]
     fn dot_symmetric_and_cosine_bounded(a in arb_feature_vec(), b in arb_feature_vec()) {
@@ -148,7 +160,7 @@ fn arb_data() -> impl Strategy<Value = Data> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
 
     #[test]
     fn data_serde_roundtrip(d in arb_data()) {
@@ -168,7 +180,7 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(cases(128)))]
 
     #[test]
     fn precision_recall_always_in_unit_interval(
@@ -203,7 +215,7 @@ fn arb_pe_code() -> impl Strategy<Value = String> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
 
     #[test]
     fn pruned_statements_come_from_the_candidate(
@@ -278,7 +290,7 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(cases(12)))]
 
     #[test]
     fn generated_corpora_always_parse(seed in 0u64..1000) {
